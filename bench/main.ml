@@ -1,0 +1,191 @@
+(* The benchmark harness.
+
+   Two sections:
+
+   1. Figure regeneration — for every evaluation figure of the paper
+      (6-11) plus the ablations, run the full-size simulation and print
+      the per-server latency series and summary (the data behind the
+      paper's plots).
+
+   2. Micro-benchmarks (Bechamel) — cost of the mechanisms the paper
+      argues are cheap: hash probes, ANU addressing, region rescaling,
+      the event queue, and the prescient packing it is compared
+      against.
+
+   Run everything: dune exec bench/main.exe
+   Subset:         dune exec bench/main.exe -- fig6 fig10 micro *)
+
+open Bechamel
+open Toolkit
+
+let pp_figure_result figure =
+  Format.printf "%a@." (Experiments.Report.pp_figure ~max_minutes:60.0) figure
+
+let run_figure id =
+  match Experiments.Figures.by_id id with
+  | None -> Format.printf "unknown experiment: %s@." id
+  | Some build ->
+    let t0 = Unix.gettimeofday () in
+    let figure = build ~quick:false () in
+    pp_figure_result figure;
+    Format.printf "(%s regenerated in %.1f s)@.@." id
+      (Unix.gettimeofday () -. t0)
+
+(* --- micro-benchmarks --- *)
+
+let micro_tests () =
+  let family = Hashlib.Hash_family.create ~seed:42 in
+  let servers = List.init 5 Sharedfs.Server_id.of_int in
+  let anu = Placement.Anu.create ~family ~servers () in
+  let map16 =
+    Placement.Region_map.create
+      ~servers:(List.init 16 Sharedfs.Server_id.of_int)
+  in
+  let rng = Desim.Rng.create 7 in
+  let names = Array.init 4096 (Printf.sprintf "file-set-%d") in
+  let counter = ref 0 in
+  let next_name () =
+    incr counter;
+    names.(!counter land 4095)
+  in
+  let demands_500 =
+    List.init 500 (fun i ->
+        (Printf.sprintf "fs-%03d" i, Desim.Rng.float rng +. 0.01))
+  in
+  let speeds =
+    List.map
+      (fun (id, s) -> (Sharedfs.Server_id.of_int id, s))
+      Experiments.Scenario.paper_servers
+  in
+  let scale_targets =
+    List.map
+      (fun id -> (id, 0.5 +. Desim.Rng.float rng))
+      (List.init 16 Sharedfs.Server_id.of_int)
+  in
+  [
+    Test.make ~name:"hash_family.point"
+      (Staged.stage (fun () ->
+           Hashlib.Hash_family.point family ~round:0 (next_name ())));
+    Test.make ~name:"anu.locate (5 servers)"
+      (Staged.stage (fun () -> Placement.Anu.locate anu (next_name ())));
+    Test.make ~name:"region_map.scale (16 servers)"
+      (Staged.stage (fun () ->
+           Placement.Region_map.scale map16 ~targets:scale_targets));
+    Test.make ~name:"region_map.locate (16 servers)"
+      (Staged.stage (fun () ->
+           Placement.Region_map.locate map16 (Desim.Rng.float rng)));
+    Test.make ~name:"prescient.lpt (500 sets, 5 servers)"
+      (Staged.stage (fun () ->
+           Placement.Prescient.lpt_assignment ~speeds ~demands:demands_500
+             ~current:(fun _ -> None)
+             ~stability_bias:0.0));
+    Test.make ~name:"event_heap push+pop (1k)"
+      (Staged.stage (fun () ->
+           let h = Desim.Event_heap.create () in
+           for i = 0 to 999 do
+             ignore (Desim.Event_heap.add h ~time:(Desim.Rng.float rng) i)
+           done;
+           while not (Desim.Event_heap.is_empty h) do
+             ignore (Desim.Event_heap.pop h)
+           done));
+    Test.make ~name:"station serve 100 jobs"
+      (Staged.stage (fun () ->
+           let sim = Desim.Sim.create () in
+           let st = Desim.Station.create sim ~name:"b" ~speed:1.0 in
+           for i = 0 to 99 do
+             Desim.Station.submit st ~demand:0.01 ~tag:i
+               ~on_complete:(fun ~latency:_ -> ())
+           done;
+           Desim.Sim.run sim));
+  ]
+
+let run_micro () =
+  Format.printf "=== micro-benchmarks (Bechamel, ns/run) ===@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Format.printf "%-40s %12.1f ns/run@." name ns
+          | Some _ | None -> Format.printf "%-40s (no estimate)@." name)
+        results)
+    (micro_tests ());
+  Format.printf "@."
+
+let run_motivation () =
+  Format.printf
+    "=== motivation: metadata imbalance leaves the SAN underutilized ===@.";
+  Format.printf
+    "Every completed open launches a data transfer on a 40 MB/s SAN; both@.policies \
+     see identical data work (Section 2 of the paper).@.";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun r -> Format.printf "%a@." Experiments.Motivation.pp_result r)
+    (Experiments.Motivation.experiment ());
+  Format.printf "(motivation regenerated in %.1f s)@.@."
+    (Unix.gettimeofday () -. t0)
+
+let run_membership () =
+  Format.printf
+    "=== membership study: movement on failure/recovery ===@.";
+  Format.printf
+    "Owner changes among 10,000 file sets when server 2 of 5 fails and \
+     recovers.@.";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun r -> Format.printf "%a@." Experiments.Membership.pp_result r)
+    (Experiments.Membership.compare_all ~servers:5 ~file_sets:10_000 ~failed:2
+       ~seed:5);
+  Format.printf "(membership study in %.1f s)@.@."
+    (Unix.gettimeofday () -. t0)
+
+let run_balance () =
+  Format.printf
+    "=== balance study: scaling absorbs hashing variance (Section 4) ===@.";
+  Format.printf
+    "Homogeneous servers, uniform file sets; max/mean load over trials.@.";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (servers, file_sets) ->
+      List.iter
+        (fun r ->
+          Format.printf "%a@." Placement.Balance_study.pp_result r)
+        (Placement.Balance_study.compare_all ~servers ~file_sets ~trials:50
+           ~seed:1);
+      Format.printf "@.")
+    [ (5, 100); (8, 512); (16, 2048) ];
+  Format.printf "(balance study in %.1f s)@.@." (Unix.gettimeofday () -. t0)
+
+let run_validate () =
+  Format.printf "=== claim validation (paper's headline results) ===@.";
+  let t0 = Unix.gettimeofday () in
+  let checks = Experiments.Validate.run () in
+  Format.printf "%a@." Experiments.Validate.pp checks;
+  Format.printf "(validated in %.1f s)@.@." (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let all =
+    ("motivation" :: Experiments.Figures.all_ids)
+    @ [ "membership"; "balance"; "micro"; "validate" ]
+  in
+  let selected = if args = [] then all else args in
+  List.iter
+    (fun id ->
+      match id with
+      | "micro" -> run_micro ()
+      | "motivation" -> run_motivation ()
+      | "membership" -> run_membership ()
+      | "balance" -> run_balance ()
+      | "validate" -> run_validate ()
+      | _ -> run_figure id)
+    selected

@@ -1,0 +1,148 @@
+(* shdisk-sim: reproduce the experiments of Wu & Burns, "Handling
+   Heterogeneity in Shared-Disk File Systems" (SC'03), from the command
+   line.
+
+     shdisk-sim list
+     shdisk-sim run fig6 [--quick] [--csv out.csv] [--summary]
+     shdisk-sim trace --kind dfs --out trace.txt *)
+
+open Cmdliner
+
+let setup_logs () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+let list_cmd =
+  let doc = "List the reproducible experiments." in
+  let run () =
+    List.iter print_endline Experiments.Figures.all_ids
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one experiment and print its series and summary." in
+  let id =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id (see `list').")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Scale the workload down ~10x.")
+  in
+  let summary =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Print only summary lines.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the series as CSV.")
+  in
+  let minutes =
+    Arg.(
+      value & opt float 60.0
+      & info [ "minutes" ] ~docv:"M" ~doc:"Cap table rows at M minutes.")
+  in
+  let run id quick summary csv minutes =
+    setup_logs ();
+    match Experiments.Figures.by_id id with
+    | None ->
+      Printf.eprintf "unknown experiment %s; try `shdisk_sim list'\n" id;
+      exit 1
+    | Some build ->
+      let figure = build ~quick () in
+      if summary then
+        Format.printf "%a@." Experiments.Report.pp_summary figure
+      else
+        Format.printf "%a@."
+          (Experiments.Report.pp_figure ~max_minutes:minutes)
+          figure;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Experiments.Report.figure_to_csv figure));
+          Printf.printf "wrote %s\n" path)
+        csv
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ id $ quick $ summary $ csv $ minutes)
+
+let trace_cmd =
+  let doc = "Generate a workload trace file." in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("dfs", `Dfs); ("synthetic", `Synthetic) ]) `Dfs
+      & info [ "kind" ] ~docv:"KIND" ~doc:"dfs or synthetic.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let run kind out seed =
+    let trace =
+      match kind with
+      | `Dfs ->
+        Workload.Dfs_like.generate
+          { Workload.Dfs_like.default_config with seed }
+      | `Synthetic ->
+        Workload.Synthetic.generate
+          { Workload.Synthetic.default_config with seed }
+    in
+    Workload.Trace_io.save trace ~path:out;
+    Printf.printf "wrote %d records (%.0f s, %d file sets) to %s\n"
+      (Workload.Trace.length trace)
+      (Workload.Trace.duration trace)
+      (List.length (Workload.Trace.file_sets trace))
+      out
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ kind $ out $ seed)
+
+let validate_cmd =
+  let doc = "Verify the paper's headline claims against fresh runs." in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Scale the workloads down ~10x.")
+  in
+  let run quick =
+    setup_logs ();
+    let checks = Experiments.Validate.run ~quick () in
+    Format.printf "%a@." Experiments.Validate.pp checks;
+    if not (Experiments.Validate.all_passed checks) then exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ quick)
+
+let motivation_cmd =
+  let doc =
+    "Run the Section-2 motivation experiment (metadata imbalance starves the \
+     SAN)."
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Scale the workload down ~10x.")
+  in
+  let run quick =
+    setup_logs ();
+    List.iter
+      (fun r -> Format.printf "%a@." Experiments.Motivation.pp_result r)
+      (Experiments.Motivation.experiment ~quick ())
+  in
+  Cmd.v (Cmd.info "motivation" ~doc) Term.(const run $ quick)
+
+let () =
+  let doc =
+    "Reproduction of `Handling Heterogeneity in Shared-Disk File Systems' \
+     (SC'03)"
+  in
+  let info = Cmd.info "shdisk_sim" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; validate_cmd; motivation_cmd ]))

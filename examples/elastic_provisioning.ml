@@ -1,0 +1,73 @@
+(* Elastic provisioning: the enterprise-hosting scenario from the
+   paper's introduction — the same server can be deployed into
+   different clusters during the same day.  Here a cluster of three
+   servers absorbs two more at run time.  Adding the fifth server
+   forces a re-partition of the unit interval (8 -> 16 partitions),
+   which the paper stresses moves no existing load by itself.
+
+     dune exec examples/elastic_provisioning.exe *)
+
+module Id = Sharedfs.Server_id
+
+let () =
+  let family = Hashlib.Hash_family.create ~seed:9 in
+  let anu = Placement.Anu.create ~family ~servers:(List.init 3 Id.of_int) () in
+  let map = Placement.Anu.region_map anu in
+  let file_sets = List.init 600 (Printf.sprintf "fs-%03d") in
+
+  let snapshot label =
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun name ->
+        let id = Placement.Anu.locate anu name in
+        Hashtbl.replace counts id
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+      file_sets;
+    Format.printf "%-22s partitions=%-3d " label
+      (Placement.Region_map.partitions map);
+    List.iter
+      (fun id ->
+        Format.printf "srv%d:%-4d" (Id.to_int id)
+          (Option.value ~default:0 (Hashtbl.find_opt counts id)))
+      (Placement.Region_map.servers map);
+    Format.printf "@.";
+    List.map (fun n -> (n, Placement.Anu.locate anu n)) file_sets
+  in
+
+  let before = snapshot "3 servers" in
+
+  Placement.Anu.server_added anu (Id.of_int 3);
+  let after4 = snapshot "+ server 3" in
+  let moved =
+    Placement.Policy.diff_assignments ~before ~after:after4 |> List.length
+  in
+  Format.printf "  -> %d of %d file sets moved (newcomer's share)@.@." moved
+    (List.length file_sets);
+
+  (* The fifth server needs p(5)=16 > 8 partitions: re-partition. *)
+  Placement.Anu.server_added anu (Id.of_int 4);
+  let after5 = snapshot "+ server 4 (repartition)" in
+  let moved =
+    Placement.Policy.diff_assignments ~before:after4 ~after:after5
+    |> List.length
+  in
+  Format.printf "  -> %d of %d file sets moved@.@." moved (List.length file_sets);
+
+  (* Decommission a server: survivors scale up proportionally; only
+     the departing server's sets re-hash. *)
+  Placement.Anu.server_failed anu (Id.of_int 1);
+  let after_dec = snapshot "- server 1" in
+  let moves = Placement.Policy.diff_assignments ~before:after5 ~after:after_dec in
+  let from_decommissioned =
+    List.filter (fun (_, src, _) -> Id.to_int src = 1) moves
+  in
+  Format.printf
+    "  -> %d file sets moved, %d of them from the decommissioned server@."
+    (List.length moves)
+    (List.length from_decommissioned);
+
+  match Placement.Region_map.check_invariants map with
+  | [] -> Format.printf "@.region-map invariants hold throughout.@."
+  | violations ->
+    Format.printf "@.INVARIANT VIOLATIONS:@.%s@."
+      (String.concat "\n" violations)

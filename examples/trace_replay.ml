@@ -1,0 +1,83 @@
+(* Trace files and the file-system substrate.
+
+   Generates a DFSTrace-like workload, saves it in the text trace
+   format, loads it back, replays it through the simulator, and then
+   demonstrates the shared-disk substrate directly: metadata tables
+   that flush through the shared disk when a file set moves, and lock
+   state that travels with the set.
+
+     dune exec examples/trace_replay.exe *)
+
+let () =
+  (* 1. Generate, save, reload. *)
+  let trace =
+    Workload.Dfs_like.generate
+      { Workload.Dfs_like.default_config with Workload.Dfs_like.requests = 10_000 }
+  in
+  let path = Filename.temp_file "shdisk" ".trace" in
+  Workload.Trace_io.save trace ~path;
+  let reloaded = Workload.Trace_io.load ~path in
+  Sys.remove path;
+  Format.printf "trace round-trip: %d records, duration %.0f s, %d file sets@."
+    (Workload.Trace.length reloaded)
+    (Workload.Trace.duration reloaded)
+    (List.length (Workload.Trace.file_sets reloaded));
+
+  (* 2. Replay under ANU. *)
+  let result =
+    Experiments.Runner.run Experiments.Scenario.default
+      (Experiments.Scenario.Anu Placement.Anu.default_config)
+      ~trace:reloaded ()
+  in
+  Format.printf "replayed: %s@.@." (Experiments.Report.summary_line result);
+
+  (* 3. The metadata substrate, hands on: a file-set table is dirtied
+     by writes, flushed to the shared disk by the releasing server and
+     loaded by the acquiring one. *)
+  let catalog = Sharedfs.File_set.Catalog.create [ "projects"; "scratch" ] in
+  let fs = Sharedfs.File_set.Catalog.get catalog "projects" in
+  let disk = Sharedfs.Shared_disk.create () in
+  let store = Sharedfs.Metadata_store.create ~file_set:fs in
+  List.iter
+    (fun (op, path_hash) ->
+      ignore
+        (Sharedfs.Metadata_store.apply store ~time:1.0
+           { Sharedfs.Request.op; file_set = "projects"; path_hash; client = 1 }))
+    [
+      (Sharedfs.Request.Create, 101);
+      (Sharedfs.Request.Rename, 2002);
+      (Sharedfs.Request.Set_attr, 30003);
+    ];
+  Format.printf
+    "metadata store: %d records, %d dirty (%d bytes) after three writes@."
+    (Sharedfs.Metadata_store.record_count store)
+    (Sharedfs.Metadata_store.dirty_count store)
+    (Sharedfs.Metadata_store.dirty_bytes store);
+  let flush_time = Sharedfs.Metadata_store.flush store disk in
+  let store', load_time = Sharedfs.Metadata_store.load ~file_set:fs disk in
+  Format.printf
+    "flushed in %.4f s (simulated), reloaded %d records in %.4f s; disk saw \
+     %d writes / %d reads@."
+    flush_time
+    (Sharedfs.Metadata_store.record_count store')
+    load_time
+    (Sharedfs.Shared_disk.blocks_written disk)
+    (Sharedfs.Shared_disk.blocks_read disk);
+
+  (* 4. Locks travel with the file set. *)
+  let lm_src = Sharedfs.Lock_manager.create () in
+  let key = { Sharedfs.Lock_manager.file_set = "projects"; ino = 101 } in
+  ignore
+    (Sharedfs.Lock_manager.acquire lm_src ~key ~client:1
+       ~mode:Sharedfs.Lock_manager.Shared);
+  ignore
+    (Sharedfs.Lock_manager.acquire lm_src ~key ~client:2
+       ~mode:Sharedfs.Lock_manager.Exclusive);
+  let state = Sharedfs.Lock_manager.export lm_src ~file_set:"projects" in
+  let lm_dst = Sharedfs.Lock_manager.create () in
+  Sharedfs.Lock_manager.import lm_dst state;
+  Format.printf
+    "lock state exported with the file set: %d holder(s), %d queued at the \
+     acquiring server@."
+    (List.length (Sharedfs.Lock_manager.holders lm_dst ~key))
+    (List.length (Sharedfs.Lock_manager.queued lm_dst ~key))

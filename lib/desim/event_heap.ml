@@ -1,0 +1,96 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 64
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+
+let is_empty h = h.len = 0
+
+let size h = h.len
+
+let clear h =
+  h.arr <- [||];
+  h.len <- 0
+
+(* [before a b] decides heap order: earlier time wins, ties broken by
+   insertion sequence so same-time events pop in FIFO order. *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.arr in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then initial_capacity else cap * 2 in
+    let narr = Array.make ncap entry in
+    Array.blit h.arr 0 narr 0 h.len;
+    h.arr <- narr
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.arr.(i) h.arr.(parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < h.len && before h.arr.(left) h.arr.(!smallest) then smallest := left;
+  if right < h.len && before h.arr.(right) h.arr.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~time value =
+  if Float.is_nan time then invalid_arg "Event_heap.add: NaN time";
+  let seq = h.next_seq in
+  h.next_seq <- seq + 1;
+  let entry = { time; seq; value } in
+  grow h entry;
+  h.arr.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1);
+  seq
+
+let peek_time h = if h.len = 0 then None else Some h.arr.(0).time
+
+let peek h =
+  if h.len = 0 then None
+  else
+    let e = h.arr.(0) in
+    Some (e.time, e.seq, e.value)
+
+let pop h =
+  if h.len = 0 then raise Not_found;
+  let root = h.arr.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.arr.(0) <- h.arr.(h.len);
+    sift_down h 0
+  end;
+  (root.time, root.seq, root.value)
+
+let pop_opt h = if h.len = 0 then None else Some (pop h)
+
+let check_invariant h =
+  let ok = ref true in
+  for i = 1 to h.len - 1 do
+    let parent = (i - 1) / 2 in
+    if before h.arr.(i) h.arr.(parent) then ok := false
+  done;
+  !ok

@@ -1,0 +1,38 @@
+(** Binary min-heap of timestamped events.
+
+    The heap orders events by [(time, seq)] where [seq] is a strictly
+    increasing tie-breaker assigned at insertion.  Two events scheduled
+    for the same simulated time therefore fire in insertion order, which
+    keeps simulation runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add h ~time v] inserts [v] with priority [time] and returns the
+    sequence number assigned to the entry. *)
+val add : 'a t -> time:float -> 'a -> int
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+(** [peek_time h] is the time of the earliest event, if any. *)
+val peek_time : 'a t -> float option
+
+(** [peek h] is the earliest entry without removing it. *)
+val peek : 'a t -> (float * int * 'a) option
+
+(** [pop h] removes and returns the earliest event as
+    [(time, seq, value)].  Raises [Not_found] on an empty heap. *)
+val pop : 'a t -> float * int * 'a
+
+(** [pop_opt h] is [pop] returning [None] on an empty heap. *)
+val pop_opt : 'a t -> (float * int * 'a) option
+
+(** [clear h] removes all pending events. *)
+val clear : 'a t -> unit
+
+(** [check_invariant h] verifies the internal heap ordering; used by the
+    test suite. *)
+val check_invariant : 'a t -> bool

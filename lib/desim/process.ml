@@ -1,0 +1,55 @@
+type _ Effect.t += Wait : float -> unit Effect.t
+
+let wait d = Effect.perform (Wait d)
+
+let yield () = wait 0.0
+
+let wait_until ?(poll_interval = 0.01) pred =
+  if poll_interval <= 0.0 then
+    invalid_arg "Process.wait_until: poll_interval must be positive";
+  let rec loop () =
+    if not (pred ()) then begin
+      wait poll_interval;
+      loop ()
+    end
+  in
+  loop ()
+
+let spawn sim f =
+  Sim.internal_adjust_processes sim 1;
+  let run () =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> Sim.internal_adjust_processes sim (-1));
+        exnc =
+          (fun e ->
+            Sim.internal_adjust_processes sim (-1);
+            raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Wait d ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  if d < 0.0 then
+                    discontinue k
+                      (Invalid_argument "Process.wait: negative delay")
+                  else begin
+                    (* Suspend: the continuation resumes as a future
+                       event, interleaving with everything else at the
+                       same instant in FIFO order. *)
+                    let (_ : Sim.handle) =
+                      Sim.schedule sim ~delay:d (fun () -> continue k ())
+                    in
+                    ()
+                  end)
+            | _ -> None);
+      }
+  in
+  (* The first slice runs when the scheduler reaches the spawn point,
+     not synchronously inside [spawn]. *)
+  let (_ : Sim.handle) = Sim.schedule sim ~delay:0.0 run in
+  ()
+
+let running sim = Sim.internal_processes sim

@@ -1,0 +1,44 @@
+(** Process-oriented simulation on top of {!Sim}.
+
+    YACSIM, the toolkit behind the paper's original simulator, is
+    process-oriented: model code reads as sequential processes that
+    hold state on their stack and block for simulated time.  This
+    module recovers that style over the event kernel using OCaml 5
+    effect handlers: a process is a function executed under a handler
+    that interprets {!wait} (and friends) by capturing the
+    continuation and scheduling its resumption.
+
+    {[
+      Process.spawn sim (fun () ->
+          Process.wait 2.0;          (* block for 2 simulated seconds *)
+          do_something ();
+          Process.wait_until (fun () -> !ready);
+          finish ())
+    ]}
+
+    Processes interleave deterministically with plain scheduled events
+    (same clock, same FIFO tie-breaking).  Effects must not escape the
+    process: calling {!wait} outside {!spawn} raises
+    [Effect.Unhandled]. *)
+
+(** [spawn sim f] starts [f] as a process at the current virtual time
+    (its first slice runs when the scheduler reaches the spawn
+    event). *)
+val spawn : Sim.t -> (unit -> unit) -> unit
+
+(** [wait d] suspends the calling process for [d] simulated seconds
+    ([d >= 0]). *)
+val wait : float -> unit
+
+(** [yield ()] lets every other event scheduled for the current
+    instant run, then resumes. *)
+val yield : unit -> unit
+
+(** [wait_until pred] polls [pred] each time the clock advances past
+    pending events, resuming once it holds.  [poll_interval] is the
+    re-check period (default 0.01 simulated seconds). *)
+val wait_until : ?poll_interval:float -> (unit -> bool) -> unit
+
+(** [running sim] counts processes spawned on [sim] that have not yet
+    finished. *)
+val running : Sim.t -> int

@@ -1,0 +1,83 @@
+type event = { action : unit -> unit; mutable live : bool }
+
+type t = {
+  mutable clock : float;
+  heap : event Event_heap.t;
+  mutable fired : int;
+  mutable live_count : int;
+  mutable processes : int;
+}
+
+type handle = event
+
+exception Past_event of { now : float; requested : float }
+
+let create () =
+  {
+    clock = 0.0;
+    heap = Event_heap.create ();
+    fired = 0;
+    live_count = 0;
+    processes = 0;
+  }
+
+let now t = t.clock
+
+let pending t = t.live_count
+
+let schedule_at t ~time f =
+  if time < t.clock then raise (Past_event { now = t.clock; requested = time });
+  let ev = { action = f; live = true } in
+  let (_ : int) = Event_heap.add t.heap ~time ev in
+  t.live_count <- t.live_count + 1;
+  ev
+
+let schedule t ~delay f = schedule_at t ~time:(t.clock +. delay) f
+
+let cancel t ev =
+  if ev.live then begin
+    ev.live <- false;
+    t.live_count <- t.live_count - 1
+  end
+
+let cancelled _t ev = not ev.live
+
+(* Drop cancelled entries sitting at the head so that peeking reports
+   the time of the next event that will actually fire. *)
+let rec purge_dead t =
+  match Event_heap.peek t.heap with
+  | Some (_, _, ev) when not ev.live ->
+    let (_ : float * int * event) = Event_heap.pop t.heap in
+    purge_dead t
+  | Some _ | None -> ()
+
+let step t =
+  purge_dead t;
+  match Event_heap.pop_opt t.heap with
+  | None -> false
+  | Some (time, _seq, ev) ->
+    ev.live <- false;
+    t.live_count <- t.live_count - 1;
+    t.clock <- time;
+    t.fired <- t.fired + 1;
+    ev.action ();
+    true
+
+let run t = while step t do () done
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    purge_dead t;
+    match Event_heap.peek_time t.heap with
+    | Some next when next <= time ->
+      if not (step t) then continue := false
+    | Some _ | None -> continue := false
+  done;
+  if time > t.clock then t.clock <- time
+
+let events_fired t = t.fired
+
+let internal_adjust_processes t delta = t.processes <- t.processes + delta
+
+let internal_processes t = t.processes

@@ -1,0 +1,63 @@
+(** Discrete-event simulation engine.
+
+    A {!t} holds a virtual clock and a pending-event queue.  Events are
+    closures scheduled at absolute or relative virtual times; running the
+    simulation pops events in time order (FIFO among equal times) and
+    executes them, advancing the clock.  This is the OCaml substitute for
+    the YACSIM toolkit used by the paper's original evaluation. *)
+
+type t
+
+(** Handle to a scheduled event, usable with {!cancel}. *)
+type handle
+
+exception Past_event of { now : float; requested : float }
+
+(** [create ()] makes a simulator with the clock at [0.0]. *)
+val create : unit -> t
+
+(** [now t] is the current virtual time. *)
+val now : t -> float
+
+(** [pending t] is the number of events not yet fired or cancelled. *)
+val pending : t -> int
+
+(** [schedule_at t ~time f] runs [f ()] when the clock reaches [time].
+    Raises {!Past_event} if [time] is before {!now}. *)
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+
+(** [schedule t ~delay f] is [schedule_at t ~time:(now t +. delay) f].
+    Negative delays raise {!Past_event}. *)
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+
+(** [cancel t h] prevents the event behind [h] from firing.  Cancelling
+    an already-fired or already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+
+(** [cancelled t h] reports whether [h] was cancelled (not merely
+    fired). *)
+val cancelled : t -> handle -> bool
+
+(** [step t] fires the earliest pending event.  Returns [false] when no
+    events remain. *)
+val step : t -> bool
+
+(** [run t] fires events until the queue drains. *)
+val run : t -> unit
+
+(** [run_until t ~time] fires events with timestamps [<= time], then
+    advances the clock to exactly [time]. *)
+val run_until : t -> time:float -> unit
+
+(** [events_fired t] counts events executed so far; exposed for tests
+    and progress reporting. *)
+val events_fired : t -> int
+
+(**/**)
+
+(* Bookkeeping used by {!Process}; not part of the public surface. *)
+val internal_adjust_processes : t -> int -> unit
+
+val internal_processes : t -> int
+
+(**/**)

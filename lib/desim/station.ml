@@ -1,0 +1,101 @@
+type job = { demand : float; tag : int; enqueued_at : float }
+
+type pending = { job : job; on_complete : latency:float -> unit }
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  mutable speed : float;
+  queue : pending Queue.t;
+  mutable current : (pending * Sim.handle) option;
+  mutable completed : int;
+  mutable busy_time : float;
+  mutable is_failed : bool;
+}
+
+let create sim ~name ~speed =
+  if speed <= 0.0 then invalid_arg "Station.create: speed must be positive";
+  {
+    sim;
+    name;
+    speed;
+    queue = Queue.create ();
+    current = None;
+    completed = 0;
+    busy_time = 0.0;
+    is_failed = false;
+  }
+
+let name t = t.name
+
+let speed t = t.speed
+
+let set_speed t s =
+  if s <= 0.0 then invalid_arg "Station.set_speed: speed must be positive";
+  t.speed <- s
+
+let queue_length t = Queue.length t.queue
+
+let in_service t = Option.is_some t.current
+
+let backlog_demand t =
+  let waiting = Queue.fold (fun acc p -> acc +. p.job.demand) 0.0 t.queue in
+  match t.current with
+  | None -> waiting
+  | Some (p, _) -> waiting +. p.job.demand
+
+let completed t = t.completed
+
+let busy_time t = t.busy_time
+
+let utilization t ~until =
+  if until <= 0.0 then 0.0 else t.busy_time /. until
+
+let failed t = t.is_failed
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.current <- None
+  | Some p ->
+    let service = p.job.demand /. t.speed in
+    let handle = Sim.schedule t.sim ~delay:service (fun () -> finish t p service) in
+    t.current <- Some (p, handle)
+
+and finish t p service =
+  t.completed <- t.completed + 1;
+  t.busy_time <- t.busy_time +. service;
+  t.current <- None;
+  let latency = Sim.now t.sim -. p.job.enqueued_at in
+  p.on_complete ~latency;
+  if not t.is_failed then start_next t
+
+let submit t ~demand ~tag ~on_complete =
+  if demand <= 0.0 then invalid_arg "Station.submit: demand must be positive";
+  if t.is_failed then failwith (t.name ^ ": submit to failed station");
+  let p =
+    { job = { demand; tag; enqueued_at = Sim.now t.sim }; on_complete }
+  in
+  Queue.add p t.queue;
+  if Option.is_none t.current then start_next t
+
+let fail t =
+  if t.is_failed then []
+  else begin
+    t.is_failed <- true;
+    let head =
+      match t.current with
+      | None -> []
+      | Some (p, handle) ->
+        Sim.cancel t.sim handle;
+        t.current <- None;
+        [ p.job ]
+    in
+    let rest = Queue.fold (fun acc p -> p.job :: acc) [] t.queue in
+    Queue.clear t.queue;
+    head @ List.rev rest
+  end
+
+let recover t =
+  t.is_failed <- false;
+  Queue.clear t.queue;
+  t.current <- None

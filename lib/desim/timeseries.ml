@@ -1,0 +1,53 @@
+type point = { bucket_start : float; mean : float; count : int; max : float }
+
+type t = {
+  interval : float;
+  mutable current_index : int;
+  mutable sum : float;
+  mutable count : int;
+  mutable max : float;
+  mutable closed : point list; (* reverse order *)
+}
+
+let create ~interval =
+  if interval <= 0.0 then
+    invalid_arg "Timeseries.create: interval must be positive";
+  { interval; current_index = 0; sum = 0.0; count = 0; max = 0.0; closed = [] }
+
+let interval t = t.interval
+
+let close_current t =
+  let mean = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count in
+  let point =
+    {
+      bucket_start = float_of_int t.current_index *. t.interval;
+      mean;
+      count = t.count;
+      max = (if t.count = 0 then 0.0 else t.max);
+    }
+  in
+  t.closed <- point :: t.closed;
+  t.current_index <- t.current_index + 1;
+  t.sum <- 0.0;
+  t.count <- 0;
+  t.max <- 0.0
+
+let bucket_of t time = int_of_float (Float.floor (time /. t.interval))
+
+let observe t ~time value =
+  let idx = bucket_of t time in
+  if idx < t.current_index then
+    invalid_arg "Timeseries.observe: observation before current bucket";
+  while t.current_index < idx do
+    close_current t
+  done;
+  t.sum <- t.sum +. value;
+  t.count <- t.count + 1;
+  if value > t.max then t.max <- value
+
+let finish t ~until =
+  let last = bucket_of t until in
+  while t.current_index <= last do
+    close_current t
+  done;
+  List.rev t.closed

@@ -1,0 +1,32 @@
+(** Online mean/variance accumulator (Welford's algorithm).
+
+    Numerically stable single-pass moments, used wherever the simulator
+    needs running statistics without retaining samples. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+(** [mean t] is [0.0] when empty. *)
+val mean : t -> float
+
+(** [variance t] is the population variance; [0.0] for fewer than two
+    samples. *)
+val variance : t -> float
+
+(** [std_dev t] is [sqrt (variance t)]. *)
+val std_dev : t -> float
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    sample streams (Chan's parallel update). *)
+val merge : t -> t -> t
+
+val reset : t -> unit

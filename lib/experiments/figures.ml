@@ -1,0 +1,260 @@
+type figure = {
+  id : string;
+  title : string;
+  description : string;
+  results : Runner.result list;
+}
+
+let dfs_trace ~quick =
+  let cfg = Workload.Dfs_like.default_config in
+  let cfg =
+    if quick then { cfg with Workload.Dfs_like.requests = cfg.requests / 10 }
+    else cfg
+  in
+  Workload.Dfs_like.generate cfg
+
+let synthetic_trace ~quick =
+  let cfg = Workload.Synthetic.default_config in
+  let cfg =
+    if quick then
+      {
+        cfg with
+        Workload.Synthetic.requests = cfg.requests / 10;
+        file_sets = cfg.file_sets / 5;
+      }
+    else cfg
+  in
+  Workload.Synthetic.generate cfg
+
+let anu_spec = Scenario.Anu Placement.Anu.default_config
+
+let four_policies = [ Scenario.Simple_random; Round_robin; Prescient; anu_spec ]
+
+let run_all ~trace specs =
+  List.map (fun spec -> Runner.run Scenario.default spec ~trace ()) specs
+
+let fig6 ?(quick = false) () =
+  let trace = dfs_trace ~quick in
+  {
+    id = "fig6";
+    title = "Server latency for DFSTrace workloads";
+    description =
+      "Per-server latency over one hour, five servers (speeds 1,3,5,7,9), \
+       under the four placement policies.";
+    results = run_all ~trace four_policies;
+  }
+
+let fig7 ?(quick = false) () =
+  let trace = dfs_trace ~quick in
+  {
+    id = "fig7";
+    title = "Dynamic Prescient vs. ANU Randomization (DFSTrace)";
+    description =
+      "Close-up of the two adaptive policies on the Figure 6 workload: \
+       prescient starts balanced, ANU converges within ~3 sample periods.";
+    results = run_all ~trace [ Scenario.Prescient; anu_spec ];
+  }
+
+let fig8 ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  {
+    id = "fig8";
+    title = "Server latency for synthetic workload";
+    description =
+      "500 file sets with cubic weight skew, 100k requests over 10,000 s, \
+       under the four placement policies.";
+    results = run_all ~trace four_policies;
+  }
+
+let fig9 ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  {
+    id = "fig9";
+    title = "Prescient vs. ANU Randomization (synthetic)";
+    description =
+      "Close-up on the synthetic workload; the least powerful server ends \
+       with no load under ANU, one small file set under prescient.";
+    results = run_all ~trace [ Scenario.Prescient; anu_spec ];
+  }
+
+let fig10 ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  let specs =
+    [
+      Scenario.anu_with Placement.Heuristics.none ~name:"anu-no-heuristics";
+      Scenario.anu_with Placement.Heuristics.all_three ~name:"anu-all-three";
+    ]
+  in
+  {
+    id = "fig10";
+    title = "The over-tuning problem - before and after";
+    description =
+      "ANU without heuristics cycles the weakest server between zero and \
+       high latency; thresholding + top-off + divergent tuning stabilize \
+       it.";
+    results = run_all ~trace specs;
+  }
+
+let fig11 ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  let specs =
+    [
+      Scenario.anu_with Placement.Heuristics.threshold_only
+        ~name:"anu-threshold";
+      Scenario.anu_with Placement.Heuristics.top_off_only ~name:"anu-top-off";
+      Scenario.anu_with Placement.Heuristics.divergent_only
+        ~name:"anu-divergent";
+    ]
+  in
+  {
+    id = "fig11";
+    title = "The three techniques to solve over-tuning";
+    description =
+      "Each heuristic alone: thresholding stabilizes but cannot handle \
+       extreme server heterogeneity; top-off is the single most effective; \
+       divergent converges most slowly.";
+    results = run_all ~trace specs;
+  }
+
+let ablation_interval ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  let results =
+    List.map
+      (fun interval ->
+        let scenario =
+          {
+            Scenario.default with
+            Scenario.label = Printf.sprintf "interval-%.0fs" interval;
+            reconfig_interval = interval;
+          }
+        in
+        Runner.run scenario anu_spec ~trace ())
+      [ 30.0; 60.0; 120.0; 240.0; 480.0 ]
+  in
+  {
+    id = "ablation-interval";
+    title = "Reconfiguration interval sweep (ANU)";
+    description =
+      "The paper found two minutes to balance over-tuning against \
+       responsiveness; shorter intervals over-tune, longer ones react \
+       slowly.";
+    results;
+  }
+
+let ablation_average ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  let spec_of m name =
+    Scenario.Anu
+      { Placement.Anu.default_config with averaging = m; name }
+  in
+  {
+    id = "ablation-average";
+    title = "Averaging method: weighted mean vs median (ANU)";
+    description =
+      "The paper reports the system is robust to the choice of average; \
+       both methods should converge to comparable balance.";
+    results =
+      run_all ~trace
+        [
+          spec_of Placement.Average.Weighted_mean "anu-mean";
+          spec_of Placement.Average.Median "anu-median";
+        ];
+  }
+
+let ablation_threshold ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  let spec_of t =
+    Scenario.anu_with
+      {
+        Placement.Heuristics.all_three with
+        Placement.Heuristics.threshold = Some t;
+      }
+      ~name:(Printf.sprintf "anu-t%.2f" t)
+  in
+  {
+    id = "ablation-threshold";
+    title = "Threshold parameter sweep (ANU)";
+    description =
+      "Fairly large thresholds are needed to cope with workload \
+       heterogeneity; small ones re-introduce tuning churn.";
+    results = run_all ~trace (List.map spec_of [ 0.1; 0.25; 0.5; 1.0 ]);
+  }
+
+let temporal_shift ?(quick = false) () =
+  let cfg = Workload.Shifting.default_config in
+  let cfg =
+    if quick then
+      { cfg with Workload.Shifting.requests = cfg.Workload.Shifting.requests / 10 }
+    else cfg
+  in
+  let trace = Workload.Shifting.generate cfg in
+  {
+    id = "temporal-shift";
+    title = "Temporal heterogeneity: a wandering hotspot (extension)";
+    description =
+      "70% of the load concentrates on a hot group of file sets that \
+       relocates every 10 minutes.  Static policies are at best right for \
+       one phase; prescient anticipates each shift; ANU follows it one \
+       reconfiguration behind.";
+    results = run_all ~trace four_policies;
+  }
+
+let decentralized ?(quick = false) () =
+  let trace = synthetic_trace ~quick in
+  {
+    id = "decentralized";
+    title = "Centralized delegate vs pair-wise gossip (extension)";
+    description =
+      "The paper's future-work variant: servers rescale their regions in \
+       deterministic pair-wise exchanges with no delegate and no global \
+       average.  Convergence is slower (information diffuses one pair per \
+       round) but balance approaches the centralized result.";
+    results =
+      run_all ~trace
+        [
+          Scenario.Anu Placement.Anu.default_config;
+          Scenario.Gossip Placement.Gossip.default_config;
+        ];
+  }
+
+let failure_recovery ?(quick = false) () =
+  let trace = dfs_trace ~quick in
+  let events =
+    [
+      { Runner.at = 1500.0; action = Runner.Fail 3 };
+      { Runner.at = 2400.0; action = Runner.Recover 3 };
+    ]
+  in
+  let results =
+    [ Runner.run Scenario.default anu_spec ~trace ~events () ]
+  in
+  {
+    id = "failure-recovery";
+    title = "Failure and recovery under ANU (extension)";
+    description =
+      "Server 3 (speed 7) fails at minute 25 and recovers at minute 40; \
+       survivors scale up proportionally, only the failed server's file \
+       sets move, and the recovered server re-enters through a free \
+       partition.";
+    results;
+  }
+
+let registry =
+  [
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("ablation-interval", ablation_interval);
+    ("ablation-average", ablation_average);
+    ("ablation-threshold", ablation_threshold);
+    ("temporal-shift", temporal_shift);
+    ("decentralized", decentralized);
+    ("failure-recovery", failure_recovery);
+  ]
+
+let all_ids = List.map fst registry
+
+let by_id id = List.assoc_opt id registry

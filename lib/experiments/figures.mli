@@ -1,0 +1,71 @@
+(** One constructor per figure of the paper's evaluation (Section 7).
+
+    Figures 1–5 of the paper are architecture diagrams; the evaluation
+    figures are 6–11 and each has a function here that runs the
+    simulations behind it and returns the plotted series.  [quick]
+    scales the workloads down (~10x fewer requests) for tests; the
+    bench harness runs full size. *)
+
+type figure = {
+  id : string;
+  title : string;
+  description : string;
+  results : Runner.result list;
+}
+
+(** Figure 6: per-server latency over one hour of DFSTrace-like
+    workload under simple randomization, round-robin, dynamic
+    prescient and ANU randomization; five servers of speeds
+    1, 3, 5, 7, 9. *)
+val fig6 : ?quick:bool -> unit -> figure
+
+(** Figure 7: close-up of prescient vs ANU on the Figure 6 workload. *)
+val fig7 : ?quick:bool -> unit -> figure
+
+(** Figure 8: the four policies on the synthetic workload (500 file
+    sets, 100k requests, cubic weight skew). *)
+val fig8 : ?quick:bool -> unit -> figure
+
+(** Figure 9: close-up of prescient vs ANU on the synthetic
+    workload. *)
+val fig9 : ?quick:bool -> unit -> figure
+
+(** Figure 10: the over-tuning problem — ANU with no heuristics
+    (cyclic thrash on the weakest server) versus all three
+    heuristics. *)
+val fig10 : ?quick:bool -> unit -> figure
+
+(** Figure 11: decomposition — thresholding only, top-off only,
+    divergent only. *)
+val fig11 : ?quick:bool -> unit -> figure
+
+(** Ablation: reconfiguration interval sweep (the paper settled on two
+    minutes as the over-tuning/responsiveness balance). *)
+val ablation_interval : ?quick:bool -> unit -> figure
+
+(** Ablation: weighted-mean vs median averaging (the paper reports
+    robustness to the choice). *)
+val ablation_average : ?quick:bool -> unit -> figure
+
+(** Ablation: threshold parameter sweep. *)
+val ablation_threshold : ?quick:bool -> unit -> figure
+
+(** Extension experiment: temporal heterogeneity — the hotspot group
+    of file sets relocates every phase; adaptive policies must keep
+    re-placing (an advantage the paper claims but does not isolate). *)
+val temporal_shift : ?quick:bool -> unit -> figure
+
+(** Extension experiment (the paper's future work, Section 5):
+    centralized delegate vs fully decentralized pair-wise gossip
+    rescaling. *)
+val decentralized : ?quick:bool -> unit -> figure
+
+(** Extension experiment: failure and recovery under ANU — a fast
+    server fails mid-run and recovers later; load locality is
+    preserved (moves stay near-minimal). *)
+val failure_recovery : ?quick:bool -> unit -> figure
+
+val all_ids : string list
+
+(** [by_id id] looks an experiment up by identifier ("fig6" ...). *)
+val by_id : string -> (?quick:bool -> unit -> figure) option

@@ -1,0 +1,37 @@
+(** The paper's Section 2 motivation, measured.
+
+    "Imbalance in file metadata servers adversely affects overall
+    system performance, because clients acquire metadata prior to
+    data.  Clients blocked on metadata may leave the high bandwidth
+    SAN underutilized."
+
+    This experiment attaches a client data path to the metadata
+    simulation: every [Open_file] in the trace, once its metadata
+    request completes, launches a bulk data transfer on the SAN whose
+    size is derived deterministically from the request.  Comparing a
+    static placement against ANU then shows the knock-on effect:
+    identical offered data work, but the imbalanced cluster starts
+    transfers late and the SAN idles. *)
+
+type result = {
+  policy_name : string;
+  mean_open_latency : float;  (** seconds, metadata path only *)
+  san_utilization : float;  (** within the trace hour *)
+  data_bytes_in_window : int;  (** transferred before the trace ends *)
+  data_bytes_total : int;  (** transferred eventually *)
+}
+
+(** [run scenario spec ~trace ~san_bandwidth] replays the trace with
+    the data path attached. *)
+val run :
+  Scenario.t ->
+  Scenario.policy_spec ->
+  trace:Workload.Trace.t ->
+  san_bandwidth:float ->
+  result
+
+(** [experiment ?quick ()] runs round-robin vs ANU on the
+    DFSTrace-like workload and returns both results (static first). *)
+val experiment : ?quick:bool -> unit -> result list
+
+val pp_result : Format.formatter -> result -> unit

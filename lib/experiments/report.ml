@@ -1,0 +1,119 @@
+let ms v = v *. 1000.0
+
+let summary_line (r : Runner.result) =
+  let from_ = r.Runner.duration /. 3.0 in
+  Printf.sprintf
+    "%-18s mean %7.1f ms  p95 %8.1f ms  imbalance(after %4.0fs) %5.2f  moves \
+     %4d  completed %d/%d"
+    r.Runner.policy_name (ms r.Runner.overall_mean) (ms r.Runner.overall_p95)
+    from_
+    (Runner.converged_imbalance r ~from_)
+    (List.length r.Runner.moves)
+    r.Runner.completed r.Runner.submitted
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                      "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline points ~ceiling =
+  let buf = Buffer.create (List.length points * 3) in
+  List.iter
+    (fun (p : Desim.Timeseries.point) ->
+      if p.Desim.Timeseries.count = 0 then Buffer.add_string buf "."
+      else begin
+        let v = Float.min 1.0 (p.Desim.Timeseries.mean /. Float.max ceiling 1e-12) in
+        let idx = Float.min 7.0 (Float.floor (v *. 8.0)) in
+        Buffer.add_string buf spark_levels.(int_of_float idx)
+      end)
+    points;
+  Buffer.contents buf
+
+let pp_sparklines fmt (r : Runner.result) =
+  (* A shared ceiling across servers makes the panels comparable; cap
+     at the 9x-spread of service times so one runaway bucket does not
+     flatten everything else. *)
+  let ceiling =
+    List.fold_left
+      (fun acc (_, points) ->
+        List.fold_left
+          (fun acc (p : Desim.Timeseries.point) ->
+            if p.Desim.Timeseries.count > 0 then
+              Float.max acc p.Desim.Timeseries.mean
+            else acc)
+          acc points)
+      1e-12 r.Runner.server_series
+  in
+  List.iter
+    (fun (id, points) ->
+      Format.fprintf fmt "  srv%d %s@," id (sparkline points ~ceiling))
+    r.Runner.server_series;
+  Format.fprintf fmt "  (one char per bucket; full block = %.0f ms)@,"
+    (ms ceiling)
+
+let pp_result ?(max_minutes = 60.0) fmt (r : Runner.result) =
+  Format.fprintf fmt "@,-- policy: %s --@," r.Runner.policy_name;
+  let ids = List.map fst r.Runner.server_series in
+  Format.fprintf fmt "%8s" "t(min)";
+  List.iter (fun id -> Format.fprintf fmt " %9s" (Printf.sprintf "srv%d" id)) ids;
+  Format.fprintf fmt "@,";
+  let columns = List.map snd r.Runner.server_series in
+  let rows =
+    match columns with
+    | [] -> 0
+    | first :: _ -> List.length first
+  in
+  for row = 0 to rows - 1 do
+    let bucket_start =
+      match List.nth_opt (List.hd columns) row with
+      | Some p -> p.Desim.Timeseries.bucket_start
+      | None -> 0.0
+    in
+    let minute = bucket_start /. 60.0 in
+    if minute < max_minutes then begin
+      Format.fprintf fmt "%8.1f" minute;
+      List.iter
+        (fun points ->
+          match List.nth_opt points row with
+          | Some p -> Format.fprintf fmt " %9.1f" (ms p.Desim.Timeseries.mean)
+          | None -> Format.fprintf fmt " %9s" "-")
+        columns;
+      Format.fprintf fmt "@,"
+    end
+  done;
+  pp_sparklines fmt r;
+  Format.fprintf fmt "%s@," (summary_line r)
+
+let pp_figure ?max_minutes fmt (f : Figures.figure) =
+  Format.fprintf fmt "@[<v>=== %s: %s ===@,%s@," f.Figures.id f.Figures.title
+    f.Figures.description;
+  List.iter (pp_result ?max_minutes fmt) f.Figures.results;
+  Format.fprintf fmt "@]"
+
+let pp_summary fmt (f : Figures.figure) =
+  Format.fprintf fmt "@[<v>=== %s: %s ===@," f.Figures.id f.Figures.title;
+  List.iter
+    (fun r -> Format.fprintf fmt "%s@," (summary_line r))
+    f.Figures.results;
+  Format.fprintf fmt "@]"
+
+let figure_to_csv (f : Figures.figure) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "figure,policy,minute,server,mean_ms,max_ms,count\n";
+  List.iter
+    (fun (r : Runner.result) ->
+      List.iter
+        (fun (id, points) ->
+          List.iter
+            (fun (p : Desim.Timeseries.point) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s,%s,%.2f,%d,%.3f,%.3f,%d\n" f.Figures.id
+                   r.Runner.policy_name
+                   (p.Desim.Timeseries.bucket_start /. 60.0)
+                   id
+                   (ms p.Desim.Timeseries.mean)
+                   (ms p.Desim.Timeseries.max)
+                   p.Desim.Timeseries.count))
+            points)
+        r.Runner.server_series)
+    f.Figures.results;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Rendering experiment results as tables and CSV.
+
+    The text rendering mirrors the paper's plots: one table per policy
+    with a row per time bucket and a column per server, latencies in
+    milliseconds, followed by a summary block (overall mean/p95,
+    post-convergence imbalance, number of file-set moves). *)
+
+(** [pp_figure ?max_minutes fmt figure] renders every result in the
+    figure.  [max_minutes] caps the table rows (default 60, the
+    paper's x-axis); summary statistics always cover the full run. *)
+val pp_figure : ?max_minutes:float -> Format.formatter -> Figures.figure -> unit
+
+(** [pp_summary fmt figure] renders only the per-policy summary
+    lines. *)
+val pp_summary : Format.formatter -> Figures.figure -> unit
+
+(** [figure_to_csv figure] emits
+    [figure,policy,minute,server,mean_ms,max_ms,count] rows. *)
+val figure_to_csv : Figures.figure -> string
+
+(** [sparkline points ~ceiling] renders one character per bucket
+    (eight levels, dot for empty buckets), scaled to [ceiling]. *)
+val sparkline : Desim.Timeseries.point list -> ceiling:float -> string
+
+(** [summary_line result] is a one-line digest used by tests and the
+    CLI. *)
+val summary_line : Runner.result -> string

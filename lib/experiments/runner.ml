@@ -1,0 +1,236 @@
+module Id = Sharedfs.Server_id
+
+type event_action =
+  | Fail of int
+  | Recover of int
+  | Add of int * float
+  | Set_speed of int * float
+  | Delegate_crash
+
+type event = { at : float; action : event_action }
+
+type result = {
+  label : string;
+  policy_name : string;
+  duration : float;
+  server_series : (int * Desim.Timeseries.point list) list;
+  per_server_mean : (int * float) list;
+  per_server_requests : (int * int) list;
+  utilizations : (int * float) list;
+  overall_mean : float;
+  overall_p95 : float;
+  overall_max : float;
+  submitted : int;
+  completed : int;
+  moves : Sharedfs.Cluster.move_record list;
+  reconfig_rounds : int;
+}
+
+(* Apply the policy's current addressing to the cluster: diff against
+   what the cluster believes and issue the moves. *)
+let reconcile cluster policy names =
+  List.iter
+    (fun name ->
+      let want = policy.Placement.Policy.locate name in
+      match Sharedfs.Cluster.owner cluster name with
+      | Some have when Id.equal have want -> ()
+      | Some _ | None -> Sharedfs.Cluster.move cluster ~file_set:name ~dst:want)
+    names
+
+let run scenario spec ~trace ?(events = []) ?on_sim_created
+    ?on_request_complete () =
+  let sim = Desim.Sim.create () in
+  Option.iter (fun f -> f sim) on_sim_created;
+  let disk = Sharedfs.Shared_disk.create () in
+  let names = Workload.Trace.file_sets trace in
+  let catalog = Sharedfs.File_set.Catalog.create names in
+  let servers =
+    List.map (fun (id, s) -> (Id.of_int id, s)) scenario.Scenario.servers
+  in
+  let cluster =
+    Sharedfs.Cluster.create sim ~disk ~catalog
+      ~move_config:scenario.Scenario.move_config
+      ?cache_config:scenario.Scenario.cache_config
+      ~series_interval:scenario.Scenario.series_interval ~servers ()
+  in
+  let policy = Scenario.make_policy spec ~scenario ~file_sets:names in
+  let duration = Workload.Trace.duration trace in
+  let interval = scenario.Scenario.reconfig_interval in
+  let latencies = Desim.Stat.Sample.create () in
+  let completed = ref 0 in
+  let reconfig_rounds = ref 0 in
+  (* Time-zero delegate round: no latencies yet, but the prescient
+     oracle sees the first interval and starts balanced. *)
+  policy.Placement.Policy.rebalance
+    {
+      Placement.Policy.time = 0.0;
+      reports = [];
+      future_demand = Workload.Trace.window_demand trace ~lo:0.0 ~hi:interval;
+    };
+  Sharedfs.Cluster.assign_initial cluster
+    (Placement.Policy.assignment_of policy names);
+  (* Schedule every arrival. *)
+  Array.iter
+    (fun r ->
+      let (_ : Desim.Sim.handle) =
+        Desim.Sim.schedule_at sim ~time:r.Workload.Trace.time (fun () ->
+            Sharedfs.Cluster.submit cluster ~base_demand:r.Workload.Trace.demand
+              r.Workload.Trace.request ~on_complete:(fun ~latency ->
+                incr completed;
+                Desim.Stat.Sample.add latencies latency;
+                Option.iter (fun f -> f r ~latency) on_request_complete))
+      in
+      ())
+    (Workload.Trace.records trace);
+  (* Delegate rounds at every interval boundary within the trace. *)
+  let rounds = int_of_float (Float.floor (duration /. interval)) in
+  for k = 1 to rounds do
+    let at = float_of_int k *. interval in
+    let (_ : Desim.Sim.handle) =
+      Desim.Sim.schedule_at sim ~time:at (fun () ->
+          incr reconfig_rounds;
+          let reports = Sharedfs.Delegate.collect cluster in
+          policy.Placement.Policy.rebalance
+            {
+              Placement.Policy.time = at;
+              reports;
+              future_demand =
+                Workload.Trace.window_demand trace ~lo:at ~hi:(at +. interval);
+            };
+          reconcile cluster policy names)
+    in
+    ()
+  done;
+  (* Scripted membership changes. *)
+  List.iter
+    (fun { at; action } ->
+      let (_ : Desim.Sim.handle) =
+        Desim.Sim.schedule_at sim ~time:at (fun () ->
+            match action with
+            | Fail raw ->
+              let id = Id.of_int raw in
+              (* If the failed server was the elected delegate, its
+                 reconfiguration state dies with it; the next delegate
+                 runs the same protocol from replicated state only. *)
+              let was_delegate =
+                Sharedfs.Delegate.elect
+                  ~alive:(Sharedfs.Cluster.alive_ids cluster)
+                = Some id
+              in
+              let (_ : string list) = Sharedfs.Cluster.fail_server cluster id in
+              if was_delegate then policy.Placement.Policy.delegate_crashed ();
+              policy.Placement.Policy.server_failed id;
+              reconcile cluster policy names
+            | Recover raw ->
+              let id = Id.of_int raw in
+              Sharedfs.Cluster.recover_server cluster id;
+              policy.Placement.Policy.server_added id;
+              reconcile cluster policy names
+            | Add (raw, speed) ->
+              let id = Id.of_int raw in
+              Sharedfs.Cluster.add_server cluster id ~speed;
+              policy.Placement.Policy.server_added id;
+              reconcile cluster policy names
+            | Set_speed (raw, speed) ->
+              Sharedfs.Server.set_speed
+                (Sharedfs.Cluster.server cluster (Id.of_int raw))
+                speed
+            | Delegate_crash -> policy.Placement.Policy.delegate_crashed ())
+      in
+      ())
+    events;
+  (* Run to completion: every queued request eventually drains. *)
+  Desim.Sim.run sim;
+  let end_time = Float.max duration (Desim.Sim.now sim) in
+  let all_servers = Sharedfs.Cluster.servers cluster in
+  let server_series =
+    List.map
+      (fun s ->
+        ( Id.to_int (Sharedfs.Server.id s),
+          Sharedfs.Server.series s ~until:duration ))
+      all_servers
+  in
+  let per_server_mean =
+    List.map
+      (fun (id, points) ->
+        let pairs =
+          List.map
+            (fun p ->
+              (p.Desim.Timeseries.mean, float_of_int p.Desim.Timeseries.count))
+            points
+        in
+        (id, Desim.Stat.weighted_mean pairs))
+      server_series
+  in
+  let per_server_requests =
+    List.map
+      (fun (id, points) ->
+        ( id,
+          List.fold_left
+            (fun acc p -> acc + p.Desim.Timeseries.count)
+            0 points ))
+      server_series
+  in
+  let utilizations =
+    List.map
+      (fun s ->
+        ( Id.to_int (Sharedfs.Server.id s),
+          Sharedfs.Server.utilization s ~until:end_time ))
+      all_servers
+  in
+  {
+    label = scenario.Scenario.label;
+    policy_name = policy.Placement.Policy.name;
+    duration;
+    server_series;
+    per_server_mean;
+    per_server_requests;
+    utilizations;
+    overall_mean = Desim.Stat.Sample.mean latencies;
+    overall_p95 =
+      (if Desim.Stat.Sample.count latencies = 0 then 0.0
+       else Desim.Stat.Sample.percentile latencies 95.0);
+    overall_max =
+      (if Desim.Stat.Sample.count latencies = 0 then 0.0
+       else Desim.Stat.Sample.max_value latencies);
+    submitted = Workload.Trace.length trace;
+    completed = !completed;
+    moves = Sharedfs.Cluster.moves cluster;
+    reconfig_rounds = !reconfig_rounds;
+  }
+
+let buckets_after result ~from_ =
+  List.map
+    (fun (id, points) ->
+      ( id,
+        List.filter
+          (fun p -> p.Desim.Timeseries.bucket_start >= from_)
+          points ))
+    result.server_series
+
+let converged_imbalance result ~from_ =
+  let per_server =
+    buckets_after result ~from_
+    |> List.filter_map (fun (_, points) ->
+           let pairs =
+             List.map
+               (fun p ->
+                 ( p.Desim.Timeseries.mean,
+                   float_of_int p.Desim.Timeseries.count ))
+               points
+           in
+           let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+           if total > 0.0 then Some (Desim.Stat.weighted_mean pairs) else None)
+  in
+  Desim.Stat.imbalance per_server
+
+let mean_after result ~from_ =
+  let pairs =
+    buckets_after result ~from_
+    |> List.concat_map (fun (_, points) ->
+           List.map
+             (fun p ->
+               (p.Desim.Timeseries.mean, float_of_int p.Desim.Timeseries.count))
+             points)
+  in
+  Desim.Stat.weighted_mean pairs

@@ -1,0 +1,71 @@
+(** The simulation runner: wires a trace, a cluster and a policy
+    together and collects everything the figures plot.
+
+    One run builds a fresh simulator, schedules every trace arrival,
+    installs the policy's initial placement at time zero (prescient
+    gets its oracle look-ahead first, so it starts balanced; adaptive
+    policies start uniform), and fires a delegate round every
+    reconfiguration interval: collect per-server latency windows, let
+    the policy re-address, diff the assignment, and have the cluster
+    execute the moves (with their flush/init costs and cold caches).
+    Scripted membership events inject failures, recoveries, additions
+    and speed changes at given times. *)
+
+type event_action =
+  | Fail of int
+  | Recover of int
+  | Add of int * float  (** id, speed *)
+  | Set_speed of int * float
+  | Delegate_crash
+      (** lose whatever state the elected delegate held; placement
+          policies must keep working (ANU drops its divergent-tuning
+          history, everything else is replicated) *)
+
+type event = { at : float; action : event_action }
+
+type result = {
+  label : string;
+  policy_name : string;
+  duration : float;
+  server_series : (int * Desim.Timeseries.point list) list;
+  (** per server: bucketed mean latency over time (seconds) *)
+  per_server_mean : (int * float) list;
+  per_server_requests : (int * int) list;
+  utilizations : (int * float) list;
+  overall_mean : float;
+  overall_p95 : float;
+  overall_max : float;
+  submitted : int;
+  completed : int;
+  moves : Sharedfs.Cluster.move_record list;
+  reconfig_rounds : int;
+}
+
+(** [run scenario spec ~trace ?events ()] executes one full
+    simulation and returns the measurements.  The simulation runs past
+    the trace end until every queued request drains.
+
+    [on_sim_created] runs right after the simulator is built, letting
+    callers attach additional model components (e.g. a {!Sharedfs.San}
+    data path) to the same virtual clock.  [on_request_complete] fires
+    for every completed metadata request with its originating trace
+    record and client-perceived latency. *)
+val run :
+  Scenario.t ->
+  Scenario.policy_spec ->
+  trace:Workload.Trace.t ->
+  ?events:event list ->
+  ?on_sim_created:(Desim.Sim.t -> unit) ->
+  ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
+  unit ->
+  result
+
+(** [converged_imbalance result ~from_] is max/mean of per-server mean
+    latency computed over buckets starting at time [from_] and
+    restricted to servers that served requests there — the "how
+    balanced did it get after convergence" summary. *)
+val converged_imbalance : result -> from_:float -> float
+
+(** [mean_after result ~from_] is the request-weighted mean latency
+    over buckets from [from_] on. *)
+val mean_after : result -> from_:float -> float

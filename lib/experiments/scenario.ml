@@ -1,0 +1,75 @@
+type policy_spec =
+  | Simple_random
+  | Round_robin
+  | Prescient
+  | Anu of Placement.Anu.config
+  | Gossip of Placement.Gossip.config
+  | Consistent_hash
+
+type t = {
+  label : string;
+  servers : (int * float) list;
+  reconfig_interval : float;
+  series_interval : float;
+  hash_seed : int;
+  move_config : Sharedfs.Cluster.move_config;
+  cache_config : Sharedfs.Cache.config option;
+}
+
+let paper_servers = [ (0, 1.0); (1, 3.0); (2, 5.0); (3, 7.0); (4, 9.0) ]
+
+let default =
+  {
+    label = "paper-cluster";
+    servers = paper_servers;
+    reconfig_interval = 120.0;
+    series_interval = 120.0;
+    hash_seed = 5;
+    move_config = Sharedfs.Cluster.default_move_config;
+    cache_config = None;
+  }
+
+let policy_name = function
+  | Simple_random -> "simple-random"
+  | Round_robin -> "round-robin"
+  | Prescient -> "prescient"
+  | Anu cfg -> cfg.Placement.Anu.name
+  | Gossip cfg -> cfg.Placement.Gossip.name
+  | Consistent_hash -> "consistent-hash"
+
+let make_policy spec ~scenario ~file_sets =
+  let server_ids =
+    List.map (fun (id, _) -> Sharedfs.Server_id.of_int id) scenario.servers
+  in
+  match spec with
+  | Simple_random ->
+    let family = Hashlib.Hash_family.create ~seed:scenario.hash_seed in
+    Placement.Simple_random.policy
+      (Placement.Simple_random.create ~family ~servers:server_ids)
+  | Round_robin ->
+    Placement.Round_robin.policy
+      (Placement.Round_robin.create ~servers:server_ids ~file_sets)
+  | Prescient ->
+    let speeds =
+      List.map
+        (fun (id, s) -> (Sharedfs.Server_id.of_int id, s))
+        scenario.servers
+    in
+    Placement.Prescient.policy
+      (Placement.Prescient.create ~speeds
+         ~stability_bias:Placement.Prescient.default_stability_bias)
+  | Anu cfg ->
+    let family = Hashlib.Hash_family.create ~seed:scenario.hash_seed in
+    Placement.Anu.policy
+      (Placement.Anu.create ~config:cfg ~family ~servers:server_ids ())
+  | Gossip cfg ->
+    let family = Hashlib.Hash_family.create ~seed:scenario.hash_seed in
+    Placement.Gossip.policy
+      (Placement.Gossip.create ~config:cfg ~family ~servers:server_ids ())
+  | Consistent_hash ->
+    let family = Hashlib.Hash_family.create ~seed:scenario.hash_seed in
+    Placement.Consistent_hash.policy
+      (Placement.Consistent_hash.create ~family ~servers:server_ids ())
+
+let anu_with heuristics ~name =
+  Anu { Placement.Anu.default_config with heuristics; name }

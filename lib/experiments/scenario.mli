@@ -1,0 +1,45 @@
+(** Experiment configuration: which cluster, which policy, which
+    knobs.
+
+    The paper's evaluation cluster is five servers of processing
+    powers 1, 3, 5, 7 and 9 (a request that takes [t] on server 0
+    takes [t/9] on server 4), reconfigured every two minutes, with
+    file-set moves costing five to ten seconds. *)
+
+type policy_spec =
+  | Simple_random
+  | Round_robin
+  | Prescient
+  | Anu of Placement.Anu.config
+  | Gossip of Placement.Gossip.config
+      (** the decentralized pair-wise variant (paper future work) *)
+  | Consistent_hash
+      (** ring with virtual nodes — the untunable P2P baseline *)
+
+type t = {
+  label : string;
+  servers : (int * float) list;  (** (id, speed) *)
+  reconfig_interval : float;  (** seconds between delegate rounds *)
+  series_interval : float;  (** plot bucket width in seconds *)
+  hash_seed : int;
+  move_config : Sharedfs.Cluster.move_config;
+  cache_config : Sharedfs.Cache.config option;
+}
+
+(** The paper's five heterogeneous servers: speeds 1, 3, 5, 7, 9. *)
+val paper_servers : (int * float) list
+
+(** Two-minute reconfiguration over {!paper_servers}. *)
+val default : t
+
+val policy_name : policy_spec -> string
+
+(** [make_policy spec ~scenario ~file_sets] instantiates a policy for
+    a run.  Only [Prescient] receives the server speeds; only
+    [Round_robin] needs the catalog up front. *)
+val make_policy :
+  policy_spec -> scenario:t -> file_sets:string list -> Placement.Policy.t
+
+(** [anu_with heuristics ~name] is an ANU spec with the given
+    over-tuning heuristics — the knob behind Figures 10 and 11. *)
+val anu_with : Placement.Heuristics.t -> name:string -> policy_spec

@@ -1,0 +1,17 @@
+(** Automated verification of the paper's headline claims.
+
+    Each check re-runs the relevant experiment and tests the *shape*
+    assertion the paper makes (who wins, by roughly what factor, which
+    behavioral signature appears), printing PASS/FAIL.  This is the
+    regression harness for the reproduction itself: if a refactor
+    breaks a result the paper depends on, [run] says so. *)
+
+type check = { name : string; ok : bool; detail : string }
+
+(** [run ?quick ()] executes every claim check.  [quick] uses the
+    scaled-down workloads (same checks, looser factors). *)
+val run : ?quick:bool -> unit -> check list
+
+val all_passed : check list -> bool
+
+val pp : Format.formatter -> check list -> unit

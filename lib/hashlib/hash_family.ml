@@ -1,0 +1,22 @@
+type t = { seed : int; base : int64 }
+
+let create ~seed = { seed; base = Mix64.mix (Int64.of_int seed) }
+
+let seed t = t.seed
+
+let word t ~round name =
+  if round < 0 then invalid_arg "Hash_family.point: negative round";
+  let tweak = Mix64.combine t.base (Int64.of_int round) in
+  Mix64.combine tweak (Mix64.fnv1a name)
+
+let point t ~round name = Mix64.to_unit_float (word t ~round name)
+
+let fallback_index t name ~n =
+  if n <= 0 then invalid_arg "Hash_family.fallback_index: n must be positive";
+  (* Reserved round -1 equivalent: tweak with a distinct constant so the
+     fallback is independent of every interval-mapping round. *)
+  let tweak = Mix64.combine t.base 0x5FA11BACCL in
+  let w = Mix64.combine tweak (Mix64.fnv1a name) in
+  let f = Mix64.to_unit_float w in
+  let idx = int_of_float (f *. float_of_int n) in
+  if idx >= n then n - 1 else idx

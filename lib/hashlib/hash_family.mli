@@ -1,0 +1,30 @@
+(** An agreed-upon family of independent hash functions.
+
+    ANU randomization re-hashes a file-set name with successive members
+    of a hash family until the image lands in some server's mapped
+    region.  Family members are indexed by a {e round} number; every
+    node in the cluster derives the same family from the same family
+    seed, so addressing requires no shared state beyond the seed and
+    the region map.
+
+    Member [round] of the family maps strings to the unit interval by
+    hashing the string together with a per-round tweak and applying a
+    full-avalanche finalizer.  Distinct rounds behave as independent
+    uniform hashes for the purposes of the placement algorithm. *)
+
+type t
+
+(** [create ~seed] fixes the family.  Equal seeds give identical
+    families on every node. *)
+val create : seed:int -> t
+
+val seed : t -> int
+
+(** [point t ~round name] is member [round]'s image of [name] in
+    [\[0, 1)].  [round] must be non-negative. *)
+val point : t -> round:int -> string -> float
+
+(** [fallback_index t name ~n] is the direct-to-server hash used when
+    all re-hash rounds miss: a uniform index in [\[0, n)].  [n] must be
+    positive. *)
+val fallback_index : t -> string -> n:int -> int

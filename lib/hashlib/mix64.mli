@@ -1,0 +1,19 @@
+(** 64-bit avalanche mixing and string hashing primitives.
+
+    These are the building blocks of {!Hash_family}: a finalizing mixer
+    with full avalanche (every input bit flips every output bit with
+    probability ~1/2) and an FNV-1a string hash.  All functions are pure
+    and deterministic across runs and platforms. *)
+
+(** [mix x] applies the SplitMix64/Murmur3 finalizer. *)
+val mix : int64 -> int64
+
+(** [fnv1a s] is the 64-bit FNV-1a hash of [s]. *)
+val fnv1a : string -> int64
+
+(** [combine a b] mixes two words into one. *)
+val combine : int64 -> int64 -> int64
+
+(** [to_unit_float x] maps a 64-bit word to [\[0, 1)] using its top 53
+    bits. *)
+val to_unit_float : int64 -> float

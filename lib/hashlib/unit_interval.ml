@@ -1,0 +1,156 @@
+let eps = 1e-9
+
+type seg = { lo : float; hi : float }
+
+let seg lo hi =
+  if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
+    invalid_arg
+      (Printf.sprintf "Unit_interval.seg: bad segment [%g, %g)" lo hi);
+  { lo; hi }
+
+let seg_measure s = s.hi -. s.lo
+
+let seg_contains s x = s.lo <= x && x < s.hi
+
+module Set = struct
+  (* Invariant: segments sorted by [lo], pairwise separated by more than
+     [eps], each of measure > [eps]. *)
+  type t = seg list
+
+  let empty = []
+
+  let full = [ { lo = 0.0; hi = 1.0 } ]
+
+  (* Merge a sorted-by-lo list into the canonical form: drop slivers,
+     coalesce segments that overlap or nearly touch. *)
+  let canonicalize sorted =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | s :: rest when seg_measure s <= eps -> go acc rest
+      | s :: rest -> (
+        match acc with
+        | prev :: acc' when s.lo <= prev.hi +. eps ->
+          let merged = { lo = prev.lo; hi = Float.max prev.hi s.hi } in
+          go (merged :: acc') rest
+        | _ -> go (s :: acc) rest)
+    in
+    go [] sorted
+
+  let of_list segs =
+    let sorted =
+      List.sort (fun a b -> Float.compare a.lo b.lo) segs
+    in
+    canonicalize sorted
+
+  let of_seg s = of_list [ s ]
+
+  let segments t = t
+
+  let is_empty t = t = []
+
+  let measure t = List.fold_left (fun acc s -> acc +. seg_measure s) 0.0 t
+
+  let mem t x = List.exists (fun s -> seg_contains s x) t
+
+  let union a b = of_list (a @ b)
+
+  let inter a b =
+    (* Both lists are sorted; a simple merge scan suffices at the sizes
+       used here (tens of segments). *)
+    let rec go acc a b =
+      match (a, b) with
+      | [], _ | _, [] -> List.rev acc
+      | sa :: ra, sb :: rb ->
+        let lo = Float.max sa.lo sb.lo in
+        let hi = Float.min sa.hi sb.hi in
+        let acc = if hi -. lo > eps then { lo; hi } :: acc else acc in
+        if sa.hi <= sb.hi then go acc ra b else go acc a rb
+    in
+    canonicalize (go [] a b)
+
+  let diff a b =
+    (* Subtract each segment of [b] from the running remainder of [a]. *)
+    let subtract_seg segs cut =
+      List.concat_map
+        (fun s ->
+          if cut.hi <= s.lo || cut.lo >= s.hi then [ s ]
+          else begin
+            let left =
+              if cut.lo -. s.lo > eps then [ { lo = s.lo; hi = cut.lo } ]
+              else []
+            in
+            let right =
+              if s.hi -. cut.hi > eps then [ { lo = cut.hi; hi = s.hi } ]
+              else []
+            in
+            left @ right
+          end)
+        segs
+    in
+    canonicalize (List.fold_left subtract_seg a b)
+
+  let complement t = diff full t
+
+  let restrict t s = inter t (of_seg s)
+
+  let take_low t m =
+    if m <= eps then (empty, t)
+    else begin
+      let rec go taken remaining need = function
+        | [] -> (List.rev taken, List.rev remaining)
+        | s :: rest ->
+          if need <= eps then go taken (s :: remaining) 0.0 rest
+          else begin
+            let w = seg_measure s in
+            if w <= need +. eps then go (s :: taken) remaining (need -. w) rest
+            else begin
+              let cut = s.lo +. need in
+              go
+                ({ lo = s.lo; hi = cut } :: taken)
+                ({ lo = cut; hi = s.hi } :: remaining)
+                0.0 rest
+            end
+          end
+      in
+      let taken, remaining = go [] [] m t in
+      (canonicalize taken, canonicalize remaining)
+    end
+
+  let take_high t m =
+    if m <= eps then (empty, t)
+    else begin
+      let rec go taken remaining need = function
+        | [] -> (taken, remaining)
+        | s :: rest ->
+          if need <= eps then go taken (s :: remaining) 0.0 rest
+          else begin
+            let w = seg_measure s in
+            if w <= need +. eps then go (s :: taken) remaining (need -. w) rest
+            else begin
+              let cut = s.hi -. need in
+              go
+                ({ lo = cut; hi = s.hi } :: taken)
+                ({ lo = s.lo; hi = cut } :: remaining)
+                0.0 rest
+            end
+          end
+      in
+      (* Scan from the high end. *)
+      let taken, remaining = go [] [] m (List.rev t) in
+      (canonicalize taken, canonicalize remaining)
+    end
+
+  let equal a b =
+    measure (diff a b) <= eps && measure (diff b a) <= eps
+
+  let disjoint a b = measure (inter a b) <= eps
+
+  let pp fmt t =
+    Format.fprintf fmt "{";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Format.fprintf fmt ", ";
+        Format.fprintf fmt "[%.6f, %.6f)" s.lo s.hi)
+      t;
+    Format.fprintf fmt "}"
+end

@@ -1,0 +1,81 @@
+(** Segment sets over the unit interval.
+
+    A {!Set.t} is a finite union of disjoint half-open segments
+    [\[lo, hi)] inside [\[0, 1\]], kept sorted and merged.  ANU
+    randomization represents every server's {e mapped region} as such a
+    set and the cluster's free space as the complement of their union.
+
+    Coordinates are floats; segments shorter than {!eps} are treated as
+    empty and coordinate comparisons use an {!eps} tolerance so that
+    repeated carving does not accumulate sliver segments. *)
+
+(** Comparison tolerance for coordinates and measures. *)
+val eps : float
+
+type seg = { lo : float; hi : float }
+
+(** [seg lo hi] validates [0 <= lo <= hi <= 1] and returns the
+    segment.  Raises [Invalid_argument] otherwise. *)
+val seg : float -> float -> seg
+
+val seg_measure : seg -> float
+
+(** [seg_contains s x] tests [lo <= x < hi]. *)
+val seg_contains : seg -> float -> bool
+
+module Set : sig
+  type t
+
+  val empty : t
+
+  (** [full] is the whole unit interval. *)
+  val full : t
+
+  (** [of_seg s] is the one-segment set (empty for a degenerate
+      segment). *)
+  val of_seg : seg -> t
+
+  (** [of_list segs] normalizes arbitrary (possibly overlapping,
+      unsorted) segments into a set. *)
+  val of_list : seg list -> t
+
+  (** [segments t] returns the disjoint sorted segments. *)
+  val segments : t -> seg list
+
+  val is_empty : t -> bool
+
+  val measure : t -> float
+
+  (** [mem t x] tests point membership. *)
+  val mem : t -> float -> bool
+
+  val union : t -> t -> t
+
+  (** [inter a b] is the overlap of [a] and [b]. *)
+  val inter : t -> t -> t
+
+  (** [diff a b] removes [b] from [a]. *)
+  val diff : t -> t -> t
+
+  (** [complement t] is [diff full t]. *)
+  val complement : t -> t
+
+  (** [restrict t s] is [inter t (of_seg s)]. *)
+  val restrict : t -> seg -> t
+
+  (** [take_low t m] splits [t] into [(taken, rest)] where [taken] is
+      the lowest-coordinate subset of measure [min m (measure t)]. *)
+  val take_low : t -> float -> t * t
+
+  (** [take_high t m] is the symmetric split from the high end. *)
+  val take_high : t -> float -> t * t
+
+  (** [equal a b] compares up to {!eps} slivers. *)
+  val equal : t -> t -> bool
+
+  (** [disjoint a b] holds when the overlap has measure below
+      {!eps}. *)
+  val disjoint : t -> t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,166 @@
+module Id = Sharedfs.Server_id
+
+type config = {
+  name : string;
+  hash_rounds : int;
+  heuristics : Heuristics.t;
+  averaging : Average.method_;
+  growth_cap : float;
+  shrink_floor : float;
+  min_region : float;
+}
+
+let default_config =
+  {
+    name = "anu";
+    hash_rounds = 20;
+    heuristics = Heuristics.all_three;
+    (* The paper used a request-weighted mean and reports the median
+       works as well.  Under heavy overload the weighted mean can be
+       dominated by the overloaded server's own completions, raising
+       the threshold band above its latency and blocking the shrink;
+       the median has no such failure mode, so it is the default here
+       (the ablation-average bench compares the two). *)
+    averaging = Average.Median;
+    growth_cap = 2.0;
+    shrink_floor = 0.25;
+    min_region = 0.05;
+  }
+
+type t = {
+  cfg : config;
+  family : Hashlib.Hash_family.t;
+  map : Region_map.t;
+  mutable alive : Id.t array; (* sorted, for the direct fallback hash *)
+  previous_latency : (Id.t, float) Hashtbl.t;
+  mutable reconfigurations : int;
+}
+
+let create ?(config = default_config) ~family ~servers () =
+  if config.hash_rounds < 1 then
+    invalid_arg "Anu.create: hash_rounds must be >= 1";
+  if config.growth_cap <= 1.0 then
+    invalid_arg "Anu.create: growth_cap must exceed 1";
+  if config.shrink_floor <= 0.0 || config.shrink_floor >= 1.0 then
+    invalid_arg "Anu.create: shrink_floor must lie in (0, 1)";
+  let sorted = List.sort_uniq Id.compare servers in
+  {
+    cfg = config;
+    family;
+    map = Region_map.create ~servers:sorted;
+    alive = Array.of_list sorted;
+    previous_latency = Hashtbl.create 16;
+    reconfigurations = 0;
+  }
+
+let config t = t.cfg
+
+let region_map t = t.map
+
+let reconfigurations t = t.reconfigurations
+
+let locate_with_rounds t name =
+  let rec probe round =
+    if round >= t.cfg.hash_rounds then
+      (* Bounded rounds exhausted (probability 2^-rounds): hash the
+         name straight to an alive server. *)
+      let idx =
+        Hashlib.Hash_family.fallback_index t.family name
+          ~n:(Array.length t.alive)
+      in
+      (t.alive.(idx), t.cfg.hash_rounds + 1)
+    else
+      let x = Hashlib.Hash_family.point t.family ~round name in
+      match Region_map.locate t.map x with
+      | Some id -> (id, round + 1)
+      | None -> probe (round + 1)
+  in
+  if Array.length t.alive = 0 then failwith "Anu.locate: no alive servers";
+  probe 0
+
+let locate t name = fst (locate_with_rounds t name)
+
+let rebalance t feedback =
+  let reports = feedback.Policy.reports in
+  let average = Average.compute t.cfg.averaging reports in
+  if average > 0.0 then begin
+    let width = Region_map.width t.map in
+    let changed = ref false in
+    let target_of (report : Sharedfs.Delegate.server_report) =
+      let id = report.Sharedfs.Delegate.server in
+      let latency = report.report.Sharedfs.Server.mean_latency in
+      let m = Region_map.measure_of t.map id in
+      let previous = Hashtbl.find_opt t.previous_latency id in
+      match
+        Heuristics.decide t.cfg.heuristics ~average ~latency ~previous
+      with
+      | Heuristics.Hold -> (id, m)
+      | Heuristics.Shrink ->
+        let factor = Float.max t.cfg.shrink_floor (average /. latency) in
+        changed := true;
+        (id, m *. factor)
+      | Heuristics.Grow ->
+        let factor =
+          if latency <= 0.0 then t.cfg.growth_cap
+          else Float.min t.cfg.growth_cap (average /. latency)
+        in
+        changed := true;
+        (* A region at (or near) zero cannot grow multiplicatively;
+           grant it a fraction of a partition to re-enter service. *)
+        (id, Float.max (m *. factor) (t.cfg.min_region *. width))
+    in
+    let targets = List.map target_of reports in
+    if !changed then begin
+      Region_map.scale t.map ~targets;
+      t.reconfigurations <- t.reconfigurations + 1
+    end;
+    List.iter
+      (fun (r : Sharedfs.Delegate.server_report) ->
+        Hashtbl.replace t.previous_latency r.Sharedfs.Delegate.server
+          r.report.Sharedfs.Server.mean_latency)
+      reports
+  end
+
+let server_failed t id =
+  Region_map.remove_server t.map id;
+  (* Survivors scale up proportionally to restore half occupancy; only
+     the dead server's file sets re-hash. *)
+  let survivors = Region_map.measures t.map in
+  (match survivors with
+  | [] -> ()
+  | _ ->
+    let total = List.fold_left (fun acc (_, m) -> acc +. m) 0.0 survivors in
+    let targets =
+      if total > Hashlib.Unit_interval.eps then survivors
+      else List.map (fun (sid, _) -> (sid, 1.0)) survivors
+    in
+    Region_map.scale t.map ~targets);
+  t.alive <-
+    Array.of_list
+      (List.filter (fun sid -> not (Id.equal sid id)) (Array.to_list t.alive));
+  Hashtbl.remove t.previous_latency id;
+  t.reconfigurations <- t.reconfigurations + 1
+
+let server_added t id =
+  let n_new = List.length (Region_map.servers t.map) + 1 in
+  Region_map.add_server t.map id ~target:(1.0 /. (2.0 *. float_of_int n_new));
+  t.alive <-
+    Array.of_list (List.sort Id.compare (id :: Array.to_list t.alive));
+  t.reconfigurations <- t.reconfigurations + 1
+
+(* The delegate holds the only non-replicated state: the previous
+   latencies used by divergent tuning.  When it crashes, the next
+   elected delegate starts without them and the divergent policy is
+   simply not evaluated for one interval, exactly as the paper
+   prescribes. *)
+let forget_history t = Hashtbl.reset t.previous_latency
+
+let policy t =
+  {
+    Policy.name = t.cfg.name;
+    locate = locate t;
+    rebalance = rebalance t;
+    server_failed = server_failed t;
+    server_added = server_added t;
+    delegate_crashed = (fun () -> forget_history t);
+  }

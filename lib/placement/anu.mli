@@ -1,0 +1,81 @@
+(** Adaptive, non-uniform (ANU) randomization — the paper's load
+    placement algorithm.
+
+    File-set names are hashed into the unit interval with successive
+    members of a {!Hashlib.Hash_family}; the first round whose image
+    lands inside some server's mapped region assigns the set to that
+    server.  Because mapped regions cover exactly half the interval,
+    assignment takes two probes on average and the probability of
+    exhausting [hash_rounds] rounds is [2^-rounds], in which case a
+    direct hash to an alive server is used.  Addressing is therefore
+    deterministic, requires no I/O and no per-file-set shared state —
+    only the region map (state proportional to the number of servers)
+    is replicated.
+
+    Every reconfiguration interval the delegate feeds latency reports
+    to {!rebalance}: servers above the system average have their
+    regions scaled down proportionally to [average / latency], servers
+    below are scaled up (capped), all filtered through the
+    {!Heuristics} and renormalized to half occupancy.  Failures scale
+    survivors up proportionally; recoveries/additions shrink everyone
+    to make room — both move the minimum measure, which is what
+    preserves server caches across reconfigurations. *)
+
+type config = {
+  name : string;
+  hash_rounds : int;  (** re-hash attempts before direct fallback *)
+  heuristics : Heuristics.t;
+  averaging : Average.method_;
+  growth_cap : float;
+  (** largest per-interval multiplicative region growth *)
+  shrink_floor : float;
+  (** smallest per-interval multiplicative region factor *)
+  min_region : float;
+  (** measure granted when growing a region away from zero, as a
+      fraction of the partition width *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  family:Hashlib.Hash_family.t ->
+  servers:Sharedfs.Server_id.t list ->
+  unit ->
+  t
+
+val config : t -> config
+
+(** [locate t name] is the current owner of [name]. *)
+val locate : t -> string -> Sharedfs.Server_id.t
+
+(** [locate_with_rounds t name] also reports how many hash probes the
+    assignment took ([hash_rounds + 1] signals the direct fallback). *)
+val locate_with_rounds : t -> string -> Sharedfs.Server_id.t * int
+
+val rebalance : t -> Policy.feedback -> unit
+
+val server_failed : t -> Sharedfs.Server_id.t -> unit
+
+(** [server_added t id] handles recovery and commissioning alike (the
+    paper treats them identically): the newcomer receives the uniform
+    share [1/(2n)] carved from a free partition. *)
+val server_added : t -> Sharedfs.Server_id.t -> unit
+
+(** [region_map t] exposes the live geometry, for tests, reports and
+    the examples. *)
+val region_map : t -> Region_map.t
+
+(** [reconfigurations t] counts {!rebalance} calls that changed at
+    least one region. *)
+val reconfigurations : t -> int
+
+(** [forget_history t] models a delegate crash: the latency history
+    behind divergent tuning is lost; the next round runs the same
+    stateless protocol and simply skips the divergence test once. *)
+val forget_history : t -> unit
+
+(** [policy t] packs the instance behind the generic interface. *)
+val policy : t -> Policy.t

@@ -1,0 +1,10 @@
+type method_ = Weighted_mean | Median
+
+let method_name = function
+  | Weighted_mean -> "weighted-mean"
+  | Median -> "median"
+
+let compute m reports =
+  match m with
+  | Weighted_mean -> Sharedfs.Delegate.mean_latency reports
+  | Median -> Sharedfs.Delegate.median_latency reports

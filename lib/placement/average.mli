@@ -1,0 +1,16 @@
+(** System-wide "average" latency, as computed by the delegate.
+
+    The paper uses a weighted average of current latencies by default
+    and reports that the algorithm is robust to the choice (they also
+    ran a median); both are provided and compared in the ablation
+    bench.  In a perfectly balanced system mean, median and mode of
+    server latency coincide. *)
+
+type method_ = Weighted_mean | Median
+
+val method_name : method_ -> string
+
+(** [compute m reports] over the alive servers' interval reports.
+    [Weighted_mean] weights each server's mean latency by its request
+    count; servers that served nothing influence neither method. *)
+val compute : method_ -> Sharedfs.Delegate.server_report list -> float

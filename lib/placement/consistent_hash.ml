@@ -1,0 +1,76 @@
+module Id = Sharedfs.Server_id
+
+type t = {
+  family : Hashlib.Hash_family.t;
+  vnodes : int;
+  mutable members : Id.t list;
+  mutable ring : (float * Id.t) array; (* sorted by point *)
+}
+
+let ring_points family ~vnodes members =
+  let points =
+    List.concat_map
+      (fun id ->
+        List.init vnodes (fun k ->
+            ( Hashlib.Hash_family.point family ~round:k
+                (Printf.sprintf "vnode-%d" (Id.to_int id)),
+              id )))
+      members
+  in
+  let arr = Array.of_list points in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) arr;
+  arr
+
+let rebuild t = t.ring <- ring_points t.family ~vnodes:t.vnodes t.members
+
+let create ~family ~servers ?(vnodes = 64) () =
+  if vnodes <= 0 then
+    invalid_arg "Consistent_hash.create: vnodes must be positive";
+  let members = List.sort_uniq Id.compare servers in
+  (match members with
+  | [] -> invalid_arg "Consistent_hash.create: no servers"
+  | _ -> ());
+  let t = { family; vnodes; members; ring = [||] } in
+  rebuild t;
+  t
+
+let vnodes t = t.vnodes
+
+let locate t name =
+  let n = Array.length t.ring in
+  if n = 0 then failwith "Consistent_hash.locate: empty ring";
+  let x = Hashlib.Hash_family.point t.family ~round:0 name in
+  (* First ring point >= x, wrapping to the start of the ring. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if fst t.ring.(mid) < x then go (mid + 1) hi else go lo mid
+    end
+  in
+  let idx = go 0 n in
+  snd t.ring.(if idx = n then 0 else idx)
+
+let add_server t id =
+  if List.exists (Id.equal id) t.members then
+    invalid_arg "Consistent_hash.add_server: already a member";
+  t.members <- List.sort Id.compare (id :: t.members);
+  rebuild t
+
+let remove_server t id =
+  let survivors = List.filter (fun m -> not (Id.equal m id)) t.members in
+  (match survivors with
+  | [] -> invalid_arg "Consistent_hash.remove_server: last member"
+  | _ -> ());
+  t.members <- survivors;
+  rebuild t
+
+let policy t =
+  {
+    Policy.name = "consistent-hash";
+    locate = locate t;
+    rebalance = (fun _ -> ());
+    server_failed = (fun id -> remove_server t id);
+    server_added = (fun id -> add_server t id);
+    delegate_crashed = (fun () -> ());
+  }

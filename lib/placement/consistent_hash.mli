@@ -1,0 +1,33 @@
+(** Consistent hashing baseline (the P2P directory schemes of the
+    related work).
+
+    Chord/Pastry-style placement: servers project [vnodes] virtual
+    points onto a ring; a file set belongs to the first virtual node
+    clockwise of its hash.  Like ANU it moves little data on
+    membership change (only the arcs adjacent to the affected node),
+    and like simple randomization it is {e not tunable}: it cannot
+    respond to server or workload heterogeneity, which is exactly the
+    gap the paper's Section 3 points at ("these systems are not
+    sensitive to object workload heterogeneity").  The
+    membership-movement study quantifies both sides. *)
+
+type t
+
+(** [create ~family ~servers ?vnodes ()] builds the ring; [vnodes]
+    virtual points per server (default 64). *)
+val create :
+  family:Hashlib.Hash_family.t ->
+  servers:Sharedfs.Server_id.t list ->
+  ?vnodes:int ->
+  unit ->
+  t
+
+val vnodes : t -> int
+
+val locate : t -> string -> Sharedfs.Server_id.t
+
+val add_server : t -> Sharedfs.Server_id.t -> unit
+
+val remove_server : t -> Sharedfs.Server_id.t -> unit
+
+val policy : t -> Policy.t

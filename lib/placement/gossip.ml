@@ -1,0 +1,169 @@
+module Id = Sharedfs.Server_id
+
+type config = {
+  name : string;
+  hash_rounds : int;
+  pair_threshold : float;
+  transfer_gain : float;
+  pair_seed : int;
+}
+
+(* A pair only sees each other's latency, not the system median, so
+   the action threshold must be tighter than the centralized dead band
+   (2x rather than 3x) or convergence stalls whenever the overloaded
+   server happens to be paired with a middling one. *)
+let default_config =
+  {
+    name = "anu-gossip";
+    hash_rounds = 20;
+    pair_threshold = 1.0;
+    transfer_gain = 0.5;
+    pair_seed = 17;
+  }
+
+type t = {
+  cfg : config;
+  family : Hashlib.Hash_family.t;
+  map : Region_map.t;
+  mutable alive : Id.t array;
+  mutable round : int;
+  mutable exchanges : int;
+}
+
+let create ?(config = default_config) ~family ~servers () =
+  if config.hash_rounds < 1 then
+    invalid_arg "Gossip.create: hash_rounds must be >= 1";
+  if config.pair_threshold < 0.0 then
+    invalid_arg "Gossip.create: pair_threshold must be non-negative";
+  if config.transfer_gain <= 0.0 || config.transfer_gain > 1.0 then
+    invalid_arg "Gossip.create: transfer_gain must lie in (0, 1]";
+  let sorted = List.sort_uniq Id.compare servers in
+  {
+    cfg = config;
+    family;
+    map = Region_map.create ~servers:sorted;
+    alive = Array.of_list sorted;
+    round = 0;
+    exchanges = 0;
+  }
+
+let config t = t.cfg
+
+let region_map t = t.map
+
+let exchanges t = t.exchanges
+
+let locate t name =
+  if Array.length t.alive = 0 then failwith "Gossip.locate: no alive servers";
+  let rec probe round =
+    if round >= t.cfg.hash_rounds then
+      t.alive.(Hashlib.Hash_family.fallback_index t.family name
+                 ~n:(Array.length t.alive))
+    else
+      let x = Hashlib.Hash_family.point t.family ~round name in
+      match Region_map.locate t.map x with
+      | Some id -> id
+      | None -> probe (round + 1)
+  in
+  probe 0
+
+(* Deterministic disjoint matching for this round: every node can
+   reproduce it from (seed, round) without any coordination. *)
+let matching t =
+  let arr = Array.copy t.alive in
+  let rng = Desim.Rng.create (t.cfg.pair_seed + (t.round * 7919)) in
+  Desim.Rng.shuffle rng arr;
+  let pairs = ref [] in
+  let i = ref 0 in
+  while !i + 1 < Array.length arr do
+    pairs := (arr.(!i), arr.(!i + 1)) :: !pairs;
+    i := !i + 2
+  done;
+  !pairs
+
+let rebalance t feedback =
+  t.round <- t.round + 1;
+  let latency_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Sharedfs.Delegate.server_report) ->
+        if r.report.Sharedfs.Server.requests > 0 then
+          Hashtbl.replace tbl r.Sharedfs.Delegate.server
+            r.report.Sharedfs.Server.mean_latency
+        else Hashtbl.replace tbl r.Sharedfs.Delegate.server 0.0)
+      feedback.Policy.reports;
+    fun id -> Hashtbl.find_opt tbl id
+  in
+  let targets = ref (Region_map.measures t.map) in
+  let get id = List.assoc id !targets in
+  let set id m =
+    targets := List.map (fun (i, v) -> if Id.equal i id then (i, m) else (i, v)) !targets
+  in
+  let changed = ref false in
+  List.iter
+    (fun (a, b) ->
+      match (latency_of a, latency_of b) with
+      | Some la, Some lb when la > 0.0 || lb > 0.0 ->
+        (* Orient the pair: [hot] is the slower-responding server. *)
+        let hot, cold, lh, lc =
+          if la >= lb then (a, b, la, lb) else (b, a, lb, la)
+        in
+        if lh > (1.0 +. t.cfg.pair_threshold) *. lc then begin
+          let mh = get hot and mc = get cold in
+          (* Transfer a gain-scaled share of the hot server's measure,
+             proportional to the normalized latency gap; the pair's
+             total is conserved. *)
+          let gap = (lh -. lc) /. (lh +. lc) in
+          let delta = t.cfg.transfer_gain *. gap *. mh in
+          (* An idle partner reports zero latency and would look
+             infinitely attractive; giving it a gap-proportional chunk
+             re-creates the over-tuning cycle (it spikes, sheds, goes
+             idle, repeats).  Idle partners only get a small probe. *)
+          let delta =
+            if lc <= 0.0 then
+              Float.min delta (0.25 *. Region_map.width t.map)
+            else delta
+          in
+          if delta > Hashlib.Unit_interval.eps then begin
+            set hot (mh -. delta);
+            set cold (mc +. delta);
+            t.exchanges <- t.exchanges + 1;
+            changed := true
+          end
+        end
+      | _ -> ())
+    (matching t);
+  if !changed then Region_map.scale t.map ~targets:!targets
+
+let server_failed t id =
+  Region_map.remove_server t.map id;
+  let survivors = Region_map.measures t.map in
+  (match survivors with
+  | [] -> ()
+  | _ ->
+    let total = List.fold_left (fun acc (_, m) -> acc +. m) 0.0 survivors in
+    let targets =
+      if total > Hashlib.Unit_interval.eps then survivors
+      else List.map (fun (sid, _) -> (sid, 1.0)) survivors
+    in
+    Region_map.scale t.map ~targets);
+  t.alive <-
+    Array.of_list
+      (List.filter (fun sid -> not (Id.equal sid id)) (Array.to_list t.alive))
+
+let server_added t id =
+  let n_new = List.length (Region_map.servers t.map) + 1 in
+  Region_map.add_server t.map id ~target:(1.0 /. (2.0 *. float_of_int n_new));
+  t.alive <-
+    Array.of_list (List.sort Id.compare (id :: Array.to_list t.alive))
+
+let policy t =
+  {
+    Policy.name = t.cfg.name;
+    locate = locate t;
+    rebalance = rebalance t;
+    server_failed = server_failed t;
+    server_added = server_added t;
+    (* There is no delegate at all in the gossip variant. *)
+    delegate_crashed = (fun () -> ());
+  }

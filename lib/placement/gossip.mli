@@ -1,0 +1,61 @@
+(** Decentralized ANU: pair-wise region scaling (the paper's future
+    work, Section 5).
+
+    The only centralized step in ANU randomization is the delegate:
+    collecting latencies, computing an average, redistributing the
+    region map.  The paper proposes replacing it with "pair-wise
+    interactions in which servers scale their mapped regions in
+    peer-to-peer exchanges".  This module implements that variant:
+
+    - each reconfiguration round, alive servers are matched into
+      disjoint pairs by a deterministic seeded shuffle (every node can
+      compute the matching locally from the round number);
+    - within a pair, if one server's latency exceeds the other's by
+      more than a relative threshold, the loaded server transfers a
+      fraction of its mapped measure to its partner;
+    - the pair's total measure is conserved, so {e global} half
+      occupancy holds with no global coordination at all.
+
+    Compared to the delegate version, convergence takes more rounds
+    (information diffuses one pair at a time) but no node ever needs
+    more than one partner's latency.  The [decentralized] bench
+    experiment quantifies the gap. *)
+
+type config = {
+  name : string;
+  hash_rounds : int;
+  pair_threshold : float;
+  (** relative latency difference within a pair before any transfer *)
+  transfer_gain : float;
+  (** fraction of the imbalance corrected per exchange *)
+  pair_seed : int;  (** seeds the deterministic round matchings *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config ->
+  family:Hashlib.Hash_family.t ->
+  servers:Sharedfs.Server_id.t list ->
+  unit ->
+  t
+
+val config : t -> config
+
+val locate : t -> string -> Sharedfs.Server_id.t
+
+val rebalance : t -> Policy.feedback -> unit
+
+val server_failed : t -> Sharedfs.Server_id.t -> unit
+
+val server_added : t -> Sharedfs.Server_id.t -> unit
+
+val region_map : t -> Region_map.t
+
+(** [exchanges t] counts pair interactions that actually transferred
+    measure. *)
+val exchanges : t -> int
+
+val policy : t -> Policy.t

@@ -1,0 +1,53 @@
+type t = { threshold : float option; top_off : bool; divergent : bool }
+
+(* The paper: "fairly large values of t are necessary to cope with
+   workload heterogeneity in our experiments".  With server speeds
+   spanning 9x, pure service-time differences already spread per-server
+   latencies by 9x even in perfect balance, so the dead band must
+   absorb most of that spread or the delegate serially shuts down every
+   server slower than the fastest. *)
+let default_threshold = 2.0
+
+let none = { threshold = None; top_off = false; divergent = false }
+
+let all_three =
+  { threshold = Some default_threshold; top_off = true; divergent = true }
+
+let threshold_only =
+  { threshold = Some default_threshold; top_off = false; divergent = false }
+
+let top_off_only = { threshold = None; top_off = true; divergent = false }
+
+let divergent_only = { threshold = None; top_off = false; divergent = true }
+
+type decision = Shrink | Grow | Hold
+
+let decide t ~average ~latency ~previous =
+  let band = match t.threshold with None -> 0.0 | Some v -> v in
+  let hi = average *. (1.0 +. band) in
+  let lo = if band = 0.0 then average else average /. (1.0 +. band) in
+  let raw =
+    if latency > hi then Shrink
+    else if latency < lo then Grow
+    else Hold
+  in
+  let raw = if t.top_off && raw = Grow then Hold else raw in
+  if not t.divergent then raw
+  else
+    (* Only act on servers moving away from the average; without
+       history the policy cannot be evaluated and is ignored. *)
+    match (raw, previous) with
+    | Hold, _ | _, None -> raw
+    | Shrink, Some prev -> if latency > prev then Shrink else Hold
+    | Grow, Some prev -> if latency < prev then Grow else Hold
+
+let describe t =
+  let parts =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "threshold=%.2f") t.threshold;
+        (if t.top_off then Some "top-off" else None);
+        (if t.divergent then Some "divergent" else None);
+      ]
+  in
+  match parts with [] -> "no heuristics" | _ -> String.concat ", " parts

@@ -1,0 +1,54 @@
+(** The three anti-over-tuning heuristics.
+
+    Early versions of ANU randomization over-tuned: load placement
+    never converged because indivisible file sets and extreme server
+    heterogeneity make perfect balance unreachable, so the algorithm
+    cycled file sets between servers.  The paper's three fixes:
+
+    - {b thresholding}: tolerate latencies inside the dead band
+      [\[avg / (1+t), avg * (1+t)\]];
+    - {b top-off tuning}: only ever shrink overloaded servers —
+      underloaded servers grow implicitly when the shrunk measure is
+      redistributed to preserve half occupancy (the threshold interval
+      effectively becomes [\[0, avg * (1+t)\]]);
+    - {b divergent tuning}: scale a server only when its latency is
+      moving {e away} from the average (above and increasing, or below
+      and decreasing), so servers still converging toward equilibrium
+      after the previous change are left alone.
+
+    Divergent tuning needs the previous interval's latency, giving up
+    delegate statelessness; when no history is available (first
+    interval, delegate crash) the policy is skipped, as the paper
+    prescribes. *)
+
+type t = {
+  threshold : float option;  (** the dead-band parameter [t] *)
+  top_off : bool;
+  divergent : bool;
+}
+
+(** No heuristics: the over-tuning configuration of Figure 10(a). *)
+val none : t
+
+(** All three enabled with the default threshold: Figure 10(b). *)
+val all_three : t
+
+val threshold_only : t
+
+val top_off_only : t
+
+val divergent_only : t
+
+(** The paper reports needing "fairly large" thresholds to cope with
+    workload heterogeneity. *)
+val default_threshold : float
+
+(** What the delegate should do to one server's mapped region. *)
+type decision = Shrink | Grow | Hold
+
+(** [decide t ~average ~latency ~previous] applies the enabled
+    heuristics.  [previous] is the server's latency in the preceding
+    interval ([None] when unknown). *)
+val decide : t -> average:float -> latency:float -> previous:float option -> decision
+
+val describe : t -> string

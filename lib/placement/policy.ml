@@ -1,0 +1,37 @@
+type feedback = {
+  time : float;
+  reports : Sharedfs.Delegate.server_report list;
+  future_demand : (string * float) list;
+}
+
+type t = {
+  name : string;
+  locate : string -> Sharedfs.Server_id.t;
+  rebalance : feedback -> unit;
+  server_failed : Sharedfs.Server_id.t -> unit;
+  server_added : Sharedfs.Server_id.t -> unit;
+  delegate_crashed : unit -> unit;
+}
+
+let assignment_of t names = List.map (fun n -> (n, t.locate n)) names
+
+let diff_assignments ~before ~after =
+  let old_tbl = Hashtbl.create (List.length before) in
+  List.iter (fun (n, s) -> Hashtbl.replace old_tbl n s) before;
+  List.filter_map
+    (fun (n, s_new) ->
+      match Hashtbl.find_opt old_tbl n with
+      | Some s_old when not (Sharedfs.Server_id.equal s_old s_new) ->
+        Some (n, s_old, s_new)
+      | Some _ | None -> None)
+    after
+
+let counts_by_server assignment =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, s) ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt tbl s) in
+      Hashtbl.replace tbl s (c + 1))
+    assignment;
+  Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Sharedfs.Server_id.compare a b)

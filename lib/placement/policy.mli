@@ -1,0 +1,52 @@
+(** The load-placement policy interface.
+
+    A policy is an {e addressing authority}: given a file-set name it
+    answers which server currently owns the set.  The simulation runner
+    asks the policy to react to periodic latency feedback and to
+    membership changes, diffs the answers before and after, and has the
+    cluster execute the implied movements.  Policies never move data
+    themselves — exactly the split the paper describes between the
+    delegate's configuration decisions and the servers' shed/gain
+    protocol. *)
+
+(** Feedback handed to {!t.rebalance} once per reconfiguration
+    interval. *)
+type feedback = {
+  time : float;
+  reports : Sharedfs.Delegate.server_report list;
+  (** one per alive server, with the interval's latency window *)
+  future_demand : (string * float) list;
+  (** oracle: per file set, total service demand (speed-units x
+      seconds) arriving during the {e next} interval.  Only the
+      prescient baseline may read this; adaptive policies must ignore
+      it. *)
+}
+
+type t = {
+  name : string;
+  locate : string -> Sharedfs.Server_id.t;
+  (** current owner of a file-set name; must be deterministic between
+      mutations *)
+  rebalance : feedback -> unit;
+  server_failed : Sharedfs.Server_id.t -> unit;
+  server_added : Sharedfs.Server_id.t -> unit;
+  delegate_crashed : unit -> unit;
+  (** the elected delegate died: any state it held (e.g. the latency
+      history behind divergent tuning) is lost; the next delegate runs
+      the same protocol from the replicated region map alone.  No-op
+      for stateless policies. *)
+}
+
+(** [assignment_of t names] tabulates [locate] over a catalog. *)
+val assignment_of : t -> string list -> (string * Sharedfs.Server_id.t) list
+
+(** [diff_assignments ~before ~after] lists the file sets whose owner
+    changed, with old and new owners. *)
+val diff_assignments :
+  before:(string * Sharedfs.Server_id.t) list ->
+  after:(string * Sharedfs.Server_id.t) list ->
+  (string * Sharedfs.Server_id.t * Sharedfs.Server_id.t) list
+
+(** [counts_by_server assignment] tallies file sets per server. *)
+val counts_by_server :
+  (string * Sharedfs.Server_id.t) list -> (Sharedfs.Server_id.t * int) list

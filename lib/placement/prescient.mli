@@ -1,0 +1,62 @@
+(** Dynamic prescient placement — the upper-bound baseline.
+
+    The prescient policy knows the processing capability of every
+    server and, through the oracle in {!Policy.feedback}, the exact
+    workload each file set will generate during the {e next}
+    reconfiguration interval.  Ahead of each interval it bin-packs
+    file sets onto servers to minimize the maximum of
+    [assigned demand / server speed] (makespan on uniformly related
+    machines) using the longest-processing-time greedy rule, with a
+    preference for the current owner on near-ties so a stationary
+    workload keeps a stationary configuration, as in the paper.
+
+    Being a bin-packer it can place any file set on any server — the
+    fine-grained fitting ANU trades away for addressing and
+    scalability — so it bounds from above what any load-placement
+    system could achieve.  {!exact_assignment} provides the brute
+    force optimum for small instances; tests verify the greedy stays
+    within the classic 4/3 factor of it. *)
+
+type t
+
+val create :
+  speeds:(Sharedfs.Server_id.t * float) list -> stability_bias:float -> t
+
+(** [default_stability_bias] is the relative makespan slack within
+    which the greedy prefers not to move a file set. *)
+val default_stability_bias : float
+
+val locate : t -> string -> Sharedfs.Server_id.t
+
+(** [rebalance t feedback] recomputes the packing from
+    [feedback.future_demand].  File sets never seen before are
+    assigned on first {!locate} to the fastest server. *)
+val rebalance : t -> Policy.feedback -> unit
+
+val policy : t -> Policy.t
+
+(** [lpt_assignment ~speeds ~demands ~current] is the greedy packing
+    itself, exposed for tests: returns (name, server) pairs.
+    [current] supplies the incumbent owners used for near-tie
+    stability. *)
+val lpt_assignment :
+  speeds:(Sharedfs.Server_id.t * float) list ->
+  demands:(string * float) list ->
+  current:(string -> Sharedfs.Server_id.t option) ->
+  stability_bias:float ->
+  (string * Sharedfs.Server_id.t) list
+
+(** [exact_assignment ~speeds ~demands] enumerates all placements and
+    returns one minimizing the makespan, with its makespan.  Only for
+    tiny instances (|demands| <= ~12). *)
+val exact_assignment :
+  speeds:(Sharedfs.Server_id.t * float) list ->
+  demands:(string * float) list ->
+  (string * Sharedfs.Server_id.t) list * float
+
+(** [makespan ~speeds ~demands assignment] evaluates a placement. *)
+val makespan :
+  speeds:(Sharedfs.Server_id.t * float) list ->
+  demands:(string * float) list ->
+  (string * Sharedfs.Server_id.t) list ->
+  float

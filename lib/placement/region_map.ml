@@ -1,0 +1,391 @@
+module UI = Hashlib.Unit_interval
+module Set = UI.Set
+module Id = Sharedfs.Server_id
+
+let eps = UI.eps
+
+type t = {
+  mutable p : int;
+  mutable regions : Set.t Id.Map.t;
+  mutable index : (float * float * Id.t) array;
+  mutable index_dirty : bool;
+  mutable fallbacks : int;
+}
+
+let partition_count_for n =
+  if n < 1 then invalid_arg "Region_map.partition_count_for: n must be >= 1";
+  let rec ceil_log2 acc v = if v >= n then acc else ceil_log2 (acc + 1) (v * 2) in
+  let c = ceil_log2 0 1 in
+  1 lsl (c + 1)
+
+let width t = 1.0 /. float_of_int t.p
+
+let partition_seg t j =
+  let w = width t in
+  UI.seg (float_of_int j *. w) (float_of_int (j + 1) *. w)
+
+let servers t = List.map fst (Id.Map.bindings t.regions)
+
+let partitions t = t.p
+
+let region t id =
+  match Id.Map.find_opt id t.regions with
+  | Some r -> r
+  | None ->
+    invalid_arg (Format.asprintf "Region_map: unknown %a" Id.pp id)
+
+let measure_of t id = Set.measure (region t id)
+
+let measures t =
+  Id.Map.bindings t.regions |> List.map (fun (id, r) -> (id, Set.measure r))
+
+let mapped_union t =
+  Id.Map.fold (fun _ r acc -> Set.union acc r) t.regions Set.empty
+
+let free_set t = Set.complement (mapped_union t)
+
+let total_measure t = Set.measure (mapped_union t)
+
+let mark_dirty t = t.index_dirty <- true
+
+let rebuild_index t =
+  let segs =
+    Id.Map.fold
+      (fun id r acc ->
+        List.fold_left
+          (fun acc s -> (s.UI.lo, s.UI.hi, id) :: acc)
+          acc (Set.segments r))
+      t.regions []
+  in
+  let arr = Array.of_list segs in
+  Array.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) arr;
+  t.index <- arr;
+  t.index_dirty <- false
+
+let locate t x =
+  if t.index_dirty then rebuild_index t;
+  let arr = t.index in
+  let n = Array.length arr in
+  (* Binary search for the last segment with lo <= x. *)
+  let rec go lo hi best =
+    if lo > hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      let seg_lo, _, _ = arr.(mid) in
+      if seg_lo <= x then go (mid + 1) hi (Some mid)
+      else go lo (mid - 1) best
+    end
+  in
+  match go 0 (n - 1) None with
+  | None -> None
+  | Some i ->
+    let _, seg_hi, id = arr.(i) in
+    if x < seg_hi then Some id else None
+
+(* Per-partition portions of a region: [(j, portion, measure)] for
+   partitions where the server owns anything. *)
+let portions t r =
+  let result = ref [] in
+  for j = t.p - 1 downto 0 do
+    let portion = Set.restrict r (partition_seg t j) in
+    let m = Set.measure portion in
+    if m > eps then result := (j, portion, m) :: !result
+  done;
+  !result
+
+let is_partial t m = m > eps && m < width t -. eps
+
+let partial_partitions t id =
+  portions t (region t id)
+  |> List.filter (fun (_, _, m) -> is_partial t m)
+  |> List.length
+
+(* Release [amount] of measure from [id]'s region, partial chunks
+   first (smallest partial first so partials disappear), then whole
+   partitions from the high end. *)
+let shrink t id amount =
+  let need = ref amount in
+  while !need > eps do
+    let r = region t id in
+    let ps = portions t r in
+    if ps = [] then need := 0.0
+    else begin
+      let partials = List.filter (fun (_, _, m) -> is_partial t m) ps in
+      let _, portion, m =
+        match
+          List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) partials
+        with
+        | smallest :: _ -> smallest
+        | [] ->
+          (* No partial: release from the highest full partition. *)
+          List.nth ps (List.length ps - 1)
+      in
+      let take = Float.min !need m in
+      let taken, _ = Set.take_high portion take in
+      t.regions <- Id.Map.add id (Set.diff r taken) t.regions;
+      need := !need -. Set.measure taken;
+      if Set.is_empty taken then need := 0.0
+    end
+  done;
+  mark_dirty t
+
+(* Acquire [amount] of free measure for [id]: top off the server's own
+   partial partitions, then claim whole free partitions, then start one
+   fresh partial; grabbing shared free space is a counted fallback. *)
+let grow t id amount =
+  let need = ref amount in
+  let progress = ref true in
+  while !need > eps && !progress do
+    progress := false;
+    let r = region t id in
+    let free = free_set t in
+    let own_partial_gap =
+      portions t r
+      |> List.filter (fun (_, _, m) -> is_partial t m)
+      |> List.filter_map (fun (j, _, _) ->
+             let gap = Set.restrict free (partition_seg t j) in
+             if Set.is_empty gap then None else Some gap)
+    in
+    match own_partial_gap with
+    | gap :: _ ->
+      let take = Float.min !need (Set.measure gap) in
+      let taken, _ = Set.take_low gap take in
+      t.regions <- Id.Map.add id (Set.union r taken) t.regions;
+      need := !need -. Set.measure taken;
+      progress := not (Set.is_empty taken)
+    | [] -> begin
+      let w = width t in
+      let fully_free =
+        List.find_opt
+          (fun j ->
+            Set.measure (Set.restrict free (partition_seg t j)) >= w -. eps)
+          (List.init t.p Fun.id)
+      in
+      match fully_free with
+      | Some j when !need >= w -. eps ->
+        t.regions <-
+          Id.Map.add id (Set.union r (Set.of_seg (partition_seg t j))) t.regions;
+        need := !need -. w;
+        progress := true
+      | Some j ->
+        let taken, _ = Set.take_low (Set.of_seg (partition_seg t j)) !need in
+        t.regions <- Id.Map.add id (Set.union r taken) t.regions;
+        need := !need -. Set.measure taken;
+        progress := not (Set.is_empty taken)
+      | None ->
+        (* Fragmentation fallback: grab any free space. *)
+        let taken, _ = Set.take_low free !need in
+        if not (Set.is_empty taken) then begin
+          t.fallbacks <- t.fallbacks + 1;
+          t.regions <- Id.Map.add id (Set.union r taken) t.regions;
+          need := !need -. Set.measure taken;
+          progress := true
+        end
+    end
+  done;
+  mark_dirty t
+
+let create ~servers =
+  (match servers with
+  | [] -> invalid_arg "Region_map.create: no servers"
+  | _ -> ());
+  let sorted = List.sort_uniq Id.compare servers in
+  if List.length sorted <> List.length servers then
+    invalid_arg "Region_map.create: duplicate server ids";
+  let n = List.length sorted in
+  let p = partition_count_for n in
+  let t =
+    {
+      p;
+      regions = Id.Map.empty;
+      index = [||];
+      index_dirty = true;
+      fallbacks = 0;
+    }
+  in
+  let w = width t in
+  let target = 1.0 /. (2.0 *. float_of_int n) in
+  let cursor = ref 0 in
+  List.iter
+    (fun id ->
+      let acc = ref Set.empty in
+      let need = ref target in
+      while !need >= w -. eps do
+        acc := Set.union !acc (Set.of_seg (partition_seg t !cursor));
+        incr cursor;
+        need := !need -. w
+      done;
+      if !need > eps then begin
+        let taken, _ = Set.take_low (Set.of_seg (partition_seg t !cursor)) !need in
+        acc := Set.union !acc taken;
+        incr cursor
+      end;
+      t.regions <- Id.Map.add id !acc t.regions)
+    sorted;
+  t
+
+let normalize_targets targets =
+  let total = List.fold_left (fun acc (_, m) -> acc +. Float.max 0.0 m) 0.0 targets in
+  if total <= eps then
+    invalid_arg "Region_map.scale: all-zero targets";
+  List.map (fun (id, m) -> (id, Float.max 0.0 m *. 0.5 /. total)) targets
+
+let scale t ~targets =
+  let current = servers t in
+  let target_ids = List.sort Id.compare (List.map fst targets) in
+  if target_ids <> current then
+    invalid_arg "Region_map.scale: targets must cover exactly the servers";
+  let targets = normalize_targets targets in
+  let deltas =
+    List.map (fun (id, m) -> (id, m -. measure_of t id)) targets
+  in
+  (* Shrink first so that growers see maximal free space. *)
+  List.iter
+    (fun (id, d) -> if d < -.eps then shrink t id (-.d))
+    deltas;
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) deltas
+  |> List.iter (fun (id, d) -> if d > eps then grow t id d)
+
+let remove_server t id =
+  let (_ : Set.t) = region t id in
+  t.regions <- Id.Map.remove id t.regions;
+  mark_dirty t
+
+let add_server t id ~target =
+  if Id.Map.mem id t.regions then
+    invalid_arg "Region_map.add_server: server already present";
+  let n_new = Id.Map.cardinal t.regions + 1 in
+  let needed = partition_count_for n_new in
+  (* Re-partitioning doubles p without moving any segment. *)
+  while t.p < needed do
+    t.p <- t.p * 2
+  done;
+  let target = Float.min (Float.max target 0.0) (0.5 -. eps) in
+  (* Make room: shrink everyone proportionally to sum to 1/2 - target. *)
+  let current_total = total_measure t in
+  if current_total > eps then begin
+    let factor = (0.5 -. target) /. current_total in
+    Id.Map.iter
+      (fun sid r ->
+        let m = Set.measure r in
+        let excess = m -. (m *. factor) in
+        if excess > eps then shrink t sid excess)
+      t.regions
+  end;
+  t.regions <- Id.Map.add id Set.empty t.regions;
+  grow t id target;
+  mark_dirty t
+
+let fragmentation_fallbacks t = t.fallbacks
+
+let check_invariants t =
+  let violations = ref [] in
+  let add fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  let bindings = Id.Map.bindings t.regions in
+  (* Range. *)
+  List.iter
+    (fun (id, r) ->
+      List.iter
+        (fun s ->
+          if s.UI.lo < -.eps || s.UI.hi > 1.0 +. eps then
+            add "%a segment [%g, %g) outside unit interval" Id.pp id s.UI.lo
+              s.UI.hi)
+        (Set.segments r))
+    bindings;
+  (* Pairwise disjointness. *)
+  let rec pairs = function
+    | [] -> ()
+    | (id_a, ra) :: rest ->
+      List.iter
+        (fun (id_b, rb) ->
+          if not (Set.disjoint ra rb) then
+            add "regions of %a and %a overlap (measure %g)" Id.pp id_a Id.pp
+              id_b
+              (Set.measure (Set.inter ra rb)))
+        rest;
+      pairs rest
+  in
+  pairs bindings;
+  (* Half occupancy. *)
+  let total = total_measure t in
+  if Float.abs (total -. 0.5) > 1e-6 then
+    add "total mapped measure %.9f differs from 1/2" total;
+  List.rev !violations
+
+(* Wire format: "p=<partitions>;<id>:<lo>~<hi>,<lo>~<hi>;<id>:..." with
+   full-precision hex floats ('~' separates bounds because hex-float
+   exponents contain '-').  One line, log-friendly. *)
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p=%d" t.p);
+  Id.Map.iter
+    (fun id r ->
+      Buffer.add_string buf (Printf.sprintf ";%d:" (Id.to_int id));
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "%h~%h" s.UI.lo s.UI.hi))
+        (Set.segments r))
+    t.regions;
+  Buffer.contents buf
+
+let of_string s =
+  let fail why = failwith ("Region_map.of_string: " ^ why) in
+  match String.split_on_char ';' s with
+  | [] -> fail "empty input"
+  | header :: server_parts ->
+    let p =
+      match String.split_on_char '=' header with
+      | [ "p"; v ] -> (
+        match int_of_string_opt v with
+        | Some p when p >= 2 -> p
+        | Some _ | None -> fail "bad partition count")
+      | _ -> fail "missing p= header"
+    in
+    let parse_server part =
+      match String.split_on_char ':' part with
+      | [ id; segs ] -> (
+        match int_of_string_opt id with
+        | None -> fail "bad server id"
+        | Some id ->
+          let segments =
+            if segs = "" then []
+            else
+              List.map
+                (fun chunk ->
+                  match String.split_on_char '~' chunk with
+                  | [ lo; hi ] -> (
+                    match (float_of_string_opt lo, float_of_string_opt hi) with
+                    | Some lo, Some hi -> (
+                      try UI.seg lo hi
+                      with Invalid_argument why -> fail why)
+                    | _ -> fail "bad segment bounds")
+                  | _ -> fail "bad segment syntax")
+                (String.split_on_char ',' segs)
+          in
+          (Id.of_int id, Set.of_list segments))
+      | _ -> fail "bad server entry"
+    in
+    let regions =
+      List.fold_left
+        (fun acc part ->
+          let id, r = parse_server part in
+          if Id.Map.mem id acc then fail "duplicate server id";
+          Id.Map.add id r acc)
+        Id.Map.empty server_parts
+    in
+    if Id.Map.is_empty regions then fail "no servers";
+    let t = { p; regions; index = [||]; index_dirty = true; fallbacks = 0 } in
+    (match check_invariants t with
+    | [] -> t
+    | violations -> fail (String.concat "; " violations))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d partitions (width %g)@," t.p (width t);
+  Id.Map.iter
+    (fun id r ->
+      Format.fprintf fmt "%a: measure %.6f %a@," Id.pp id (Set.measure r)
+        Set.pp r)
+    t.regions;
+  Format.fprintf fmt "free: %a@]" Set.pp (free_set t)

@@ -1,0 +1,58 @@
+module Id = Sharedfs.Server_id
+
+type t = {
+  assignment : (string, Id.t) Hashtbl.t;
+  mutable alive : Id.t list;
+  mutable counter : int;
+}
+
+let create ~servers ~file_sets =
+  let sorted = List.sort_uniq Id.compare servers in
+  (match sorted with
+  | [] -> invalid_arg "Round_robin.create: no servers"
+  | _ -> ());
+  let arr = Array.of_list sorted in
+  let assignment = Hashtbl.create (List.length file_sets) in
+  List.iteri
+    (fun i name ->
+      Hashtbl.replace assignment name arr.(i mod Array.length arr))
+    file_sets;
+  { assignment; alive = sorted; counter = List.length file_sets }
+
+let locate t name =
+  match Hashtbl.find_opt t.assignment name with
+  | Some id -> id
+  | None -> failwith ("Round_robin.locate: unknown file set " ^ name)
+
+(* Re-deal a dead server's sets over the survivors, continuing the
+   round-robin counter so counts stay even. *)
+let reassign_from t dead =
+  let arr = Array.of_list t.alive in
+  let n = Array.length arr in
+  if n > 0 then begin
+    let orphans =
+      Hashtbl.fold
+        (fun name id acc -> if Id.equal id dead then name :: acc else acc)
+        t.assignment []
+      |> List.sort String.compare
+    in
+    List.iter
+      (fun name ->
+        Hashtbl.replace t.assignment name arr.(t.counter mod n);
+        t.counter <- t.counter + 1)
+      orphans
+  end
+
+let policy t =
+  {
+    Policy.name = "round-robin";
+    locate = locate t;
+    rebalance = (fun _ -> ());
+    server_failed =
+      (fun id ->
+        t.alive <- List.filter (fun sid -> not (Id.equal sid id)) t.alive;
+        reassign_from t id);
+    server_added =
+      (fun id -> t.alive <- List.sort Id.compare (id :: t.alive));
+    delegate_crashed = (fun () -> ());
+  }

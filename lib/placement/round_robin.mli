@@ -1,0 +1,16 @@
+(** Round-robin baseline.
+
+    File sets are dealt to servers in catalog order, so every server
+    receives the same number of sets (plus or minus one).  Like simple
+    randomization it is static and blind to heterogeneity; unlike it,
+    there is no placement variance at all, isolating the effect of
+    per-set workload skew in the comparisons. *)
+
+type t
+
+val create :
+  servers:Sharedfs.Server_id.t list -> file_sets:string list -> t
+
+val locate : t -> string -> Sharedfs.Server_id.t
+
+val policy : t -> Policy.t

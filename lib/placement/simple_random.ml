@@ -1,0 +1,34 @@
+module Id = Sharedfs.Server_id
+
+type t = { family : Hashlib.Hash_family.t; mutable alive : Id.t array }
+
+let create ~family ~servers =
+  let sorted = List.sort_uniq Id.compare servers in
+  (match sorted with
+  | [] -> invalid_arg "Simple_random.create: no servers"
+  | _ -> ());
+  { family; alive = Array.of_list sorted }
+
+let locate t name =
+  let n = Array.length t.alive in
+  if n = 0 then failwith "Simple_random.locate: no alive servers";
+  t.alive.(Hashlib.Hash_family.fallback_index t.family name ~n)
+
+let policy t =
+  {
+    Policy.name = "simple-random";
+    locate = locate t;
+    rebalance = (fun _ -> ());
+    server_failed =
+      (fun id ->
+        t.alive <-
+          Array.of_list
+            (List.filter
+               (fun sid -> not (Id.equal sid id))
+               (Array.to_list t.alive)));
+    server_added =
+      (fun id ->
+        t.alive <-
+          Array.of_list (List.sort Id.compare (id :: Array.to_list t.alive)));
+    delegate_crashed = (fun () -> ());
+  }

@@ -1,0 +1,17 @@
+(** Simple randomization baseline.
+
+    Each file set is assigned to a uniformly pseudo-random server —
+    the placement used by peer-to-peer systems that rely on hashing
+    alone for balance.  It is static: it has no knowledge of server or
+    workload heterogeneity and never responds to skew, which is
+    exactly why the paper uses it as the strawman.  Load per server is
+    bounded only by O(m log n / n) w.h.p., versus ANU's O(m/n). *)
+
+type t
+
+val create :
+  family:Hashlib.Hash_family.t -> servers:Sharedfs.Server_id.t list -> t
+
+val locate : t -> string -> Sharedfs.Server_id.t
+
+val policy : t -> Policy.t

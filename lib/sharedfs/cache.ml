@@ -1,0 +1,69 @@
+type config = {
+  warm_rate : float;
+  cold_penalty : float;
+  dirty_bytes_per_write : int;
+}
+
+(* A freshly-acquired file set serves at triple demand and needs on the
+   order of a hundred requests to warm up — the "cold cache hinders
+   performance initially" cost that makes gratuitous movement (i.e.
+   over-tuning) expensive. *)
+let default_config =
+  { warm_rate = 0.03; cold_penalty = 2.0; dirty_bytes_per_write = 256 }
+
+type entry = { mutable warmth : float; mutable dirty_bytes : int }
+
+type t = { cfg : config; entries : (string, entry) Hashtbl.t }
+
+let create ?(config = default_config) () =
+  if config.warm_rate < 0.0 || config.warm_rate > 1.0 then
+    invalid_arg "Cache.create: warm_rate must lie in [0, 1]";
+  if config.cold_penalty < 0.0 then
+    invalid_arg "Cache.create: cold_penalty must be non-negative";
+  { cfg = config; entries = Hashtbl.create 64 }
+
+let config t = t.cfg
+
+let install t ~file_set ~warmth =
+  Hashtbl.replace t.entries file_set { warmth; dirty_bytes = 0 }
+
+let install_cold t ~file_set = install t ~file_set ~warmth:0.0
+
+let install_warm t ~file_set = install t ~file_set ~warmth:1.0
+
+let demand_multiplier t ~file_set =
+  match Hashtbl.find_opt t.entries file_set with
+  | None -> 1.0
+  | Some e -> 1.0 +. (t.cfg.cold_penalty *. (1.0 -. e.warmth))
+
+let note_request t ~file_set ~dirties =
+  let e =
+    match Hashtbl.find_opt t.entries file_set with
+    | Some e -> e
+    | None ->
+      let e = { warmth = 0.0; dirty_bytes = 0 } in
+      Hashtbl.add t.entries file_set e;
+      e
+  in
+  e.warmth <- e.warmth +. (t.cfg.warm_rate *. (1.0 -. e.warmth));
+  if dirties then e.dirty_bytes <- e.dirty_bytes + t.cfg.dirty_bytes_per_write
+
+let warmth t ~file_set =
+  match Hashtbl.find_opt t.entries file_set with
+  | None -> 0.0
+  | Some e -> e.warmth
+
+let dirty_bytes t ~file_set =
+  match Hashtbl.find_opt t.entries file_set with
+  | None -> 0
+  | Some e -> e.dirty_bytes
+
+let total_dirty_bytes t =
+  Hashtbl.fold (fun _ e acc -> acc + e.dirty_bytes) t.entries 0
+
+let evict t ~file_set =
+  let bytes = dirty_bytes t ~file_set in
+  Hashtbl.remove t.entries file_set;
+  bytes
+
+let resident t = Hashtbl.fold (fun name _ acc -> name :: acc) t.entries []

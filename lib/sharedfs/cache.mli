@@ -1,0 +1,52 @@
+(** Server-side file-set cache model.
+
+    Moving a file set between servers is expensive for two reasons the
+    paper calls out: the releasing server must flush dirty metadata to
+    the shared disk, and the acquiring server starts with a cold cache
+    that "hinders performance initially".  This module models both: a
+    per-file-set {e warmth} in [\[0, 1\]] that rises as requests are
+    served and multiplies service demand while low, and a dirty-byte
+    counter fed by metadata writes that determines flush cost. *)
+
+type config = {
+  warm_rate : float;  (** fraction of the remaining gap closed per request *)
+  cold_penalty : float;  (** extra demand multiplier at warmth 0 *)
+  dirty_bytes_per_write : int;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** [install_cold t ~file_set] registers a newly-acquired file set with
+    warmth 0 and no dirty state. *)
+val install_cold : t -> file_set:string -> unit
+
+(** [install_warm t ~file_set] registers a file set already warm (used
+    for initial placement at time zero, which the paper does not charge
+    a cold start for). *)
+val install_warm : t -> file_set:string -> unit
+
+(** [demand_multiplier t ~file_set] is [1 + cold_penalty * (1 - warmth)];
+    [1.0] for unknown file sets. *)
+val demand_multiplier : t -> file_set:string -> float
+
+(** [note_request t ~file_set ~dirties] warms the cache and, when
+    [dirties], accrues dirty bytes. *)
+val note_request : t -> file_set:string -> dirties:bool -> unit
+
+val warmth : t -> file_set:string -> float
+
+val dirty_bytes : t -> file_set:string -> int
+
+val total_dirty_bytes : t -> int
+
+(** [evict t ~file_set] removes the file set and returns the dirty
+    bytes that must be flushed. *)
+val evict : t -> file_set:string -> int
+
+val resident : t -> string list

@@ -1,0 +1,391 @@
+let src_log = Logs.Src.create "sharedfs.cluster" ~doc:"cluster events"
+
+module Log = (val Logs.src_log src_log : Logs.LOG)
+
+type move_config = {
+  flush_fixed : float;
+  init_fixed : float;
+  recovery_fixed : float;
+  working_set_fraction : float;
+}
+
+let default_move_config =
+  {
+    flush_fixed = 2.0;
+    init_fixed = 3.0;
+    recovery_fixed = 6.0;
+    working_set_fraction = 0.1;
+  }
+
+type move_record = {
+  started_at : float;
+  file_set : string;
+  src : Server_id.t option;
+  dst : Server_id.t;
+  flush_seconds : float;
+  init_seconds : float;
+}
+
+type buffered = {
+  req : Request.t;
+  base_demand : float;
+  arrival : float;
+  on_complete : latency:float -> unit;
+}
+
+type ownership =
+  | Owned of Server_id.t
+  | Moving of {
+      src : Server_id.t option;
+      dst : Server_id.t;
+      pending : buffered Queue.t;
+    }
+  | Orphaned of buffered Queue.t
+
+type lock_stats = {
+  granted_immediately : int;
+  waited : int;
+  cancelled : int;
+  leases_expired : int;
+}
+
+(* A lock acquisition that queued behind a conflicting hold: its
+   completion callback is deferred until the grant. *)
+type lock_waiter = { arrival : float; notify : latency:float -> unit }
+
+type t = {
+  sim : Desim.Sim.t;
+  disk : Shared_disk.t;
+  catalog : File_set.Catalog.t;
+  move_cfg : move_config;
+  cache_cfg : Cache.config option;
+  lease_duration : float;
+  series_interval : float;
+  servers : (Server_id.t, Server.t) Hashtbl.t;
+  ownership : (string, ownership) Hashtbl.t;
+  inflight : (int, buffered) Hashtbl.t;
+  locks : Lock_manager.t;
+  waiting_grants : (Lock_manager.key * int, lock_waiter) Hashtbl.t;
+  mutable lock_stats : lock_stats;
+  mutable next_tag : int;
+  mutable move_log : move_record list;
+  mutable moves_started : int;
+}
+
+let create sim ~disk ~catalog ?(move_config = default_move_config)
+    ?cache_config ?(lease_duration = 30.0) ~series_interval ~servers () =
+  if lease_duration <= 0.0 then
+    invalid_arg "Cluster.create: lease_duration must be positive";
+  let t =
+    {
+      sim;
+      disk;
+      catalog;
+      move_cfg = move_config;
+      cache_cfg = cache_config;
+      lease_duration;
+      series_interval;
+      servers = Hashtbl.create 16;
+      ownership = Hashtbl.create 256;
+      inflight = Hashtbl.create 1024;
+      locks = Lock_manager.create ();
+      waiting_grants = Hashtbl.create 64;
+      lock_stats =
+        { granted_immediately = 0; waited = 0; cancelled = 0; leases_expired = 0 };
+      next_tag = 0;
+      move_log = [];
+      moves_started = 0;
+    }
+  in
+  List.iter
+    (fun (id, speed) ->
+      if Hashtbl.mem t.servers id then
+        invalid_arg "Cluster.create: duplicate server id";
+      let server =
+        Server.create sim ~id ~speed ?cache_config ~series_interval ()
+      in
+      Hashtbl.add t.servers id server)
+    servers;
+  t
+
+let sim t = t.sim
+
+let catalog t = t.catalog
+
+let server t id =
+  match Hashtbl.find_opt t.servers id with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Format.asprintf "Cluster.server: unknown %a" Server_id.pp id)
+
+let servers t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.servers []
+  |> List.sort (fun a b -> Server_id.compare (Server.id a) (Server.id b))
+
+let alive_ids t =
+  servers t |> List.filter (fun s -> not (Server.failed s)) |> List.map Server.id
+
+let owner t name =
+  match Hashtbl.find_opt t.ownership name with
+  | Some (Owned id) -> Some id
+  | Some (Moving _) | Some (Orphaned _) | None -> None
+
+let owned_by t id =
+  Hashtbl.fold
+    (fun name o acc ->
+      match o with
+      | Owned owner when Server_id.equal owner id -> name :: acc
+      | Owned _ | Moving _ | Orphaned _ -> acc)
+    t.ownership []
+  |> List.sort String.compare
+
+let assign_initial t pairs =
+  List.iter
+    (fun (name, id) ->
+      let (_ : File_set.t) = File_set.Catalog.get t.catalog name in
+      if Hashtbl.mem t.ownership name then
+        invalid_arg ("Cluster.assign_initial: " ^ name ^ " assigned twice");
+      let server = server t id in
+      Server.gain_file_set server ~file_set:name ~cold:false;
+      Hashtbl.add t.ownership name (Owned id))
+    pairs
+
+let lock_key req =
+  { Lock_manager.file_set = req.Request.file_set;
+    ino = abs req.Request.path_hash }
+
+(* Fire the deferred completions of clients whose queued acquisitions
+   were just granted, and start their leases. *)
+let rec grant_waiters t key granted =
+  List.iter
+    (fun client ->
+      match Hashtbl.find_opt t.waiting_grants (key, client) with
+      | None -> ()
+      | Some waiter ->
+        Hashtbl.remove t.waiting_grants (key, client);
+        start_lease t key client;
+        waiter.notify ~latency:(Desim.Sim.now t.sim -. waiter.arrival))
+    granted
+
+(* Storage Tank's client leases: a hold not released within the lease
+   is reclaimed, so no acquisition can block forever behind a client
+   that never releases (or has crashed). *)
+and start_lease t key client =
+  let (_ : Desim.Sim.handle) =
+    Desim.Sim.schedule t.sim ~delay:t.lease_duration (fun () ->
+        if List.mem_assoc client (Lock_manager.holders t.locks ~key) then begin
+          t.lock_stats <-
+            { t.lock_stats with leases_expired = t.lock_stats.leases_expired + 1 };
+          let granted = Lock_manager.release t.locks ~key ~client in
+          grant_waiters t key granted
+        end)
+  in
+  ()
+
+(* The server has finished processing the request; apply the lock
+   semantics before reporting completion to the client. *)
+let complete_request t b ~latency =
+  let req = b.req in
+  match req.Request.op with
+  | Request.Lock_acquire ->
+    let key = lock_key req in
+    let client = req.Request.client in
+    if List.mem_assoc client (Lock_manager.holders t.locks ~key) then
+      (* Re-acquisition of a held lock: grant immediately. *)
+      b.on_complete ~latency
+    else begin
+      match Lock_manager.acquire t.locks ~key ~client ~mode:(Request.lock_mode req) with
+      | `Granted ->
+        t.lock_stats <-
+          {
+            t.lock_stats with
+            granted_immediately = t.lock_stats.granted_immediately + 1;
+          };
+        start_lease t key client;
+        b.on_complete ~latency
+      | `Queued ->
+        t.lock_stats <- { t.lock_stats with waited = t.lock_stats.waited + 1 };
+        Hashtbl.add t.waiting_grants (key, client)
+          { arrival = b.arrival; notify = b.on_complete }
+    end
+  | Request.Lock_release ->
+    let key = lock_key req in
+    let client = req.Request.client in
+    let was_waiting = Hashtbl.find_opt t.waiting_grants (key, client) in
+    let granted = Lock_manager.release t.locks ~key ~client in
+    (match was_waiting with
+    | Some waiter ->
+      (* The release cancelled the client's own queued acquisition:
+         complete it now so no caller is left hanging. *)
+      Hashtbl.remove t.waiting_grants (key, client);
+      t.lock_stats <-
+        { t.lock_stats with cancelled = t.lock_stats.cancelled + 1 };
+      waiter.notify ~latency:(Desim.Sim.now t.sim -. waiter.arrival)
+    | None -> ());
+    grant_waiters t key granted;
+    b.on_complete ~latency
+  | Request.Open_file | Request.Close_file | Request.Stat | Request.Create
+  | Request.Remove | Request.Rename | Request.Readdir | Request.Set_attr ->
+    b.on_complete ~latency
+
+let deliver t id b =
+  let server = server t id in
+  let tag = t.next_tag in
+  t.next_tag <- tag + 1;
+  Hashtbl.add t.inflight tag b;
+  let extra_latency = Desim.Sim.now t.sim -. b.arrival in
+  Server.submit server ~base_demand:b.base_demand ~tag ~extra_latency b.req
+    ~on_complete:(fun ~latency ->
+      Hashtbl.remove t.inflight tag;
+      complete_request t b ~latency)
+
+let submit t ~base_demand req ~on_complete =
+  let name = req.Request.file_set in
+  let b =
+    { req; base_demand; arrival = Desim.Sim.now t.sim; on_complete }
+  in
+  match Hashtbl.find_opt t.ownership name with
+  | Some (Owned id) -> deliver t id b
+  | Some (Moving { pending; _ }) -> Queue.add b pending
+  | Some (Orphaned pending) -> Queue.add b pending
+  | None -> failwith ("Cluster.submit: file set never assigned: " ^ name)
+
+let init_seconds t file_set =
+  let fs = File_set.Catalog.get t.catalog file_set in
+  let bytes =
+    int_of_float
+      (t.move_cfg.working_set_fraction
+      *. float_of_int fs.File_set.metadata_bytes)
+  in
+  t.move_cfg.init_fixed +. Shared_disk.transfer_time t.disk ~bytes
+
+let complete_move t ~file_set ~dst pending =
+  let dst_server = server t dst in
+  if Server.failed dst_server then
+    (* Destination died while the set was in transit: the set is
+       orphaned again and the failure handler's caller re-places it. *)
+    Hashtbl.replace t.ownership file_set (Orphaned pending)
+  else begin
+    Server.gain_file_set dst_server ~file_set ~cold:true;
+    Hashtbl.replace t.ownership file_set (Owned dst);
+    Queue.iter (fun b -> deliver t dst b) pending;
+    Queue.clear pending
+  end
+
+let record_move t ~file_set ~src ~dst ~flush_seconds ~init_seconds =
+  t.moves_started <- t.moves_started + 1;
+  t.move_log <-
+    {
+      started_at = Desim.Sim.now t.sim;
+      file_set;
+      src;
+      dst;
+      flush_seconds;
+      init_seconds;
+    }
+    :: t.move_log
+
+let move t ~file_set ~dst =
+  let (_ : File_set.t) = File_set.Catalog.get t.catalog file_set in
+  let (_ : Server.t) = server t dst in
+  match Hashtbl.find_opt t.ownership file_set with
+  | None -> failwith ("Cluster.move: file set never assigned: " ^ file_set)
+  | Some (Moving _) ->
+    Log.debug (fun m -> m "move of %s already in flight; ignoring" file_set)
+  | Some (Owned src) when Server_id.equal src dst -> ()
+  | Some (Owned src) ->
+    let src_server = server t src in
+    let dirty = Server.shed_file_set src_server ~file_set in
+    (* The flush writes the dirty metadata image through the shared
+       disk; a representative block write keeps the disk counters
+       honest while the time accounts for the full dirty footprint. *)
+    let fs = File_set.Catalog.get t.catalog file_set in
+    let (_ : float) =
+      Shared_disk.write t.disk ~block:(fs.File_set.id * 1_000_000)
+        (String.make (min (max dirty 1) 4096) 'm')
+    in
+    let flush_seconds =
+      t.move_cfg.flush_fixed +. Shared_disk.transfer_time t.disk ~bytes:dirty
+    in
+    let init_seconds = init_seconds t file_set in
+    let pending = Queue.create () in
+    Hashtbl.replace t.ownership file_set
+      (Moving { src = Some src; dst; pending });
+    record_move t ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds;
+    let (_ : Desim.Sim.handle) =
+      Desim.Sim.schedule t.sim ~delay:(flush_seconds +. init_seconds)
+        (fun () -> complete_move t ~file_set ~dst pending)
+    in
+    ()
+  | Some (Orphaned pending) ->
+    let init_seconds =
+      t.move_cfg.recovery_fixed +. init_seconds t file_set
+    in
+    Hashtbl.replace t.ownership file_set (Moving { src = None; dst; pending });
+    record_move t ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds;
+    let (_ : Desim.Sim.handle) =
+      Desim.Sim.schedule t.sim ~delay:init_seconds (fun () ->
+          complete_move t ~file_set ~dst pending)
+    in
+    ()
+
+let fail_server t id =
+  let failed_server = server t id in
+  if Server.failed failed_server then []
+  else begin
+    let interrupted_tags = Server.fail failed_server in
+    let interrupted =
+      List.filter_map
+        (fun tag ->
+          let b = Hashtbl.find_opt t.inflight tag in
+          Hashtbl.remove t.inflight tag;
+          b)
+        interrupted_tags
+      |> List.sort (fun (a : buffered) (b : buffered) ->
+             Float.compare a.arrival b.arrival)
+    in
+    (* Orphan every file set the dead server owned, then re-buffer its
+       interrupted requests behind the right orphan queues. *)
+    let orphaned = owned_by t id in
+    List.iter
+      (fun name -> Hashtbl.replace t.ownership name (Orphaned (Queue.create ())))
+      orphaned;
+    List.iter
+      (fun b ->
+        match Hashtbl.find_opt t.ownership b.req.Request.file_set with
+        | Some (Orphaned q) -> Queue.add b q
+        | Some (Moving { pending; _ }) -> Queue.add b pending
+        | Some (Owned owner) -> deliver t owner b
+        | None -> ())
+      interrupted;
+    orphaned
+  end
+
+let recover_server t id = Server.recover (server t id)
+
+let add_server t id ~speed =
+  if Hashtbl.mem t.servers id then
+    invalid_arg "Cluster.add_server: duplicate server id";
+  let server =
+    Server.create t.sim ~id ~speed ?cache_config:t.cache_cfg
+      ~series_interval:t.series_interval ()
+  in
+  Hashtbl.add t.servers id server
+
+let lock_manager t = t.locks
+
+let lock_stats t = t.lock_stats
+
+let moves t = List.rev t.move_log
+
+let moves_started t = t.moves_started
+
+let pending_requests t =
+  Hashtbl.fold
+    (fun _ o acc ->
+      match o with
+      | Owned _ -> acc
+      | Moving { pending; _ } -> acc + Queue.length pending
+      | Orphaned pending -> acc + Queue.length pending)
+    t.ownership 0

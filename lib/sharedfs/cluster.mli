@@ -1,0 +1,129 @@
+(** The shared-disk file-system server cluster.
+
+    The cluster owns the servers, the shared disk, and the assignment
+    of file sets to servers.  It routes every metadata request to the
+    current owner of its file set, orchestrates file-set movement (the
+    releasing server flushes dirty cache to the shared disk, the
+    acquiring server initializes the set and starts cold — together the
+    paper's five-to-ten-second move), buffers requests that arrive for
+    a set in transit, and handles server failure by orphaning the
+    failed server's sets until the placement policy adopts them
+    elsewhere. *)
+
+type move_config = {
+  flush_fixed : float;
+  (** seconds to quiesce and write back superblock state at the
+      releasing server, on top of the dirty-data transfer *)
+  init_fixed : float;
+  (** seconds for the acquiring server to initialize the file set *)
+  recovery_fixed : float;
+  (** seconds of log replay when adopting a set from a failed server *)
+  working_set_fraction : float;
+  (** fraction of a set's metadata footprint streamed at init time *)
+}
+
+val default_move_config : move_config
+
+(** One completed or in-flight movement, for reports and tests. *)
+type move_record = {
+  started_at : float;
+  file_set : string;
+  src : Server_id.t option;  (** [None] when adopting after a failure *)
+  dst : Server_id.t;
+  flush_seconds : float;
+  init_seconds : float;
+}
+
+(** Lock-service outcomes, for reports and tests. *)
+type lock_stats = {
+  granted_immediately : int;
+  waited : int;  (** acquisitions that queued behind a conflicting hold *)
+  cancelled : int;  (** queued acquisitions released before grant *)
+  leases_expired : int;  (** holds reclaimed by lease timeout *)
+}
+
+type t
+
+(** [lease_duration] bounds every lock hold: a grant not released
+    within it is reclaimed (Storage Tank's client leases), which also
+    guarantees no request can block forever behind a lost client. *)
+val create :
+  Desim.Sim.t ->
+  disk:Shared_disk.t ->
+  catalog:File_set.Catalog.t ->
+  ?move_config:move_config ->
+  ?cache_config:Cache.config ->
+  ?lease_duration:float ->
+  series_interval:float ->
+  servers:(Server_id.t * float) list ->
+  unit ->
+  t
+
+val sim : t -> Desim.Sim.t
+
+val catalog : t -> File_set.Catalog.t
+
+val server : t -> Server_id.t -> Server.t
+
+val servers : t -> Server.t list
+
+(** [alive_ids t] lists non-failed servers in id order. *)
+val alive_ids : t -> Server_id.t list
+
+(** [owner t name] is the current owner, [None] while the set is in
+    transit or orphaned. *)
+val owner : t -> string -> Server_id.t option
+
+(** [owned_by t id] lists the file sets currently owned by [id]. *)
+val owned_by : t -> Server_id.t -> string list
+
+(** [assign_initial t pairs] installs the time-zero placement with warm
+    caches and no movement cost.  Every file set must be assigned
+    exactly once. *)
+val assign_initial : t -> (string * Server_id.t) list -> unit
+
+(** [submit t ~base_demand req ~on_complete] routes a request to the
+    owner of its file set, buffering it if the set is in transit.
+    [Lock_acquire] requests additionally pass through the lock
+    service: when the requested lock conflicts with a current hold,
+    [on_complete] is deferred until the grant (release, cancellation
+    or lease expiry of the blockers), and the wait is included in the
+    reported latency.  Raises if the file set was never assigned. *)
+val submit :
+  t ->
+  base_demand:float ->
+  Request.t ->
+  on_complete:(latency:float -> unit) ->
+  unit
+
+(** [lock_manager t] exposes the cluster-wide lock table (one logical
+    service; ownership of a file set's entries travels with the
+    set). *)
+val lock_manager : t -> Lock_manager.t
+
+val lock_stats : t -> lock_stats
+
+(** [move t ~file_set ~dst] starts a movement.  No-op when [dst]
+    already owns the set or a move of the set is already in flight.
+    Orphaned sets are adopted with recovery cost instead of flush
+    cost. *)
+val move : t -> file_set:string -> dst:Server_id.t -> unit
+
+(** [fail_server t id] crashes a server: interrupted and queued
+    requests are re-buffered, its file sets become orphaned.  Returns
+    the orphaned file-set names (the policy must re-place them). *)
+val fail_server : t -> Server_id.t -> string list
+
+(** [recover_server t id] brings a failed server back (empty, cold). *)
+val recover_server : t -> Server_id.t -> unit
+
+(** [add_server t id ~speed] commissions a new, empty server. *)
+val add_server : t -> Server_id.t -> speed:float -> unit
+
+val moves : t -> move_record list
+
+val moves_started : t -> int
+
+(** [pending_requests t] counts requests buffered behind in-transit or
+    orphaned file sets; zero in steady state. *)
+val pending_requests : t -> int

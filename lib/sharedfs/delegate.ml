@@ -1,0 +1,37 @@
+type server_report = {
+  server : Server_id.t;
+  speed_hint : float;
+  report : Server.report;
+}
+
+let elect ~alive =
+  match List.sort Server_id.compare alive with
+  | [] -> None
+  | id :: _ -> Some id
+
+let collect cluster =
+  Cluster.alive_ids cluster
+  |> List.map (fun id ->
+         let s = Cluster.server cluster id in
+         {
+           server = id;
+           speed_hint = Server.speed s;
+           report = Server.take_report s;
+         })
+
+let mean_latency reports =
+  Desim.Stat.weighted_mean
+    (List.map
+       (fun r ->
+         (r.report.Server.mean_latency, float_of_int r.report.Server.requests))
+       reports)
+
+let median_latency reports =
+  let active =
+    List.filter_map
+      (fun r ->
+        if r.report.Server.requests > 0 then Some r.report.Server.mean_latency
+        else None)
+      reports
+  in
+  match active with [] -> 0.0 | values -> Desim.Stat.median_of values

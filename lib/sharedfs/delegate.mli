@@ -1,0 +1,32 @@
+(** Delegate election and the reconfiguration report protocol.
+
+    At the end of every reconfiguration interval each server reports
+    its observed latency to an elected delegate; the delegate computes
+    a system-wide average and decides the next configuration.  The
+    protocol is stateless on the delegate side (except for the optional
+    divergent-tuning history, which the paper accepts losing on a
+    delegate crash), so election is trivial: the lowest-id alive server
+    serves as delegate. *)
+
+(** What the delegate sees from one server in one interval. *)
+type server_report = {
+  server : Server_id.t;
+  speed_hint : float;
+  (** exposed for the prescient baseline only; ANU never reads it *)
+  report : Server.report;
+}
+
+val elect : alive:Server_id.t list -> Server_id.t option
+
+(** [collect cluster] gathers and resets each alive server's current
+    latency window, in id order. *)
+val collect : Cluster.t -> server_report list
+
+(** [mean_latency reports] is the request-weighted mean latency across
+    servers; servers that served nothing contribute nothing. *)
+val mean_latency : server_report list -> float
+
+(** [median_latency reports] is the median of per-server mean
+    latencies over servers that served at least one request; [0.0]
+    when none did. *)
+val median_latency : server_report list -> float

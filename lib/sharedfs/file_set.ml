@@ -1,0 +1,59 @@
+type t = {
+  name : string;
+  id : int;
+  file_count : int;
+  metadata_bytes : int;
+}
+
+let make ~name ~id ~file_count ~metadata_bytes =
+  if name = "" then invalid_arg "File_set.make: empty name";
+  if file_count < 0 || metadata_bytes < 0 then
+    invalid_arg "File_set.make: negative size";
+  { name; id; file_count; metadata_bytes }
+
+let pp fmt t =
+  Format.fprintf fmt "%s(id=%d, files=%d)" t.name t.id t.file_count
+
+module Catalog = struct
+  type file_set = t
+
+  type nonrec t = { by_name : (string, file_set) Hashtbl.t; arr : file_set array }
+
+  let derive_sizes name =
+    (* Deterministic pseudo-random sizing so movement costs differ by
+       set without external data: 100..10k files, ~2 KiB metadata per
+       file. *)
+    let h = Hashlib.Mix64.fnv1a name in
+    let u = Hashlib.Mix64.to_unit_float (Hashlib.Mix64.mix h) in
+    let file_count = 100 + int_of_float (u *. 9900.0) in
+    let metadata_bytes = file_count * 2048 in
+    (file_count, metadata_bytes)
+
+  let create names =
+    let by_name = Hashtbl.create 64 in
+    let make_entry id name =
+      if Hashtbl.mem by_name name then
+        invalid_arg ("File_set.Catalog.create: duplicate name " ^ name);
+      let file_count, metadata_bytes = derive_sizes name in
+      let fs = make ~name ~id ~file_count ~metadata_bytes in
+      Hashtbl.add by_name name fs;
+      fs
+    in
+    let arr = Array.of_list (List.mapi make_entry names) in
+    { by_name; arr }
+
+  let size t = Array.length t.arr
+
+  let find t name = Hashtbl.find_opt t.by_name name
+
+  let get t name =
+    match find t name with
+    | Some fs -> fs
+    | None -> invalid_arg ("File_set.Catalog.get: unknown file set " ^ name)
+
+  let nth t i = t.arr.(i)
+
+  let to_list t = Array.to_list t.arr
+
+  let names t = Array.to_list (Array.map (fun fs -> fs.name) t.arr)
+end

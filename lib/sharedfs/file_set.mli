@@ -1,0 +1,45 @@
+(** File sets: the indivisible unit of workload assignment.
+
+    A file set is a subtree of the global namespace with a unique,
+    administrator-assigned name.  All metadata requests for files in the
+    set are served by the single server that currently owns the set.
+    The structure here carries what the load-management layer needs:
+    the unique name, a stable numeric id for array indexing, and sizing
+    used to derive movement costs. *)
+
+type t = {
+  name : string;  (** unique name; hashed by the placement layer *)
+  id : int;  (** dense index, assigned at catalog construction *)
+  file_count : int;  (** number of files in the subtree *)
+  metadata_bytes : int;  (** on-disk metadata footprint *)
+}
+
+val make : name:string -> id:int -> file_count:int -> metadata_bytes:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** A catalog assigns dense ids to names and is the authority on which
+    file sets exist. *)
+module Catalog : sig
+  type file_set = t
+
+  type t
+
+  (** [create names] builds a catalog; duplicate names raise
+      [Invalid_argument].  File counts and footprints are derived
+      deterministically from each name so that movement costs vary
+      across sets but stay reproducible. *)
+  val create : string list -> t
+
+  val size : t -> int
+
+  val find : t -> string -> file_set option
+
+  val get : t -> string -> file_set
+
+  val nth : t -> int -> file_set
+
+  val to_list : t -> file_set list
+
+  val names : t -> string list
+end

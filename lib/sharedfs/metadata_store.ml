@@ -1,0 +1,126 @@
+type record = {
+  ino : int;
+  mutable size : int;
+  mutable mtime : float;
+  mutable nlink : int;
+  mutable mode : int;
+}
+
+type t = {
+  fs : File_set.t;
+  records : (int, record) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  record_bytes : int;
+}
+
+let record_bytes = 256
+
+let fresh_record ino = { ino; size = 0; mtime = 0.0; nlink = 1; mode = 0o644 }
+
+let create ~file_set =
+  let records = Hashtbl.create (max 16 file_set.File_set.file_count) in
+  for ino = 0 to file_set.File_set.file_count - 1 do
+    Hashtbl.add records ino (fresh_record ino)
+  done;
+  { fs = file_set; records; dirty = Hashtbl.create 64; record_bytes }
+
+let file_set t = t.fs
+
+let record_count t = Hashtbl.length t.records
+
+let lookup t ~ino = Hashtbl.find_opt t.records ino
+
+let target_ino t req =
+  let n = max 1 (Hashtbl.length t.records) in
+  abs req.Request.path_hash mod n
+
+let mark_dirty t ino = Hashtbl.replace t.dirty ino ()
+
+let apply t ~time req =
+  let ino = target_ino t req in
+  let record =
+    match Hashtbl.find_opt t.records ino with
+    | Some r -> r
+    | None ->
+      let r = fresh_record ino in
+      Hashtbl.add t.records ino r;
+      r
+  in
+  match req.Request.op with
+  | Request.Stat | Request.Open_file | Request.Readdir | Request.Lock_acquire
+  | Request.Lock_release ->
+    false
+  | Request.Close_file ->
+    record.mtime <- time;
+    mark_dirty t ino;
+    true
+  | Request.Create ->
+    record.nlink <- record.nlink + 1;
+    record.mtime <- time;
+    mark_dirty t ino;
+    true
+  | Request.Remove ->
+    record.nlink <- max 0 (record.nlink - 1);
+    record.mtime <- time;
+    mark_dirty t ino;
+    true
+  | Request.Rename ->
+    record.mtime <- time;
+    mark_dirty t ino;
+    true
+  | Request.Set_attr ->
+    record.mode <- record.mode lxor 0o111;
+    record.size <- record.size + 1;
+    record.mtime <- time;
+    mark_dirty t ino;
+    true
+
+let dirty_count t = Hashtbl.length t.dirty
+
+let dirty_bytes t = dirty_count t * t.record_bytes
+
+(* Block addressing: each file set gets a disjoint block range derived
+   from its id; record [ino] of file set [id] lives at a fixed block. *)
+let block_of t ino = (t.fs.File_set.id * 1_000_000) + ino
+
+let encode r =
+  Printf.sprintf "%d|%d|%f|%d|%d" r.ino r.size r.mtime r.nlink r.mode
+
+let decode s =
+  match String.split_on_char '|' s with
+  | [ ino; size; mtime; nlink; mode ] ->
+    Some
+      {
+        ino = int_of_string ino;
+        size = int_of_string size;
+        mtime = float_of_string mtime;
+        nlink = int_of_string nlink;
+        mode = int_of_string mode;
+      }
+  | _ -> None
+
+let flush t disk =
+  let time = ref 0.0 in
+  Hashtbl.iter
+    (fun ino () ->
+      match Hashtbl.find_opt t.records ino with
+      | None -> ()
+      | Some r -> time := !time +. Shared_disk.write disk ~block:(block_of t ino) (encode r))
+    t.dirty;
+  Hashtbl.reset t.dirty;
+  !time
+
+let load ~file_set disk =
+  let t = create ~file_set in
+  let time = ref 0.0 in
+  for ino = 0 to file_set.File_set.file_count - 1 do
+    let data, cost = Shared_disk.read disk ~block:(block_of t ino) in
+    time := !time +. cost;
+    match data with
+    | None -> ()
+    | Some s -> (
+      match decode s with
+      | Some r -> Hashtbl.replace t.records ino r
+      | None -> ())
+  done;
+  (t, !time)

@@ -1,0 +1,49 @@
+(** Per-file-set metadata tables.
+
+    A metadata store holds inode-like records for the files of one file
+    set, applies metadata operations to them, tracks which records are
+    dirty in the owning server's memory, and can flush itself to (and
+    load itself from) the {!Shared_disk}.  The flush path is what the
+    paper's 5–10 second movement cost comes from: the releasing server
+    must write all dirty records back before the acquiring server
+    initializes. *)
+
+type record = {
+  ino : int;
+  mutable size : int;
+  mutable mtime : float;
+  mutable nlink : int;
+  mutable mode : int;
+}
+
+type t
+
+(** [create ~file_set] builds the in-memory table for [file_set],
+    populating one record per file. *)
+val create : file_set:File_set.t -> t
+
+val file_set : t -> File_set.t
+
+val record_count : t -> int
+
+(** [lookup t ~ino] finds a record. *)
+val lookup : t -> ino:int -> record option
+
+(** [apply t ~time req] executes a metadata operation against the
+    table, marking records dirty as appropriate.  The [path_hash] of
+    the request selects the target record.  Returns [true] when the
+    operation dirtied state. *)
+val apply : t -> time:float -> Request.t -> bool
+
+val dirty_count : t -> int
+
+val dirty_bytes : t -> int
+
+(** [flush t disk] writes every dirty record to the shared disk and
+    returns the simulated flush time; the store is clean afterwards. *)
+val flush : t -> Shared_disk.t -> float
+
+(** [load ~file_set disk] reads the file set's records back from disk,
+    returning the rebuilt store and the simulated read time.  Records
+    never flushed read back with their creation defaults. *)
+val load : file_set:File_set.t -> Shared_disk.t -> t * float

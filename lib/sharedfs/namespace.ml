@@ -1,0 +1,60 @@
+type t = { mounts : (string * string) list (* sorted by path length desc *) }
+
+let validate_path path =
+  if String.length path = 0 || path.[0] <> '/' then
+    invalid_arg ("Namespace: path must be absolute: " ^ path);
+  if String.length path > 1 && path.[String.length path - 1] = '/' then
+    invalid_arg ("Namespace: no trailing slash: " ^ path)
+
+let sort mounts =
+  List.sort
+    (fun (a, _) (b, _) -> compare (String.length b) (String.length a))
+    mounts
+
+let create mounts =
+  List.iter (fun (path, _) -> validate_path path) mounts;
+  let paths = List.map fst mounts in
+  if List.length (List.sort_uniq String.compare paths) <> List.length paths
+  then invalid_arg "Namespace.create: duplicate mount path";
+  { mounts = sort mounts }
+
+(* [prefix_on_boundary ~prefix path] holds when [prefix] is a path
+   prefix of [path] ending at a component boundary: "/home" covers
+   "/home/x" and "/home" but not "/homework". *)
+let prefix_on_boundary ~prefix path =
+  let pl = String.length prefix and l = String.length path in
+  if prefix = "/" then true
+  else if pl > l then false
+  else
+    String.sub path 0 pl = prefix && (l = pl || path.[pl] = '/')
+
+let resolve t path =
+  validate_path path;
+  (* Mounts are sorted longest first, so the first covering mount is
+     the longest match. *)
+  List.find_map
+    (fun (prefix, fs) ->
+      if prefix_on_boundary ~prefix path then Some fs else None)
+    t.mounts
+
+let mount t ~path ~file_set =
+  validate_path path;
+  if List.mem_assoc path t.mounts then
+    invalid_arg ("Namespace.mount: path already mounted: " ^ path);
+  { mounts = sort ((path, file_set) :: t.mounts) }
+
+let unmount t ~path =
+  if not (List.mem_assoc path t.mounts) then
+    invalid_arg ("Namespace.unmount: not mounted: " ^ path);
+  { mounts = List.filter (fun (p, _) -> p <> path) t.mounts }
+
+let mounts t =
+  List.sort
+    (fun (a, _) (b, _) -> compare (String.length a) (String.length b))
+    t.mounts
+
+let covered t ~file_set =
+  List.filter_map
+    (fun (path, fs) -> if fs = file_set then Some path else None)
+    t.mounts
+  |> List.sort String.compare

@@ -1,0 +1,33 @@
+(** The global namespace and its partition into file sets.
+
+    A file set is a subtree of the global file-system namespace; an
+    administrator mounts file sets at path prefixes.  The namespace
+    resolves a path to the file set serving it by longest matching
+    prefix on component boundaries — [/home/alice/x] resolves to the
+    set mounted at [/home/alice] if present, else [/home], else the
+    root mount.  Clients use this to decide which unique name to hash
+    when addressing a metadata request. *)
+
+type t
+
+(** [create mounts] with [(path, file_set_name)] pairs.  Paths must be
+    absolute, normalized (no trailing slash except the root itself)
+    and unique; raises [Invalid_argument] otherwise. *)
+val create : (string * string) list -> t
+
+(** [resolve t path] is the file set serving [path], or [None] when no
+    mount covers it. *)
+val resolve : t -> string -> string option
+
+(** [mount t ~path ~file_set] adds a mount. *)
+val mount : t -> path:string -> file_set:string -> t
+
+(** [unmount t ~path] removes one; unknown paths raise
+    [Invalid_argument]. *)
+val unmount : t -> path:string -> t
+
+(** [mounts t] lists (path, file set) pairs, shortest path first. *)
+val mounts : t -> (string * string) list
+
+(** [covered t ~file_set] lists the mount points of one file set. *)
+val covered : t -> file_set:string -> string list

@@ -1,0 +1,31 @@
+type t = {
+  station : Desim.Station.t;
+  bandwidth : float;
+  mutable transfers : int;
+  mutable bytes : int;
+}
+
+let create sim ~bandwidth =
+  if bandwidth <= 0.0 then invalid_arg "San.create: bandwidth must be positive";
+  {
+    station = Desim.Station.create sim ~name:"san" ~speed:bandwidth;
+    bandwidth;
+    transfers = 0;
+    bytes = 0;
+  }
+
+let bandwidth t = t.bandwidth
+
+let transfer t ~bytes ~on_complete =
+  if bytes <= 0 then invalid_arg "San.transfer: bytes must be positive";
+  Desim.Station.submit t.station ~demand:(float_of_int bytes) ~tag:t.transfers
+    ~on_complete:(fun ~latency:_ ->
+      t.transfers <- t.transfers + 1;
+      t.bytes <- t.bytes + bytes;
+      on_complete ())
+
+let transfers_completed t = t.transfers
+
+let bytes_completed t = t.bytes
+
+let utilization t ~until = Desim.Station.utilization t.station ~until

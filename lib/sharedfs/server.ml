@@ -1,0 +1,95 @@
+type report = { mean_latency : float; max_latency : float; requests : int }
+
+type t = {
+  id : Server_id.t;
+  station : Desim.Station.t;
+  cache : Cache.t;
+  sim : Desim.Sim.t;
+  window : Desim.Welford.t;
+  series : Desim.Timeseries.t;
+  mutable next_tag : int;
+}
+
+let create sim ~id ~speed ?cache_config ~series_interval () =
+  {
+    id;
+    station =
+      Desim.Station.create sim
+        ~name:(Format.asprintf "%a" Server_id.pp id)
+        ~speed;
+    cache = Cache.create ?config:cache_config ();
+    sim;
+    window = Desim.Welford.create ();
+    series = Desim.Timeseries.create ~interval:series_interval;
+    next_tag = 0;
+  }
+
+let id t = t.id
+
+let speed t = Desim.Station.speed t.station
+
+let set_speed t s = Desim.Station.set_speed t.station s
+
+let observe t ~latency =
+  Desim.Welford.add t.window latency;
+  Desim.Timeseries.observe t.series ~time:(Desim.Sim.now t.sim) latency
+
+let submit t ~base_demand ?tag ?(extra_latency = 0.0) req ~on_complete =
+  let file_set = req.Request.file_set in
+  let multiplier = Cache.demand_multiplier t.cache ~file_set in
+  let demand =
+    base_demand *. Request.demand_factor req.Request.op *. multiplier
+  in
+  Cache.note_request t.cache ~file_set
+    ~dirties:(Request.dirties_cache req.Request.op);
+  let tag =
+    match tag with
+    | Some tag -> tag
+    | None ->
+      let tag = t.next_tag in
+      t.next_tag <- tag + 1;
+      tag
+  in
+  Desim.Station.submit t.station ~demand ~tag ~on_complete:(fun ~latency ->
+      let latency = latency +. extra_latency in
+      observe t ~latency;
+      on_complete ~latency)
+
+let queue_length t = Desim.Station.queue_length t.station
+
+let completed t = Desim.Station.completed t.station
+
+let utilization t ~until = Desim.Station.utilization t.station ~until
+
+let report_of_window w =
+  let requests = Desim.Welford.count w in
+  {
+    mean_latency = Desim.Welford.mean w;
+    max_latency = (if requests = 0 then 0.0 else Desim.Welford.max_value w);
+    requests;
+  }
+
+let take_report t =
+  let r = report_of_window t.window in
+  Desim.Welford.reset t.window;
+  r
+
+let peek_report t = report_of_window t.window
+
+let series t ~until = Desim.Timeseries.finish t.series ~until
+
+let cache t = t.cache
+
+let gain_file_set t ~file_set ~cold =
+  if cold then Cache.install_cold t.cache ~file_set
+  else Cache.install_warm t.cache ~file_set
+
+let shed_file_set t ~file_set = Cache.evict t.cache ~file_set
+
+let failed t = Desim.Station.failed t.station
+
+let fail t =
+  let jobs = Desim.Station.fail t.station in
+  List.map (fun j -> j.Desim.Station.tag) jobs
+
+let recover t = Desim.Station.recover t.station

@@ -1,0 +1,84 @@
+(** One metadata server: a queueing station plus cache state and the
+    latency monitoring the delegate consumes.
+
+    Each server serves metadata requests FIFO at its own speed (the
+    heterogeneity under study), warms and dirties its cache as it
+    serves, and accumulates two views of its latencies: a rolling
+    window that is reported to the delegate at the end of every
+    reconfiguration interval, and a full time series for plots. *)
+
+(** What a server reports to the delegate for the last interval. *)
+type report = {
+  mean_latency : float;  (** 0 when the server served nothing *)
+  max_latency : float;
+  requests : int;
+}
+
+type t
+
+val create :
+  Desim.Sim.t ->
+  id:Server_id.t ->
+  speed:float ->
+  ?cache_config:Cache.config ->
+  series_interval:float ->
+  unit ->
+  t
+
+val id : t -> Server_id.t
+
+val speed : t -> float
+
+(** [set_speed t s] models a hardware upgrade/downgrade; affects jobs
+    that start service afterwards. *)
+val set_speed : t -> float -> unit
+
+(** [submit t ~base_demand ?tag ?extra_latency req ~on_complete] serves
+    a metadata request: the effective demand is [base_demand] times the
+    request's operation factor times the cache multiplier for the file
+    set.  [tag] identifies the job to {!fail}; defaults to an internal
+    counter.  [extra_latency] is delay already suffered before reaching
+    this server (e.g. buffering during a file-set move) and is added to
+    the recorded and reported latency.  Latency is recorded in the
+    window and series before [on_complete] runs. *)
+val submit :
+  t ->
+  base_demand:float ->
+  ?tag:int ->
+  ?extra_latency:float ->
+  Request.t ->
+  on_complete:(latency:float -> unit) ->
+  unit
+
+val queue_length : t -> int
+
+val completed : t -> int
+
+val utilization : t -> until:float -> float
+
+(** [take_report t] returns the current window and resets it. *)
+val take_report : t -> report
+
+(** [peek_report t] returns the current window without resetting. *)
+val peek_report : t -> report
+
+(** [series t ~until] closes the full latency time series. *)
+val series : t -> until:float -> Desim.Timeseries.point list
+
+val cache : t -> Cache.t
+
+(** [gain_file_set t ~file_set ~cold] installs cache state for an
+    acquired set. *)
+val gain_file_set : t -> file_set:string -> cold:bool -> unit
+
+(** [shed_file_set t ~file_set] evicts the set, returning dirty bytes
+    to flush. *)
+val shed_file_set : t -> file_set:string -> int
+
+val failed : t -> bool
+
+(** [fail t] takes the server down, returning the interrupted jobs'
+    tags (newest service first, then FIFO queue order). *)
+val fail : t -> int list
+
+val recover : t -> unit

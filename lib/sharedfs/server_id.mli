@@ -1,0 +1,23 @@
+(** Metadata-server identifiers.
+
+    Small integers, stable for the lifetime of a simulation.  The
+    delegate election picks the lowest alive identifier, so ordering is
+    meaningful. *)
+
+type t = private int
+
+val of_int : int -> t
+
+val to_int : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+
+module Set : Set.S with type elt = t

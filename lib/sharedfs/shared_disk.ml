@@ -1,0 +1,39 @@
+type config = { block_size : int; op_overhead : float; bandwidth : float }
+
+type t = {
+  cfg : config;
+  store : (int, string) Hashtbl.t;
+  mutable writes : int;
+  mutable reads : int;
+}
+
+let default_config =
+  { block_size = 4096; op_overhead = 0.0005; bandwidth = 100e6 }
+
+let create ?(config = default_config) () =
+  if config.block_size <= 0 then
+    invalid_arg "Shared_disk.create: block_size must be positive";
+  if config.bandwidth <= 0.0 then
+    invalid_arg "Shared_disk.create: bandwidth must be positive";
+  { cfg = config; store = Hashtbl.create 1024; writes = 0; reads = 0 }
+
+let config t = t.cfg
+
+let transfer_time t ~bytes =
+  if bytes < 0 then invalid_arg "Shared_disk.transfer_time: negative bytes";
+  t.cfg.op_overhead +. (float_of_int bytes /. t.cfg.bandwidth)
+
+let write t ~block data =
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.store block data;
+  transfer_time t ~bytes:(String.length data)
+
+let read t ~block =
+  t.reads <- t.reads + 1;
+  let data = Hashtbl.find_opt t.store block in
+  let bytes = match data with None -> 0 | Some d -> String.length d in
+  (data, transfer_time t ~bytes)
+
+let blocks_written t = t.writes
+
+let blocks_read t = t.reads

@@ -1,0 +1,39 @@
+(** Network-attached shared block storage (the SAN-visible disks).
+
+    Every server can read and write any block, which is what makes
+    file-set movement cheap: the releasing server flushes dirty
+    metadata, the acquiring server initializes from the shared image.
+    The model is a flat block space with a real in-memory store (so the
+    metadata substrate genuinely round-trips through it) plus a simple
+    time model: per-operation overhead and streaming bandwidth. *)
+
+type t
+
+type config = {
+  block_size : int;  (** bytes per block *)
+  op_overhead : float;  (** seconds of fixed cost per I/O operation *)
+  bandwidth : float;  (** bytes per second of streaming transfer *)
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** [write t ~block data] stores [data] and returns the simulated
+    service time of the I/O. *)
+val write : t -> block:int -> string -> float
+
+(** [read t ~block] returns [(data, time)]; absent blocks read as
+    [None]. *)
+val read : t -> block:int -> string option * float
+
+(** [transfer_time t ~bytes] is the time to stream [bytes] (one
+    operation's overhead plus bandwidth-limited transfer). *)
+val transfer_time : t -> bytes:int -> float
+
+(** [blocks_written t] counts write operations, for tests and reports. *)
+val blocks_written : t -> int
+
+val blocks_read : t -> int

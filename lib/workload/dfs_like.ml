@@ -1,0 +1,135 @@
+type config = {
+  file_sets : int;
+  requests : int;
+  duration : float;
+  skew_ratio : float;
+  burst_multiplier : float;
+  burst_fraction : float;
+  slot_seconds : float;
+  mean_demand : float;
+  demand_shape : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    file_sets = 21;
+    requests = 112_590;
+    duration = 3600.0;
+    skew_ratio = 120.0;
+    burst_multiplier = 2.5;
+    burst_fraction = 0.10;
+    slot_seconds = 60.0;
+    mean_demand = 0.10;
+    demand_shape = 4;
+    seed = 7;
+  }
+
+let name_of i = Printf.sprintf "dfs-ws%02d" i
+
+(* Geometric base activity: weights interpolate from 1 down to
+   1/skew_ratio, so the most active set exceeds the least by exactly
+   the configured ratio without a single set dominating the whole
+   system (with 21 sets and ratio 120 the hottest carries ~21% of the
+   load, matching the DFSTrace hour's character). *)
+let raw_base_weights config =
+  let n = config.file_sets in
+  if n = 1 then [| 1.0 |]
+  else
+    Array.init n (fun i ->
+        config.skew_ratio
+        ** (-.float_of_int i /. float_of_int (n - 1)))
+
+let base_weights config =
+  let raw = raw_base_weights config in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  Array.to_list (Array.mapi (fun i w -> (name_of i, w /. total)) raw)
+
+let validate config =
+  if config.file_sets <= 0 then
+    invalid_arg "Dfs_like.generate: file_sets must be positive";
+  if config.requests <= 0 then
+    invalid_arg "Dfs_like.generate: requests must be positive";
+  if config.duration <= 0.0 then
+    invalid_arg "Dfs_like.generate: duration must be positive";
+  if config.skew_ratio < 1.0 then
+    invalid_arg "Dfs_like.generate: skew_ratio must be >= 1";
+  if config.burst_multiplier < 1.0 then
+    invalid_arg "Dfs_like.generate: burst_multiplier must be >= 1";
+  if config.burst_fraction < 0.0 || config.burst_fraction > 1.0 then
+    invalid_arg "Dfs_like.generate: burst_fraction must lie in [0, 1]";
+  if config.slot_seconds <= 0.0 then
+    invalid_arg "Dfs_like.generate: slot_seconds must be positive"
+
+let generate config =
+  validate config;
+  let n = config.file_sets in
+  let slots =
+    max 1 (int_of_float (Float.ceil (config.duration /. config.slot_seconds)))
+  in
+  let base = raw_base_weights config in
+  let rng = Desim.Rng.create config.seed in
+  (* Per-set, per-slot intensity: baseline modulated by bursts. *)
+  let intensity = Array.make_matrix n slots 0.0 in
+  for i = 0 to n - 1 do
+    for s = 0 to slots - 1 do
+      let mult =
+        if Desim.Rng.float rng < config.burst_fraction then
+          config.burst_multiplier
+        else 1.0
+      in
+      intensity.(i).(s) <- base.(i) *. mult
+    done
+  done;
+  (* Draw exactly [requests] arrivals from the (set, slot) mixture. *)
+  let cells = n * slots in
+  let cumulative = Array.make cells 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    for s = 0 to slots - 1 do
+      total := !total +. intensity.(i).(s);
+      cumulative.((i * slots) + s) <- !total
+    done
+  done;
+  let pick u =
+    let target = u *. !total in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if cumulative.(mid) < target then go (mid + 1) hi else go lo mid
+      end
+    in
+    go 0 (cells - 1)
+  in
+  let arrivals = Desim.Rng.split rng in
+  let records = ref [] in
+  for _ = 1 to config.requests do
+    let cell = pick (Desim.Rng.float arrivals) in
+    let i = cell / slots in
+    let s = cell mod slots in
+    let slot_lo = float_of_int s *. config.slot_seconds in
+    let slot_hi = Float.min config.duration (slot_lo +. config.slot_seconds) in
+    let time = Desim.Rng.uniform arrivals ~lo:slot_lo ~hi:slot_hi in
+    let op = Trace.sample_op arrivals in
+    let demand =
+      Desim.Rng.erlang arrivals ~shape:config.demand_shape
+        ~mean:config.mean_demand
+    in
+    let client =
+      (* The traced workstation owns its file set's traffic, with a
+         sprinkling of cross-machine access. *)
+      if Desim.Rng.float arrivals < 0.9 then i
+      else Desim.Rng.int arrivals config.file_sets
+    in
+    let request =
+      {
+        Sharedfs.Request.op;
+        file_set = name_of i;
+        path_hash = Desim.Rng.int arrivals 1_000_000;
+        client;
+      }
+    in
+    records := { Trace.time; request; demand } :: !records
+  done;
+  Trace.create ~duration:config.duration !records

@@ -1,0 +1,129 @@
+type config = {
+  clients : int;
+  file_sets : int;
+  sessions : int;
+  duration : float;
+  hot_files_per_set : int;
+  body_ops_mean : int;
+  think_time_mean : float;
+  weight_exponent : float;
+  mean_demand : float;
+  demand_shape : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    clients = 50;
+    file_sets = 40;
+    sessions = 2_000;
+    duration = 3_600.0;
+    hot_files_per_set = 8;
+    body_ops_mean = 6;
+    think_time_mean = 0.5;
+    weight_exponent = 2.0;
+    mean_demand = 0.1;
+    demand_shape = 4;
+    seed = 23;
+  }
+
+let name_of i = Printf.sprintf "sess-fs-%03d" i
+
+let validate config =
+  if config.clients <= 0 then
+    invalid_arg "Sessions.generate: clients must be positive";
+  if config.file_sets <= 0 then
+    invalid_arg "Sessions.generate: file_sets must be positive";
+  if config.sessions <= 0 then
+    invalid_arg "Sessions.generate: sessions must be positive";
+  if config.duration <= 0.0 then
+    invalid_arg "Sessions.generate: duration must be positive";
+  if config.hot_files_per_set <= 0 then
+    invalid_arg "Sessions.generate: hot_files_per_set must be positive";
+  if config.think_time_mean <= 0.0 then
+    invalid_arg "Sessions.generate: think_time_mean must be positive"
+
+let body_op rng =
+  (* The operations a client performs while holding the lock. *)
+  match Desim.Rng.int rng 5 with
+  | 0 -> Sharedfs.Request.Set_attr
+  | 1 -> Sharedfs.Request.Readdir
+  | 2 | 3 -> Sharedfs.Request.Stat
+  | _ -> Sharedfs.Request.Create
+
+let generate config =
+  validate config;
+  let rng = Desim.Rng.create config.seed in
+  (* Skewed file-set popularity, as in the synthetic workload. *)
+  let weights =
+    Array.init config.file_sets (fun _ ->
+        Float.max 1e-6 (Desim.Rng.float rng ** config.weight_exponent))
+  in
+  let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  let pick_file_set u =
+    let target = u *. total_weight in
+    let acc = ref 0.0 in
+    let chosen = ref (config.file_sets - 1) in
+    (try
+       Array.iteri
+         (fun i w ->
+           acc := !acc +. w;
+           if !acc >= target then begin
+             chosen := i;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    !chosen
+  in
+  let records = ref [] in
+  let emit ~time ~file_set ~op ~path_hash ~client =
+    let time = Float.min time config.duration in
+    let demand =
+      Desim.Rng.erlang rng ~shape:config.demand_shape ~mean:config.mean_demand
+    in
+    records :=
+      {
+        Trace.time;
+        request = { Sharedfs.Request.op; file_set; path_hash; client };
+        demand;
+      }
+      :: !records
+  in
+  for _ = 1 to config.sessions do
+    let client = Desim.Rng.int rng config.clients in
+    let fs_index = pick_file_set (Desim.Rng.float rng) in
+    let file_set = name_of fs_index in
+    (* Hot-file space: distinct sessions frequently pick the same
+       file, which is where lock conflicts come from.  Offset by the
+       set index so different sets never share keys. *)
+    let path_hash =
+      (fs_index * config.hot_files_per_set)
+      + Desim.Rng.int rng config.hot_files_per_set
+    in
+    let t = ref (Desim.Rng.uniform rng ~lo:0.0 ~hi:(config.duration *. 0.95)) in
+    let step () =
+      t := !t +. Desim.Rng.exponential rng ~mean:config.think_time_mean
+    in
+    emit ~time:!t ~file_set ~op:Sharedfs.Request.Open_file ~path_hash ~client;
+    step ();
+    emit ~time:!t ~file_set ~op:Sharedfs.Request.Lock_acquire ~path_hash ~client;
+    let body = 1 + Desim.Rng.poisson rng ~mean:(float_of_int config.body_ops_mean) in
+    for _ = 1 to body do
+      step ();
+      emit ~time:!t ~file_set ~op:(body_op rng) ~path_hash ~client
+    done;
+    step ();
+    emit ~time:!t ~file_set ~op:Sharedfs.Request.Lock_release ~path_hash ~client;
+    step ();
+    emit ~time:!t ~file_set ~op:Sharedfs.Request.Close_file ~path_hash ~client
+  done;
+  Trace.create ~duration:config.duration !records
+
+let session_count trace =
+  Array.fold_left
+    (fun acc r ->
+      match r.Trace.request.Sharedfs.Request.op with
+      | Sharedfs.Request.Open_file -> acc + 1
+      | _ -> acc)
+    0 (Trace.records trace)

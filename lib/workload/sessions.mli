@@ -1,0 +1,42 @@
+(** Session-structured workload.
+
+    The record-level generators ({!Synthetic}, {!Dfs_like}) draw each
+    request independently; real clients instead run {e sessions}: open
+    a file, take a lock, perform a burst of metadata operations,
+    release, close.  This generator produces such sequences, which is
+    what exercises the cluster's lock service — sessions of different
+    clients landing on the same hot file conflict, queue, and are
+    bounded by the lease.
+
+    Each session picks a client, a file set (popularity follows the
+    configured skew) and a file from the set's small hot-file space,
+    then emits
+
+    [open, lock, stat/setattr* , unlock, close]
+
+    separated by exponential think times.  Sessions whose tail would
+    cross the trace end are truncated there (the lease reclaims any
+    lock the truncation leaves behind — exactly the crashed-client
+    case the lease exists for). *)
+
+type config = {
+  clients : int;
+  file_sets : int;
+  sessions : int;
+  duration : float;
+  hot_files_per_set : int;  (** small file space => lock contention *)
+  body_ops_mean : int;  (** operations between lock and unlock *)
+  think_time_mean : float;  (** seconds between a session's operations *)
+  weight_exponent : float;  (** file-set popularity skew *)
+  mean_demand : float;
+  demand_shape : int;
+  seed : int;
+}
+
+val default_config : config
+
+val generate : config -> Trace.t
+
+(** [session_count trace] recovers the number of [Open_file] records —
+    one per session. *)
+val session_count : Trace.t -> int

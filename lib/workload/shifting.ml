@@ -1,0 +1,85 @@
+type config = {
+  file_sets : int;
+  requests : int;
+  duration : float;
+  phases : int;
+  hot_sets_per_phase : int;
+  hot_share : float;
+  mean_demand : float;
+  demand_shape : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    file_sets = 60;
+    requests = 90_000;
+    duration = 3_600.0;
+    phases = 6;
+    hot_sets_per_phase = 4;
+    hot_share = 0.7;
+    mean_demand = 0.1;
+    demand_shape = 4;
+    seed = 13;
+  }
+
+let name_of i = Printf.sprintf "shift-fs-%03d" i
+
+let validate config =
+  if config.file_sets <= 0 || config.requests <= 0 then
+    invalid_arg "Shifting.generate: positive sizes required";
+  if config.duration <= 0.0 then
+    invalid_arg "Shifting.generate: duration must be positive";
+  if config.phases <= 0 then
+    invalid_arg "Shifting.generate: phases must be positive";
+  if config.hot_sets_per_phase <= 0
+     || config.hot_sets_per_phase > config.file_sets
+  then invalid_arg "Shifting.generate: bad hot_sets_per_phase";
+  if config.hot_share < 0.0 || config.hot_share > 1.0 then
+    invalid_arg "Shifting.generate: hot_share must lie in [0, 1]"
+
+(* The hot group walks deterministically around the catalog so that
+   consecutive phases have disjoint hotspots. *)
+let hot_indices config ~phase =
+  List.init config.hot_sets_per_phase (fun k ->
+      ((phase * config.hot_sets_per_phase) + k) mod config.file_sets)
+
+let hot_sets config ~phase =
+  validate config;
+  List.map name_of (hot_indices config ~phase)
+
+let generate config =
+  validate config;
+  let rng = Desim.Rng.create config.seed in
+  let phase_length = config.duration /. float_of_int config.phases in
+  let records = ref [] in
+  for _ = 1 to config.requests do
+    let time = Desim.Rng.uniform rng ~lo:0.0 ~hi:config.duration in
+    let phase =
+      min (config.phases - 1) (int_of_float (time /. phase_length))
+    in
+    let hot = hot_indices config ~phase in
+    let fs_index =
+      if Desim.Rng.float rng < config.hot_share then
+        List.nth hot (Desim.Rng.int rng (List.length hot))
+      else Desim.Rng.int rng config.file_sets
+    in
+    let op = Trace.sample_op rng in
+    let demand =
+      Desim.Rng.erlang rng ~shape:config.demand_shape ~mean:config.mean_demand
+    in
+    records :=
+      {
+        Trace.time;
+        request =
+          {
+            Sharedfs.Request.op;
+            file_set = name_of fs_index;
+            path_hash = Desim.Rng.int rng 1_000_000;
+            client = Desim.Rng.int rng 100;
+          };
+        demand;
+      }
+      :: !records
+  done;
+  Trace.create ~duration:config.duration !records

@@ -1,0 +1,36 @@
+(** Temporally shifting workload (the paper's "temporal
+    heterogeneity").
+
+    Among the advantages claimed for ANU randomization is "changing
+    load placement in response to workload shifts".  The paper's two
+    evaluation workloads do not isolate that: DFSTrace bursts are
+    short and the synthetic weights are stationary.  This generator
+    produces the missing case — a workload whose {e hotspot wanders}:
+    time is divided into phases, and in each phase a different small
+    group of file sets carries most of the load (think nightly builds
+    moving across project trees, or timezone-following user
+    populations).
+
+    A static policy can at best be right for one phase; an adaptive
+    policy must keep re-placing.  The [temporal-shift] experiment runs
+    this against all four policies. *)
+
+type config = {
+  file_sets : int;
+  requests : int;
+  duration : float;
+  phases : int;  (** number of hotspot positions over the run *)
+  hot_sets_per_phase : int;
+  hot_share : float;  (** fraction of a phase's load on the hot group *)
+  mean_demand : float;
+  demand_shape : int;
+  seed : int;
+}
+
+val default_config : config
+
+val generate : config -> Trace.t
+
+(** [hot_sets config ~phase] lists the file sets hot during a phase,
+    for tests. *)
+val hot_sets : config -> phase:int -> string list

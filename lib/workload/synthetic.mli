@@ -1,0 +1,35 @@
+(** The paper's synthetic workload.
+
+    100,000 client requests against 500 file sets over 10,000 seconds.
+    Each file set's share of the workload is [u^3] for [u] drawn
+    uniformly — the cubic skew that makes a few sets dominate — and is
+    stationary for the duration.  Arrivals within the trace follow a
+    Poisson process per file set (realized as uniform order
+    statistics, which conditioned on the total count is the same
+    process).  Service demands are low-variance Erlang draws, matching
+    the observation that metadata service time variance is small, and
+    the demand scale is the knob that keeps the simulated cluster
+    below peak load. *)
+
+type config = {
+  file_sets : int;
+  requests : int;
+  duration : float;
+  weight_exponent : float;  (** the paper's cubic skew: 3.0 *)
+  mean_demand : float;  (** speed-units x seconds per request *)
+  demand_shape : int;  (** Erlang shape; higher = lower variance *)
+  seed : int;
+}
+
+(** The paper's parameters: 500 file sets, 100k requests, 10,000 s,
+    exponent 3. *)
+val default_config : config
+
+(** [generate config] builds the trace.  File sets are named
+    [synth-000] ... *)
+val generate : config -> Trace.t
+
+(** [weights config] returns the normalized per-file-set workload
+    shares the generator used (they depend only on [seed] and
+    [file_sets]). *)
+val weights : config -> (string * float) list

@@ -1,0 +1,106 @@
+let op_to_string = Sharedfs.Request.op_name
+
+let op_of_string s =
+  List.find_opt
+    (fun op -> Sharedfs.Request.op_name op = s)
+    Sharedfs.Request.all_ops
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "# duration: %.6f\n# records: %d\n" (Trace.duration trace)
+       (Trace.length trace));
+  Array.iter
+    (fun r ->
+      let req = r.Trace.request in
+      Buffer.add_string buf
+        (Printf.sprintf "%.6f %s %s %d %d %.9f\n" r.Trace.time
+           req.Sharedfs.Request.file_set
+           (op_to_string req.Sharedfs.Request.op)
+           req.Sharedfs.Request.path_hash req.Sharedfs.Request.client
+           r.Trace.demand))
+    (Trace.records trace);
+  Buffer.contents buf
+
+let of_string s =
+  let duration = ref None in
+  let records = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        (* Recognize the duration header; other comments are ignored. *)
+        let prefix = "# duration:" in
+        if String.length line >= String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+        then
+          let v =
+            String.trim
+              (String.sub line (String.length prefix)
+                 (String.length line - String.length prefix))
+          in
+          match float_of_string_opt v with
+          | Some d -> duration := Some d
+          | None ->
+            failwith
+              (Printf.sprintf "Trace_io.of_string: bad duration at line %d"
+                 (lineno + 1))
+      end
+      else begin
+        let malformed () =
+          failwith
+            (Printf.sprintf "Trace_io.of_string: malformed line %d"
+               (lineno + 1))
+        in
+        let fields = String.split_on_char ' ' line in
+        let time, file_set, op, path_hash, client, demand =
+          match fields with
+          | [ time; file_set; op; path_hash; client; demand ] ->
+            (time, file_set, op, path_hash, client, demand)
+          | [ time; file_set; op; path_hash; demand ] ->
+            (* Legacy five-field format: no client column. *)
+            (time, file_set, op, path_hash, "0", demand)
+          | _ -> malformed ()
+        in
+        match
+          ( float_of_string_opt time,
+            op_of_string op,
+            int_of_string_opt path_hash,
+            int_of_string_opt client,
+            float_of_string_opt demand )
+        with
+        | Some time, Some op, Some path_hash, Some client, Some demand ->
+          records :=
+            {
+              Trace.time;
+              request = { Sharedfs.Request.op; file_set; path_hash; client };
+              demand;
+            }
+            :: !records
+        | _ -> malformed ()
+      end)
+    lines;
+  let records = List.rev !records in
+  let duration =
+    match !duration with
+    | Some d -> d
+    | None ->
+      List.fold_left (fun acc r -> Float.max acc r.Trace.time) 1e-9 records
+  in
+  Trace.create ~duration records
+
+let save trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,25 @@
+(** Text serialization of traces.
+
+    One record per line: [time file_set op path_hash client demand],
+    blank lines and [#] comments ignored; a [# duration: <seconds>]
+    header carries the trace duration.  Five-field lines (without the
+    client column) are accepted for compatibility and read back with
+    client 0.  The format exists so that real
+    DFSTrace-derived data (or any external workload) can be replayed
+    through the simulator without recompiling. *)
+
+val to_string : Trace.t -> string
+
+(** [of_string s] parses; raises [Failure] with a line number on
+    malformed input.  Without a duration header the last record's time
+    is used. *)
+val of_string : string -> Trace.t
+
+val save : Trace.t -> path:string -> unit
+
+val load : path:string -> Trace.t
+
+(** [op_of_string] / [op_to_string] expose the operation encoding. *)
+val op_of_string : string -> Sharedfs.Request.op option
+
+val op_to_string : Sharedfs.Request.op -> string

@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "shdisk"
+    [
+      ("event_heap", Test_event_heap.suite);
+      ("sim", Test_sim.suite);
+      ("rng", Test_rng.suite);
+      ("stat", Test_stat.suite);
+      ("timeseries", Test_timeseries.suite);
+      ("station", Test_station.suite);
+      ("process", Test_process.suite);
+      ("hashlib", Test_hashlib.suite);
+      ("unit_interval", Test_unit_interval.suite);
+      ("region_map", Test_region_map.suite);
+      ("heuristics", Test_heuristics.suite);
+      ("anu", Test_anu.suite);
+      ("policies", Test_policies.suite);
+      ("policy_helpers", Test_policy_helpers.suite);
+      ("gossip", Test_gossip.suite);
+      ("sharedfs", Test_sharedfs.suite);
+      ("san", Test_san.suite);
+      ("cluster", Test_cluster.suite);
+      ("workload", Test_workload.suite);
+      ("sessions", Test_sessions.suite);
+      ("runner", Test_runner.suite);
+      ("experiments", Test_experiments.suite);
+      ("validate", Test_validate.suite);
+      ("balance", Test_balance.suite);
+      ("membership", Test_membership.suite);
+    ]

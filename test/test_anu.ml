@@ -1,0 +1,249 @@
+(* ANU randomization: addressing, probe counts, rebalancing behavior,
+   failure/recovery movement bounds. *)
+
+open Placement
+module Id = Sharedfs.Server_id
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ids n = List.init n Id.of_int
+
+let family = Hashlib.Hash_family.create ~seed:2003
+
+let names n = List.init n (Printf.sprintf "fs-%04d")
+
+let report ?(requests = 100) server latency =
+  {
+    Sharedfs.Delegate.server;
+    speed_hint = 1.0;
+    report =
+      {
+        Sharedfs.Server.mean_latency = latency;
+        max_latency = latency;
+        requests;
+      };
+  }
+
+let feedback reports =
+  { Policy.time = 0.0; reports; future_demand = [] }
+
+let test_locate_deterministic () =
+  let a = Anu.create ~family ~servers:(ids 5) () in
+  let b = Anu.create ~family ~servers:(ids 5) () in
+  List.iter
+    (fun name ->
+      check_bool "same owner" true (Id.equal (Anu.locate a name) (Anu.locate b name)))
+    (names 200)
+
+let test_average_probe_count () =
+  (* Mapped measure is 1/2, so assignment should take ~2 probes. *)
+  let t = Anu.create ~family ~servers:(ids 5) () in
+  let total = ref 0 in
+  let n = 2000 in
+  List.iter
+    (fun name ->
+      let _, probes = Anu.locate_with_rounds t name in
+      total := !total + probes)
+    (names n);
+  let avg = float_of_int !total /. float_of_int n in
+  Alcotest.(check (float 0.2)) "two probes" 2.0 avg
+
+let test_fallback_probability () =
+  (* With only 2 rounds, the direct fallback fires with prob 1/4. *)
+  let config = { Anu.default_config with hash_rounds = 2 } in
+  let t = Anu.create ~config ~family ~servers:(ids 5) () in
+  let fallbacks = ref 0 in
+  let n = 4000 in
+  List.iter
+    (fun name ->
+      let _, probes = Anu.locate_with_rounds t name in
+      if probes = 3 then incr fallbacks)
+    (names n);
+  let rate = float_of_int !fallbacks /. float_of_int n in
+  Alcotest.(check (float 0.04)) "quarter fall back" 0.25 rate
+
+let test_initial_assignment_roughly_uniform () =
+  let t = Anu.create ~family ~servers:(ids 5) () in
+  let counts = Hashtbl.create 5 in
+  List.iter
+    (fun name ->
+      let id = Anu.locate t name in
+      Hashtbl.replace counts id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    (names 5000);
+  Hashtbl.iter
+    (fun _ c ->
+      if c < 700 || c > 1300 then
+        Alcotest.failf "initial placement skewed: %d for one server" c)
+    counts
+
+let test_rebalance_shrinks_overloaded () =
+  let config = { Anu.default_config with heuristics = Heuristics.none } in
+  let t = Anu.create ~config ~family ~servers:(ids 2) () in
+  let before = Region_map.measure_of (Anu.region_map t) (Id.of_int 0) in
+  Anu.rebalance t
+    (feedback [ report (Id.of_int 0) 100.0; report (Id.of_int 1) 1.0 ]);
+  let after = Region_map.measure_of (Anu.region_map t) (Id.of_int 0) in
+  check_bool "shrunk" true (after < before);
+  check_int "reconfigured" 1 (Anu.reconfigurations t);
+  Alcotest.(check (float 1e-6))
+    "half occupancy kept" 0.5
+    (Region_map.total_measure (Anu.region_map t))
+
+let test_rebalance_noop_without_traffic () =
+  let t = Anu.create ~family ~servers:(ids 3) () in
+  Anu.rebalance t (feedback []);
+  Anu.rebalance t
+    (feedback (List.map (fun id -> report ~requests:0 id 0.0) (ids 3)));
+  check_int "no reconfigurations" 0 (Anu.reconfigurations t)
+
+let test_rebalance_holds_inside_band () =
+  (* All latencies within the default threshold band: no change. *)
+  let t = Anu.create ~family ~servers:(ids 3) () in
+  let measures_before = Region_map.measures (Anu.region_map t) in
+  Anu.rebalance t
+    (feedback
+       [ report (Id.of_int 0) 10.0; report (Id.of_int 1) 12.0;
+         report (Id.of_int 2) 9.0 ]);
+  check_int "no reconfigurations" 0 (Anu.reconfigurations t);
+  Alcotest.(check bool)
+    "measures unchanged" true
+    (measures_before = Region_map.measures (Anu.region_map t))
+
+let test_top_off_never_explicitly_grows_idle () =
+  let config =
+    { Anu.default_config with heuristics = Heuristics.top_off_only }
+  in
+  let t = Anu.create ~config ~family ~servers:(ids 3) () in
+  (* Zero out server 0 by overload, then report it idle: top-off must
+     not grow it explicitly (it can only catch shed load via
+     renormalization when others shrink). *)
+  Anu.rebalance t
+    (feedback
+       [ report (Id.of_int 0) 500.0; report (Id.of_int 1) 1.0;
+         report (Id.of_int 2) 1.0 ]);
+  let m0 = Region_map.measure_of (Anu.region_map t) (Id.of_int 0) in
+  Anu.rebalance t
+    (feedback
+       [ report ~requests:0 (Id.of_int 0) 0.0; report (Id.of_int 1) 10.0;
+         report (Id.of_int 2) 10.0 ]);
+  let m0' = Region_map.measure_of (Anu.region_map t) (Id.of_int 0) in
+  (* Idle + balanced others: nothing shrinks, so no implicit growth
+     either. *)
+  Alcotest.(check (float 1e-9)) "no explicit growth" m0 m0'
+
+let test_grow_from_zero_uses_floor () =
+  let config = { Anu.default_config with heuristics = Heuristics.none } in
+  let t = Anu.create ~config ~family ~servers:(ids 2) () in
+  (* Crush server 0 to (near) zero over several rounds. *)
+  for _ = 1 to 12 do
+    Anu.rebalance t
+      (feedback [ report (Id.of_int 0) 1000.0; report (Id.of_int 1) 1.0 ])
+  done;
+  let m0 = Region_map.measure_of (Anu.region_map t) (Id.of_int 0) in
+  check_bool "near zero" true (m0 < 0.01);
+  (* Now report it idle: without top-off it grows again from the
+     floor. *)
+  Anu.rebalance t
+    (feedback [ report ~requests:0 (Id.of_int 0) 0.0; report (Id.of_int 1) 10.0 ]);
+  let m0' = Region_map.measure_of (Anu.region_map t) (Id.of_int 0) in
+  check_bool "grew from floor" true (m0' > m0)
+
+let test_failure_moves_only_bounded_sets () =
+  let t = Anu.create ~family ~servers:(ids 5) () in
+  let all = names 2000 in
+  let before = List.map (fun n -> (n, Anu.locate t n)) all in
+  let failed = Id.of_int 2 in
+  Anu.server_failed t failed;
+  let moved_not_from_failed = ref 0 in
+  let failed_sets = ref 0 in
+  List.iter
+    (fun (name, old_owner) ->
+      let new_owner = Anu.locate t name in
+      check_bool "failed server unused" false (Id.equal new_owner failed);
+      if Id.equal old_owner failed then incr failed_sets
+      else if not (Id.equal new_owner old_owner) then
+        incr moved_not_from_failed)
+    before;
+  check_bool "failed server had sets" true (!failed_sets > 200);
+  (* Collateral movement (free-space points that became mapped) stays
+     well below wholesale re-hashing. *)
+  check_bool "collateral movement bounded" true
+    (float_of_int !moved_not_from_failed < 0.25 *. 2000.0)
+
+let test_recovery_restores_server () =
+  let t = Anu.create ~family ~servers:(ids 5) () in
+  Anu.server_failed t (Id.of_int 1);
+  Anu.server_added t (Id.of_int 1);
+  let counts = Hashtbl.create 5 in
+  List.iter
+    (fun name ->
+      let id = Anu.locate t name in
+      Hashtbl.replace counts id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    (names 3000);
+  let c1 = Option.value ~default:0 (Hashtbl.find_opt counts (Id.of_int 1)) in
+  check_bool "recovered server takes load again" true (c1 > 100)
+
+let test_policy_packaging () =
+  let t = Anu.create ~family ~servers:(ids 3) () in
+  let p = Anu.policy t in
+  Alcotest.(check string) "name" "anu" p.Policy.name;
+  check_bool "locate consistent" true
+    (Id.equal (p.Policy.locate "fs-0001") (Anu.locate t "fs-0001"))
+
+let test_config_validation () =
+  Alcotest.check_raises "rounds"
+    (Invalid_argument "Anu.create: hash_rounds must be >= 1") (fun () ->
+      ignore
+        (Anu.create
+           ~config:{ Anu.default_config with hash_rounds = 0 }
+           ~family ~servers:(ids 2) ()));
+  Alcotest.check_raises "growth"
+    (Invalid_argument "Anu.create: growth_cap must exceed 1") (fun () ->
+      ignore
+        (Anu.create
+           ~config:{ Anu.default_config with growth_cap = 1.0 }
+           ~family ~servers:(ids 2) ()));
+  Alcotest.check_raises "floor"
+    (Invalid_argument "Anu.create: shrink_floor must lie in (0, 1)") (fun () ->
+      ignore
+        (Anu.create
+           ~config:{ Anu.default_config with shrink_floor = 1.0 }
+           ~family ~servers:(ids 2) ()))
+
+let prop_locate_stable_under_idle_rebalances =
+  QCheck.Test.make ~count:50
+    ~name:"balanced reports never move file sets"
+    (QCheck.make QCheck.Gen.(2 -- 8))
+    (fun n ->
+      let t = Anu.create ~family ~servers:(ids n) () in
+      let all = names 300 in
+      let before = List.map (Anu.locate t) all in
+      Anu.rebalance t (feedback (List.map (fun id -> report id 10.0) (ids n)));
+      let after = List.map (Anu.locate t) all in
+      List.for_all2 Id.equal before after)
+
+let suite =
+  [
+    Alcotest.test_case "locate deterministic" `Quick test_locate_deterministic;
+    Alcotest.test_case "two probes on average" `Quick test_average_probe_count;
+    Alcotest.test_case "fallback probability" `Quick test_fallback_probability;
+    Alcotest.test_case "initial roughly uniform" `Quick
+      test_initial_assignment_roughly_uniform;
+    Alcotest.test_case "shrinks overloaded" `Quick test_rebalance_shrinks_overloaded;
+    Alcotest.test_case "no-op without traffic" `Quick
+      test_rebalance_noop_without_traffic;
+    Alcotest.test_case "holds inside band" `Quick test_rebalance_holds_inside_band;
+    Alcotest.test_case "top-off never grows idle" `Quick
+      test_top_off_never_explicitly_grows_idle;
+    Alcotest.test_case "grow from zero floor" `Quick test_grow_from_zero_uses_floor;
+    Alcotest.test_case "failure movement bounded" `Quick
+      test_failure_moves_only_bounded_sets;
+    Alcotest.test_case "recovery restores server" `Quick
+      test_recovery_restores_server;
+    Alcotest.test_case "policy packaging" `Quick test_policy_packaging;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    QCheck_alcotest.to_alcotest prop_locate_stable_under_idle_rebalances;
+  ]

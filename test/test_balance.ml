@@ -1,0 +1,70 @@
+(* Balance study: the Section-4 variance claims, plus cluster-level
+   random-operation properties. *)
+
+module BS = Placement.Balance_study
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_ratios_at_least_one () =
+  List.iter
+    (fun r ->
+      check_bool "max/mean >= 1" true (r.BS.mean_ratio >= 1.0);
+      check_bool "worst >= p95" true (r.BS.worst_ratio >= r.BS.p95_ratio -. 1e-9))
+    (BS.compare_all ~servers:5 ~file_sets:200 ~trials:10 ~seed:3)
+
+let test_tuning_beats_simple_randomization () =
+  (* The paper: "server scaling results in better load balance than
+     simple randomization even when all servers and all file sets are
+     homogeneous". *)
+  let results = BS.compare_all ~servers:8 ~file_sets:512 ~trials:30 ~seed:1 in
+  let find m = List.find (fun r -> r.BS.mechanism = m) results in
+  let simple = find BS.Simple and tuned = find BS.Anu_tuned in
+  check_bool "tuned beats simple" true
+    (tuned.BS.mean_ratio < simple.BS.mean_ratio)
+
+let test_untuned_anu_matches_simple_class () =
+  (* Untuned ANU is just different hashing: same variance class as
+     simple randomization (within noise). *)
+  let results = BS.compare_all ~servers:8 ~file_sets:512 ~trials:30 ~seed:2 in
+  let find m = List.find (fun r -> r.BS.mechanism = m) results in
+  let simple = find BS.Simple and static = find BS.Anu_static in
+  check_bool "same class" true
+    (Float.abs (static.BS.mean_ratio -. simple.BS.mean_ratio) < 0.12)
+
+let test_more_balls_tighter_ratio () =
+  (* One-choice balls-in-bins: max/mean tends to 1 as m/n grows. *)
+  let small =
+    BS.study ~servers:8 ~file_sets:64 ~trials:20 ~tuning_rounds:0 ~seed:4
+      BS.Simple
+  in
+  let large =
+    BS.study ~servers:8 ~file_sets:8192 ~trials:20 ~tuning_rounds:0 ~seed:4
+      BS.Simple
+  in
+  check_bool "concentration" true (large.BS.mean_ratio < small.BS.mean_ratio)
+
+let test_validation () =
+  Alcotest.check_raises "sizes"
+    (Invalid_argument "Balance_study.study: positive sizes required")
+    (fun () ->
+      ignore
+        (BS.study ~servers:0 ~file_sets:1 ~trials:1 ~tuning_rounds:0 ~seed:0
+           BS.Simple))
+
+let test_mechanism_names_distinct () =
+  let names = List.map BS.mechanism_name [ BS.Simple; BS.Anu_static; BS.Anu_tuned ] in
+  check_int "distinct" 3 (List.length (List.sort_uniq String.compare names))
+
+let suite =
+  [
+    Alcotest.test_case "ratios sane" `Quick test_ratios_at_least_one;
+    Alcotest.test_case "tuning beats simple randomization" `Slow
+      test_tuning_beats_simple_randomization;
+    Alcotest.test_case "untuned matches simple class" `Slow
+      test_untuned_anu_matches_simple_class;
+    Alcotest.test_case "concentration with more balls" `Slow
+      test_more_balls_tighter_ratio;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "mechanism names" `Quick test_mechanism_names_distinct;
+  ]

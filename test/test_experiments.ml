@@ -1,0 +1,107 @@
+(* Figures registry and report rendering. *)
+
+open Experiments
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_registry_complete () =
+  List.iter
+    (fun id ->
+      check_bool (id ^ " registered") true (Figures.by_id id <> None))
+    [ "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11" ];
+  check_bool "unknown" true (Figures.by_id "fig99" = None);
+  check_int "twelve experiments" 12 (List.length Figures.all_ids)
+
+let test_fig6_quick_structure () =
+  let f = Figures.fig6 ~quick:true () in
+  Alcotest.(check string) "id" "fig6" f.Figures.id;
+  check_int "four policies" 4 (List.length f.Figures.results);
+  let names = List.map (fun r -> r.Runner.policy_name) f.Figures.results in
+  Alcotest.(check (list string)) "order"
+    [ "simple-random"; "round-robin"; "prescient"; "anu" ]
+    names;
+  List.iter
+    (fun r -> check_int "complete" r.Runner.submitted r.Runner.completed)
+    f.Figures.results
+
+let test_fig7_closeup () =
+  let f = Figures.fig7 ~quick:true () in
+  check_int "two policies" 2 (List.length f.Figures.results)
+
+let test_fig10_over_tuning_contrast () =
+  let f = Figures.fig10 ~quick:true () in
+  match f.Figures.results with
+  | [ none; all_three ] ->
+    Alcotest.(check string) "panel a" "anu-no-heuristics"
+      none.Runner.policy_name;
+    Alcotest.(check string) "panel b" "anu-all-three"
+      all_three.Runner.policy_name;
+    (* The defining contrast: without heuristics the system keeps
+       moving file sets. *)
+    check_bool "no-heuristics moves more" true
+      (List.length none.Runner.moves > List.length all_three.Runner.moves)
+  | _ -> Alcotest.fail "expected two panels"
+
+let test_fig11_three_panels () =
+  let f = Figures.fig11 ~quick:true () in
+  check_int "three" 3 (List.length f.Figures.results)
+
+let test_failure_recovery_experiment () =
+  let f = Figures.failure_recovery ~quick:true () in
+  match f.Figures.results with
+  | [ r ] ->
+    check_int "completes" r.Runner.submitted r.Runner.completed;
+    check_bool "has adoption moves" true
+      (List.exists (fun m -> m.Sharedfs.Cluster.src = None) r.Runner.moves)
+  | _ -> Alcotest.fail "expected one result"
+
+let test_report_rendering () =
+  let f = Figures.fig7 ~quick:true () in
+  let text = Format.asprintf "%a" (Report.pp_figure ~max_minutes:10.0) f in
+  check_bool "mentions policy" true
+    (contains ~affix:"prescient" text);
+  let summary = Format.asprintf "%a" Report.pp_summary f in
+  check_bool "summary non-empty" true (String.length summary > 50)
+
+let test_csv_output () =
+  let f = Figures.fig7 ~quick:true () in
+  let csv = Report.figure_to_csv f in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: rows ->
+    Alcotest.(check string) "header"
+      "figure,policy,minute,server,mean_ms,max_ms,count" header;
+    check_bool "has rows" true (List.length rows > 10);
+    List.iter
+      (fun row ->
+        check_int "seven columns" 7
+          (List.length (String.split_on_char ',' row)))
+      rows
+  | [] -> Alcotest.fail "empty csv")
+
+let test_summary_line_format () =
+  let f = Figures.fig7 ~quick:true () in
+  List.iter
+    (fun r ->
+      let line = Report.summary_line r in
+      check_bool "mentions ms" true (contains ~affix:"ms" line))
+    f.Figures.results
+
+let suite =
+  [
+    Alcotest.test_case "registry" `Quick test_registry_complete;
+    Alcotest.test_case "fig6 structure" `Slow test_fig6_quick_structure;
+    Alcotest.test_case "fig7 closeup" `Slow test_fig7_closeup;
+    Alcotest.test_case "fig10 contrast" `Slow test_fig10_over_tuning_contrast;
+    Alcotest.test_case "fig11 panels" `Slow test_fig11_three_panels;
+    Alcotest.test_case "failure-recovery" `Slow test_failure_recovery_experiment;
+    Alcotest.test_case "report rendering" `Slow test_report_rendering;
+    Alcotest.test_case "csv output" `Slow test_csv_output;
+    Alcotest.test_case "summary line" `Slow test_summary_line_format;
+  ]

@@ -1,0 +1,116 @@
+(* Decentralized pair-wise gossip rescaling. *)
+
+open Placement
+module Id = Sharedfs.Server_id
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ids n = List.init n Id.of_int
+
+let family = Hashlib.Hash_family.create ~seed:404
+
+let report ?(requests = 100) server latency =
+  {
+    Sharedfs.Delegate.server;
+    speed_hint = 1.0;
+    report =
+      { Sharedfs.Server.mean_latency = latency; max_latency = latency; requests };
+  }
+
+let feedback reports = { Policy.time = 0.0; reports; future_demand = [] }
+
+let test_locate_deterministic () =
+  let a = Gossip.create ~family ~servers:(ids 4) () in
+  let b = Gossip.create ~family ~servers:(ids 4) () in
+  for i = 0 to 99 do
+    let name = Printf.sprintf "fs-%d" i in
+    check_bool "same" true (Id.equal (Gossip.locate a name) (Gossip.locate b name))
+  done
+
+let test_pair_transfer_conserves_half_occupancy () =
+  let t = Gossip.create ~family ~servers:(ids 4) () in
+  for round = 1 to 20 do
+    ignore round;
+    Gossip.rebalance t
+      (feedback
+         [ report (Id.of_int 0) 100.0; report (Id.of_int 1) 5.0;
+           report (Id.of_int 2) 50.0; report (Id.of_int 3) 8.0 ])
+  done;
+  Alcotest.(check (float 1e-6))
+    "half occupancy" 0.5
+    (Region_map.total_measure (Gossip.region_map t));
+  Alcotest.(check (list string))
+    "invariants" []
+    (Region_map.check_invariants (Gossip.region_map t))
+
+let test_overloaded_server_sheds () =
+  let t = Gossip.create ~family ~servers:(ids 2) () in
+  let before = Region_map.measure_of (Gossip.region_map t) (Id.of_int 0) in
+  (* With two servers, every round pairs them. *)
+  for _ = 1 to 5 do
+    Gossip.rebalance t
+      (feedback [ report (Id.of_int 0) 100.0; report (Id.of_int 1) 5.0 ])
+  done;
+  let after = Region_map.measure_of (Gossip.region_map t) (Id.of_int 0) in
+  check_bool "shed" true (after < before);
+  check_bool "exchanges counted" true (Gossip.exchanges t >= 5)
+
+let test_balanced_pairs_hold () =
+  let t = Gossip.create ~family ~servers:(ids 2) () in
+  let before = Region_map.measures (Gossip.region_map t) in
+  Gossip.rebalance t
+    (feedback [ report (Id.of_int 0) 10.0; report (Id.of_int 1) 9.0 ]);
+  check_bool "unchanged" true
+    (before = Region_map.measures (Gossip.region_map t));
+  check_int "no exchanges" 0 (Gossip.exchanges t)
+
+let test_idle_partner_gets_only_probe () =
+  let t = Gossip.create ~family ~servers:(ids 2) () in
+  (* Crush server 0 to zero. *)
+  for _ = 1 to 30 do
+    Gossip.rebalance t
+      (feedback [ report (Id.of_int 0) 1000.0; report (Id.of_int 1) 5.0 ])
+  done;
+  let m0 = Region_map.measure_of (Gossip.region_map t) (Id.of_int 0) in
+  (* Now it is idle; a heavily loaded partner may hand it at most a
+     probe-sized chunk per round. *)
+  Gossip.rebalance t
+    (feedback [ report ~requests:0 (Id.of_int 0) 0.0; report (Id.of_int 1) 50.0 ]);
+  let m0' = Region_map.measure_of (Gossip.region_map t) (Id.of_int 0) in
+  let width = Region_map.width (Gossip.region_map t) in
+  check_bool "grew" true (m0' > m0);
+  check_bool "bounded by probe" true (m0' -. m0 <= (0.25 *. width) +. 1e-9)
+
+let test_membership_changes () =
+  let t = Gossip.create ~family ~servers:(ids 5) () in
+  Gossip.server_failed t (Id.of_int 2);
+  Alcotest.(check (float 1e-6))
+    "half after failure" 0.5
+    (Region_map.total_measure (Gossip.region_map t));
+  Gossip.server_added t (Id.of_int 2);
+  Alcotest.(check (float 1e-6))
+    "half after re-add" 0.5
+    (Region_map.total_measure (Gossip.region_map t));
+  check_int "five servers" 5 (List.length (Region_map.servers (Gossip.region_map t)))
+
+let test_config_validation () =
+  Alcotest.check_raises "gain"
+    (Invalid_argument "Gossip.create: transfer_gain must lie in (0, 1]")
+    (fun () ->
+      ignore
+        (Gossip.create
+           ~config:{ Gossip.default_config with transfer_gain = 0.0 }
+           ~family ~servers:(ids 2) ()))
+
+let suite =
+  [
+    Alcotest.test_case "locate deterministic" `Quick test_locate_deterministic;
+    Alcotest.test_case "conserves half occupancy" `Quick
+      test_pair_transfer_conserves_half_occupancy;
+    Alcotest.test_case "overloaded sheds" `Quick test_overloaded_server_sheds;
+    Alcotest.test_case "balanced pairs hold" `Quick test_balanced_pairs_hold;
+    Alcotest.test_case "idle partner probe" `Quick test_idle_partner_gets_only_probe;
+    Alcotest.test_case "membership changes" `Quick test_membership_changes;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+  ]

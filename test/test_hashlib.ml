@@ -1,0 +1,109 @@
+(* Mix64, Hash_family: determinism, uniformity, independence. *)
+
+open Hashlib
+
+let check_bool = Alcotest.(check bool)
+let check_float eps = Alcotest.(check (float eps))
+
+let test_mix_deterministic () =
+  check_bool "mix" true (Mix64.mix 42L = Mix64.mix 42L);
+  check_bool "fnv1a" true (Mix64.fnv1a "hello" = Mix64.fnv1a "hello");
+  check_bool "different inputs differ" true
+    (Mix64.fnv1a "hello" <> Mix64.fnv1a "hellp")
+
+let test_mix_avalanche () =
+  (* Flipping one input bit should flip roughly half the output bits. *)
+  let popcount x =
+    let rec go acc v =
+      if Int64.equal v 0L then acc
+      else go (acc + 1) (Int64.logand v (Int64.sub v 1L))
+    in
+    go 0 x
+  in
+  let total = ref 0 in
+  let trials = 256 in
+  for i = 0 to trials - 1 do
+    let base = Int64.of_int (i * 12345) in
+    let flipped = Int64.logxor base 1L in
+    total := !total + popcount (Int64.logxor (Mix64.mix base) (Mix64.mix flipped))
+  done;
+  let avg = float_of_int !total /. float_of_int trials in
+  check_float 4.0 "about 32 bits flip" 32.0 avg
+
+let test_to_unit_float_range () =
+  for i = 0 to 10_000 do
+    let f = Mix64.to_unit_float (Mix64.mix (Int64.of_int i)) in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "out of [0,1)"
+  done
+
+let test_family_deterministic_across_instances () =
+  let a = Hash_family.create ~seed:99 in
+  let b = Hash_family.create ~seed:99 in
+  check_bool "same points" true
+    (Hash_family.point a ~round:3 "fs-1" = Hash_family.point b ~round:3 "fs-1");
+  Alcotest.(check int) "seed" 99 (Hash_family.seed a)
+
+let test_family_rounds_independent () =
+  let f = Hash_family.create ~seed:1 in
+  let p0 = Hash_family.point f ~round:0 "fs-1" in
+  let p1 = Hash_family.point f ~round:1 "fs-1" in
+  check_bool "rounds differ" true (p0 <> p1)
+
+let test_family_seeds_differ () =
+  let a = Hash_family.create ~seed:1 in
+  let b = Hash_family.create ~seed:2 in
+  check_bool "families differ" true
+    (Hash_family.point a ~round:0 "x" <> Hash_family.point b ~round:0 "x")
+
+let test_family_uniformity () =
+  (* Chi-square-ish sanity: 10k names into 10 buckets. *)
+  let f = Hash_family.create ~seed:7 in
+  let buckets = Array.make 10 0 in
+  for i = 0 to 9_999 do
+    let p = Hash_family.point f ~round:0 (Printf.sprintf "name-%d" i) in
+    let b = int_of_float (p *. 10.0) in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 800 || c > 1200 then Alcotest.failf "bucket count %d suspicious" c)
+    buckets
+
+let test_fallback_index_bounds () =
+  let f = Hash_family.create ~seed:3 in
+  for i = 0 to 999 do
+    let idx = Hash_family.fallback_index f (string_of_int i) ~n:7 in
+    if idx < 0 || idx >= 7 then Alcotest.fail "fallback out of range"
+  done;
+  Alcotest.check_raises "n=0"
+    (Invalid_argument "Hash_family.fallback_index: n must be positive")
+    (fun () -> ignore (Hash_family.fallback_index f "x" ~n:0))
+
+let test_negative_round_rejected () =
+  let f = Hash_family.create ~seed:3 in
+  Alcotest.check_raises "round"
+    (Invalid_argument "Hash_family.point: negative round") (fun () ->
+      ignore (Hash_family.point f ~round:(-1) "x"))
+
+let prop_point_in_unit_interval =
+  QCheck.Test.make ~count:500 ~name:"points always land in [0,1)"
+    QCheck.(pair small_string (int_range 0 30))
+    (fun (name, round) ->
+      let f = Hash_family.create ~seed:11 in
+      let p = Hash_family.point f ~round name in
+      p >= 0.0 && p < 1.0)
+
+let suite =
+  [
+    Alcotest.test_case "mix deterministic" `Quick test_mix_deterministic;
+    Alcotest.test_case "mix avalanche" `Quick test_mix_avalanche;
+    Alcotest.test_case "to_unit_float range" `Quick test_to_unit_float_range;
+    Alcotest.test_case "family deterministic" `Quick
+      test_family_deterministic_across_instances;
+    Alcotest.test_case "rounds independent" `Quick test_family_rounds_independent;
+    Alcotest.test_case "seeds differ" `Quick test_family_seeds_differ;
+    Alcotest.test_case "uniformity" `Slow test_family_uniformity;
+    Alcotest.test_case "fallback bounds" `Quick test_fallback_index_bounds;
+    Alcotest.test_case "negative round" `Quick test_negative_round_rejected;
+    QCheck_alcotest.to_alcotest prop_point_in_unit_interval;
+  ]

@@ -1,0 +1,107 @@
+(* Heuristics: the full decision table for the three anti-over-tuning
+   policies. *)
+
+open Placement
+module H = Heuristics
+
+let decision = Alcotest.testable
+    (fun fmt -> function
+      | H.Shrink -> Format.fprintf fmt "Shrink"
+      | H.Grow -> Format.fprintf fmt "Grow"
+      | H.Hold -> Format.fprintf fmt "Hold")
+    ( = )
+
+let check = Alcotest.check decision
+
+let test_none_is_aggressive () =
+  (* No heuristics: any deviation from the average acts. *)
+  check "above" H.Shrink
+    (H.decide H.none ~average:10.0 ~latency:10.1 ~previous:None);
+  check "below" H.Grow
+    (H.decide H.none ~average:10.0 ~latency:9.9 ~previous:None);
+  check "equal" H.Hold (H.decide H.none ~average:10.0 ~latency:10.0 ~previous:None)
+
+let test_threshold_dead_band () =
+  let t = { H.none with H.threshold = Some 0.5 } in
+  (* Band is [avg/1.5, avg*1.5] = [6.67, 15]. *)
+  check "inside above" H.Hold
+    (H.decide t ~average:10.0 ~latency:14.0 ~previous:None);
+  check "inside below" H.Hold
+    (H.decide t ~average:10.0 ~latency:7.0 ~previous:None);
+  check "above band" H.Shrink
+    (H.decide t ~average:10.0 ~latency:16.0 ~previous:None);
+  check "below band" H.Grow
+    (H.decide t ~average:10.0 ~latency:6.0 ~previous:None)
+
+let test_top_off_never_grows () =
+  let t = { H.none with H.top_off = true } in
+  check "would grow -> hold" H.Hold
+    (H.decide t ~average:10.0 ~latency:1.0 ~previous:None);
+  check "still shrinks" H.Shrink
+    (H.decide t ~average:10.0 ~latency:20.0 ~previous:None)
+
+let test_divergent_needs_history () =
+  let t = { H.none with H.divergent = true } in
+  (* Without history the policy is ignored (delegate crash case). *)
+  check "no history shrink allowed" H.Shrink
+    (H.decide t ~average:10.0 ~latency:20.0 ~previous:None);
+  (* Above average but falling: converging on its own, leave it. *)
+  check "above and falling -> hold" H.Hold
+    (H.decide t ~average:10.0 ~latency:20.0 ~previous:(Some 30.0));
+  (* Above average and rising: diverging, act. *)
+  check "above and rising -> shrink" H.Shrink
+    (H.decide t ~average:10.0 ~latency:20.0 ~previous:(Some 15.0));
+  (* Below average and rising: converging upward, leave it. *)
+  check "below and rising -> hold" H.Hold
+    (H.decide t ~average:10.0 ~latency:5.0 ~previous:(Some 2.0));
+  (* Below average and falling: diverging downward, grow it. *)
+  check "below and falling -> grow" H.Grow
+    (H.decide t ~average:10.0 ~latency:5.0 ~previous:(Some 8.0))
+
+let test_all_three_composition () =
+  let t = H.all_three in
+  (* Inside the wide default band nothing happens regardless of
+     history. *)
+  check "inside band" H.Hold
+    (H.decide t ~average:10.0 ~latency:25.0 ~previous:(Some 5.0));
+  (* Far above and rising: shrink. *)
+  check "overloaded rising" H.Shrink
+    (H.decide t ~average:10.0 ~latency:50.0 ~previous:(Some 40.0));
+  (* Far above but falling: divergent blocks. *)
+  check "overloaded falling" H.Hold
+    (H.decide t ~average:10.0 ~latency:50.0 ~previous:(Some 80.0));
+  (* Far below: top-off blocks growth. *)
+  check "idle stays idle" H.Hold
+    (H.decide t ~average:10.0 ~latency:0.0 ~previous:(Some 0.0))
+
+let test_presets () =
+  Alcotest.(check bool) "none" true
+    (H.none.H.threshold = None && (not H.none.H.top_off)
+    && not H.none.H.divergent);
+  Alcotest.(check bool) "threshold_only" true
+    (H.threshold_only.H.threshold = Some H.default_threshold
+    && (not H.threshold_only.H.top_off)
+    && not H.threshold_only.H.divergent);
+  Alcotest.(check bool) "top_off_only" true
+    (H.top_off_only.H.top_off && H.top_off_only.H.threshold = None);
+  Alcotest.(check bool) "divergent_only" true
+    (H.divergent_only.H.divergent && not H.divergent_only.H.top_off);
+  Alcotest.(check bool) "all_three" true
+    (H.all_three.H.top_off && H.all_three.H.divergent
+    && H.all_three.H.threshold = Some H.default_threshold)
+
+let test_describe () =
+  Alcotest.(check string) "none" "no heuristics" (H.describe H.none);
+  Alcotest.(check bool) "all mentions top-off" true
+    (String.length (H.describe H.all_three) > 10)
+
+let suite =
+  [
+    Alcotest.test_case "none is aggressive" `Quick test_none_is_aggressive;
+    Alcotest.test_case "threshold dead band" `Quick test_threshold_dead_band;
+    Alcotest.test_case "top-off never grows" `Quick test_top_off_never_grows;
+    Alcotest.test_case "divergent" `Quick test_divergent_needs_history;
+    Alcotest.test_case "all three composed" `Quick test_all_three_composition;
+    Alcotest.test_case "presets" `Quick test_presets;
+    Alcotest.test_case "describe" `Quick test_describe;
+  ]

@@ -1,0 +1,233 @@
+(* The baselines: simple randomization, round-robin, prescient. *)
+
+open Placement
+module Id = Sharedfs.Server_id
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ids n = List.init n Id.of_int
+
+let names n = List.init n (Printf.sprintf "fs-%03d")
+
+let family = Hashlib.Hash_family.create ~seed:77
+
+(* --- simple randomization --- *)
+
+let test_simple_random_deterministic () =
+  let a = Simple_random.create ~family ~servers:(ids 4) in
+  let b = Simple_random.create ~family ~servers:(ids 4) in
+  List.iter
+    (fun n ->
+      check_bool "same" true
+        (Id.equal (Simple_random.locate a n) (Simple_random.locate b n)))
+    (names 100)
+
+let test_simple_random_roughly_uniform () =
+  let t = Simple_random.create ~family ~servers:(ids 4) in
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun n ->
+      let id = Id.to_int (Simple_random.locate t n) in
+      counts.(id) <- counts.(id) + 1)
+    (names 4000);
+  Array.iter
+    (fun c -> if c < 800 || c > 1200 then Alcotest.failf "skewed: %d" c)
+    counts
+
+let test_simple_random_failure_redirects () =
+  let t = Simple_random.create ~family ~servers:(ids 3) in
+  let p = Simple_random.policy t in
+  p.Policy.server_failed (Id.of_int 1);
+  List.iter
+    (fun n ->
+      check_bool "avoids dead server" false
+        (Id.equal (Simple_random.locate t n) (Id.of_int 1)))
+    (names 200)
+
+(* --- round-robin --- *)
+
+let test_round_robin_equal_counts () =
+  let fs = names 103 in
+  let t = Round_robin.create ~servers:(ids 5) ~file_sets:fs in
+  let counts = Array.make 5 0 in
+  List.iter
+    (fun n ->
+      let id = Id.to_int (Round_robin.locate t n) in
+      counts.(id) <- counts.(id) + 1)
+    fs;
+  let mn = Array.fold_left min max_int counts in
+  let mx = Array.fold_left max 0 counts in
+  check_bool "within one" true (mx - mn <= 1);
+  check_int "total" 103 (Array.fold_left ( + ) 0 counts)
+
+let test_round_robin_unknown_rejected () =
+  let t = Round_robin.create ~servers:(ids 2) ~file_sets:(names 4) in
+  Alcotest.check_raises "unknown"
+    (Failure "Round_robin.locate: unknown file set nope") (fun () ->
+      ignore (Round_robin.locate t "nope"))
+
+let test_round_robin_failure_redeals () =
+  let fs = names 20 in
+  let t = Round_robin.create ~servers:(ids 4) ~file_sets:fs in
+  let p = Round_robin.policy t in
+  p.Policy.server_failed (Id.of_int 0);
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun n ->
+      let id = Id.to_int (Round_robin.locate t n) in
+      counts.(id) <- counts.(id) + 1)
+    fs;
+  check_int "dead server empty" 0 counts.(0);
+  check_int "all sets placed" 20 (Array.fold_left ( + ) 0 counts);
+  let live = [ counts.(1); counts.(2); counts.(3) ] in
+  check_bool "survivors near-even" true
+    (List.fold_left max 0 live - List.fold_left min max_int live <= 2)
+
+(* --- prescient --- *)
+
+let speeds = [ (Id.of_int 0, 1.0); (Id.of_int 1, 3.0); (Id.of_int 2, 5.0) ]
+
+let test_makespan () =
+  let demands = [ ("a", 10.0); ("b", 3.0) ] in
+  let assignment = [ ("a", Id.of_int 2); ("b", Id.of_int 0) ] in
+  Alcotest.(check (float 1e-9))
+    "max of load/speed" 3.0
+    (Prescient.makespan ~speeds ~demands assignment)
+
+let test_lpt_reasonable () =
+  let demands = List.init 30 (fun i -> (Printf.sprintf "d%d" i, 1.0 +. float_of_int (i mod 5))) in
+  let packed =
+    Prescient.lpt_assignment ~speeds ~demands
+      ~current:(fun _ -> None)
+      ~stability_bias:0.0
+  in
+  check_int "all placed" 30 (List.length packed);
+  (* LPT on uniform machines stays within 2x of the trivial lower
+     bound total/sum-speeds (loose but real). *)
+  let total = List.fold_left (fun acc (_, d) -> acc +. d) 0.0 demands in
+  let lower = total /. 9.0 in
+  let span = Prescient.makespan ~speeds ~demands packed in
+  check_bool "bounded" true (span <= 2.0 *. lower +. 1.0)
+
+let test_lpt_close_to_exact () =
+  (* Small instances: greedy within the classic bound of optimum. *)
+  let demands =
+    [ ("a", 7.0); ("b", 5.0); ("c", 4.0); ("d", 3.0); ("e", 2.0); ("f", 2.0) ]
+  in
+  let packed =
+    Prescient.lpt_assignment ~speeds ~demands
+      ~current:(fun _ -> None)
+      ~stability_bias:0.0
+  in
+  let span = Prescient.makespan ~speeds ~demands packed in
+  let _, best = Prescient.exact_assignment ~speeds ~demands in
+  check_bool "within 4/3 + handicap slack of optimum" true
+    (span <= (4.0 /. 3.0 *. best) +. 1.0)
+
+let test_exact_assignment_optimal_on_tiny_case () =
+  let speeds = [ (Id.of_int 0, 1.0); (Id.of_int 1, 2.0) ] in
+  let demands = [ ("a", 2.0); ("b", 2.0); ("c", 2.0) ] in
+  let assignment, span = Prescient.exact_assignment ~speeds ~demands in
+  (* Optimum: two sets on the fast server (load 4 / speed 2 = 2) and
+     one on the slow (2/1 = 2). *)
+  Alcotest.(check (float 1e-9)) "optimal span" 2.0 span;
+  check_int "all placed" 3 (List.length assignment)
+
+let test_exact_rejects_large () =
+  let demands = List.init 15 (fun i -> (string_of_int i, 1.0)) in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Prescient.exact_assignment: instance too large")
+    (fun () -> ignore (Prescient.exact_assignment ~speeds ~demands))
+
+let feedback demands =
+  { Policy.time = 0.0; reports = []; future_demand = demands }
+
+let test_prescient_balances_by_speed () =
+  let t = Prescient.create ~speeds ~stability_bias:0.0 in
+  let demands = List.init 60 (fun i -> (Printf.sprintf "d%02d" i, 5.0)) in
+  Prescient.rebalance t (feedback demands);
+  let loads = Array.make 3 0.0 in
+  List.iter
+    (fun (n, d) ->
+      let id = Id.to_int (Prescient.locate t n) in
+      loads.(id) <- loads.(id) +. d)
+    demands;
+  (* Enough load that the handicap washes out: completion times should
+     be roughly equal across servers. *)
+  let c0 = loads.(0) /. 1.0 and c2 = loads.(2) /. 5.0 in
+  check_bool "completion times comparable" true
+    (Float.abs (c0 -. c2) <= 12.0);
+  check_bool "fast server carries more" true (loads.(2) > loads.(0))
+
+let test_prescient_avoids_slow_server_when_light () =
+  let t = Prescient.create ~speeds ~stability_bias:0.0 in
+  (* Tiny total demand: the handicap keeps everything off the slowest
+     server — the paper's optimal for its synthetic workload. *)
+  let demands = List.init 10 (fun i -> (Printf.sprintf "d%d" i, 0.05)) in
+  Prescient.rebalance t (feedback demands);
+  List.iter
+    (fun (n, _) ->
+      check_bool "not on slowest" false
+        (Id.equal (Prescient.locate t n) (Id.of_int 0)))
+    demands
+
+let test_prescient_stationary_stable () =
+  let t = Prescient.create ~speeds ~stability_bias:Prescient.default_stability_bias in
+  let demands = List.init 40 (fun i -> (Printf.sprintf "d%02d" i, 1.0 +. float_of_int (i mod 7))) in
+  Prescient.rebalance t (feedback demands);
+  let before = List.map (fun (n, _) -> (n, Prescient.locate t n)) demands in
+  (* Same demands again: nothing should move. *)
+  for _ = 1 to 5 do
+    Prescient.rebalance t (feedback demands)
+  done;
+  List.iter
+    (fun (n, owner) ->
+      check_bool "stable" true (Id.equal owner (Prescient.locate t n)))
+    before
+
+let test_prescient_unknown_set_parks_on_fastest () =
+  let t = Prescient.create ~speeds ~stability_bias:0.0 in
+  check_bool "fastest" true (Id.equal (Prescient.locate t "new") (Id.of_int 2))
+
+let test_prescient_failure () =
+  let t = Prescient.create ~speeds ~stability_bias:0.0 in
+  let demands = List.init 12 (fun i -> (Printf.sprintf "d%d" i, 1.0)) in
+  Prescient.rebalance t (feedback demands);
+  let p = Prescient.policy t in
+  p.Policy.server_failed (Id.of_int 2);
+  List.iter
+    (fun (n, _) ->
+      check_bool "off dead server" false
+        (Id.equal (Prescient.locate t n) (Id.of_int 2)))
+    demands
+
+let suite =
+  [
+    Alcotest.test_case "simple-random deterministic" `Quick
+      test_simple_random_deterministic;
+    Alcotest.test_case "simple-random uniform" `Quick
+      test_simple_random_roughly_uniform;
+    Alcotest.test_case "simple-random failure" `Quick
+      test_simple_random_failure_redirects;
+    Alcotest.test_case "round-robin equal counts" `Quick
+      test_round_robin_equal_counts;
+    Alcotest.test_case "round-robin unknown set" `Quick
+      test_round_robin_unknown_rejected;
+    Alcotest.test_case "round-robin failure redeals" `Quick
+      test_round_robin_failure_redeals;
+    Alcotest.test_case "makespan" `Quick test_makespan;
+    Alcotest.test_case "LPT reasonable" `Quick test_lpt_reasonable;
+    Alcotest.test_case "LPT close to exact" `Quick test_lpt_close_to_exact;
+    Alcotest.test_case "exact optimal" `Quick test_exact_assignment_optimal_on_tiny_case;
+    Alcotest.test_case "exact rejects large" `Quick test_exact_rejects_large;
+    Alcotest.test_case "prescient balances by speed" `Quick
+      test_prescient_balances_by_speed;
+    Alcotest.test_case "prescient avoids slow when light" `Quick
+      test_prescient_avoids_slow_server_when_light;
+    Alcotest.test_case "prescient stationary stable" `Quick
+      test_prescient_stationary_stable;
+    Alcotest.test_case "prescient unknown set" `Quick
+      test_prescient_unknown_set_parks_on_fastest;
+    Alcotest.test_case "prescient failure" `Quick test_prescient_failure;
+  ]

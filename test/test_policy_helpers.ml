@@ -1,0 +1,102 @@
+(* Policy-layer helpers: assignment diffs, per-server counts, scenario
+   naming, averaging methods. *)
+
+open Placement
+module Id = Sharedfs.Server_id
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_diff_assignments () =
+  let before =
+    [ ("a", Id.of_int 0); ("b", Id.of_int 1); ("c", Id.of_int 2) ]
+  in
+  let after =
+    [ ("a", Id.of_int 0); ("b", Id.of_int 2); ("c", Id.of_int 2);
+      ("d", Id.of_int 0) ]
+  in
+  let moved = Policy.diff_assignments ~before ~after in
+  (* Only b moved; d is new (not a move); a and c unchanged. *)
+  check_int "one move" 1 (List.length moved);
+  (match moved with
+  | [ (name, src, dst) ] ->
+    Alcotest.(check string) "name" "b" name;
+    check_int "src" 1 (Id.to_int src);
+    check_int "dst" 2 (Id.to_int dst)
+  | _ -> Alcotest.fail "expected exactly one diff")
+
+let test_counts_by_server () =
+  let assignment =
+    [ ("a", Id.of_int 1); ("b", Id.of_int 0); ("c", Id.of_int 1);
+      ("d", Id.of_int 1) ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "counts in id order"
+    [ (0, 1); (1, 3) ]
+    (List.map
+       (fun (id, c) -> (Id.to_int id, c))
+       (Policy.counts_by_server assignment))
+
+let test_assignment_of () =
+  let family = Hashlib.Hash_family.create ~seed:12 in
+  let t = Simple_random.create ~family ~servers:[ Id.of_int 0; Id.of_int 1 ] in
+  let p = Simple_random.policy t in
+  let names = [ "x"; "y"; "z" ] in
+  let assignment = Policy.assignment_of p names in
+  check_int "one entry per name" 3 (List.length assignment);
+  List.iter
+    (fun (n, id) -> check_bool "consistent" true (Id.equal id (p.Policy.locate n)))
+    assignment
+
+let test_scenario_policy_names () =
+  let open Experiments.Scenario in
+  Alcotest.(check string) "simple" "simple-random" (policy_name Simple_random);
+  Alcotest.(check string) "rr" "round-robin" (policy_name Round_robin);
+  Alcotest.(check string) "prescient" "prescient" (policy_name Prescient);
+  Alcotest.(check string) "anu" "anu" (policy_name (Anu Anu.default_config));
+  Alcotest.(check string) "gossip" "anu-gossip"
+    (policy_name (Gossip Gossip.default_config));
+  Alcotest.(check string) "ch" "consistent-hash" (policy_name Consistent_hash);
+  Alcotest.(check string) "custom name" "anu-test"
+    (policy_name (anu_with Heuristics.none ~name:"anu-test"))
+
+let test_average_methods () =
+  let report id latency requests =
+    {
+      Sharedfs.Delegate.server = Id.of_int id;
+      speed_hint = 1.0;
+      report =
+        { Sharedfs.Server.mean_latency = latency; max_latency = latency; requests };
+    }
+  in
+  let reports = [ report 0 10.0 1; report 1 20.0 1; report 2 90.0 8 ] in
+  Alcotest.(check (float 1e-9))
+    "weighted mean" 75.0
+    (Average.compute Average.Weighted_mean reports);
+  Alcotest.(check (float 1e-9))
+    "median" 20.0
+    (Average.compute Average.Median reports);
+  check_bool "names differ" true
+    (Average.method_name Average.Weighted_mean
+    <> Average.method_name Average.Median)
+
+let test_report_row_capping () =
+  let figure = Experiments.Figures.fig7 ~quick:true () in
+  let short =
+    Format.asprintf "%a" (Experiments.Report.pp_figure ~max_minutes:4.0) figure
+  in
+  let long =
+    Format.asprintf "%a" (Experiments.Report.pp_figure ~max_minutes:60.0) figure
+  in
+  check_bool "capping shortens output" true
+    (String.length short < String.length long)
+
+let suite =
+  [
+    Alcotest.test_case "diff assignments" `Quick test_diff_assignments;
+    Alcotest.test_case "counts by server" `Quick test_counts_by_server;
+    Alcotest.test_case "assignment_of" `Quick test_assignment_of;
+    Alcotest.test_case "scenario policy names" `Quick test_scenario_policy_names;
+    Alcotest.test_case "average methods" `Quick test_average_methods;
+    Alcotest.test_case "report row capping" `Slow test_report_row_capping;
+  ]

@@ -1,0 +1,144 @@
+(* Process-oriented simulation (effects over the event kernel). *)
+
+open Desim
+
+let check_int = Alcotest.(check int)
+let check_float eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+
+let test_single_process_waits () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Process.spawn sim (fun () ->
+      log := ("start", Sim.now sim) :: !log;
+      Process.wait 2.5;
+      log := ("middle", Sim.now sim) :: !log;
+      Process.wait 1.5;
+      log := ("end", Sim.now sim) :: !log);
+  Sim.run sim;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "timeline"
+    [ ("start", 0.0); ("middle", 2.5); ("end", 4.0) ]
+    (List.rev !log);
+  check_int "finished" 0 (Process.running sim)
+
+let test_processes_interleave () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let worker name period count =
+    Process.spawn sim (fun () ->
+        for i = 1 to count do
+          Process.wait period;
+          log := Printf.sprintf "%s%d@%.0f" name i (Sim.now sim) :: !log
+        done)
+  in
+  worker "a" 2.0 3;
+  worker "b" 3.0 2;
+  Sim.run sim;
+  (* At t=6 both resume; b2's resumption was scheduled first (at t=3,
+     vs a3's at t=4), so FIFO tie-breaking runs it first. *)
+  Alcotest.(check (list string))
+    "interleaving by time"
+    [ "a1@2"; "b1@3"; "a2@4"; "b2@6"; "a3@6" ]
+    (List.rev !log)
+
+let test_process_state_survives_suspension () =
+  let sim = Sim.create () in
+  let result = ref 0 in
+  Process.spawn sim (fun () ->
+      (* Stack state across suspensions — the property that makes
+         process style pleasant. *)
+      let acc = ref 0 in
+      for i = 1 to 5 do
+        Process.wait 1.0;
+        acc := !acc + i
+      done;
+      result := !acc);
+  Sim.run sim;
+  check_int "sum" 15 !result;
+  check_float 1e-9 "clock" 5.0 (Sim.now sim)
+
+let test_yield_lets_same_instant_events_run () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Process.spawn sim (fun () ->
+      log := "proc-before" :: !log;
+      Process.yield ();
+      log := "proc-after" :: !log);
+  let (_ : Sim.handle) =
+    Sim.schedule sim ~delay:0.0 (fun () -> log := "event" :: !log)
+  in
+  Sim.run sim;
+  Alcotest.(check (list string))
+    "yield ordering"
+    [ "proc-before"; "event"; "proc-after" ]
+    (List.rev !log)
+
+let test_wait_until () =
+  let sim = Sim.create () in
+  let ready = ref false in
+  let resumed_at = ref 0.0 in
+  Process.spawn sim (fun () ->
+      Process.wait_until ~poll_interval:0.5 (fun () -> !ready);
+      resumed_at := Sim.now sim);
+  let (_ : Sim.handle) =
+    Sim.schedule sim ~delay:3.2 (fun () -> ready := true)
+  in
+  Sim.run sim;
+  (* Resumes at the first poll after the flag flips. *)
+  check_float 1e-9 "resumed" 3.5 !resumed_at
+
+let test_negative_wait_rejected () =
+  let sim = Sim.create () in
+  let raised = ref false in
+  Process.spawn sim (fun () ->
+      try Process.wait (-1.0)
+      with Invalid_argument _ -> raised := true);
+  Sim.run sim;
+  check_bool "exception delivered into the process" true !raised
+
+let test_processes_and_stations_compose () =
+  (* A process drives a station: the blocking style wraps the
+     callback style naturally. *)
+  let sim = Sim.create () in
+  let st = Station.create sim ~name:"s" ~speed:1.0 in
+  let latencies = ref [] in
+  Process.spawn sim (fun () ->
+      for i = 1 to 3 do
+        let done_ = ref false in
+        Station.submit st ~demand:1.0 ~tag:i ~on_complete:(fun ~latency ->
+            latencies := latency :: !latencies;
+            done_ := true);
+        Process.wait_until ~poll_interval:0.1 (fun () -> !done_);
+        (* Think time between requests. *)
+        Process.wait 0.5
+      done);
+  Sim.run sim;
+  check_int "three served" 3 (List.length !latencies);
+  (* Closed loop: no queueing, each latency is the pure service time. *)
+  List.iter (fun l -> check_float 1e-9 "service time" 1.0 l) !latencies
+
+let test_running_counter () =
+  let sim = Sim.create () in
+  Process.spawn sim (fun () -> Process.wait 10.0);
+  Process.spawn sim (fun () -> Process.wait 1.0);
+  check_int "two spawned" 2 (Process.running sim);
+  Sim.run_until sim ~time:5.0;
+  check_int "one still waiting" 1 (Process.running sim);
+  Sim.run sim;
+  check_int "all done" 0 (Process.running sim)
+
+let suite =
+  [
+    Alcotest.test_case "single process waits" `Quick test_single_process_waits;
+    Alcotest.test_case "processes interleave" `Quick test_processes_interleave;
+    Alcotest.test_case "stack state survives" `Quick
+      test_process_state_survives_suspension;
+    Alcotest.test_case "yield ordering" `Quick
+      test_yield_lets_same_instant_events_run;
+    Alcotest.test_case "wait_until" `Quick test_wait_until;
+    Alcotest.test_case "negative wait" `Quick test_negative_wait_rejected;
+    Alcotest.test_case "process drives station" `Quick
+      test_processes_and_stations_compose;
+    Alcotest.test_case "running counter" `Quick test_running_counter;
+  ]

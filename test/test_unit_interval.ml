@@ -1,0 +1,188 @@
+(* Unit_interval segment-set algebra, including qcheck properties. *)
+
+open Hashlib
+module Set = Unit_interval.Set
+
+let check_float eps = Alcotest.(check (float eps))
+let check_bool = Alcotest.(check bool)
+
+let seg = Unit_interval.seg
+
+let test_seg_validation () =
+  Alcotest.check_raises "reversed"
+    (Invalid_argument "Unit_interval.seg: bad segment [0.5, 0.2)") (fun () ->
+      ignore (seg 0.5 0.2));
+  Alcotest.check_raises "above one"
+    (Invalid_argument "Unit_interval.seg: bad segment [0.5, 1.2)") (fun () ->
+      ignore (seg 0.5 1.2))
+
+let test_seg_basics () =
+  let s = seg 0.25 0.75 in
+  check_float 1e-12 "measure" 0.5 (Unit_interval.seg_measure s);
+  check_bool "contains lo" true (Unit_interval.seg_contains s 0.25);
+  check_bool "excludes hi" false (Unit_interval.seg_contains s 0.75);
+  check_bool "mid" true (Unit_interval.seg_contains s 0.5)
+
+let test_of_list_normalizes () =
+  let t = Set.of_list [ seg 0.4 0.6; seg 0.0 0.2; seg 0.1 0.3 ] in
+  let segs = Set.segments t in
+  Alcotest.(check int) "merged to two" 2 (List.length segs);
+  check_float 1e-12 "measure" 0.5 (Set.measure t)
+
+let test_adjacent_merge () =
+  let t = Set.of_list [ seg 0.0 0.25; seg 0.25 0.5 ] in
+  Alcotest.(check int) "coalesced" 1 (List.length (Set.segments t));
+  check_float 1e-12 "measure" 0.5 (Set.measure t)
+
+let test_slivers_dropped () =
+  let t = Set.of_list [ seg 0.5 (0.5 +. (Unit_interval.eps /. 2.0)) ] in
+  check_bool "empty" true (Set.is_empty t)
+
+let test_mem () =
+  let t = Set.of_list [ seg 0.1 0.2; seg 0.5 0.6 ] in
+  check_bool "in first" true (Set.mem t 0.15);
+  check_bool "in gap" false (Set.mem t 0.3);
+  check_bool "in second" true (Set.mem t 0.55);
+  check_bool "outside" false (Set.mem t 0.9)
+
+let test_inter () =
+  let a = Set.of_list [ seg 0.0 0.5 ] in
+  let b = Set.of_list [ seg 0.25 0.75 ] in
+  let i = Set.inter a b in
+  check_float 1e-12 "measure" 0.25 (Set.measure i);
+  check_bool "equal" true (Set.equal i (Set.of_seg (seg 0.25 0.5)))
+
+let test_diff () =
+  let a = Set.of_list [ seg 0.0 1.0 ] in
+  let b = Set.of_list [ seg 0.25 0.5; seg 0.75 0.8 ] in
+  let d = Set.diff a b in
+  check_float 1e-12 "measure" 0.7 (Set.measure d);
+  check_bool "hole" false (Set.mem d 0.3);
+  check_bool "kept" true (Set.mem d 0.6)
+
+let test_complement () =
+  let t = Set.of_list [ seg 0.2 0.4 ] in
+  let c = Set.complement t in
+  check_float 1e-12 "measure" 0.8 (Set.measure c);
+  check_bool "disjoint" true (Set.disjoint t c);
+  check_bool "covers" true (Set.equal (Set.union t c) Set.full)
+
+let test_restrict () =
+  let t = Set.of_list [ seg 0.0 0.3; seg 0.6 1.0 ] in
+  let r = Set.restrict t (seg 0.25 0.7) in
+  check_float 1e-12 "measure" 0.15 (Set.measure r)
+
+let test_take_low () =
+  let t = Set.of_list [ seg 0.0 0.2; seg 0.5 0.8 ] in
+  let taken, rest = Set.take_low t 0.3 in
+  check_float 1e-9 "taken measure" 0.3 (Set.measure taken);
+  check_float 1e-9 "rest measure" 0.2 (Set.measure rest);
+  check_bool "taken is low part" true (Set.mem taken 0.1);
+  check_bool "taken includes start of second" true (Set.mem taken 0.55);
+  check_bool "rest is high part" true (Set.mem rest 0.7);
+  check_bool "disjoint" true (Set.disjoint taken rest)
+
+let test_take_high () =
+  let t = Set.of_list [ seg 0.0 0.2; seg 0.5 0.8 ] in
+  let taken, rest = Set.take_high t 0.3 in
+  check_float 1e-9 "taken measure" 0.3 (Set.measure taken);
+  check_bool "taken is high part" true (Set.mem taken 0.75);
+  check_bool "rest keeps low" true (Set.mem rest 0.1);
+  check_bool "disjoint" true (Set.disjoint taken rest)
+
+let test_take_more_than_available () =
+  let t = Set.of_seg (seg 0.0 0.25) in
+  let taken, rest = Set.take_low t 0.5 in
+  check_float 1e-9 "takes everything" 0.25 (Set.measure taken);
+  check_bool "rest empty" true (Set.is_empty rest)
+
+let test_take_zero () =
+  let t = Set.of_seg (seg 0.0 0.25) in
+  let taken, rest = Set.take_low t 0.0 in
+  check_bool "nothing taken" true (Set.is_empty taken);
+  check_bool "rest unchanged" true (Set.equal rest t)
+
+(* Random segment-set generator for properties. *)
+let gen_set =
+  QCheck.Gen.(
+    let* n = 0 -- 6 in
+    let* pairs =
+      list_size (return n)
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+    in
+    return
+      (Set.of_list
+         (List.map
+            (fun (a, b) -> seg (Float.min a b) (Float.max a b))
+            pairs)))
+
+let arb_set = QCheck.make ~print:(Format.asprintf "%a" Set.pp) gen_set
+
+let prop_measure_additive =
+  QCheck.Test.make ~count:500 ~name:"measure(a) = measure(a&b) + measure(a-b)"
+    (QCheck.pair arb_set arb_set) (fun (a, b) ->
+      let lhs = Set.measure a in
+      let rhs = Set.measure (Set.inter a b) +. Set.measure (Set.diff a b) in
+      Float.abs (lhs -. rhs) < 1e-7)
+
+let prop_union_measure =
+  QCheck.Test.make ~count:500
+    ~name:"measure(a|b) = measure a + measure b - measure(a&b)"
+    (QCheck.pair arb_set arb_set) (fun (a, b) ->
+      let lhs = Set.measure (Set.union a b) in
+      let rhs =
+        Set.measure a +. Set.measure b -. Set.measure (Set.inter a b)
+      in
+      Float.abs (lhs -. rhs) < 1e-7)
+
+let prop_complement_involutive =
+  QCheck.Test.make ~count:500 ~name:"complement twice is identity" arb_set
+    (fun a -> Set.equal (Set.complement (Set.complement a)) a)
+
+let prop_take_low_splits =
+  QCheck.Test.make ~count:500 ~name:"take_low splits measure exactly"
+    (QCheck.pair arb_set (QCheck.float_bound_inclusive 1.0)) (fun (a, m) ->
+      let taken, rest = Set.take_low a m in
+      let want = Float.min m (Set.measure a) in
+      Float.abs (Set.measure taken -. want) < 1e-7
+      && Float.abs (Set.measure taken +. Set.measure rest -. Set.measure a)
+         < 1e-7
+      && Set.disjoint taken rest)
+
+let prop_take_high_splits =
+  QCheck.Test.make ~count:500 ~name:"take_high splits measure exactly"
+    (QCheck.pair arb_set (QCheck.float_bound_inclusive 1.0)) (fun (a, m) ->
+      let taken, rest = Set.take_high a m in
+      let want = Float.min m (Set.measure a) in
+      Float.abs (Set.measure taken -. want) < 1e-7
+      && Set.disjoint taken rest)
+
+let prop_diff_disjoint =
+  QCheck.Test.make ~count:500 ~name:"a-b is disjoint from b"
+    (QCheck.pair arb_set arb_set) (fun (a, b) ->
+      Set.disjoint (Set.diff a b) b)
+
+let suite =
+  [
+    Alcotest.test_case "seg validation" `Quick test_seg_validation;
+    Alcotest.test_case "seg basics" `Quick test_seg_basics;
+    Alcotest.test_case "of_list normalizes" `Quick test_of_list_normalizes;
+    Alcotest.test_case "adjacent merge" `Quick test_adjacent_merge;
+    Alcotest.test_case "slivers dropped" `Quick test_slivers_dropped;
+    Alcotest.test_case "mem" `Quick test_mem;
+    Alcotest.test_case "inter" `Quick test_inter;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "complement" `Quick test_complement;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "take_low" `Quick test_take_low;
+    Alcotest.test_case "take_high" `Quick test_take_high;
+    Alcotest.test_case "take more than available" `Quick
+      test_take_more_than_available;
+    Alcotest.test_case "take zero" `Quick test_take_zero;
+    QCheck_alcotest.to_alcotest prop_measure_additive;
+    QCheck_alcotest.to_alcotest prop_union_measure;
+    QCheck_alcotest.to_alcotest prop_complement_involutive;
+    QCheck_alcotest.to_alcotest prop_take_low_splits;
+    QCheck_alcotest.to_alcotest prop_take_high_splits;
+    QCheck_alcotest.to_alcotest prop_diff_disjoint;
+  ]
