@@ -21,6 +21,24 @@ open Toolkit
 let pp_figure_result figure =
   Format.printf "%a@." (Experiments.Report.pp_figure ~max_minutes:60.0) figure
 
+(* Engine throughput across every simulation behind one figure: the
+   runner captures Sim.events_fired and the wall clock around each
+   Sim.run; summing them isolates the engine from trace generation and
+   report rendering (which the figure-level wall clock includes). *)
+let pp_engine_throughput ppf figure =
+  let events, engine_wall =
+    List.fold_left
+      (fun (events, wall) r ->
+        ( events + r.Experiments.Runner.sim_events,
+          wall +. r.Experiments.Runner.sim_wall_seconds ))
+      (0, 0.0) figure.Experiments.Figures.results
+  in
+  if engine_wall > 0.0 then
+    Format.fprintf ppf "%d events in %.1f s engine time, %.0f events/s"
+      events engine_wall
+      (float_of_int events /. engine_wall)
+  else Format.fprintf ppf "%d events" events
+
 let run_figure id =
   match Experiments.Figures.by_id id with
   | None -> Format.printf "unknown experiment: %s@." id
@@ -28,8 +46,9 @@ let run_figure id =
     let t0 = Unix.gettimeofday () in
     let figure = build ~quick:false () in
     pp_figure_result figure;
-    Format.printf "(%s regenerated in %.1f s)@.@." id
+    Format.printf "(%s regenerated in %.1f s; %a)@.@." id
       (Unix.gettimeofday () -. t0)
+      pp_engine_throughput figure
 
 (* --- micro-benchmarks --- *)
 

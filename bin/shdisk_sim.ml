@@ -4,20 +4,91 @@
 
      shdisk-sim list
      shdisk-sim run fig6 [--quick] [--csv out.csv] [--summary]
+                         [--trace out.json] [--trace-jsonl out.jsonl]
+                         [--metrics]
      shdisk-sim trace --kind dfs --out trace.txt *)
 
 open Cmdliner
 
-let setup_logs () =
+let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some Logs.Warning)
+  Logs.set_level level
+
+(* --verbosity, shared by every command that runs simulations.  The
+   term also installs the reporter, so evaluating it is the logging
+   setup. *)
+let verbosity_t =
+  let levels =
+    [
+      ("quiet", None);
+      ("error", Some Logs.Error);
+      ("warning", Some Logs.Warning);
+      ("info", Some Logs.Info);
+      ("debug", Some Logs.Debug);
+    ]
+  in
+  let arg =
+    Arg.(
+      value
+      & opt (enum levels) (Some Logs.Warning)
+      & info [ "verbosity" ] ~docv:"LEVEL"
+          ~doc:"Log level: quiet, error, warning, info or debug.")
+  in
+  Term.(const setup_logs $ arg)
 
 let list_cmd =
   let doc = "List the reproducible experiments." in
-  let run () =
-    List.iter print_endline Experiments.Figures.all_ids
-  in
+  let run () = List.iter print_endline Experiments.Figures.all_ids in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* Observability options of `run': where to write traces and whether
+   to collect and print metrics. *)
+type obs_options = {
+  trace_chrome : string option;
+  trace_jsonl : string option;
+  metrics : bool;
+}
+
+let obs_options_t =
+  let trace_chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event file (load it in chrome://tracing \
+             or ui.perfetto.dev).")
+  in
+  let trace_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-jsonl" ] ~docv:"FILE"
+          ~doc:"Write the structured trace as one JSON event per line.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Collect and print the metrics snapshot of every run.")
+  in
+  Term.(
+    const (fun trace_chrome trace_jsonl metrics ->
+        { trace_chrome; trace_jsonl; metrics })
+    $ trace_chrome $ trace_jsonl $ metrics)
+
+let obs_ctx_of_options opts =
+  let sinks =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map Obs.Sink.chrome_file opts.trace_chrome;
+        Option.map Obs.Sink.jsonl_file opts.trace_jsonl;
+      ]
+  in
+  let metrics = if opts.metrics then Some (Obs.Metrics.create ()) else None in
+  if sinks = [] && metrics = None then None
+  else Some (Obs.Ctx.create ~sinks ?metrics ())
 
 let run_cmd =
   let doc = "Run one experiment and print its series and summary." in
@@ -44,20 +115,45 @@ let run_cmd =
       value & opt float 60.0
       & info [ "minutes" ] ~docv:"M" ~doc:"Cap table rows at M minutes.")
   in
-  let run id quick summary csv minutes =
-    setup_logs ();
+  let run () id quick summary csv minutes obs_opts =
     match Experiments.Figures.by_id id with
     | None ->
-      Printf.eprintf "unknown experiment %s; try `shdisk_sim list'\n" id;
+      Logs.err (fun m -> m "unknown experiment %s; try `shdisk-sim list'" id);
       exit 1
     | Some build ->
-      let figure = build ~quick () in
+      let ctx =
+        try obs_ctx_of_options obs_opts
+        with Sys_error msg ->
+          Logs.err (fun m -> m "cannot open trace file: %s" msg);
+          exit 1
+      in
+      let figure =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Obs.Ctx.close ctx)
+          (fun () -> build ~quick ?obs:ctx ())
+      in
       if summary then
         Format.printf "%a@." Experiments.Report.pp_summary figure
       else
         Format.printf "%a@."
           (Experiments.Report.pp_figure ~max_minutes:minutes)
           figure;
+      if obs_opts.metrics then
+        List.iter
+          (fun r ->
+            match r.Experiments.Runner.metrics with
+            | None -> ()
+            | Some snapshot ->
+              Format.printf "@.=== metrics: %s / %s ===@.%a"
+                r.Experiments.Runner.label r.Experiments.Runner.policy_name
+                Obs.Metrics.pp_snapshot snapshot)
+          figure.Experiments.Figures.results;
+      Option.iter
+        (fun path -> Printf.printf "wrote Chrome trace %s\n" path)
+        obs_opts.trace_chrome;
+      Option.iter
+        (fun path -> Printf.printf "wrote JSONL trace %s\n" path)
+        obs_opts.trace_jsonl;
       Option.iter
         (fun path ->
           let oc = open_out path in
@@ -69,7 +165,9 @@ let run_cmd =
         csv
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ id $ quick $ summary $ csv $ minutes)
+    Term.(
+      const run $ verbosity_t $ id $ quick $ summary $ csv $ minutes
+      $ obs_options_t)
 
 let trace_cmd =
   let doc = "Generate a workload trace file." in
@@ -112,13 +210,12 @@ let validate_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Scale the workloads down ~10x.")
   in
-  let run quick =
-    setup_logs ();
+  let run () quick =
     let checks = Experiments.Validate.run ~quick () in
     Format.printf "%a@." Experiments.Validate.pp checks;
     if not (Experiments.Validate.all_passed checks) then exit 1
   in
-  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ quick)
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ verbosity_t $ quick)
 
 let motivation_cmd =
   let doc =
@@ -128,20 +225,19 @@ let motivation_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Scale the workload down ~10x.")
   in
-  let run quick =
-    setup_logs ();
+  let run () quick =
     List.iter
       (fun r -> Format.printf "%a@." Experiments.Motivation.pp_result r)
       (Experiments.Motivation.experiment ~quick ())
   in
-  Cmd.v (Cmd.info "motivation" ~doc) Term.(const run $ quick)
+  Cmd.v (Cmd.info "motivation" ~doc) Term.(const run $ verbosity_t $ quick)
 
 let () =
   let doc =
     "Reproduction of `Handling Heterogeneity in Shared-Disk File Systems' \
      (SC'03)"
   in
-  let info = Cmd.info "shdisk_sim" ~doc in
+  let info = Cmd.info "shdisk-sim" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info

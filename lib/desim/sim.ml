@@ -6,6 +6,7 @@ type t = {
   mutable fired : int;
   mutable live_count : int;
   mutable processes : int;
+  mutable on_event : (float -> unit) option;
 }
 
 type handle = event
@@ -19,6 +20,7 @@ let create () =
     fired = 0;
     live_count = 0;
     processes = 0;
+    on_event = None;
   }
 
 let now t = t.clock
@@ -61,6 +63,7 @@ let step t =
     t.clock <- time;
     t.fired <- t.fired + 1;
     ev.action ();
+    (match t.on_event with None -> () | Some hook -> hook time);
     true
 
 let run t = while step t do () done
@@ -77,6 +80,26 @@ let run_until t ~time =
   if time > t.clock then t.clock <- time
 
 let events_fired t = t.fired
+
+let set_on_event t hook = t.on_event <- Some hook
+
+let clear_on_event t = t.on_event <- None
+
+type profile = { fired : int; wall_seconds : float; events_per_second : float }
+
+let run_profiled (t : t) =
+  let wall_start = Unix.gettimeofday () in
+  let fired_start = t.fired in
+  run t;
+  let wall_seconds = Unix.gettimeofday () -. wall_start in
+  let fired = t.fired - fired_start in
+  {
+    fired;
+    wall_seconds;
+    events_per_second =
+      (if wall_seconds > 0.0 then float_of_int fired /. wall_seconds
+       else 0.0);
+  }
 
 let internal_adjust_processes t delta = t.processes <- t.processes + delta
 

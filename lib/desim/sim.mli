@@ -53,6 +53,22 @@ val run_until : t -> time:float -> unit
     and progress reporting. *)
 val events_fired : t -> int
 
+(** [set_on_event t hook] installs an observer called with the event's
+    virtual time after each fired event (at most one; a second call
+    replaces the first).  Used by the observability layer for
+    progress/throughput tracking; adds one branch per event when
+    unset. *)
+val set_on_event : t -> (float -> unit) -> unit
+
+val clear_on_event : t -> unit
+
+(** Wall-clock engine throughput for one {!run_profiled} call. *)
+type profile = { fired : int; wall_seconds : float; events_per_second : float }
+
+(** [run_profiled t] is {!run} bracketed with [Unix.gettimeofday],
+    reporting how many events fired and at what rate. *)
+val run_profiled : t -> profile
+
 (**/**)
 
 (* Bookkeeping used by {!Process}; not part of the public surface. *)

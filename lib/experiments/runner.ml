@@ -24,21 +24,31 @@ type result = {
   completed : int;
   moves : Sharedfs.Cluster.move_record list;
   reconfig_rounds : int;
+  sim_events : int;
+  sim_wall_seconds : float;
+  metrics : Obs.Metrics.snapshot option;
 }
 
 (* Apply the policy's current addressing to the cluster: diff against
-   what the cluster believes and issue the moves. *)
+   what the cluster believes and issue the moves.  Returns how many
+   file sets changed owner (the size of the re-addressing sweep). *)
 let reconcile cluster policy names =
-  List.iter
-    (fun name ->
+  List.fold_left
+    (fun moved name ->
       let want = policy.Placement.Policy.locate name in
       match Sharedfs.Cluster.owner cluster name with
-      | Some have when Id.equal have want -> ()
-      | Some _ | None -> Sharedfs.Cluster.move cluster ~file_set:name ~dst:want)
-    names
+      | Some have when Id.equal have want -> moved
+      | Some _ | None ->
+        Sharedfs.Cluster.move cluster ~file_set:name ~dst:want;
+        moved + 1)
+    0 names
 
-let run scenario spec ~trace ?(events = []) ?on_sim_created
-    ?on_request_complete () =
+let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null)
+    ?on_sim_created ?on_request_complete () =
+  (* The registry may be shared across several runs (one CLI figure
+     runs one simulation per policy): reset so the snapshot attached
+     to this result covers exactly this run. *)
+  Option.iter Obs.Metrics.reset (Obs.Ctx.metrics obs);
   let sim = Desim.Sim.create () in
   Option.iter (fun f -> f sim) on_sim_created;
   let disk = Sharedfs.Shared_disk.create () in
@@ -51,7 +61,13 @@ let run scenario spec ~trace ?(events = []) ?on_sim_created
     Sharedfs.Cluster.create sim ~disk ~catalog
       ~move_config:scenario.Scenario.move_config
       ?cache_config:scenario.Scenario.cache_config
-      ~series_interval:scenario.Scenario.series_interval ~servers ()
+      ~series_interval:scenario.Scenario.series_interval ~servers ~obs ()
+  in
+  let emit_rehash ~time ~trigger moved =
+    if Obs.Ctx.tracing obs then
+      Obs.Ctx.emit obs
+        (Obs.Event.Rehash_round
+           { time; trigger; checked = List.length names; moved })
   in
   let policy = Scenario.make_policy spec ~scenario ~file_sets:names in
   let duration = Workload.Trace.duration trace in
@@ -97,7 +113,16 @@ let run scenario spec ~trace ?(events = []) ?on_sim_created
               future_demand =
                 Workload.Trace.window_demand trace ~lo:at ~hi:(at +. interval);
             };
-          reconcile cluster policy names)
+          let moved = reconcile cluster policy names in
+          if Obs.Ctx.tracing obs then begin
+            Obs.Ctx.emit obs
+              (Sharedfs.Delegate.round_event cluster ~time:at
+                 ~round:!reconfig_rounds
+                 ~average:(Sharedfs.Delegate.mean_latency reports)
+                 ~regions:(policy.Placement.Policy.regions ())
+                 reports);
+            emit_rehash ~time:at ~trigger:"delegate-round" moved
+          end)
     in
     ()
   done;
@@ -106,6 +131,11 @@ let run scenario spec ~trace ?(events = []) ?on_sim_created
     (fun { at; action } ->
       let (_ : Desim.Sim.handle) =
         Desim.Sim.schedule_at sim ~time:at (fun () ->
+            let emit_membership server change =
+              if Obs.Ctx.tracing obs then
+                Obs.Ctx.emit obs
+                  (Obs.Event.Membership { time = at; server; change })
+            in
             match action with
             | Fail raw ->
               let id = Id.of_int raw in
@@ -120,27 +150,34 @@ let run scenario spec ~trace ?(events = []) ?on_sim_created
               let (_ : string list) = Sharedfs.Cluster.fail_server cluster id in
               if was_delegate then policy.Placement.Policy.delegate_crashed ();
               policy.Placement.Policy.server_failed id;
-              reconcile cluster policy names
+              emit_membership raw Obs.Event.Failed;
+              let moved = reconcile cluster policy names in
+              emit_rehash ~time:at ~trigger:"fail" moved
             | Recover raw ->
               let id = Id.of_int raw in
               Sharedfs.Cluster.recover_server cluster id;
               policy.Placement.Policy.server_added id;
-              reconcile cluster policy names
+              emit_membership raw Obs.Event.Recovered;
+              let moved = reconcile cluster policy names in
+              emit_rehash ~time:at ~trigger:"recover" moved
             | Add (raw, speed) ->
               let id = Id.of_int raw in
               Sharedfs.Cluster.add_server cluster id ~speed;
               policy.Placement.Policy.server_added id;
-              reconcile cluster policy names
+              emit_membership raw (Obs.Event.Added speed);
+              let moved = reconcile cluster policy names in
+              emit_rehash ~time:at ~trigger:"add" moved
             | Set_speed (raw, speed) ->
               Sharedfs.Server.set_speed
                 (Sharedfs.Cluster.server cluster (Id.of_int raw))
-                speed
+                speed;
+              emit_membership raw (Obs.Event.Speed_changed speed)
             | Delegate_crash -> policy.Placement.Policy.delegate_crashed ())
       in
       ())
     events;
   (* Run to completion: every queued request eventually drains. *)
-  Desim.Sim.run sim;
+  let profile = Desim.Sim.run_profiled sim in
   let end_time = Float.max duration (Desim.Sim.now sim) in
   let all_servers = Sharedfs.Cluster.servers cluster in
   let server_series =
@@ -197,6 +234,9 @@ let run scenario spec ~trace ?(events = []) ?on_sim_created
     completed = !completed;
     moves = Sharedfs.Cluster.moves cluster;
     reconfig_rounds = !reconfig_rounds;
+    sim_events = profile.Desim.Sim.fired;
+    sim_wall_seconds = profile.Desim.Sim.wall_seconds;
+    metrics = Obs.Ctx.snapshot obs;
   }
 
 let buckets_after result ~from_ =

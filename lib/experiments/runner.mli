@@ -39,11 +39,24 @@ type result = {
   completed : int;
   moves : Sharedfs.Cluster.move_record list;
   reconfig_rounds : int;
+  sim_events : int;  (** engine events fired over the whole run *)
+  sim_wall_seconds : float;
+      (** wall-clock seconds the engine spent firing them *)
+  metrics : Obs.Metrics.snapshot option;
+      (** per-run metrics snapshot when the run's {!Obs.Ctx.t} carried
+          a registry *)
 }
 
 (** [run scenario spec ~trace ?events ()] executes one full
     simulation and returns the measurements.  The simulation runs past
     the trace end until every queued request drains.
+
+    [obs] (default {!Obs.Ctx.null}) observes the run: the cluster
+    emits request and move events, the runner adds one
+    [Delegate_round] event per reconfiguration interval (latency
+    inputs, elected delegate, region-scale decisions) plus
+    [Membership] and [Rehash_round] events, and an attached metrics
+    registry is reset at run start so [result.metrics] is per-run.
 
     [on_sim_created] runs right after the simulator is built, letting
     callers attach additional model components (e.g. a {!Sharedfs.San}
@@ -55,6 +68,7 @@ val run :
   Scenario.policy_spec ->
   trace:Workload.Trace.t ->
   ?events:event list ->
+  ?obs:Obs.Ctx.t ->
   ?on_sim_created:(Desim.Sim.t -> unit) ->
   ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
   unit ->

@@ -1,0 +1,15 @@
+type t = { sinks : Sink.t array; metrics : Metrics.t option }
+
+let null = { sinks = [||]; metrics = None }
+
+let create ?(sinks = []) ?metrics () = { sinks = Array.of_list sinks; metrics }
+
+let tracing t = Array.length t.sinks > 0
+
+let metrics t = t.metrics
+
+let emit t e = Array.iter (fun (s : Sink.t) -> s.emit e) t.sinks
+
+let snapshot t = Option.map Metrics.snapshot t.metrics
+
+let close t = Array.iter (fun (s : Sink.t) -> s.close ()) t.sinks

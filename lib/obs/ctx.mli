@@ -1,0 +1,31 @@
+(** The observability context threaded through a simulation.
+
+    A context bundles zero or more trace {!Sink}s with an optional
+    {!Metrics} registry.  Components hold one and guard their
+    instrumentation on {!tracing} / {!metrics}, so that the default
+    {!null} context costs one branch per call site and no allocation —
+    the overhead contract DESIGN.md documents. *)
+
+type t
+
+(** No sinks, no metrics.  [emit] and [close] are no-ops. *)
+val null : t
+
+val create : ?sinks:Sink.t list -> ?metrics:Metrics.t -> unit -> t
+
+(** [tracing t] is true when at least one sink is attached.  Call
+    sites test it {e before} building an event so that disabled
+    tracing never allocates. *)
+val tracing : t -> bool
+
+val metrics : t -> Metrics.t option
+
+(** [emit t e] hands [e] to every sink, in attachment order. *)
+val emit : t -> Event.t -> unit
+
+(** [snapshot t] is the metrics snapshot, when a registry is
+    attached. *)
+val snapshot : t -> Metrics.snapshot option
+
+(** [close t] closes every sink (idempotent). *)
+val close : t -> unit

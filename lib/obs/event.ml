@@ -1,0 +1,274 @@
+type membership_change =
+  | Failed
+  | Recovered
+  | Added of float
+  | Speed_changed of float
+
+type round_input = {
+  server : int;
+  mean_latency : float;
+  max_latency : float;
+  requests : int;
+  queue_depth : int;
+}
+
+type t =
+  | Request_submit of {
+      time : float;
+      file_set : string;
+      op : string;
+      client : int;
+    }
+  | Request_complete of {
+      time : float;
+      server : int;
+      file_set : string;
+      op : string;
+      latency : float;
+    }
+  | Move_start of {
+      time : float;
+      file_set : string;
+      src : int option;
+      dst : int;
+      flush_seconds : float;
+      init_seconds : float;
+    }
+  | Move_end of { time : float; file_set : string; dst : int; replayed : int }
+  | Delegate_round of {
+      time : float;
+      round : int;
+      delegate : int option;
+      average : float;
+      inputs : round_input list;
+      regions : (int * float) list;
+    }
+  | Membership of { time : float; server : int; change : membership_change }
+  | Rehash_round of {
+      time : float;
+      trigger : string;
+      checked : int;
+      moved : int;
+    }
+
+let time = function
+  | Request_submit { time; _ }
+  | Request_complete { time; _ }
+  | Move_start { time; _ }
+  | Move_end { time; _ }
+  | Delegate_round { time; _ }
+  | Membership { time; _ }
+  | Rehash_round { time; _ } -> time
+
+let kind = function
+  | Request_submit _ -> "request_submit"
+  | Request_complete _ -> "request_complete"
+  | Move_start _ -> "move_start"
+  | Move_end _ -> "move_end"
+  | Delegate_round _ -> "delegate_round"
+  | Membership _ -> "membership"
+  | Rehash_round _ -> "rehash_round"
+
+(* --- JSON encoding --- *)
+
+let num x = Json.Num x
+
+let int n = Json.Num (float_of_int n)
+
+let opt_int = function None -> Json.Null | Some n -> int n
+
+let change_to_json = function
+  | Failed -> Json.Obj [ ("change", Json.Str "failed") ]
+  | Recovered -> Json.Obj [ ("change", Json.Str "recovered") ]
+  | Added speed ->
+    Json.Obj [ ("change", Json.Str "added"); ("speed", num speed) ]
+  | Speed_changed speed ->
+    Json.Obj [ ("change", Json.Str "speed_changed"); ("speed", num speed) ]
+
+let input_to_json i =
+  Json.Obj
+    [
+      ("server", int i.server);
+      ("mean_latency", num i.mean_latency);
+      ("max_latency", num i.max_latency);
+      ("requests", int i.requests);
+      ("queue_depth", int i.queue_depth);
+    ]
+
+let to_json e =
+  let fields =
+    match e with
+    | Request_submit { time = _; file_set; op; client } ->
+      [
+        ("file_set", Json.Str file_set);
+        ("op", Json.Str op);
+        ("client", int client);
+      ]
+    | Request_complete { time = _; server; file_set; op; latency } ->
+      [
+        ("server", int server);
+        ("file_set", Json.Str file_set);
+        ("op", Json.Str op);
+        ("latency", num latency);
+      ]
+    | Move_start { time = _; file_set; src; dst; flush_seconds; init_seconds }
+      ->
+      [
+        ("file_set", Json.Str file_set);
+        ("src", opt_int src);
+        ("dst", int dst);
+        ("flush_seconds", num flush_seconds);
+        ("init_seconds", num init_seconds);
+      ]
+    | Move_end { time = _; file_set; dst; replayed } ->
+      [
+        ("file_set", Json.Str file_set);
+        ("dst", int dst);
+        ("replayed", int replayed);
+      ]
+    | Delegate_round { time = _; round; delegate; average; inputs; regions }
+      ->
+      [
+        ("round", int round);
+        ("delegate", opt_int delegate);
+        ("average", num average);
+        ("inputs", Json.List (List.map input_to_json inputs));
+        ( "regions",
+          Json.List
+            (List.map
+               (fun (server, measure) ->
+                 Json.Obj [ ("server", int server); ("measure", num measure) ])
+               regions) );
+      ]
+    | Membership { time = _; server; change } ->
+      [ ("server", int server); ("membership", change_to_json change) ]
+    | Rehash_round { time = _; trigger; checked; moved } ->
+      [
+        ("trigger", Json.Str trigger);
+        ("checked", int checked);
+        ("moved", int moved);
+      ]
+  in
+  Json.Obj (("type", Json.Str (kind e)) :: ("time", num (time e)) :: fields)
+
+(* --- JSON decoding --- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field_float j name =
+  match Json.to_float (Json.member name j) with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing or invalid float field %S" name)
+
+let field_int j name =
+  match Json.to_int (Json.member name j) with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "missing or invalid int field %S" name)
+
+let field_str j name =
+  match Json.to_str (Json.member name j) with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or invalid string field %S" name)
+
+let field_opt_int j name =
+  match Json.member name j with
+  | Json.Null -> Ok None
+  | other -> (
+    match Json.to_int other with
+    | Some n -> Ok (Some n)
+    | None -> Error (Printf.sprintf "invalid optional int field %S" name))
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let input_of_json j =
+  let* server = field_int j "server" in
+  let* mean_latency = field_float j "mean_latency" in
+  let* max_latency = field_float j "max_latency" in
+  let* requests = field_int j "requests" in
+  let* queue_depth = field_int j "queue_depth" in
+  Ok { server; mean_latency; max_latency; requests; queue_depth }
+
+let change_of_json j =
+  let* tag = field_str j "change" in
+  match tag with
+  | "failed" -> Ok Failed
+  | "recovered" -> Ok Recovered
+  | "added" ->
+    let* speed = field_float j "speed" in
+    Ok (Added speed)
+  | "speed_changed" ->
+    let* speed = field_float j "speed" in
+    Ok (Speed_changed speed)
+  | other -> Error (Printf.sprintf "unknown membership change %S" other)
+
+let of_json j =
+  let* kind = field_str j "type" in
+  let* time = field_float j "time" in
+  match kind with
+  | "request_submit" ->
+    let* file_set = field_str j "file_set" in
+    let* op = field_str j "op" in
+    let* client = field_int j "client" in
+    Ok (Request_submit { time; file_set; op; client })
+  | "request_complete" ->
+    let* server = field_int j "server" in
+    let* file_set = field_str j "file_set" in
+    let* op = field_str j "op" in
+    let* latency = field_float j "latency" in
+    Ok (Request_complete { time; server; file_set; op; latency })
+  | "move_start" ->
+    let* file_set = field_str j "file_set" in
+    let* src = field_opt_int j "src" in
+    let* dst = field_int j "dst" in
+    let* flush_seconds = field_float j "flush_seconds" in
+    let* init_seconds = field_float j "init_seconds" in
+    Ok (Move_start { time; file_set; src; dst; flush_seconds; init_seconds })
+  | "move_end" ->
+    let* file_set = field_str j "file_set" in
+    let* dst = field_int j "dst" in
+    let* replayed = field_int j "replayed" in
+    Ok (Move_end { time; file_set; dst; replayed })
+  | "delegate_round" ->
+    let* round = field_int j "round" in
+    let* delegate = field_opt_int j "delegate" in
+    let* average = field_float j "average" in
+    let* inputs =
+      match Json.to_list (Json.member "inputs" j) with
+      | Some items -> map_result input_of_json items
+      | None -> Error "missing or invalid field \"inputs\""
+    in
+    let* regions =
+      match Json.to_list (Json.member "regions" j) with
+      | Some items ->
+        map_result
+          (fun item ->
+            let* server = field_int item "server" in
+            let* measure = field_float item "measure" in
+            Ok (server, measure))
+          items
+      | None -> Error "missing or invalid field \"regions\""
+    in
+    Ok (Delegate_round { time; round; delegate; average; inputs; regions })
+  | "membership" ->
+    let* server = field_int j "server" in
+    let* change = change_of_json (Json.member "membership" j) in
+    Ok (Membership { time; server; change })
+  | "rehash_round" ->
+    let* trigger = field_str j "trigger" in
+    let* checked = field_int j "checked" in
+    let* moved = field_int j "moved" in
+    Ok (Rehash_round { time; trigger; checked; moved })
+  | other -> Error (Printf.sprintf "unknown event type %S" other)
+
+let to_jsonl e = Json.to_string (to_json e)
+
+let of_jsonl line =
+  let* j = Json.of_string line in
+  of_json j
+
+let pp ppf e = Format.pp_print_string ppf (to_jsonl e)

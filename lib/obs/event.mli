@@ -1,0 +1,95 @@
+(** The structured trace-event taxonomy.
+
+    Every interesting state transition in a simulation maps to one
+    variant here: request life cycle, file-set movement, delegate
+    reconfiguration rounds (with the per-server latency inputs and the
+    region-scale decisions they produced), membership churn and
+    re-addressing sweeps.  Events carry raw integers for server ids so
+    that this library depends on nothing above it; emitters convert
+    with [Server_id.to_int].
+
+    Times are virtual simulation seconds.  All variants serialize to
+    single-line JSON ({!to_jsonl}) and parse back exactly
+    ({!of_jsonl}), which is what the JSONL sink writes. *)
+
+type membership_change =
+  | Failed
+  | Recovered
+  | Added of float  (** speed of the commissioned server *)
+  | Speed_changed of float
+
+(** One server's contribution to a delegate round: the latency window
+    it reported plus the queue depth the delegate observed when
+    collecting. *)
+type round_input = {
+  server : int;
+  mean_latency : float;
+  max_latency : float;
+  requests : int;
+  queue_depth : int;
+}
+
+type t =
+  | Request_submit of {
+      time : float;
+      file_set : string;
+      op : string;
+      client : int;
+    }
+  | Request_complete of {
+      time : float;  (** completion time; submission was [time - latency] *)
+      server : int;
+      file_set : string;
+      op : string;
+      latency : float;
+    }
+  | Move_start of {
+      time : float;
+      file_set : string;
+      src : int option;  (** [None] for recovery of an orphaned set *)
+      dst : int;
+      flush_seconds : float;
+      init_seconds : float;
+    }
+  | Move_end of {
+      time : float;
+      file_set : string;
+      dst : int;
+      replayed : int;  (** requests buffered during the move *)
+    }
+  | Delegate_round of {
+      time : float;
+      round : int;
+      delegate : int option;
+      average : float;  (** system-wide average latency the round used *)
+      inputs : round_input list;
+      regions : (int * float) list;
+          (** per-server region measure {e after} retuning; empty for
+              policies without region geometry *)
+    }
+  | Membership of { time : float; server : int; change : membership_change }
+  | Rehash_round of {
+      time : float;
+      trigger : string;  (** ["delegate-round"] or a membership action *)
+      checked : int;  (** file sets whose address was recomputed *)
+      moved : int;  (** file sets whose owner changed *)
+    }
+
+val time : t -> float
+
+(** [kind e] is the snake_case constructor name, e.g.
+    ["request_complete"] — also the ["type"] field of the JSON
+    encoding. *)
+val kind : t -> string
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+(** [to_jsonl e] is the compact one-line JSON encoding (no trailing
+    newline). *)
+val to_jsonl : t -> string
+
+val of_jsonl : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -163,4 +163,5 @@ let policy t =
     server_failed = server_failed t;
     server_added = server_added t;
     delegate_crashed = (fun () -> forget_history t);
+    regions = (fun () -> Region_map.measures t.map);
   }

@@ -73,4 +73,5 @@ let policy t =
     server_failed = (fun id -> remove_server t id);
     server_added = (fun id -> add_server t id);
     delegate_crashed = (fun () -> ());
+    regions = Policy.no_regions;
   }

@@ -166,4 +166,5 @@ let policy t =
     server_added = server_added t;
     (* There is no delegate at all in the gossip variant. *)
     delegate_crashed = (fun () -> ());
+    regions = (fun () -> Region_map.measures t.map);
   }

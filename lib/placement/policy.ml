@@ -11,7 +11,10 @@ type t = {
   server_failed : Sharedfs.Server_id.t -> unit;
   server_added : Sharedfs.Server_id.t -> unit;
   delegate_crashed : unit -> unit;
+  regions : unit -> (Sharedfs.Server_id.t * float) list;
 }
+
+let no_regions () = []
 
 let assignment_of t names = List.map (fun n -> (n, t.locate n)) names
 

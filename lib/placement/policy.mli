@@ -35,7 +35,16 @@ type t = {
       history behind divergent tuning) is lost; the next delegate runs
       the same protocol from the replicated region map alone.  No-op
       for stateless policies. *)
+  regions : unit -> (Sharedfs.Server_id.t * float) list;
+  (** introspection for the observability layer: the current
+      per-server region measures, in id order, for policies with
+      region geometry (ANU, gossip); [\[\]] for the rest.  Must be
+      cheap and side-effect free. *)
 }
+
+(** The [regions] implementation for policies without region
+    geometry. *)
+val no_regions : unit -> (Sharedfs.Server_id.t * float) list
 
 (** [assignment_of t names] tabulates [locate] over a catalog. *)
 val assignment_of : t -> string list -> (string * Sharedfs.Server_id.t) list

@@ -249,4 +249,5 @@ let policy t =
        smoothed estimates are advisory, so delegate loss needs no
        special handling. *)
     delegate_crashed = (fun () -> ());
+    regions = Policy.no_regions;
   }

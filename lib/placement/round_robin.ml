@@ -55,4 +55,5 @@ let policy t =
     server_added =
       (fun id -> t.alive <- List.sort Id.compare (id :: t.alive));
     delegate_crashed = (fun () -> ());
+    regions = Policy.no_regions;
   }

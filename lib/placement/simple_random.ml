@@ -31,4 +31,5 @@ let policy t =
         t.alive <-
           Array.of_list (List.sort Id.compare (id :: Array.to_list t.alive)));
     delegate_crashed = (fun () -> ());
+    regions = Policy.no_regions;
   }

@@ -53,6 +53,15 @@ type lock_stats = {
    completion callback is deferred until the grant. *)
 type lock_waiter = { arrival : float; notify : latency:float -> unit }
 
+(* Cluster-wide metric handles, resolved once at creation. *)
+type instruments = {
+  registry : Obs.Metrics.t;
+  latency : Obs.Metrics.Histogram.h;  (* request.latency *)
+  submitted : Obs.Metrics.Counter.c;
+  completed_ctr : Obs.Metrics.Counter.c;
+  moves : Obs.Metrics.Counter.c;
+}
+
 type t = {
   sim : Desim.Sim.t;
   disk : Shared_disk.t;
@@ -70,12 +79,27 @@ type t = {
   mutable next_tag : int;
   mutable move_log : move_record list;
   mutable moves_started : int;
+  obs : Obs.Ctx.t;
+  instruments : instruments option;
 }
 
 let create sim ~disk ~catalog ?(move_config = default_move_config)
-    ?cache_config ?(lease_duration = 30.0) ~series_interval ~servers () =
+    ?cache_config ?(lease_duration = 30.0) ~series_interval ~servers
+    ?(obs = Obs.Ctx.null) () =
   if lease_duration <= 0.0 then
     invalid_arg "Cluster.create: lease_duration must be positive";
+  let instruments =
+    Option.map
+      (fun m ->
+        {
+          registry = m;
+          latency = Obs.Metrics.histogram m "request.latency";
+          submitted = Obs.Metrics.counter m "requests.submitted";
+          completed_ctr = Obs.Metrics.counter m "requests.completed";
+          moves = Obs.Metrics.counter m "moves.started";
+        })
+      (Obs.Ctx.metrics obs)
+  in
   let t =
     {
       sim;
@@ -95,6 +119,8 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       next_tag = 0;
       move_log = [];
       moves_started = 0;
+      obs;
+      instruments;
     }
   in
   List.iter
@@ -102,13 +128,15 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       if Hashtbl.mem t.servers id then
         invalid_arg "Cluster.create: duplicate server id";
       let server =
-        Server.create sim ~id ~speed ?cache_config ~series_interval ()
+        Server.create sim ~id ~speed ?cache_config ~series_interval ~obs ()
       in
       Hashtbl.add t.servers id server)
     servers;
   t
 
 let sim t = t.sim
+
+let obs t = t.obs
 
 let catalog t = t.catalog
 
@@ -238,6 +266,21 @@ let deliver t id b =
   Server.submit server ~base_demand:b.base_demand ~tag ~extra_latency b.req
     ~on_complete:(fun ~latency ->
       Hashtbl.remove t.inflight tag;
+      (match t.instruments with
+      | None -> ()
+      | Some i ->
+        Obs.Metrics.Counter.incr i.completed_ctr;
+        Obs.Metrics.Histogram.observe i.latency latency);
+      if Obs.Ctx.tracing t.obs then
+        Obs.Ctx.emit t.obs
+          (Obs.Event.Request_complete
+             {
+               time = Desim.Sim.now t.sim;
+               server = Server_id.to_int id;
+               file_set = b.req.Request.file_set;
+               op = Request.op_name b.req.Request.op;
+               latency;
+             });
       complete_request t b ~latency)
 
 let submit t ~base_demand req ~on_complete =
@@ -245,6 +288,18 @@ let submit t ~base_demand req ~on_complete =
   let b =
     { req; base_demand; arrival = Desim.Sim.now t.sim; on_complete }
   in
+  (match t.instruments with
+  | None -> ()
+  | Some i -> Obs.Metrics.Counter.incr i.submitted);
+  if Obs.Ctx.tracing t.obs then
+    Obs.Ctx.emit t.obs
+      (Obs.Event.Request_submit
+         {
+           time = b.arrival;
+           file_set = name;
+           op = Request.op_name req.Request.op;
+           client = req.Request.client;
+         });
   match Hashtbl.find_opt t.ownership name with
   | Some (Owned id) -> deliver t id b
   | Some (Moving { pending; _ }) -> Queue.add b pending
@@ -269,12 +324,41 @@ let complete_move t ~file_set ~dst pending =
   else begin
     Server.gain_file_set dst_server ~file_set ~cold:true;
     Hashtbl.replace t.ownership file_set (Owned dst);
+    if Obs.Ctx.tracing t.obs then
+      Obs.Ctx.emit t.obs
+        (Obs.Event.Move_end
+           {
+             time = Desim.Sim.now t.sim;
+             file_set;
+             dst = Server_id.to_int dst;
+             replayed = Queue.length pending;
+           });
     Queue.iter (fun b -> deliver t dst b) pending;
     Queue.clear pending
   end
 
 let record_move t ~file_set ~src ~dst ~flush_seconds ~init_seconds =
   t.moves_started <- t.moves_started + 1;
+  (match t.instruments with
+  | None -> ()
+  | Some i ->
+    Obs.Metrics.Counter.incr i.moves;
+    (* Moves are rare, so the registry lookup (idempotent
+       registration) is fine here. *)
+    Obs.Metrics.Counter.incr
+      (Obs.Metrics.counter i.registry
+         (Printf.sprintf "server.%d.moves_in" (Server_id.to_int dst))));
+  if Obs.Ctx.tracing t.obs then
+    Obs.Ctx.emit t.obs
+      (Obs.Event.Move_start
+         {
+           time = Desim.Sim.now t.sim;
+           file_set;
+           src = Option.map Server_id.to_int src;
+           dst = Server_id.to_int dst;
+           flush_seconds;
+           init_seconds;
+         });
   t.move_log <-
     {
       started_at = Desim.Sim.now t.sim;
@@ -369,7 +453,7 @@ let add_server t id ~speed =
     invalid_arg "Cluster.add_server: duplicate server id";
   let server =
     Server.create t.sim ~id ~speed ?cache_config:t.cache_cfg
-      ~series_interval:t.series_interval ()
+      ~series_interval:t.series_interval ~obs:t.obs ()
   in
   Hashtbl.add t.servers id server
 

@@ -46,7 +46,15 @@ type t
 
 (** [lease_duration] bounds every lock hold: a grant not released
     within it is reclaimed (Storage Tank's client leases), which also
-    guarantees no request can block forever behind a lost client. *)
+    guarantees no request can block forever behind a lost client.
+
+    [obs] (default {!Obs.Ctx.null}) receives the cluster's trace
+    events — request submissions/completions, move start/end — and,
+    when it carries a metrics registry, the [request.latency]
+    histogram, [requests.submitted] / [requests.completed] /
+    [moves.started] counters, per-destination [server.N.moves_in]
+    counters, plus the per-server gauges registered by
+    {!Server.create}. *)
 val create :
   Desim.Sim.t ->
   disk:Shared_disk.t ->
@@ -56,10 +64,14 @@ val create :
   ?lease_duration:float ->
   series_interval:float ->
   servers:(Server_id.t * float) list ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   t
 
 val sim : t -> Desim.Sim.t
+
+(** [obs t] is the context the cluster was created with. *)
+val obs : t -> Obs.Ctx.t
 
 val catalog : t -> File_set.Catalog.t
 

@@ -1,5 +1,13 @@
 type report = { mean_latency : float; max_latency : float; requests : int }
 
+(* Pre-resolved metric handles, so the hot path never goes through the
+   registry's hash table. *)
+type instruments = {
+  queue_depth : Obs.Metrics.Gauge.g;
+  served : Obs.Metrics.Counter.c;
+  latency_hist : Obs.Metrics.Histogram.h;
+}
+
 type t = {
   id : Server_id.t;
   station : Desim.Station.t;
@@ -8,9 +16,24 @@ type t = {
   window : Desim.Welford.t;
   series : Desim.Timeseries.t;
   mutable next_tag : int;
+  instruments : instruments option;
 }
 
-let create sim ~id ~speed ?cache_config ~series_interval () =
+let create sim ~id ~speed ?cache_config ~series_interval
+    ?(obs = Obs.Ctx.null) () =
+  let instruments =
+    Option.map
+      (fun m ->
+        let n = Server_id.to_int id in
+        {
+          queue_depth =
+            Obs.Metrics.gauge m (Printf.sprintf "server.%d.queue_depth" n);
+          served = Obs.Metrics.counter m (Printf.sprintf "server.%d.requests" n);
+          latency_hist =
+            Obs.Metrics.histogram m (Printf.sprintf "server.%d.latency" n);
+        })
+      (Obs.Ctx.metrics obs)
+  in
   {
     id;
     station =
@@ -22,6 +45,7 @@ let create sim ~id ~speed ?cache_config ~series_interval () =
     window = Desim.Welford.create ();
     series = Desim.Timeseries.create ~interval:series_interval;
     next_tag = 0;
+    instruments;
   }
 
 let id t = t.id
@@ -32,7 +56,14 @@ let set_speed t s = Desim.Station.set_speed t.station s
 
 let observe t ~latency =
   Desim.Welford.add t.window latency;
-  Desim.Timeseries.observe t.series ~time:(Desim.Sim.now t.sim) latency
+  Desim.Timeseries.observe t.series ~time:(Desim.Sim.now t.sim) latency;
+  match t.instruments with
+  | None -> ()
+  | Some i ->
+    Obs.Metrics.Counter.incr i.served;
+    Obs.Metrics.Histogram.observe i.latency_hist latency;
+    Obs.Metrics.Gauge.set i.queue_depth
+      (float_of_int (Desim.Station.queue_length t.station))
 
 let submit t ~base_demand ?tag ?(extra_latency = 0.0) req ~on_complete =
   let file_set = req.Request.file_set in
@@ -53,7 +84,12 @@ let submit t ~base_demand ?tag ?(extra_latency = 0.0) req ~on_complete =
   Desim.Station.submit t.station ~demand ~tag ~on_complete:(fun ~latency ->
       let latency = latency +. extra_latency in
       observe t ~latency;
-      on_complete ~latency)
+      on_complete ~latency);
+  match t.instruments with
+  | None -> ()
+  | Some i ->
+    Obs.Metrics.Gauge.set i.queue_depth
+      (float_of_int (Desim.Station.queue_length t.station))
 
 let queue_length t = Desim.Station.queue_length t.station
 

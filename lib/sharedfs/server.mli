@@ -16,12 +16,19 @@ type report = {
 
 type t
 
+(** [create sim ~id ~speed ?cache_config ~series_interval ?obs ()]
+    builds a server.  When [obs] carries a metrics registry the server
+    registers and maintains a [server.N.queue_depth] gauge, a
+    [server.N.requests] counter and a [server.N.latency] histogram;
+    with the default {!Obs.Ctx.null} the per-request overhead is one
+    branch. *)
 val create :
   Desim.Sim.t ->
   id:Server_id.t ->
   speed:float ->
   ?cache_config:Cache.config ->
   series_interval:float ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   t
 

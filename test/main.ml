@@ -21,6 +21,7 @@ let () =
       ("cluster", Test_cluster.suite);
       ("workload", Test_workload.suite);
       ("sessions", Test_sessions.suite);
+      ("obs", Test_obs.suite);
       ("runner", Test_runner.suite);
       ("experiments", Test_experiments.suite);
       ("validate", Test_validate.suite);

@@ -1,0 +1,524 @@
+(* Obs: JSON codec, event round-trips, sinks, metrics, and the
+   runner's instrumentation contract (one Delegate_round per
+   reconfiguration interval). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let event_t = Alcotest.testable Obs.Event.pp ( = )
+
+(* --- Json codec --- *)
+
+let test_json_round_trip () =
+  let open Obs.Json in
+  let v =
+    Obj
+      [
+        ("null", Null);
+        ("yes", Bool true);
+        ("no", Bool false);
+        ("int", Num 42.0);
+        ("neg", Num (-7.0));
+        ("frac", Num 0.1);
+        ("pi", Num 3.141592653589793);
+        ("tiny", Num 1.2e-17);
+        ("str", Str "he said \"hi\"\n\ttab \\ slash");
+        ("unicode", Str "caf\xc3\xa9");
+        ("list", List [ Num 1.0; Str "two"; List []; Obj [] ]);
+      ]
+  in
+  match of_string (to_string v) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok v' -> check_bool "structurally equal" true (v = v')
+
+let test_json_parse_escapes () =
+  let open Obs.Json in
+  (match of_string {|"aAé😀b"|} with
+  | Ok (Str s) ->
+    Alcotest.(check string)
+      "escapes decode to UTF-8" "aA\xc3\xa9\xf0\x9f\x98\x80b" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  check_bool "garbage rejected" true
+    (Result.is_error (of_string "{\"unterminated\": "));
+  check_bool "trailing junk rejected" true
+    (Result.is_error (of_string "[1, 2] extra"))
+
+(* --- Event serialization --- *)
+
+let sample_events =
+  [
+    Obs.Event.Request_submit
+      { time = 0.125; file_set = "fs-001"; op = "open"; client = 3 };
+    Obs.Event.Request_complete
+      {
+        time = 17.3;
+        server = 2;
+        file_set = "fs-002";
+        op = "stat";
+        latency = 0.0371;
+      };
+    Obs.Event.Move_start
+      {
+        time = 120.0;
+        file_set = "fs-003";
+        src = Some 1;
+        dst = 4;
+        flush_seconds = 0.5;
+        init_seconds = 1.25;
+      };
+    Obs.Event.Move_start
+      {
+        time = 121.0;
+        file_set = "fs-orphan";
+        src = None;
+        dst = 0;
+        flush_seconds = 0.0;
+        init_seconds = 2.0;
+      };
+    Obs.Event.Move_end
+      { time = 122.75; file_set = "fs-003"; dst = 4; replayed = 7 };
+    Obs.Event.Delegate_round
+      {
+        time = 240.0;
+        round = 2;
+        delegate = Some 0;
+        average = 0.042;
+        inputs =
+          [
+            {
+              Obs.Event.server = 0;
+              mean_latency = 0.03;
+              max_latency = 0.1;
+              requests = 150;
+              queue_depth = 2;
+            };
+            {
+              Obs.Event.server = 1;
+              mean_latency = 0.07;
+              max_latency = 0.3;
+              requests = 80;
+              queue_depth = 5;
+            };
+          ];
+        regions = [ (0, 0.31); (1, 0.19) ];
+      };
+    Obs.Event.Delegate_round
+      {
+        time = 360.0;
+        round = 3;
+        delegate = None;
+        average = 0.0;
+        inputs = [];
+        regions = [];
+      };
+    Obs.Event.Membership { time = 500.0; server = 4; change = Obs.Event.Failed };
+    Obs.Event.Membership
+      { time = 800.0; server = 4; change = Obs.Event.Recovered };
+    Obs.Event.Membership
+      { time = 900.0; server = 5; change = Obs.Event.Added 7.0 };
+    Obs.Event.Membership
+      { time = 950.0; server = 1; change = Obs.Event.Speed_changed 0.5 };
+    Obs.Event.Rehash_round
+      { time = 960.0; trigger = "fail"; checked = 40; moved = 9 };
+  ]
+
+let test_event_jsonl_round_trip () =
+  List.iter
+    (fun e ->
+      match Obs.Event.of_jsonl (Obs.Event.to_jsonl e) with
+      | Error err ->
+        Alcotest.failf "%s failed to reparse: %s" (Obs.Event.kind e) err
+      | Ok e' -> Alcotest.check event_t (Obs.Event.kind e) e e')
+    sample_events
+
+let test_event_kinds_distinct () =
+  let kinds = List.sort_uniq compare (List.map Obs.Event.kind sample_events) in
+  (* Seven variants in the taxonomy. *)
+  check_int "all seven kinds exercised" 7 (List.length kinds);
+  List.iter
+    (fun e ->
+      let json = Obs.Event.to_json e in
+      Alcotest.(check (option string))
+        "type field matches kind" (Some (Obs.Event.kind e))
+        Obs.Json.(to_str (member "type" json)))
+    sample_events
+
+let test_event_of_jsonl_errors () =
+  check_bool "bad json" true (Result.is_error (Obs.Event.of_jsonl "{nope"));
+  check_bool "unknown type" true
+    (Result.is_error (Obs.Event.of_jsonl {|{"type":"martian","time":1}|}));
+  check_bool "missing field" true
+    (Result.is_error (Obs.Event.of_jsonl {|{"type":"request_submit"}|}))
+
+(* --- Ring sink --- *)
+
+let nth_submit i =
+  Obs.Event.Request_submit
+    { time = float_of_int i; file_set = Printf.sprintf "fs-%d" i; op = "open";
+      client = 0 }
+
+let test_ring_capacity_eviction () =
+  let ring = Obs.Sink.Ring.create ~capacity:4 in
+  let sink = Obs.Sink.Ring.sink ring in
+  check_int "empty" 0 (Obs.Sink.Ring.length ring);
+  for i = 1 to 10 do
+    sink.Obs.Sink.emit (nth_submit i)
+  done;
+  check_int "capped at capacity" 4 (Obs.Sink.Ring.length ring);
+  check_int "evictions counted" 6 (Obs.Sink.Ring.dropped ring);
+  Alcotest.(check (list event_t))
+    "keeps newest, oldest first"
+    [ nth_submit 7; nth_submit 8; nth_submit 9; nth_submit 10 ]
+    (Obs.Sink.Ring.contents ring);
+  Obs.Sink.Ring.clear ring;
+  check_int "clear empties" 0 (Obs.Sink.Ring.length ring);
+  check_int "clear resets dropped" 0 (Obs.Sink.Ring.dropped ring);
+  sink.Obs.Sink.emit (nth_submit 11);
+  Alcotest.(check (list event_t))
+    "usable after clear" [ nth_submit 11 ]
+    (Obs.Sink.Ring.contents ring)
+
+(* --- JSONL sink --- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_jsonl_file_sink () =
+  with_temp_file (fun path ->
+      let sink = Obs.Sink.jsonl_file path in
+      List.iter sink.Obs.Sink.emit sample_events;
+      sink.Obs.Sink.close ();
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> l <> "")
+      in
+      check_int "one line per event" (List.length sample_events)
+        (List.length lines);
+      List.iter2
+        (fun e line ->
+          match Obs.Event.of_jsonl line with
+          | Error err -> Alcotest.failf "line failed to parse: %s" err
+          | Ok e' -> Alcotest.check event_t "line round-trips" e e')
+        sample_events lines)
+
+(* --- Chrome sink --- *)
+
+let test_chrome_file_valid_json () =
+  with_temp_file (fun path ->
+      let sink = Obs.Sink.chrome_file path in
+      List.iter sink.Obs.Sink.emit sample_events;
+      sink.Obs.Sink.close ();
+      let body = String.trim (read_file path) in
+      check_bool "opens with [" true (String.length body > 0 && body.[0] = '[');
+      check_bool "closes with ]" true
+        (body.[String.length body - 1] = ']');
+      match Obs.Json.of_string body with
+      | Error e -> Alcotest.failf "chrome trace is not valid JSON: %s" e
+      | Ok (Obs.Json.List records) ->
+        check_bool "has records" true (List.length records > 0);
+        List.iter
+          (fun r ->
+            let phase = Obs.Json.(to_str (member "ph" r)) in
+            check_bool "record has a phase" true (phase <> None);
+            check_bool "record has a pid" true
+              (Obs.Json.(to_int (member "pid" r)) <> None))
+          records;
+        (* Request_complete events must appear as complete slices with
+           microsecond timestamps. *)
+        let slices =
+          List.filter
+            (fun r -> Obs.Json.(to_str (member "ph" r)) = Some "X")
+            records
+        in
+        check_bool "has X slices" true (List.length slices > 0)
+      | Ok _ -> Alcotest.fail "chrome trace is not a JSON array")
+
+let test_chrome_empty_trace_valid () =
+  with_temp_file (fun path ->
+      let sink = Obs.Sink.chrome_file path in
+      sink.Obs.Sink.close ();
+      match Obs.Json.of_string (read_file path) with
+      | Ok (Obs.Json.List []) -> ()
+      | Ok _ -> Alcotest.fail "expected an empty array"
+      | Error e -> Alcotest.failf "empty trace invalid: %s" e)
+
+(* --- Metrics --- *)
+
+let test_counter_gauge () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "c" in
+  Obs.Metrics.Counter.incr c;
+  Obs.Metrics.Counter.add c 4;
+  check_int "counter" 5 (Obs.Metrics.Counter.value c);
+  let c' = Obs.Metrics.counter m "c" in
+  Obs.Metrics.Counter.incr c';
+  check_int "registration idempotent" 6 (Obs.Metrics.Counter.value c);
+  let g = Obs.Metrics.gauge m "g" in
+  Obs.Metrics.Gauge.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge" 2.5 (Obs.Metrics.Gauge.value g);
+  Obs.Metrics.reset m;
+  check_int "reset zeroes counters" 0 (Obs.Metrics.Counter.value c);
+  Alcotest.(check (float 0.0))
+    "reset zeroes gauges" 0.0 (Obs.Metrics.Gauge.value g)
+
+(* The histogram estimates percentiles by interpolating within the
+   bucket that holds the target rank, so against the exact retained-
+   sample percentile the error is bounded by one bucket width. *)
+let test_histogram_percentiles_vs_stat () =
+  let bounds = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram ~bounds m "h" in
+  let sample = Desim.Stat.Sample.create () in
+  let rng = Desim.Rng.create 11 in
+  for _ = 1 to 5_000 do
+    (* Skewed over [0, 100): squaring concentrates mass near zero, so
+       the test covers sparsely- and densely-populated buckets. *)
+    let u = Desim.Rng.float rng in
+    let x = u *. u *. 100.0 in
+    Obs.Metrics.Histogram.observe h x;
+    Desim.Stat.Sample.add sample x
+  done;
+  check_int "counts agree" (Desim.Stat.Sample.count sample)
+    (Obs.Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9))
+    "means agree"
+    (Desim.Stat.Sample.mean sample)
+    (Obs.Metrics.Histogram.mean h);
+  Alcotest.(check (float 1e-9))
+    "max agrees"
+    (Desim.Stat.Sample.max_value sample)
+    (Obs.Metrics.Histogram.max_value h);
+  List.iter
+    (fun p ->
+      let exact = Desim.Stat.Sample.percentile sample p in
+      let approx = Obs.Metrics.Histogram.percentile h p in
+      check_bool
+        (Printf.sprintf "p%.0f within one bucket (exact %.3f, approx %.3f)" p
+           exact approx)
+        true
+        (abs_float (exact -. approx) <= 1.0 +. 1e-9))
+    [ 10.0; 50.0; 90.0; 95.0; 99.0 ]
+
+let test_histogram_overflow_and_empty () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram ~bounds:[| 1.0; 2.0 |] m "h" in
+  Alcotest.(check (float 0.0))
+    "empty percentile" 0.0
+    (Obs.Metrics.Histogram.percentile h 50.0);
+  (* Values beyond the last bound land in the overflow bucket; the
+     percentile clamps to the observed max rather than inventing an
+     upper edge. *)
+  List.iter (Obs.Metrics.Histogram.observe h) [ 5.0; 6.0; 7.0 ];
+  Alcotest.(check (float 1e-9))
+    "overflow percentile clamps to max" 7.0
+    (Obs.Metrics.Histogram.percentile h 99.0);
+  Alcotest.(check (float 1e-9))
+    "min tracked" 5.0
+    (Obs.Metrics.Histogram.min_value h)
+
+let test_snapshot_sorted () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.Counter.incr (Obs.Metrics.counter m "zeta");
+  Obs.Metrics.Counter.incr (Obs.Metrics.counter m "alpha");
+  Obs.Metrics.Histogram.observe (Obs.Metrics.histogram m "lat") 0.5;
+  let snap = Obs.Metrics.snapshot m in
+  Alcotest.(check (list string))
+    "counters sorted" [ "alpha"; "zeta" ]
+    (List.map fst snap.Obs.Metrics.counters);
+  check_int "histogram present" 1 (List.length snap.Obs.Metrics.histograms);
+  (* pp_snapshot must render without raising. *)
+  ignore (Format.asprintf "%a" Obs.Metrics.pp_snapshot snap)
+
+(* --- Ctx --- *)
+
+let test_ctx_null_and_fanout () =
+  check_bool "null not tracing" false (Obs.Ctx.tracing Obs.Ctx.null);
+  check_bool "null has no metrics" true (Obs.Ctx.metrics Obs.Ctx.null = None);
+  Obs.Ctx.emit Obs.Ctx.null (nth_submit 1);
+  (* emit fans out to every sink in order *)
+  let r1 = Obs.Sink.Ring.create ~capacity:8 in
+  let r2 = Obs.Sink.Ring.create ~capacity:8 in
+  let ctx =
+    Obs.Ctx.create
+      ~sinks:[ Obs.Sink.Ring.sink r1; Obs.Sink.Ring.sink r2 ]
+      ()
+  in
+  check_bool "tracing with sinks" true (Obs.Ctx.tracing ctx);
+  Obs.Ctx.emit ctx (nth_submit 2);
+  check_int "first sink saw it" 1 (Obs.Sink.Ring.length r1);
+  check_int "second sink saw it" 1 (Obs.Sink.Ring.length r2);
+  Obs.Ctx.close ctx
+
+(* --- Runner integration --- *)
+
+let small_trace =
+  Workload.Synthetic.generate
+    {
+      Workload.Synthetic.default_config with
+      Workload.Synthetic.file_sets = 40;
+      requests = 4_000;
+      duration = 2_000.0;
+    }
+
+let count_kind events kind =
+  List.length (List.filter (fun e -> Obs.Event.kind e = kind) events)
+
+let test_runner_emits_rounds_and_requests () =
+  let ring = Obs.Sink.Ring.create ~capacity:50_000 in
+  let metrics = Obs.Metrics.create () in
+  let obs = Obs.Ctx.create ~sinks:[ Obs.Sink.Ring.sink ring ] ~metrics () in
+  let r =
+    Experiments.Runner.run Experiments.Scenario.default
+      (Experiments.Scenario.Anu Placement.Anu.default_config)
+      ~trace:small_trace ~obs ()
+  in
+  let events = Obs.Sink.Ring.contents ring in
+  check_int "nothing evicted" 0 (Obs.Sink.Ring.dropped ring);
+  (* The instrumentation contract: exactly one Delegate_round event per
+     reconfiguration interval (2000 s / 120 s = 16). *)
+  check_int "one Delegate_round per interval" r.Experiments.Runner.reconfig_rounds
+    (count_kind events "delegate_round");
+  check_int "expected 16 rounds on this trace" 16
+    r.Experiments.Runner.reconfig_rounds;
+  check_int "one submit event per request" r.Experiments.Runner.submitted
+    (count_kind events "request_submit");
+  check_int "one complete event per request" r.Experiments.Runner.completed
+    (count_kind events "request_complete");
+  check_int "one rehash sweep per round" r.Experiments.Runner.reconfig_rounds
+    (count_kind events "rehash_round");
+  check_int "move events paired"
+    (count_kind events "move_start")
+    (count_kind events "move_end");
+  (* Delegate rounds carry per-server inputs and (for ANU) the tuned
+     region measures. *)
+  List.iter
+    (fun e ->
+      match e with
+      | Obs.Event.Delegate_round { inputs; regions; delegate; _ } ->
+        check_int "inputs from all five servers" 5 (List.length inputs);
+        check_int "regions for all five servers" 5 (List.length regions);
+        check_bool "delegate elected" true (delegate <> None)
+      | _ -> ())
+    events;
+  (* Metrics agree with the result's own bookkeeping. *)
+  match r.Experiments.Runner.metrics with
+  | None -> Alcotest.fail "expected a metrics snapshot"
+  | Some snap ->
+    let counter name =
+      match List.assoc_opt name snap.Obs.Metrics.counters with
+      | Some v -> v
+      | None -> Alcotest.failf "missing counter %s" name
+    in
+    check_int "requests.submitted" r.Experiments.Runner.submitted
+      (counter "requests.submitted");
+    check_int "requests.completed" r.Experiments.Runner.completed
+      (counter "requests.completed");
+    check_int "moves.started"
+      (List.length r.Experiments.Runner.moves)
+      (counter "moves.started");
+    let latency =
+      match List.assoc_opt "request.latency" snap.Obs.Metrics.histograms with
+      | Some h -> h
+      | None -> Alcotest.fail "missing request.latency histogram"
+    in
+    check_int "latency histogram count" r.Experiments.Runner.completed
+      latency.Obs.Metrics.count;
+    check_bool "latency p95 sane" true
+      (latency.Obs.Metrics.p95 > 0.0
+      && latency.Obs.Metrics.p95 <= latency.Obs.Metrics.max)
+
+let test_runner_membership_events () =
+  let ring = Obs.Sink.Ring.create ~capacity:50_000 in
+  let obs = Obs.Ctx.create ~sinks:[ Obs.Sink.Ring.sink ring ] () in
+  let events_script =
+    [
+      { Experiments.Runner.at = 500.0; action = Experiments.Runner.Fail 4 };
+      { Experiments.Runner.at = 900.0; action = Experiments.Runner.Recover 4 };
+    ]
+  in
+  let (_ : Experiments.Runner.result) =
+    Experiments.Runner.run Experiments.Scenario.default
+      (Experiments.Scenario.Anu Placement.Anu.default_config)
+      ~trace:small_trace ~events:events_script ~obs ()
+  in
+  let events = Obs.Sink.Ring.contents ring in
+  let membership =
+    List.filter_map
+      (function
+        | Obs.Event.Membership { server; change; _ } -> Some (server, change)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool)
+    "fail then recover observed" true
+    (membership = [ (4, Obs.Event.Failed); (4, Obs.Event.Recovered) ]);
+  let rehash_triggers =
+    List.filter_map
+      (function
+        | Obs.Event.Rehash_round { trigger; _ } -> Some trigger | _ -> None)
+      events
+  in
+  check_bool "fail triggers a rehash sweep" true
+    (List.mem "fail" rehash_triggers);
+  check_bool "recover triggers a rehash sweep" true
+    (List.mem "recover" rehash_triggers)
+
+let test_runner_unobserved_unchanged () =
+  (* The null context must not perturb the simulation. *)
+  let spec = Experiments.Scenario.Anu Placement.Anu.default_config in
+  let plain =
+    Experiments.Runner.run Experiments.Scenario.default spec
+      ~trace:small_trace ()
+  in
+  let ring = Obs.Sink.Ring.create ~capacity:50_000 in
+  let obs = Obs.Ctx.create ~sinks:[ Obs.Sink.Ring.sink ring ] () in
+  let observed =
+    Experiments.Runner.run Experiments.Scenario.default spec
+      ~trace:small_trace ~obs ()
+  in
+  Alcotest.(check (float 1e-12))
+    "identical means" plain.Experiments.Runner.overall_mean
+    observed.Experiments.Runner.overall_mean;
+  check_int "identical moves"
+    (List.length plain.Experiments.Runner.moves)
+    (List.length observed.Experiments.Runner.moves);
+  check_bool "plain run has no metrics" true
+    (plain.Experiments.Runner.metrics = None)
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json escapes and errors" `Quick test_json_parse_escapes;
+    Alcotest.test_case "event jsonl round-trip" `Quick
+      test_event_jsonl_round_trip;
+    Alcotest.test_case "event kinds distinct" `Quick test_event_kinds_distinct;
+    Alcotest.test_case "event decode errors" `Quick test_event_of_jsonl_errors;
+    Alcotest.test_case "ring capacity and eviction" `Quick
+      test_ring_capacity_eviction;
+    Alcotest.test_case "jsonl file sink" `Quick test_jsonl_file_sink;
+    Alcotest.test_case "chrome trace valid json" `Quick
+      test_chrome_file_valid_json;
+    Alcotest.test_case "chrome empty trace valid" `Quick
+      test_chrome_empty_trace_valid;
+    Alcotest.test_case "counter and gauge" `Quick test_counter_gauge;
+    Alcotest.test_case "histogram percentiles vs Stat" `Quick
+      test_histogram_percentiles_vs_stat;
+    Alcotest.test_case "histogram overflow and empty" `Quick
+      test_histogram_overflow_and_empty;
+    Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+    Alcotest.test_case "ctx null and fan-out" `Quick test_ctx_null_and_fanout;
+    Alcotest.test_case "runner emits rounds and requests" `Quick
+      test_runner_emits_rounds_and_requests;
+    Alcotest.test_case "runner membership events" `Quick
+      test_runner_membership_events;
+    Alcotest.test_case "unobserved run unchanged" `Quick
+      test_runner_unobserved_unchanged;
+  ]

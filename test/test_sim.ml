@@ -124,6 +124,32 @@ let test_step () =
   check_bool "step true" true (Sim.step sim);
   check_bool "step false when empty" false (Sim.step sim)
 
+let test_on_event_hook () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  Sim.set_on_event sim (fun time -> seen := time :: !seen);
+  List.iter
+    (fun t -> ignore (Sim.schedule_at sim ~time:t (fun () -> ())))
+    [ 2.0; 1.0; 3.0 ];
+  Sim.run sim;
+  Alcotest.(check (list (float 0.0)))
+    "hook saw every event in order" [ 1.0; 2.0; 3.0 ] (List.rev !seen);
+  (* Clearing stops further callbacks. *)
+  Sim.clear_on_event sim;
+  let (_ : Sim.handle) = Sim.schedule_at sim ~time:4.0 (fun () -> ()) in
+  Sim.run sim;
+  check_int "no extra callbacks" 3 (List.length !seen)
+
+let test_run_profiled () =
+  let sim = Sim.create () in
+  for i = 1 to 100 do
+    ignore (Sim.schedule_at sim ~time:(float_of_int i) (fun () -> ()))
+  done;
+  let profile = Sim.run_profiled sim in
+  check_int "fired" 100 profile.Sim.fired;
+  check_bool "wall clock non-negative" true (profile.Sim.wall_seconds >= 0.0);
+  check_bool "rate non-negative" true (profile.Sim.events_per_second >= 0.0)
+
 let suite =
   [
     Alcotest.test_case "clock starts at zero" `Quick test_clock_starts_at_zero;
@@ -139,4 +165,6 @@ let suite =
       test_run_until_with_cancelled_head;
     Alcotest.test_case "events_fired counter" `Quick test_events_fired_counter;
     Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "on_event hook" `Quick test_on_event_hook;
+    Alcotest.test_case "run_profiled" `Quick test_run_profiled;
   ]
