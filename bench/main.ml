@@ -1,19 +1,28 @@
 (* The benchmark harness.
 
-   Two sections:
+   Three sections:
 
    1. Figure regeneration — for every evaluation figure of the paper
       (6-11) plus the ablations, run the full-size simulation and print
       the per-server latency series and summary (the data behind the
-      paper's plots).
+      paper's plots).  `--jobs N` fans the independent simulations
+      behind each figure out over N domains; output is bit-identical
+      to serial.
 
    2. Micro-benchmarks (Bechamel) — cost of the mechanisms the paper
       argues are cheap: hash probes, ANU addressing, region rescaling,
       the event queue, and the prescient packing it is compared
       against.
 
+   3. Perf snapshots — `perf` writes a machine-readable BENCH_*.json
+      (engine events/s, micro ns/op, addressing probes) and `compare`
+      diffs two snapshots, flagging >10% regressions; CI keeps a
+      committed baseline honest with these.
+
    Run everything: dune exec bench/main.exe
-   Subset:         dune exec bench/main.exe -- fig6 fig10 micro *)
+   Subset:         dune exec bench/main.exe -- fig6 fig10 micro --jobs 4
+   Snapshot:       dune exec bench/main.exe -- perf fig6 --out BENCH_fig6.json
+   Diff:           dune exec bench/main.exe -- compare old.json new.json *)
 
 open Bechamel
 open Toolkit
@@ -22,9 +31,9 @@ let pp_figure_result figure =
   Format.printf "%a@." (Experiments.Report.pp_figure ~max_minutes:60.0) figure
 
 (* Engine throughput across every simulation behind one figure: the
-   runner captures Sim.events_fired and the wall clock around each
-   Sim.run; summing them isolates the engine from trace generation and
-   report rendering (which the figure-level wall clock includes). *)
+   runner captures Sim.events_fired and the monotonic wall clock around
+   each Sim.run; summing them isolates the engine from trace generation
+   and report rendering (which the figure-level wall clock includes). *)
 let pp_engine_throughput ppf figure =
   let events, engine_wall =
     List.fold_left
@@ -39,15 +48,19 @@ let pp_engine_throughput ppf figure =
       (float_of_int events /. engine_wall)
   else Format.fprintf ppf "%d events" events
 
-let run_figure id =
+let run_figure ~jobs id =
   match Experiments.Figures.by_id id with
   | None -> Format.printf "unknown experiment: %s@." id
   | Some build ->
-    let t0 = Unix.gettimeofday () in
-    let figure = build ~quick:false () in
+    let t0 = Desim.Clock.now_ns () in
+    let figure = build ~quick:false ~jobs () in
     pp_figure_result figure;
-    Format.printf "(%s regenerated in %.1f s; %a)@.@." id
-      (Unix.gettimeofday () -. t0)
+    (* Timing goes to stderr: stdout carries only deterministic figure
+       data, so `fig6 --jobs 4` and `--jobs 1` are byte-identical. *)
+    Format.eprintf "(%s regenerated in %.1f s with %d job%s; %a)@.@." id
+      (Desim.Clock.seconds_since t0)
+      jobs
+      (if jobs = 1 then "" else "s")
       pp_engine_throughput figure
 
 (* --- micro-benchmarks --- *)
@@ -118,26 +131,34 @@ let micro_tests () =
            Desim.Sim.run sim));
   ]
 
-let run_micro () =
-  Format.printf "=== micro-benchmarks (Bechamel, ns/run) ===@.";
+(* OLS ns/run estimates for every micro test, in declaration order. *)
+let micro_estimates ?(quota_seconds = 0.5) () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_seconds) ~stabilize:true
+      ()
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name raw ->
+      Hashtbl.fold
+        (fun name raw acc ->
           let est = Analyze.one ols Instance.monotonic_clock raw in
           match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Format.printf "%-40s %12.1f ns/run@." name ns
-          | Some _ | None -> Format.printf "%-40s (no estimate)@." name)
-        results)
-    (micro_tests ());
+          | Some [ ns ] -> (name, ns) :: acc
+          | Some _ | None -> acc)
+        results []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+    (micro_tests ())
+
+let run_micro () =
+  Format.printf "=== micro-benchmarks (Bechamel, ns/run) ===@.";
+  List.iter
+    (fun (name, ns) -> Format.printf "%-40s %12.1f ns/run@." name ns)
+    (micro_estimates ());
   Format.printf "@."
 
 let run_motivation () =
@@ -146,12 +167,12 @@ let run_motivation () =
   Format.printf
     "Every completed open launches a data transfer on a 40 MB/s SAN; both@.policies \
      see identical data work (Section 2 of the paper).@.";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Desim.Clock.now_ns () in
   List.iter
     (fun r -> Format.printf "%a@." Experiments.Motivation.pp_result r)
     (Experiments.Motivation.experiment ());
   Format.printf "(motivation regenerated in %.1f s)@.@."
-    (Unix.gettimeofday () -. t0)
+    (Desim.Clock.seconds_since t0)
 
 let run_membership () =
   Format.printf
@@ -159,20 +180,20 @@ let run_membership () =
   Format.printf
     "Owner changes among 10,000 file sets when server 2 of 5 fails and \
      recovers.@.";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Desim.Clock.now_ns () in
   List.iter
     (fun r -> Format.printf "%a@." Experiments.Membership.pp_result r)
     (Experiments.Membership.compare_all ~servers:5 ~file_sets:10_000 ~failed:2
        ~seed:5);
   Format.printf "(membership study in %.1f s)@.@."
-    (Unix.gettimeofday () -. t0)
+    (Desim.Clock.seconds_since t0)
 
 let run_balance () =
   Format.printf
     "=== balance study: scaling absorbs hashing variance (Section 4) ===@.";
   Format.printf
     "Homogeneous servers, uniform file sets; max/mean load over trials.@.";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Desim.Clock.now_ns () in
   List.iter
     (fun (servers, file_sets) ->
       List.iter
@@ -182,29 +203,160 @@ let run_balance () =
            ~seed:1);
       Format.printf "@.")
     [ (5, 100); (8, 512); (16, 2048) ];
-  Format.printf "(balance study in %.1f s)@.@." (Unix.gettimeofday () -. t0)
+  Format.printf "(balance study in %.1f s)@.@." (Desim.Clock.seconds_since t0)
 
 let run_validate () =
   Format.printf "=== claim validation (paper's headline results) ===@.";
-  let t0 = Unix.gettimeofday () in
+  let t0 = Desim.Clock.now_ns () in
   let checks = Experiments.Validate.run () in
   Format.printf "%a@." Experiments.Validate.pp checks;
-  Format.printf "(validated in %.1f s)@.@." (Unix.gettimeofday () -. t0)
+  Format.printf "(validated in %.1f s)@.@." (Desim.Clock.seconds_since t0)
+
+(* --- perf snapshot and comparison modes --- *)
+
+let fail_usage fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline msg;
+      exit 1)
+    fmt
+
+let run_perf args =
+  let quick = ref false in
+  let jobs = ref 1 in
+  let out = ref None in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | _ -> fail_usage "perf: --jobs expects a positive integer, got %s" n);
+      parse rest
+    | "--out" :: path :: rest ->
+      out := Some path;
+      parse rest
+    | ("--jobs" | "--out") :: [] ->
+      fail_usage "perf: missing value after final option"
+    | id :: rest ->
+      (match Experiments.Figures.by_id id with
+      | Some _ -> ids := id :: !ids
+      | None -> fail_usage "perf: unknown experiment %s" id);
+      parse rest
+  in
+  parse args;
+  let ids = if !ids = [] then [ "fig6" ] else List.rev !ids in
+  let quick = !quick in
+  let jobs = !jobs in
+  let path =
+    match !out with
+    | Some p -> p
+    | None ->
+      Printf.sprintf "BENCH_%s%s.json" (String.concat "-" ids)
+        (if quick then "_quick" else "")
+  in
+  let figures =
+    List.map
+      (fun id ->
+        let build = Option.get (Experiments.Figures.by_id id) in
+        Format.printf "perf: running %s (quick=%b, jobs=%d)...@." id quick jobs;
+        let t0 = Desim.Clock.now_ns () in
+        let figure = build ~quick ~jobs () in
+        Perf_json.figure_metrics ~id
+          ~wall_seconds:(Desim.Clock.seconds_since t0)
+          figure.Experiments.Figures.results)
+      ids
+  in
+  Format.printf "perf: micro-benchmarks...@.";
+  let micros =
+    List.map
+      (fun (name, ns) -> { Perf_json.name; ns_per_run = ns })
+      (micro_estimates ~quota_seconds:(if quick then 0.25 else 0.5) ())
+  in
+  Format.printf "perf: addressing sweep...@.";
+  let addressing = Perf_json.addressing_sweep () in
+  let snapshot = { Perf_json.quick; jobs; figures; micros; addressing } in
+  Perf_json.save snapshot ~path;
+  Format.printf "wrote %s@." path
+
+let run_compare args =
+  let threshold = ref 0.10 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0.0 -> threshold := t
+      | _ -> fail_usage "compare: bad --threshold %s" v);
+      parse rest
+    | "--threshold" :: [] -> fail_usage "compare: missing threshold value"
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  parse args;
+  match List.rev !files with
+  | [ base_path; new_path ] ->
+    let load path =
+      match Perf_json.load ~path with
+      | Ok t -> t
+      | Error msg -> fail_usage "compare: %s" msg
+    in
+    let baseline = load base_path in
+    let current = load new_path in
+    let deltas =
+      Perf_json.compare_runs ~baseline ~current ~threshold:!threshold
+    in
+    if deltas = [] then fail_usage "compare: no common metrics";
+    Format.printf "perf comparison (threshold %.0f%%): %s -> %s@."
+      (!threshold *. 100.0) base_path new_path;
+    List.iter (fun d -> Format.printf "%a@." Perf_json.pp_delta d) deltas;
+    let regressions = List.filter (fun d -> d.Perf_json.regression) deltas in
+    if regressions <> [] then begin
+      Format.printf "@.%d metric(s) regressed beyond %.0f%%@."
+        (List.length regressions)
+        (!threshold *. 100.0);
+      exit 2
+    end
+    else Format.printf "@.no regressions beyond %.0f%%@." (!threshold *. 100.0)
+  | _ -> fail_usage "usage: compare [--threshold FRAC] OLD.json NEW.json"
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let all =
-    ("motivation" :: Experiments.Figures.all_ids)
-    @ [ "membership"; "balance"; "micro"; "validate" ]
-  in
-  let selected = if args = [] then all else args in
-  List.iter
-    (fun id ->
-      match id with
-      | "micro" -> run_micro ()
-      | "motivation" -> run_motivation ()
-      | "membership" -> run_membership ()
-      | "balance" -> run_balance ()
-      | "validate" -> run_validate ()
-      | _ -> run_figure id)
-    selected
+  match List.tl (Array.to_list Sys.argv) with
+  | "perf" :: rest -> run_perf rest
+  | "compare" :: rest -> run_compare rest
+  | args ->
+    (* Text mode: figure/study ids with an optional --jobs N. *)
+    let jobs = ref 1 in
+    let ids = ref [] in
+    let rec parse = function
+      | [] -> ()
+      | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs := j
+        | _ -> fail_usage "--jobs expects a positive integer, got %s" n);
+        parse rest
+      | "--jobs" :: [] -> fail_usage "missing value after --jobs"
+      | id :: rest ->
+        ids := id :: !ids;
+        parse rest
+    in
+    parse args;
+    let all =
+      ("motivation" :: Experiments.Figures.all_ids)
+      @ [ "membership"; "balance"; "micro"; "validate" ]
+    in
+    let selected = if !ids = [] then all else List.rev !ids in
+    List.iter
+      (fun id ->
+        match id with
+        | "micro" -> run_micro ()
+        | "motivation" -> run_motivation ()
+        | "membership" -> run_membership ()
+        | "balance" -> run_balance ()
+        | "validate" -> run_validate ()
+        | _ -> run_figure ~jobs:!jobs id)
+      selected

@@ -1,0 +1,270 @@
+(* Machine-readable performance snapshots.
+
+   `main.exe perf` writes one BENCH_<tag>.json per invocation: engine
+   throughput for the selected figures, the bechamel micro-bench
+   estimates, and the cost of one deterministic ANU addressing sweep.
+   `main.exe compare old.json new.json` diffs two snapshots and flags
+   changes beyond a threshold, so the perf trajectory of this repo
+   finally has data points a CI job can guard.
+
+   The schema is flat on purpose: every number that matters for
+   regression tracking appears under a stable string key, and the
+   comparison below works key-by-key without knowing the sections. *)
+
+module Json = Obs.Json
+
+let schema = "shdisk-perf/1"
+
+type figure_metrics = {
+  id : string;
+  wall_seconds : float;  (* whole figure regeneration, monotonic clock *)
+  engine_wall_seconds : float;  (* sum of per-run Sim.run_profiled walls *)
+  events_fired : int;
+  events_per_second : float;
+}
+
+type micro_metrics = { name : string; ns_per_run : float }
+
+type addressing_metrics = {
+  lookups : int;
+  probes : int;  (* total hash rounds over the sweep; deterministic *)
+  probes_per_lookup : float;
+  locate_ns : float;  (* mean wall ns per locate over the sweep *)
+}
+
+type t = {
+  quick : bool;
+  jobs : int;
+  figures : figure_metrics list;
+  micros : micro_metrics list;
+  addressing : addressing_metrics;
+}
+
+let figure_metrics ~id ~wall_seconds (results : Experiments.Runner.result list)
+    =
+  let events, engine_wall =
+    List.fold_left
+      (fun (events, wall) (r : Experiments.Runner.result) ->
+        (events + r.sim_events, wall +. r.sim_wall_seconds))
+      (0, 0.0) results
+  in
+  {
+    id;
+    wall_seconds;
+    engine_wall_seconds = engine_wall;
+    events_fired = events;
+    events_per_second =
+      (if engine_wall > 0.0 then float_of_int events /. engine_wall else 0.0);
+  }
+
+(* One deterministic addressing sweep: the paper cluster's five
+   servers, [lookups] distinct file-set names, a fresh Anu instance.
+   The probe count is a pure function of the hash-family seed, so it
+   doubles as a correctness canary; the ns/locate is the steady-state
+   hot-path cost (including the addressing cache, which a fresh sweep
+   exercises cold then warm). *)
+let addressing_sweep ?(lookups = 20_000) () =
+  let family = Hashlib.Hash_family.create ~seed:42 in
+  let servers = List.init 5 Sharedfs.Server_id.of_int in
+  let anu = Placement.Anu.create ~family ~servers () in
+  let names = Array.init lookups (Printf.sprintf "file-set-%d") in
+  let probes = ref 0 in
+  let start = Desim.Clock.now_ns () in
+  Array.iter
+    (fun name ->
+      let _, rounds = Placement.Anu.locate_with_rounds anu name in
+      probes := !probes + rounds)
+    names;
+  let elapsed = Desim.Clock.seconds_since start in
+  {
+    lookups;
+    probes = !probes;
+    probes_per_lookup = float_of_int !probes /. float_of_int lookups;
+    locate_ns = elapsed *. 1e9 /. float_of_int lookups;
+  }
+
+(* --- JSON encoding --- *)
+
+let json_of_figure f =
+  Json.Obj
+    [
+      ("id", Json.Str f.id);
+      ("wall_seconds", Json.Num f.wall_seconds);
+      ("engine_wall_seconds", Json.Num f.engine_wall_seconds);
+      ("events_fired", Json.Num (float_of_int f.events_fired));
+      ("events_per_second", Json.Num f.events_per_second);
+    ]
+
+let json_of_micro m =
+  Json.Obj [ ("name", Json.Str m.name); ("ns_per_run", Json.Num m.ns_per_run) ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("quick", Json.Bool t.quick);
+      ("jobs", Json.Num (float_of_int t.jobs));
+      ("figures", Json.List (List.map json_of_figure t.figures));
+      ("micro", Json.List (List.map json_of_micro t.micros));
+      ( "addressing",
+        Json.Obj
+          [
+            ("lookups", Json.Num (float_of_int t.addressing.lookups));
+            ("probes", Json.Num (float_of_int t.addressing.probes));
+            ("probes_per_lookup", Json.Num t.addressing.probes_per_lookup);
+            ("locate_ns", Json.Num t.addressing.locate_ns);
+          ] );
+    ]
+
+let save t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+(* --- decoding (for compare) --- *)
+
+let num_field obj name =
+  match Json.to_float (Json.member name obj) with
+  | Some x -> x
+  | None -> failwith (Printf.sprintf "missing numeric field %S" name)
+
+let str_field obj name =
+  match Json.to_str (Json.member name obj) with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "missing string field %S" name)
+
+let of_json j =
+  (match Json.to_str (Json.member "schema" j) with
+  | Some s when s = schema -> ()
+  | Some s -> failwith (Printf.sprintf "unsupported schema %S" s)
+  | None -> failwith "not a shdisk-perf snapshot (no schema field)");
+  let figures =
+    match Json.to_list (Json.member "figures" j) with
+    | None -> []
+    | Some items ->
+      List.map
+        (fun f ->
+          {
+            id = str_field f "id";
+            wall_seconds = num_field f "wall_seconds";
+            engine_wall_seconds = num_field f "engine_wall_seconds";
+            events_fired = int_of_float (num_field f "events_fired");
+            events_per_second = num_field f "events_per_second";
+          })
+        items
+  in
+  let micros =
+    match Json.to_list (Json.member "micro" j) with
+    | None -> []
+    | Some items ->
+      List.map
+        (fun m ->
+          { name = str_field m "name"; ns_per_run = num_field m "ns_per_run" })
+        items
+  in
+  let a = Json.member "addressing" j in
+  let addressing =
+    {
+      lookups = int_of_float (num_field a "lookups");
+      probes = int_of_float (num_field a "probes");
+      probes_per_lookup = num_field a "probes_per_lookup";
+      locate_ns = num_field a "locate_ns";
+    }
+  in
+  {
+    quick = (match Json.member "quick" j with Json.Bool b -> b | _ -> false);
+    jobs =
+      (match Json.to_int (Json.member "jobs" j) with Some n -> n | None -> 1);
+    figures;
+    micros;
+    addressing;
+  }
+
+let load ~path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match Json.of_string contents with
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Ok j -> ( try Ok (of_json j) with Failure msg -> Error (path ^ ": " ^ msg))
+
+(* --- comparison --- *)
+
+type direction = Lower_better | Higher_better
+
+type delta = {
+  metric : string;
+  direction : direction;
+  baseline : float;
+  current : float;
+  change_frac : float;  (* (current - baseline) / baseline *)
+  regression : bool;
+  improvement : bool;
+}
+
+(* Flatten a snapshot into comparable (key, direction, value) rows.
+   Event and probe counts are identity checks, not performance, so
+   they are omitted here and validated separately by the caller. *)
+let rows t =
+  List.concat_map
+    (fun f ->
+      [
+        (f.id ^ ".events_per_second", Higher_better, f.events_per_second);
+        (f.id ^ ".engine_wall_seconds", Lower_better, f.engine_wall_seconds);
+        (f.id ^ ".wall_seconds", Lower_better, f.wall_seconds);
+      ])
+    t.figures
+  @ List.map (fun m -> ("micro." ^ m.name, Lower_better, m.ns_per_run)) t.micros
+  @ [
+      ( "addressing.probes_per_lookup",
+        Lower_better,
+        t.addressing.probes_per_lookup );
+      ("addressing.locate_ns", Lower_better, t.addressing.locate_ns);
+    ]
+
+let compare_runs ~baseline ~current ~threshold =
+  let current_rows = rows current in
+  List.filter_map
+    (fun (metric, direction, base_value) ->
+      match
+        List.find_opt (fun (m, _, _) -> String.equal m metric) current_rows
+      with
+      | None -> None
+      | Some (_, _, now_value) ->
+        if base_value = 0.0 then None
+        else
+          let change_frac = (now_value -. base_value) /. base_value in
+          let regression =
+            match direction with
+            | Lower_better -> change_frac > threshold
+            | Higher_better -> change_frac < -.threshold
+          in
+          let improvement =
+            match direction with
+            | Lower_better -> change_frac < -.threshold
+            | Higher_better -> change_frac > threshold
+          in
+          Some
+            {
+              metric;
+              direction;
+              baseline = base_value;
+              current = now_value;
+              change_frac;
+              regression;
+              improvement;
+            })
+    (rows baseline)
+
+let pp_delta ppf d =
+  let tag =
+    if d.regression then "REGRESSION"
+    else if d.improvement then "improved"
+    else "ok"
+  in
+  Format.fprintf ppf "%-46s %14.2f -> %14.2f  %+7.1f%%  %s" d.metric d.baseline
+    d.current (d.change_frac *. 100.0) tag

@@ -3,7 +3,7 @@
    line.
 
      shdisk-sim list
-     shdisk-sim run fig6 [--quick] [--csv out.csv] [--summary]
+     shdisk-sim run fig6 [--quick] [--jobs N] [--csv out.csv] [--summary]
                          [--trace out.json] [--trace-jsonl out.jsonl]
                          [--metrics]
      shdisk-sim trace --kind dfs --out trace.txt *)
@@ -115,7 +115,16 @@ let run_cmd =
       value & opt float 60.0
       & info [ "minutes" ] ~docv:"M" ~doc:"Cap table rows at M minutes.")
   in
-  let run () id quick summary csv minutes obs_opts =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fan the experiment's independent simulations out over N \
+             domains.  Output is bit-identical to --jobs 1; only \
+             wall-clock time changes.")
+  in
+  let run () id quick jobs summary csv minutes obs_opts =
     match Experiments.Figures.by_id id with
     | None ->
       Logs.err (fun m -> m "unknown experiment %s; try `shdisk-sim list'" id);
@@ -130,7 +139,7 @@ let run_cmd =
       let figure =
         Fun.protect
           ~finally:(fun () -> Option.iter Obs.Ctx.close ctx)
-          (fun () -> build ~quick ?obs:ctx ())
+          (fun () -> build ~quick ~jobs ?obs:ctx ())
       in
       if summary then
         Format.printf "%a@." Experiments.Report.pp_summary figure
@@ -166,7 +175,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ verbosity_t $ id $ quick $ summary $ csv $ minutes
+      const run $ verbosity_t $ id $ quick $ jobs $ summary $ csv $ minutes
       $ obs_options_t)
 
 let trace_cmd =

@@ -1,0 +1,9 @@
+(* bechamel's monotonic_clock sublibrary is a thin C stub over
+   clock_gettime(CLOCK_MONOTONIC); it carries no other bechamel code,
+   which keeps the engine's dependency surface flat. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let span_seconds ~start ~stop = Int64.to_float (Int64.sub stop start) *. 1e-9
+
+let seconds_since start = span_seconds ~start ~stop:(now_ns ())

@@ -1,0 +1,19 @@
+(** Monotonic wall-clock readings for engine throughput measurement.
+
+    {!Sim.run_profiled} and the bench harness time the engine with this
+    clock rather than [Unix.gettimeofday] so that events/s numbers are
+    immune to NTP steps, leap smearing and other wall-clock jumps: the
+    monotonic clock only moves forward, at (approximately) one second
+    per second.  Readings are meaningful only as differences. *)
+
+(** [now_ns ()] is the current monotonic reading in nanoseconds from an
+    arbitrary epoch (system boot on Linux). *)
+val now_ns : unit -> int64
+
+(** [seconds_since start] is the elapsed time, in seconds, between the
+    reading [start] and now. *)
+val seconds_since : int64 -> float
+
+(** [span_seconds ~start ~stop] converts two readings into elapsed
+    seconds ([stop] taken after [start]). *)
+val span_seconds : start:int64 -> stop:int64 -> float

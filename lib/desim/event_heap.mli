@@ -1,9 +1,14 @@
-(** Binary min-heap of timestamped events.
+(** Structure-of-arrays 4-ary min-heap of timestamped events.
 
     The heap orders events by [(time, seq)] where [seq] is a strictly
     increasing tie-breaker assigned at insertion.  Two events scheduled
     for the same simulated time therefore fire in insertion order, which
-    keeps simulation runs deterministic. *)
+    keeps simulation runs deterministic.
+
+    Internally the heap keeps times, sequence numbers and payloads in
+    three parallel arrays (times unboxed) and uses a 4-ary tree shape,
+    which shortens the pop path relative to the original binary heap of
+    records. *)
 
 type 'a t
 
@@ -30,8 +35,23 @@ val pop : 'a t -> float * int * 'a
 (** [pop_opt h] is [pop] returning [None] on an empty heap. *)
 val pop_opt : 'a t -> (float * int * 'a) option
 
-(** [clear h] removes all pending events. *)
+(** [clear h] removes all pending events and drops the backing arrays,
+    so a cleared heap retains no references to previously stored
+    payloads.
+
+    Sequence policy: [clear] does {e not} reset the internal sequence
+    counter.  Entries added after a [clear] continue the old numbering,
+    so sequence numbers stay unique over the whole lifetime of the heap
+    and FIFO tie-breaking remains valid even if a caller compares
+    entries obtained across a [clear]. *)
 val clear : 'a t -> unit
+
+(** [compact h ~keep] removes every entry whose payload fails [keep],
+    preserving the [(time, seq)] keys of the survivors — the relative
+    pop order of retained entries is unchanged.  Runs in O(n) filter
+    plus O(n) heapify.  Used by {!Sim} to shed cancelled-event
+    tombstones when they dominate the heap. *)
+val compact : 'a t -> keep:('a -> bool) -> unit
 
 (** [check_invariant h] verifies the internal heap ordering; used by the
     test suite. *)

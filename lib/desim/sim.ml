@@ -36,10 +36,21 @@ let schedule_at t ~time f =
 
 let schedule t ~delay f = schedule_at t ~time:(t.clock +. delay) f
 
+(* Cancelled events stay in the heap as tombstones until they reach the
+   head.  Workloads that cancel aggressively (e.g. timeout races) can
+   leave the heap mostly dead, so once dead entries outnumber live ones
+   in a non-trivial heap we compact in one O(n) pass.  Compaction keeps
+   the survivors' (time, seq) keys, so the fired-event sequence is
+   byte-identical with or without it. *)
+let compaction_min_size = 64
+
 let cancel t ev =
   if ev.live then begin
     ev.live <- false;
-    t.live_count <- t.live_count - 1
+    t.live_count <- t.live_count - 1;
+    let size = Event_heap.size t.heap in
+    if size >= compaction_min_size && size - t.live_count > size / 2 then
+      Event_heap.compact t.heap ~keep:(fun e -> e.live)
   end
 
 let cancelled _t ev = not ev.live
@@ -88,10 +99,10 @@ let clear_on_event t = t.on_event <- None
 type profile = { fired : int; wall_seconds : float; events_per_second : float }
 
 let run_profiled (t : t) =
-  let wall_start = Unix.gettimeofday () in
+  let wall_start = Clock.now_ns () in
   let fired_start = t.fired in
   run t;
-  let wall_seconds = Unix.gettimeofday () -. wall_start in
+  let wall_seconds = Clock.seconds_since wall_start in
   let fired = t.fired - fired_start in
   {
     fired;

@@ -65,8 +65,9 @@ val clear_on_event : t -> unit
 (** Wall-clock engine throughput for one {!run_profiled} call. *)
 type profile = { fired : int; wall_seconds : float; events_per_second : float }
 
-(** [run_profiled t] is {!run} bracketed with [Unix.gettimeofday],
-    reporting how many events fired and at what rate. *)
+(** [run_profiled t] is {!run} bracketed with the monotonic
+    {!Clock}, reporting how many events fired and at what rate.
+    Wall-clock jumps (NTP steps, etc.) cannot skew the numbers. *)
 val run_profiled : t -> profile
 
 (**/**)

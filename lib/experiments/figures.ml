@@ -30,10 +30,18 @@ let anu_spec = Scenario.Anu Placement.Anu.default_config
 
 let four_policies = [ Scenario.Simple_random; Round_robin; Prescient; anu_spec ]
 
-let run_all ?(obs = Obs.Ctx.null) ~trace specs =
-  List.map (fun spec -> Runner.run Scenario.default spec ~trace ~obs ()) specs
+(* The simulations behind one figure are independent: fan them out on
+   a domain pool.  [jobs <= 1] (the default) runs serially in this
+   domain; either way results come back in spec order and each run is
+   single-domain deterministic, so output is bit-identical across
+   [jobs] values. *)
+let run_all ?(obs = Obs.Ctx.null) ?(jobs = 1) ~trace specs =
+  Par.Pool.run ~jobs
+    (List.map
+       (fun spec () -> Runner.run Scenario.default spec ~trace ~obs ())
+       specs)
 
-let fig6 ?(quick = false) ?obs () =
+let fig6 ?(quick = false) ?jobs ?obs () =
   let trace = dfs_trace ~quick in
   {
     id = "fig6";
@@ -41,10 +49,10 @@ let fig6 ?(quick = false) ?obs () =
     description =
       "Per-server latency over one hour, five servers (speeds 1,3,5,7,9), \
        under the four placement policies.";
-    results = run_all ?obs ~trace four_policies;
+    results = run_all ?obs ?jobs ~trace four_policies;
   }
 
-let fig7 ?(quick = false) ?obs () =
+let fig7 ?(quick = false) ?jobs ?obs () =
   let trace = dfs_trace ~quick in
   {
     id = "fig7";
@@ -52,10 +60,10 @@ let fig7 ?(quick = false) ?obs () =
     description =
       "Close-up of the two adaptive policies on the Figure 6 workload: \
        prescient starts balanced, ANU converges within ~3 sample periods.";
-    results = run_all ?obs ~trace [ Scenario.Prescient; anu_spec ];
+    results = run_all ?obs ?jobs ~trace [ Scenario.Prescient; anu_spec ];
   }
 
-let fig8 ?(quick = false) ?obs () =
+let fig8 ?(quick = false) ?jobs ?obs () =
   let trace = synthetic_trace ~quick in
   {
     id = "fig8";
@@ -63,10 +71,10 @@ let fig8 ?(quick = false) ?obs () =
     description =
       "500 file sets with cubic weight skew, 100k requests over 10,000 s, \
        under the four placement policies.";
-    results = run_all ?obs ~trace four_policies;
+    results = run_all ?obs ?jobs ~trace four_policies;
   }
 
-let fig9 ?(quick = false) ?obs () =
+let fig9 ?(quick = false) ?jobs ?obs () =
   let trace = synthetic_trace ~quick in
   {
     id = "fig9";
@@ -74,10 +82,10 @@ let fig9 ?(quick = false) ?obs () =
     description =
       "Close-up on the synthetic workload; the least powerful server ends \
        with no load under ANU, one small file set under prescient.";
-    results = run_all ?obs ~trace [ Scenario.Prescient; anu_spec ];
+    results = run_all ?obs ?jobs ~trace [ Scenario.Prescient; anu_spec ];
   }
 
-let fig10 ?(quick = false) ?obs () =
+let fig10 ?(quick = false) ?jobs ?obs () =
   let trace = synthetic_trace ~quick in
   let specs =
     [
@@ -92,10 +100,10 @@ let fig10 ?(quick = false) ?obs () =
       "ANU without heuristics cycles the weakest server between zero and \
        high latency; thresholding + top-off + divergent tuning stabilize \
        it.";
-    results = run_all ?obs ~trace specs;
+    results = run_all ?obs ?jobs ~trace specs;
   }
 
-let fig11 ?(quick = false) ?obs () =
+let fig11 ?(quick = false) ?jobs ?obs () =
   let trace = synthetic_trace ~quick in
   let specs =
     [
@@ -113,23 +121,24 @@ let fig11 ?(quick = false) ?obs () =
       "Each heuristic alone: thresholding stabilizes but cannot handle \
        extreme server heterogeneity; top-off is the single most effective; \
        divergent converges most slowly.";
-    results = run_all ?obs ~trace specs;
+    results = run_all ?obs ?jobs ~trace specs;
   }
 
-let ablation_interval ?(quick = false) ?obs () =
+let ablation_interval ?(quick = false) ?(jobs = 1) ?obs () =
   let trace = synthetic_trace ~quick in
   let results =
-    List.map
-      (fun interval ->
-        let scenario =
-          {
-            Scenario.default with
-            Scenario.label = Printf.sprintf "interval-%.0fs" interval;
-            reconfig_interval = interval;
-          }
-        in
-        Runner.run scenario anu_spec ~trace ?obs ())
-      [ 30.0; 60.0; 120.0; 240.0; 480.0 ]
+    Par.Pool.run ~jobs
+      (List.map
+         (fun interval () ->
+           let scenario =
+             {
+               Scenario.default with
+               Scenario.label = Printf.sprintf "interval-%.0fs" interval;
+               reconfig_interval = interval;
+             }
+           in
+           Runner.run scenario anu_spec ~trace ?obs ())
+         [ 30.0; 60.0; 120.0; 240.0; 480.0 ])
   in
   {
     id = "ablation-interval";
@@ -141,7 +150,7 @@ let ablation_interval ?(quick = false) ?obs () =
     results;
   }
 
-let ablation_average ?(quick = false) ?obs () =
+let ablation_average ?(quick = false) ?jobs ?obs () =
   let trace = synthetic_trace ~quick in
   let spec_of m name =
     Scenario.Anu
@@ -154,14 +163,14 @@ let ablation_average ?(quick = false) ?obs () =
       "The paper reports the system is robust to the choice of average; \
        both methods should converge to comparable balance.";
     results =
-      run_all ?obs ~trace
+      run_all ?obs ?jobs ~trace
         [
           spec_of Placement.Average.Weighted_mean "anu-mean";
           spec_of Placement.Average.Median "anu-median";
         ];
   }
 
-let ablation_threshold ?(quick = false) ?obs () =
+let ablation_threshold ?(quick = false) ?jobs ?obs () =
   let trace = synthetic_trace ~quick in
   let spec_of t =
     Scenario.anu_with
@@ -177,10 +186,10 @@ let ablation_threshold ?(quick = false) ?obs () =
     description =
       "Fairly large thresholds are needed to cope with workload \
        heterogeneity; small ones re-introduce tuning churn.";
-    results = run_all ?obs ~trace (List.map spec_of [ 0.1; 0.25; 0.5; 1.0 ]);
+    results = run_all ?obs ?jobs ~trace (List.map spec_of [ 0.1; 0.25; 0.5; 1.0 ]);
   }
 
-let temporal_shift ?(quick = false) ?obs () =
+let temporal_shift ?(quick = false) ?jobs ?obs () =
   let cfg = Workload.Shifting.default_config in
   let cfg =
     if quick then
@@ -196,10 +205,10 @@ let temporal_shift ?(quick = false) ?obs () =
        relocates every 10 minutes.  Static policies are at best right for \
        one phase; prescient anticipates each shift; ANU follows it one \
        reconfiguration behind.";
-    results = run_all ?obs ~trace four_policies;
+    results = run_all ?obs ?jobs ~trace four_policies;
   }
 
-let decentralized ?(quick = false) ?obs () =
+let decentralized ?(quick = false) ?jobs ?obs () =
   let trace = synthetic_trace ~quick in
   {
     id = "decentralized";
@@ -210,14 +219,14 @@ let decentralized ?(quick = false) ?obs () =
        average.  Convergence is slower (information diffuses one pair per \
        round) but balance approaches the centralized result.";
     results =
-      run_all ?obs ~trace
+      run_all ?obs ?jobs ~trace
         [
           Scenario.Anu Placement.Anu.default_config;
           Scenario.Gossip Placement.Gossip.default_config;
         ];
   }
 
-let failure_recovery ?(quick = false) ?obs () =
+let failure_recovery ?(quick = false) ?jobs:_ ?obs () =
   let trace = dfs_trace ~quick in
   let events =
     [

@@ -5,9 +5,13 @@
     simulations behind it and returns the plotted series.  [quick]
     scales the workloads down (~10x fewer requests) for tests; the
     bench harness runs full size.  [obs] observes every simulation the
-    figure runs (trace sinks see the runs back-to-back; an attached
-    metrics registry is reset per run, with each run's snapshot on its
-    {!Runner.result}). *)
+    figure runs (each run derives an isolated per-run metrics
+    registry, with the snapshot on its {!Runner.result}; trace sinks
+    are shared, with whole-event atomicity).  [jobs] (default 1) fans
+    the figure's independent simulations out over that many domains;
+    every simulation remains single-domain deterministic and results
+    keep their spec order, so the figure is bit-identical for every
+    [jobs] value — only wall-clock time changes. *)
 
 type figure = {
   id : string;
@@ -20,55 +24,55 @@ type figure = {
     workload under simple randomization, round-robin, dynamic
     prescient and ANU randomization; five servers of speeds
     1, 3, 5, 7, 9. *)
-val fig6 : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val fig6 : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Figure 7: close-up of prescient vs ANU on the Figure 6 workload. *)
-val fig7 : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val fig7 : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Figure 8: the four policies on the synthetic workload (500 file
     sets, 100k requests, cubic weight skew). *)
-val fig8 : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val fig8 : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Figure 9: close-up of prescient vs ANU on the synthetic
     workload. *)
-val fig9 : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val fig9 : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Figure 10: the over-tuning problem — ANU with no heuristics
     (cyclic thrash on the weakest server) versus all three
     heuristics. *)
-val fig10 : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val fig10 : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Figure 11: decomposition — thresholding only, top-off only,
     divergent only. *)
-val fig11 : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val fig11 : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Ablation: reconfiguration interval sweep (the paper settled on two
     minutes as the over-tuning/responsiveness balance). *)
-val ablation_interval : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val ablation_interval : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Ablation: weighted-mean vs median averaging (the paper reports
     robustness to the choice). *)
-val ablation_average : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val ablation_average : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Ablation: threshold parameter sweep. *)
-val ablation_threshold : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val ablation_threshold : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Extension experiment: temporal heterogeneity — the hotspot group
     of file sets relocates every phase; adaptive policies must keep
     re-placing (an advantage the paper claims but does not isolate). *)
-val temporal_shift : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val temporal_shift : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Extension experiment (the paper's future work, Section 5):
     centralized delegate vs fully decentralized pair-wise gossip
     rescaling. *)
-val decentralized : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val decentralized : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 (** Extension experiment: failure and recovery under ANU — a fast
     server fails mid-run and recovers later; load locality is
     preserved (moves stay near-minimal). *)
-val failure_recovery : ?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure
+val failure_recovery : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
 val all_ids : string list
 
 (** [by_id id] looks an experiment up by identifier ("fig6" ...). *)
-val by_id : string -> (?quick:bool -> ?obs:Obs.Ctx.t -> unit -> figure) option
+val by_id : string -> (?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure) option

@@ -45,10 +45,11 @@ let reconcile cluster policy names =
 
 let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null)
     ?on_sim_created ?on_request_complete () =
-  (* The registry may be shared across several runs (one CLI figure
-     runs one simulation per policy): reset so the snapshot attached
-     to this result covers exactly this run. *)
-  Option.iter Obs.Metrics.reset (Obs.Ctx.metrics obs);
+  (* One figure runs several simulations, possibly concurrently (one
+     per domain): derive a per-run context with a fresh metrics
+     registry so the snapshot attached to this result covers exactly
+     this run and no instrument is shared across domains. *)
+  let obs = Obs.Ctx.isolated obs in
   let sim = Desim.Sim.create () in
   Option.iter (fun f -> f sim) on_sim_created;
   let disk = Sharedfs.Shared_disk.create () in

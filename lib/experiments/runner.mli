@@ -56,7 +56,9 @@ type result = {
     [Delegate_round] event per reconfiguration interval (latency
     inputs, elected delegate, region-scale decisions) plus
     [Membership] and [Rehash_round] events, and an attached metrics
-    registry is reset at run start so [result.metrics] is per-run.
+    registry is {e isolated} at run start (the run gets a fresh
+    registry via [Obs.Ctx.isolated]) so [result.metrics] is per-run
+    and concurrent runs never share instruments.
 
     [on_sim_created] runs right after the simulator is built, letting
     callers attach additional model components (e.g. a {!Sharedfs.San}

@@ -1,14 +1,40 @@
-type t = { sinks : Sink.t array; metrics : Metrics.t option }
+type t = {
+  sinks : Sink.t array;
+  metrics : Metrics.t option;
+  (* Guards sink emission only.  Concurrent runs (one per domain) share
+     the sinks, and every sink carries internal state (channels, the
+     chrome writer's comma/thread-name bookkeeping, the ring's cursor);
+     one lock per context keeps each event atomic.  Contexts without
+     sinks never touch it. *)
+  emit_mutex : Mutex.t;
+}
 
-let null = { sinks = [||]; metrics = None }
+let null =
+  { sinks = [||]; metrics = None; emit_mutex = Mutex.create () }
 
-let create ?(sinks = []) ?metrics () = { sinks = Array.of_list sinks; metrics }
+let create ?(sinks = []) ?metrics () =
+  { sinks = Array.of_list sinks; metrics; emit_mutex = Mutex.create () }
 
 let tracing t = Array.length t.sinks > 0
 
 let metrics t = t.metrics
 
-let emit t e = Array.iter (fun (s : Sink.t) -> s.emit e) t.sinks
+(* A per-run context: same sinks (and lock), but a fresh metrics
+   registry when the parent collects metrics.  The runner isolates
+   itself with this instead of resetting a shared registry, so that
+   concurrent runs on separate domains never share mutable counters. *)
+let isolated t =
+  match t.metrics with
+  | None -> t
+  | Some _ -> { t with metrics = Some (Metrics.create ()) }
+
+let emit t e =
+  if Array.length t.sinks > 0 then begin
+    Mutex.lock t.emit_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.emit_mutex)
+      (fun () -> Array.iter (fun (s : Sink.t) -> s.emit e) t.sinks)
+  end
 
 let snapshot t = Option.map Metrics.snapshot t.metrics
 

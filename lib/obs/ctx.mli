@@ -20,7 +20,17 @@ val tracing : t -> bool
 
 val metrics : t -> Metrics.t option
 
-(** [emit t e] hands [e] to every sink, in attachment order. *)
+(** [isolated t] is [t] with a {e fresh} metrics registry when [t]
+    carries one (sinks are shared, unchanged).  The runner derives one
+    isolated context per run so that concurrent runs on separate
+    domains never share mutable instruments; each run's snapshot then
+    covers exactly that run. *)
+val isolated : t -> t
+
+(** [emit t e] hands [e] to every sink, in attachment order.  Emission
+    is serialized under a per-context mutex, so contexts shared by
+    concurrent runs interleave whole events, never partial ones
+    (contexts without sinks never take the lock). *)
 val emit : t -> Event.t -> unit
 
 (** [snapshot t] is the metrics snapshot, when a registry is

@@ -78,8 +78,9 @@ val histogram : ?bounds:float array -> t -> string -> Histogram.h
 val default_latency_bounds : float array
 
 (** [reset t] zeroes every registered instrument (registrations
-    survive).  The runner calls this at the start of a run so a shared
-    registry yields per-run snapshots. *)
+    survive).  Note the runner no longer resets a shared registry —
+    it derives a fresh one per run via [Obs.Ctx.isolated], which is
+    what keeps concurrent runs domain-safe. *)
 val reset : t -> unit
 
 type histogram_summary = {

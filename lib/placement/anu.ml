@@ -34,6 +34,15 @@ type t = {
   mutable alive : Id.t array; (* sorted, for the direct fallback hash *)
   previous_latency : (Id.t, float) Hashtbl.t;
   mutable reconfigurations : int;
+  (* Addressing cache: name -> (owner, probe count), valid only for
+     [cache_version] of the region map.  Every reconfiguration (retune,
+     failure, addition) bumps the map version, so the whole cache is
+     flushed before the first lookup after any change and stale owners
+     can never be served.  [alive] — the only other input to
+     addressing — changes solely alongside map mutations, so the map
+     version covers it too. *)
+  cache : (string, Id.t * int) Hashtbl.t;
+  mutable cache_version : int;
 }
 
 let create ?(config = default_config) ~family ~servers () =
@@ -51,6 +60,8 @@ let create ?(config = default_config) ~family ~servers () =
     alive = Array.of_list sorted;
     previous_latency = Hashtbl.create 16;
     reconfigurations = 0;
+    cache = Hashtbl.create 256;
+    cache_version = -1;
   }
 
 let config t = t.cfg
@@ -59,7 +70,7 @@ let region_map t = t.map
 
 let reconfigurations t = t.reconfigurations
 
-let locate_with_rounds t name =
+let locate_uncached t name =
   let rec probe round =
     if round >= t.cfg.hash_rounds then
       (* Bounded rounds exhausted (probability 2^-rounds): hash the
@@ -75,8 +86,26 @@ let locate_with_rounds t name =
       | Some id -> (id, round + 1)
       | None -> probe (round + 1)
   in
-  if Array.length t.alive = 0 then failwith "Anu.locate: no alive servers";
   probe 0
+
+let locate_with_rounds t name =
+  if Array.length t.alive = 0 then failwith "Anu.locate: no alive servers";
+  let version = Region_map.version t.map in
+  if version <> t.cache_version then begin
+    (* [clear], not [reset]: keep the grown bucket table so a flush
+       after steady state does not re-pay the resize ramp. *)
+    Hashtbl.clear t.cache;
+    t.cache_version <- version
+  end;
+  match Hashtbl.find_opt t.cache name with
+  | Some result -> result
+  | None ->
+    let result = locate_uncached t name in
+    (* The cached probe count keeps locate_with_rounds a pure function
+       of (map, name) whether or not the cache hits.  [add] suffices:
+       the miss path runs at most once per name per version. *)
+    Hashtbl.add t.cache name result;
+    result
 
 let locate t name = fst (locate_with_rounds t name)
 

@@ -48,11 +48,20 @@ val create :
 
 val config : t -> config
 
-(** [locate t name] is the current owner of [name]. *)
+(** [locate t name] is the current owner of [name].
+
+    Lookups are memoized per name: the result (including the probe
+    count) is cached together with the region map's
+    {!Region_map.version} and replayed while the map is unchanged.
+    Any reconfiguration bumps the version, so the cache can never
+    serve a stale owner; cached and uncached lookups agree on every
+    input. *)
 val locate : t -> string -> Sharedfs.Server_id.t
 
 (** [locate_with_rounds t name] also reports how many hash probes the
-    assignment took ([hash_rounds + 1] signals the direct fallback). *)
+    assignment took ([hash_rounds + 1] signals the direct fallback).
+    The probe count is cached alongside the owner, so this remains a
+    pure function of the (map, name) pair. *)
 val locate_with_rounds : t -> string -> Sharedfs.Server_id.t * int
 
 val rebalance : t -> Policy.feedback -> unit

@@ -8,7 +8,16 @@ type t = {
   mutable p : int;
   mutable regions : Set.t Id.Map.t;
   mutable index : (float * float * Id.t) array;
+  (* Per-partition buckets of the same segments: [buckets.(j)] holds, in
+     ascending [lo] order, every segment overlapping partition [j].
+     Because [p] is a power of two, [x *. float p] is an exact scaling
+     and [locate] finds its bucket with one multiply instead of a
+     binary search over all segments. *)
+  mutable buckets : (float * float * Id.t) array array;
   mutable index_dirty : bool;
+  (* Bumped on every mutation; lets callers (the ANU addressing cache)
+     detect that any previously computed locate result may be stale. *)
+  mutable version : int;
   mutable fallbacks : int;
 }
 
@@ -46,7 +55,15 @@ let free_set t = Set.complement (mapped_union t)
 
 let total_measure t = Set.measure (mapped_union t)
 
-let mark_dirty t = t.index_dirty <- true
+let mark_dirty t =
+  t.index_dirty <- true;
+  t.version <- t.version + 1
+
+let version t =
+  (* The version must change whenever the locate function could have:
+     rebuilds are lazy, so the counter already reflects pending
+     mutations and no rebuild is forced here. *)
+  t.version
 
 let rebuild_index t =
   let segs =
@@ -59,14 +76,59 @@ let rebuild_index t =
   in
   let arr = Array.of_list segs in
   Array.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) arr;
+  (* Distribute segments into partition buckets.  [p] is a power of
+     two, so scaling by [float p] is exact and the bucket arithmetic
+     here agrees bit-for-bit with the lookup in [locate]. *)
+  let p = t.p in
+  let fp = float_of_int p in
+  let clamp j = if j < 0 then 0 else if j >= p then p - 1 else j in
+  let lists = Array.make p [] in
+  Array.iter
+    (fun ((lo, hi, _) as seg) ->
+      let j0 = clamp (int_of_float (lo *. fp)) in
+      let scaled_hi = hi *. fp in
+      let j1 = int_of_float scaled_hi in
+      (* A segment is half-open, so one ending exactly on a partition
+         boundary does not reach into the next bucket. *)
+      let j1 =
+        clamp (if Float.of_int j1 = scaled_hi then j1 - 1 else j1)
+      in
+      for j = j0 to j1 do
+        lists.(j) <- seg :: lists.(j)
+      done)
+    arr;
+  (* [arr] is sorted ascending, prepending reversed each bucket. *)
+  t.buckets <- Array.map (fun l -> Array.of_list (List.rev l)) lists;
   t.index <- arr;
   t.index_dirty <- false
 
+(* O(1) point location: one multiply finds the partition bucket, then a
+   scan of the (at most a few) segments overlapping that partition. *)
 let locate t x =
+  if t.index_dirty then rebuild_index t;
+  if x < 0.0 || x >= 1.0 then None
+  else begin
+    let bucket = t.buckets.(int_of_float (x *. float_of_int t.p)) in
+    let n = Array.length bucket in
+    let rec scan i =
+      if i >= n then None
+      else
+        let lo, hi, id = bucket.(i) in
+        (* Sorted by lo: once x precedes a segment it precedes the
+           rest of the bucket too. *)
+        if x < lo then None
+        else if x < hi then Some id
+        else scan (i + 1)
+    in
+    scan 0
+  end
+
+(* The pre-bucket-index implementation, kept as a test oracle: a global
+   binary search for the last segment with lo <= x. *)
+let locate_reference t x =
   if t.index_dirty then rebuild_index t;
   let arr = t.index in
   let n = Array.length arr in
-  (* Binary search for the last segment with lo <= x. *)
   let rec go lo hi best =
     if lo > hi then best
     else begin
@@ -199,7 +261,9 @@ let create ~servers =
       p;
       regions = Id.Map.empty;
       index = [||];
+      buckets = [||];
       index_dirty = true;
+      version = 0;
       fallbacks = 0;
     }
   in
@@ -376,7 +440,17 @@ let of_string s =
         Id.Map.empty server_parts
     in
     if Id.Map.is_empty regions then fail "no servers";
-    let t = { p; regions; index = [||]; index_dirty = true; fallbacks = 0 } in
+    let t =
+      {
+        p;
+        regions;
+        index = [||];
+        buckets = [||];
+        index_dirty = true;
+        version = 0;
+        fallbacks = 0;
+      }
+    in
     (match check_invariants t with
     | [] -> t
     | violations -> fail (String.concat "; " violations))

@@ -44,8 +44,23 @@ val partitions : t -> int
 val width : t -> float
 
 (** [locate t x] is the owner of point [x] in [\[0, 1)], or [None] for
-    free space. *)
+    free space.  O(1): one multiply selects the partition bucket (exact
+    because [partitions t] is a power of two), then a scan of the few
+    segments overlapping that partition. *)
 val locate : t -> float -> Sharedfs.Server_id.t option
+
+(** [locate_reference t x] answers the same question by global binary
+    search over all segments — the pre-bucket-index implementation,
+    kept as an oracle for the test suite.  [locate] and
+    [locate_reference] agree on every input. *)
+val locate_reference : t -> float -> Sharedfs.Server_id.t option
+
+(** [version t] is a counter bumped by every mutation ([scale],
+    [remove_server], [add_server], and the internal shrink/grow paths).
+    Callers caching locate results (the ANU addressing cache) compare
+    versions to detect staleness; equal versions guarantee an identical
+    locate function. *)
+val version : t -> int
 
 val region : t -> Sharedfs.Server_id.t -> Hashlib.Unit_interval.Set.t
 

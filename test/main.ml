@@ -2,6 +2,7 @@ let () =
   Alcotest.run "shdisk"
     [
       ("event_heap", Test_event_heap.suite);
+      ("par", Test_par.suite);
       ("sim", Test_sim.suite);
       ("rng", Test_rng.suite);
       ("stat", Test_stat.suite);

@@ -213,6 +213,106 @@ let test_config_validation () =
            ~config:{ Anu.default_config with shrink_floor = 1.0 }
            ~family ~servers:(ids 2) ()))
 
+(* --- addressing-cache correctness ---
+
+   Twin instances receive the identical mutation sequence; [warm] is
+   queried after every step (so its cache is populated and then
+   invalidated repeatedly) while [cold] is only queried at the end of
+   each step (every lookup a miss or fresh fill).  Addressing is a pure
+   function of the mutation history, so any divergence can only come
+   from the cache serving a stale entry. *)
+
+type cache_op =
+  | Retune of int  (** seed for a skewed latency report *)
+  | Fail_one of int  (** index into the currently-present servers *)
+  | Recover_one of int  (** index into the currently-failed servers *)
+  | Add_new  (** commission a brand new server id *)
+
+let apply_cache_op ~present ~failed ~fresh t op =
+  (* Returns the new (present, failed, fresh) bookkeeping; skips ops
+     that would be invalid in the current state (e.g. failing the last
+     server). *)
+  match op with
+  | Retune seed ->
+    let reports =
+      List.mapi
+        (fun i id ->
+          report id (1.0 +. float_of_int (((seed + i) * 37) mod 100)))
+        present
+    in
+    Anu.rebalance t (feedback reports);
+    (present, failed, fresh)
+  | Fail_one k when List.length present > 1 ->
+    let victim = List.nth present (k mod List.length present) in
+    Anu.server_failed t victim;
+    (List.filter (fun id -> not (Id.equal id victim)) present,
+     victim :: failed, fresh)
+  | Fail_one _ -> (present, failed, fresh)
+  | Recover_one k when failed <> [] ->
+    let back = List.nth failed (k mod List.length failed) in
+    Anu.server_added t back;
+    (back :: present, List.filter (fun id -> not (Id.equal id back)) failed,
+     fresh)
+  | Recover_one _ -> (present, failed, fresh)
+  | Add_new ->
+    let id = Id.of_int fresh in
+    Anu.server_added t id;
+    (id :: present, failed, fresh + 1)
+
+let cache_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun s -> Retune s) (0 -- 1000));
+        (2, map (fun k -> Fail_one k) (0 -- 10));
+        (2, map (fun k -> Recover_one k) (0 -- 10));
+        (1, return Add_new);
+      ])
+
+let fst3 (a, _, _) = a
+let snd3 (_, b, _) = b
+let trd3 (_, _, c) = c
+
+let prop_cached_locate_agrees_with_uncached =
+  let gen =
+    QCheck.Gen.(
+      let* n = 2 -- 6 in
+      let* ops = list_size (1 -- 12) cache_op_gen in
+      return (n, ops))
+  in
+  QCheck.Test.make ~count:60
+    ~name:"cached locate agrees with uncached across reconfigurations"
+    (QCheck.make gen)
+    (fun (n, ops) ->
+      let warm = Anu.create ~family ~servers:(ids n) () in
+      let cold = Anu.create ~family ~servers:(ids n) () in
+      let sample = names 120 in
+      (* Populate warm's cache so every later step must invalidate. *)
+      List.iter (fun name -> ignore (Anu.locate warm name)) sample;
+      let state = ref (ids n, [], n) in
+      List.for_all
+        (fun op ->
+          let present, failed, fresh = !state in
+          state := apply_cache_op ~present ~failed ~fresh warm op;
+          let present', failed', fresh' =
+            apply_cache_op ~present ~failed ~fresh cold op
+          in
+          (* Both interpreters saw the same state, so bookkeeping
+             agrees by construction. *)
+          assert (present' = fst3 !state && failed' = snd3 !state
+                 && fresh' = trd3 !state);
+          List.for_all
+            (fun name ->
+              let w = Anu.locate_with_rounds warm name in
+              let c = Anu.locate_with_rounds cold name in
+              let w' = Anu.locate_with_rounds warm name in
+              (* warm's first lookup after the op repopulates a
+                 just-invalidated cache, its second is a guaranteed
+                 hit; both must match the twin's answer. *)
+              w = c && w = w')
+            sample)
+        ops)
+
 let prop_locate_stable_under_idle_rebalances =
   QCheck.Test.make ~count:50
     ~name:"balanced reports never move file sets"
@@ -246,4 +346,5 @@ let suite =
     Alcotest.test_case "policy packaging" `Quick test_policy_packaging;
     Alcotest.test_case "config validation" `Quick test_config_validation;
     QCheck_alcotest.to_alcotest prop_locate_stable_under_idle_rebalances;
+    QCheck_alcotest.to_alcotest prop_cached_locate_agrees_with_uncached;
   ]

@@ -68,6 +68,60 @@ let test_clear () =
   Event_heap.clear h;
   check_bool "cleared" true (Event_heap.is_empty h)
 
+let test_clear_keeps_sequence_monotonic () =
+  (* Documented policy: clear does not reset the tie-break counter, so
+     sequence numbers stay unique across the heap's lifetime. *)
+  let h = Event_heap.create () in
+  let s0 = Event_heap.add h ~time:1.0 "a" in
+  let s1 = Event_heap.add h ~time:2.0 "b" in
+  Event_heap.clear h;
+  let s2 = Event_heap.add h ~time:0.5 "c" in
+  check_bool "monotonic across clear" true (s0 < s1 && s1 < s2)
+
+let test_compact_removes_only_filtered () =
+  let h = Event_heap.create () in
+  for i = 0 to 99 do
+    ignore (Event_heap.add h ~time:(float_of_int (i mod 10)) i)
+  done;
+  Event_heap.compact h ~keep:(fun v -> v mod 2 = 0);
+  check_int "half kept" 50 (Event_heap.size h);
+  check_bool "invariant" true (Event_heap.check_invariant h);
+  let drained = ref [] in
+  while not (Event_heap.is_empty h) do
+    let _, _, v = Event_heap.pop h in
+    drained := v :: !drained
+  done;
+  let drained = List.rev !drained in
+  check_bool "only survivors" true (List.for_all (fun v -> v mod 2 = 0) drained)
+
+let prop_compact_preserves_pop_order =
+  (* Popping everything after compact ~keep equals filtering the popped
+     sequence of an identical uncompacted heap: (time, seq) keys — and
+     therefore FIFO tie-breaking — survive compaction. *)
+  QCheck.Test.make ~count:200 ~name:"compact preserves (time, seq) pop order"
+    QCheck.(list (float_bound_exclusive 10.0))
+    (fun times ->
+      let fill () =
+        let h = Event_heap.create () in
+        List.iteri (fun i t -> ignore (Event_heap.add h ~time:t (i, t))) times;
+        h
+      in
+      let drain h =
+        let acc = ref [] in
+        while not (Event_heap.is_empty h) do
+          let t, s, v = Event_heap.pop h in
+          acc := (t, s, v) :: !acc
+        done;
+        List.rev !acc
+      in
+      let keep (i, _) = i mod 3 <> 0 in
+      let compacted = fill () in
+      Event_heap.compact compacted ~keep;
+      let reference = fill () in
+      drain compacted
+      = List.filter (fun (_, _, v) -> keep v) (drain reference)
+      && Event_heap.check_invariant compacted)
+
 let test_grow_beyond_initial_capacity () =
   let h = Event_heap.create () in
   for i = 1000 downto 1 do
@@ -123,7 +177,12 @@ let suite =
     Alcotest.test_case "peek matches pop" `Quick test_peek_matches_pop;
     Alcotest.test_case "NaN rejected" `Quick test_nan_rejected;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "clear keeps sequence monotonic" `Quick
+      test_clear_keeps_sequence_monotonic;
+    Alcotest.test_case "compact removes only filtered" `Quick
+      test_compact_removes_only_filtered;
     Alcotest.test_case "growth" `Quick test_grow_beyond_initial_capacity;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     QCheck_alcotest.to_alcotest prop_interleaved;
+    QCheck_alcotest.to_alcotest prop_compact_preserves_pop_order;
   ]

@@ -1,0 +1,130 @@
+(* Par.Pool: ordering, serial fast path, exception propagation, and
+   the parallel == serial determinism contract on a real figure. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_run_serial_fast_path () =
+  (* jobs <= 1 runs in the calling domain, in order. *)
+  let order = ref [] in
+  let results =
+    Par.Pool.run ~jobs:1
+      (List.init 5 (fun i () ->
+           order := i :: !order;
+           i * i))
+  in
+  Alcotest.(check (list int)) "results" [ 0; 1; 4; 9; 16 ] results;
+  Alcotest.(check (list int)) "execution order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order)
+
+let test_run_parallel_preserves_order () =
+  (* Results come back in thunk order regardless of completion order;
+     later thunks finish first here because they spin less. *)
+  let spin n =
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := !acc + i
+    done;
+    !acc
+  in
+  let results =
+    Par.Pool.run ~jobs:4
+      (List.init 8 (fun i () ->
+           ignore (spin ((8 - i) * 100_000));
+           i))
+  in
+  Alcotest.(check (list int)) "input order" [ 0; 1; 2; 3; 4; 5; 6; 7 ] results
+
+let test_run_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Par.Pool.run ~jobs:4 []);
+  Alcotest.(check (list string)) "singleton" [ "x" ]
+    (Par.Pool.run ~jobs:4 [ (fun () -> "x") ])
+
+exception Boom of int
+
+let test_run_propagates_exception () =
+  match Par.Pool.run ~jobs:2 [ (fun () -> 1); (fun () -> raise (Boom 7)) ] with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 7 -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+let test_run_earliest_exception_wins () =
+  (* Both thunks fail; the earliest thunk's exception is reported and
+     every future is still awaited first (no dangling work). *)
+  match
+    Par.Pool.run ~jobs:2
+      [ (fun () -> raise (Boom 1)); (fun () -> raise (Boom 2)) ]
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom n -> check_int "earliest thunk" 1 n
+
+let test_pool_reuse_across_batches () =
+  let pool = Par.Pool.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Par.Pool.shutdown pool)
+    (fun () ->
+      for batch = 0 to 3 do
+        let futures =
+          List.init 6 (fun i -> Par.Pool.submit pool (fun () -> (batch * 10) + i))
+        in
+        let got = List.map Par.Pool.await futures in
+        Alcotest.(check (list int))
+          "batch results"
+          (List.init 6 (fun i -> (batch * 10) + i))
+          got
+      done)
+
+let test_await_after_shutdown_resolved () =
+  (* Futures resolved before shutdown stay readable afterwards. *)
+  let pool = Par.Pool.create ~domains:1 in
+  let f = Par.Pool.submit pool (fun () -> 41 + 1) in
+  let v = Par.Pool.await f in
+  Par.Pool.shutdown pool;
+  check_int "value survives shutdown" 42 (Par.Pool.await f);
+  check_int "first read" 42 v
+
+(* The acceptance contract of the fan-out: a figure regenerated with
+   jobs > 1 is indistinguishable from the serial run.  Wall-clock
+   fields are the only nondeterministic outputs, so compare everything
+   else. *)
+let comparable (r : Experiments.Runner.result) =
+  ( ( r.label,
+      r.policy_name,
+      r.duration,
+      r.per_server_mean,
+      r.per_server_requests,
+      r.utilizations ),
+    ( r.overall_mean,
+      r.overall_p95,
+      r.overall_max,
+      r.submitted,
+      r.completed,
+      r.reconfig_rounds,
+      r.sim_events,
+      List.length r.moves ) )
+
+let test_parallel_figure_matches_serial () =
+  let build = Option.get (Experiments.Figures.by_id "fig6") in
+  let serial = build ~quick:true ~jobs:1 () in
+  let parallel = build ~quick:true ~jobs:3 () in
+  let a = List.map comparable serial.Experiments.Figures.results in
+  let b = List.map comparable parallel.Experiments.Figures.results in
+  check_int "same run count" (List.length a) (List.length b);
+  check_bool "identical results" true (a = b)
+
+let suite =
+  [
+    Alcotest.test_case "serial fast path" `Quick test_run_serial_fast_path;
+    Alcotest.test_case "parallel preserves order" `Quick
+      test_run_parallel_preserves_order;
+    Alcotest.test_case "empty and singleton" `Quick test_run_empty_and_singleton;
+    Alcotest.test_case "exception propagation" `Quick
+      test_run_propagates_exception;
+    Alcotest.test_case "earliest exception wins" `Quick
+      test_run_earliest_exception_wins;
+    Alcotest.test_case "pool reuse" `Quick test_pool_reuse_across_batches;
+    Alcotest.test_case "await after shutdown" `Quick
+      test_await_after_shutdown_resolved;
+    Alcotest.test_case "parallel figure == serial" `Slow
+      test_parallel_figure_matches_serial;
+  ]

@@ -225,6 +225,100 @@ let test_serialization_rejects_invariant_violations () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "accepted overlapping regions"
 
+(* --- bucket-index locate vs the binary-search oracle --- *)
+
+(* Every interesting abscissa of a map: each segment's lo and hi (and
+   one ulp either side), every partition border, and the interval
+   edges.  These are exactly the points where the bucket arithmetic
+   could disagree with the global binary search. *)
+let boundary_points t =
+  let nudge x = [ x; Float.pred x; Float.succ x ] in
+  let seg_points =
+    List.concat_map
+      (fun id ->
+        List.concat_map
+          (fun (s : Hashlib.Unit_interval.seg) -> nudge s.lo @ nudge s.hi)
+          (Set.segments (RM.region t id)))
+      (RM.servers t)
+  in
+  let border_points =
+    List.concat_map
+      (fun j -> nudge (float_of_int j /. float_of_int (RM.partitions t)))
+      (List.init (RM.partitions t + 1) Fun.id)
+  in
+  [ -0.1; 0.0; 1.0; 1.1; Float.pred 1.0 ] @ seg_points @ border_points
+
+let assert_locate_matches_oracle t =
+  List.iter
+    (fun x ->
+      let fast = RM.locate t x in
+      let slow = RM.locate_reference t x in
+      if fast <> slow then
+        Alcotest.failf "locate disagrees with oracle at %h: %s vs %s" x
+          (match fast with
+          | Some id -> Format.asprintf "%a" Id.pp id
+          | None -> "free")
+          (match slow with
+          | Some id -> Format.asprintf "%a" Id.pp id
+          | None -> "free"))
+    (boundary_points t)
+
+let test_locate_oracle_on_boundaries () =
+  List.iter
+    (fun n ->
+      let t = RM.create ~servers:(ids n) in
+      assert_locate_matches_oracle t;
+      (* Uneven geometry: partial partitions in several places. *)
+      let targets =
+        List.mapi
+          (fun i id -> (id, 0.01 +. (float_of_int (i mod 4) *. 0.037)))
+          (ids n)
+      in
+      RM.scale t ~targets;
+      assert_locate_matches_oracle t;
+      (* Membership churn: remove, rescale, re-add, repartition. *)
+      if n > 1 then begin
+        RM.remove_server t (Id.of_int 0);
+        RM.scale t ~targets:(RM.measures t);
+        assert_locate_matches_oracle t;
+        RM.add_server t (Id.of_int 0) ~target:(1.0 /. (2.0 *. float_of_int n));
+        assert_locate_matches_oracle t
+      end)
+    [ 1; 2; 3; 5; 8; 16 ]
+
+let test_version_bumps_on_mutation () =
+  let t = RM.create ~servers:(ids 3) in
+  let v0 = RM.version t in
+  ignore (RM.locate t 0.25);
+  check_int "reads do not bump" v0 (RM.version t);
+  RM.scale t ~targets:[ (Id.of_int 0, 1.0); (Id.of_int 1, 2.0); (Id.of_int 2, 3.0) ];
+  check_bool "scale bumps" true (RM.version t > v0);
+  let v1 = RM.version t in
+  RM.remove_server t (Id.of_int 2);
+  check_bool "remove bumps" true (RM.version t > v1);
+  let v2 = RM.version t in
+  RM.add_server t (Id.of_int 2) ~target:0.1;
+  check_bool "add bumps" true (RM.version t > v2)
+
+let prop_locate_matches_oracle_random =
+  let gen =
+    QCheck.Gen.(
+      let* n = 1 -- 10 in
+      let* targets = list_size (return n) (float_range 0.01 10.0) in
+      let* points = list_size (1 -- 50) (float_range (-0.5) 1.5) in
+      return (n, targets, points))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"bucket locate equals binary-search oracle"
+    (QCheck.make gen)
+    (fun (n, targets, points) ->
+      let t = RM.create ~servers:(ids n) in
+      RM.scale t ~targets:(List.mapi (fun i m -> (Id.of_int i, m)) targets);
+      List.for_all (fun x -> RM.locate t x = RM.locate_reference t x) points
+      && List.for_all
+           (fun x -> RM.locate t x = RM.locate_reference t x)
+           (boundary_points t))
+
 (* Random scaling sequences keep all invariants. *)
 let prop_random_scaling_preserves_invariants =
   let gen =
@@ -293,6 +387,11 @@ let suite =
       test_serialization_rejects_garbage;
     Alcotest.test_case "serialization rejects violations" `Quick
       test_serialization_rejects_invariant_violations;
+    Alcotest.test_case "locate oracle on boundaries" `Quick
+      test_locate_oracle_on_boundaries;
+    Alcotest.test_case "version bumps on mutation" `Quick
+      test_version_bumps_on_mutation;
     QCheck_alcotest.to_alcotest prop_random_scaling_preserves_invariants;
     QCheck_alcotest.to_alcotest prop_locate_agrees_with_regions;
+    QCheck_alcotest.to_alcotest prop_locate_matches_oracle_random;
   ]
