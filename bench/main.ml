@@ -186,7 +186,23 @@ let run_membership () =
     (Experiments.Membership.compare_all ~servers:5 ~file_sets:10_000 ~failed:2
        ~seed:5);
   Format.printf "(membership study in %.1f s)@.@."
-    (Desim.Clock.seconds_since t0)
+    (Desim.Clock.seconds_since t0);
+  Format.printf
+    "=== movement collateral of a fault campaign (chaos harness) ===@.";
+  Format.printf
+    "Same synthetic workload, clean vs. the default seeded fault plan.@.";
+  let t1 = Desim.Clock.now_ns () in
+  List.iter
+    (fun spec ->
+      Format.printf "%a@." Experiments.Membership.pp_chaos_collateral
+        (Experiments.Membership.collateral_under_chaos ~quick:true ~seed:42
+           ~spec ()))
+    [
+      Experiments.Scenario.Anu Placement.Anu.default_config;
+      Experiments.Scenario.Round_robin;
+    ];
+  Format.printf "(chaos collateral in %.1f s)@.@."
+    (Desim.Clock.seconds_since t1)
 
 let run_balance () =
   Format.printf

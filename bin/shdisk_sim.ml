@@ -226,6 +226,52 @@ let validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ verbosity_t $ quick)
 
+let chaos_cmd =
+  let doc =
+    "Run a seeded fault-injection campaign with continuous invariant \
+     checking and print the survival summary."
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Fault-plan and workload seed.  Equal seeds reproduce the run \
+             byte for byte.")
+  in
+  let policy =
+    let specs =
+      [
+        ("anu", Experiments.Scenario.Anu Placement.Anu.default_config);
+        ("simple-random", Experiments.Scenario.Simple_random);
+        ("round-robin", Experiments.Scenario.Round_robin);
+        ("prescient", Experiments.Scenario.Prescient);
+        ("consistent-hash", Experiments.Scenario.Consistent_hash);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum specs) (Experiments.Scenario.Anu Placement.Anu.default_config)
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Placement policy under test: anu, simple-random, round-robin, \
+             prescient or consistent-hash.")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt (enum [ ("short", true); ("full", false) ]) false
+      & info [ "duration" ] ~docv:"D"
+          ~doc:"short (CI smoke, ~10x smaller workload) or full.")
+  in
+  let run () seed spec quick =
+    let summary = Experiments.Chaos.run ~quick ~seed ~spec () in
+    Format.printf "%a" Experiments.Chaos.pp summary;
+    if not summary.Experiments.Chaos.survived then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ verbosity_t $ seed $ policy $ duration)
+
 let motivation_cmd =
   let doc =
     "Run the Section-2 motivation experiment (metadata imbalance starves the \
@@ -250,4 +296,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; trace_cmd; validate_cmd; motivation_cmd ]))
+          [
+            list_cmd; run_cmd; trace_cmd; validate_cmd; chaos_cmd;
+            motivation_cmd;
+          ]))

@@ -1,0 +1,41 @@
+type policy = { timeout : float; retries : int; backoff : float }
+
+let default = { timeout = 1.0; retries = 2; backoff = 2.0 }
+
+let validate p =
+  if p.timeout <= 0.0 then
+    invalid_arg "Timeout.validate: timeout must be positive";
+  if p.retries < 0 then
+    invalid_arg "Timeout.validate: retries must be non-negative";
+  if p.backoff < 1.0 then
+    invalid_arg "Timeout.validate: backoff must be at least 1"
+
+let attempts p = p.retries + 1
+
+(* Sum of the windows before attempt [i]; closed form avoided so the
+   [backoff = 1] case needs no special-casing and rounding matches the
+   incremental schedule the driver follows. *)
+let attempt_start p i =
+  let rec go j acc window =
+    if j >= i then acc else go (j + 1) (acc +. window) (window *. p.backoff)
+  in
+  go 0 0.0 p.timeout
+
+let deadline p = attempt_start p (attempts p)
+
+let retry sim p ~attempt ~on_exhausted =
+  validate p;
+  let n = attempts p in
+  let rec arm i =
+    if i >= n then on_exhausted ()
+    else
+      match attempt i with
+      | `Done -> ()
+      | `Again ->
+        let window = p.timeout *. (p.backoff ** float_of_int i) in
+        let (_ : Sim.handle) =
+          Sim.schedule sim ~delay:window (fun () -> arm (i + 1))
+        in
+        ()
+  in
+  arm 0

@@ -1,0 +1,45 @@
+(** Timeout and bounded-retry primitives over the virtual clock.
+
+    A {!policy} describes a classic timeout/retry/backoff discipline:
+    an operation is attempted, a reply is awaited for [timeout]
+    seconds, and on silence the attempt is repeated up to [retries]
+    more times with the waiting window scaled by [backoff] each time.
+    The schedule is a pure function of the policy, so protocol layers
+    (the delegate's report collection) can precompute every attempt
+    time and the final give-up deadline deterministically. *)
+
+type policy = {
+  timeout : float;  (** seconds to wait for the first reply *)
+  retries : int;  (** additional attempts after the first *)
+  backoff : float;  (** multiplier applied to each successive window *)
+}
+
+(** Waits 1 s, retries twice, doubling the window: gives up 7 s in. *)
+val default : policy
+
+(** [validate p] raises [Invalid_argument] unless [timeout > 0],
+    [retries >= 0] and [backoff >= 1]. *)
+val validate : policy -> unit
+
+(** [attempts p] is [retries + 1], the total number of tries. *)
+val attempts : policy -> int
+
+(** [attempt_start p i] is the offset (from the operation start) at
+    which 0-based attempt [i] is issued: the sum of the preceding
+    windows [timeout *. backoff^j]. *)
+val attempt_start : policy -> int -> float
+
+(** [deadline p] is the offset at which the last attempt's window
+    closes — the point of giving up. *)
+val deadline : policy -> float
+
+(** [retry sim p ~attempt ~on_exhausted] drives the discipline on the
+    simulator clock: [attempt i] is called at [attempt_start p i] for
+    each [i] until it returns [`Done]; if every attempt returns
+    [`Again], [on_exhausted] fires at [deadline p]. *)
+val retry :
+  Sim.t ->
+  policy ->
+  attempt:(int -> [ `Done | `Again ]) ->
+  on_exhausted:(unit -> unit) ->
+  unit

@@ -1,0 +1,102 @@
+let trace ~quick ~seed =
+  let cfg = { Workload.Synthetic.default_config with seed } in
+  let cfg =
+    if quick then
+      {
+        cfg with
+        Workload.Synthetic.requests = cfg.requests / 10;
+        file_sets = cfg.file_sets / 5;
+      }
+    else cfg
+  in
+  Workload.Synthetic.generate cfg
+
+type summary = {
+  policy : string;
+  seed : int;
+  duration : float;
+  submitted : int;
+  completed : int;
+  requests_rebuffered : int;
+  rounds : int;
+  rounds_degraded : int;
+  rounds_skipped : int;
+  reelections : int;
+  reports_lost : int;
+  moves_started : int;
+  moves_failed : int;
+  faults : (string * int) list;
+  violations : (float * string) list;
+  survived : bool;
+}
+
+let run ?(quick = false) ?plan ~seed ~spec () =
+  let trace = trace ~quick ~seed in
+  let duration = Workload.Trace.duration trace in
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Fault.Plan.default ~seed ~duration
+  in
+  let obs = Obs.Ctx.create ~metrics:(Obs.Metrics.create ()) () in
+  let result = Runner.run Scenario.default spec ~trace ~obs ~faults:plan () in
+  let counters =
+    match result.Runner.metrics with
+    | Some snap -> snap.Obs.Metrics.counters
+    | None -> []
+  in
+  let counter name =
+    match List.assoc_opt name counters with Some v -> v | None -> 0
+  in
+  let faults =
+    List.filter_map
+      (fun (name, v) ->
+        let prefix = "fault." in
+        let plen = String.length prefix in
+        if
+          String.length name > plen
+          && String.equal (String.sub name 0 plen) prefix
+        then Some (String.sub name plen (String.length name - plen), v)
+        else None)
+      counters
+  in
+  let violations = result.Runner.violations in
+  {
+    policy = result.Runner.policy_name;
+    seed;
+    duration;
+    submitted = result.Runner.submitted;
+    completed = result.Runner.completed;
+    requests_rebuffered = counter "requests.rebuffered";
+    rounds = result.Runner.reconfig_rounds;
+    rounds_degraded = counter "rounds.degraded";
+    rounds_skipped = counter "rounds.skipped";
+    reelections = counter "delegate.reelections";
+    reports_lost = counter "reports.lost";
+    moves_started = counter "moves.started";
+    moves_failed = counter "moves.failed";
+    faults;
+    violations;
+    survived = violations = [] && result.Runner.completed = result.Runner.submitted;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "chaos: policy=%s seed=%d duration=%.0fs@." s.policy s.seed
+    s.duration;
+  Fmt.pf ppf "  requests: submitted=%d completed=%d rebuffered=%d@."
+    s.submitted s.completed s.requests_rebuffered;
+  Fmt.pf ppf "  rounds:   total=%d degraded=%d skipped=%d reelections=%d@."
+    s.rounds s.rounds_degraded s.rounds_skipped s.reelections;
+  Fmt.pf ppf "  moves:    started=%d failed=%d  reports lost: %d@."
+    s.moves_started s.moves_failed s.reports_lost;
+  (match s.faults with
+  | [] -> Fmt.pf ppf "  faults injected: none@."
+  | faults ->
+    Fmt.pf ppf "  faults injected:@.";
+    List.iter (fun (name, n) -> Fmt.pf ppf "    %-20s %d@." name n) faults);
+  (match s.violations with
+  | [] -> Fmt.pf ppf "  invariants: OK (0 violations)@."
+  | vs ->
+    Fmt.pf ppf "  invariants: %d VIOLATION(S)@." (List.length vs);
+    List.iter (fun (t, what) -> Fmt.pf ppf "    [t=%.3f] %s@." t what) vs);
+  Fmt.pf ppf "  %s@." (if s.survived then "SURVIVED" else "DID NOT SURVIVE")

@@ -1,0 +1,51 @@
+(** The chaos harness: one seeded faulty run with continuous invariant
+    checking and a survival summary.
+
+    A chaos run takes the paper's synthetic workload, arms a
+    {!Fault.Plan} against it, checks {!Fault.Invariants} after every
+    reconfiguration round and membership event, and condenses the
+    outcome into a {!summary}.  Everything — fault times, lost
+    reports, mid-move crashes — is a pure function of the seed, so a
+    run is byte-reproducible: same seed, same policy, same summary. *)
+
+type summary = {
+  policy : string;
+  seed : int;
+  duration : float;  (** virtual seconds of workload *)
+  submitted : int;
+  completed : int;
+  requests_rebuffered : int;
+  rounds : int;  (** reconfiguration rounds attempted *)
+  rounds_degraded : int;  (** averaged over a surviving quorum *)
+  rounds_skipped : int;  (** below quorum: tuned nothing *)
+  reelections : int;  (** delegate crashes absorbed *)
+  reports_lost : int;  (** delivery attempts that vanished *)
+  moves_started : int;
+  moves_failed : int;  (** moves interrupted by an endpoint crash *)
+  faults : (string * int) list;
+      (** every injected fault by kind, sorted by name *)
+  violations : (float * string) list;
+      (** invariant breaches, in detection order; empty on survival *)
+  survived : bool;
+      (** no invariant violated {e and} every submitted request
+          completed *)
+}
+
+(** [run ~seed ~spec ()] executes one chaos run.
+
+    [quick] (default false) shrinks the workload tenfold — the CI
+    smoke setting.  [plan] defaults to
+    [Fault.Plan.default ~seed ~duration]; the workload generator is
+    seeded from [seed] too, so the whole run replays from one
+    number. *)
+val run :
+  ?quick:bool ->
+  ?plan:Fault.Plan.t ->
+  seed:int ->
+  spec:Scenario.policy_spec ->
+  unit ->
+  summary
+
+(** Deterministic multi-line rendering — byte-identical across runs
+    with equal seeds. *)
+val pp : Format.formatter -> summary -> unit

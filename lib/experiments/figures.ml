@@ -248,6 +248,28 @@ let failure_recovery ?(quick = false) ?jobs:_ ?obs () =
     results;
   }
 
+let failure_recovery_chaos ?(quick = false) ?jobs:_ ?obs () =
+  let trace = synthetic_trace ~quick in
+  let duration = Workload.Trace.duration trace in
+  let faults = Fault.Plan.default ~seed:42 ~duration in
+  let results =
+    List.map
+      (fun spec -> Runner.run Scenario.default spec ~trace ~faults ?obs ())
+      [ anu_spec; Scenario.Round_robin ]
+  in
+  {
+    id = "failure-recovery-chaos";
+    title = "Failure and recovery under a seeded fault plan (extension)";
+    description =
+      "ANU and the round-robin baseline under the default chaos mix: a \
+       server crash-and-recover cycle, a mid-round delegate crash, 10% \
+       report loss, mid-move endpoint crashes and a transient disk stall.  \
+       Invariants (half-occupancy, single ownership, request \
+       conservation) are checked after every round; violations, if any, \
+       ride along in each result.";
+    results;
+  }
+
 let registry =
   [
     ("fig6", fig6);
@@ -262,6 +284,7 @@ let registry =
     ("temporal-shift", temporal_shift);
     ("decentralized", decentralized);
     ("failure-recovery", failure_recovery);
+    ("failure-recovery-chaos", failure_recovery_chaos);
   ]
 
 let all_ids = List.map fst registry

@@ -72,6 +72,12 @@ val decentralized : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
     preserved (moves stay near-minimal). *)
 val failure_recovery : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
+(** Extension: the same membership churn story under the default
+    seeded fault plan, with invariant checking on (see
+    {!Runner.result.violations}). *)
+val failure_recovery_chaos :
+  ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
+
 val all_ids : string list
 
 (** [by_id id] looks an experiment up by identifier ("fig6" ...). *)

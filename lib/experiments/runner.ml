@@ -6,8 +6,14 @@ type event_action =
   | Add of int * float
   | Set_speed of int * float
   | Delegate_crash
+  | Decommission of int
 
 type event = { at : float; action : event_action }
+
+(* Seconds a decommissioned server stays up after its sets were
+   re-addressed, so the clean drain (flush-based moves) can finish
+   before the machine actually goes away. *)
+let decommission_grace = 30.0
 
 type result = {
   label : string;
@@ -27,6 +33,7 @@ type result = {
   sim_events : int;
   sim_wall_seconds : float;
   metrics : Obs.Metrics.snapshot option;
+  violations : (float * string) list;
 }
 
 (* Apply the policy's current addressing to the cluster: diff against
@@ -43,8 +50,9 @@ let reconcile cluster policy names =
         moved + 1)
     0 names
 
-let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null)
-    ?on_sim_created ?on_request_complete () =
+let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null) ?faults
+    ?check_invariants ?invariant_extra ?on_sim_created ?on_request_complete
+    () =
   (* One figure runs several simulations, possibly concurrently (one
      per domain): derive a per-run context with a fresh metrics
      registry so the snapshot attached to this result covers exactly
@@ -76,6 +84,108 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null)
   let latencies = Desim.Stat.Sample.create () in
   let completed = ref 0 in
   let reconfig_rounds = ref 0 in
+  (* Chaos plumbing.  Invariants are checked after every round and
+     membership event by default exactly when faults are injected;
+     [check_invariants] overrides either way. *)
+  let do_check =
+    match check_invariants with
+    | Some b -> b
+    | None -> Option.is_some faults
+  in
+  let violations = ref [] in
+  let check_now () =
+    if do_check then
+      List.iter
+        (fun v ->
+          violations :=
+            (v.Fault.Invariants.time, v.Fault.Invariants.what) :: !violations)
+        (Fault.Invariants.check ?extra:invariant_extra ~cluster ~policy ())
+  in
+  let bump name =
+    match Obs.Ctx.metrics obs with
+    | None -> ()
+    | Some m -> Obs.Metrics.Counter.incr (Obs.Metrics.counter m name)
+  in
+  (match (Obs.Ctx.metrics obs, faults) with
+  | Some m, Some _ ->
+    (* Pre-register the fault-path counters so a chaos summary can
+       read them from the snapshot even when they stayed at zero. *)
+    List.iter
+      (fun n -> ignore (Obs.Metrics.counter m n))
+      [
+        "delegate.reelections"; "reports.lost"; "rounds.degraded";
+        "rounds.skipped";
+      ]
+  | _ -> ());
+  let emit_membership ~time server change =
+    if Obs.Ctx.tracing obs then
+      Obs.Ctx.emit obs (Obs.Event.Membership { time; server; change })
+  in
+  let do_delegate_crash () =
+    (* Re-election itself is trivial (lowest alive id); what a crash
+       actually costs is whatever non-replicated state the delegate
+       held — ANU's divergent-tuning history. *)
+    policy.Placement.Policy.delegate_crashed ();
+    bump "delegate.reelections"
+  in
+  (* Guarded membership transitions, shared between scripted events
+     and the fault injector: crashing a dead server or recovering an
+     alive one must be a no-op end to end, or a double-fired fault
+     would corrupt the policy's region map. *)
+  let do_fail id =
+    if
+      Sharedfs.Cluster.mem_server cluster id
+      && not (Sharedfs.Server.failed (Sharedfs.Cluster.server cluster id))
+    then begin
+      let now = Desim.Sim.now sim in
+      (* If the failed server was the elected delegate, its
+         reconfiguration state dies with it; the next delegate runs
+         the same protocol from replicated state only. *)
+      let was_delegate =
+        Sharedfs.Delegate.elect ~alive:(Sharedfs.Cluster.alive_ids cluster)
+        = Some id
+      in
+      let (_ : string list) = Sharedfs.Cluster.fail_server cluster id in
+      if was_delegate then do_delegate_crash ();
+      policy.Placement.Policy.server_failed id;
+      emit_membership ~time:now (Id.to_int id) Obs.Event.Failed;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"fail" moved;
+      check_now ()
+    end
+  in
+  let do_recover id =
+    if
+      Sharedfs.Cluster.mem_server cluster id
+      && Sharedfs.Server.failed (Sharedfs.Cluster.server cluster id)
+    then begin
+      let now = Desim.Sim.now sim in
+      Sharedfs.Cluster.recover_server cluster id;
+      policy.Placement.Policy.server_added id;
+      emit_membership ~time:now (Id.to_int id) Obs.Event.Recovered;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"recover" moved;
+      check_now ()
+    end
+  in
+  let injector =
+    Option.map
+      (fun plan ->
+        Fault.Injector.arm ~sim ~cluster ~obs ~duration
+          ~actions:
+            {
+              Fault.Injector.crash_server = do_fail;
+              recover_server = do_recover;
+              crash_delegate = do_delegate_crash;
+            }
+          plan)
+      faults
+  in
+  let crash_rounds =
+    match faults with
+    | None -> []
+    | Some plan -> Fault.Plan.delegate_crash_rounds plan
+  in
   (* Time-zero delegate round: no latencies yet, but the prescient
      oracle sees the first interval and starts balanced. *)
   policy.Placement.Policy.rebalance
@@ -103,27 +213,86 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null)
   let rounds = int_of_float (Float.floor (duration /. interval)) in
   for k = 1 to rounds do
     let at = float_of_int k *. interval in
+    let apply_round ~round reports =
+      policy.Placement.Policy.rebalance
+        {
+          Placement.Policy.time = at;
+          reports;
+          future_demand =
+            Workload.Trace.window_demand trace ~lo:at ~hi:(at +. interval);
+        };
+      let moved = reconcile cluster policy names in
+      if Obs.Ctx.tracing obs then begin
+        Obs.Ctx.emit obs
+          (Sharedfs.Delegate.round_event cluster ~time:at ~round
+             ~average:(Sharedfs.Delegate.mean_latency reports)
+             ~regions:(policy.Placement.Policy.regions ())
+             reports);
+        emit_rehash ~time:at ~trigger:"delegate-round" moved
+      end;
+      check_now ()
+    in
     let (_ : Desim.Sim.handle) =
       Desim.Sim.schedule_at sim ~time:at (fun () ->
           incr reconfig_rounds;
-          let reports = Sharedfs.Delegate.collect cluster in
-          policy.Placement.Policy.rebalance
-            {
-              Placement.Policy.time = at;
-              reports;
-              future_demand =
-                Workload.Trace.window_demand trace ~lo:at ~hi:(at +. interval);
-            };
-          let moved = reconcile cluster policy names in
-          if Obs.Ctx.tracing obs then begin
-            Obs.Ctx.emit obs
-              (Sharedfs.Delegate.round_event cluster ~time:at
-                 ~round:!reconfig_rounds
-                 ~average:(Sharedfs.Delegate.mean_latency reports)
-                 ~regions:(policy.Placement.Policy.regions ())
-                 reports);
-            emit_rehash ~time:at ~trigger:"delegate-round" moved
-          end)
+          let round = !reconfig_rounds in
+          match injector with
+          | None ->
+            (* Fault-free fast path: synchronous collection, exactly
+               the pre-chaos behaviour (and byte-identical traces). *)
+            apply_round ~round (Sharedfs.Delegate.collect cluster)
+          | Some inj ->
+            let timeout = Fault.Plan.timeout (Option.get faults) in
+            let emit_degraded ~missing ~survivors ~skipped =
+              if Obs.Ctx.tracing obs then
+                Obs.Ctx.emit obs
+                  (Obs.Event.Round_degraded
+                     {
+                       time = at;
+                       round;
+                       missing = List.map Id.to_int missing;
+                       survivors;
+                       skipped;
+                     })
+            in
+            Sharedfs.Delegate.collect_async cluster ~timeout
+              ~fate:(fun ~server ~attempt ->
+                Fault.Injector.fate inj ~round ~server ~attempt)
+              ~k:(fun outcome ->
+                if List.mem round crash_rounds then begin
+                  (* The delegate dies after collecting but before
+                     deciding: the reports (and its divergent-tuning
+                     history) die with it, the next delegate takes
+                     over from replicated state, and this round tunes
+                     nothing.  Re-placement still runs so orphans
+                     heal. *)
+                  Fault.Injector.note_delegate_crash inj;
+                  let moved = reconcile cluster policy names in
+                  emit_rehash ~time:at ~trigger:"delegate-crash" moved;
+                  check_now ()
+                end
+                else
+                  match outcome with
+                  | Sharedfs.Delegate.Round_complete reports ->
+                    apply_round ~round reports
+                  | Sharedfs.Delegate.Round_degraded { reports; missing } ->
+                    (* A quorum reported: average over the survivors
+                       rather than wait for the dead. *)
+                    bump "rounds.degraded";
+                    emit_degraded ~missing
+                      ~survivors:(List.length reports)
+                      ~skipped:false;
+                    apply_round ~round reports
+                  | Sharedfs.Delegate.Round_skipped { missing } ->
+                    (* Below quorum: tuning on so little data would be
+                       tuning on garbage, so the round decides
+                       nothing.  Orphan healing must not wait for the
+                       next healthy round, though. *)
+                    bump "rounds.skipped";
+                    emit_degraded ~missing ~survivors:0 ~skipped:true;
+                    let moved = reconcile cluster policy names in
+                    emit_rehash ~time:at ~trigger:"round-skipped" moved;
+                    check_now ()))
     in
     ()
   done;
@@ -132,48 +301,62 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null)
     (fun { at; action } ->
       let (_ : Desim.Sim.handle) =
         Desim.Sim.schedule_at sim ~time:at (fun () ->
-            let emit_membership server change =
-              if Obs.Ctx.tracing obs then
-                Obs.Ctx.emit obs
-                  (Obs.Event.Membership { time = at; server; change })
-            in
             match action with
-            | Fail raw ->
-              let id = Id.of_int raw in
-              (* If the failed server was the elected delegate, its
-                 reconfiguration state dies with it; the next delegate
-                 runs the same protocol from replicated state only. *)
-              let was_delegate =
-                Sharedfs.Delegate.elect
-                  ~alive:(Sharedfs.Cluster.alive_ids cluster)
-                = Some id
-              in
-              let (_ : string list) = Sharedfs.Cluster.fail_server cluster id in
-              if was_delegate then policy.Placement.Policy.delegate_crashed ();
-              policy.Placement.Policy.server_failed id;
-              emit_membership raw Obs.Event.Failed;
-              let moved = reconcile cluster policy names in
-              emit_rehash ~time:at ~trigger:"fail" moved
-            | Recover raw ->
-              let id = Id.of_int raw in
-              Sharedfs.Cluster.recover_server cluster id;
-              policy.Placement.Policy.server_added id;
-              emit_membership raw Obs.Event.Recovered;
-              let moved = reconcile cluster policy names in
-              emit_rehash ~time:at ~trigger:"recover" moved
+            | Fail raw -> do_fail (Id.of_int raw)
+            | Recover raw -> do_recover (Id.of_int raw)
             | Add (raw, speed) ->
               let id = Id.of_int raw in
               Sharedfs.Cluster.add_server cluster id ~speed;
               policy.Placement.Policy.server_added id;
-              emit_membership raw (Obs.Event.Added speed);
+              emit_membership ~time:at raw (Obs.Event.Added speed);
               let moved = reconcile cluster policy names in
-              emit_rehash ~time:at ~trigger:"add" moved
+              emit_rehash ~time:at ~trigger:"add" moved;
+              check_now ()
             | Set_speed (raw, speed) ->
               Sharedfs.Server.set_speed
                 (Sharedfs.Cluster.server cluster (Id.of_int raw))
                 speed;
-              emit_membership raw (Obs.Event.Speed_changed speed)
-            | Delegate_crash -> policy.Placement.Policy.delegate_crashed ())
+              emit_membership ~time:at raw (Obs.Event.Speed_changed speed)
+            | Delegate_crash -> do_delegate_crash ()
+            | Decommission raw ->
+              let id = Id.of_int raw in
+              if
+                Sharedfs.Cluster.mem_server cluster id
+                && not
+                     (Sharedfs.Server.failed
+                        (Sharedfs.Cluster.server cluster id))
+              then begin
+                (* Planned removal: re-address first while the server
+                   is still up, so its sets leave by the cheap flush
+                   path instead of orphan recovery; the machine only
+                   goes away after a drain grace period. *)
+                policy.Placement.Policy.server_failed id;
+                emit_membership ~time:at raw Obs.Event.Decommissioned;
+                let moved = reconcile cluster policy names in
+                emit_rehash ~time:at ~trigger:"decommission" moved;
+                check_now ();
+                let (_ : Desim.Sim.handle) =
+                  Desim.Sim.schedule sim ~delay:decommission_grace
+                    (fun () ->
+                      if
+                        not
+                          (Sharedfs.Server.failed
+                             (Sharedfs.Cluster.server cluster id))
+                      then begin
+                        (* Anything that failed to drain in time goes
+                           down the crash path and heals as an
+                           orphan. *)
+                        let (_ : string list) =
+                          Sharedfs.Cluster.fail_server cluster id
+                        in
+                        let moved = reconcile cluster policy names in
+                        emit_rehash ~time:(Desim.Sim.now sim)
+                          ~trigger:"decommission-final" moved
+                      end;
+                      check_now ())
+                in
+                ()
+              end)
       in
       ())
     events;
@@ -238,6 +421,7 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null)
     sim_events = profile.Desim.Sim.fired;
     sim_wall_seconds = profile.Desim.Sim.wall_seconds;
     metrics = Obs.Ctx.snapshot obs;
+    violations = List.rev !violations;
   }
 
 let buckets_after result ~from_ =

@@ -20,6 +20,10 @@ type event_action =
       (** lose whatever state the elected delegate held; placement
           policies must keep working (ANU drops its divergent-tuning
           history, everything else is replicated) *)
+  | Decommission of int
+      (** planned removal: the server's sets are re-addressed and
+          drain by the cheap flush path while it is still up; after a
+          grace period anything left goes down the crash path *)
 
 type event = { at : float; action : event_action }
 
@@ -45,6 +49,10 @@ type result = {
   metrics : Obs.Metrics.snapshot option;
       (** per-run metrics snapshot when the run's {!Obs.Ctx.t} carried
           a registry *)
+  violations : (float * string) list;
+      (** every invariant breach the run detected, in detection order;
+          always empty unless invariant checking was on (see
+          {!run}) *)
 }
 
 (** [run scenario spec ~trace ?events ()] executes one full
@@ -60,6 +68,20 @@ type result = {
     registry via [Obs.Ctx.isolated]) so [result.metrics] is per-run
     and concurrent runs never share instruments.
 
+    [faults] arms a {!Fault.Plan} against the run: timed crashes and
+    recoveries, mid-move crashes, disk stalls, and an unreliable
+    report channel — delegate rounds then collect asynchronously with
+    the plan's timeout/retry policy, average over survivors when a
+    quorum reports, and skip the round otherwise.  The fault-free path
+    is byte-identical to a run without the argument.
+
+    [check_invariants] (default: on exactly when [faults] is given)
+    runs {!Fault.Invariants.check} after every reconfiguration round
+    and membership event and accumulates breaches in
+    [result.violations].  [invariant_extra] is appended to each check
+    — the test-suite hook for planting a deliberately broken
+    invariant.
+
     [on_sim_created] runs right after the simulator is built, letting
     callers attach additional model components (e.g. a {!Sharedfs.San}
     data path) to the same virtual clock.  [on_request_complete] fires
@@ -71,6 +93,9 @@ val run :
   trace:Workload.Trace.t ->
   ?events:event list ->
   ?obs:Obs.Ctx.t ->
+  ?faults:Fault.Plan.t ->
+  ?check_invariants:bool ->
+  ?invariant_extra:(unit -> string list) ->
   ?on_sim_created:(Desim.Sim.t -> unit) ->
   ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
   unit ->

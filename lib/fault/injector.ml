@@ -1,0 +1,163 @@
+module Cluster = Sharedfs.Cluster
+module Server_id = Sharedfs.Server_id
+
+type actions = {
+  crash_server : Server_id.t -> unit;
+  recover_server : Server_id.t -> unit;
+  crash_delegate : unit -> unit;
+}
+
+type t = {
+  plan : Plan.t;
+  sim : Desim.Sim.t;
+  cluster : Cluster.t;
+  obs : Obs.Ctx.t;
+  actions : actions;
+  counts : (string, int ref) Hashtbl.t;
+  mutable move_seq : int;  (** moves seen so far, for [Move_crash] *)
+}
+
+let bump t name =
+  (match Hashtbl.find_opt t.counts name with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counts name (ref 1));
+  match Obs.Ctx.metrics t.obs with
+  | None -> ()
+  | Some m -> Obs.Metrics.Counter.incr (Obs.Metrics.counter m ("fault." ^ name))
+
+let record t ?server ?file_set fault =
+  bump t (Obs.Event.fault_name fault);
+  if Obs.Ctx.tracing t.obs then
+    Obs.Ctx.emit t.obs
+      (Obs.Event.Fault
+         {
+           time = Desim.Sim.now t.sim;
+           server = Option.map Server_id.to_int server;
+           file_set;
+           fault;
+         })
+
+let crash t id =
+  record t ~server:id Obs.Event.Server_crash;
+  t.actions.crash_server id
+
+let recover t id =
+  record t ~server:id Obs.Event.Server_recover;
+  t.actions.recover_server id
+
+let note_delegate_crash t =
+  record t Obs.Event.Delegate_crash;
+  t.actions.crash_delegate ()
+
+let schedule_timeline t ~duration =
+  List.iter
+    (fun (at, fault) ->
+      let (_ : Desim.Sim.handle) =
+        Desim.Sim.schedule_at t.sim ~time:at (fun () ->
+            match fault with
+            | Plan.Crash server -> crash t (Server_id.of_int server)
+            | Plan.Recover server -> recover t (Server_id.of_int server)
+            | Plan.Delegate_crash -> note_delegate_crash t
+            | Plan.Disk_stall { factor; duration = d } ->
+              let disk = Cluster.disk t.cluster in
+              Sharedfs.Shared_disk.set_stall disk ~factor;
+              record t (Obs.Event.Disk_stall_start { factor; duration = d });
+              let (_ : Desim.Sim.handle) =
+                Desim.Sim.schedule t.sim ~delay:d (fun () ->
+                    Sharedfs.Shared_disk.clear_stall disk;
+                    record t Obs.Event.Disk_stall_end)
+              in
+              ())
+      in
+      ())
+    (Plan.timeline t.plan ~duration)
+
+let arm_move_crashes t =
+  match Plan.move_crashes t.plan with
+  | [] -> ()
+  | targets ->
+    Cluster.set_on_move_start t.cluster
+      (fun ~file_set ~src ~dst ~flush_seconds ~init_seconds ->
+        let nth = t.move_seq in
+        t.move_seq <- nth + 1;
+        List.iter
+          (fun (target, role) ->
+            if target = nth then
+              (* Land the crash strictly inside the window it must
+                 interrupt: mid-flush for the source (after the flush
+                 finishes the image is safe on the shared disk), and
+                 mid-transfer overall for the destination. *)
+              let victim, offset =
+                match role with
+                | `Src -> (src, 0.5 *. flush_seconds)
+                | `Dst -> (Some dst, 0.5 *. (flush_seconds +. init_seconds))
+              in
+              match victim with
+              | Some id when offset > 0.0 ->
+                ignore file_set;
+                let (_ : Desim.Sim.handle) =
+                  Desim.Sim.schedule t.sim ~delay:offset (fun () ->
+                      crash t id)
+                in
+                ()
+              | Some _ | None -> ())
+          targets)
+
+let arm ~sim ~cluster ~obs ~duration ~actions plan =
+  let t =
+    {
+      plan;
+      sim;
+      cluster;
+      obs;
+      actions;
+      counts = Hashtbl.create 8;
+      move_seq = 0;
+    }
+  in
+  schedule_timeline t ~duration;
+  arm_move_crashes t;
+  t
+
+(* SplitMix64-style avalanche, so that (round, server, attempt) maps to
+   an uncorrelated stream regardless of evaluation order. *)
+let mix seed round server attempt =
+  let h = ref (Int64.of_int seed) in
+  let feed v =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int v)) 0x100000001b3L
+  in
+  feed (round * 3 + 1);
+  feed ((server * 2) + 1);
+  feed (attempt + 1);
+  Int64.to_int !h land max_int
+
+let fate t ~round ~server ~attempt =
+  let p = Plan.report_loss_probability t.plan in
+  let delay_spec = Plan.report_delay t.plan in
+  if p <= 0.0 && delay_spec = None then `Deliver 0.0
+  else
+    let rng =
+      Desim.Rng.create
+        (mix (Plan.seed t.plan) round (Server_id.to_int server) attempt)
+    in
+    let lost = p > 0.0 && Desim.Rng.float rng < p in
+    if lost then begin
+      record t ~server (Obs.Event.Report_lost { attempt });
+      (match Obs.Ctx.metrics t.obs with
+      | None -> ()
+      | Some m ->
+        Obs.Metrics.Counter.incr (Obs.Metrics.counter m "reports.lost"));
+      `Lost
+    end
+    else
+      match delay_spec with
+      | None -> `Deliver 0.0
+      | Some (base, jitter) ->
+        let delay = base +. (Desim.Rng.float rng *. jitter) in
+        if delay > 0.0 then
+          record t ~server (Obs.Event.Report_delayed { delay });
+        `Deliver delay
+
+let faults_injected t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

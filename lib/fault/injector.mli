@@ -1,0 +1,58 @@
+(** Arms a {!Plan} against a live simulation.
+
+    The injector owns the mechanics of fault delivery — scheduling
+    timed crashes and recoveries, stalling the shared disk, targeting
+    mid-move crashes via the cluster's move-start hook, and deciding
+    the fate of every latency-report delivery — while the {e policy}
+    consequences (re-placement, re-election) stay with the runner,
+    which supplies guarded {!actions}.  Every injected fault is traced
+    as an [Obs.Event.Fault] and counted under [fault.<kind>], so a
+    chaos run's trace doubles as its complete fault log. *)
+
+type t
+
+(** How the injector acts on the simulation.  The runner supplies
+    closures that already handle the policy side (orphan re-placement,
+    delegate re-election) and are safe to double-fire: crashing a dead
+    server or recovering an alive one must be a no-op. *)
+type actions = {
+  crash_server : Sharedfs.Server_id.t -> unit;
+  recover_server : Sharedfs.Server_id.t -> unit;
+  crash_delegate : unit -> unit;
+}
+
+(** [arm ~sim ~cluster ~obs ~duration ~actions plan] schedules every
+    time-driven fault of [plan] within [\[0, duration)], installs the
+    mid-move crash hook when the plan asks for move crashes, and
+    returns the armed injector.  Call before running the
+    simulation. *)
+val arm :
+  sim:Desim.Sim.t ->
+  cluster:Sharedfs.Cluster.t ->
+  obs:Obs.Ctx.t ->
+  duration:float ->
+  actions:actions ->
+  Plan.t ->
+  t
+
+(** [fate t ~round] is the delivery oracle for reconfiguration round
+    [round], shaped for [Delegate.collect_async].  The verdict for
+    each [(round, server, attempt)] triple is a pure function of the
+    plan seed — independent of evaluation order — so a chaos run is
+    replayable draw for draw.  Losses and delays are traced and
+    counted ([reports.lost]) as they are decided. *)
+val fate :
+  t ->
+  round:int ->
+  server:Sharedfs.Server_id.t ->
+  attempt:int ->
+  [ `Deliver of float | `Lost ]
+
+(** [note_delegate_crash t] records a delegate crash the runner just
+    performed (the mid-round [Delegate_crash_in_round] case, which
+    only the runner can place). *)
+val note_delegate_crash : t -> unit
+
+(** [faults_injected t] tallies every fault delivered so far, by
+    {!Obs.Event.fault_name}, sorted by name. *)
+val faults_injected : t -> (string * int) list

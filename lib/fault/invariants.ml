@@ -1,0 +1,99 @@
+module Cluster = Sharedfs.Cluster
+module Server = Sharedfs.Server
+module Server_id = Sharedfs.Server_id
+
+type violation = { time : float; what : string }
+
+let pp_violation ppf v = Fmt.pf ppf "[t=%.3f] %s" v.time v.what
+
+let check_regions ~eps policy =
+  match policy.Placement.Policy.regions () with
+  | [] -> []
+  | regions ->
+    let negative =
+      List.filter_map
+        (fun (id, m) ->
+          if m < -.eps then
+            Some
+              (Printf.sprintf "server %d region measure is negative: %.12g"
+                 (Server_id.to_int id) m)
+          else None)
+        regions
+    in
+    let total = List.fold_left (fun acc (_, m) -> acc +. m) 0.0 regions in
+    if Float.abs (total -. 0.5) > eps then
+      Printf.sprintf
+        "half-occupancy broken: mapped measure %.12g, expected 0.5" total
+      :: negative
+    else negative
+
+let check_ownership cluster =
+  let states = Cluster.ownership_states cluster in
+  let placed =
+    List.filter_map
+      (fun (name, state) ->
+        match state with
+        | Cluster.State_owned id ->
+          let s = Cluster.server cluster id in
+          if Server.failed s then
+            Some
+              (Printf.sprintf "file set %s owned by failed server %d" name
+                 (Server_id.to_int id))
+          else None
+        | Cluster.State_moving { dst; _ } ->
+          let s = Cluster.server cluster dst in
+          if Server.failed s then
+            Some
+              (Printf.sprintf
+                 "file set %s moving toward failed server %d" name
+                 (Server_id.to_int dst))
+          else None
+        | Cluster.State_orphaned _ -> None)
+      states
+  in
+  (* Single ownership means exactly one state per catalog name: no
+     name missing (silently gone), no name twice (two owners). *)
+  let names = List.map fst states in
+  let catalog = Sharedfs.File_set.Catalog.names (Cluster.catalog cluster) in
+  let missing =
+    List.filter_map
+      (fun n ->
+        if List.mem n names then None
+        else Some (Printf.sprintf "file set %s has no placement state" n))
+      catalog
+  in
+  let rec dups = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a b then
+        Printf.sprintf "file set %s has two placement states" a :: dups rest
+      else dups rest
+    | [ _ ] | [] -> []
+  in
+  placed @ missing @ dups names
+
+let check_conservation cluster =
+  let c = Cluster.conservation cluster in
+  let accounted =
+    c.Cluster.completed + c.Cluster.inflight + c.Cluster.buffered
+    + c.Cluster.lock_waiting
+  in
+  if accounted <> c.Cluster.submitted then
+    [
+      Printf.sprintf
+        "request conservation broken: submitted %d <> completed %d + \
+         inflight %d + buffered %d + lock_waiting %d"
+        c.Cluster.submitted c.Cluster.completed c.Cluster.inflight
+        c.Cluster.buffered c.Cluster.lock_waiting;
+    ]
+  else []
+
+let check ?(eps = 1e-9) ?extra ~cluster ~policy () =
+  let time = Desim.Sim.now (Cluster.sim cluster) in
+  let whats =
+    check_regions ~eps policy
+    @ policy.Placement.Policy.check ()
+    @ check_ownership cluster
+    @ check_conservation cluster
+    @ (match extra with None -> [] | Some f -> f ())
+  in
+  List.map (fun what -> { time; what }) whats

@@ -1,0 +1,33 @@
+(** The chaos oracle: global invariants that must hold after every
+    reconfiguration round and membership event, no matter what the
+    fault plan did.
+
+    The checks mirror the paper's correctness arguments rather than
+    implementation details: ANU's region map always covers exactly
+    half the unit interval; a file set always has exactly one place to
+    be (an alive owner, a move in flight, or an orphan awaiting
+    adoption — never two owners, never silently gone); region measures
+    never go negative; and no request is ever lost (submitted =
+    completed + inflight + buffered + lock-waiting). *)
+
+type violation = {
+  time : float;  (** virtual time the check ran *)
+  what : string;  (** human-readable description of the breach *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [check ~cluster ~policy ()] runs every invariant and returns the
+    violations found (empty when healthy).
+
+    [eps] (default [1e-9]) is the tolerance on region-measure sums.
+    [extra] (default none) appends custom checks — the test suite uses
+    it to plant a deliberately broken invariant and prove the harness
+    catches it; each returned string becomes one violation. *)
+val check :
+  ?eps:float ->
+  ?extra:(unit -> string list) ->
+  cluster:Sharedfs.Cluster.t ->
+  policy:Placement.Policy.t ->
+  unit ->
+  violation list

@@ -1,0 +1,158 @@
+type role = [ `Src | `Dst ]
+
+type spec =
+  | Crash_at of { at : float; server : int }
+  | Recover_at of { at : float; server : int }
+  | Crash_hazard of { server : int; mttf : float; mttr : float }
+  | Delegate_crash_at of { at : float }
+  | Delegate_crash_in_round of { round : int }
+  | Report_loss of { probability : float }
+  | Report_delay of { base : float; jitter : float }
+  | Move_crash of { nth_move : int; role : role }
+  | Disk_stall_at of { at : float; factor : float; duration : float }
+
+type t = { seed : int; specs : spec list; timeout : Desim.Timeout.policy }
+
+let validate_spec = function
+  | Crash_at { at; _ } | Recover_at { at; _ } | Delegate_crash_at { at } ->
+    if at < 0.0 then invalid_arg "Fault.Plan: fault time must be >= 0"
+  | Crash_hazard { mttf; mttr; _ } ->
+    if mttf <= 0.0 || mttr <= 0.0 then
+      invalid_arg "Fault.Plan: mttf and mttr must be positive"
+  | Delegate_crash_in_round { round } ->
+    if round < 1 then invalid_arg "Fault.Plan: rounds are 1-based"
+  | Report_loss { probability } ->
+    if probability < 0.0 || probability > 1.0 then
+      invalid_arg "Fault.Plan: loss probability must be in [0, 1]"
+  | Report_delay { base; jitter } ->
+    if base < 0.0 || jitter < 0.0 then
+      invalid_arg "Fault.Plan: report delay must be non-negative"
+  | Move_crash { nth_move; _ } ->
+    if nth_move < 0 then invalid_arg "Fault.Plan: move index must be >= 0"
+  | Disk_stall_at { at; factor; duration } ->
+    if at < 0.0 then invalid_arg "Fault.Plan: fault time must be >= 0";
+    if factor < 1.0 then
+      invalid_arg "Fault.Plan: stall factor must be at least 1";
+    if duration <= 0.0 then
+      invalid_arg "Fault.Plan: stall duration must be positive"
+
+let make ?(timeout = Desim.Timeout.default) ~seed specs =
+  Desim.Timeout.validate timeout;
+  List.iter validate_spec specs;
+  { seed; specs; timeout }
+
+let default ~seed ~duration =
+  if duration <= 0.0 then
+    invalid_arg "Fault.Plan.default: duration must be positive";
+  make ~seed
+    [
+      Crash_at { at = 0.2 *. duration; server = 1 };
+      Recover_at { at = 0.45 *. duration; server = 1 };
+      Delegate_crash_in_round { round = 3 };
+      Report_loss { probability = 0.1 };
+      Report_delay { base = 0.05; jitter = 0.1 };
+      Move_crash { nth_move = 0; role = `Src };
+      Move_crash { nth_move = 3; role = `Dst };
+      Disk_stall_at
+        { at = 0.6 *. duration; factor = 4.0; duration = 0.05 *. duration };
+    ]
+
+let seed t = t.seed
+
+let specs t = t.specs
+
+let timeout t = t.timeout
+
+type timed =
+  | Crash of int
+  | Recover of int
+  | Delegate_crash
+  | Disk_stall of { factor : float; duration : float }
+
+let timeline t ~duration =
+  let rng = Desim.Rng.create t.seed in
+  (* One split per spec, drawn in spec order whether or not the spec
+     is a hazard: adding an unrelated spec never perturbs the draws an
+     existing hazard sees through reordering alone. *)
+  let events =
+    List.concat_map
+      (fun spec ->
+        let r = Desim.Rng.split rng in
+        match spec with
+        | Crash_at { at; server } when at < duration ->
+          [ (at, Crash server) ]
+        | Recover_at { at; server } when at < duration ->
+          [ (at, Recover server) ]
+        | Delegate_crash_at { at } when at < duration ->
+          [ (at, Delegate_crash) ]
+        | Disk_stall_at { at; factor; duration = d } when at < duration ->
+          [ (at, Disk_stall { factor; duration = d }) ]
+        | Crash_hazard { server; mttf; mttr } ->
+          let rec cycle now acc =
+            let down_at = now +. Desim.Rng.exponential r ~mean:mttf in
+            if down_at >= duration then List.rev acc
+            else
+              let up_at = down_at +. Desim.Rng.exponential r ~mean:mttr in
+              let acc = (down_at, Crash server) :: acc in
+              if up_at >= duration then List.rev acc
+              else cycle up_at ((up_at, Recover server) :: acc)
+          in
+          cycle 0.0 []
+        | Crash_at _ | Recover_at _ | Delegate_crash_at _ | Disk_stall_at _
+        | Delegate_crash_in_round _ | Report_loss _ | Report_delay _
+        | Move_crash _ ->
+          [])
+      t.specs
+  in
+  List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events
+
+let report_loss_probability t =
+  (* Independent loss layers compose: surviving them all is the
+     product of per-layer survival. *)
+  let survive =
+    List.fold_left
+      (fun acc -> function
+        | Report_loss { probability } -> acc *. (1.0 -. probability)
+        | _ -> acc)
+      1.0 t.specs
+  in
+  1.0 -. survive
+
+let report_delay t =
+  List.fold_left
+    (fun acc -> function
+      | Report_delay { base; jitter } -> Some (base, jitter) | _ -> acc)
+    None t.specs
+
+let move_crashes t =
+  List.filter_map
+    (function
+      | Move_crash { nth_move; role } -> Some (nth_move, role) | _ -> None)
+    t.specs
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let delegate_crash_rounds t =
+  List.filter_map
+    (function Delegate_crash_in_round { round } -> Some round | _ -> None)
+    t.specs
+  |> List.sort_uniq Int.compare
+
+let pp_spec ppf = function
+  | Crash_at { at; server } -> Fmt.pf ppf "crash s%d @%.3g" server at
+  | Recover_at { at; server } -> Fmt.pf ppf "recover s%d @%.3g" server at
+  | Crash_hazard { server; mttf; mttr } ->
+    Fmt.pf ppf "hazard s%d mttf=%.3g mttr=%.3g" server mttf mttr
+  | Delegate_crash_at { at } -> Fmt.pf ppf "delegate-crash @%.3g" at
+  | Delegate_crash_in_round { round } ->
+    Fmt.pf ppf "delegate-crash round %d" round
+  | Report_loss { probability } -> Fmt.pf ppf "report-loss p=%.3g" probability
+  | Report_delay { base; jitter } ->
+    Fmt.pf ppf "report-delay %.3g+U(0,%.3g)" base jitter
+  | Move_crash { nth_move; role } ->
+    Fmt.pf ppf "move-crash #%d %s" nth_move
+      (match role with `Src -> "src" | `Dst -> "dst")
+  | Disk_stall_at { at; factor; duration } ->
+    Fmt.pf ppf "disk-stall @%.3g x%.3g for %.3g" at factor duration
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>plan seed=%d@,%a@]" t.seed (Fmt.list pp_spec) t.specs

@@ -1,0 +1,93 @@
+(** Seeded, reproducible fault schedules.
+
+    A plan is pure data: a seed plus a list of fault {!spec}s.  Nothing
+    here touches a simulation — {!Injector.arm} turns a plan into
+    scheduled events against a concrete cluster.  Equal seeds and specs
+    give byte-identical fault timelines, which is what makes a chaos
+    run replayable: re-running [shdisk-sim chaos --seed N] reproduces
+    every crash, lost report and disk stall exactly. *)
+
+(** Which endpoint of a file-set move a {!spec.Move_crash} kills. *)
+type role = [ `Src | `Dst ]
+
+type spec =
+  | Crash_at of { at : float; server : int }
+      (** hard-crash [server] at virtual time [at] *)
+  | Recover_at of { at : float; server : int }
+      (** bring [server] back (empty, cold) at [at] *)
+  | Crash_hazard of { server : int; mttf : float; mttr : float }
+      (** [server] alternates exponentially distributed uptime (mean
+          [mttf]) and downtime (mean [mttr]); materialized into
+          crash/recover pairs by {!timeline} *)
+  | Delegate_crash_at of { at : float }
+      (** whichever server is the elected delegate at [at] crashes *)
+  | Delegate_crash_in_round of { round : int }
+      (** the delegate crashes in the middle of reconfiguration round
+          [round] (1-based), after reports were collected but before
+          the decision is applied — the deterministic way to exercise
+          mid-round re-election *)
+  | Report_loss of { probability : float }
+      (** each delivery attempt of a latency report is independently
+          lost with this probability *)
+  | Report_delay of { base : float; jitter : float }
+      (** delivered reports arrive after [base + U(0, jitter)]
+          seconds; a delay beyond the attempt's timeout window counts
+          as a loss and triggers a retry *)
+  | Move_crash of { nth_move : int; role : role }
+      (** when the [nth_move]-th move (0-based, counting every move
+          start) is armed, crash its [role] endpoint mid-transfer *)
+  | Disk_stall_at of { at : float; factor : float; duration : float }
+      (** shared-disk transfers take [factor] times longer during
+          [\[at, at + duration)] *)
+
+type t
+
+(** [make ~seed specs] validates and packs a plan.  [timeout]
+    (default {!Desim.Timeout.default}) governs the delegate's
+    report-collection retries.  Raises [Invalid_argument] on negative
+    times, probabilities outside [\[0, 1\]], non-positive [mttf] /
+    [mttr] / [duration], stall factors below 1, or negative move
+    indices. *)
+val make : ?timeout:Desim.Timeout.policy -> seed:int -> spec list -> t
+
+(** [default ~seed ~duration] is the stock chaos mix the CLI uses: one
+    server crash-and-recover cycle, a delegate crash, 10% report loss
+    with small delays, one mid-move crash on each endpoint role, and a
+    short 4x disk stall — all placed relative to [duration]. *)
+val default : seed:int -> duration:float -> t
+
+val seed : t -> int
+
+val specs : t -> spec list
+
+val timeout : t -> Desim.Timeout.policy
+
+(** A concrete scheduled fault, produced by {!timeline}. *)
+type timed =
+  | Crash of int
+  | Recover of int
+  | Delegate_crash
+  | Disk_stall of { factor : float; duration : float }
+
+(** [timeline t ~duration] materializes every time-driven spec into
+    [(time, fault)] pairs within [\[0, duration)], sorted by time
+    (stable: ties keep spec order).  [Crash_hazard] draws its
+    alternating up/down intervals from a generator split off the plan
+    seed, so the timeline is a pure function of the plan. *)
+val timeline : t -> duration:float -> (float * timed) list
+
+(** Combined loss probability across [Report_loss] specs (0 when
+    none). *)
+val report_loss_probability : t -> float
+
+(** The [(base, jitter)] of the last [Report_delay] spec, if any. *)
+val report_delay : t -> (float * float) option
+
+(** Armed mid-move crashes, sorted by move index. *)
+val move_crashes : t -> (int * role) list
+
+(** Rounds (1-based, sorted) in which the delegate must crash
+    mid-round. *)
+val delegate_crash_rounds : t -> int list
+
+val pp : Format.formatter -> t -> unit

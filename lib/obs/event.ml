@@ -3,6 +3,17 @@ type membership_change =
   | Recovered
   | Added of float
   | Speed_changed of float
+  | Decommissioned
+
+type fault_kind =
+  | Server_crash
+  | Server_recover
+  | Delegate_crash
+  | Report_lost of { attempt : int }
+  | Report_delayed of { delay : float }
+  | Move_interrupted of { role : string }
+  | Disk_stall_start of { factor : float; duration : float }
+  | Disk_stall_end
 
 type round_input = {
   server : int;
@@ -50,6 +61,29 @@ type t =
       checked : int;
       moved : int;
     }
+  | Fault of {
+      time : float;
+      server : int option;
+      file_set : string option;
+      fault : fault_kind;
+    }
+  | Round_degraded of {
+      time : float;
+      round : int;
+      missing : int list;
+      survivors : int;
+      skipped : bool;
+    }
+
+let fault_name = function
+  | Server_crash -> "server_crash"
+  | Server_recover -> "server_recover"
+  | Delegate_crash -> "delegate_crash"
+  | Report_lost _ -> "report_lost"
+  | Report_delayed _ -> "report_delayed"
+  | Move_interrupted _ -> "move_interrupted"
+  | Disk_stall_start _ -> "disk_stall_start"
+  | Disk_stall_end -> "disk_stall_end"
 
 let time = function
   | Request_submit { time; _ }
@@ -58,7 +92,9 @@ let time = function
   | Move_end { time; _ }
   | Delegate_round { time; _ }
   | Membership { time; _ }
-  | Rehash_round { time; _ } -> time
+  | Rehash_round { time; _ }
+  | Fault { time; _ }
+  | Round_degraded { time; _ } -> time
 
 let kind = function
   | Request_submit _ -> "request_submit"
@@ -68,6 +104,8 @@ let kind = function
   | Delegate_round _ -> "delegate_round"
   | Membership _ -> "membership"
   | Rehash_round _ -> "rehash_round"
+  | Fault _ -> "fault"
+  | Round_degraded _ -> "round_degraded"
 
 (* --- JSON encoding --- *)
 
@@ -84,6 +122,19 @@ let change_to_json = function
     Json.Obj [ ("change", Json.Str "added"); ("speed", num speed) ]
   | Speed_changed speed ->
     Json.Obj [ ("change", Json.Str "speed_changed"); ("speed", num speed) ]
+  | Decommissioned -> Json.Obj [ ("change", Json.Str "decommissioned") ]
+
+let fault_to_json f =
+  let fields =
+    match f with
+    | Server_crash | Server_recover | Delegate_crash | Disk_stall_end -> []
+    | Report_lost { attempt } -> [ ("attempt", int attempt) ]
+    | Report_delayed { delay } -> [ ("delay", num delay) ]
+    | Move_interrupted { role } -> [ ("role", Json.Str role) ]
+    | Disk_stall_start { factor; duration } ->
+      [ ("factor", num factor); ("duration", num duration) ]
+  in
+  Json.Obj (("fault", Json.Str (fault_name f)) :: fields)
 
 let input_to_json i =
   Json.Obj
@@ -148,6 +199,20 @@ let to_json e =
         ("checked", int checked);
         ("moved", int moved);
       ]
+    | Fault { time = _; server; file_set; fault } ->
+      [
+        ("server", opt_int server);
+        ( "file_set",
+          match file_set with None -> Json.Null | Some s -> Json.Str s );
+        ("fault", fault_to_json fault);
+      ]
+    | Round_degraded { time = _; round; missing; survivors; skipped } ->
+      [
+        ("round", int round);
+        ("missing", Json.List (List.map int missing));
+        ("survivors", int survivors);
+        ("skipped", Json.Bool skipped);
+      ]
   in
   Json.Obj (("type", Json.Str (kind e)) :: ("time", num (time e)) :: fields)
 
@@ -204,7 +269,30 @@ let change_of_json j =
   | "speed_changed" ->
     let* speed = field_float j "speed" in
     Ok (Speed_changed speed)
+  | "decommissioned" -> Ok Decommissioned
   | other -> Error (Printf.sprintf "unknown membership change %S" other)
+
+let fault_of_json j =
+  let* tag = field_str j "fault" in
+  match tag with
+  | "server_crash" -> Ok Server_crash
+  | "server_recover" -> Ok Server_recover
+  | "delegate_crash" -> Ok Delegate_crash
+  | "report_lost" ->
+    let* attempt = field_int j "attempt" in
+    Ok (Report_lost { attempt })
+  | "report_delayed" ->
+    let* delay = field_float j "delay" in
+    Ok (Report_delayed { delay })
+  | "move_interrupted" ->
+    let* role = field_str j "role" in
+    Ok (Move_interrupted { role })
+  | "disk_stall_start" ->
+    let* factor = field_float j "factor" in
+    let* duration = field_float j "duration" in
+    Ok (Disk_stall_start { factor; duration })
+  | "disk_stall_end" -> Ok Disk_stall_end
+  | other -> Error (Printf.sprintf "unknown fault kind %S" other)
 
 let of_json j =
   let* kind = field_str j "type" in
@@ -263,6 +351,38 @@ let of_json j =
     let* checked = field_int j "checked" in
     let* moved = field_int j "moved" in
     Ok (Rehash_round { time; trigger; checked; moved })
+  | "fault" ->
+    let* server = field_opt_int j "server" in
+    let* file_set =
+      match Json.member "file_set" j with
+      | Json.Null -> Ok None
+      | other -> (
+        match Json.to_str other with
+        | Some s -> Ok (Some s)
+        | None -> Error "invalid optional string field \"file_set\"")
+    in
+    let* fault = fault_of_json (Json.member "fault" j) in
+    Ok (Fault { time; server; file_set; fault })
+  | "round_degraded" ->
+    let* round = field_int j "round" in
+    let* missing =
+      match Json.to_list (Json.member "missing" j) with
+      | Some items ->
+        map_result
+          (fun item ->
+            match Json.to_int item with
+            | Some n -> Ok n
+            | None -> Error "invalid entry in field \"missing\"")
+          items
+      | None -> Error "missing or invalid field \"missing\""
+    in
+    let* survivors = field_int j "survivors" in
+    let* skipped =
+      match Json.member "skipped" j with
+      | Json.Bool b -> Ok b
+      | _ -> Error "missing or invalid bool field \"skipped\""
+    in
+    Ok (Round_degraded { time; round; missing; survivors; skipped })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let to_jsonl e = Json.to_string (to_json e)

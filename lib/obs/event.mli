@@ -17,6 +17,29 @@ type membership_change =
   | Recovered
   | Added of float  (** speed of the commissioned server *)
   | Speed_changed of float
+  | Decommissioned
+      (** planned removal: the server drains cleanly before going
+          away, unlike {!Failed} *)
+
+(** What a fault injector did to the run.  Every injected fault is
+    traced as one {!t.Fault} event so a chaos run's trace is a
+    complete, replayable fault log. *)
+type fault_kind =
+  | Server_crash  (** injected hard crash of a server *)
+  | Server_recover  (** injected recovery of a crashed server *)
+  | Delegate_crash
+      (** the elected delegate's process dies mid-round; its
+          divergent-tuning history is lost *)
+  | Report_lost of { attempt : int }
+      (** a server's latency report never reached the delegate *)
+  | Report_delayed of { delay : float }
+      (** the report arrived [delay] seconds late *)
+  | Move_interrupted of { role : string }
+      (** a file-set move died with the [role] (["src"] or ["dst"])
+          server; the set is orphaned, its buffered requests kept *)
+  | Disk_stall_start of { factor : float; duration : float }
+      (** shared-disk transfers slow down by [factor] *)
+  | Disk_stall_end
 
 (** One server's contribution to a delegate round: the latency window
     it reported plus the queue depth the delegate observed when
@@ -74,6 +97,26 @@ type t =
       checked : int;  (** file sets whose address was recomputed *)
       moved : int;  (** file sets whose owner changed *)
     }
+  | Fault of {
+      time : float;
+      server : int option;  (** the server the fault hit, when any *)
+      file_set : string option;  (** the file set involved, when any *)
+      fault : fault_kind;
+    }
+  | Round_degraded of {
+      time : float;
+      round : int;
+      missing : int list;  (** servers whose reports never arrived *)
+      survivors : int;  (** reports the round was computed from *)
+      skipped : bool;
+          (** true when the survivors missed quorum and the round
+              tuned nothing *)
+    }
+
+(** [fault_name k] is the snake_case name of the fault kind, e.g.
+    ["report_lost"] — the key used by fault counters and the JSON
+    encoding. *)
+val fault_name : fault_kind -> string
 
 val time : t -> float
 

@@ -178,6 +178,7 @@ let records_of_event e =
       | Event.Recovered -> "recover"
       | Event.Added _ -> "add"
       | Event.Speed_changed _ -> "set-speed"
+      | Event.Decommissioned -> "decommission"
     in
     [
       instant
@@ -192,6 +193,35 @@ let records_of_event e =
             ("trigger", Json.Str trigger);
             ("checked", Json.Num (float_of_int checked));
             ("moved", Json.Num (float_of_int moved));
+          ]
+        ();
+    ]
+  | Fault { time; server; file_set; fault } ->
+    let tid =
+      match server with Some s -> server_tid s | None -> cluster_tid
+    in
+    let args =
+      match file_set with
+      | Some fs -> [ ("file_set", Json.Str fs) ]
+      | None -> []
+    in
+    [
+      instant
+        ~name:("fault:" ^ Event.fault_name fault)
+        ~cat:"fault" ~ts:(usec time) ~tid ~args ();
+    ]
+  | Round_degraded { time; round; missing; survivors; skipped } ->
+    [
+      instant
+        ~name:(if skipped then "round-skipped" else "round-degraded")
+        ~cat:"fault" ~ts:(usec time) ~tid:cluster_tid
+        ~args:
+          [
+            ("round", Json.Num (float_of_int round));
+            ( "missing",
+              Json.List
+                (List.map (fun s -> Json.Num (float_of_int s)) missing) );
+            ("survivors", Json.Num (float_of_int survivors));
           ]
         ();
     ]

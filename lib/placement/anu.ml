@@ -193,4 +193,5 @@ let policy t =
     server_added = server_added t;
     delegate_crashed = (fun () -> forget_history t);
     regions = (fun () -> Region_map.measures t.map);
+    check = (fun () -> Region_map.check_invariants t.map);
   }

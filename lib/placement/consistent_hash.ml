@@ -74,4 +74,5 @@ let policy t =
     server_added = (fun id -> add_server t id);
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    check = Policy.no_check;
   }

@@ -167,4 +167,5 @@ let policy t =
     (* There is no delegate at all in the gossip variant. *)
     delegate_crashed = (fun () -> ());
     regions = (fun () -> Region_map.measures t.map);
+    check = (fun () -> Region_map.check_invariants t.map);
   }

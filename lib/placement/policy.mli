@@ -40,11 +40,21 @@ type t = {
       per-server region measures, in id order, for policies with
       region geometry (ANU, gossip); [\[\]] for the rest.  Must be
       cheap and side-effect free. *)
+  check : unit -> string list;
+  (** self-check: human-readable descriptions of every internal
+      invariant the policy currently violates (empty when healthy).
+      Region-geometry policies report half-occupancy and map-structure
+      breaches here; the chaos harness calls it after every round and
+      membership event.  Must be side-effect free. *)
 }
 
 (** The [regions] implementation for policies without region
     geometry. *)
 val no_regions : unit -> (Sharedfs.Server_id.t * float) list
+
+(** The [check] implementation for policies with no internal
+    invariants to verify. *)
+val no_check : unit -> string list
 
 (** [assignment_of t names] tabulates [locate] over a catalog. *)
 val assignment_of : t -> string list -> (string * Sharedfs.Server_id.t) list

@@ -250,4 +250,5 @@ let policy t =
        special handling. *)
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    check = Policy.no_check;
   }

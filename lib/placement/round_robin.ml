@@ -56,4 +56,5 @@ let policy t =
       (fun id -> t.alive <- List.sort Id.compare (id :: t.alive));
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    check = Policy.no_check;
   }

@@ -32,4 +32,5 @@ let policy t =
           Array.of_list (List.sort Id.compare (id :: Array.to_list t.alive)));
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    check = Policy.no_check;
   }

@@ -39,8 +39,28 @@ type ownership =
       src : Server_id.t option;
       dst : Server_id.t;
       pending : buffered Queue.t;
+      handle : Desim.Sim.handle;
+          (* the scheduled completion; cancelled when the move is
+             interrupted by a crash of either endpoint *)
+      flush_done_at : float;
+          (* once the clock passes this, the dirty image is safely on
+             the shared disk and a src crash no longer endangers it *)
     }
   | Orphaned of buffered Queue.t
+
+type ownership_state =
+  | State_owned of Server_id.t
+  | State_moving of { src : Server_id.t option; dst : Server_id.t;
+                      buffered : int }
+  | State_orphaned of { buffered : int }
+
+type conservation = {
+  submitted : int;
+  completed : int;
+  inflight : int;
+  buffered : int;
+  lock_waiting : int;
+}
 
 type lock_stats = {
   granted_immediately : int;
@@ -60,6 +80,8 @@ type instruments = {
   submitted : Obs.Metrics.Counter.c;
   completed_ctr : Obs.Metrics.Counter.c;
   moves : Obs.Metrics.Counter.c;
+  moves_failed : Obs.Metrics.Counter.c;
+  rebuffered : Obs.Metrics.Counter.c;  (* requests.rebuffered *)
 }
 
 type t = {
@@ -79,6 +101,18 @@ type t = {
   mutable next_tag : int;
   mutable move_log : move_record list;
   mutable moves_started : int;
+  mutable moves_failed : int;
+  mutable rebuffered : int;
+  mutable submitted_n : int;
+  mutable completed_n : int;
+  mutable on_move_start :
+    (file_set:string ->
+    src:Server_id.t option ->
+    dst:Server_id.t ->
+    flush_seconds:float ->
+    init_seconds:float ->
+    unit)
+    option;
   obs : Obs.Ctx.t;
   instruments : instruments option;
 }
@@ -97,6 +131,8 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
           submitted = Obs.Metrics.counter m "requests.submitted";
           completed_ctr = Obs.Metrics.counter m "requests.completed";
           moves = Obs.Metrics.counter m "moves.started";
+          moves_failed = Obs.Metrics.counter m "moves.failed";
+          rebuffered = Obs.Metrics.counter m "requests.rebuffered";
         })
       (Obs.Ctx.metrics obs)
   in
@@ -119,6 +155,11 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       next_tag = 0;
       move_log = [];
       moves_started = 0;
+      moves_failed = 0;
+      rebuffered = 0;
+      submitted_n = 0;
+      completed_n = 0;
+      on_move_start = None;
       obs;
       instruments;
     }
@@ -139,6 +180,8 @@ let sim t = t.sim
 let obs t = t.obs
 
 let catalog t = t.catalog
+
+let disk t = t.disk
 
 let server t id =
   match Hashtbl.find_opt t.servers id with
@@ -285,9 +328,17 @@ let deliver t id b =
 
 let submit t ~base_demand req ~on_complete =
   let name = req.Request.file_set in
+  (* Wrap the completion so the conservation counters see every exit
+     path — direct completion, deferred lock grant, replay after a
+     move or a crash — exactly once. *)
+  let on_complete ~latency =
+    t.completed_n <- t.completed_n + 1;
+    on_complete ~latency
+  in
   let b =
     { req; base_demand; arrival = Desim.Sim.now t.sim; on_complete }
   in
+  t.submitted_n <- t.submitted_n + 1;
   (match t.instruments with
   | None -> ()
   | Some i -> Obs.Metrics.Counter.incr i.submitted);
@@ -394,30 +445,57 @@ let move t ~file_set ~dst =
     in
     let init_seconds = init_seconds t file_set in
     let pending = Queue.create () in
-    Hashtbl.replace t.ownership file_set
-      (Moving { src = Some src; dst; pending });
-    record_move t ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds;
-    let (_ : Desim.Sim.handle) =
+    let handle =
       Desim.Sim.schedule t.sim ~delay:(flush_seconds +. init_seconds)
         (fun () -> complete_move t ~file_set ~dst pending)
     in
-    ()
+    Hashtbl.replace t.ownership file_set
+      (Moving
+         {
+           src = Some src;
+           dst;
+           pending;
+           handle;
+           flush_done_at = Desim.Sim.now t.sim +. flush_seconds;
+         });
+    record_move t ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds;
+    Option.iter
+      (fun f ->
+        f ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds)
+      t.on_move_start
   | Some (Orphaned pending) ->
     let init_seconds =
       t.move_cfg.recovery_fixed +. init_seconds t file_set
     in
-    Hashtbl.replace t.ownership file_set (Moving { src = None; dst; pending });
-    record_move t ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds;
-    let (_ : Desim.Sim.handle) =
+    let handle =
       Desim.Sim.schedule t.sim ~delay:init_seconds (fun () ->
           complete_move t ~file_set ~dst pending)
     in
-    ()
+    (* No flush phase: the image is already on the shared disk, so
+       only a dst crash can interrupt the adoption. *)
+    Hashtbl.replace t.ownership file_set
+      (Moving
+         {
+           src = None;
+           dst;
+           pending;
+           handle;
+           flush_done_at = Desim.Sim.now t.sim;
+         });
+    record_move t ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds;
+    Option.iter
+      (fun f ->
+        f ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds)
+      t.on_move_start
 
 let fail_server t id =
   let failed_server = server t id in
-  if Server.failed failed_server then []
+  if Server.failed failed_server then
+    (* Contract: failing a dead server is an explicit no-op — chaos
+       schedules can double-fire without corrupting ownership. *)
+    []
   else begin
+    let now = Desim.Sim.now t.sim in
     let interrupted_tags = Server.fail failed_server in
     let interrupted =
       List.filter_map
@@ -435,18 +513,68 @@ let fail_server t id =
     List.iter
       (fun name -> Hashtbl.replace t.ownership name (Orphaned (Queue.create ())))
       orphaned;
+    (* A crash also kills every move the server was an endpoint of: a
+       dead destination can never initialize the set, and a dead
+       source mid-flush leaves an incomplete image on the shared disk.
+       Cancel the completion, orphan the set (keeping its buffered
+       requests — recovery replays them), and report it for
+       re-placement alongside the owned sets. *)
+    let dead_moves =
+      Hashtbl.fold
+        (fun name o acc ->
+          match o with
+          | Moving { src; dst; pending; handle; flush_done_at } ->
+            let src_died =
+              match src with
+              | Some s -> Server_id.equal s id && now < flush_done_at
+              | None -> false
+            in
+            if src_died then (name, pending, handle, "src") :: acc
+            else if Server_id.equal dst id then
+              (name, pending, handle, "dst") :: acc
+            else acc
+          | Owned _ | Orphaned _ -> acc)
+        t.ownership []
+      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+    in
+    List.iter
+      (fun (name, pending, handle, role) ->
+        Desim.Sim.cancel t.sim handle;
+        Hashtbl.replace t.ownership name (Orphaned pending);
+        t.moves_failed <- t.moves_failed + 1;
+        (match t.instruments with
+        | None -> ()
+        | Some i -> Obs.Metrics.Counter.incr i.moves_failed);
+        if Obs.Ctx.tracing t.obs then
+          Obs.Ctx.emit t.obs
+            (Obs.Event.Fault
+               {
+                 time = now;
+                 server = Some (Server_id.to_int id);
+                 file_set = Some name;
+                 fault = Obs.Event.Move_interrupted { role };
+               }))
+      dead_moves;
     List.iter
       (fun b ->
+        t.rebuffered <- t.rebuffered + 1;
+        (match t.instruments with
+        | None -> ()
+        | Some i -> Obs.Metrics.Counter.incr i.rebuffered);
         match Hashtbl.find_opt t.ownership b.req.Request.file_set with
         | Some (Orphaned q) -> Queue.add b q
         | Some (Moving { pending; _ }) -> Queue.add b pending
         | Some (Owned owner) -> deliver t owner b
         | None -> ())
       interrupted;
-    orphaned
+    List.sort_uniq String.compare
+      (orphaned @ List.map (fun (name, _, _, _) -> name) dead_moves)
   end
 
-let recover_server t id = Server.recover (server t id)
+let recover_server t id =
+  let s = server t id in
+  (* Contract: recovering an alive server is an explicit no-op. *)
+  if Server.failed s then Server.recover s
 
 let add_server t id ~speed =
   if Hashtbl.mem t.servers id then
@@ -465,6 +593,14 @@ let moves t = List.rev t.move_log
 
 let moves_started t = t.moves_started
 
+let moves_failed t = t.moves_failed
+
+let requests_rebuffered t = t.rebuffered
+
+let set_on_move_start t f = t.on_move_start <- Some f
+
+let mem_server t id = Hashtbl.mem t.servers id
+
 let pending_requests t =
   Hashtbl.fold
     (fun _ o acc ->
@@ -473,3 +609,27 @@ let pending_requests t =
       | Moving { pending; _ } -> acc + Queue.length pending
       | Orphaned pending -> acc + Queue.length pending)
     t.ownership 0
+
+let ownership_states t =
+  Hashtbl.fold
+    (fun name o acc ->
+      let state =
+        match o with
+        | Owned id -> State_owned id
+        | Moving { src; dst; pending; _ } ->
+          State_moving { src; dst; buffered = Queue.length pending }
+        | Orphaned pending ->
+          State_orphaned { buffered = Queue.length pending }
+      in
+      (name, state) :: acc)
+    t.ownership []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let conservation t =
+  {
+    submitted = t.submitted_n;
+    completed = t.completed_n;
+    inflight = Hashtbl.length t.inflight;
+    buffered = pending_requests t;
+    lock_waiting = Hashtbl.length t.waiting_grants;
+  }

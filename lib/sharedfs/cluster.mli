@@ -42,6 +42,26 @@ type lock_stats = {
   leases_expired : int;  (** holds reclaimed by lease timeout *)
 }
 
+(** Where one file set currently lives, for invariant checkers: owned
+    by a server, in transit, or orphaned awaiting adoption. *)
+type ownership_state =
+  | State_owned of Server_id.t
+  | State_moving of { src : Server_id.t option; dst : Server_id.t;
+                      buffered : int }
+  | State_orphaned of { buffered : int }
+
+(** The request-conservation ledger: at every instant
+    [submitted = completed + inflight + buffered + lock_waiting] must
+    hold — a request is done, at a server, queued behind a move or an
+    orphan, or parked on a lock grant, and never anywhere else. *)
+type conservation = {
+  submitted : int;
+  completed : int;
+  inflight : int;  (** delivered to a server, not yet completed *)
+  buffered : int;  (** queued behind in-transit or orphaned sets *)
+  lock_waiting : int;  (** completions deferred on a lock grant *)
+}
+
 type t
 
 (** [lease_duration] bounds every lock hold: a grant not released
@@ -74,6 +94,10 @@ val sim : t -> Desim.Sim.t
 val obs : t -> Obs.Ctx.t
 
 val catalog : t -> File_set.Catalog.t
+
+(** [disk t] is the shared disk all servers sit on (the fault injector
+    stalls it through this). *)
+val disk : t -> Shared_disk.t
 
 val server : t -> Server_id.t -> Server.t
 
@@ -122,20 +146,68 @@ val lock_stats : t -> lock_stats
 val move : t -> file_set:string -> dst:Server_id.t -> unit
 
 (** [fail_server t id] crashes a server: interrupted and queued
-    requests are re-buffered, its file sets become orphaned.  Returns
-    the orphaned file-set names (the policy must re-place them). *)
+    requests are re-buffered ([requests.rebuffered]), its file sets
+    become orphaned, and every in-flight move the server was an
+    endpoint of dies with it ([moves.failed]) — a dead destination, or
+    a dead source whose flush had not finished, orphans the moving set
+    with its buffered requests intact; adoption later pays the
+    recovery cost.  Returns the sorted names of every file set that
+    now needs re-placement (owned sets plus interrupted moves).
+
+    Contract: failing an already-failed server is an explicit no-op
+    returning [[]], so fault schedules may double-fire safely.  Raises
+    [Invalid_argument] only for a server id that never existed. *)
 val fail_server : t -> Server_id.t -> string list
 
-(** [recover_server t id] brings a failed server back (empty, cold). *)
+(** [recover_server t id] brings a failed server back (empty, cold).
+
+    Contract: recovering an alive server is an explicit no-op.  Raises
+    [Invalid_argument] only for a server id that never existed. *)
 val recover_server : t -> Server_id.t -> unit
 
 (** [add_server t id ~speed] commissions a new, empty server. *)
 val add_server : t -> Server_id.t -> speed:float -> unit
 
+(** [mem_server t id] reports whether the server id exists at all
+    (alive or failed). *)
+val mem_server : t -> Server_id.t -> bool
+
 val moves : t -> move_record list
 
 val moves_started : t -> int
 
+(** [moves_failed t] counts moves interrupted by a crash of either
+    endpoint (also the [moves.failed] counter). *)
+val moves_failed : t -> int
+
+(** [requests_rebuffered t] counts in-flight requests re-queued after
+    their server crashed (also the [requests.rebuffered] counter). *)
+val requests_rebuffered : t -> int
+
+(** [set_on_move_start t f] installs a hook called whenever a move is
+    armed (at most one; a second call replaces the first).  The fault
+    injector uses it to target mid-move crashes.  The hook runs with
+    the move already scheduled; callbacks that mutate the cluster must
+    go through the simulator ([Desim.Sim.schedule]), never
+    synchronously. *)
+val set_on_move_start :
+  t ->
+  (file_set:string ->
+  src:Server_id.t option ->
+  dst:Server_id.t ->
+  flush_seconds:float ->
+  init_seconds:float ->
+  unit) ->
+  unit
+
 (** [pending_requests t] counts requests buffered behind in-transit or
     orphaned file sets; zero in steady state. *)
 val pending_requests : t -> int
+
+(** [ownership_states t] lists every file set's current placement
+    state, sorted by name — the single-ownership oracle. *)
+val ownership_states : t -> (string * ownership_state) list
+
+(** [conservation t] is the current request ledger (see
+    {!conservation}). *)
+val conservation : t -> conservation

@@ -19,6 +19,79 @@ let collect cluster =
            report = Server.take_report s;
          })
 
+type round_outcome =
+  | Round_complete of server_report list
+  | Round_degraded of {
+      reports : server_report list;
+      missing : Server_id.t list;
+    }
+  | Round_skipped of { missing : Server_id.t list }
+
+let quorum ~alive = (alive / 2) + 1
+
+let collect_async cluster ~timeout ~fate ~k =
+  Desim.Timeout.validate timeout;
+  let sim = Cluster.sim cluster in
+  (* Snapshot every alive server's window once.  A lost report is
+     retransmitted from this snapshot — the protocol stays stateless
+     on the delegate side, the server just resends what it measured. *)
+  let reports = collect cluster in
+  let attempts = Desim.Timeout.attempts timeout in
+  (* For each server, walk the retry schedule: attempt [i] goes out at
+     [attempt_start i]; a reply delivered within that attempt's window
+     arrives at [attempt_start i +. d], anything later (or lost) eats
+     the window and triggers the next attempt.  The whole fate is
+     decided up front so one round costs one pass of RNG draws —
+     deterministic and replayable. *)
+  let fates =
+    List.map
+      (fun r ->
+        let rec probe i =
+          if i >= attempts then `Missing
+          else
+            let window =
+              timeout.Desim.Timeout.timeout
+              *. (timeout.Desim.Timeout.backoff ** float_of_int i)
+            in
+            match fate ~server:r.server ~attempt:i with
+            | `Deliver d when d <= window ->
+              `Arrives (Desim.Timeout.attempt_start timeout i +. d)
+            | `Deliver _ | `Lost -> probe (i + 1)
+        in
+        (r, probe 0))
+      reports
+  in
+  let arrived =
+    List.filter_map
+      (fun (r, f) -> match f with `Arrives at -> Some (r, at) | `Missing -> None)
+      fates
+  in
+  let missing =
+    List.filter_map
+      (fun (r, f) -> match f with `Missing -> Some r.server | `Arrives _ -> None)
+      fates
+  in
+  (* The delegate can close the round as soon as the last reply is in;
+     only silence makes it wait out the full deadline. *)
+  let decision_offset =
+    if missing = [] then
+      List.fold_left (fun acc (_, at) -> Float.max acc at) 0.0 arrived
+    else Desim.Timeout.deadline timeout
+  in
+  let survivors = List.map fst arrived in
+  let outcome =
+    if missing = [] then Round_complete survivors
+    else if List.length survivors >= quorum ~alive:(List.length reports)
+    then Round_degraded { reports = survivors; missing }
+    else Round_skipped { missing }
+  in
+  if decision_offset <= 0.0 then k outcome
+  else
+    let (_ : Desim.Sim.handle) =
+      Desim.Sim.schedule sim ~delay:decision_offset (fun () -> k outcome)
+    in
+    ()
+
 let mean_latency reports =
   Desim.Stat.weighted_mean
     (List.map

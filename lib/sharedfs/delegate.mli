@@ -19,8 +19,45 @@ type server_report = {
 val elect : alive:Server_id.t list -> Server_id.t option
 
 (** [collect cluster] gathers and resets each alive server's current
-    latency window, in id order. *)
+    latency window, in id order.  This is the fault-free fast path;
+    under fault injection use {!collect_async}. *)
 val collect : Cluster.t -> server_report list
+
+(** What one reconfiguration round managed to gather once reports can
+    be lost or delayed. *)
+type round_outcome =
+  | Round_complete of server_report list
+      (** every alive server reported *)
+  | Round_degraded of {
+      reports : server_report list;  (** the quorum that made it *)
+      missing : Server_id.t list;
+    }
+      (** some reports never arrived but a quorum did: the round
+          averages over survivors only *)
+  | Round_skipped of { missing : Server_id.t list }
+      (** below quorum: tuning on so little data would be tuning on
+          garbage, so the round decides nothing *)
+
+(** [quorum ~alive] is the strict majority [(alive / 2) + 1]. *)
+val quorum : alive:int -> int
+
+(** [collect_async cluster ~timeout ~fate ~k] runs one report round
+    over an unreliable channel.  Each alive server's window is
+    snapshotted immediately (lost deliveries are retransmitted from
+    the snapshot); [fate ~server ~attempt] decides each delivery
+    attempt — [`Lost], or [`Deliver d] arriving [d] seconds after the
+    attempt went out (a reply slower than the attempt's timeout window
+    counts as silence and triggers the retry).  Attempts follow
+    [timeout]'s exponential-backoff schedule.  [k] fires on the
+    virtual clock once the outcome is known: at the last arrival when
+    all reported, at the full {!Desim.Timeout.deadline} otherwise. *)
+val collect_async :
+  Cluster.t ->
+  timeout:Desim.Timeout.policy ->
+  fate:
+    (server:Server_id.t -> attempt:int -> [ `Deliver of float | `Lost ]) ->
+  k:(round_outcome -> unit) ->
+  unit
 
 (** [mean_latency reports] is the request-weighted mean latency across
     servers; servers that served nothing contribute nothing. *)

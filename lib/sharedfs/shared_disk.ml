@@ -5,6 +5,7 @@ type t = {
   store : (int, string) Hashtbl.t;
   mutable writes : int;
   mutable reads : int;
+  mutable stall : float;
 }
 
 let default_config =
@@ -15,13 +16,23 @@ let create ?(config = default_config) () =
     invalid_arg "Shared_disk.create: block_size must be positive";
   if config.bandwidth <= 0.0 then
     invalid_arg "Shared_disk.create: bandwidth must be positive";
-  { cfg = config; store = Hashtbl.create 1024; writes = 0; reads = 0 }
+  { cfg = config; store = Hashtbl.create 1024; writes = 0; reads = 0;
+    stall = 1.0 }
 
 let config t = t.cfg
 
+let set_stall t ~factor =
+  if factor < 1.0 then
+    invalid_arg "Shared_disk.set_stall: factor must be at least 1";
+  t.stall <- factor
+
+let clear_stall t = t.stall <- 1.0
+
+let stall_factor t = t.stall
+
 let transfer_time t ~bytes =
   if bytes < 0 then invalid_arg "Shared_disk.transfer_time: negative bytes";
-  t.cfg.op_overhead +. (float_of_int bytes /. t.cfg.bandwidth)
+  (t.cfg.op_overhead +. (float_of_int bytes /. t.cfg.bandwidth)) *. t.stall
 
 let write t ~block data =
   t.writes <- t.writes + 1;

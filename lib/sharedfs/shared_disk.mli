@@ -30,8 +30,25 @@ val write : t -> block:int -> string -> float
 val read : t -> block:int -> string option * float
 
 (** [transfer_time t ~bytes] is the time to stream [bytes] (one
-    operation's overhead plus bandwidth-limited transfer). *)
+    operation's overhead plus bandwidth-limited transfer), scaled by
+    the current stall factor. *)
 val transfer_time : t -> bytes:int -> float
+
+(** {2 Transient stalls}
+
+    A stall models a congested or degraded interconnect: every I/O
+    time is multiplied by the stall factor until the stall clears.
+    The fault injector arms and clears stalls on the virtual clock. *)
+
+(** [set_stall t ~factor] slows subsequent transfers by [factor]
+    ([>= 1.0]; raises [Invalid_argument] otherwise). *)
+val set_stall : t -> factor:float -> unit
+
+(** [clear_stall t] restores full speed. *)
+val clear_stall : t -> unit
+
+(** [stall_factor t] is the current multiplier (1.0 when healthy). *)
+val stall_factor : t -> float
 
 (** [blocks_written t] counts write operations, for tests and reports. *)
 val blocks_written : t -> int

@@ -28,4 +28,5 @@ let () =
       ("validate", Test_validate.suite);
       ("balance", Test_balance.suite);
       ("membership", Test_membership.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -119,8 +119,82 @@ let sample_events =
       { time = 900.0; server = 5; change = Obs.Event.Added 7.0 };
     Obs.Event.Membership
       { time = 950.0; server = 1; change = Obs.Event.Speed_changed 0.5 };
+    Obs.Event.Membership
+      { time = 955.0; server = 2; change = Obs.Event.Decommissioned };
     Obs.Event.Rehash_round
       { time = 960.0; trigger = "fail"; checked = 40; moved = 9 };
+    Obs.Event.Fault
+      {
+        time = 970.0;
+        server = Some 2;
+        file_set = None;
+        fault = Obs.Event.Server_crash;
+      };
+    Obs.Event.Fault
+      {
+        time = 971.0;
+        server = Some 2;
+        file_set = None;
+        fault = Obs.Event.Server_recover;
+      };
+    Obs.Event.Fault
+      {
+        time = 972.0;
+        server = None;
+        file_set = None;
+        fault = Obs.Event.Delegate_crash;
+      };
+    Obs.Event.Fault
+      {
+        time = 973.0;
+        server = Some 1;
+        file_set = None;
+        fault = Obs.Event.Report_lost { attempt = 2 };
+      };
+    Obs.Event.Fault
+      {
+        time = 974.0;
+        server = Some 1;
+        file_set = None;
+        fault = Obs.Event.Report_delayed { delay = 0.25 };
+      };
+    Obs.Event.Fault
+      {
+        time = 975.0;
+        server = Some 3;
+        file_set = Some "fs-004";
+        fault = Obs.Event.Move_interrupted { role = "src" };
+      };
+    Obs.Event.Fault
+      {
+        time = 976.0;
+        server = None;
+        file_set = None;
+        fault = Obs.Event.Disk_stall_start { factor = 4.0; duration = 30.0 };
+      };
+    Obs.Event.Fault
+      {
+        time = 977.0;
+        server = None;
+        file_set = None;
+        fault = Obs.Event.Disk_stall_end;
+      };
+    Obs.Event.Round_degraded
+      {
+        time = 980.0;
+        round = 8;
+        missing = [ 1; 3 ];
+        survivors = 3;
+        skipped = false;
+      };
+    Obs.Event.Round_degraded
+      {
+        time = 990.0;
+        round = 9;
+        missing = [ 0; 1; 2 ];
+        survivors = 0;
+        skipped = true;
+      };
   ]
 
 let test_event_jsonl_round_trip () =
@@ -134,8 +208,8 @@ let test_event_jsonl_round_trip () =
 
 let test_event_kinds_distinct () =
   let kinds = List.sort_uniq compare (List.map Obs.Event.kind sample_events) in
-  (* Seven variants in the taxonomy. *)
-  check_int "all seven kinds exercised" 7 (List.length kinds);
+  (* Nine variants in the taxonomy. *)
+  check_int "all nine kinds exercised" 9 (List.length kinds);
   List.iter
     (fun e ->
       let json = Obs.Event.to_json e in
