@@ -294,8 +294,99 @@ let run_perf args =
   in
   Format.printf "perf: addressing sweep...@.";
   let addressing = Perf_json.addressing_sweep () in
-  let snapshot = { Perf_json.quick; jobs; figures; micros; addressing } in
+  let snapshot =
+    {
+      Perf_json.quick;
+      jobs;
+      figures;
+      micros;
+      addressing;
+      peak_rss_kb = Perf_json.probe_peak_rss_kb ();
+    }
+  in
   Perf_json.save snapshot ~path;
+  Format.printf "wrote %s@." path
+
+(* Streaming scale benchmark: one ANU run of the figure-6 workload at
+   an arbitrary request count, through either the constant-memory
+   stream driver (default) or the materialize-first adapter
+   (--materialized, the pre-streaming memory profile).  Writes the
+   same snapshot schema as `perf`, so `compare` diffs the two. *)
+let run_stream_bench args =
+  let requests = ref 10_000_000 in
+  let materialized = ref false in
+  let out = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--requests" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some r when r >= 1 -> requests := r
+      | _ ->
+        fail_usage "stream: --requests expects a positive integer, got %s" n);
+      parse rest
+    | "--materialized" :: rest ->
+      materialized := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := Some path;
+      parse rest
+    | ("--requests" | "--out") :: [] ->
+      fail_usage "stream: missing value after final option"
+    | arg :: _ -> fail_usage "stream: unknown argument %s" arg
+  in
+  parse args;
+  let requests = !requests in
+  let materialized = !materialized in
+  let path =
+    match !out with
+    | Some p -> p
+    | None ->
+      Printf.sprintf "BENCH_stream_%s.json"
+        (if materialized then "before" else "after")
+  in
+  Format.printf "stream: %d requests, %s driver...@." requests
+    (if materialized then "materialized" else "streaming");
+  let anu = Experiments.Scenario.Anu Placement.Anu.default_config in
+  let t0 = Desim.Clock.now_ns () in
+  let result =
+    if materialized then begin
+      let trace =
+        Workload.Stream.to_trace (Experiments.Figures.dfs_stream ~requests)
+      in
+      Experiments.Runner.run Experiments.Scenario.default anu ~trace ()
+    end
+    else
+      Experiments.Runner.run_stream Experiments.Scenario.default anu
+        ~stream:(Experiments.Figures.dfs_stream ~requests)
+        ()
+  in
+  let wall = Desim.Clock.seconds_since t0 in
+  let figure = Perf_json.figure_metrics ~id:"fig6-stream" ~wall_seconds:wall
+      [ result ]
+  in
+  let snapshot =
+    {
+      Perf_json.quick = false;
+      jobs = 1;
+      figures = [ figure ];
+      micros = [];
+      addressing = Perf_json.addressing_sweep ();
+      peak_rss_kb = Perf_json.probe_peak_rss_kb ();
+    }
+  in
+  Perf_json.save snapshot ~path;
+  Format.printf
+    "%d requests (%d completed): %d events in %.1f s engine time (%.0f \
+     events/s), peak heap %d events, peak RSS %s@."
+    requests result.Experiments.Runner.completed
+    result.Experiments.Runner.sim_events
+    result.Experiments.Runner.sim_wall_seconds
+    (float_of_int result.Experiments.Runner.sim_events
+    /. result.Experiments.Runner.sim_wall_seconds)
+    result.Experiments.Runner.sim_peak_pending
+    (match Perf_json.probe_peak_rss_kb () with
+    | Some kb -> Printf.sprintf "%d kB" kb
+    | None -> "n/a");
   Format.printf "wrote %s@." path
 
 let run_compare args =
@@ -343,6 +434,7 @@ let run_compare args =
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | "perf" :: rest -> run_perf rest
+  | "stream" :: rest -> run_stream_bench rest
   | "compare" :: rest -> run_compare rest
   | args ->
     (* Text mode: figure/study ids with an optional --jobs N. *)

@@ -13,7 +13,13 @@
 
 module Json = Obs.Json
 
-let schema = "shdisk-perf/1"
+(* /2 adds the memory probes of the streaming driver: per-figure peak
+   event-heap occupancy and a snapshot-wide peak RSS.  /1 files load
+   fine with those fields defaulted, so committed /1 baselines keep
+   comparing. *)
+let schema = "shdisk-perf/2"
+
+let schema_v1 = "shdisk-perf/1"
 
 type figure_metrics = {
   id : string;
@@ -21,6 +27,9 @@ type figure_metrics = {
   engine_wall_seconds : float;  (* sum of per-run Sim.run_profiled walls *)
   events_fired : int;
   events_per_second : float;
+  peak_heap_events : int;
+      (* max Sim.peak_pending over the figure's runs: heap occupancy,
+         the quantity the streaming driver bounds at O(streams) *)
 }
 
 type micro_metrics = { name : string; ns_per_run : float }
@@ -38,15 +47,46 @@ type t = {
   figures : figure_metrics list;
   micros : micro_metrics list;
   addressing : addressing_metrics;
+  peak_rss_kb : int option;
+      (* VmHWM at snapshot time — whole-process high-water resident
+         set; None off Linux *)
 }
+
+(* Peak resident set (VmHWM) from /proc/self/status, in kB.  Linux
+   only; anywhere else the probe reports None and the field is simply
+   absent from the snapshot. *)
+let probe_peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              let rest = String.sub line 6 (String.length line - 6) in
+              let digits =
+                String.to_seq rest
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              int_of_string_opt digits
+            else scan ()
+        in
+        scan ())
 
 let figure_metrics ~id ~wall_seconds (results : Experiments.Runner.result list)
     =
-  let events, engine_wall =
+  let events, engine_wall, peak_heap =
     List.fold_left
-      (fun (events, wall) (r : Experiments.Runner.result) ->
-        (events + r.sim_events, wall +. r.sim_wall_seconds))
-      (0, 0.0) results
+      (fun (events, wall, peak) (r : Experiments.Runner.result) ->
+        ( events + r.sim_events,
+          wall +. r.sim_wall_seconds,
+          Stdlib.max peak r.sim_peak_pending ))
+      (0, 0.0, 0) results
   in
   {
     id;
@@ -55,6 +95,7 @@ let figure_metrics ~id ~wall_seconds (results : Experiments.Runner.result list)
     events_fired = events;
     events_per_second =
       (if engine_wall > 0.0 then float_of_int events /. engine_wall else 0.0);
+    peak_heap_events = peak_heap;
   }
 
 (* One deterministic addressing sweep: the paper cluster's five
@@ -93,6 +134,7 @@ let json_of_figure f =
       ("engine_wall_seconds", Json.Num f.engine_wall_seconds);
       ("events_fired", Json.Num (float_of_int f.events_fired));
       ("events_per_second", Json.Num f.events_per_second);
+      ("peak_heap_events", Json.Num (float_of_int f.peak_heap_events));
     ]
 
 let json_of_micro m =
@@ -100,8 +142,8 @@ let json_of_micro m =
 
 let to_json t =
   Json.Obj
-    [
-      ("schema", Json.Str schema);
+    ([
+       ("schema", Json.Str schema);
       ("quick", Json.Bool t.quick);
       ("jobs", Json.Num (float_of_int t.jobs));
       ("figures", Json.List (List.map json_of_figure t.figures));
@@ -114,7 +156,11 @@ let to_json t =
             ("probes_per_lookup", Json.Num t.addressing.probes_per_lookup);
             ("locate_ns", Json.Num t.addressing.locate_ns);
           ] );
-    ]
+     ]
+    @
+    match t.peak_rss_kb with
+    | None -> []
+    | Some kb -> [ ("peak_rss_kb", Json.Num (float_of_int kb)) ])
 
 let save t ~path =
   let oc = open_out path in
@@ -138,7 +184,7 @@ let str_field obj name =
 
 let of_json j =
   (match Json.to_str (Json.member "schema" j) with
-  | Some s when s = schema -> ()
+  | Some s when s = schema || s = schema_v1 -> ()
   | Some s -> failwith (Printf.sprintf "unsupported schema %S" s)
   | None -> failwith "not a shdisk-perf snapshot (no schema field)");
   let figures =
@@ -153,6 +199,12 @@ let of_json j =
             engine_wall_seconds = num_field f "engine_wall_seconds";
             events_fired = int_of_float (num_field f "events_fired");
             events_per_second = num_field f "events_per_second";
+            peak_heap_events =
+              (* absent from /1 snapshots; 0 keeps the comparison
+                 silent (zero baselines are skipped). *)
+              (match Json.to_float (Json.member "peak_heap_events" f) with
+              | Some x -> int_of_float x
+              | None -> 0);
           })
         items
   in
@@ -181,6 +233,8 @@ let of_json j =
     figures;
     micros;
     addressing;
+    peak_rss_kb =
+      Option.map int_of_float (Json.to_float (Json.member "peak_rss_kb" j));
   }
 
 let load ~path =
@@ -216,6 +270,9 @@ let rows t =
         (f.id ^ ".events_per_second", Higher_better, f.events_per_second);
         (f.id ^ ".engine_wall_seconds", Lower_better, f.engine_wall_seconds);
         (f.id ^ ".wall_seconds", Lower_better, f.wall_seconds);
+        ( f.id ^ ".peak_heap_events",
+          Lower_better,
+          float_of_int f.peak_heap_events );
       ])
     t.figures
   @ List.map (fun m -> ("micro." ^ m.name, Lower_better, m.ns_per_run)) t.micros
@@ -225,6 +282,10 @@ let rows t =
         t.addressing.probes_per_lookup );
       ("addressing.locate_ns", Lower_better, t.addressing.locate_ns);
     ]
+  @
+  match t.peak_rss_kb with
+  | None -> []
+  | Some kb -> [ ("peak_rss_kb", Lower_better, float_of_int kb) ]
 
 let compare_runs ~baseline ~current ~threshold =
   let current_rows = rows current in

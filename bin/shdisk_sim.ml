@@ -38,7 +38,9 @@ let verbosity_t =
 
 let list_cmd =
   let doc = "List the reproducible experiments." in
-  let run () = List.iter print_endline Experiments.Figures.all_ids in
+  let run () =
+    List.iter print_endline (Experiments.Figures.all_ids @ [ "fig6-stream" ])
+  in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 (* Observability options of `run': where to write traces and whether
@@ -124,8 +126,42 @@ let run_cmd =
              domains.  Output is bit-identical to --jobs 1; only \
              wall-clock time changes.")
   in
-  let run () id quick jobs summary csv minutes obs_opts =
-    match Experiments.Figures.by_id id with
+  let requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Scale the workload to N requests (fig6-stream only).  Offered \
+             load is held constant, so only memory and wall time change \
+             with the count.")
+  in
+  let run () id quick jobs summary csv minutes requests obs_opts =
+    let build =
+      if id = "fig6-stream" then
+        Some (fun ?obs () -> Experiments.Figures.fig6_stream ?requests ?obs ())
+      else begin
+        (match requests with
+        | Some _ ->
+          Logs.err (fun m ->
+              m "--requests applies only to fig6-stream (got %s)" id);
+          exit 1
+        | None -> ());
+        Option.map
+          (fun
+            (b :
+              ?quick:bool ->
+              ?jobs:int ->
+              ?obs:Obs.Ctx.t ->
+              unit ->
+              Experiments.Figures.figure)
+            ?obs
+            ()
+          -> b ~quick ~jobs ?obs ())
+          (Experiments.Figures.by_id id)
+      end
+    in
+    match build with
     | None ->
       Logs.err (fun m -> m "unknown experiment %s; try `shdisk-sim list'" id);
       exit 1
@@ -139,7 +175,7 @@ let run_cmd =
       let figure =
         Fun.protect
           ~finally:(fun () -> Option.iter Obs.Ctx.close ctx)
-          (fun () -> build ~quick ~jobs ?obs:ctx ())
+          (fun () -> build ?obs:ctx ())
       in
       if summary then
         Format.printf "%a@." Experiments.Report.pp_summary figure
@@ -176,7 +212,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ verbosity_t $ id $ quick $ jobs $ summary $ csv $ minutes
-      $ obs_options_t)
+      $ requests $ obs_options_t)
 
 let trace_cmd =
   let doc = "Generate a workload trace file." in

@@ -78,7 +78,7 @@ let () =
         Desim.Sim.schedule_at sim ~time:at (fun () ->
             let reports = Sharedfs.Delegate.collect cluster in
             Placement.Anu.rebalance anu
-              { Placement.Policy.time = at; reports; future_demand = [] };
+              { Placement.Policy.time = at; reports; future_demand = lazy [] };
             List.iter
               (fun name ->
                 let want = Placement.Anu.locate anu name in

@@ -60,7 +60,7 @@ let () =
           })
         servers
     in
-    { Placement.Policy.time = 0.0; reports; future_demand = [] }
+    { Placement.Policy.time = 0.0; reports; future_demand = lazy [] }
   in
 
   Format.printf

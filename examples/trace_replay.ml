@@ -66,14 +66,15 @@ let () =
 
   (* 4. Locks travel with the file set. *)
   let lm_src = Sharedfs.Lock_manager.create () in
-  let key = { Sharedfs.Lock_manager.file_set = "projects"; ino = 101 } in
+  (* "projects" interns to id 0 in this two-set catalog. *)
+  let key = { Sharedfs.Lock_manager.fs = 0; ino = 101 } in
   ignore
     (Sharedfs.Lock_manager.acquire lm_src ~key ~client:1
        ~mode:Sharedfs.Lock_manager.Shared);
   ignore
     (Sharedfs.Lock_manager.acquire lm_src ~key ~client:2
        ~mode:Sharedfs.Lock_manager.Exclusive);
-  let state = Sharedfs.Lock_manager.export lm_src ~file_set:"projects" in
+  let state = Sharedfs.Lock_manager.export lm_src ~fs:0 in
   let lm_dst = Sharedfs.Lock_manager.create () in
   Sharedfs.Lock_manager.import lm_dst state;
   Format.printf

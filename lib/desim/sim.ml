@@ -5,6 +5,7 @@ type t = {
   heap : event Event_heap.t;
   mutable fired : int;
   mutable live_count : int;
+  mutable peak_live : int;
   mutable processes : int;
   mutable on_event : (float -> unit) option;
 }
@@ -19,6 +20,7 @@ let create () =
     heap = Event_heap.create ();
     fired = 0;
     live_count = 0;
+    peak_live = 0;
     processes = 0;
     on_event = None;
   }
@@ -27,11 +29,14 @@ let now t = t.clock
 
 let pending t = t.live_count
 
+let peak_pending t = t.peak_live
+
 let schedule_at t ~time f =
   if time < t.clock then raise (Past_event { now = t.clock; requested = time });
   let ev = { action = f; live = true } in
   let (_ : int) = Event_heap.add t.heap ~time ev in
   t.live_count <- t.live_count + 1;
+  if t.live_count > t.peak_live then t.peak_live <- t.live_count;
   ev
 
 let schedule t ~delay f = schedule_at t ~time:(t.clock +. delay) f

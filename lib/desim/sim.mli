@@ -22,6 +22,12 @@ val now : t -> float
 (** [pending t] is the number of events not yet fired or cancelled. *)
 val pending : t -> int
 
+(** [peak_pending t] is the high-water mark of {!pending} over the
+    simulator's lifetime — the memory-relevant heap occupancy.  A
+    streaming driver keeps this O(streams + inflight) regardless of how
+    many requests flow through. *)
+val peak_pending : t -> int
+
 (** [schedule_at t ~time f] runs [f ()] when the clock reaches [time].
     Raises {!Past_event} if [time] is before {!now}. *)
 val schedule_at : t -> time:float -> (unit -> unit) -> handle

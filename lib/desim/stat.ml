@@ -118,6 +118,87 @@ module Histogram = struct
         t.lo +. ((t.hi -. t.lo) *. float_of_int i /. float_of_int n))
 end
 
+module Quantile = struct
+  type t = {
+    lo : float;
+    log_lo : float;
+    log_ratio : float;
+    bins : int array;
+    mutable underflow : int;
+    mutable overflow : int;
+    mutable count : int;
+    mutable min_seen : float;
+    mutable max_seen : float;
+  }
+
+  (* lo 1us, 2% geometric bins: 1400 bins reach past 1e6 seconds, so
+     any plausible latency lands in a bin rather than the overflow
+     counter. *)
+  let create ?(lo = 1e-6) ?(ratio = 1.02) ?(bins = 1400) () =
+    if lo <= 0.0 then invalid_arg "Stat.Quantile.create: lo must be > 0";
+    if ratio <= 1.0 then invalid_arg "Stat.Quantile.create: ratio must be > 1";
+    if bins <= 0 then invalid_arg "Stat.Quantile.create: bins must be > 0";
+    {
+      lo;
+      log_lo = Float.log lo;
+      log_ratio = Float.log ratio;
+      bins = Array.make bins 0;
+      underflow = 0;
+      overflow = 0;
+      count = 0;
+      min_seen = Float.infinity;
+      max_seen = Float.neg_infinity;
+    }
+
+  let add t x =
+    t.count <- t.count + 1;
+    if x < t.min_seen then t.min_seen <- x;
+    if x > t.max_seen then t.max_seen <- x;
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else begin
+      let idx = int_of_float ((Float.log x -. t.log_lo) /. t.log_ratio) in
+      let n = Array.length t.bins in
+      if idx >= n then t.overflow <- t.overflow + 1
+      else t.bins.(idx) <- t.bins.(idx) + 1
+    end
+
+  let count t = t.count
+
+  let min_value t = t.min_seen
+
+  let max_value t = t.max_seen
+
+  let percentile t p =
+    if t.count = 0 then invalid_arg "Stat.Quantile.percentile: empty";
+    if p < 0.0 || p > 100.0 then
+      invalid_arg "Stat.Quantile.percentile: p out of [0, 100]";
+    (* Smallest bin whose cumulative count reaches the rank; report its
+       geometric midpoint, clamped by the exact extremes. *)
+    let rank =
+      Stdlib.max 1
+        (int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count)))
+    in
+    if rank <= t.underflow then t.min_seen
+    else begin
+      let cum = ref t.underflow in
+      let n = Array.length t.bins in
+      let result = ref t.max_seen in
+      (try
+         for i = 0 to n - 1 do
+           cum := !cum + t.bins.(i);
+           if !cum >= rank then begin
+             let mid =
+               Float.exp (t.log_lo +. ((float_of_int i +. 0.5) *. t.log_ratio))
+             in
+             result := Float.min t.max_seen (Float.max t.min_seen mid);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+end
+
 let weighted_mean pairs =
   let num, den =
     List.fold_left

@@ -60,6 +60,37 @@ module Histogram : sig
   val bin_edges : t -> float array
 end
 
+module Quantile : sig
+  (** Constant-memory streaming quantile estimator over geometric
+      (log-spaced) bins.  Values land in the bin whose edges bracket
+      them, so a percentile is answered to within the bin ratio
+      (default 2% relative error); exact min and max are tracked on the
+      side.  Built for the streaming driver, where retaining millions
+      of latencies for an exact percentile would defeat bounded
+      memory. *)
+
+  type t
+
+  (** [create ?lo ?ratio ?bins ()] covers [\[lo, lo * ratio^bins)];
+      the defaults (1e-6, 1.02, 1400) span a microsecond to over 1e6
+      seconds.  Values below [lo] count as underflow and resolve to
+      the exact minimum. *)
+  val create : ?lo:float -> ?ratio:float -> ?bins:int -> unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  val min_value : t -> float
+
+  val max_value : t -> float
+
+  (** [percentile t p] for [p] in [\[0, 100\]]: the geometric midpoint
+      of the bin holding the rank, clamped to the observed extremes.
+      Raises [Invalid_argument] when empty or [p] out of range. *)
+  val percentile : t -> float -> float
+end
+
 (** [weighted_mean pairs] of [(value, weight)]; [0.0] when total weight
     is zero. *)
 val weighted_mean : (float * float) list -> float

@@ -78,6 +78,19 @@ val failure_recovery : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> fig
 val failure_recovery_chaos :
   ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
+(** [dfs_stream ~requests] is the figure-6 workload as a pull stream
+    at an arbitrary request count: the count scales while the mean
+    demand scales inversely, holding offered load at the figure's
+    calibrated level.  The backbone of the constant-memory scale runs
+    ([shdisk-sim run fig6-stream --requests 10000000]). *)
+val dfs_stream : requests:int -> Workload.Stream.t
+
+(** One ANU run of [dfs_stream] through {!Runner.run_stream} — the
+    constant-memory scale demonstration.  [requests] defaults to the
+    figure-6 count.  Not part of {!all_ids} (its signature differs);
+    the CLI dispatches to it by the id ["fig6-stream"]. *)
+val fig6_stream : ?requests:int -> ?obs:Obs.Ctx.t -> unit -> figure
+
 val all_ids : string list
 
 (** [by_id id] looks an experiment up by identifier ("fig6" ...). *)

@@ -32,6 +32,7 @@ type result = {
   reconfig_rounds : int;
   sim_events : int;
   sim_wall_seconds : float;
+  sim_peak_pending : int;
   metrics : Obs.Metrics.snapshot option;
   violations : (float * string) list;
 }
@@ -50,9 +51,9 @@ let reconcile cluster policy names =
         moved + 1)
     0 names
 
-let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null) ?faults
-    ?check_invariants ?invariant_extra ?on_sim_created ?on_request_complete
-    () =
+let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
+    ?faults ?check_invariants ?invariant_extra ?on_sim_created
+    ?on_request_complete () =
   (* One figure runs several simulations, possibly concurrently (one
      per domain): derive a per-run context with a fresh metrics
      registry so the snapshot attached to this result covers exactly
@@ -61,7 +62,7 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null) ?faults
   let sim = Desim.Sim.create () in
   Option.iter (fun f -> f sim) on_sim_created;
   let disk = Sharedfs.Shared_disk.create () in
-  let names = Workload.Trace.file_sets trace in
+  let names = Workload.Stream.file_sets stream in
   let catalog = Sharedfs.File_set.Catalog.create names in
   let servers =
     List.map (fun (id, s) -> (Id.of_int id, s)) scenario.Scenario.servers
@@ -79,9 +80,13 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null) ?faults
            { time; trigger; checked = List.length names; moved })
   in
   let policy = Scenario.make_policy spec ~scenario ~file_sets:names in
-  let duration = Workload.Trace.duration trace in
+  let duration = Workload.Stream.duration stream in
   let interval = scenario.Scenario.reconfig_interval in
-  let latencies = Desim.Stat.Sample.create () in
+  (* Latency summary without retained samples: exact mean/max via
+     Welford, log-binned p95 — what keeps a 10M-request run in
+     constant memory. *)
+  let lat_moments = Desim.Welford.create () in
+  let lat_quantile = Desim.Stat.Quantile.create () in
   let completed = ref 0 in
   let reconfig_rounds = ref 0 in
   (* Chaos plumbing.  Invariants are checked after every round and
@@ -186,116 +191,195 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null) ?faults
     | None -> []
     | Some plan -> Fault.Plan.delegate_crash_rounds plan
   in
+  (* Prescient oracle: a second, independent cursor over the same
+     stream.  Each forced window sweeps the cursor across [lo, hi),
+     accumulating effective demand per file set in stream order — the
+     same additions in the same order as [Trace.window_demand], so the
+     answers are float-identical.  Rounds force windows in time order
+     (and contiguously), so one pass suffices; nothing is built unless
+     a policy actually forces the lazy (only prescient does). *)
+  let fs_names = Array.of_list names in
+  let oracle = lazy (Workload.Stream.start stream) in
+  let oracle_pending = ref None in
+  let window_acc = Array.make (Stdlib.max 1 (Array.length fs_names)) 0.0 in
+  let window_seen = Array.make (Stdlib.max 1 (Array.length fs_names)) false in
+  let future_demand ~lo ~hi =
+    lazy
+      (let cursor = Lazy.force oracle in
+       let touched = ref [] in
+       let next () =
+         match !oracle_pending with
+         | Some _ as it ->
+           oracle_pending := None;
+           it
+         | None -> cursor ()
+       in
+       let rec sweep () =
+         match next () with
+         | None -> ()
+         | Some it ->
+           if it.Workload.Stream.time >= hi then oracle_pending := Some it
+           else begin
+             (if it.Workload.Stream.time >= lo then begin
+                let fs = it.Workload.Stream.fs in
+                if not window_seen.(fs) then begin
+                  window_seen.(fs) <- true;
+                  touched := fs :: !touched
+                end;
+                window_acc.(fs) <-
+                  window_acc.(fs)
+                  +. it.Workload.Stream.demand
+                     *. Sharedfs.Request.demand_factor
+                          it.Workload.Stream.request.Sharedfs.Request.op
+              end);
+             sweep ()
+           end
+       in
+       sweep ();
+       let out =
+         List.map (fun fs -> (fs_names.(fs), window_acc.(fs))) !touched
+       in
+       List.iter
+         (fun fs ->
+           window_acc.(fs) <- 0.0;
+           window_seen.(fs) <- false)
+         !touched;
+       List.sort (fun (a, _) (b, _) -> String.compare a b) out)
+  in
   (* Time-zero delegate round: no latencies yet, but the prescient
      oracle sees the first interval and starts balanced. *)
   policy.Placement.Policy.rebalance
     {
       Placement.Policy.time = 0.0;
       reports = [];
-      future_demand = Workload.Trace.window_demand trace ~lo:0.0 ~hi:interval;
+      future_demand = future_demand ~lo:0.0 ~hi:interval;
     };
   Sharedfs.Cluster.assign_initial cluster
     (Placement.Policy.assignment_of policy names);
-  (* Schedule every arrival. *)
-  Array.iter
-    (fun r ->
-      let (_ : Desim.Sim.handle) =
-        Desim.Sim.schedule_at sim ~time:r.Workload.Trace.time (fun () ->
-            Sharedfs.Cluster.submit cluster ~base_demand:r.Workload.Trace.demand
-              r.Workload.Trace.request ~on_complete:(fun ~latency ->
-                incr completed;
-                Desim.Stat.Sample.add latencies latency;
-                Option.iter (fun f -> f r ~latency) on_request_complete))
-      in
-      ())
-    (Workload.Trace.records trace);
-  (* Delegate rounds at every interval boundary within the trace. *)
-  let rounds = int_of_float (Float.floor (duration /. interval)) in
-  for k = 1 to rounds do
-    let at = float_of_int k *. interval in
-    let apply_round ~round reports =
-      policy.Placement.Policy.rebalance
-        {
-          Placement.Policy.time = at;
-          reports;
-          future_demand =
-            Workload.Trace.window_demand trace ~lo:at ~hi:(at +. interval);
-        };
-      let moved = reconcile cluster policy names in
-      if Obs.Ctx.tracing obs then begin
-        Obs.Ctx.emit obs
-          (Sharedfs.Delegate.round_event cluster ~time:at ~round
-             ~average:(Sharedfs.Delegate.mean_latency reports)
-             ~regions:(policy.Placement.Policy.regions ())
-             reports);
-        emit_rehash ~time:at ~trigger:"delegate-round" moved
-      end;
-      check_now ()
-    in
+  (* Arrivals: a self-re-arming cursor event.  Only the next
+     not-yet-due request occupies the heap, so heap occupancy is
+     O(streams + inflight) — never O(requests). *)
+  let arrivals = Workload.Stream.start stream in
+  let submit (it : Workload.Stream.item) =
+    Sharedfs.Cluster.submit_fs cluster ~fs:it.Workload.Stream.fs
+      ~base_demand:it.Workload.Stream.demand it.Workload.Stream.request
+      ~on_complete:(fun ~latency ->
+        incr completed;
+        Desim.Welford.add lat_moments latency;
+        Desim.Stat.Quantile.add lat_quantile latency;
+        match on_request_complete with
+        | None -> ()
+        | Some f ->
+          f
+            {
+              Workload.Trace.time = it.Workload.Stream.time;
+              request = it.Workload.Stream.request;
+              demand = it.Workload.Stream.demand;
+            }
+            ~latency)
+  in
+  let rec arm_arrival (it : Workload.Stream.item) =
     let (_ : Desim.Sim.handle) =
-      Desim.Sim.schedule_at sim ~time:at (fun () ->
-          incr reconfig_rounds;
-          let round = !reconfig_rounds in
-          match injector with
-          | None ->
-            (* Fault-free fast path: synchronous collection, exactly
-               the pre-chaos behaviour (and byte-identical traces). *)
-            apply_round ~round (Sharedfs.Delegate.collect cluster)
-          | Some inj ->
-            let timeout = Fault.Plan.timeout (Option.get faults) in
-            let emit_degraded ~missing ~survivors ~skipped =
-              if Obs.Ctx.tracing obs then
-                Obs.Ctx.emit obs
-                  (Obs.Event.Round_degraded
-                     {
-                       time = at;
-                       round;
-                       missing = List.map Id.to_int missing;
-                       survivors;
-                       skipped;
-                     })
-            in
-            Sharedfs.Delegate.collect_async cluster ~timeout
-              ~fate:(fun ~server ~attempt ->
-                Fault.Injector.fate inj ~round ~server ~attempt)
-              ~k:(fun outcome ->
-                if List.mem round crash_rounds then begin
-                  (* The delegate dies after collecting but before
-                     deciding: the reports (and its divergent-tuning
-                     history) die with it, the next delegate takes
-                     over from replicated state, and this round tunes
-                     nothing.  Re-placement still runs so orphans
-                     heal. *)
-                  Fault.Injector.note_delegate_crash inj;
-                  let moved = reconcile cluster policy names in
-                  emit_rehash ~time:at ~trigger:"delegate-crash" moved;
-                  check_now ()
-                end
-                else
-                  match outcome with
-                  | Sharedfs.Delegate.Round_complete reports ->
-                    apply_round ~round reports
-                  | Sharedfs.Delegate.Round_degraded { reports; missing } ->
-                    (* A quorum reported: average over the survivors
-                       rather than wait for the dead. *)
-                    bump "rounds.degraded";
-                    emit_degraded ~missing
-                      ~survivors:(List.length reports)
-                      ~skipped:false;
-                    apply_round ~round reports
-                  | Sharedfs.Delegate.Round_skipped { missing } ->
-                    (* Below quorum: tuning on so little data would be
-                       tuning on garbage, so the round decides
-                       nothing.  Orphan healing must not wait for the
-                       next healthy round, though. *)
-                    bump "rounds.skipped";
-                    emit_degraded ~missing ~survivors:0 ~skipped:true;
-                    let moved = reconcile cluster policy names in
-                    emit_rehash ~time:at ~trigger:"round-skipped" moved;
-                    check_now ()))
+      Desim.Sim.schedule_at sim ~time:it.Workload.Stream.time (fun () ->
+          (match arrivals () with
+          | Some next -> arm_arrival next
+          | None -> ());
+          submit it)
     in
     ()
-  done;
+  in
+  (match arrivals () with Some first -> arm_arrival first | None -> ());
+  (* Delegate rounds at every interval boundary within the trace; each
+     round arms the next, so at most one round event is pending. *)
+  let rounds = int_of_float (Float.floor (duration /. interval)) in
+  let apply_round ~at ~round reports =
+    policy.Placement.Policy.rebalance
+      {
+        Placement.Policy.time = at;
+        reports;
+        future_demand = future_demand ~lo:at ~hi:(at +. interval);
+      };
+    let moved = reconcile cluster policy names in
+    if Obs.Ctx.tracing obs then begin
+      Obs.Ctx.emit obs
+        (Sharedfs.Delegate.round_event cluster ~time:at ~round
+           ~average:(Sharedfs.Delegate.mean_latency reports)
+           ~regions:(policy.Placement.Policy.regions ())
+           reports);
+      emit_rehash ~time:at ~trigger:"delegate-round" moved
+    end;
+    check_now ()
+  in
+  let rec arm_round k =
+    if k <= rounds then begin
+      let at = float_of_int k *. interval in
+      let (_ : Desim.Sim.handle) =
+        Desim.Sim.schedule_at sim ~time:at (fun () ->
+            arm_round (k + 1);
+            incr reconfig_rounds;
+            let round = !reconfig_rounds in
+            match injector with
+            | None ->
+              (* Fault-free fast path: synchronous collection, exactly
+                 the pre-chaos behaviour (and byte-identical traces). *)
+              apply_round ~at ~round (Sharedfs.Delegate.collect cluster)
+            | Some inj ->
+              let timeout = Fault.Plan.timeout (Option.get faults) in
+              let emit_degraded ~missing ~survivors ~skipped =
+                if Obs.Ctx.tracing obs then
+                  Obs.Ctx.emit obs
+                    (Obs.Event.Round_degraded
+                       {
+                         time = at;
+                         round;
+                         missing = List.map Id.to_int missing;
+                         survivors;
+                         skipped;
+                       })
+              in
+              Sharedfs.Delegate.collect_async cluster ~timeout
+                ~fate:(fun ~server ~attempt ->
+                  Fault.Injector.fate inj ~round ~server ~attempt)
+                ~k:(fun outcome ->
+                  if List.mem round crash_rounds then begin
+                    (* The delegate dies after collecting but before
+                       deciding: the reports (and its divergent-tuning
+                       history) die with it, the next delegate takes
+                       over from replicated state, and this round tunes
+                       nothing.  Re-placement still runs so orphans
+                       heal. *)
+                    Fault.Injector.note_delegate_crash inj;
+                    let moved = reconcile cluster policy names in
+                    emit_rehash ~time:at ~trigger:"delegate-crash" moved;
+                    check_now ()
+                  end
+                  else
+                    match outcome with
+                    | Sharedfs.Delegate.Round_complete reports ->
+                      apply_round ~at ~round reports
+                    | Sharedfs.Delegate.Round_degraded { reports; missing } ->
+                      (* A quorum reported: average over the survivors
+                         rather than wait for the dead. *)
+                      bump "rounds.degraded";
+                      emit_degraded ~missing
+                        ~survivors:(List.length reports)
+                        ~skipped:false;
+                      apply_round ~at ~round reports
+                    | Sharedfs.Delegate.Round_skipped { missing } ->
+                      (* Below quorum: tuning on so little data would be
+                         tuning on garbage, so the round decides
+                         nothing.  Orphan healing must not wait for the
+                         next healthy round, though. *)
+                      bump "rounds.skipped";
+                      emit_degraded ~missing ~survivors:0 ~skipped:true;
+                      let moved = reconcile cluster policy names in
+                      emit_rehash ~time:at ~trigger:"round-skipped" moved;
+                      check_now ()))
+      in
+      ()
+    end
+  in
+  arm_round 1;
   (* Scripted membership changes. *)
   List.iter
     (fun { at; action } ->
@@ -407,22 +491,29 @@ let run scenario spec ~trace ?(events = []) ?(obs = Obs.Ctx.null) ?faults
     per_server_mean;
     per_server_requests;
     utilizations;
-    overall_mean = Desim.Stat.Sample.mean latencies;
+    overall_mean = Desim.Welford.mean lat_moments;
     overall_p95 =
-      (if Desim.Stat.Sample.count latencies = 0 then 0.0
-       else Desim.Stat.Sample.percentile latencies 95.0);
+      (if Desim.Stat.Quantile.count lat_quantile = 0 then 0.0
+       else Desim.Stat.Quantile.percentile lat_quantile 95.0);
     overall_max =
-      (if Desim.Stat.Sample.count latencies = 0 then 0.0
-       else Desim.Stat.Sample.max_value latencies);
-    submitted = Workload.Trace.length trace;
+      (if Desim.Welford.count lat_moments = 0 then 0.0
+       else Desim.Welford.max_value lat_moments);
+    submitted = Workload.Stream.total stream;
     completed = !completed;
     moves = Sharedfs.Cluster.moves cluster;
     reconfig_rounds = !reconfig_rounds;
     sim_events = profile.Desim.Sim.fired;
     sim_wall_seconds = profile.Desim.Sim.wall_seconds;
+    sim_peak_pending = Desim.Sim.peak_pending sim;
     metrics = Obs.Ctx.snapshot obs;
     violations = List.rev !violations;
   }
+
+let run scenario spec ~trace ?events ?obs ?faults ?check_invariants
+    ?invariant_extra ?on_sim_created ?on_request_complete () =
+  run_stream scenario spec ~stream:(Workload.Stream.of_trace trace) ?events
+    ?obs ?faults ?check_invariants ?invariant_extra ?on_sim_created
+    ?on_request_complete ()
 
 let buckets_after result ~from_ =
   List.map

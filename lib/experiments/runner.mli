@@ -46,6 +46,9 @@ type result = {
   sim_events : int;  (** engine events fired over the whole run *)
   sim_wall_seconds : float;
       (** wall-clock seconds the engine spent firing them *)
+  sim_peak_pending : int;
+      (** high-water mark of the event heap — O(streams + inflight)
+          under the streaming driver, independent of request count *)
   metrics : Obs.Metrics.snapshot option;
       (** per-run metrics snapshot when the run's {!Obs.Ctx.t} carried
           a registry *)
@@ -55,9 +58,18 @@ type result = {
           {!run}) *)
 }
 
-(** [run scenario spec ~trace ?events ()] executes one full
-    simulation and returns the measurements.  The simulation runs past
-    the trace end until every queued request drains.
+(** [run_stream scenario spec ~stream ?events ()] executes one full
+    simulation off a pull-based {!Workload.Stream.t} and returns the
+    measurements.  The simulation runs past the stream end until every
+    queued request drains.
+
+    This is the constant-memory driver: arrivals enter the event heap
+    one at a time through a self-re-arming cursor, so heap occupancy
+    stays O(streams + inflight) no matter how many requests flow;
+    latency summaries are streaming (exact mean/max, log-binned p95 —
+    see {!Desim.Stat.Quantile}); and the prescient oracle is a second,
+    lazily-started cursor over the same stream, paid for only when a
+    policy forces [future_demand].
 
     [obs] (default {!Obs.Ctx.null}) observes the run: the cluster
     emits request and move events, the runner adds one
@@ -86,7 +98,27 @@ type result = {
     callers attach additional model components (e.g. a {!Sharedfs.San}
     data path) to the same virtual clock.  [on_request_complete] fires
     for every completed metadata request with its originating trace
-    record and client-perceived latency. *)
+    record (synthesized from the stream item) and client-perceived
+    latency. *)
+val run_stream :
+  Scenario.t ->
+  Scenario.policy_spec ->
+  stream:Workload.Stream.t ->
+  ?events:event list ->
+  ?obs:Obs.Ctx.t ->
+  ?faults:Fault.Plan.t ->
+  ?check_invariants:bool ->
+  ?invariant_extra:(unit -> string list) ->
+  ?on_sim_created:(Desim.Sim.t -> unit) ->
+  ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
+  unit ->
+  result
+
+(** [run scenario spec ~trace ?events ()] is {!run_stream} over
+    [Workload.Stream.of_trace trace] — the materialized adapter every
+    pre-streaming experiment and test goes through.  Results are
+    identical to driving the stream directly (the oracle and arrival
+    orders match record for record). *)
 val run :
   Scenario.t ->
   Scenario.policy_spec ->

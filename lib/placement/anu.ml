@@ -138,7 +138,26 @@ let rebalance t feedback =
            grant it a fraction of a partition to re-enter service. *)
         (id, Float.max (m *. factor) (t.cfg.min_region *. width))
     in
+    (* Reports can be a strict subset of the map's servers when the
+       delegate round lost some (fault injection) — a server we heard
+       nothing from holds its current region rather than crashing the
+       reconfiguration.  Reports from servers not in the map (just
+       removed) are dropped for the same reason. *)
+    let in_map = Region_map.servers t.map in
+    let reports =
+      List.filter
+        (fun (r : Sharedfs.Delegate.server_report) ->
+          List.mem r.Sharedfs.Delegate.server in_map)
+        reports
+    in
     let targets = List.map target_of reports in
+    let reported = List.map fst targets in
+    let holds =
+      List.filter
+        (fun (id, _) -> not (List.mem id reported))
+        (Region_map.measures t.map)
+    in
+    let targets = targets @ holds in
     if !changed then begin
       Region_map.scale t.map ~targets;
       t.reconfigurations <- t.reconfigurations + 1

@@ -53,7 +53,7 @@ let feedback_of_counts counts =
            })
          counts)
   in
-  { Policy.time = 0.0; reports; future_demand = [] }
+  { Policy.time = 0.0; reports; future_demand = lazy [] }
 
 let study ~servers ~file_sets ~trials ~tuning_rounds ~seed mechanism =
   if servers <= 0 || file_sets <= 0 || trials <= 0 then

@@ -1,7 +1,7 @@
 type feedback = {
   time : float;
   reports : Sharedfs.Delegate.server_report list;
-  future_demand : (string * float) list;
+  future_demand : (string * float) list Lazy.t;
 }
 
 type t = {

@@ -15,11 +15,12 @@ type feedback = {
   time : float;
   reports : Sharedfs.Delegate.server_report list;
   (** one per alive server, with the interval's latency window *)
-  future_demand : (string * float) list;
+  future_demand : (string * float) list Lazy.t;
   (** oracle: per file set, total service demand (speed-units x
       seconds) arriving during the {e next} interval.  Only the
       prescient baseline may read this; adaptive policies must ignore
-      it. *)
+      it — it is lazy precisely so that the streaming runner only pays
+      for the look-ahead cursor when a prescient policy forces it. *)
 }
 
 type t = {

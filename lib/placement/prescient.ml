@@ -162,7 +162,7 @@ let exact_assignment ~speeds ~demands =
 let adoption_hysteresis = 0.25
 
 let rebalance t feedback =
-  match feedback.Policy.future_demand with
+  match Lazy.force feedback.Policy.future_demand with
   | [] -> ()
   | window ->
     (* Fold the window into the running estimates; sets absent from

@@ -13,7 +13,10 @@ let default_config =
 
 type entry = { mutable warmth : float; mutable dirty_bytes : int }
 
-type t = { cfg : config; entries : (string, entry) Hashtbl.t }
+(* Keyed by interned file-set id: one int hash per touch instead of a
+   string hash, and [access] folds the old demand_multiplier +
+   note_request pair into a single lookup. *)
+type t = { cfg : config; entries : (int, entry) Hashtbl.t }
 
 let create ?(config = default_config) () =
   if config.warm_rate < 0.0 || config.warm_rate > 1.0 then
@@ -24,46 +27,62 @@ let create ?(config = default_config) () =
 
 let config t = t.cfg
 
-let install t ~file_set ~warmth =
-  Hashtbl.replace t.entries file_set { warmth; dirty_bytes = 0 }
+let install t ~fs ~warmth =
+  Hashtbl.replace t.entries fs { warmth; dirty_bytes = 0 }
 
-let install_cold t ~file_set = install t ~file_set ~warmth:0.0
+let install_cold t ~fs = install t ~fs ~warmth:0.0
 
-let install_warm t ~file_set = install t ~file_set ~warmth:1.0
+let install_warm t ~fs = install t ~fs ~warmth:1.0
 
-let demand_multiplier t ~file_set =
-  match Hashtbl.find_opt t.entries file_set with
+let demand_multiplier t ~fs =
+  match Hashtbl.find_opt t.entries fs with
   | None -> 1.0
   | Some e -> 1.0 +. (t.cfg.cold_penalty *. (1.0 -. e.warmth))
 
-let note_request t ~file_set ~dirties =
-  let e =
-    match Hashtbl.find_opt t.entries file_set with
-    | Some e -> e
-    | None ->
-      let e = { warmth = 0.0; dirty_bytes = 0 } in
-      Hashtbl.add t.entries file_set e;
-      e
-  in
+let touch t e ~dirties =
   e.warmth <- e.warmth +. (t.cfg.warm_rate *. (1.0 -. e.warmth));
   if dirties then e.dirty_bytes <- e.dirty_bytes + t.cfg.dirty_bytes_per_write
 
-let warmth t ~file_set =
-  match Hashtbl.find_opt t.entries file_set with
-  | None -> 0.0
-  | Some e -> e.warmth
+let access t ~fs ~dirties =
+  match Hashtbl.find_opt t.entries fs with
+  | Some e ->
+    let multiplier = 1.0 +. (t.cfg.cold_penalty *. (1.0 -. e.warmth)) in
+    touch t e ~dirties;
+    multiplier
+  | None ->
+    (* A request for a set this cache never saw installed: start cold
+       but without the cold penalty (matching the historical
+       demand_multiplier = 1.0 for unknown sets). *)
+    let e = { warmth = 0.0; dirty_bytes = 0 } in
+    Hashtbl.add t.entries fs e;
+    touch t e ~dirties;
+    1.0
 
-let dirty_bytes t ~file_set =
-  match Hashtbl.find_opt t.entries file_set with
+let note_request t ~fs ~dirties =
+  let e =
+    match Hashtbl.find_opt t.entries fs with
+    | Some e -> e
+    | None ->
+      let e = { warmth = 0.0; dirty_bytes = 0 } in
+      Hashtbl.add t.entries fs e;
+      e
+  in
+  touch t e ~dirties
+
+let warmth t ~fs =
+  match Hashtbl.find_opt t.entries fs with None -> 0.0 | Some e -> e.warmth
+
+let dirty_bytes t ~fs =
+  match Hashtbl.find_opt t.entries fs with
   | None -> 0
   | Some e -> e.dirty_bytes
 
 let total_dirty_bytes t =
   Hashtbl.fold (fun _ e acc -> acc + e.dirty_bytes) t.entries 0
 
-let evict t ~file_set =
-  let bytes = dirty_bytes t ~file_set in
-  Hashtbl.remove t.entries file_set;
+let evict t ~fs =
+  let bytes = dirty_bytes t ~fs in
+  Hashtbl.remove t.entries fs;
   bytes
 
-let resident t = Hashtbl.fold (fun name _ acc -> name :: acc) t.entries []
+let resident t = Hashtbl.fold (fun fs _ acc -> fs :: acc) t.entries []

@@ -6,7 +6,10 @@
     that "hinders performance initially".  This module models both: a
     per-file-set {e warmth} in [\[0, 1\]] that rises as requests are
     served and multiplies service demand while low, and a dirty-byte
-    counter fed by metadata writes that determines flush cost. *)
+    counter fed by metadata writes that determines flush cost.
+
+    File sets are identified by their interned dense id
+    ({!File_set.Interner}); the cache never touches names. *)
 
 type config = {
   warm_rate : float;  (** fraction of the remaining gap closed per request *)
@@ -22,31 +25,38 @@ val create : ?config:config -> unit -> t
 
 val config : t -> config
 
-(** [install_cold t ~file_set] registers a newly-acquired file set with
+(** [install_cold t ~fs] registers a newly-acquired file set with
     warmth 0 and no dirty state. *)
-val install_cold : t -> file_set:string -> unit
+val install_cold : t -> fs:int -> unit
 
-(** [install_warm t ~file_set] registers a file set already warm (used
-    for initial placement at time zero, which the paper does not charge
-    a cold start for). *)
-val install_warm : t -> file_set:string -> unit
+(** [install_warm t ~fs] registers a file set already warm (used for
+    initial placement at time zero, which the paper does not charge a
+    cold start for). *)
+val install_warm : t -> fs:int -> unit
 
-(** [demand_multiplier t ~file_set] is [1 + cold_penalty * (1 - warmth)];
+(** [demand_multiplier t ~fs] is [1 + cold_penalty * (1 - warmth)];
     [1.0] for unknown file sets. *)
-val demand_multiplier : t -> file_set:string -> float
+val demand_multiplier : t -> fs:int -> float
 
-(** [note_request t ~file_set ~dirties] warms the cache and, when
-    [dirties], accrues dirty bytes. *)
-val note_request : t -> file_set:string -> dirties:bool -> unit
+(** [access t ~fs ~dirties] is the per-request hot path: returns the
+    demand multiplier for the set's current warmth, then warms it and,
+    when [dirties], accrues dirty bytes — one table lookup for what
+    {!demand_multiplier} followed by {!note_request} did in two. *)
+val access : t -> fs:int -> dirties:bool -> float
 
-val warmth : t -> file_set:string -> float
+(** [note_request t ~fs ~dirties] warms the cache and, when [dirties],
+    accrues dirty bytes. *)
+val note_request : t -> fs:int -> dirties:bool -> unit
 
-val dirty_bytes : t -> file_set:string -> int
+val warmth : t -> fs:int -> float
+
+val dirty_bytes : t -> fs:int -> int
 
 val total_dirty_bytes : t -> int
 
-(** [evict t ~file_set] removes the file set and returns the dirty
-    bytes that must be flushed. *)
-val evict : t -> file_set:string -> int
+(** [evict t ~fs] removes the file set and returns the dirty bytes
+    that must be flushed. *)
+val evict : t -> fs:int -> int
 
-val resident : t -> string list
+(** [resident t] lists resident file-set ids (unsorted). *)
+val resident : t -> int list

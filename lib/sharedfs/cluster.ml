@@ -28,12 +28,15 @@ type move_record = {
 
 type buffered = {
   req : Request.t;
+  fs : int;  (* interned id of req.file_set; carried so replay paths
+                never re-hash the name *)
   base_demand : float;
   arrival : float;
   on_complete : latency:float -> unit;
 }
 
 type ownership =
+  | Unassigned
   | Owned of Server_id.t
   | Moving of {
       src : Server_id.t option;
@@ -88,12 +91,15 @@ type t = {
   sim : Desim.Sim.t;
   disk : Shared_disk.t;
   catalog : File_set.Catalog.t;
+  interner : File_set.Interner.t;
   move_cfg : move_config;
   cache_cfg : Cache.config option;
   lease_duration : float;
   series_interval : float;
   servers : (Server_id.t, Server.t) Hashtbl.t;
-  ownership : (string, ownership) Hashtbl.t;
+  mutable sorted_servers : Server.t list;
+      (* cached [servers] result, rebuilt only on membership change *)
+  ownership : ownership array;  (* indexed by interned file-set id *)
   inflight : (int, buffered) Hashtbl.t;
   locks : Lock_manager.t;
   waiting_grants : (Lock_manager.key * int, lock_waiter) Hashtbl.t;
@@ -117,6 +123,11 @@ type t = {
   instruments : instruments option;
 }
 
+let rebuild_sorted_servers t =
+  t.sorted_servers <-
+    Hashtbl.fold (fun _ s acc -> s :: acc) t.servers []
+    |> List.sort (fun a b -> Server_id.compare (Server.id a) (Server.id b))
+
 let create sim ~disk ~catalog ?(move_config = default_move_config)
     ?cache_config ?(lease_duration = 30.0) ~series_interval ~servers
     ?(obs = Obs.Ctx.null) () =
@@ -136,17 +147,21 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
         })
       (Obs.Ctx.metrics obs)
   in
+  let interner = File_set.Interner.of_names (File_set.Catalog.names catalog) in
   let t =
     {
       sim;
       disk;
       catalog;
+      interner;
       move_cfg = move_config;
       cache_cfg = cache_config;
       lease_duration;
       series_interval;
       servers = Hashtbl.create 16;
-      ownership = Hashtbl.create 256;
+      sorted_servers = [];
+      ownership =
+        Array.make (max 1 (File_set.Interner.size interner)) Unassigned;
       inflight = Hashtbl.create 1024;
       locks = Lock_manager.create ();
       waiting_grants = Hashtbl.create 64;
@@ -173,6 +188,7 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       in
       Hashtbl.add t.servers id server)
     servers;
+  rebuild_sorted_servers t;
   t
 
 let sim t = t.sim
@@ -180,6 +196,12 @@ let sim t = t.sim
 let obs t = t.obs
 
 let catalog t = t.catalog
+
+let interner t = t.interner
+
+let fs_id t name = File_set.Interner.id t.interner name
+
+let fs_name t fs = File_set.Interner.name t.interner fs
 
 let disk t = t.disk
 
@@ -190,41 +212,50 @@ let server t id =
     invalid_arg
       (Format.asprintf "Cluster.server: unknown %a" Server_id.pp id)
 
-let servers t =
-  Hashtbl.fold (fun _ s acc -> s :: acc) t.servers []
-  |> List.sort (fun a b -> Server_id.compare (Server.id a) (Server.id b))
+let servers t = t.sorted_servers
 
 let alive_ids t =
-  servers t |> List.filter (fun s -> not (Server.failed s)) |> List.map Server.id
+  List.filter_map
+    (fun s -> if Server.failed s then None else Some (Server.id s))
+    t.sorted_servers
+
+let owner_fs t fs =
+  match t.ownership.(fs) with
+  | Owned id -> Some id
+  | Moving _ | Orphaned _ | Unassigned -> None
 
 let owner t name =
-  match Hashtbl.find_opt t.ownership name with
-  | Some (Owned id) -> Some id
-  | Some (Moving _) | Some (Orphaned _) | None -> None
+  match File_set.Interner.find t.interner name with
+  | Some fs -> owner_fs t fs
+  | None -> None
 
 let owned_by t id =
-  Hashtbl.fold
-    (fun name o acc ->
+  let acc = ref [] in
+  Array.iteri
+    (fun fs o ->
       match o with
-      | Owned owner when Server_id.equal owner id -> name :: acc
-      | Owned _ | Moving _ | Orphaned _ -> acc)
-    t.ownership []
-  |> List.sort String.compare
+      | Owned owner when Server_id.equal owner id ->
+        acc := fs_name t fs :: !acc
+      | Owned _ | Moving _ | Orphaned _ | Unassigned -> ())
+    t.ownership;
+  List.sort String.compare !acc
 
 let assign_initial t pairs =
   List.iter
     (fun (name, id) ->
       let (_ : File_set.t) = File_set.Catalog.get t.catalog name in
-      if Hashtbl.mem t.ownership name then
-        invalid_arg ("Cluster.assign_initial: " ^ name ^ " assigned twice");
+      let fs = fs_id t name in
+      (match t.ownership.(fs) with
+      | Unassigned -> ()
+      | Owned _ | Moving _ | Orphaned _ ->
+        invalid_arg ("Cluster.assign_initial: " ^ name ^ " assigned twice"));
       let server = server t id in
-      Server.gain_file_set server ~file_set:name ~cold:false;
-      Hashtbl.add t.ownership name (Owned id))
+      Server.gain_file_set server ~fs ~cold:false;
+      t.ownership.(fs) <- Owned id)
     pairs
 
-let lock_key req =
-  { Lock_manager.file_set = req.Request.file_set;
-    ino = abs req.Request.path_hash }
+let lock_key b =
+  { Lock_manager.fs = b.fs; ino = abs b.req.Request.path_hash }
 
 (* Fire the deferred completions of clients whose queued acquisitions
    were just granted, and start their leases. *)
@@ -260,7 +291,7 @@ let complete_request t b ~latency =
   let req = b.req in
   match req.Request.op with
   | Request.Lock_acquire ->
-    let key = lock_key req in
+    let key = lock_key b in
     let client = req.Request.client in
     if List.mem_assoc client (Lock_manager.holders t.locks ~key) then
       (* Re-acquisition of a held lock: grant immediately. *)
@@ -281,7 +312,7 @@ let complete_request t b ~latency =
           { arrival = b.arrival; notify = b.on_complete }
     end
   | Request.Lock_release ->
-    let key = lock_key req in
+    let key = lock_key b in
     let client = req.Request.client in
     let was_waiting = Hashtbl.find_opt t.waiting_grants (key, client) in
     let granted = Lock_manager.release t.locks ~key ~client in
@@ -306,8 +337,8 @@ let deliver t id b =
   t.next_tag <- tag + 1;
   Hashtbl.add t.inflight tag b;
   let extra_latency = Desim.Sim.now t.sim -. b.arrival in
-  Server.submit server ~base_demand:b.base_demand ~tag ~extra_latency b.req
-    ~on_complete:(fun ~latency ->
+  Server.submit server ~fs:b.fs ~base_demand:b.base_demand ~tag ~extra_latency
+    b.req ~on_complete:(fun ~latency ->
       Hashtbl.remove t.inflight tag;
       (match t.instruments with
       | None -> ()
@@ -326,8 +357,7 @@ let deliver t id b =
              });
       complete_request t b ~latency)
 
-let submit t ~base_demand req ~on_complete =
-  let name = req.Request.file_set in
+let submit_fs t ~fs ~base_demand req ~on_complete =
   (* Wrap the completion so the conservation counters see every exit
      path — direct completion, deferred lock grant, replay after a
      move or a crash — exactly once. *)
@@ -336,7 +366,7 @@ let submit t ~base_demand req ~on_complete =
     on_complete ~latency
   in
   let b =
-    { req; base_demand; arrival = Desim.Sim.now t.sim; on_complete }
+    { req; fs; base_demand; arrival = Desim.Sim.now t.sim; on_complete }
   in
   t.submitted_n <- t.submitted_n + 1;
   (match t.instruments with
@@ -347,40 +377,48 @@ let submit t ~base_demand req ~on_complete =
       (Obs.Event.Request_submit
          {
            time = b.arrival;
-           file_set = name;
+           file_set = req.Request.file_set;
            op = Request.op_name req.Request.op;
            client = req.Request.client;
          });
-  match Hashtbl.find_opt t.ownership name with
-  | Some (Owned id) -> deliver t id b
-  | Some (Moving { pending; _ }) -> Queue.add b pending
-  | Some (Orphaned pending) -> Queue.add b pending
+  match t.ownership.(fs) with
+  | Owned id -> deliver t id b
+  | Moving { pending; _ } -> Queue.add b pending
+  | Orphaned pending -> Queue.add b pending
+  | Unassigned ->
+    failwith
+      ("Cluster.submit: file set never assigned: " ^ req.Request.file_set)
+
+let submit t ~base_demand req ~on_complete =
+  let name = req.Request.file_set in
+  match File_set.Interner.find t.interner name with
+  | Some fs -> submit_fs t ~fs ~base_demand req ~on_complete
   | None -> failwith ("Cluster.submit: file set never assigned: " ^ name)
 
-let init_seconds t file_set =
-  let fs = File_set.Catalog.get t.catalog file_set in
+let init_seconds t fs =
+  let entry = File_set.Catalog.nth t.catalog fs in
   let bytes =
     int_of_float
       (t.move_cfg.working_set_fraction
-      *. float_of_int fs.File_set.metadata_bytes)
+      *. float_of_int entry.File_set.metadata_bytes)
   in
   t.move_cfg.init_fixed +. Shared_disk.transfer_time t.disk ~bytes
 
-let complete_move t ~file_set ~dst pending =
+let complete_move t ~fs ~dst pending =
   let dst_server = server t dst in
   if Server.failed dst_server then
     (* Destination died while the set was in transit: the set is
        orphaned again and the failure handler's caller re-places it. *)
-    Hashtbl.replace t.ownership file_set (Orphaned pending)
+    t.ownership.(fs) <- Orphaned pending
   else begin
-    Server.gain_file_set dst_server ~file_set ~cold:true;
-    Hashtbl.replace t.ownership file_set (Owned dst);
+    Server.gain_file_set dst_server ~fs ~cold:true;
+    t.ownership.(fs) <- Owned dst;
     if Obs.Ctx.tracing t.obs then
       Obs.Ctx.emit t.obs
         (Obs.Event.Move_end
            {
              time = Desim.Sim.now t.sim;
-             file_set;
+             file_set = fs_name t fs;
              dst = Server_id.to_int dst;
              replayed = Queue.length pending;
            });
@@ -423,65 +461,66 @@ let record_move t ~file_set ~src ~dst ~flush_seconds ~init_seconds =
 
 let move t ~file_set ~dst =
   let (_ : File_set.t) = File_set.Catalog.get t.catalog file_set in
+  let fs = fs_id t file_set in
   let (_ : Server.t) = server t dst in
-  match Hashtbl.find_opt t.ownership file_set with
-  | None -> failwith ("Cluster.move: file set never assigned: " ^ file_set)
-  | Some (Moving _) ->
+  match t.ownership.(fs) with
+  | Unassigned ->
+    failwith ("Cluster.move: file set never assigned: " ^ file_set)
+  | Moving _ ->
     Log.debug (fun m -> m "move of %s already in flight; ignoring" file_set)
-  | Some (Owned src) when Server_id.equal src dst -> ()
-  | Some (Owned src) ->
+  | Owned src when Server_id.equal src dst -> ()
+  | Owned src ->
     let src_server = server t src in
-    let dirty = Server.shed_file_set src_server ~file_set in
+    let dirty = Server.shed_file_set src_server ~fs in
     (* The flush writes the dirty metadata image through the shared
        disk; a representative block write keeps the disk counters
        honest while the time accounts for the full dirty footprint. *)
-    let fs = File_set.Catalog.get t.catalog file_set in
     let (_ : float) =
-      Shared_disk.write t.disk ~block:(fs.File_set.id * 1_000_000)
+      Shared_disk.write t.disk ~block:(fs * 1_000_000)
         (String.make (min (max dirty 1) 4096) 'm')
     in
     let flush_seconds =
       t.move_cfg.flush_fixed +. Shared_disk.transfer_time t.disk ~bytes:dirty
     in
-    let init_seconds = init_seconds t file_set in
+    let init_seconds = init_seconds t fs in
     let pending = Queue.create () in
     let handle =
       Desim.Sim.schedule t.sim ~delay:(flush_seconds +. init_seconds)
-        (fun () -> complete_move t ~file_set ~dst pending)
+        (fun () -> complete_move t ~fs ~dst pending)
     in
-    Hashtbl.replace t.ownership file_set
-      (Moving
-         {
-           src = Some src;
-           dst;
-           pending;
-           handle;
-           flush_done_at = Desim.Sim.now t.sim +. flush_seconds;
-         });
+    t.ownership.(fs) <-
+      Moving
+        {
+          src = Some src;
+          dst;
+          pending;
+          handle;
+          flush_done_at = Desim.Sim.now t.sim +. flush_seconds;
+        };
     record_move t ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds;
     Option.iter
       (fun f ->
         f ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds)
       t.on_move_start
-  | Some (Orphaned pending) ->
+  | Orphaned pending ->
     let init_seconds =
-      t.move_cfg.recovery_fixed +. init_seconds t file_set
+      t.move_cfg.recovery_fixed +. init_seconds t fs
     in
     let handle =
       Desim.Sim.schedule t.sim ~delay:init_seconds (fun () ->
-          complete_move t ~file_set ~dst pending)
+          complete_move t ~fs ~dst pending)
     in
     (* No flush phase: the image is already on the shared disk, so
        only a dst crash can interrupt the adoption. *)
-    Hashtbl.replace t.ownership file_set
-      (Moving
-         {
-           src = None;
-           dst;
-           pending;
-           handle;
-           flush_done_at = Desim.Sim.now t.sim;
-         });
+    t.ownership.(fs) <-
+      Moving
+        {
+          src = None;
+          dst;
+          pending;
+          handle;
+          flush_done_at = Desim.Sim.now t.sim;
+        };
     record_move t ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds;
     Option.iter
       (fun f ->
@@ -509,38 +548,47 @@ let fail_server t id =
     in
     (* Orphan every file set the dead server owned, then re-buffer its
        interrupted requests behind the right orphan queues. *)
-    let orphaned = owned_by t id in
-    List.iter
-      (fun name -> Hashtbl.replace t.ownership name (Orphaned (Queue.create ())))
-      orphaned;
+    let orphaned = ref [] in
+    Array.iteri
+      (fun fs o ->
+        match o with
+        | Owned owner when Server_id.equal owner id ->
+          t.ownership.(fs) <- Orphaned (Queue.create ());
+          orphaned := fs_name t fs :: !orphaned
+        | Owned _ | Moving _ | Orphaned _ | Unassigned -> ())
+      t.ownership;
+    let orphaned = List.sort String.compare !orphaned in
     (* A crash also kills every move the server was an endpoint of: a
        dead destination can never initialize the set, and a dead
        source mid-flush leaves an incomplete image on the shared disk.
        Cancel the completion, orphan the set (keeping its buffered
        requests — recovery replays them), and report it for
        re-placement alongside the owned sets. *)
+    let dead_moves = ref [] in
+    Array.iteri
+      (fun fs o ->
+        match o with
+        | Moving { src; dst; pending; handle; flush_done_at } ->
+          let src_died =
+            match src with
+            | Some s -> Server_id.equal s id && now < flush_done_at
+            | None -> false
+          in
+          if src_died then
+            dead_moves := (fs_name t fs, fs, pending, handle, "src") :: !dead_moves
+          else if Server_id.equal dst id then
+            dead_moves := (fs_name t fs, fs, pending, handle, "dst") :: !dead_moves
+        | Owned _ | Orphaned _ | Unassigned -> ())
+      t.ownership;
     let dead_moves =
-      Hashtbl.fold
-        (fun name o acc ->
-          match o with
-          | Moving { src; dst; pending; handle; flush_done_at } ->
-            let src_died =
-              match src with
-              | Some s -> Server_id.equal s id && now < flush_done_at
-              | None -> false
-            in
-            if src_died then (name, pending, handle, "src") :: acc
-            else if Server_id.equal dst id then
-              (name, pending, handle, "dst") :: acc
-            else acc
-          | Owned _ | Orphaned _ -> acc)
-        t.ownership []
-      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+      List.sort
+        (fun (a, _, _, _, _) (b, _, _, _, _) -> String.compare a b)
+        !dead_moves
     in
     List.iter
-      (fun (name, pending, handle, role) ->
+      (fun (name, fs, pending, handle, role) ->
         Desim.Sim.cancel t.sim handle;
-        Hashtbl.replace t.ownership name (Orphaned pending);
+        t.ownership.(fs) <- Orphaned pending;
         t.moves_failed <- t.moves_failed + 1;
         (match t.instruments with
         | None -> ()
@@ -561,14 +609,14 @@ let fail_server t id =
         (match t.instruments with
         | None -> ()
         | Some i -> Obs.Metrics.Counter.incr i.rebuffered);
-        match Hashtbl.find_opt t.ownership b.req.Request.file_set with
-        | Some (Orphaned q) -> Queue.add b q
-        | Some (Moving { pending; _ }) -> Queue.add b pending
-        | Some (Owned owner) -> deliver t owner b
-        | None -> ())
+        match t.ownership.(b.fs) with
+        | Orphaned q -> Queue.add b q
+        | Moving { pending; _ } -> Queue.add b pending
+        | Owned owner -> deliver t owner b
+        | Unassigned -> ())
       interrupted;
     List.sort_uniq String.compare
-      (orphaned @ List.map (fun (name, _, _, _) -> name) dead_moves)
+      (orphaned @ List.map (fun (name, _, _, _, _) -> name) dead_moves)
   end
 
 let recover_server t id =
@@ -583,7 +631,8 @@ let add_server t id ~speed =
     Server.create t.sim ~id ~speed ?cache_config:t.cache_cfg
       ~series_interval:t.series_interval ~obs:t.obs ()
   in
-  Hashtbl.add t.servers id server
+  Hashtbl.add t.servers id server;
+  rebuild_sorted_servers t
 
 let lock_manager t = t.locks
 
@@ -602,28 +651,32 @@ let set_on_move_start t f = t.on_move_start <- Some f
 let mem_server t id = Hashtbl.mem t.servers id
 
 let pending_requests t =
-  Hashtbl.fold
-    (fun _ o acc ->
+  Array.fold_left
+    (fun acc o ->
       match o with
-      | Owned _ -> acc
+      | Owned _ | Unassigned -> acc
       | Moving { pending; _ } -> acc + Queue.length pending
       | Orphaned pending -> acc + Queue.length pending)
-    t.ownership 0
+    0 t.ownership
 
 let ownership_states t =
-  Hashtbl.fold
-    (fun name o acc ->
+  let acc = ref [] in
+  Array.iteri
+    (fun fs o ->
       let state =
         match o with
-        | Owned id -> State_owned id
+        | Unassigned -> None
+        | Owned id -> Some (State_owned id)
         | Moving { src; dst; pending; _ } ->
-          State_moving { src; dst; buffered = Queue.length pending }
+          Some (State_moving { src; dst; buffered = Queue.length pending })
         | Orphaned pending ->
-          State_orphaned { buffered = Queue.length pending }
+          Some (State_orphaned { buffered = Queue.length pending })
       in
-      (name, state) :: acc)
-    t.ownership []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      match state with
+      | Some s -> acc := (fs_name t fs, s) :: !acc
+      | None -> ())
+    t.ownership;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
 
 let conservation t =
   {

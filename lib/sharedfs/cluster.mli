@@ -95,6 +95,19 @@ val obs : t -> Obs.Ctx.t
 
 val catalog : t -> File_set.Catalog.t
 
+(** [interner t] maps file-set names to the dense ids used by every
+    hot-path table.  Ids equal catalog positions, and equal the
+    file-set indices of a {!Workload.Stream} built over the same name
+    list. *)
+val interner : t -> File_set.Interner.t
+
+(** [fs_id t name] is the interned id; raises [Invalid_argument] for
+    names outside the catalog. *)
+val fs_id : t -> string -> int
+
+(** [fs_name t fs] is the inverse of {!fs_id}. *)
+val fs_name : t -> int -> string
+
 (** [disk t] is the shared disk all servers sit on (the fault injector
     stalls it through this). *)
 val disk : t -> Shared_disk.t
@@ -127,6 +140,17 @@ val assign_initial : t -> (string * Server_id.t) list -> unit
     reported latency.  Raises if the file set was never assigned. *)
 val submit :
   t ->
+  base_demand:float ->
+  Request.t ->
+  on_complete:(latency:float -> unit) ->
+  unit
+
+(** [submit_fs] is {!submit} with the file-set id already interned —
+    the streaming driver's hot path, which never hashes the name.
+    [fs] must be [fs_id t req.file_set]. *)
+val submit_fs :
+  t ->
+  fs:int ->
   base_demand:float ->
   Request.t ->
   on_complete:(latency:float -> unit) ->

@@ -14,6 +14,59 @@ let make ~name ~id ~file_count ~metadata_bytes =
 let pp fmt t =
   Format.fprintf fmt "%s(id=%d, files=%d)" t.name t.id t.file_count
 
+module Interner = struct
+  type t = {
+    by_name : (string, int) Hashtbl.t;
+    mutable names : string array;
+    mutable count : int;
+  }
+
+  let create ?(capacity = 64) () =
+    let capacity = max 1 capacity in
+    {
+      by_name = Hashtbl.create capacity;
+      names = Array.make capacity "";
+      count = 0;
+    }
+
+  let intern t name =
+    match Hashtbl.find_opt t.by_name name with
+    | Some id -> id
+    | None ->
+      if name = "" then invalid_arg "File_set.Interner.intern: empty name";
+      let id = t.count in
+      if id = Array.length t.names then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- name;
+      Hashtbl.add t.by_name name id;
+      t.count <- id + 1;
+      id
+
+  let of_names names =
+    let t = create ~capacity:(max 1 (List.length names)) () in
+    List.iter (fun n -> ignore (intern t n)) names;
+    t
+
+  let find t name = Hashtbl.find_opt t.by_name name
+
+  let id t name =
+    match Hashtbl.find_opt t.by_name name with
+    | Some id -> id
+    | None -> invalid_arg ("File_set.Interner.id: unknown file set " ^ name)
+
+  let name t id =
+    if id < 0 || id >= t.count then
+      invalid_arg (Printf.sprintf "File_set.Interner.name: bad id %d" id);
+    t.names.(id)
+
+  let size t = t.count
+
+  let names t = List.init t.count (fun i -> t.names.(i))
+end
+
 module Catalog = struct
   type file_set = t
 

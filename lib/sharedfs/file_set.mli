@@ -18,6 +18,43 @@ val make : name:string -> id:int -> file_count:int -> metadata_bytes:int -> t
 
 val pp : Format.formatter -> t -> unit
 
+(** Compact name interning: string ↔ dense int id.
+
+    Hot-path tables (cluster ownership, server caches, lock keys)
+    index by these dense ids instead of hashing file-set names on
+    every request; the string only reappears at the observability and
+    trace boundary.  An interner is built once per run from the
+    catalog and may grow as file sets are created dynamically — ids
+    are assigned in interning order and never change. *)
+module Interner : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  (** [of_names names] interns the list in order, so ids match list
+      positions (and a {!Catalog} built from the same list). *)
+  val of_names : string list -> t
+
+  (** [intern t name] returns the existing id or assigns the next
+      dense one.  Raises [Invalid_argument] on the empty string. *)
+  val intern : t -> string -> int
+
+  val find : t -> string -> int option
+
+  (** [id t name] like {!find} but raises [Invalid_argument] on
+      unknown names. *)
+  val id : t -> string -> int
+
+  (** [name t id] inverse lookup; O(1).  Raises [Invalid_argument] on
+      out-of-range ids. *)
+  val name : t -> int -> string
+
+  val size : t -> int
+
+  (** [names t] lists interned names in id order. *)
+  val names : t -> string list
+end
+
 (** A catalog assigns dense ids to names and is the authority on which
     file sets exist. *)
 module Catalog : sig

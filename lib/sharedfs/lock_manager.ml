@@ -2,7 +2,7 @@ type mode = Shared | Exclusive
 
 type client = int
 
-type key = { file_set : string; ino : int }
+type key = { fs : int; ino : int }
 
 type entry = {
   mutable holders : (client * mode) list; (* insertion order *)
@@ -89,11 +89,11 @@ let queued t ~key =
   | None -> []
   | Some e -> List.of_seq (Queue.to_seq e.queue)
 
-let export t ~file_set =
+let export t ~fs =
   let exported = ref [] in
   Hashtbl.iter
     (fun key e ->
-      if key.file_set = file_set then
+      if key.fs = fs then
         exported :=
           (key, e.holders, List.of_seq (Queue.to_seq e.queue)) :: !exported)
     t.table;

@@ -11,7 +11,8 @@ type mode = Shared | Exclusive
 
 type client = int
 
-type key = { file_set : string; ino : int }
+type key = { fs : int; ino : int }
+(** [fs] is the interned file-set id ({!File_set.Interner}). *)
 
 type t
 
@@ -33,11 +34,11 @@ val holders : t -> key:key -> (client * mode) list
 (** [queued t ~key] lists waiting requests in FIFO order. *)
 val queued : t -> key:key -> (client * mode) list
 
-(** [export t ~file_set] removes and returns all lock state for a file
-    set, as [(key, holders, queue)] triples, so it can be re-imported
-    at the server acquiring the set. *)
+(** [export t ~fs] removes and returns all lock state for a file set,
+    as [(key, holders, queue)] triples, so it can be re-imported at
+    the server acquiring the set. *)
 val export :
-  t -> file_set:string -> (key * (client * mode) list * (client * mode) list) list
+  t -> fs:int -> (key * (client * mode) list * (client * mode) list) list
 
 (** [import t state] installs exported state; keys already present
     raise [Invalid_argument]. *)

@@ -65,14 +65,13 @@ let observe t ~latency =
     Obs.Metrics.Gauge.set i.queue_depth
       (float_of_int (Desim.Station.queue_length t.station))
 
-let submit t ~base_demand ?tag ?(extra_latency = 0.0) req ~on_complete =
-  let file_set = req.Request.file_set in
-  let multiplier = Cache.demand_multiplier t.cache ~file_set in
+let submit t ~fs ~base_demand ?tag ?(extra_latency = 0.0) req ~on_complete =
+  let multiplier =
+    Cache.access t.cache ~fs ~dirties:(Request.dirties_cache req.Request.op)
+  in
   let demand =
     base_demand *. Request.demand_factor req.Request.op *. multiplier
   in
-  Cache.note_request t.cache ~file_set
-    ~dirties:(Request.dirties_cache req.Request.op);
   let tag =
     match tag with
     | Some tag -> tag
@@ -116,11 +115,11 @@ let series t ~until = Desim.Timeseries.finish t.series ~until
 
 let cache t = t.cache
 
-let gain_file_set t ~file_set ~cold =
-  if cold then Cache.install_cold t.cache ~file_set
-  else Cache.install_warm t.cache ~file_set
+let gain_file_set t ~fs ~cold =
+  if cold then Cache.install_cold t.cache ~fs
+  else Cache.install_warm t.cache ~fs
 
-let shed_file_set t ~file_set = Cache.evict t.cache ~file_set
+let shed_file_set t ~fs = Cache.evict t.cache ~fs
 
 let failed t = Desim.Station.failed t.station
 

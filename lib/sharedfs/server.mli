@@ -40,16 +40,19 @@ val speed : t -> float
     that start service afterwards. *)
 val set_speed : t -> float -> unit
 
-(** [submit t ~base_demand ?tag ?extra_latency req ~on_complete] serves
-    a metadata request: the effective demand is [base_demand] times the
-    request's operation factor times the cache multiplier for the file
-    set.  [tag] identifies the job to {!fail}; defaults to an internal
-    counter.  [extra_latency] is delay already suffered before reaching
-    this server (e.g. buffering during a file-set move) and is added to
-    the recorded and reported latency.  Latency is recorded in the
-    window and series before [on_complete] runs. *)
+(** [submit t ~fs ~base_demand ?tag ?extra_latency req ~on_complete]
+    serves a metadata request: the effective demand is [base_demand]
+    times the request's operation factor times the cache multiplier
+    for the file set.  [fs] is the request's interned file-set id (the
+    server's hot path never hashes the name).  [tag] identifies the
+    job to {!fail}; defaults to an internal counter.  [extra_latency]
+    is delay already suffered before reaching this server (e.g.
+    buffering during a file-set move) and is added to the recorded and
+    reported latency.  Latency is recorded in the window and series
+    before [on_complete] runs. *)
 val submit :
   t ->
+  fs:int ->
   base_demand:float ->
   ?tag:int ->
   ?extra_latency:float ->
@@ -74,13 +77,13 @@ val series : t -> until:float -> Desim.Timeseries.point list
 
 val cache : t -> Cache.t
 
-(** [gain_file_set t ~file_set ~cold] installs cache state for an
-    acquired set. *)
-val gain_file_set : t -> file_set:string -> cold:bool -> unit
+(** [gain_file_set t ~fs ~cold] installs cache state for an acquired
+    set. *)
+val gain_file_set : t -> fs:int -> cold:bool -> unit
 
-(** [shed_file_set t ~file_set] evicts the set, returning dirty bytes
-    to flush. *)
-val shed_file_set : t -> file_set:string -> int
+(** [shed_file_set t ~fs] evicts the set, returning dirty bytes to
+    flush. *)
+val shed_file_set : t -> fs:int -> int
 
 val failed : t -> bool
 

@@ -61,7 +61,7 @@ let validate config =
   if config.slot_seconds <= 0.0 then
     invalid_arg "Dfs_like.generate: slot_seconds must be positive"
 
-let generate config =
+let stream config =
   validate config;
   let n = config.file_sets in
   let slots =
@@ -81,55 +81,100 @@ let generate config =
       intensity.(i).(s) <- base.(i) *. mult
     done
   done;
-  (* Draw exactly [requests] arrivals from the (set, slot) mixture. *)
-  let cells = n * slots in
-  let cumulative = Array.make cells 0.0 in
-  let total = ref 0.0 in
-  for i = 0 to n - 1 do
-    for s = 0 to slots - 1 do
-      total := !total +. intensity.(i).(s);
-      cumulative.((i * slots) + s) <- !total
-    done
+  (* The arrival law factors as time-marginal x set-conditional: a
+     slot draws probability mass proportional to its total intensity
+     (unscaled by window width, so a truncated final slot packs the
+     same mass into less time), and within a slot the set follows the
+     per-slot intensity column.  Cumulative sums over both let the
+     cursor walk sorted uniforms through the inverse CDF. *)
+  let slot_total = Array.make slots 0.0 in
+  let slot_cum = Array.make slots 0.0 in
+  let cond_cum = Array.make_matrix slots n 0.0 in
+  let grand = ref 0.0 in
+  for s = 0 to slots - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. intensity.(i).(s);
+      cond_cum.(s).(i) <- !acc
+    done;
+    slot_total.(s) <- !acc;
+    grand := !grand +. !acc;
+    slot_cum.(s) <- !grand
   done;
-  let pick u =
-    let target = u *. !total in
+  let grand = !grand in
+  let pick_set s v =
+    let target = v *. slot_total.(s) in
+    let col = cond_cum.(s) in
     let rec go lo hi =
       if lo >= hi then lo
       else begin
         let mid = (lo + hi) / 2 in
-        if cumulative.(mid) < target then go (mid + 1) hi else go lo mid
+        if col.(mid) < target then go (mid + 1) hi else go lo mid
       end
     in
-    go 0 (cells - 1)
+    go 0 (n - 1)
   in
-  let arrivals = Desim.Rng.split rng in
-  let records = ref [] in
-  for _ = 1 to config.requests do
-    let cell = pick (Desim.Rng.float arrivals) in
-    let i = cell / slots in
-    let s = cell mod slots in
-    let slot_lo = float_of_int s *. config.slot_seconds in
-    let slot_hi = Float.min config.duration (slot_lo +. config.slot_seconds) in
-    let time = Desim.Rng.uniform arrivals ~lo:slot_lo ~hi:slot_hi in
-    let op = Trace.sample_op arrivals in
-    let demand =
-      Desim.Rng.erlang arrivals ~shape:config.demand_shape
-        ~mean:config.mean_demand
+  let names = Array.init n name_of in
+  let fresh () =
+    let rng = Desim.Rng.create config.seed in
+    (* Replay the intensity-matrix draws so the arrival rng matches the
+       one [Rng.split] derived at matrix-construction time. *)
+    for _ = 1 to n * slots do
+      ignore (Desim.Rng.float rng)
+    done;
+    let arrivals = Desim.Rng.split rng in
+    let next_u =
+      Stream.sorted_uniforms arrivals ~n:config.requests ~lo:0.0 ~hi:1.0
     in
-    let client =
-      (* The traced workstation owns its file set's traffic, with a
-         sprinkling of cross-machine access. *)
-      if Desim.Rng.float arrivals < 0.9 then i
-      else Desim.Rng.int arrivals config.file_sets
-    in
-    let request =
-      {
-        Sharedfs.Request.op;
-        file_set = name_of i;
-        path_hash = Desim.Rng.int arrivals 1_000_000;
-        client;
-      }
-    in
-    records := { Trace.time; request; demand } :: !records
-  done;
-  Trace.create ~duration:config.duration !records
+    let emitted = ref 0 in
+    let slot = ref 0 in
+    fun () ->
+      if !emitted >= config.requests then None
+      else begin
+        incr emitted;
+        let target = next_u () *. grand in
+        (* Targets are sorted, so the slot pointer only moves forward. *)
+        while !slot < slots - 1 && slot_cum.(!slot) < target do
+          incr slot
+        done;
+        let s = !slot in
+        let before = if s = 0 then 0.0 else slot_cum.(s - 1) in
+        let within =
+          Float.min 1.0 (Float.max 0.0 ((target -. before) /. slot_total.(s)))
+        in
+        let slot_lo = float_of_int s *. config.slot_seconds in
+        let slot_hi =
+          Float.min config.duration (slot_lo +. config.slot_seconds)
+        in
+        let time = slot_lo +. (within *. (slot_hi -. slot_lo)) in
+        let i = pick_set s (Desim.Rng.float arrivals) in
+        let op = Trace.sample_op arrivals in
+        let demand =
+          Desim.Rng.erlang arrivals ~shape:config.demand_shape
+            ~mean:config.mean_demand
+        in
+        let client =
+          (* The traced workstation owns its file set's traffic, with a
+             sprinkling of cross-machine access. *)
+          if Desim.Rng.float arrivals < 0.9 then i
+          else Desim.Rng.int arrivals config.file_sets
+        in
+        Some
+          {
+            Stream.time;
+            fs = i;
+            request =
+              {
+                Sharedfs.Request.op;
+                file_set = names.(i);
+                path_hash = Desim.Rng.int arrivals 1_000_000;
+                client;
+              };
+            demand;
+          }
+      end
+  in
+  Stream.make ~duration:config.duration ~total:config.requests
+    ~file_sets:(Array.to_list names) ~fresh
+
+let generate config = Stream.to_trace (stream config)

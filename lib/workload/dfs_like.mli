@@ -37,7 +37,13 @@ type config = {
 
 val default_config : config
 
-(** [generate config] builds the trace.  File sets are named
+(** [stream config] is the pull-based form: sorted arrival times are
+    pushed through the inverse CDF of the per-slot intensity mixture,
+    so the trace's bursty temporal shape survives streaming.
+    [generate] is exactly [Stream.to_trace (stream config)]. *)
+val stream : config -> Stream.t
+
+(** [generate config] materializes {!stream}.  File sets are named
     [dfs-ws00] ... after the traced-workstation partitioning. *)
 val generate : config -> Trace.t
 

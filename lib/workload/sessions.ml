@@ -51,13 +51,105 @@ let body_op rng =
   | 2 | 3 -> Sharedfs.Request.Stat
   | _ -> Sharedfs.Request.Create
 
-let generate config =
+(* Where a streaming session is in its open -> lock -> body ->
+   release -> close life cycle. *)
+type stage = Opening | Locking | Body | Releasing | Closing
+
+type session = {
+  idx : int;  (* activation order; deterministic heap tie-break *)
+  srng : Desim.Rng.t;
+  fs : int;
+  client : int;
+  path_hash : int;
+  mutable t : float;  (* unclamped time of the next record *)
+  mutable stage : stage;
+  mutable body_left : int;
+}
+
+(* Minimal binary min-heap of active sessions, ordered by next record
+   time.  Active concurrency is tiny next to the session count (think
+   times are seconds, the day is hours), which is exactly why the
+   stream runs in constant memory. *)
+module Active = struct
+  type t = { mutable arr : session array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let is_empty h = h.len = 0
+
+  let min h = h.arr.(0)
+
+  let less a b = a.t < b.t || (a.t = b.t && a.idx < b.idx)
+
+  let push h s =
+    if h.len = Array.length h.arr then begin
+      let bigger = Array.make (max 8 (2 * h.len)) s in
+      Array.blit h.arr 0 bigger 0 h.len;
+      h.arr <- bigger
+    end;
+    h.arr.(h.len) <- s;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if less h.arr.(!i) h.arr.(parent) then begin
+        let tmp = h.arr.(parent) in
+        h.arr.(parent) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := parent
+      end
+      else continue := false
+    done
+
+  let pop h =
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    h.arr.(0) <- h.arr.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && less h.arr.(l) h.arr.(!smallest) then smallest := l;
+      if r < h.len && less h.arr.(r) h.arr.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.arr.(!smallest) in
+        h.arr.(!smallest) <- h.arr.(!i);
+        h.arr.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+(* Per-session records: open + lock_acquire + (1 + poisson) body ops +
+   lock_release + close.  The body count is the first draw from the
+   session's rng precisely so this pre-pass can size the stream
+   without drawing think times or demands. *)
+let total_records config =
+  let master = Desim.Rng.create config.seed in
+  for _ = 1 to config.file_sets do
+    ignore (Desim.Rng.float master)
+  done;
+  let (_ : Desim.Rng.t) = Desim.Rng.split master in
+  let total = ref 0 in
+  for _ = 1 to config.sessions do
+    let srng = Desim.Rng.split master in
+    total :=
+      !total + 5
+      + Desim.Rng.poisson srng ~mean:(float_of_int config.body_ops_mean)
+  done;
+  !total
+
+let stream config =
   validate config;
-  let rng = Desim.Rng.create config.seed in
   (* Skewed file-set popularity, as in the synthetic workload. *)
+  let weights_rng = Desim.Rng.create config.seed in
   let weights =
     Array.init config.file_sets (fun _ ->
-        Float.max 1e-6 (Desim.Rng.float rng ** config.weight_exponent))
+        Float.max 1e-6 (Desim.Rng.float weights_rng ** config.weight_exponent))
   in
   let total_weight = Array.fold_left ( +. ) 0.0 weights in
   let pick_file_set u =
@@ -76,49 +168,130 @@ let generate config =
      with Exit -> ());
     !chosen
   in
-  let records = ref [] in
-  let emit ~time ~file_set ~op ~path_hash ~client =
-    let time = Float.min time config.duration in
-    let demand =
-      Desim.Rng.erlang rng ~shape:config.demand_shape ~mean:config.mean_demand
-    in
-    records :=
-      {
-        Trace.time;
-        request = { Sharedfs.Request.op; file_set; path_hash; client };
-        demand;
-      }
-      :: !records
-  in
-  for _ = 1 to config.sessions do
-    let client = Desim.Rng.int rng config.clients in
-    let fs_index = pick_file_set (Desim.Rng.float rng) in
-    let file_set = name_of fs_index in
-    (* Hot-file space: distinct sessions frequently pick the same
-       file, which is where lock conflicts come from.  Offset by the
-       set index so different sets never share keys. *)
-    let path_hash =
-      (fs_index * config.hot_files_per_set)
-      + Desim.Rng.int rng config.hot_files_per_set
-    in
-    let t = ref (Desim.Rng.uniform rng ~lo:0.0 ~hi:(config.duration *. 0.95)) in
-    let step () =
-      t := !t +. Desim.Rng.exponential rng ~mean:config.think_time_mean
-    in
-    emit ~time:!t ~file_set ~op:Sharedfs.Request.Open_file ~path_hash ~client;
-    step ();
-    emit ~time:!t ~file_set ~op:Sharedfs.Request.Lock_acquire ~path_hash ~client;
-    let body = 1 + Desim.Rng.poisson rng ~mean:(float_of_int config.body_ops_mean) in
-    for _ = 1 to body do
-      step ();
-      emit ~time:!t ~file_set ~op:(body_op rng) ~path_hash ~client
+  let names = Array.init config.file_sets name_of in
+  let total = total_records config in
+  let fresh () =
+    let master = Desim.Rng.create config.seed in
+    (* Replay the popularity-weight draws so the split chain below
+       matches the one [total_records] walked. *)
+    for _ = 1 to config.file_sets do
+      ignore (Desim.Rng.float master)
     done;
-    step ();
-    emit ~time:!t ~file_set ~op:Sharedfs.Request.Lock_release ~path_hash ~client;
-    step ();
-    emit ~time:!t ~file_set ~op:Sharedfs.Request.Close_file ~path_hash ~client
-  done;
-  Trace.create ~duration:config.duration !records
+    let starts_rng = Desim.Rng.split master in
+    (* Session start times, generated already sorted: activation order
+       is index order, so each session's rng splits off the master in
+       a deterministic sequence. *)
+    let next_start =
+      Stream.sorted_uniforms starts_rng ~n:config.sessions ~lo:0.0
+        ~hi:(config.duration *. 0.95)
+    in
+    let started = ref 0 in
+    let pending_start = ref None in
+    let active = Active.create () in
+    let peek_start () =
+      if !pending_start = None && !started < config.sessions then
+        pending_start := Some (next_start ());
+      !pending_start
+    in
+    let activate t0 =
+      let srng = Desim.Rng.split master in
+      let body =
+        1 + Desim.Rng.poisson srng ~mean:(float_of_int config.body_ops_mean)
+      in
+      let client = Desim.Rng.int srng config.clients in
+      let fs = pick_file_set (Desim.Rng.float srng) in
+      (* Hot-file space: distinct sessions frequently pick the same
+         file, which is where lock conflicts come from.  Offset by the
+         set index so different sets never share keys. *)
+      let path_hash =
+        (fs * config.hot_files_per_set)
+        + Desim.Rng.int srng config.hot_files_per_set
+      in
+      pending_start := None;
+      let s =
+        {
+          idx = !started;
+          srng;
+          fs;
+          client;
+          path_hash;
+          t = t0;
+          stage = Opening;
+          body_left = body;
+        }
+      in
+      incr started;
+      Active.push active s
+    in
+    fun () ->
+      (* Activate every session that starts before the earliest active
+         record, so the merged output stays time-sorted. *)
+      let rec fill () =
+        match peek_start () with
+        | Some t0 when Active.is_empty active || t0 <= (Active.min active).t ->
+          activate t0;
+          fill ()
+        | Some _ | None -> ()
+      in
+      fill ();
+      if Active.is_empty active then None
+      else begin
+        let s = Active.pop active in
+        let time = Float.min s.t config.duration in
+        let op =
+          match s.stage with
+          | Opening -> Sharedfs.Request.Open_file
+          | Locking -> Sharedfs.Request.Lock_acquire
+          | Body -> body_op s.srng
+          | Releasing -> Sharedfs.Request.Lock_release
+          | Closing -> Sharedfs.Request.Close_file
+        in
+        let demand =
+          Desim.Rng.erlang s.srng ~shape:config.demand_shape
+            ~mean:config.mean_demand
+        in
+        let step () =
+          s.t <-
+            s.t +. Desim.Rng.exponential s.srng ~mean:config.think_time_mean
+        in
+        (match s.stage with
+        | Opening ->
+          step ();
+          s.stage <- Locking;
+          Active.push active s
+        | Locking ->
+          step ();
+          s.stage <- Body;
+          Active.push active s
+        | Body ->
+          s.body_left <- s.body_left - 1;
+          step ();
+          if s.body_left = 0 then s.stage <- Releasing;
+          Active.push active s
+        | Releasing ->
+          step ();
+          s.stage <- Closing;
+          Active.push active s
+        | Closing -> ());
+        Some
+          {
+            Stream.time;
+            fs = s.fs;
+            request =
+              {
+                Sharedfs.Request.op;
+                file_set = names.(s.fs);
+                path_hash = s.path_hash;
+                client = s.client;
+              };
+            demand;
+          }
+      end
+  in
+  Stream.make ~duration:config.duration ~total ~file_sets:(Array.to_list names)
+    ~fresh
+
+let generate config = Stream.to_trace (stream config)
 
 let session_count trace =
   Array.fold_left

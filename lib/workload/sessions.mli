@@ -35,6 +35,12 @@ type config = {
 
 val default_config : config
 
+(** [stream config] emits the merged, time-sorted interleaving of all
+    sessions while holding only the {e active} sessions (those whose
+    next record is earliest) in memory.  [generate] is exactly
+    [Stream.to_trace (stream config)]. *)
+val stream : config -> Stream.t
+
 val generate : config -> Trace.t
 
 (** [session_count trace] recovers the number of [Open_file] records —

@@ -48,38 +48,54 @@ let hot_sets config ~phase =
   validate config;
   List.map name_of (hot_indices config ~phase)
 
-let generate config =
+let stream config =
   validate config;
-  let rng = Desim.Rng.create config.seed in
   let phase_length = config.duration /. float_of_int config.phases in
-  let records = ref [] in
-  for _ = 1 to config.requests do
-    let time = Desim.Rng.uniform rng ~lo:0.0 ~hi:config.duration in
-    let phase =
-      min (config.phases - 1) (int_of_float (time /. phase_length))
+  let names = Array.init config.file_sets name_of in
+  (* The hot groups are deterministic, so precompute them per phase
+     instead of rebuilding the list on every request. *)
+  let hot = Array.init config.phases (fun phase -> hot_indices config ~phase) in
+  let fresh () =
+    let rng = Desim.Rng.create config.seed in
+    let next_time =
+      Stream.sorted_uniforms rng ~n:config.requests ~lo:0.0 ~hi:config.duration
     in
-    let hot = hot_indices config ~phase in
-    let fs_index =
-      if Desim.Rng.float rng < config.hot_share then
-        List.nth hot (Desim.Rng.int rng (List.length hot))
-      else Desim.Rng.int rng config.file_sets
-    in
-    let op = Trace.sample_op rng in
-    let demand =
-      Desim.Rng.erlang rng ~shape:config.demand_shape ~mean:config.mean_demand
-    in
-    records :=
-      {
-        Trace.time;
-        request =
+    let emitted = ref 0 in
+    fun () ->
+      if !emitted >= config.requests then None
+      else begin
+        incr emitted;
+        let time = next_time () in
+        let phase =
+          min (config.phases - 1) (int_of_float (time /. phase_length))
+        in
+        let hot = hot.(phase) in
+        let fs_index =
+          if Desim.Rng.float rng < config.hot_share then
+            List.nth hot (Desim.Rng.int rng (List.length hot))
+          else Desim.Rng.int rng config.file_sets
+        in
+        let op = Trace.sample_op rng in
+        let demand =
+          Desim.Rng.erlang rng ~shape:config.demand_shape
+            ~mean:config.mean_demand
+        in
+        Some
           {
-            Sharedfs.Request.op;
-            file_set = name_of fs_index;
-            path_hash = Desim.Rng.int rng 1_000_000;
-            client = Desim.Rng.int rng 100;
-          };
-        demand;
-      }
-      :: !records
-  done;
-  Trace.create ~duration:config.duration !records
+            Stream.time;
+            fs = fs_index;
+            request =
+              {
+                Sharedfs.Request.op;
+                file_set = names.(fs_index);
+                path_hash = Desim.Rng.int rng 1_000_000;
+                client = Desim.Rng.int rng 100;
+              };
+            demand;
+          }
+      end
+  in
+  Stream.make ~duration:config.duration ~total:config.requests
+    ~file_sets:(Array.to_list names) ~fresh
+
+let generate config = Stream.to_trace (stream config)

@@ -29,6 +29,10 @@ type config = {
 
 val default_config : config
 
+(** [stream config] is the pull-based form; [generate] is exactly
+    [Stream.to_trace (stream config)]. *)
+val stream : config -> Stream.t
+
 val generate : config -> Trace.t
 
 (** [hot_sets config ~phase] lists the file sets hot during a phase,

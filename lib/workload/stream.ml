@@ -1,0 +1,101 @@
+type item = {
+  time : float;
+  fs : int;
+  request : Sharedfs.Request.t;
+  demand : float;
+}
+
+type cursor = unit -> item option
+
+type t = {
+  duration : float;
+  total : int;
+  file_sets : string list;
+  fresh : unit -> cursor;
+}
+
+let make ~duration ~total ~file_sets ~fresh =
+  if duration <= 0.0 then
+    invalid_arg "Stream.make: non-positive duration";
+  if total < 0 then invalid_arg "Stream.make: negative total";
+  { duration; total; file_sets; fresh }
+
+let duration t = t.duration
+
+let total t = t.total
+
+let file_sets t = t.file_sets
+
+let start t = t.fresh ()
+
+let iter f t =
+  let c = start t in
+  let rec go () =
+    match c () with
+    | Some it ->
+      f it;
+      go ()
+    | None -> ()
+  in
+  go ()
+
+let sorted_uniforms rng ~n ~lo ~hi =
+  if n < 0 then invalid_arg "Stream.sorted_uniforms: negative n";
+  if hi < lo then invalid_arg "Stream.sorted_uniforms: hi < lo";
+  let k = ref 0 in
+  let v = ref lo in
+  fun () ->
+    if !k >= n then invalid_arg "Stream.sorted_uniforms: exhausted";
+    let remaining = n - !k in
+    let u = Desim.Rng.float rng in
+    (* Conditional law of the next order statistic: the minimum of the
+       [remaining] uniforms still to come on [v, hi]. *)
+    v :=
+      !v
+      +. (hi -. !v)
+         *. (1.0 -. ((1.0 -. u) ** (1.0 /. float_of_int remaining)));
+    incr k;
+    !v
+
+let to_trace t =
+  let acc = ref [] in
+  iter
+    (fun it ->
+      acc :=
+        { Trace.time = it.time; request = it.request; demand = it.demand }
+        :: !acc)
+    t;
+  Trace.of_sorted_records ~duration:t.duration (List.rev !acc)
+
+let of_trace trace =
+  let names = Trace.file_sets trace in
+  let records = Trace.records trace in
+  let n = Array.length records in
+  (* Pre-resolve each record's file-set id once, so cursors never hash
+     a name. *)
+  let ids = Hashtbl.create 64 in
+  List.iteri (fun i name -> Hashtbl.add ids name i) names;
+  let fs_of = Array.make (max 1 n) 0 in
+  Array.iteri
+    (fun i r ->
+      fs_of.(i) <- Hashtbl.find ids r.Trace.request.Sharedfs.Request.file_set)
+    records;
+  let fresh () =
+    let i = ref 0 in
+    fun () ->
+      if !i >= n then None
+      else begin
+        let r = records.(!i) in
+        let it =
+          {
+            time = r.Trace.time;
+            fs = fs_of.(!i);
+            request = r.Trace.request;
+            demand = r.Trace.demand;
+          }
+        in
+        incr i;
+        Some it
+      end
+  in
+  make ~duration:(Trace.duration trace) ~total:n ~file_sets:names ~fresh

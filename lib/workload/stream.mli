@@ -1,0 +1,70 @@
+(** Pull-based request streams: the constant-memory face of every
+    workload generator.
+
+    A stream describes a workload without materializing it: requests
+    are produced one at a time, in nondecreasing time order, by a
+    cursor obtained from {!start}.  Cursors are independent — each
+    re-derives the full sequence from the generator's seed, so the
+    same stream can be consumed twice (the simulation driver and the
+    prescient oracle each hold one) and always yields the identical
+    sequence.  {!to_trace} materializes a stream into a {!Trace.t} for
+    tests and small runs; generators define [generate] as exactly
+    that, so streamed and materialized workloads agree record for
+    record at equal seeds. *)
+
+type item = {
+  time : float;
+  fs : int;
+      (** dense file-set id: the index of [request.file_set] in
+          {!file_sets} — equal to the id a {!File_set.Interner} built
+          over the same list assigns, so drivers never hash names *)
+  request : Sharedfs.Request.t;
+  demand : float;
+}
+
+(** A cursor yields the next request, or [None] when the stream is
+    exhausted.  Times never decrease across successive calls. *)
+type cursor = unit -> item option
+
+type t
+
+(** [make ~duration ~total ~file_sets ~fresh] wraps a generator.
+    [file_sets] lists every name the stream may emit, in id order;
+    [total] is the exact number of items a cursor yields; [fresh]
+    builds an independent cursor positioned at the first request. *)
+val make :
+  duration:float ->
+  total:int ->
+  file_sets:string list ->
+  fresh:(unit -> cursor) ->
+  t
+
+val duration : t -> float
+
+(** [total t] is the exact number of requests a cursor yields. *)
+val total : t -> int
+
+(** [file_sets t] lists file-set names in dense-id order (the order
+    {!item.fs} indexes). *)
+val file_sets : t -> string list
+
+(** [start t] begins an independent replay of the stream. *)
+val start : t -> cursor
+
+val iter : (item -> unit) -> t -> unit
+
+(** [to_trace t] materializes the whole stream — O(total) memory; the
+    adapter for tests and the legacy trace-driven driver. *)
+val to_trace : t -> Trace.t
+
+(** [of_trace trace] streams an already-materialized trace; ids follow
+    {!Trace.file_sets} (first-appearance) order. *)
+val of_trace : Trace.t -> t
+
+(** [sorted_uniforms rng ~n ~lo ~hi] draws the order statistics of [n]
+    uniforms on [\[lo, hi\]] one at a time, in nondecreasing order,
+    using one [rng] draw per value: generators use it to emit
+    uniform-in-time workloads already sorted.  The returned thunk
+    raises [Invalid_argument] past [n] calls. *)
+val sorted_uniforms :
+  Desim.Rng.t -> n:int -> lo:float -> hi:float -> unit -> float

@@ -45,7 +45,7 @@ let validate config =
   if config.demand_shape <= 0 then
     invalid_arg "Synthetic.generate: demand_shape must be positive"
 
-let generate config =
+let stream config =
   validate config;
   let raw = raw_weights config in
   let total = Array.fold_left ( +. ) 0.0 raw in
@@ -68,23 +68,36 @@ let generate config =
     in
     go 0 (config.file_sets - 1)
   in
-  let rng = Desim.Rng.create (config.seed + 1) in
-  let records = ref [] in
-  for _ = 1 to config.requests do
-    let time = Desim.Rng.uniform rng ~lo:0.0 ~hi:config.duration in
-    let fs = pick_file_set (Desim.Rng.float rng) in
-    let op = Trace.sample_op rng in
-    let demand =
-      Desim.Rng.erlang rng ~shape:config.demand_shape ~mean:config.mean_demand
+  let names = Array.init config.file_sets name_of in
+  let fresh () =
+    let rng = Desim.Rng.create (config.seed + 1) in
+    let next_time =
+      Stream.sorted_uniforms rng ~n:config.requests ~lo:0.0 ~hi:config.duration
     in
-    let request =
-      {
-        Sharedfs.Request.op;
-        file_set = name_of fs;
-        path_hash = Desim.Rng.int rng 1_000_000;
-        client = Desim.Rng.int rng 200;
-      }
-    in
-    records := { Trace.time; request; demand } :: !records
-  done;
-  Trace.create ~duration:config.duration !records
+    let emitted = ref 0 in
+    fun () ->
+      if !emitted >= config.requests then None
+      else begin
+        incr emitted;
+        let time = next_time () in
+        let fs = pick_file_set (Desim.Rng.float rng) in
+        let op = Trace.sample_op rng in
+        let demand =
+          Desim.Rng.erlang rng ~shape:config.demand_shape
+            ~mean:config.mean_demand
+        in
+        let request =
+          {
+            Sharedfs.Request.op;
+            file_set = names.(fs);
+            path_hash = Desim.Rng.int rng 1_000_000;
+            client = Desim.Rng.int rng 200;
+          }
+        in
+        Some { Stream.time; fs; request; demand }
+      end
+  in
+  Stream.make ~duration:config.duration ~total:config.requests
+    ~file_sets:(Array.to_list names) ~fresh
+
+let generate config = Stream.to_trace (stream config)

@@ -25,7 +25,13 @@ type config = {
     exponent 3. *)
 val default_config : config
 
-(** [generate config] builds the trace.  File sets are named
+(** [stream config] describes the same workload as a pull-based
+    {!Stream.t}: requests arrive one at a time in time order, and the
+    whole 10M-request scale runs in constant memory.  [generate] is
+    exactly [Stream.to_trace (stream config)]. *)
+val stream : config -> Stream.t
+
+(** [generate config] materializes {!stream}.  File sets are named
     [synth-000] ... *)
 val generate : config -> Trace.t
 

@@ -17,6 +17,23 @@ let create ~duration records =
   Array.sort (fun a b -> Float.compare a.time b.time) arr;
   { records = arr; duration }
 
+let of_sorted_records ~duration records =
+  if duration <= 0.0 then
+    invalid_arg "Trace.of_sorted_records: non-positive duration";
+  let arr = Array.of_list records in
+  Array.iteri
+    (fun i r ->
+      if r.time < 0.0 || r.time > duration then
+        invalid_arg
+          (Printf.sprintf "Trace.of_sorted_records: record at %g outside [0, %g]"
+             r.time duration);
+      if r.demand <= 0.0 then
+        invalid_arg "Trace.of_sorted_records: non-positive demand";
+      if i > 0 && arr.(i - 1).time > r.time then
+        invalid_arg "Trace.of_sorted_records: records not time-sorted")
+    arr;
+  { records = arr; duration }
+
 let records t = t.records
 
 let duration t = t.duration

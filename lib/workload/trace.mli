@@ -14,6 +14,13 @@ type t
     they fall within [\[0, duration\]]. *)
 val create : duration:float -> record list -> t
 
+(** [of_sorted_records ~duration records] builds a trace from records
+    already in nondecreasing time order — the materialize path for
+    {!Stream.to_trace}, which skips the sort.  Raises
+    [Invalid_argument] if the records are out of order or outside
+    [\[0, duration\]]. *)
+val of_sorted_records : duration:float -> record list -> t
+
 val records : t -> record array
 
 val duration : t -> float

@@ -17,7 +17,18 @@ val of_string : string -> Trace.t
 
 val save : Trace.t -> path:string -> unit
 
+(** [load ~path] reads a trace file line-at-a-time (never holding the
+    file as one string) and materializes it; lines may be in any time
+    order. *)
 val load : path:string -> Trace.t
+
+(** [stream ~path] replays a trace file as a constant-memory
+    {!Stream.t}: a pre-scan pass counts records, resolves the duration
+    and the file-set universe, and checks the records are time-sorted
+    (raising [Failure] with a line number otherwise — sorted input is
+    the price of replay without materializing); each cursor then
+    re-reads the file one line at a time. *)
+val stream : path:string -> Stream.t
 
 (** [op_of_string] / [op_to_string] expose the operation encoding. *)
 val op_of_string : string -> Sharedfs.Request.op option

@@ -21,6 +21,7 @@ let () =
       ("san", Test_san.suite);
       ("cluster", Test_cluster.suite);
       ("workload", Test_workload.suite);
+      ("stream", Test_stream.suite);
       ("sessions", Test_sessions.suite);
       ("obs", Test_obs.suite);
       ("runner", Test_runner.suite);

@@ -26,7 +26,7 @@ let report ?(requests = 100) server latency =
   }
 
 let feedback reports =
-  { Policy.time = 0.0; reports; future_demand = [] }
+  { Policy.time = 0.0; reports; future_demand = lazy [] }
 
 let test_locate_deterministic () =
   let a = Anu.create ~family ~servers:(ids 5) () in

@@ -18,8 +18,8 @@ let test_server_report_window () =
   let s =
     Server.create sim ~id:(Id.of_int 0) ~speed:2.0 ~series_interval:10.0 ()
   in
-  Server.gain_file_set s ~file_set:"a" ~cold:false;
-  Server.submit s ~base_demand:2.0 (req "a") ~on_complete:(fun ~latency:_ -> ());
+  Server.gain_file_set s ~fs:0 ~cold:false;
+  Server.submit s ~fs:0 ~base_demand:2.0 (req "a") ~on_complete:(fun ~latency:_ -> ());
   Desim.Sim.run sim;
   let r = Server.take_report s in
   check_int "requests" 1 r.Server.requests;
@@ -37,12 +37,12 @@ let test_server_cold_cache_slows_service () =
   let cold =
     Server.create sim ~id:(Id.of_int 1) ~speed:1.0 ~series_interval:10.0 ()
   in
-  Server.gain_file_set warm ~file_set:"a" ~cold:false;
-  Server.gain_file_set cold ~file_set:"a" ~cold:true;
+  Server.gain_file_set warm ~fs:0 ~cold:false;
+  Server.gain_file_set cold ~fs:0 ~cold:true;
   let lw = ref 0.0 and lc = ref 0.0 in
-  Server.submit warm ~base_demand:1.0 (req "a") ~on_complete:(fun ~latency ->
+  Server.submit warm ~fs:0 ~base_demand:1.0 (req "a") ~on_complete:(fun ~latency ->
       lw := latency);
-  Server.submit cold ~base_demand:1.0 (req "a") ~on_complete:(fun ~latency ->
+  Server.submit cold ~fs:0 ~base_demand:1.0 (req "a") ~on_complete:(fun ~latency ->
       lc := latency);
   Desim.Sim.run sim;
   check_bool "cold slower" true (!lc > !lw *. 2.0)
@@ -52,9 +52,9 @@ let test_server_extra_latency_accounted () =
   let s =
     Server.create sim ~id:(Id.of_int 0) ~speed:1.0 ~series_interval:10.0 ()
   in
-  Server.gain_file_set s ~file_set:"a" ~cold:false;
+  Server.gain_file_set s ~fs:0 ~cold:false;
   let got = ref 0.0 in
-  Server.submit s ~base_demand:1.0 ~extra_latency:5.0 (req "a")
+  Server.submit s ~fs:0 ~base_demand:1.0 ~extra_latency:5.0 (req "a")
     ~on_complete:(fun ~latency -> got := latency);
   Desim.Sim.run sim;
   check_float 1e-9 "buffering delay included" 6.0 !got;
@@ -66,10 +66,10 @@ let test_server_series () =
   let s =
     Server.create sim ~id:(Id.of_int 0) ~speed:1.0 ~series_interval:10.0 ()
   in
-  Server.gain_file_set s ~file_set:"a" ~cold:false;
+  Server.gain_file_set s ~fs:0 ~cold:false;
   let (_ : Desim.Sim.handle) =
     Desim.Sim.schedule_at sim ~time:15.0 (fun () ->
-        Server.submit s ~base_demand:1.0 (req "a")
+        Server.submit s ~fs:0 ~base_demand:1.0 (req "a")
           ~on_complete:(fun ~latency:_ -> ()))
   in
   Desim.Sim.run sim;
@@ -162,7 +162,7 @@ let test_cluster_move_cold_cache_at_dst () =
   Desim.Sim.run sim;
   let dst = Cluster.server cluster (Id.of_int 1) in
   check_float 1e-9 "cold at destination" 0.0
-    (Cache.warmth (Server.cache dst) ~file_set:"a")
+    (Cache.warmth (Server.cache dst) ~fs:(Cluster.fs_id cluster "a"))
 
 let test_cluster_failure_orphans_and_adoption () =
   let sim, cluster = make_cluster () in

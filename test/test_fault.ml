@@ -620,7 +620,7 @@ let prop_interleaving_preserves_invariants =
             {
               Placement.Policy.time = Desim.Sim.now sim;
               reports;
-              future_demand = [];
+              future_demand = lazy [];
             };
           reconcile ()
         | 4 -> policy.Placement.Policy.delegate_crashed ()

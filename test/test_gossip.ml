@@ -18,7 +18,8 @@ let report ?(requests = 100) server latency =
       { Sharedfs.Server.mean_latency = latency; max_latency = latency; requests };
   }
 
-let feedback reports = { Policy.time = 0.0; reports; future_demand = [] }
+let feedback reports =
+  { Policy.time = 0.0; reports; future_demand = lazy [] }
 
 let test_locate_deterministic () =
   let a = Gossip.create ~family ~servers:(ids 4) () in

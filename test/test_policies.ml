@@ -141,7 +141,7 @@ let test_exact_rejects_large () =
     (fun () -> ignore (Prescient.exact_assignment ~speeds ~demands))
 
 let feedback demands =
-  { Policy.time = 0.0; reports = []; future_demand = demands }
+  { Policy.time = 0.0; reports = []; future_demand = lazy demands }
 
 let test_prescient_balances_by_speed () =
   let t = Prescient.create ~speeds ~stability_bias:0.0 in

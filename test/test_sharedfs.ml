@@ -144,7 +144,7 @@ let test_store_distinct_sets_do_not_collide () =
 
 (* --- Lock_manager --- *)
 
-let key ino = { Lock_manager.file_set = "set-a"; ino }
+let key ino = { Lock_manager.fs = 0; ino }
 
 let test_lock_shared_compatible () =
   let lm = Lock_manager.create () in
@@ -199,9 +199,9 @@ let test_lock_export_import () =
   ignore (Lock_manager.acquire lm ~key:(key 1) ~client:2 ~mode:Lock_manager.Exclusive);
   ignore
     (Lock_manager.acquire lm
-       ~key:{ Lock_manager.file_set = "set-b"; ino = 1 }
+       ~key:{ Lock_manager.fs = 1; ino = 1 }
        ~client:3 ~mode:Lock_manager.Shared);
-  let state = Lock_manager.export lm ~file_set:"set-a" in
+  let state = Lock_manager.export lm ~fs:0 in
   check_int "one key exported" 1 (List.length state);
   check_int "set-b stays" 1 (Lock_manager.active_keys lm);
   (* The acquiring server imports the state wholesale. *)
@@ -222,38 +222,38 @@ let test_lock_state_cleanup () =
 
 let test_cache_cold_penalty_decays () =
   let c = Cache.create () in
-  Cache.install_cold c ~file_set:"a";
-  let m0 = Cache.demand_multiplier c ~file_set:"a" in
+  Cache.install_cold c ~fs:0;
+  let m0 = Cache.demand_multiplier c ~fs:0 in
   check_float 1e-9 "cold multiplier" 3.0 m0;
   for _ = 1 to 200 do
-    Cache.note_request c ~file_set:"a" ~dirties:false
+    Cache.note_request c ~fs:0 ~dirties:false
   done;
-  let m1 = Cache.demand_multiplier c ~file_set:"a" in
+  let m1 = Cache.demand_multiplier c ~fs:0 in
   check_bool "warmed" true (m1 < 1.05);
-  check_bool "warmth grows" true (Cache.warmth c ~file_set:"a" > 0.95)
+  check_bool "warmth grows" true (Cache.warmth c ~fs:0 > 0.95)
 
 let test_cache_warm_install () =
   let c = Cache.create () in
-  Cache.install_warm c ~file_set:"a";
-  check_float 1e-9 "no penalty" 1.0 (Cache.demand_multiplier c ~file_set:"a")
+  Cache.install_warm c ~fs:0;
+  check_float 1e-9 "no penalty" 1.0 (Cache.demand_multiplier c ~fs:0)
 
 let test_cache_unknown_set_no_penalty () =
   let c = Cache.create () in
-  check_float 1e-9 "unknown" 1.0 (Cache.demand_multiplier c ~file_set:"zz")
+  check_float 1e-9 "unknown" 1.0 (Cache.demand_multiplier c ~fs:99)
 
 let test_cache_dirty_tracking_and_evict () =
   let c = Cache.create () in
-  Cache.install_warm c ~file_set:"a";
-  Cache.note_request c ~file_set:"a" ~dirties:true;
-  Cache.note_request c ~file_set:"a" ~dirties:true;
-  Cache.note_request c ~file_set:"a" ~dirties:false;
+  Cache.install_warm c ~fs:0;
+  Cache.note_request c ~fs:0 ~dirties:true;
+  Cache.note_request c ~fs:0 ~dirties:true;
+  Cache.note_request c ~fs:0 ~dirties:false;
   let per_write = (Cache.config c).Cache.dirty_bytes_per_write in
-  check_int "dirty bytes" (2 * per_write) (Cache.dirty_bytes c ~file_set:"a");
+  check_int "dirty bytes" (2 * per_write) (Cache.dirty_bytes c ~fs:0);
   check_int "total" (2 * per_write) (Cache.total_dirty_bytes c);
-  let flushed = Cache.evict c ~file_set:"a" in
+  let flushed = Cache.evict c ~fs:0 in
   check_int "evict returns dirty" (2 * per_write) flushed;
-  check_int "gone" 0 (Cache.dirty_bytes c ~file_set:"a");
-  check_bool "not resident" true (not (List.mem "a" (Cache.resident c)))
+  check_int "gone" 0 (Cache.dirty_bytes c ~fs:0);
+  check_bool "not resident" true (not (List.mem 0 (Cache.resident c)))
 
 let test_cache_validation () =
   Alcotest.check_raises "warm_rate"

@@ -138,6 +138,59 @@ let test_cv_and_imbalance () =
   check_float 1e-12 "imbalance skew" 1.5 (Stat.imbalance [ 1.0; 3.0; 2.0 ]);
   check_float 1e-12 "imbalance empty" 0.0 (Stat.imbalance [])
 
+(* The log-binned estimator against the exact retained-sample answer:
+   within the bin ratio (2%) on a heavy-ish latency-shaped draw, with
+   min and max exact. *)
+let test_quantile_vs_sample () =
+  let q = Stat.Quantile.create () in
+  let s = Stat.Sample.create () in
+  let rng = Rng.create 3 in
+  for _ = 1 to 20_000 do
+    let x = Rng.exponential rng ~mean:0.05 in
+    Stat.Quantile.add q x;
+    Stat.Sample.add s x
+  done;
+  check_int "count" 20_000 (Stat.Quantile.count q);
+  check_float 1e-12 "min exact" (Stat.Sample.percentile s 0.0)
+    (Stat.Quantile.min_value q);
+  check_float 1e-12 "max exact" (Stat.Sample.percentile s 100.0)
+    (Stat.Quantile.max_value q);
+  List.iter
+    (fun p ->
+      let exact = Stat.Sample.percentile s p in
+      let approx = Stat.Quantile.percentile q p in
+      if Float.abs (approx -. exact) > 0.03 *. exact then
+        Alcotest.failf "p%g: estimate %g vs exact %g" p approx exact)
+    [ 50.0; 90.0; 95.0; 99.0 ]
+
+let test_quantile_edges () =
+  let q = Stat.Quantile.create () in
+  (match Stat.Quantile.percentile q 50.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty estimator must raise");
+  Stat.Quantile.add q 0.25;
+  check_float 1e-12 "single value p50" 0.25 (Stat.Quantile.percentile q 50.0);
+  check_float 1e-12 "single value p99" 0.25 (Stat.Quantile.percentile q 99.0);
+  (* below the binned range: clamped to the exact min, not the floor *)
+  Stat.Quantile.add q 1e-9;
+  check_float 1e-12 "underflow clamps to min" 1e-9
+    (Stat.Quantile.percentile q 10.0);
+  match Stat.Quantile.percentile q 101.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p out of range must raise"
+
+let prop_quantile_in_range =
+  QCheck.Test.make ~count:200 ~name:"quantile estimate stays in [min, max]"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 60) (float_bound_exclusive 1000.0))
+        (float_bound_inclusive 100.0))
+    (fun (values, p) ->
+      let q = Stat.Quantile.create () in
+      List.iter (fun x -> Stat.Quantile.add q (x +. 1e-6)) values;
+      let est = Stat.Quantile.percentile q p in
+      Stat.Quantile.min_value q <= est && est <= Stat.Quantile.max_value q)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~count:200 ~name:"percentile is monotone in p"
     QCheck.(
@@ -182,9 +235,13 @@ let suite =
     Alcotest.test_case "sample reset" `Quick test_sample_reset;
     Alcotest.test_case "histogram" `Quick test_histogram;
     Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    Alcotest.test_case "quantile vs exact sample" `Quick
+      test_quantile_vs_sample;
+    Alcotest.test_case "quantile edges" `Quick test_quantile_edges;
     Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
     Alcotest.test_case "median_of" `Quick test_median_of;
     Alcotest.test_case "cv and imbalance" `Quick test_cv_and_imbalance;
+    QCheck_alcotest.to_alcotest prop_quantile_in_range;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
     QCheck_alcotest.to_alcotest prop_welford_merge_commutes;
   ]

@@ -1,0 +1,244 @@
+(* The streaming workload engine: streamed == materialized for every
+   generator at equal seeds, cursor independence, sorted uniform
+   arrivals, the file-set interner, and the O(streams + inflight) heap
+   bound of the streaming driver. *)
+
+open Workload
+module Interner = Sharedfs.File_set.Interner
+
+let check_int = Alcotest.(check int)
+
+(* Fail-fast structural comparison between a stream and a materialized
+   trace: same length and duration, record-for-record equal times,
+   requests and demands, and every item's dense [fs] id naming the
+   request's file set through the stream's own id order. *)
+let expect_stream_equals_trace what (stream : Stream.t) trace =
+  let names = Array.of_list (Stream.file_sets stream) in
+  let records = Trace.records trace in
+  check_int (what ^ ": total") (Array.length records) (Stream.total stream);
+  Alcotest.(check (float 0.0))
+    (what ^ ": duration") (Trace.duration trace)
+    (Stream.duration stream);
+  let cursor = Stream.start stream in
+  Array.iteri
+    (fun i (r : Trace.record) ->
+      match cursor () with
+      | None ->
+        Alcotest.failf "%s: stream ended at record %d of %d" what i
+          (Array.length records)
+      | Some (it : Stream.item) ->
+        if
+          not
+            (it.time = r.time && it.demand = r.demand
+           && it.request = r.request
+            && names.(it.fs) = r.request.Sharedfs.Request.file_set)
+        then Alcotest.failf "%s: record %d differs" what i)
+    records;
+  match cursor () with
+  | None -> ()
+  | Some _ -> Alcotest.failf "%s: stream yields past its total" what
+
+(* Small configs so the qcheck property stays fast; each takes the
+   drawn seed so streamed-vs-materialized is checked at equal seeds. *)
+let small_synthetic seed =
+  { Synthetic.default_config with file_sets = 40; requests = 600; seed }
+
+let small_shifting seed =
+  {
+    Shifting.default_config with
+    file_sets = 24;
+    requests = 700;
+    phases = 4;
+    seed;
+  }
+
+let small_dfs seed = { Dfs_like.default_config with requests = 800; seed }
+
+let small_sessions seed =
+  {
+    Sessions.default_config with
+    clients = 12;
+    file_sets = 16;
+    sessions = 80;
+    seed;
+  }
+
+let with_temp_trace trace f =
+  let path = Filename.temp_file "shdisk-stream" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save trace ~path;
+      f path)
+
+let check_all_generators seed =
+  expect_stream_equals_trace "synthetic"
+    (Synthetic.stream (small_synthetic seed))
+    (Synthetic.generate (small_synthetic seed));
+  expect_stream_equals_trace "shifting"
+    (Shifting.stream (small_shifting seed))
+    (Shifting.generate (small_shifting seed));
+  expect_stream_equals_trace "dfs_like"
+    (Dfs_like.stream (small_dfs seed))
+    (Dfs_like.generate (small_dfs seed));
+  expect_stream_equals_trace "sessions"
+    (Sessions.stream (small_sessions seed))
+    (Sessions.generate (small_sessions seed));
+  (* the fifth generator: trace replay from disk *)
+  with_temp_trace
+    (Dfs_like.generate (small_dfs seed))
+    (fun path ->
+      expect_stream_equals_trace "trace_io"
+        (Trace_io.stream ~path)
+        (Trace_io.load ~path))
+
+let test_generators_once () = check_all_generators 11
+
+let prop_streamed_equals_materialized =
+  QCheck.Test.make ~count:10 ~name:"streamed == materialized at equal seeds"
+    (QCheck.make QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      check_all_generators seed;
+      true)
+
+let test_trace_adapters () =
+  let trace = Synthetic.generate (small_synthetic 3) in
+  expect_stream_equals_trace "of_trace" (Stream.of_trace trace) trace;
+  let stream = Sessions.stream (small_sessions 9) in
+  expect_stream_equals_trace "to_trace" stream (Stream.to_trace stream)
+
+(* Cursors must be independent: draining one before touching the other
+   cannot perturb either sequence (the driver and the prescient oracle
+   each hold their own). *)
+let test_cursor_independence () =
+  let drain cursor =
+    let rec go acc =
+      match cursor () with None -> List.rev acc | Some it -> go (it :: acc)
+    in
+    go []
+  in
+  let stream = Shifting.stream (small_shifting 7) in
+  let a = Stream.start stream in
+  let b = Stream.start stream in
+  let xs = drain a in
+  let ys = drain b in
+  check_int "cursor lengths" (List.length xs) (List.length ys);
+  if not (List.for_all2 (fun (x : Stream.item) y -> x = y) xs ys) then
+    Alcotest.fail "independent cursors disagree"
+
+let test_sorted_uniforms () =
+  let rng = Desim.Rng.create 17 in
+  let next = Stream.sorted_uniforms rng ~n:500 ~lo:2.0 ~hi:10.0 in
+  let prev = ref 2.0 in
+  for i = 1 to 500 do
+    let x = next () in
+    if x < !prev || x > 10.0 then
+      Alcotest.failf "draw %d out of order or range: %g (prev %g)" i x !prev;
+    prev := x
+  done;
+  match next () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument past n draws"
+
+let test_interner_basics () =
+  let i = Interner.create () in
+  check_int "first id" 0 (Interner.intern i "a");
+  check_int "second id" 1 (Interner.intern i "b");
+  check_int "re-intern is stable" 0 (Interner.intern i "a");
+  check_int "size" 2 (Interner.size i);
+  Alcotest.(check string) "name" "b" (Interner.name i 1);
+  Alcotest.(check (option int)) "find" (Some 1) (Interner.find i "b");
+  Alcotest.(check (option int)) "find missing" None (Interner.find i "zz");
+  Alcotest.(check (list string)) "names in id order" [ "a"; "b" ]
+    (Interner.names i);
+  (match Interner.intern i "" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty name must be rejected");
+  let j = Interner.of_names [ "x"; "y"; "z" ] in
+  check_int "of_names size" 3 (Interner.size j);
+  check_int "of_names keeps list positions" 2 (Interner.id j "z")
+
+let prop_interner_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"interner round-trip & uniqueness"
+    QCheck.(
+      list_of_size
+        Gen.(1 -- 30)
+        (string_gen_of_size Gen.(1 -- 8) Gen.printable))
+    (fun names ->
+      let i = Interner.create () in
+      let ids = List.map (Interner.intern i) names in
+      List.for_all2
+        (fun n id ->
+          Interner.name i id = n
+          && Interner.intern i n = id
+          && Interner.id i n = id
+          && Interner.find i n = Some id)
+        names ids
+      && Interner.size i = List.length (List.sort_uniq compare names)
+      && List.for_all2
+           (fun n1 id1 ->
+             List.for_all2 (fun n2 id2 -> n1 = n2 = (id1 = id2)) names ids)
+           names ids)
+
+(* The tentpole's memory claim as a regression test: scale one
+   workload 20x at constant offered load (mean demand divided by the
+   same factor) and the event-heap high-water mark must stay flat —
+   O(streams + inflight), not O(requests). *)
+let test_driver_heap_bound () =
+  let small =
+    { Synthetic.default_config with file_sets = 60; requests = 2_000; seed = 5 }
+  in
+  let big =
+    {
+      small with
+      requests = small.requests * 20;
+      mean_demand = small.mean_demand /. 20.0;
+    }
+  in
+  let run cfg =
+    Experiments.Runner.run_stream Experiments.Scenario.default
+      (Experiments.Scenario.Anu Placement.Anu.default_config)
+      ~stream:(Synthetic.stream cfg) ()
+  in
+  let rs = run small in
+  let rb = run big in
+  check_int "small run completes" small.requests rs.completed;
+  check_int "big run completes" big.requests rb.completed;
+  if rb.sim_peak_pending >= (4 * rs.sim_peak_pending) + 64 then
+    Alcotest.failf "heap grew with request count: %d -> %d at 20x requests"
+      rs.sim_peak_pending rb.sim_peak_pending
+
+(* The legacy trace driver is the streaming driver over [of_trace]:
+   materializing a generator's stream and running it must reproduce
+   the streamed run bit for bit, oracle included (Prescient forces the
+   look-ahead path). *)
+let test_run_matches_run_stream () =
+  let stream = Synthetic.stream (small_synthetic 21) in
+  let scenario = Experiments.Scenario.default in
+  let spec = Experiments.Scenario.Prescient in
+  let trace = Stream.to_trace stream in
+  let a = Experiments.Runner.run scenario spec ~trace () in
+  let b = Experiments.Runner.run_stream scenario spec ~stream () in
+  check_int "completed" a.completed b.completed;
+  check_int "submitted" a.submitted b.submitted;
+  check_int "rounds" a.reconfig_rounds b.reconfig_rounds;
+  check_int "moves" (List.length a.moves) (List.length b.moves);
+  Alcotest.(check (float 0.0)) "mean" a.overall_mean b.overall_mean;
+  Alcotest.(check (float 0.0)) "p95" a.overall_p95 b.overall_p95;
+  Alcotest.(check (float 0.0)) "max" a.overall_max b.overall_max
+
+let suite =
+  [
+    Alcotest.test_case "generators: streamed == materialized" `Quick
+      test_generators_once;
+    Alcotest.test_case "trace adapters round-trip" `Quick test_trace_adapters;
+    Alcotest.test_case "cursors are independent" `Quick
+      test_cursor_independence;
+    Alcotest.test_case "sorted_uniforms" `Quick test_sorted_uniforms;
+    Alcotest.test_case "interner basics" `Quick test_interner_basics;
+    Alcotest.test_case "driver heap stays O(streams)" `Quick
+      test_driver_heap_bound;
+    Alcotest.test_case "run == run_stream" `Quick test_run_matches_run_stream;
+    QCheck_alcotest.to_alcotest prop_streamed_equals_materialized;
+    QCheck_alcotest.to_alcotest prop_interner_roundtrip;
+  ]

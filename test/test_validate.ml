@@ -26,7 +26,7 @@ let test_delegate_crash_forgets_history () =
     }
   in
   let feedback reports =
-    { Placement.Policy.time = 0.0; reports; future_demand = [] }
+    { Placement.Policy.time = 0.0; reports; future_demand = lazy [] }
   in
   (* Establish history: server 0 at 100ms. *)
   Placement.Anu.rebalance t (feedback [ report 0 100.0; report 1 10.0 ]);
