@@ -163,7 +163,10 @@ let run_cmd =
     in
     match build with
     | None ->
-      Logs.err (fun m -> m "unknown experiment %s; try `shdisk-sim list'" id);
+      Logs.err (fun m ->
+          m "unknown experiment %s; registered experiments are:@.  %s" id
+            (String.concat "\n  "
+               (Experiments.Figures.all_ids @ [ "fig6-stream" ])));
       exit 1
     | Some build ->
       let ctx =
@@ -262,51 +265,106 @@ let validate_cmd =
   in
   Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ verbosity_t $ quick)
 
+(* Options shared by `chaos' and `fsck' (fsck audits the ledger a
+   chaos run leaves behind, so it takes the same knobs). *)
+let chaos_seed_t =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Fault-plan and workload seed.  Equal seeds reproduce the run \
+           byte for byte.")
+
+let chaos_policy_t =
+  let specs =
+    [
+      ("anu", Experiments.Scenario.Anu Placement.Anu.default_config);
+      ("simple-random", Experiments.Scenario.Simple_random);
+      ("round-robin", Experiments.Scenario.Round_robin);
+      ("prescient", Experiments.Scenario.Prescient);
+      ("consistent-hash", Experiments.Scenario.Consistent_hash);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum specs) (Experiments.Scenario.Anu Placement.Anu.default_config)
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Placement policy under test: anu, simple-random, round-robin, \
+           prescient or consistent-hash.")
+
+let chaos_duration_t =
+  Arg.(
+    value
+    & opt (enum [ ("short", true); ("full", false) ]) false
+    & info [ "duration" ] ~docv:"D"
+        ~doc:"short (CI smoke, ~10x smaller workload) or full.")
+
+let chaos_plan_t =
+  Arg.(
+    value
+    & opt (enum [ ("default", `Default); ("partition", `Partition) ]) `Default
+    & info [ "plan" ] ~docv:"PLAN"
+        ~doc:
+          "Stock fault mix: default (crashes, report loss, mid-move \
+           crashes, a disk stall) or partition (the delegate loses the \
+           cluster network mid-move, a second server loses its disk path, \
+           one ledger append tears).")
+
+(* Every fault spec kind a plan can carry, straight from the library so
+   --help can never drift from the implementation. *)
+let fault_kinds_man =
+  `S "FAULT SPEC KINDS"
+  :: `P
+       "A $(b,Fault.Plan) is a seed plus a list of fault specs; the stock \
+        mixes above combine these.  Every kind a plan can schedule:"
+  :: List.map
+       (fun (name, desc) -> `I (Printf.sprintf "$(b,%s)" name, desc))
+       Fault.Plan.spec_kinds
+
 let chaos_cmd =
   let doc =
     "Run a seeded fault-injection campaign with continuous invariant \
      checking and print the survival summary."
   in
-  let seed =
-    Arg.(
-      value & opt int 42
-      & info [ "seed" ] ~docv:"N"
-          ~doc:
-            "Fault-plan and workload seed.  Equal seeds reproduce the run \
-             byte for byte.")
-  in
-  let policy =
-    let specs =
-      [
-        ("anu", Experiments.Scenario.Anu Placement.Anu.default_config);
-        ("simple-random", Experiments.Scenario.Simple_random);
-        ("round-robin", Experiments.Scenario.Round_robin);
-        ("prescient", Experiments.Scenario.Prescient);
-        ("consistent-hash", Experiments.Scenario.Consistent_hash);
-      ]
-    in
-    Arg.(
-      value
-      & opt (enum specs) (Experiments.Scenario.Anu Placement.Anu.default_config)
-      & info [ "policy" ] ~docv:"POLICY"
-          ~doc:
-            "Placement policy under test: anu, simple-random, round-robin, \
-             prescient or consistent-hash.")
-  in
-  let duration =
-    Arg.(
-      value
-      & opt (enum [ ("short", true); ("full", false) ]) false
-      & info [ "duration" ] ~docv:"D"
-          ~doc:"short (CI smoke, ~10x smaller workload) or full.")
-  in
-  let run () seed spec quick =
-    let summary = Experiments.Chaos.run ~quick ~seed ~spec () in
+  let run () seed spec quick plan_kind =
+    let summary = Experiments.Chaos.run ~quick ~plan_kind ~seed ~spec () in
     Format.printf "%a" Experiments.Chaos.pp summary;
     if not summary.Experiments.Chaos.survived then exit 1
   in
-  Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ verbosity_t $ seed $ policy $ duration)
+  Cmd.v (Cmd.info "chaos" ~doc ~man:fault_kinds_man)
+    Term.(
+      const run $ verbosity_t $ chaos_seed_t $ chaos_policy_t
+      $ chaos_duration_t $ chaos_plan_t)
+
+let fsck_cmd =
+  let doc =
+    "Run a seeded chaos campaign, then replay the on-disk ownership ledger \
+     and audit it against in-memory ownership."
+  in
+  let run () seed spec quick plan_kind =
+    let summary = Experiments.Chaos.run ~quick ~plan_kind ~seed ~spec () in
+    let r = summary.Experiments.Chaos.fsck in
+    Format.printf "fsck: %d ledger record(s) replayed@."
+      r.Sharedfs.Cluster.records;
+    Format.printf
+      "  torn during run: %d, repaired during run: %d, still torn: %d@."
+      summary.Experiments.Chaos.torn_writes
+      summary.Experiments.Chaos.torn_repaired r.Sharedfs.Cluster.torn_found;
+    (match r.Sharedfs.Cluster.divergent with
+    | [] -> Format.printf "  ledger and in-memory ownership agree@."
+    | ds ->
+      Format.printf "  %d divergence(s):@." (List.length ds);
+      List.iter (fun d -> Format.printf "    %s@." d) ds);
+    let ok = summary.Experiments.Chaos.survived && r.Sharedfs.Cluster.clean in
+    Format.printf "  %s@."
+      (if r.Sharedfs.Cluster.clean then "CLEAN" else "DIVERGENT");
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "fsck" ~doc ~man:fault_kinds_man)
+    Term.(
+      const run $ verbosity_t $ chaos_seed_t $ chaos_policy_t
+      $ chaos_duration_t $ chaos_plan_t)
 
 let motivation_cmd =
   let doc =
@@ -333,6 +391,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; trace_cmd; validate_cmd; chaos_cmd;
+            list_cmd; run_cmd; trace_cmd; validate_cmd; chaos_cmd; fsck_cmd;
             motivation_cmd;
           ]))

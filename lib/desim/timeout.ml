@@ -1,6 +1,11 @@
-type policy = { timeout : float; retries : int; backoff : float }
+type policy = {
+  timeout : float;
+  retries : int;
+  backoff : float;
+  jitter : float;
+}
 
-let default = { timeout = 1.0; retries = 2; backoff = 2.0 }
+let default = { timeout = 1.0; retries = 2; backoff = 2.0; jitter = 0.0 }
 
 let validate p =
   if p.timeout <= 0.0 then
@@ -8,9 +13,23 @@ let validate p =
   if p.retries < 0 then
     invalid_arg "Timeout.validate: retries must be non-negative";
   if p.backoff < 1.0 then
-    invalid_arg "Timeout.validate: backoff must be at least 1"
+    invalid_arg "Timeout.validate: backoff must be at least 1";
+  if p.jitter < 0.0 || p.jitter >= 1.0 then
+    invalid_arg "Timeout.validate: jitter must be in [0, 1)"
 
 let attempts p = p.retries + 1
+
+let window p i = p.timeout *. (p.backoff ** float_of_int i)
+
+(* The jitter draw is skipped entirely at [jitter = 0], so a policy
+   without jitter consumes nothing from [rng] and stays byte-identical
+   to the pre-jitter schedule no matter what generator is passed. *)
+let jittered_window ?rng p i =
+  let base = window p i in
+  match rng with
+  | Some r when p.jitter > 0.0 ->
+    base *. (1.0 +. (p.jitter *. ((2.0 *. Rng.float r) -. 1.0)))
+  | Some _ | None -> base
 
 (* Sum of the windows before attempt [i]; closed form avoided so the
    [backoff = 1] case needs no special-casing and rounding matches the
@@ -23,7 +42,7 @@ let attempt_start p i =
 
 let deadline p = attempt_start p (attempts p)
 
-let retry sim p ~attempt ~on_exhausted =
+let retry ?rng sim p ~attempt ~on_exhausted =
   validate p;
   let n = attempts p in
   let rec arm i =
@@ -32,7 +51,7 @@ let retry sim p ~attempt ~on_exhausted =
       match attempt i with
       | `Done -> ()
       | `Again ->
-        let window = p.timeout *. (p.backoff ** float_of_int i) in
+        let window = jittered_window ?rng p i in
         let (_ : Sim.handle) =
           Sim.schedule sim ~delay:window (fun () -> arm (i + 1))
         in

@@ -6,38 +6,61 @@
     more times with the waiting window scaled by [backoff] each time.
     The schedule is a pure function of the policy, so protocol layers
     (the delegate's report collection) can precompute every attempt
-    time and the final give-up deadline deterministically. *)
+    time and the final give-up deadline deterministically.
+
+    A non-zero [jitter] desynchronizes retry storms: each waiting
+    window is scaled by a uniform factor in [1 - jitter, 1 + jitter]
+    drawn from a caller-supplied generator.  Determinism is preserved —
+    callers split one generator per participant ({!Rng.split}), so the
+    whole schedule remains a pure function of the seed. *)
 
 type policy = {
   timeout : float;  (** seconds to wait for the first reply *)
   retries : int;  (** additional attempts after the first *)
   backoff : float;  (** multiplier applied to each successive window *)
+  jitter : float;
+      (** relative window perturbation in [0, 1); [0] (the default
+          policy) reproduces the exact deterministic schedule *)
 }
 
-(** Waits 1 s, retries twice, doubling the window: gives up 7 s in. *)
+(** Waits 1 s, retries twice, doubling the window, no jitter: gives up
+    7 s in. *)
 val default : policy
 
 (** [validate p] raises [Invalid_argument] unless [timeout > 0],
-    [retries >= 0] and [backoff >= 1]. *)
+    [retries >= 0], [backoff >= 1] and [0 <= jitter < 1]. *)
 val validate : policy -> unit
 
 (** [attempts p] is [retries + 1], the total number of tries. *)
 val attempts : policy -> int
 
+(** [window p i] is the nominal (jitter-free) waiting window of
+    0-based attempt [i]: [timeout *. backoff ^ i]. *)
+val window : policy -> int -> float
+
+(** [jittered_window ?rng p i] is [window p i] scaled by a uniform
+    factor in [1 - jitter, 1 + jitter] drawn from [rng].  Nothing is
+    drawn — and the nominal window returned — when [jitter = 0] or
+    [rng] is absent, so jitter-free policies never perturb an existing
+    generator's stream. *)
+val jittered_window : ?rng:Rng.t -> policy -> int -> float
+
 (** [attempt_start p i] is the offset (from the operation start) at
     which 0-based attempt [i] is issued: the sum of the preceding
-    windows [timeout *. backoff^j]. *)
+    nominal windows [timeout *. backoff^j]. *)
 val attempt_start : policy -> int -> float
 
-(** [deadline p] is the offset at which the last attempt's window
-    closes — the point of giving up. *)
+(** [deadline p] is the offset at which the last attempt's nominal
+    window closes — the point of giving up. *)
 val deadline : policy -> float
 
-(** [retry sim p ~attempt ~on_exhausted] drives the discipline on the
-    simulator clock: [attempt i] is called at [attempt_start p i] for
-    each [i] until it returns [`Done]; if every attempt returns
-    [`Again], [on_exhausted] fires at [deadline p]. *)
+(** [retry ?rng sim p ~attempt ~on_exhausted] drives the discipline on
+    the simulator clock: [attempt i] is called for each [i] until it
+    returns [`Done]; if every attempt returns [`Again], [on_exhausted]
+    fires once the last window closes.  Windows are jittered when
+    [rng] is given and [p.jitter > 0]. *)
 val retry :
+  ?rng:Rng.t ->
   Sim.t ->
   policy ->
   attempt:(int -> [ `Done | `Again ]) ->

@@ -21,25 +21,43 @@ type summary = {
   rounds : int;
   rounds_degraded : int;
   rounds_skipped : int;
+  rounds_fenced : int;
   reelections : int;
+  epoch_bumps : int;
   reports_lost : int;
   moves_started : int;
   moves_failed : int;
+  zombie_writes_rejected : int;
+  torn_writes : int;
+  torn_repaired : int;
   faults : (string * int) list;
   violations : (float * string) list;
+  fsck : Sharedfs.Cluster.fsck_report;
   survived : bool;
 }
 
-let run ?(quick = false) ?plan ~seed ~spec () =
+let run ?(quick = false) ?plan ?(plan_kind = `Default) ~seed ~spec () =
   let trace = trace ~quick ~seed in
   let duration = Workload.Trace.duration trace in
   let plan =
     match plan with
     | Some p -> p
-    | None -> Fault.Plan.default ~seed ~duration
+    | None -> (
+      match plan_kind with
+      | `Default -> Fault.Plan.default ~seed ~duration
+      | `Partition -> Fault.Plan.partition_mix ~seed ~duration)
   in
   let obs = Obs.Ctx.create ~metrics:(Obs.Metrics.create ()) () in
-  let result = Runner.run Scenario.default spec ~trace ~obs ~faults:plan () in
+  let cluster = ref None in
+  let result =
+    Runner.run Scenario.default spec ~trace ~obs ~faults:plan
+      ~on_cluster:(fun c -> cluster := Some c)
+      ()
+  in
+  (* Post-run audit: replay the ledger once more with repair off — the
+     run's own invariant checks already repaired any torn record, so a
+     surviving run must come out clean without further surgery. *)
+  let fsck = Sharedfs.Cluster.fsck ~repair:false (Option.get !cluster) in
   let counters =
     match result.Runner.metrics with
     | Some snap -> snap.Obs.Metrics.counters
@@ -71,13 +89,22 @@ let run ?(quick = false) ?plan ~seed ~spec () =
     rounds = result.Runner.reconfig_rounds;
     rounds_degraded = counter "rounds.degraded";
     rounds_skipped = counter "rounds.skipped";
+    rounds_fenced = counter "rounds.fenced";
     reelections = counter "delegate.reelections";
+    epoch_bumps = counter "fence.epoch_bump";
     reports_lost = counter "reports.lost";
     moves_started = counter "moves.started";
     moves_failed = counter "moves.failed";
+    zombie_writes_rejected = counter "fence.write_rejected";
+    torn_writes = counter "ledger.torn_writes";
+    torn_repaired = counter "ledger.repaired";
     faults;
     violations;
-    survived = violations = [] && result.Runner.completed = result.Runner.submitted;
+    fsck;
+    survived =
+      violations = []
+      && result.Runner.completed = result.Runner.submitted
+      && fsck.Sharedfs.Cluster.clean;
   }
 
 let pp ppf s =
@@ -85,10 +112,16 @@ let pp ppf s =
     s.duration;
   Fmt.pf ppf "  requests: submitted=%d completed=%d rebuffered=%d@."
     s.submitted s.completed s.requests_rebuffered;
-  Fmt.pf ppf "  rounds:   total=%d degraded=%d skipped=%d reelections=%d@."
-    s.rounds s.rounds_degraded s.rounds_skipped s.reelections;
+  Fmt.pf ppf
+    "  rounds:   total=%d degraded=%d skipped=%d fenced=%d reelections=%d@."
+    s.rounds s.rounds_degraded s.rounds_skipped s.rounds_fenced s.reelections;
   Fmt.pf ppf "  moves:    started=%d failed=%d  reports lost: %d@."
     s.moves_started s.moves_failed s.reports_lost;
+  Fmt.pf ppf "  fencing:  epoch bumps=%d zombie writes rejected=%d@."
+    s.epoch_bumps s.zombie_writes_rejected;
+  Fmt.pf ppf "  ledger:   records=%d torn=%d repaired=%d fsck=%s@."
+    s.fsck.Sharedfs.Cluster.records s.torn_writes s.torn_repaired
+    (if s.fsck.Sharedfs.Cluster.clean then "clean" else "DIVERGENT");
   (match s.faults with
   | [] -> Fmt.pf ppf "  faults injected: none@."
   | faults ->

@@ -18,29 +18,43 @@ type summary = {
   rounds : int;  (** reconfiguration rounds attempted *)
   rounds_degraded : int;  (** averaged over a surviving quorum *)
   rounds_skipped : int;  (** below quorum: tuned nothing *)
+  rounds_fenced : int;
+      (** decisions discarded because the lease epoch changed hands
+          while reports were in flight *)
   reelections : int;  (** delegate crashes absorbed *)
+  epoch_bumps : int;  (** lease epoch advances (elections won) *)
   reports_lost : int;  (** delivery attempts that vanished *)
   moves_started : int;
   moves_failed : int;  (** moves interrupted by an endpoint crash *)
+  zombie_writes_rejected : int;
+      (** writes from fenced servers the disk turned away *)
+  torn_writes : int;  (** ledger appends that tore mid-sector *)
+  torn_repaired : int;  (** torn records rewritten from the mirror *)
   faults : (string * int) list;
       (** every injected fault by kind, sorted by name *)
   violations : (float * string) list;
       (** invariant breaches, in detection order; empty on survival *)
+  fsck : Sharedfs.Cluster.fsck_report;
+      (** post-run ledger audit, run with repair {e off} — a surviving
+          run must already be clean *)
   survived : bool;
-      (** no invariant violated {e and} every submitted request
-          completed *)
+      (** no invariant violated, every submitted request completed,
+          {e and} the post-run fsck came back clean *)
 }
 
 (** [run ~seed ~spec ()] executes one chaos run.
 
     [quick] (default false) shrinks the workload tenfold — the CI
-    smoke setting.  [plan] defaults to
-    [Fault.Plan.default ~seed ~duration]; the workload generator is
-    seeded from [seed] too, so the whole run replays from one
-    number. *)
+    smoke setting.  [plan] overrides the fault plan outright;
+    otherwise [plan_kind] picks the stock mix:
+    [`Default] ([Fault.Plan.default ~seed ~duration]) or [`Partition]
+    ([Fault.Plan.partition_mix ~seed ~duration], the fencing/ledger
+    exercise).  The workload generator is seeded from [seed] too, so
+    the whole run replays from one number. *)
 val run :
   ?quick:bool ->
   ?plan:Fault.Plan.t ->
+  ?plan_kind:[ `Default | `Partition ] ->
   seed:int ->
   spec:Scenario.policy_spec ->
   unit ->

@@ -310,6 +310,31 @@ let failure_recovery_chaos ?(quick = false) ?jobs:_ ?obs () =
     results;
   }
 
+let partition_chaos ?(quick = false) ?jobs:_ ?obs () =
+  let trace = synthetic_trace ~quick in
+  let duration = Workload.Trace.duration trace in
+  let faults = Fault.Plan.partition_mix ~seed:42 ~duration in
+  let results =
+    List.map
+      (fun spec -> Runner.run Scenario.default spec ~trace ~faults ?obs ())
+      [ anu_spec; Scenario.Round_robin ]
+  in
+  {
+    id = "partition-chaos";
+    title = "Partitions, fencing and the ownership ledger (extension)";
+    description =
+      "ANU and the round-robin baseline under the partition-centric chaos \
+       mix: the elected delegate loses the cluster network while round-1 \
+       moves are in flight (it is fenced at the disk and its zombie writes \
+       rejected while the survivors re-elect under a bumped lease epoch), a \
+       second server later loses its disk path, one ledger append tears \
+       mid-sector, and light report loss rides along.  On top of the usual \
+       invariants, every check audits the lease (at most one live unfenced \
+       believer), the fence (no zombie write ever lands) and the ledger \
+       (replay agrees with in-memory ownership).";
+    results;
+  }
+
 let registry =
   [
     ("fig6", fig6);
@@ -325,6 +350,7 @@ let registry =
     ("decentralized", decentralized);
     ("failure-recovery", failure_recovery);
     ("failure-recovery-chaos", failure_recovery_chaos);
+    ("partition-chaos", partition_chaos);
   ]
 
 let all_ids = List.map fst registry

@@ -78,6 +78,16 @@ val failure_recovery : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> fig
 val failure_recovery_chaos :
   ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
+(** Extension: the partition-centric chaos story — the elected
+    delegate is partitioned from the cluster mid-move (fenced at the
+    disk, zombie writes rejected, epoch-bumping re-election), a second
+    server loses its disk path, and one ledger append tears; lease,
+    fencing and ledger invariants are checked after every round.
+    Byte-reproducible from [shdisk-sim chaos --plan partition]'s plan
+    (seed 42). *)
+val partition_chaos :
+  ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
+
 (** [dfs_stream ~requests] is the figure-6 workload as a pull stream
     at an arbitrary request count: the count scales while the mean
     demand scales inversely, holding offered load at the figure's

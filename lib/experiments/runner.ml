@@ -52,7 +52,7 @@ let reconcile cluster policy names =
     0 names
 
 let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
-    ?faults ?check_invariants ?invariant_extra ?on_sim_created
+    ?faults ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
     ?on_request_complete () =
   (* One figure runs several simulations, possibly concurrently (one
      per domain): derive a per-run context with a fresh metrics
@@ -73,6 +73,7 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
       ?cache_config:scenario.Scenario.cache_config
       ~series_interval:scenario.Scenario.series_interval ~servers ~obs ()
   in
+  Option.iter (fun f -> f cluster) on_cluster;
   let emit_rehash ~time ~trigger moved =
     if Obs.Ctx.tracing obs then
       Obs.Ctx.emit obs
@@ -98,18 +99,23 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
     | None -> Option.is_some faults
   in
   let violations = ref [] in
+  let bump name =
+    match Obs.Ctx.metrics obs with
+    | None -> ()
+    | Some m -> Obs.Metrics.Counter.incr (Obs.Metrics.counter m name)
+  in
   let check_now () =
     if do_check then
       List.iter
         (fun v ->
           violations :=
-            (v.Fault.Invariants.time, v.Fault.Invariants.what) :: !violations)
+            (v.Fault.Invariants.time, v.Fault.Invariants.what) :: !violations;
+          bump "invariants.violations";
+          if Obs.Ctx.tracing obs then
+            Obs.Ctx.emit obs
+              (Obs.Event.Invariant_violation
+                 { time = v.Fault.Invariants.time; what = v.Fault.Invariants.what }))
         (Fault.Invariants.check ?extra:invariant_extra ~cluster ~policy ())
-  in
-  let bump name =
-    match Obs.Ctx.metrics obs with
-    | None -> ()
-    | Some m -> Obs.Metrics.Counter.incr (Obs.Metrics.counter m name)
   in
   (match (Obs.Ctx.metrics obs, faults) with
   | Some m, Some _ ->
@@ -119,7 +125,9 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
       (fun n -> ignore (Obs.Metrics.counter m n))
       [
         "delegate.reelections"; "reports.lost"; "rounds.degraded";
-        "rounds.skipped";
+        "rounds.skipped"; "rounds.fenced"; "fence.epoch_bump";
+        "fence.write_rejected"; "ledger.torn_writes"; "ledger.replays";
+        "ledger.repaired"; "invariants.violations";
       ]
   | _ -> ());
   let emit_membership ~time server change =
@@ -127,10 +135,13 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
       Obs.Ctx.emit obs (Obs.Event.Membership { time; server; change })
   in
   let do_delegate_crash () =
-    (* Re-election itself is trivial (lowest alive id); what a crash
+    (* Picking the successor is trivial (lowest alive id); what a crash
        actually costs is whatever non-replicated state the delegate
-       held — ANU's divergent-tuning history. *)
+       held — ANU's divergent-tuning history — plus an epoch bump on
+       the on-disk lease, which fences any round the old incumbent
+       still had in flight. *)
     policy.Placement.Policy.delegate_crashed ();
+    let (_ : int) = Sharedfs.Cluster.reelect_delegate cluster in
     bump "delegate.reelections"
   in
   (* Guarded membership transitions, shared between scripted events
@@ -173,6 +184,67 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
       check_now ()
     end
   in
+  let emit_partition ~time id ~link ~healed =
+    if Obs.Ctx.tracing obs then
+      Obs.Ctx.emit obs
+        (Obs.Event.Partition
+           {
+             time;
+             server = Id.to_int id;
+             link = (match link with `Cluster -> "cluster" | `Disk -> "disk");
+             healed;
+           })
+  in
+  let do_partition id ~link =
+    if
+      Sharedfs.Cluster.mem_server cluster id
+      && (not (Sharedfs.Server.failed (Sharedfs.Cluster.server cluster id)))
+      && not (Sharedfs.Cluster.is_partitioned cluster id)
+    then begin
+      let now = Desim.Sim.now sim in
+      let was_delegate =
+        Sharedfs.Delegate.elect ~alive:(Sharedfs.Cluster.alive_ids cluster)
+        = Some id
+      in
+      (* Fence first (inside [partition_server]), then re-elect: the
+         isolated server may still believe it holds the lease, but its
+         writes are already dead on arrival and the epoch bump fences
+         whatever round it had in flight. *)
+      let (_ : string list) =
+        Sharedfs.Cluster.partition_server cluster id ~link
+      in
+      if was_delegate then do_delegate_crash ();
+      policy.Placement.Policy.server_failed id;
+      emit_partition ~time:now id ~link ~healed:false;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"partition" moved;
+      check_now ()
+    end
+  in
+  let do_heal id =
+    if
+      Sharedfs.Cluster.mem_server cluster id
+      && Sharedfs.Cluster.is_partitioned cluster id
+    then begin
+      let now = Desim.Sim.now sim in
+      let link =
+        match
+          List.assoc_opt id (Sharedfs.Cluster.partitioned_servers cluster)
+        with
+        | Some l -> l
+        | None -> `Cluster
+      in
+      (* [recover_server] takes the partition-heal path: unfence,
+         drop the stale lease belief, then rejoin cold. *)
+      Sharedfs.Cluster.recover_server cluster id;
+      policy.Placement.Policy.server_added id;
+      emit_partition ~time:now id ~link ~healed:true;
+      emit_membership ~time:now (Id.to_int id) Obs.Event.Recovered;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"heal" moved;
+      check_now ()
+    end
+  in
   let injector =
     Option.map
       (fun plan ->
@@ -182,6 +254,8 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
               Fault.Injector.crash_server = do_fail;
               recover_server = do_recover;
               crash_delegate = do_delegate_crash;
+              partition_server = do_partition;
+              heal_server = do_heal;
             }
           plan)
       faults
@@ -256,6 +330,12 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
     };
   Sharedfs.Cluster.assign_initial cluster
     (Placement.Policy.assignment_of policy names);
+  (* Chaos runs establish the delegate lease at time zero, so a fault
+     landing before the first round already finds an incumbent to
+     fence.  Fault-free runs never touch the lease (byte-identical
+     traces to the pre-lease engine). *)
+  if Option.is_some injector then
+    ignore (Sharedfs.Cluster.ensure_delegate cluster : int);
   (* Arrivals: a self-re-arming cursor event.  Only the next
      not-yet-due request occupies the heap, so heap occupancy is
      O(streams + inflight) — never O(requests). *)
@@ -324,7 +404,18 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                  the pre-chaos behaviour (and byte-identical traces). *)
               apply_round ~at ~round (Sharedfs.Delegate.collect cluster)
             | Some inj ->
-              let timeout = Fault.Plan.timeout (Option.get faults) in
+              let plan = Option.get faults in
+              let timeout = Fault.Plan.timeout plan in
+              (* The round runs under the lease epoch it started with;
+                 the decision only lands if that epoch still stands
+                 when the reports are in.  Jitter draws come from a
+                 per-round generator derived from the plan seed, so a
+                 chaos run stays byte-replayable. *)
+              let epoch_at_start = Sharedfs.Cluster.ensure_delegate cluster in
+              let rng =
+                Desim.Rng.create
+                  ((Fault.Plan.seed plan * 1_000_003) + round)
+              in
               let emit_degraded ~missing ~survivors ~skipped =
                 if Obs.Ctx.tracing obs then
                   Obs.Ctx.emit obs
@@ -337,7 +428,7 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                          skipped;
                        })
               in
-              Sharedfs.Delegate.collect_async cluster ~timeout
+              Sharedfs.Delegate.collect_async cluster ~rng ~timeout
                 ~fate:(fun ~server ~attempt ->
                   Fault.Injector.fate inj ~round ~server ~attempt)
                 ~k:(fun outcome ->
@@ -351,6 +442,19 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                     Fault.Injector.note_delegate_crash inj;
                     let moved = reconcile cluster policy names in
                     emit_rehash ~time:at ~trigger:"delegate-crash" moved;
+                    check_now ()
+                  end
+                  else if Sharedfs.Cluster.ensure_delegate cluster
+                          <> epoch_at_start
+                  then begin
+                    (* The lease changed hands while reports were in
+                       flight (the incumbent was partitioned or
+                       crashed): the round's decision is fenced —
+                       discarded, never applied — but orphan healing
+                       still runs under the new epoch. *)
+                    bump "rounds.fenced";
+                    let moved = reconcile cluster policy names in
+                    emit_rehash ~time:at ~trigger:"round-fenced" moved;
                     check_now ()
                   end
                   else
@@ -510,9 +614,9 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
   }
 
 let run scenario spec ~trace ?events ?obs ?faults ?check_invariants
-    ?invariant_extra ?on_sim_created ?on_request_complete () =
+    ?invariant_extra ?on_sim_created ?on_cluster ?on_request_complete () =
   run_stream scenario spec ~stream:(Workload.Stream.of_trace trace) ?events
-    ?obs ?faults ?check_invariants ?invariant_extra ?on_sim_created
+    ?obs ?faults ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
     ?on_request_complete ()
 
 let buckets_after result ~from_ =

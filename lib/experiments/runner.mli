@@ -81,25 +81,38 @@ type result = {
     and concurrent runs never share instruments.
 
     [faults] arms a {!Fault.Plan} against the run: timed crashes and
-    recoveries, mid-move crashes, disk stalls, and an unreliable
-    report channel — delegate rounds then collect asynchronously with
-    the plan's timeout/retry policy, average over survivors when a
-    quorum reports, and skip the round otherwise.  The fault-free path
-    is byte-identical to a run without the argument.
+    recoveries, partitions (with fencing, zombie-write probes and
+    heals), mid-move crashes, torn ledger appends, disk stalls, and an
+    unreliable report channel — delegate rounds then collect
+    asynchronously with the plan's timeout/retry policy, average over
+    survivors when a quorum reports, and skip the round otherwise.
+    Chaos runs also drive the delegate lease: the lease is established
+    at time zero and renewed at each round start, every round is
+    epoch-gated (a decision collected under an epoch that changed
+    hands mid-flight is fenced — discarded, counted under
+    [rounds.fenced]), and a delegate crash or partition forces an
+    epoch-bumping re-election.  Retry-backoff jitter draws come from a
+    per-round generator derived from the plan seed, so equal plans
+    replay byte-for-byte.  The fault-free path is byte-identical to a
+    run without the argument (the lease is never touched).
 
     [check_invariants] (default: on exactly when [faults] is given)
     runs {!Fault.Invariants.check} after every reconfiguration round
     and membership event and accumulates breaches in
-    [result.violations].  [invariant_extra] is appended to each check
-    — the test-suite hook for planting a deliberately broken
+    [result.violations]; each breach is also emitted as an
+    [Obs.Event.Invariant_violation] and counted under
+    [invariants.violations].  [invariant_extra] is appended to each
+    check — the test-suite hook for planting a deliberately broken
     invariant.
 
     [on_sim_created] runs right after the simulator is built, letting
     callers attach additional model components (e.g. a {!Sharedfs.San}
-    data path) to the same virtual clock.  [on_request_complete] fires
-    for every completed metadata request with its originating trace
-    record (synthesized from the stream item) and client-perceived
-    latency. *)
+    data path) to the same virtual clock.  [on_cluster] runs right
+    after the cluster is built — the hook that lets a caller keep the
+    handle for post-run audits ({!Sharedfs.Cluster.fsck}).
+    [on_request_complete] fires for every completed metadata request
+    with its originating trace record (synthesized from the stream
+    item) and client-perceived latency. *)
 val run_stream :
   Scenario.t ->
   Scenario.policy_spec ->
@@ -110,6 +123,7 @@ val run_stream :
   ?check_invariants:bool ->
   ?invariant_extra:(unit -> string list) ->
   ?on_sim_created:(Desim.Sim.t -> unit) ->
+  ?on_cluster:(Sharedfs.Cluster.t -> unit) ->
   ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
   unit ->
   result
@@ -129,6 +143,7 @@ val run :
   ?check_invariants:bool ->
   ?invariant_extra:(unit -> string list) ->
   ?on_sim_created:(Desim.Sim.t -> unit) ->
+  ?on_cluster:(Sharedfs.Cluster.t -> unit) ->
   ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
   unit ->
   result

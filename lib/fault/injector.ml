@@ -5,6 +5,8 @@ type actions = {
   crash_server : Server_id.t -> unit;
   recover_server : Server_id.t -> unit;
   crash_delegate : unit -> unit;
+  partition_server : Server_id.t -> link:Cluster.link -> unit;
+  heal_server : Server_id.t -> unit;
 }
 
 type t = {
@@ -49,6 +51,36 @@ let note_delegate_crash t =
   record t Obs.Event.Delegate_crash;
   t.actions.crash_delegate ()
 
+let link_name = function `Cluster -> "cluster" | `Disk -> "disk"
+
+(* While the partition is open, the isolated server periodically tries
+   to write shared metadata from the wrong side — the zombie writes the
+   fence must reject.  Probes stop on heal or crash. *)
+let zombie_cadence = 5.0
+
+let rec zombie_probe t id =
+  if Cluster.is_partitioned t.cluster id then begin
+    let (_ : [ `Landed | `Rejected ]) = Cluster.zombie_write t.cluster id in
+    let (_ : Desim.Sim.handle) =
+      Desim.Sim.schedule t.sim ~delay:zombie_cadence (fun () ->
+          zombie_probe t id)
+    in
+    ()
+  end
+
+let partition t server ~link =
+  record t ~server (Obs.Event.Partition_cut { link = link_name link });
+  t.actions.partition_server server ~link;
+  (* First probe shortly after the cut, then on a steady cadence. *)
+  let (_ : Desim.Sim.handle) =
+    Desim.Sim.schedule t.sim ~delay:1.0 (fun () -> zombie_probe t server)
+  in
+  ()
+
+let heal t server ~link =
+  record t ~server (Obs.Event.Partition_healed { link = link_name link });
+  t.actions.heal_server server
+
 let schedule_timeline t ~duration =
   List.iter
     (fun (at, fault) ->
@@ -67,7 +99,11 @@ let schedule_timeline t ~duration =
                     Sharedfs.Shared_disk.clear_stall disk;
                     record t Obs.Event.Disk_stall_end)
               in
-              ())
+              ()
+            | Plan.Partition { server; link } ->
+              partition t (Server_id.of_int server) ~link
+            | Plan.Heal { server; link } ->
+              heal t (Server_id.of_int server) ~link)
       in
       ())
     (Plan.timeline t.plan ~duration)
@@ -103,6 +139,15 @@ let arm_move_crashes t =
               | Some _ | None -> ())
           targets)
 
+let arm_torn_writes t =
+  match Plan.torn_appends t.plan with
+  | [] -> ()
+  | targets ->
+    let ledger = Cluster.ledger t.cluster in
+    List.iter (fun nth -> Sharedfs.Ledger.arm_torn ledger ~nth) targets;
+    Cluster.set_on_torn t.cluster (fun ~seq ->
+        record t (Obs.Event.Ledger_torn { seq }))
+
 let arm ~sim ~cluster ~obs ~duration ~actions plan =
   let t =
     {
@@ -117,6 +162,7 @@ let arm ~sim ~cluster ~obs ~duration ~actions plan =
   in
   schedule_timeline t ~duration;
   arm_move_crashes t;
+  arm_torn_writes t;
   t
 
 (* SplitMix64-style avalanche, so that (round, server, attempt) maps to

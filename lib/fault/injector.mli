@@ -19,13 +19,20 @@ type actions = {
   crash_server : Sharedfs.Server_id.t -> unit;
   recover_server : Sharedfs.Server_id.t -> unit;
   crash_delegate : unit -> unit;
+  partition_server : Sharedfs.Server_id.t -> link:Sharedfs.Cluster.link -> unit;
+  heal_server : Sharedfs.Server_id.t -> unit;
 }
 
 (** [arm ~sim ~cluster ~obs ~duration ~actions plan] schedules every
-    time-driven fault of [plan] within [\[0, duration)], installs the
-    mid-move crash hook when the plan asks for move crashes, and
-    returns the armed injector.  Call before running the
-    simulation. *)
+    time-driven fault of [plan] within [\[0, duration)] (crashes,
+    recoveries, disk stalls, partitions with their heals), installs
+    the mid-move crash hook when the plan asks for move crashes, and
+    arms any [Torn_write] specs on the cluster's ledger (the append
+    index counts every append through the cluster's handle, initial
+    assignment included).  While a partition is open the injector
+    schedules periodic zombie writes from the isolated server —
+    [Sharedfs.Cluster.zombie_write] — stopping on heal.  Call before
+    running the simulation. *)
 val arm :
   sim:Desim.Sim.t ->
   cluster:Sharedfs.Cluster.t ->

@@ -87,6 +87,71 @@ let check_conservation cluster =
     ]
   else []
 
+(* Split-brain safety: however many servers still believe they hold
+   the delegate lease, at most one of them is alive and unfenced — and
+   that one's epoch matches the lease on disk. *)
+let check_delegate_lease cluster =
+  let disk = Cluster.disk cluster in
+  let current_epoch = Cluster.delegate_epoch cluster in
+  let live =
+    List.filter
+      (fun (id, _) ->
+        (not (Server.failed (Cluster.server cluster id)))
+        && not
+             (Sharedfs.Shared_disk.is_fenced disk
+                ~server:(Server_id.to_int id)))
+      (Cluster.delegate_believers cluster)
+  in
+  let stale =
+    List.filter_map
+      (fun (id, epoch) ->
+        if epoch < current_epoch then
+          Some
+            (Printf.sprintf
+               "live delegate believer %d holds stale epoch %d (current %d)"
+               (Server_id.to_int id) epoch current_epoch)
+        else None)
+      live
+  in
+  match live with
+  | [] | [ _ ] -> stale
+  | many ->
+    Printf.sprintf "two live delegates: servers %s believe they hold the lease"
+      (String.concat ", "
+         (List.map (fun (id, _) -> string_of_int (Server_id.to_int id)) many))
+    :: stale
+
+(* Fencing: every partitioned server is actually fenced at the disk,
+   and no zombie write has ever landed. *)
+let check_fencing cluster =
+  let disk = Cluster.disk cluster in
+  let unfenced =
+    List.filter_map
+      (fun (id, _) ->
+        if Sharedfs.Shared_disk.is_fenced disk ~server:(Server_id.to_int id)
+        then None
+        else
+          Some
+            (Printf.sprintf "partitioned server %d is not fenced at the disk"
+               (Server_id.to_int id)))
+      (Cluster.partitioned_servers cluster)
+  in
+  let attempts, rejected = Cluster.zombie_stats cluster in
+  if attempts <> rejected then
+    Printf.sprintf
+      "fenced writes leaked: %d zombie write(s) landed (%d attempted, %d \
+       rejected)"
+      (attempts - rejected) attempts rejected
+    :: unfenced
+  else unfenced
+
+(* Crash consistency: the on-disk ledger, replayed, must agree with
+   in-memory ownership (repairing torn records first — a torn record
+   with a live mirror is recoverable, not divergent). *)
+let check_ledger cluster =
+  let report = Cluster.fsck ~repair:true cluster in
+  List.map (fun d -> "ledger divergence: " ^ d) report.Cluster.divergent
+
 let check ?(eps = 1e-9) ?extra ~cluster ~policy () =
   let time = Desim.Sim.now (Cluster.sim cluster) in
   let whats =
@@ -94,6 +159,9 @@ let check ?(eps = 1e-9) ?extra ~cluster ~policy () =
     @ policy.Placement.Policy.check ()
     @ check_ownership cluster
     @ check_conservation cluster
+    @ check_delegate_lease cluster
+    @ check_fencing cluster
+    @ check_ledger cluster
     @ (match extra with None -> [] | Some f -> f ())
   in
   List.map (fun what -> { time; what }) whats

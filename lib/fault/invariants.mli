@@ -7,8 +7,13 @@
     half the unit interval; a file set always has exactly one place to
     be (an alive owner, a move in flight, or an orphan awaiting
     adoption — never two owners, never silently gone); region measures
-    never go negative; and no request is ever lost (submitted =
-    completed + inflight + buffered + lock-waiting). *)
+    never go negative; no request is ever lost (submitted = completed
+    + inflight + buffered + lock-waiting); at most one live, unfenced
+    server believes it holds the delegate lease, and its epoch matches
+    the lease on disk; every partitioned server is fenced at the disk
+    and no zombie write has ever landed; and the on-disk ownership
+    ledger, replayed (with torn records repaired first), agrees with
+    in-memory ownership. *)
 
 type violation = {
   time : float;  (** virtual time the check ran *)
@@ -23,7 +28,11 @@ val pp_violation : Format.formatter -> violation -> unit
     [eps] (default [1e-9]) is the tolerance on region-measure sums.
     [extra] (default none) appends custom checks — the test suite uses
     it to plant a deliberately broken invariant and prove the harness
-    catches it; each returned string becomes one violation. *)
+    catches it; each returned string becomes one violation.
+
+    Note the ledger check runs [Cluster.fsck ~repair:true], so a check
+    pass repairs any torn records it finds (counted under
+    [ledger.repaired]); only unrecoverable divergence is reported. *)
 val check :
   ?eps:float ->
   ?extra:(unit -> string list) ->

@@ -1,5 +1,7 @@
 type role = [ `Src | `Dst ]
 
+type link = [ `Cluster | `Disk ]
+
 type spec =
   | Crash_at of { at : float; server : int }
   | Recover_at of { at : float; server : int }
@@ -10,6 +12,13 @@ type spec =
   | Report_delay of { base : float; jitter : float }
   | Move_crash of { nth_move : int; role : role }
   | Disk_stall_at of { at : float; factor : float; duration : float }
+  | Partition_at of {
+      at : float;
+      server : int;
+      link : link;
+      heal_after : float;
+    }
+  | Torn_write of { nth_append : int }
 
 type t = { seed : int; specs : spec list; timeout : Desim.Timeout.policy }
 
@@ -35,6 +44,13 @@ let validate_spec = function
       invalid_arg "Fault.Plan: stall factor must be at least 1";
     if duration <= 0.0 then
       invalid_arg "Fault.Plan: stall duration must be positive"
+  | Partition_at { at; heal_after; _ } ->
+    if at < 0.0 then invalid_arg "Fault.Plan: fault time must be >= 0";
+    if heal_after <= 0.0 then
+      invalid_arg "Fault.Plan: partition heal_after must be positive"
+  | Torn_write { nth_append } ->
+    if nth_append < 0 then
+      invalid_arg "Fault.Plan: ledger append index must be >= 0"
 
 let make ?(timeout = Desim.Timeout.default) ~seed specs =
   Desim.Timeout.validate timeout;
@@ -63,11 +79,40 @@ let specs t = t.specs
 
 let timeout t = t.timeout
 
+let partition_mix ~seed ~duration =
+  if duration <= 0.0 then
+    invalid_arg "Fault.Plan.partition_mix: duration must be positive";
+  make ~seed
+    [
+      (* Cut server 0 — the elected delegate — off the cluster while
+         round-1 moves are typically in flight, then cut another server
+         off the disk later; both heal before the run ends. *)
+      Partition_at
+        {
+          at = 0.22 *. duration;
+          server = 0;
+          link = `Cluster;
+          heal_after = 0.2 *. duration;
+        };
+      Partition_at
+        {
+          at = 0.55 *. duration;
+          server = 3;
+          link = `Disk;
+          heal_after = 0.12 *. duration;
+        };
+      Torn_write { nth_append = 12 };
+      Report_loss { probability = 0.05 };
+      Move_crash { nth_move = 1; role = `Dst };
+    ]
+
 type timed =
   | Crash of int
   | Recover of int
   | Delegate_crash
   | Disk_stall of { factor : float; duration : float }
+  | Partition of { server : int; link : link }
+  | Heal of { server : int; link : link }
 
 let timeline t ~duration =
   let rng = Desim.Rng.create t.seed in
@@ -98,9 +143,17 @@ let timeline t ~duration =
               else cycle up_at ((up_at, Recover server) :: acc)
           in
           cycle 0.0 []
+        | Partition_at { at; server; link; heal_after } when at < duration ->
+          let cut = (at, Partition { server; link }) in
+          (* A heal past the horizon is clipped: the run ends with the
+             partition still open, which is itself a scenario worth
+             checking. *)
+          if at +. heal_after < duration then
+            [ cut; (at +. heal_after, Heal { server; link }) ]
+          else [ cut ]
         | Crash_at _ | Recover_at _ | Delegate_crash_at _ | Disk_stall_at _
         | Delegate_crash_in_round _ | Report_loss _ | Report_delay _
-        | Move_crash _ ->
+        | Move_crash _ | Partition_at _ | Torn_write _ ->
           [])
       t.specs
   in
@@ -137,6 +190,32 @@ let delegate_crash_rounds t =
     t.specs
   |> List.sort_uniq Int.compare
 
+let torn_appends t =
+  List.filter_map
+    (function Torn_write { nth_append } -> Some nth_append | _ -> None)
+    t.specs
+  |> List.sort_uniq Int.compare
+
+let spec_kinds =
+  [
+    ("crash-at", "hard-crash a server at a virtual time");
+    ("recover-at", "bring a crashed server back, empty and cold");
+    ("crash-hazard", "exponential uptime/downtime cycling for one server");
+    ("delegate-crash-at", "crash whoever is the elected delegate at a time");
+    ( "delegate-crash-in-round",
+      "crash the delegate mid-round, between collection and decision" );
+    ("report-loss", "lose each latency-report delivery with a probability");
+    ("report-delay", "delay delivered reports by base + U(0, jitter)");
+    ("move-crash", "crash the src or dst endpoint of the nth file-set move");
+    ("disk-stall", "slow shared-disk transfers by a factor for a while");
+    ( "partition-at",
+      "cut a server off the cluster or the shared disk (fenced), healing \
+       after a delay" );
+    ( "torn-write",
+      "truncate the nth ledger append on disk, modeling a partial sector \
+       write" );
+  ]
+
 let pp_spec ppf = function
   | Crash_at { at; server } -> Fmt.pf ppf "crash s%d @%.3g" server at
   | Recover_at { at; server } -> Fmt.pf ppf "recover s%d @%.3g" server at
@@ -153,6 +232,11 @@ let pp_spec ppf = function
       (match role with `Src -> "src" | `Dst -> "dst")
   | Disk_stall_at { at; factor; duration } ->
     Fmt.pf ppf "disk-stall @%.3g x%.3g for %.3g" at factor duration
+  | Partition_at { at; server; link; heal_after } ->
+    Fmt.pf ppf "partition s%d from %s @%.3g heal +%.3g" server
+      (match link with `Cluster -> "cluster" | `Disk -> "disk")
+      at heal_after
+  | Torn_write { nth_append } -> Fmt.pf ppf "torn-write append #%d" nth_append
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>plan seed=%d@,%a@]" t.seed (Fmt.list pp_spec) t.specs

@@ -10,6 +10,10 @@
 (** Which endpoint of a file-set move a {!spec.Move_crash} kills. *)
 type role = [ `Src | `Dst ]
 
+(** Which connection a {!spec.Partition_at} severs (see
+    {!Sharedfs.Cluster.link}). *)
+type link = [ `Cluster | `Disk ]
+
 type spec =
   | Crash_at of { at : float; server : int }
       (** hard-crash [server] at virtual time [at] *)
@@ -39,6 +43,21 @@ type spec =
   | Disk_stall_at of { at : float; factor : float; duration : float }
       (** shared-disk transfers take [factor] times longer during
           [\[at, at + duration)] *)
+  | Partition_at of {
+      at : float;
+      server : int;
+      link : link;
+      heal_after : float;
+    }
+      (** at [at], [server] loses its [link] (cluster network or path
+          to the shared disk): it is fenced at the storage, its sets
+          orphaned, and while isolated it keeps attempting zombie
+          writes; the partition heals [heal_after] seconds later
+          (clipped to the run when it would land past the end) *)
+  | Torn_write of { nth_append : int }
+      (** the [nth_append]-th ledger append (0-based) writes only a
+          truncated prefix to disk — a partial sector write at power
+          loss — to be detected and repaired by ledger replay *)
 
 type t
 
@@ -56,6 +75,14 @@ val make : ?timeout:Desim.Timeout.policy -> seed:int -> spec list -> t
     short 4x disk stall — all placed relative to [duration]. *)
 val default : seed:int -> duration:float -> t
 
+(** [partition_mix ~seed ~duration] is the partition-centric chaos mix
+    behind [shdisk-sim chaos --plan partition]: a cluster partition of
+    server 0 (the initially elected delegate) while round-1 moves are
+    in flight, a later disk partition of server 3, one torn ledger
+    append, light report loss and one mid-move dst crash — all healing
+    within [duration]. *)
+val partition_mix : seed:int -> duration:float -> t
+
 val seed : t -> int
 
 val specs : t -> spec list
@@ -68,6 +95,8 @@ type timed =
   | Recover of int
   | Delegate_crash
   | Disk_stall of { factor : float; duration : float }
+  | Partition of { server : int; link : link }
+  | Heal of { server : int; link : link }
 
 (** [timeline t ~duration] materializes every time-driven spec into
     [(time, fault)] pairs within [\[0, duration)], sorted by time
@@ -89,5 +118,13 @@ val move_crashes : t -> (int * role) list
 (** Rounds (1-based, sorted) in which the delegate must crash
     mid-round. *)
 val delegate_crash_rounds : t -> int list
+
+(** Armed torn ledger appends (0-based append indices, sorted,
+    deduplicated). *)
+val torn_appends : t -> int list
+
+(** Every fault spec kind with a one-line description, for [--help]
+    text: [(name, description)] in declaration order. *)
+val spec_kinds : (string * string) list
 
 val pp : Format.formatter -> t -> unit

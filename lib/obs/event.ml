@@ -14,6 +14,9 @@ type fault_kind =
   | Move_interrupted of { role : string }
   | Disk_stall_start of { factor : float; duration : float }
   | Disk_stall_end
+  | Partition_cut of { link : string }
+  | Partition_healed of { link : string }
+  | Ledger_torn of { seq : int }
 
 type round_input = {
   server : int;
@@ -74,6 +77,16 @@ type t =
       survivors : int;
       skipped : bool;
     }
+  | Fence of { time : float; server : int; action : string }
+  | Partition of { time : float; server : int; link : string; healed : bool }
+  | Ledger_replay of {
+      time : float;
+      records : int;
+      torn : int;
+      repaired : int;
+      divergent : int;
+    }
+  | Invariant_violation of { time : float; what : string }
 
 let fault_name = function
   | Server_crash -> "server_crash"
@@ -84,6 +97,9 @@ let fault_name = function
   | Move_interrupted _ -> "move_interrupted"
   | Disk_stall_start _ -> "disk_stall_start"
   | Disk_stall_end -> "disk_stall_end"
+  | Partition_cut _ -> "partition_cut"
+  | Partition_healed _ -> "partition_healed"
+  | Ledger_torn _ -> "ledger_torn"
 
 let time = function
   | Request_submit { time; _ }
@@ -94,7 +110,11 @@ let time = function
   | Membership { time; _ }
   | Rehash_round { time; _ }
   | Fault { time; _ }
-  | Round_degraded { time; _ } -> time
+  | Round_degraded { time; _ }
+  | Fence { time; _ }
+  | Partition { time; _ }
+  | Ledger_replay { time; _ }
+  | Invariant_violation { time; _ } -> time
 
 let kind = function
   | Request_submit _ -> "request_submit"
@@ -106,6 +126,10 @@ let kind = function
   | Rehash_round _ -> "rehash_round"
   | Fault _ -> "fault"
   | Round_degraded _ -> "round_degraded"
+  | Fence _ -> "fence"
+  | Partition _ -> "partition"
+  | Ledger_replay _ -> "ledger_replay"
+  | Invariant_violation _ -> "invariant_violation"
 
 (* --- JSON encoding --- *)
 
@@ -133,6 +157,9 @@ let fault_to_json f =
     | Move_interrupted { role } -> [ ("role", Json.Str role) ]
     | Disk_stall_start { factor; duration } ->
       [ ("factor", num factor); ("duration", num duration) ]
+    | Partition_cut { link } | Partition_healed { link } ->
+      [ ("link", Json.Str link) ]
+    | Ledger_torn { seq } -> [ ("seq", int seq) ]
   in
   Json.Obj (("fault", Json.Str (fault_name f)) :: fields)
 
@@ -213,6 +240,22 @@ let to_json e =
         ("survivors", int survivors);
         ("skipped", Json.Bool skipped);
       ]
+    | Fence { time = _; server; action } ->
+      [ ("server", int server); ("action", Json.Str action) ]
+    | Partition { time = _; server; link; healed } ->
+      [
+        ("server", int server);
+        ("link", Json.Str link);
+        ("healed", Json.Bool healed);
+      ]
+    | Ledger_replay { time = _; records; torn; repaired; divergent } ->
+      [
+        ("records", int records);
+        ("torn", int torn);
+        ("repaired", int repaired);
+        ("divergent", int divergent);
+      ]
+    | Invariant_violation { time = _; what } -> [ ("what", Json.Str what) ]
   in
   Json.Obj (("type", Json.Str (kind e)) :: ("time", num (time e)) :: fields)
 
@@ -292,6 +335,15 @@ let fault_of_json j =
     let* duration = field_float j "duration" in
     Ok (Disk_stall_start { factor; duration })
   | "disk_stall_end" -> Ok Disk_stall_end
+  | "partition_cut" ->
+    let* link = field_str j "link" in
+    Ok (Partition_cut { link })
+  | "partition_healed" ->
+    let* link = field_str j "link" in
+    Ok (Partition_healed { link })
+  | "ledger_torn" ->
+    let* seq = field_int j "seq" in
+    Ok (Ledger_torn { seq })
   | other -> Error (Printf.sprintf "unknown fault kind %S" other)
 
 let of_json j =
@@ -383,6 +435,28 @@ let of_json j =
       | _ -> Error "missing or invalid bool field \"skipped\""
     in
     Ok (Round_degraded { time; round; missing; survivors; skipped })
+  | "fence" ->
+    let* server = field_int j "server" in
+    let* action = field_str j "action" in
+    Ok (Fence { time; server; action })
+  | "partition" ->
+    let* server = field_int j "server" in
+    let* link = field_str j "link" in
+    let* healed =
+      match Json.member "healed" j with
+      | Json.Bool b -> Ok b
+      | _ -> Error "missing or invalid bool field \"healed\""
+    in
+    Ok (Partition { time; server; link; healed })
+  | "ledger_replay" ->
+    let* records = field_int j "records" in
+    let* torn = field_int j "torn" in
+    let* repaired = field_int j "repaired" in
+    let* divergent = field_int j "divergent" in
+    Ok (Ledger_replay { time; records; torn; repaired; divergent })
+  | "invariant_violation" ->
+    let* what = field_str j "what" in
+    Ok (Invariant_violation { time; what })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let to_jsonl e = Json.to_string (to_json e)

@@ -40,6 +40,13 @@ type fault_kind =
   | Disk_stall_start of { factor : float; duration : float }
       (** shared-disk transfers slow down by [factor] *)
   | Disk_stall_end
+  | Partition_cut of { link : string }
+      (** the server lost its [link] (["cluster"] or ["disk"]) and was
+          fenced at the shared disk *)
+  | Partition_healed of { link : string }
+      (** the partition healed; the server rejoins via recovery *)
+  | Ledger_torn of { seq : int }
+      (** an armed torn write truncated ledger record [seq] on disk *)
 
 (** One server's contribution to a delegate round: the latency window
     it reported plus the queue depth the delegate observed when
@@ -112,6 +119,28 @@ type t =
           (** true when the survivors missed quorum and the round
               tuned nothing *)
     }
+  | Fence of { time : float; server : int; action : string }
+      (** a fencing transition at the shared disk: ["fenced"],
+          ["unfenced"], ["write_rejected"] (a fenced server's write
+          bounced off the disk) or ["epoch_bump"] (the delegate lease
+          moved under a new epoch, fencing every stale believer) *)
+  | Partition of {
+      time : float;
+      server : int;
+      link : string;  (** ["cluster"] or ["disk"] *)
+      healed : bool;  (** false when the partition opens, true on heal *)
+    }
+  | Ledger_replay of {
+      time : float;
+      records : int;  (** valid records scanned *)
+      torn : int;  (** torn records detected *)
+      repaired : int;  (** torn records rewritten *)
+      divergent : int;  (** file sets where ledger and memory disagreed *)
+    }
+  | Invariant_violation of { time : float; what : string }
+      (** a safety-invariant check failed at [time]; chaos harnesses
+          emit one event per violation so traces show exactly when a
+          run went wrong *)
 
 (** [fault_name k] is the snake_case name of the fault kind, e.g.
     ["report_lost"] — the key used by fault counters and the JSON

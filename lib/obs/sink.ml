@@ -225,6 +225,38 @@ let records_of_event e =
           ]
         ();
     ]
+  | Fence { time; server; action } ->
+    [
+      instant ~name:("fence:" ^ action) ~cat:"fence" ~ts:(usec time)
+        ~tid:(server_tid server) ();
+    ]
+  | Partition { time; server; link; healed } ->
+    [
+      instant
+        ~name:
+          (Printf.sprintf "%s:%s" (if healed then "heal" else "partition") link)
+        ~cat:"fault" ~ts:(usec time) ~tid:(server_tid server) ();
+    ]
+  | Ledger_replay { time; records; torn; repaired; divergent } ->
+    [
+      instant ~name:"ledger-replay" ~cat:"ledger" ~ts:(usec time)
+        ~tid:cluster_tid
+        ~args:
+          [
+            ("records", Json.Num (float_of_int records));
+            ("torn", Json.Num (float_of_int torn));
+            ("repaired", Json.Num (float_of_int repaired));
+            ("divergent", Json.Num (float_of_int divergent));
+          ]
+        ();
+    ]
+  | Invariant_violation { time; what } ->
+    [
+      instant ~name:"invariant-violation" ~cat:"invariant" ~ts:(usec time)
+        ~tid:cluster_tid
+        ~args:[ ("what", Json.Str what) ]
+        ();
+    ]
 
 let chrome_writer oc ~close_channel =
   let closed = ref false in

@@ -65,6 +65,16 @@ type conservation = {
   lock_waiting : int;
 }
 
+type link = [ `Cluster | `Disk ]
+
+type fsck_report = {
+  records : int;
+  torn_found : int;
+  torn_repaired : int;
+  divergent : string list;
+  clean : bool;
+}
+
 type lock_stats = {
   granted_immediately : int;
   waited : int;
@@ -90,12 +100,23 @@ type instruments = {
 type t = {
   sim : Desim.Sim.t;
   disk : Shared_disk.t;
+  ledger : Ledger.t;
   catalog : File_set.Catalog.t;
   interner : File_set.Interner.t;
   move_cfg : move_config;
   cache_cfg : Cache.config option;
   lease_duration : float;
+  delegate_lease : float;
   series_interval : float;
+  partitioned : (Server_id.t, link) Hashtbl.t;
+  believers : (Server_id.t, int) Hashtbl.t;
+      (* server -> the delegate epoch it believes it holds; a
+         partitioned believer keeps its stale entry (it cannot learn of
+         a newer election), which is exactly the split-brain scenario
+         fencing must contain *)
+  mutable zombie_attempts : int;
+  mutable zombie_rejected : int;
+  mutable on_torn : (seq:int -> unit) option;
   servers : (Server_id.t, Server.t) Hashtbl.t;
   mutable sorted_servers : Server.t list;
       (* cached [servers] result, rebuilt only on membership change *)
@@ -129,10 +150,12 @@ let rebuild_sorted_servers t =
     |> List.sort (fun a b -> Server_id.compare (Server.id a) (Server.id b))
 
 let create sim ~disk ~catalog ?(move_config = default_move_config)
-    ?cache_config ?(lease_duration = 30.0) ~series_interval ~servers
-    ?(obs = Obs.Ctx.null) () =
+    ?cache_config ?(lease_duration = 30.0) ?(delegate_lease = 300.0)
+    ~series_interval ~servers ?(obs = Obs.Ctx.null) () =
   if lease_duration <= 0.0 then
     invalid_arg "Cluster.create: lease_duration must be positive";
+  if delegate_lease <= 0.0 then
+    invalid_arg "Cluster.create: delegate_lease must be positive";
   let instruments =
     Option.map
       (fun m ->
@@ -152,12 +175,19 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
     {
       sim;
       disk;
+      ledger = Ledger.attach disk;
       catalog;
       interner;
       move_cfg = move_config;
       cache_cfg = cache_config;
       lease_duration;
+      delegate_lease;
       series_interval;
+      partitioned = Hashtbl.create 8;
+      believers = Hashtbl.create 8;
+      zombie_attempts = 0;
+      zombie_rejected = 0;
+      on_torn = None;
       servers = Hashtbl.create 16;
       sorted_servers = [];
       ownership =
@@ -189,6 +219,15 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       Hashtbl.add t.servers id server)
     servers;
   rebuild_sorted_servers t;
+  (* Torn appends are observable even before anyone installs a hook:
+     they count against [ledger.torn_writes] and show up in traces. *)
+  Ledger.set_on_torn t.ledger (fun ~seq ->
+      (match t.instruments with
+      | None -> ()
+      | Some i ->
+        Obs.Metrics.Counter.incr
+          (Obs.Metrics.counter i.registry "ledger.torn_writes"));
+      match t.on_torn with None -> () | Some f -> f ~seq);
   t
 
 let sim t = t.sim
@@ -240,6 +279,24 @@ let owned_by t id =
     t.ownership;
   List.sort String.compare !acc
 
+(* Rare-path counter bump: registry lookup is idempotent registration,
+   fine outside the request hot path. *)
+let bump ?(n = 1) t name =
+  match t.instruments with
+  | None -> ()
+  | Some i -> Obs.Metrics.Counter.add (Obs.Metrics.counter i.registry name) n
+
+let emit t e = if Obs.Ctx.tracing t.obs then Obs.Ctx.emit t.obs e
+
+(* Trusted in-process append: the coordinated paths (assignment, move
+   orchestration, membership) write the ledger directly and are never
+   fenced — fencing applies to identified writers ([Ledger.append
+   ?writer], the zombie probe path). *)
+let journal t phase op =
+  match Ledger.append t.ledger phase op with
+  | `Appended (_ : int) -> ()
+  | `Fenced -> assert false
+
 let assign_initial t pairs =
   List.iter
     (fun (name, id) ->
@@ -251,7 +308,9 @@ let assign_initial t pairs =
         invalid_arg ("Cluster.assign_initial: " ^ name ^ " assigned twice"));
       let server = server t id in
       Server.gain_file_set server ~fs ~cold:false;
-      t.ownership.(fs) <- Owned id)
+      t.ownership.(fs) <- Owned id;
+      journal t Ledger.Commit
+        (Ledger.Assign { file_set = name; owner = Server_id.to_int id }))
     pairs
 
 let lock_key b =
@@ -404,15 +463,24 @@ let init_seconds t fs =
   in
   t.move_cfg.init_fixed +. Shared_disk.transfer_time t.disk ~bytes
 
-let complete_move t ~fs ~dst pending =
+let complete_move t ~fs ~src ~dst pending =
   let dst_server = server t dst in
-  if Server.failed dst_server then
+  if Server.failed dst_server then begin
     (* Destination died while the set was in transit: the set is
        orphaned again and the failure handler's caller re-places it. *)
-    t.ownership.(fs) <- Orphaned pending
+    t.ownership.(fs) <- Orphaned pending;
+    journal t Ledger.Commit (Ledger.Orphan { file_set = fs_name t fs })
+  end
   else begin
     Server.gain_file_set dst_server ~fs ~cold:true;
     t.ownership.(fs) <- Owned dst;
+    journal t Ledger.Commit
+      (Ledger.Move
+         {
+           file_set = fs_name t fs;
+           src = Option.map Server_id.to_int src;
+           dst = Server_id.to_int dst;
+         });
     if Obs.Ctx.tracing t.obs then
       Obs.Ctx.emit t.obs
         (Obs.Event.Move_end
@@ -470,6 +538,16 @@ let move t ~file_set ~dst =
     Log.debug (fun m -> m "move of %s already in flight; ignoring" file_set)
   | Owned src when Server_id.equal src dst -> ()
   | Owned src ->
+    (* Write-ahead: the intent hits the shared disk before the flush
+       starts, so a crash mid-move leaves an intent recovery rolls
+       back. *)
+    journal t Ledger.Intent
+      (Ledger.Move
+         {
+           file_set;
+           src = Some (Server_id.to_int src);
+           dst = Server_id.to_int dst;
+         });
     let src_server = server t src in
     let dirty = Server.shed_file_set src_server ~fs in
     (* The flush writes the dirty metadata image through the shared
@@ -486,7 +564,7 @@ let move t ~file_set ~dst =
     let pending = Queue.create () in
     let handle =
       Desim.Sim.schedule t.sim ~delay:(flush_seconds +. init_seconds)
-        (fun () -> complete_move t ~fs ~dst pending)
+        (fun () -> complete_move t ~fs ~src:(Some src) ~dst pending)
     in
     t.ownership.(fs) <-
       Moving
@@ -503,12 +581,14 @@ let move t ~file_set ~dst =
         f ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds)
       t.on_move_start
   | Orphaned pending ->
+    journal t Ledger.Intent
+      (Ledger.Move { file_set; src = None; dst = Server_id.to_int dst });
     let init_seconds =
       t.move_cfg.recovery_fixed +. init_seconds t fs
     in
     let handle =
       Desim.Sim.schedule t.sim ~delay:init_seconds (fun () ->
-          complete_move t ~fs ~dst pending)
+          complete_move t ~fs ~src:None ~dst pending)
     in
     (* No flush phase: the image is already on the shared disk, so
        only a dst crash can interrupt the adoption. *)
@@ -527,13 +607,14 @@ let move t ~file_set ~dst =
         f ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds)
       t.on_move_start
 
-let fail_server t id =
+(* The common half of crash and partition handling: the server stops
+   serving, its sets are orphaned (journaled), its in-flight moves die,
+   and its interrupted requests are re-buffered.  Callers decide what
+   the event {e means} — a crash clears the server's delegate belief, a
+   partition keeps it (and fences the disk). *)
+let take_down t id =
   let failed_server = server t id in
-  if Server.failed failed_server then
-    (* Contract: failing a dead server is an explicit no-op — chaos
-       schedules can double-fire without corrupting ownership. *)
-    []
-  else begin
+  begin
     let now = Desim.Sim.now t.sim in
     let interrupted_tags = Server.fail failed_server in
     let interrupted =
@@ -554,6 +635,7 @@ let fail_server t id =
         match o with
         | Owned owner when Server_id.equal owner id ->
           t.ownership.(fs) <- Orphaned (Queue.create ());
+          journal t Ledger.Commit (Ledger.Orphan { file_set = fs_name t fs });
           orphaned := fs_name t fs :: !orphaned
         | Owned _ | Moving _ | Orphaned _ | Unassigned -> ())
       t.ownership;
@@ -589,6 +671,7 @@ let fail_server t id =
       (fun (name, fs, pending, handle, role) ->
         Desim.Sim.cancel t.sim handle;
         t.ownership.(fs) <- Orphaned pending;
+        journal t Ledger.Commit (Ledger.Orphan { file_set = name });
         t.moves_failed <- t.moves_failed + 1;
         (match t.instruments with
         | None -> ()
@@ -619,10 +702,200 @@ let fail_server t id =
       (orphaned @ List.map (fun (name, _, _, _, _) -> name) dead_moves)
   end
 
+let fail_server t id =
+  let failed_server = server t id in
+  if Server.failed failed_server then
+    (* Contract: failing a dead server is an explicit no-op — chaos
+       schedules can double-fire without corrupting ownership. *)
+    []
+  else begin
+    (* A crashed process forgets everything, including any belief that
+       it held the delegate lease. *)
+    Hashtbl.remove t.believers id;
+    journal t Ledger.Commit
+      (Ledger.Member { server = Server_id.to_int id; change = "leave" });
+    take_down t id
+  end
+
+let link_name = function `Cluster -> "cluster" | `Disk -> "disk"
+
+let partition_server t id ~link =
+  let s = server t id in
+  if Server.failed s then []
+  else begin
+    let now = Desim.Sim.now t.sim in
+    let sid = Server_id.to_int id in
+    Hashtbl.replace t.partitioned id (link : link);
+    (* Fence first: from this instant the isolated server cannot touch
+       the shared image, whatever it still believes about its leases
+       (note [t.believers] is deliberately {e not} cleared — the
+       process is alive and convinced, just contained). *)
+    Shared_disk.fence t.disk ~server:sid;
+    emit t (Obs.Event.Fence { time = now; server = sid; action = "fenced" });
+    journal t Ledger.Commit
+      (Ledger.Member
+         { server = sid; change = "fence-" ^ link_name link });
+    take_down t id
+  end
+
+let is_partitioned t id = Hashtbl.mem t.partitioned id
+
+let partitioned_servers t =
+  Hashtbl.fold (fun id link acc -> (id, link) :: acc) t.partitioned []
+  |> List.sort (fun (a, _) (b, _) -> Server_id.compare a b)
+
 let recover_server t id =
   let s = server t id in
   (* Contract: recovering an alive server is an explicit no-op. *)
-  if Server.failed s then Server.recover s
+  if Server.failed s then begin
+    let sid = Server_id.to_int id in
+    (match Hashtbl.find_opt t.partitioned id with
+    | Some (_ : link) ->
+      Hashtbl.remove t.partitioned id;
+      (* Rejoining means submitting to the current epoch: the stale
+         delegate belief is dropped before the fence lifts. *)
+      Hashtbl.remove t.believers id;
+      Shared_disk.unfence t.disk ~server:sid;
+      emit t
+        (Obs.Event.Fence
+           { time = Desim.Sim.now t.sim; server = sid; action = "unfenced" });
+      journal t Ledger.Commit (Ledger.Member { server = sid; change = "heal" })
+    | None -> ());
+    Server.recover s;
+    journal t Ledger.Commit (Ledger.Member { server = sid; change = "join" })
+  end
+
+let heal_partition t id =
+  if Hashtbl.mem t.partitioned id then begin
+    recover_server t id;
+    true
+  end
+  else false
+
+(* --- zombie writes ---
+
+   A partitioned server that still believes it owns metadata will keep
+   trying to write.  The probe targets a reserved control block so a
+   bug that lets it through corrupts nothing real — but the invariant
+   checker treats any landed zombie write as a violation. *)
+
+let zombie_probe_block = -2
+
+let zombie_write t id =
+  t.zombie_attempts <- t.zombie_attempts + 1;
+  let sid = Server_id.to_int id in
+  match
+    Shared_disk.write_as t.disk ~server:sid ~block:zombie_probe_block "zombie"
+  with
+  | `Fenced ->
+    t.zombie_rejected <- t.zombie_rejected + 1;
+    bump t "fence.write_rejected";
+    emit t
+      (Obs.Event.Fence
+         {
+           time = Desim.Sim.now t.sim;
+           server = sid;
+           action = "write_rejected";
+         });
+    `Rejected
+  | `Ok (_ : float) -> `Landed
+
+let zombie_stats t = (t.zombie_attempts, t.zombie_rejected)
+
+(* --- the delegate lease ---
+
+   One epoch-numbered lease record on the shared disk, moved only by
+   compare-and-swap of its raw bytes.  Election is therefore
+   linearized by the disk itself: two concurrent claimants race one
+   CAS, and exactly one wins the epoch. *)
+
+let encode_lease ~epoch ~holder ~expires =
+  (* %h round-trips the float exactly, keeping CAS expectations
+     byte-stable. *)
+  Printf.sprintf "%d|%d|%h" epoch holder expires
+
+let decode_lease s =
+  match String.split_on_char '|' s with
+  | [ e; h; x ] -> (
+    match
+      (int_of_string_opt e, int_of_string_opt h, float_of_string_opt x)
+    with
+    | Some e, Some h, Some x -> Some (e, h, x)
+    | _ -> None)
+  | _ -> None
+
+let read_lease t = fst (Shared_disk.read t.disk ~block:Ledger.lease_block)
+
+let delegate_epoch t =
+  match Option.bind (read_lease t) decode_lease with
+  | Some (epoch, _, _) -> epoch
+  | None -> 0
+
+let delegate_believers t =
+  Hashtbl.fold (fun id epoch acc -> (id, epoch) :: acc) t.believers []
+  |> List.sort (fun (a, _) (b, _) -> Server_id.compare a b)
+
+(* Claim the lease under a fresh epoch for [candidate].  [raw] is the
+   CAS expectation — the lease bytes the caller just read — so a lost
+   race leaves the winner's lease untouched. *)
+let claim_lease t ~raw ~candidate =
+  let now = Desim.Sim.now t.sim in
+  let cand = Server_id.to_int candidate in
+  let disk_epoch =
+    match Option.bind raw decode_lease with Some (e, _, _) -> e | None -> 0
+  in
+  let epoch = 1 + max disk_epoch (Ledger.current_epoch t.ledger) in
+  let data = encode_lease ~epoch ~holder:cand ~expires:(now +. t.delegate_lease) in
+  if
+    Shared_disk.compare_and_swap t.disk ~block:Ledger.lease_block ~expect:raw
+      data
+  then begin
+    (* Connected believers learn of the new epoch and stand down;
+       partitioned ones cannot — they stay stale, and stay fenced. *)
+    let stale =
+      Hashtbl.fold
+        (fun id e acc ->
+          if e < epoch && not (Hashtbl.mem t.partitioned id) then id :: acc
+          else acc)
+        t.believers []
+    in
+    List.iter (Hashtbl.remove t.believers) stale;
+    Hashtbl.replace t.believers candidate epoch;
+    Ledger.set_epoch t.ledger epoch;
+    journal t Ledger.Commit (Ledger.Epoch { holder = cand });
+    bump t "fence.epoch_bump";
+    emit t
+      (Obs.Event.Fence { time = now; server = cand; action = "epoch_bump" });
+    epoch
+  end
+  else delegate_epoch t
+
+let ensure_delegate t =
+  match alive_ids t with
+  | [] -> delegate_epoch t
+  | candidate :: _ -> (
+    let now = Desim.Sim.now t.sim in
+    let raw = read_lease t in
+    match Option.bind raw decode_lease with
+    | Some (epoch, holder, expires)
+      when holder = Server_id.to_int candidate && expires > now ->
+      (* The rightful holder renews in place; the epoch is stable, so
+         no believer changes and nothing is journaled. *)
+      let data =
+        encode_lease ~epoch ~holder ~expires:(now +. t.delegate_lease)
+      in
+      let (_ : bool) =
+        Shared_disk.compare_and_swap t.disk ~block:Ledger.lease_block
+          ~expect:raw data
+      in
+      Hashtbl.replace t.believers candidate epoch;
+      epoch
+    | Some _ | None -> claim_lease t ~raw ~candidate)
+
+let reelect_delegate t =
+  match alive_ids t with
+  | [] -> delegate_epoch t
+  | candidate :: _ -> claim_lease t ~raw:(read_lease t) ~candidate
 
 let add_server t id ~speed =
   if Hashtbl.mem t.servers id then
@@ -633,6 +906,10 @@ let add_server t id ~speed =
   in
   Hashtbl.add t.servers id server;
   rebuild_sorted_servers t
+
+let ledger t = t.ledger
+
+let set_on_torn t f = t.on_torn <- Some f
 
 let lock_manager t = t.locks
 
@@ -685,4 +962,75 @@ let conservation t =
     inflight = Hashtbl.length t.inflight;
     buffered = pending_requests t;
     lock_waiting = Hashtbl.length t.waiting_grants;
+  }
+
+(* --- fsck: ledger-vs-memory audit --- *)
+
+let ledger_state_str = function
+  | Ledger.Owned o -> Printf.sprintf "owned by s%d" o
+  | Ledger.Pending { src = None; dst } -> Printf.sprintf "pending -> s%d" dst
+  | Ledger.Pending { src = Some s; dst } ->
+    Printf.sprintf "pending s%d -> s%d" s dst
+  | Ledger.Orphaned_fs -> "orphaned"
+
+let memory_state_str = function
+  | State_owned id -> Printf.sprintf "owned by s%d" (Server_id.to_int id)
+  | State_moving { src = None; dst; _ } ->
+    Printf.sprintf "pending -> s%d" (Server_id.to_int dst)
+  | State_moving { src = Some s; dst; _ } ->
+    Printf.sprintf "pending s%d -> s%d" (Server_id.to_int s)
+      (Server_id.to_int dst)
+  | State_orphaned _ -> "orphaned"
+
+let states_agree ledger_state memory_state =
+  String.equal (ledger_state_str ledger_state)
+    (memory_state_str memory_state)
+
+let fsck ?(repair = true) t =
+  let rep = Ledger.replay t.disk in
+  let torn_found = List.length rep.Ledger.torn_seqs in
+  let torn_repaired =
+    if repair && torn_found > 0 then Ledger.repair t.ledger else 0
+  in
+  (* Re-scan after a repair so the audit sees the healed log. *)
+  let rep = if torn_repaired > 0 then Ledger.replay t.disk else rep in
+  let memory = ownership_states t in
+  let divergence name ls ms =
+    Printf.sprintf "%s: ledger says %s, memory says %s" name
+      (match ls with Some s -> ledger_state_str s | None -> "nothing")
+      (match ms with Some s -> memory_state_str s | None -> "nothing")
+  in
+  (* Both sides are name-sorted: a merge-join finds every file set the
+     two views disagree on. *)
+  let rec diff acc l m =
+    match (l, m) with
+    | [], [] -> List.rev acc
+    | (ln, ls) :: lt, [] -> diff (divergence ln (Some ls) None :: acc) lt []
+    | [], (mn, ms) :: mt -> diff (divergence mn None (Some ms) :: acc) [] mt
+    | (ln, ls) :: lt, (mn, ms) :: mt ->
+      let c = String.compare ln mn in
+      if c < 0 then diff (divergence ln (Some ls) None :: acc) lt m
+      else if c > 0 then diff (divergence mn None (Some ms) :: acc) l mt
+      else if states_agree ls ms then diff acc lt mt
+      else diff (divergence ln (Some ls) (Some ms) :: acc) lt mt
+  in
+  let divergent = diff [] rep.Ledger.ownership memory in
+  let remaining_torn = List.length rep.Ledger.torn_seqs in
+  bump t "ledger.replays";
+  if torn_repaired > 0 then bump ~n:torn_repaired t "ledger.repaired";
+  emit t
+    (Obs.Event.Ledger_replay
+       {
+         time = Desim.Sim.now t.sim;
+         records = List.length rep.Ledger.records;
+         torn = torn_found;
+         repaired = torn_repaired;
+         divergent = List.length divergent;
+       });
+  {
+    records = List.length rep.Ledger.records;
+    torn_found;
+    torn_repaired;
+    divergent;
+    clean = remaining_torn = 0 && divergent = [];
   }

@@ -62,6 +62,23 @@ type conservation = {
   lock_waiting : int;  (** completions deferred on a lock grant *)
 }
 
+(** Which connection a partition severed: the cluster network or the
+    path to the shared disk.  Either way the server is fenced at the
+    storage and taken out of service; the distinction is recorded in
+    the ledger and drives the zombie-write model. *)
+type link = [ `Cluster | `Disk ]
+
+(** The result of a ledger-vs-ownership audit ({!fsck}). *)
+type fsck_report = {
+  records : int;  (** valid ledger records scanned *)
+  torn_found : int;  (** records whose checksum failed *)
+  torn_repaired : int;  (** torn records rewritten (with [~repair]) *)
+  divergent : string list;
+      (** human-readable description of every file set where the
+          ledger and in-memory ownership disagree *)
+  clean : bool;  (** no torn records remain and nothing diverges *)
+}
+
 type t
 
 (** [lease_duration] bounds every lock hold: a grant not released
@@ -82,6 +99,7 @@ val create :
   ?move_config:move_config ->
   ?cache_config:Cache.config ->
   ?lease_duration:float ->
+  ?delegate_lease:float ->
   series_interval:float ->
   servers:(Server_id.t * float) list ->
   ?obs:Obs.Ctx.t ->
@@ -184,10 +202,95 @@ val move : t -> file_set:string -> dst:Server_id.t -> unit
 val fail_server : t -> Server_id.t -> string list
 
 (** [recover_server t id] brings a failed server back (empty, cold).
+    If the server was partitioned, the partition is healed first: the
+    disk fence lifts, the stale delegate belief (if any) is dropped,
+    and the ledger records the heal before the rejoin.
 
     Contract: recovering an alive server is an explicit no-op.  Raises
     [Invalid_argument] only for a server id that never existed. *)
 val recover_server : t -> Server_id.t -> unit
+
+(** [partition_server t id ~link] isolates a live server: it is fenced
+    at the shared disk {e first}, then taken out of service exactly
+    like a crash (sets orphaned, moves killed, requests re-buffered) —
+    but unlike a crash the process is presumed alive on the far side,
+    so any delegate-lease belief it held is {e kept} (see
+    {!delegate_believers}); the fence is what keeps that stale belief
+    harmless.  Returns the file sets needing re-placement, like
+    {!fail_server}.  Partitioning a dead or already-partitioned server
+    is a no-op returning [[]]. *)
+val partition_server : t -> Server_id.t -> link:link -> string list
+
+(** [heal_partition t id] heals a partition opened by
+    {!partition_server} (via {!recover_server}); [false] when [id] was
+    not partitioned. *)
+val heal_partition : t -> Server_id.t -> bool
+
+val is_partitioned : t -> Server_id.t -> bool
+
+(** [partitioned_servers t] lists currently partitioned servers in id
+    order. *)
+val partitioned_servers : t -> (Server_id.t * link) list
+
+(** [zombie_write t id] models the isolated server trying to write
+    shared metadata from the wrong side of the partition: an
+    identified write to a reserved probe block.  [`Rejected] when the
+    fence bounced it (counted in [fence.write_rejected] and
+    {!zombie_stats}); [`Landed] means fencing failed — the invariant
+    checker flags it. *)
+val zombie_write : t -> Server_id.t -> [ `Landed | `Rejected ]
+
+(** [zombie_stats t] is [(attempts, rejected)] over all zombie
+    writes. *)
+val zombie_stats : t -> int * int
+
+(** {2 The delegate lease}
+
+    One epoch-numbered lease record on the shared disk (block
+    {!Ledger.lease_block}), moved only by compare-and-swap of its raw
+    bytes, so election is linearized by the disk itself. *)
+
+(** [ensure_delegate t] makes the lowest-id alive server the delegate:
+    the rightful holder renews its unexpired lease in place (same
+    epoch); otherwise the candidate claims the lease under a bumped
+    epoch ([fence.epoch_bump], a ledger [Epoch] record, and every
+    {e connected} stale believer stands down — partitioned ones keep
+    their stale belief and stay fenced).  Returns the current epoch;
+    no-op returning the on-disk epoch when no server is alive. *)
+val ensure_delegate : t -> int
+
+(** [reelect_delegate t] forces a new election even though the current
+    lease has not expired — the path taken when the delegate process
+    is known dead or isolated.  Returns the new epoch. *)
+val reelect_delegate : t -> int
+
+(** [delegate_epoch t] reads the epoch from the on-disk lease (0 when
+    no lease was ever written). *)
+val delegate_epoch : t -> int
+
+(** [delegate_believers t] lists each server believing it holds (or
+    held) the delegate lease, with the epoch of that belief, in id
+    order.  At most one belief is current; stale ones belong to
+    partitioned servers and are exactly what fencing contains. *)
+val delegate_believers : t -> (Server_id.t * int) list
+
+(** {2 The ownership ledger} *)
+
+(** [ledger t] is the cluster's write-ahead ownership ledger (attached
+    to {!disk} at creation). *)
+val ledger : t -> Ledger.t
+
+(** [set_on_torn t f] forwards torn-append notifications (at most one
+    hook; a second call replaces the first).  Independent of the hook,
+    torn appends bump the [ledger.torn_writes] counter. *)
+val set_on_torn : t -> (seq:int -> unit) -> unit
+
+(** [fsck ?repair t] audits the ledger against in-memory ownership:
+    replays the log, repairs torn records (when [repair], the default)
+    and re-replays, then merge-joins the folded ledger state with
+    {!ownership_states}.  Bumps [ledger.replays] / [ledger.repaired]
+    and emits one [Ledger_replay] trace event. *)
+val fsck : ?repair:bool -> t -> fsck_report
 
 (** [add_server t id ~speed] commissions a new, empty server. *)
 val add_server : t -> Server_id.t -> speed:float -> unit

@@ -29,7 +29,7 @@ type round_outcome =
 
 let quorum ~alive = (alive / 2) + 1
 
-let collect_async cluster ~timeout ~fate ~k =
+let collect_async ?rng cluster ~timeout ~fate ~k =
   Desim.Timeout.validate timeout;
   let sim = Cluster.sim cluster in
   (* Snapshot every alive server's window once.  A lost report is
@@ -37,46 +37,57 @@ let collect_async cluster ~timeout ~fate ~k =
      on the delegate side, the server just resends what it measured. *)
   let reports = collect cluster in
   let attempts = Desim.Timeout.attempts timeout in
-  (* For each server, walk the retry schedule: attempt [i] goes out at
-     [attempt_start i]; a reply delivered within that attempt's window
-     arrives at [attempt_start i +. d], anything later (or lost) eats
-     the window and triggers the next attempt.  The whole fate is
-     decided up front so one round costs one pass of RNG draws —
-     deterministic and replayable. *)
+  (* Jitter desynchronizes the per-server retry schedules; each server
+     probes with its own split of the caller's generator (split in
+     list order, so the whole round stays a pure function of the
+     seed).  At [jitter = 0] no generator is touched and the schedule
+     is the exact nominal one. *)
+  let jitter_rng =
+    match rng with
+    | Some r when timeout.Desim.Timeout.jitter > 0.0 -> Some r
+    | Some _ | None -> None
+  in
+  (* For each server, walk the retry schedule: attempt [i] goes out
+     once the preceding (possibly jittered) windows have elapsed; a
+     reply delivered within that attempt's window arrives inside it,
+     anything later (or lost) eats the window and triggers the next
+     attempt.  The whole fate is decided up front so one round costs
+     one pass of RNG draws — deterministic and replayable. *)
   let fates =
     List.map
       (fun r ->
-        let rec probe i =
-          if i >= attempts then `Missing
+        let jrng = Option.map Desim.Rng.split jitter_rng in
+        let rec probe i start =
+          if i >= attempts then `Missing start
           else
-            let window =
-              timeout.Desim.Timeout.timeout
-              *. (timeout.Desim.Timeout.backoff ** float_of_int i)
-            in
+            let window = Desim.Timeout.jittered_window ?rng:jrng timeout i in
             match fate ~server:r.server ~attempt:i with
-            | `Deliver d when d <= window ->
-              `Arrives (Desim.Timeout.attempt_start timeout i +. d)
-            | `Deliver _ | `Lost -> probe (i + 1)
+            | `Deliver d when d <= window -> `Arrives (start +. d)
+            | `Deliver _ | `Lost -> probe (i + 1) (start +. window)
         in
-        (r, probe 0))
+        (r, probe 0 0.0))
       reports
   in
   let arrived =
     List.filter_map
-      (fun (r, f) -> match f with `Arrives at -> Some (r, at) | `Missing -> None)
+      (fun (r, f) ->
+        match f with `Arrives at -> Some (r, at) | `Missing _ -> None)
       fates
   in
   let missing =
     List.filter_map
-      (fun (r, f) -> match f with `Missing -> Some r.server | `Arrives _ -> None)
+      (fun (r, f) ->
+        match f with `Missing _ -> Some r.server | `Arrives _ -> None)
       fates
   in
-  (* The delegate can close the round as soon as the last reply is in;
-     only silence makes it wait out the full deadline. *)
+  (* The delegate can close the round as soon as every server has
+     either replied or exhausted its schedule; with no jitter a silent
+     server's give-up time is exactly [Timeout.deadline]. *)
   let decision_offset =
-    if missing = [] then
-      List.fold_left (fun acc (_, at) -> Float.max acc at) 0.0 arrived
-    else Desim.Timeout.deadline timeout
+    List.fold_left
+      (fun acc (_, f) ->
+        Float.max acc (match f with `Arrives at -> at | `Missing g -> g))
+      0.0 fates
   in
   let survivors = List.map fst arrived in
   let outcome =

@@ -41,17 +41,23 @@ type round_outcome =
 (** [quorum ~alive] is the strict majority [(alive / 2) + 1]. *)
 val quorum : alive:int -> int
 
-(** [collect_async cluster ~timeout ~fate ~k] runs one report round
-    over an unreliable channel.  Each alive server's window is
+(** [collect_async ?rng cluster ~timeout ~fate ~k] runs one report
+    round over an unreliable channel.  Each alive server's window is
     snapshotted immediately (lost deliveries are retransmitted from
     the snapshot); [fate ~server ~attempt] decides each delivery
     attempt — [`Lost], or [`Deliver d] arriving [d] seconds after the
     attempt went out (a reply slower than the attempt's timeout window
     counts as silence and triggers the retry).  Attempts follow
-    [timeout]'s exponential-backoff schedule.  [k] fires on the
-    virtual clock once the outcome is known: at the last arrival when
-    all reported, at the full {!Desim.Timeout.deadline} otherwise. *)
+    [timeout]'s exponential-backoff schedule; when
+    [timeout.jitter > 0] and [rng] is given, each server retries on
+    its own jittered schedule (one {!Desim.Rng.split} per server, in
+    id order — byte-reproducible from the seed).  [k] fires on the
+    virtual clock once every server has replied or exhausted its
+    schedule: at the last arrival when all reported, at the last
+    give-up (the nominal {!Desim.Timeout.deadline} when jitter-free)
+    otherwise. *)
 val collect_async :
+  ?rng:Desim.Rng.t ->
   Cluster.t ->
   timeout:Desim.Timeout.policy ->
   fate:

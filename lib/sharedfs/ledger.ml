@@ -1,0 +1,303 @@
+type op =
+  | Assign of { file_set : string; owner : int }
+  | Move of { file_set : string; src : int option; dst : int }
+  | Orphan of { file_set : string }
+  | Member of { server : int; change : string }
+  | Epoch of { holder : int }
+  | Noop
+
+type phase = Intent | Commit
+
+type record = { seq : int; epoch : int; phase : phase; op : op }
+
+type fs_state =
+  | Owned of int
+  | Pending of { src : int option; dst : int }
+  | Orphaned_fs
+
+type replay = {
+  records : record list;
+  torn_seqs : int list;
+  ownership : (string * fs_state) list;
+  max_epoch : int;
+  next_seq : int;
+}
+
+type t = {
+  disk : Shared_disk.t;
+  mirror : (int, record) Hashtbl.t;  (* seq -> record, for torn repair *)
+  mutable next : int;
+  mutable epoch : int;
+  mutable append_count : int;
+  mutable torn_armed : int list;  (* 0-based append indices, sorted *)
+  mutable torn_done : int;
+  mutable on_torn : (seq:int -> unit) option;
+}
+
+(* Blocks -1 .. -15 are control blocks (the delegate lease sits at
+   -1); record [seq] lives at [-(seq + 16)].  Metadata-store and
+   move-flush blocks are non-negative, so the ranges never collide. *)
+let base_block = 16
+
+let block_of_seq seq = -(seq + base_block)
+
+let lease_block = -1
+
+(* --- codec --- *)
+
+(* FNV-1a over the payload; 64-bit, rendered as fixed-width hex so the
+   record layout is self-describing: "checksum|payload". *)
+let checksum s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+let check_field name s =
+  if String.contains s '|' || String.contains s '\n' then
+    invalid_arg (Printf.sprintf "Ledger: %s may not contain '|'" name)
+
+let op_to_fields = function
+  | Assign { file_set; owner } ->
+    check_field "file set" file_set;
+    [ "assign"; file_set; string_of_int owner ]
+  | Move { file_set; src; dst } ->
+    check_field "file set" file_set;
+    [
+      "move"; file_set;
+      (match src with None -> "-" | Some s -> string_of_int s);
+      string_of_int dst;
+    ]
+  | Orphan { file_set } ->
+    check_field "file set" file_set;
+    [ "orphan"; file_set ]
+  | Member { server; change } ->
+    check_field "membership change" change;
+    [ "member"; string_of_int server; change ]
+  | Epoch { holder } -> [ "epoch"; string_of_int holder ]
+  | Noop -> [ "noop" ]
+
+let encode r =
+  let payload =
+    String.concat "|"
+      (string_of_int r.seq :: string_of_int r.epoch
+      :: (match r.phase with Intent -> "i" | Commit -> "c")
+      :: op_to_fields r.op)
+  in
+  Printf.sprintf "%016Lx|%s" (checksum payload) payload
+
+let decode s =
+  let ( let* ) o f = match o with Some v -> f v | None -> `Torn in
+  let int_of s = int_of_string_opt s in
+  if String.length s < 17 || s.[16] <> '|' then `Torn
+  else
+    let payload = String.sub s 17 (String.length s - 17) in
+    let stored =
+      try Some (Int64.of_string ("0x" ^ String.sub s 0 16))
+      with Failure _ -> None
+    in
+    let* stored = stored in
+    if not (Int64.equal stored (checksum payload)) then `Torn
+    else
+      match String.split_on_char '|' payload with
+      | seq :: epoch :: phase :: rest -> (
+        let* seq = int_of seq in
+        let* epoch = int_of epoch in
+        let* phase =
+          match phase with "i" -> Some Intent | "c" -> Some Commit | _ -> None
+        in
+        let* op =
+          match rest with
+          | [ "assign"; file_set; owner ] ->
+            Option.map (fun owner -> Assign { file_set; owner }) (int_of owner)
+          | [ "move"; file_set; src; dst ] ->
+            let src =
+              if String.equal src "-" then Some None
+              else Option.map Option.some (int_of src)
+            in
+            Option.bind src (fun src ->
+                Option.map (fun dst -> Move { file_set; src; dst })
+                  (int_of dst))
+          | [ "orphan"; file_set ] -> Some (Orphan { file_set })
+          | [ "member"; server; change ] ->
+            Option.map (fun server -> Member { server; change })
+              (int_of server)
+          | [ "epoch"; holder ] ->
+            Option.map (fun holder -> Epoch { holder }) (int_of holder)
+          | [ "noop" ] -> Some Noop
+          | _ -> None
+        in
+        `Ok { seq; epoch; phase; op })
+      | _ -> `Torn
+
+let pp_phase ppf = function
+  | Intent -> Fmt.string ppf "intent"
+  | Commit -> Fmt.string ppf "commit"
+
+let pp_op ppf = function
+  | Assign { file_set; owner } -> Fmt.pf ppf "assign %s -> s%d" file_set owner
+  | Move { file_set; src; dst } ->
+    Fmt.pf ppf "move %s %s -> s%d" file_set
+      (match src with None -> "orphan" | Some s -> Printf.sprintf "s%d" s)
+      dst
+  | Orphan { file_set } -> Fmt.pf ppf "orphan %s" file_set
+  | Member { server; change } -> Fmt.pf ppf "member s%d %s" server change
+  | Epoch { holder } -> Fmt.pf ppf "epoch -> s%d" holder
+  | Noop -> Fmt.string ppf "noop"
+
+let pp_record ppf r =
+  Fmt.pf ppf "#%d e%d %a %a" r.seq r.epoch pp_phase r.phase pp_op r.op
+
+(* --- replay --- *)
+
+let fold_ownership records =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match (r.phase, r.op) with
+      | Commit, Assign { file_set; owner } ->
+        Hashtbl.replace tbl file_set (Owned owner)
+      | Intent, Move { file_set; src; dst } ->
+        Hashtbl.replace tbl file_set (Pending { src; dst })
+      | Commit, Move { file_set; src = _; dst } ->
+        Hashtbl.replace tbl file_set (Owned dst)
+      | Commit, Orphan { file_set } ->
+        Hashtbl.replace tbl file_set Orphaned_fs
+      | Intent, (Assign _ | Orphan _ | Member _ | Epoch _ | Noop)
+      | Commit, (Member _ | Epoch _ | Noop) ->
+        ())
+    records;
+  Hashtbl.fold (fun name state acc -> (name, state) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let replay disk =
+  let rec scan seq records torn =
+    match fst (Shared_disk.read disk ~block:(block_of_seq seq)) with
+    | None -> (seq, List.rev records, List.rev torn)
+    | Some data -> (
+      match decode data with
+      | `Ok r -> scan (seq + 1) (r :: records) torn
+      | `Torn -> scan (seq + 1) records (seq :: torn))
+  in
+  let next_seq, records, torn_seqs = scan 0 [] [] in
+  {
+    records;
+    torn_seqs;
+    ownership = fold_ownership records;
+    max_epoch =
+      List.fold_left (fun acc (r : record) -> max acc r.epoch) 0 records;
+    next_seq;
+  }
+
+let recovered_assignment rep =
+  let owned, orphaned =
+    List.fold_left
+      (fun (owned, orphaned) (name, state) ->
+        match state with
+        | Owned id -> ((name, id) :: owned, orphaned)
+        | Pending _ | Orphaned_fs ->
+          (* Roll back: an uncommitted intent means the move never
+             finished — after a restart nobody holds the set. *)
+          (owned, name :: orphaned))
+      ([], []) rep.ownership
+  in
+  (List.rev owned, List.rev orphaned)
+
+(* --- writer handle --- *)
+
+let attach disk =
+  let rep = replay disk in
+  let mirror = Hashtbl.create 256 in
+  List.iter (fun r -> Hashtbl.replace mirror r.seq r) rep.records;
+  {
+    disk;
+    mirror;
+    next = rep.next_seq;
+    epoch = rep.max_epoch;
+    append_count = 0;
+    torn_armed = [];
+    torn_done = 0;
+    on_torn = None;
+  }
+
+let disk t = t.disk
+
+let appends t = t.append_count
+
+let next_seq t = t.next
+
+let current_epoch t = t.epoch
+
+let set_epoch t e = t.epoch <- e
+
+let arm_torn t ~nth =
+  if nth < 0 then invalid_arg "Ledger.arm_torn: nth must be >= 0";
+  t.torn_armed <- List.sort_uniq Int.compare (nth :: t.torn_armed)
+
+let set_on_torn t f = t.on_torn <- Some f
+
+let torn_writes t = t.torn_done
+
+let append t ?writer phase op =
+  let nth = t.append_count in
+  t.append_count <- nth + 1;
+  let seq = t.next in
+  let r = { seq; epoch = t.epoch; phase; op } in
+  let enc = encode r in
+  let torn = List.mem nth t.torn_armed in
+  let data =
+    if torn then
+      (* A partial sector write: only a prefix of the record survives,
+         so replay's checksum rejects it. *)
+      String.sub enc 0 (String.length enc / 2)
+    else enc
+  in
+  let block = block_of_seq seq in
+  let landed =
+    match writer with
+    | None ->
+      let (_ : float) = Shared_disk.write t.disk ~block data in
+      true
+    | Some server -> (
+      match Shared_disk.write_as t.disk ~server ~block data with
+      | `Ok (_ : float) -> true
+      | `Fenced -> false)
+  in
+  if not landed then begin
+    (* Rejected at the disk: roll the handle back so the slot is not
+       burned by a writer that was never allowed to write. *)
+    `Fenced
+  end
+  else begin
+    t.next <- seq + 1;
+    (* The mirror records what the writer {e meant} to write — exactly
+       the knowledge repair replays onto a torn block. *)
+    Hashtbl.replace t.mirror seq r;
+    if torn then begin
+      t.torn_done <- t.torn_done + 1;
+      match t.on_torn with None -> () | Some f -> f ~seq
+    end;
+    `Appended seq
+  end
+
+let repair t =
+  let rep = replay t.disk in
+  List.fold_left
+    (fun repaired seq ->
+      let r =
+        match Hashtbl.find_opt t.mirror seq with
+        | Some r -> r
+        | None ->
+          (* No surviving memory of the record (torn by a previous
+             incarnation): excise it with a tombstone so the log scans
+             clean without inventing state. *)
+          { seq; epoch = 0; phase = Commit; op = Noop }
+      in
+      let (_ : float) =
+        Shared_disk.write t.disk ~block:(block_of_seq seq) (encode r)
+      in
+      repaired + 1)
+    0 rep.torn_seqs

@@ -3,8 +3,10 @@ type config = { block_size : int; op_overhead : float; bandwidth : float }
 type t = {
   cfg : config;
   store : (int, string) Hashtbl.t;
+  fenced : (int, unit) Hashtbl.t;
   mutable writes : int;
   mutable reads : int;
+  mutable rejected : int;
   mutable stall : float;
 }
 
@@ -16,8 +18,8 @@ let create ?(config = default_config) () =
     invalid_arg "Shared_disk.create: block_size must be positive";
   if config.bandwidth <= 0.0 then
     invalid_arg "Shared_disk.create: bandwidth must be positive";
-  { cfg = config; store = Hashtbl.create 1024; writes = 0; reads = 0;
-    stall = 1.0 }
+  { cfg = config; store = Hashtbl.create 1024; fenced = Hashtbl.create 8;
+    writes = 0; reads = 0; rejected = 0; stall = 1.0 }
 
 let config t = t.cfg
 
@@ -45,6 +47,31 @@ let read t ~block =
   let bytes = match data with None -> 0 | Some d -> String.length d in
   (data, transfer_time t ~bytes)
 
+let fence t ~server = Hashtbl.replace t.fenced server ()
+
+let unfence t ~server = Hashtbl.remove t.fenced server
+
+let is_fenced t ~server = Hashtbl.mem t.fenced server
+
+let write_as t ~server ~block data =
+  if Hashtbl.mem t.fenced server then begin
+    t.rejected <- t.rejected + 1;
+    `Fenced
+  end
+  else `Ok (write t ~block data)
+
+let compare_and_swap t ~block ~expect data =
+  t.reads <- t.reads + 1;
+  let current = Hashtbl.find_opt t.store block in
+  if current = expect then begin
+    t.writes <- t.writes + 1;
+    Hashtbl.replace t.store block data;
+    true
+  end
+  else false
+
 let blocks_written t = t.writes
 
 let blocks_read t = t.reads
+
+let rejected_writes t = t.rejected

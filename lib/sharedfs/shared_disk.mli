@@ -50,7 +50,46 @@ val clear_stall : t -> unit
 (** [stall_factor t] is the current multiplier (1.0 when healthy). *)
 val stall_factor : t -> float
 
+(** {2 Fencing and atomic primitives}
+
+    Storage Tank's lease layer fences a server at the storage: a
+    fenced server's writes are rejected by the disk itself, so a
+    partitioned server that still believes it owns metadata cannot
+    corrupt the shared image no matter what it believes.  Identity is
+    carried per operation ({!write_as}); the plain {!write} path is the
+    trusted in-process path (flush during a coordinated move) and is
+    not subject to fencing. *)
+
+(** [fence t ~server] rejects all subsequent {!write_as} operations
+    from [server] until {!unfence}. *)
+val fence : t -> server:int -> unit
+
+val unfence : t -> server:int -> unit
+
+val is_fenced : t -> server:int -> bool
+
+(** [write_as t ~server ~block data] is {!write} with the writer's
+    identity attached: [`Ok time] when the write landed, [`Fenced]
+    when the server is fenced (the write is rejected and counted, the
+    store untouched). *)
+val write_as :
+  t -> server:int -> block:int -> string -> [ `Ok of float | `Fenced ]
+
+(** [compare_and_swap t ~block ~expect data] installs [data] iff the
+    block currently holds exactly [expect] ([None] = absent).  This is
+    the disk-side primitive delegate-lease election is built on: the
+    single-threaded simulator makes it trivially atomic, and gating
+    every lease transition through it makes two concurrent delegates
+    impossible by construction. *)
+val compare_and_swap :
+  t -> block:int -> expect:string option -> string -> bool
+
 (** [blocks_written t] counts write operations, for tests and reports. *)
 val blocks_written : t -> int
 
 val blocks_read : t -> int
+
+(** [rejected_writes t] counts {!write_as} operations rejected by
+    fencing — the observable proof that a fenced server's writes never
+    reach the shared image. *)
+val rejected_writes : t -> int

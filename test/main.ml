@@ -29,5 +29,6 @@ let () =
       ("validate", Test_validate.suite);
       ("balance", Test_balance.suite);
       ("membership", Test_membership.suite);
+      ("ledger", Test_ledger.suite);
       ("fault", Test_fault.suite);
     ]

@@ -16,7 +16,7 @@ let test_registry_complete () =
       check_bool (id ^ " registered") true (Figures.by_id id <> None))
     [ "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11" ];
   check_bool "unknown" true (Figures.by_id "fig99" = None);
-  check_int "thirteen experiments" 13 (List.length Figures.all_ids)
+  check_int "fourteen experiments" 14 (List.length Figures.all_ids)
 
 let test_fig6_quick_structure () =
   let f = Figures.fig6 ~quick:true () in

@@ -20,7 +20,9 @@ let raises f =
 (* --- Desim.Timeout --- *)
 
 let test_timeout_schedule () =
-  let p = { Desim.Timeout.timeout = 1.0; retries = 2; backoff = 2.0 } in
+  let p =
+    { Desim.Timeout.timeout = 1.0; retries = 2; backoff = 2.0; jitter = 0.0 }
+  in
   check_int "attempts" 3 (Desim.Timeout.attempts p);
   check_float 1e-9 "attempt 0 at 0" 0.0 (Desim.Timeout.attempt_start p 0);
   check_float 1e-9 "attempt 1 after first window" 1.0
@@ -37,6 +39,42 @@ let test_timeout_schedule () =
   check_bool "sub-unit backoff rejected" true
     (raises (fun () ->
          Desim.Timeout.validate { p with Desim.Timeout.backoff = 0.5 }))
+
+let test_timeout_jitter () =
+  let p =
+    { Desim.Timeout.timeout = 2.0; retries = 1; backoff = 2.0; jitter = 0.5 }
+  in
+  Desim.Timeout.validate p;
+  check_bool "jitter at 1 rejected" true
+    (raises (fun () ->
+         Desim.Timeout.validate { p with Desim.Timeout.jitter = 1.0 }));
+  check_bool "negative jitter rejected" true
+    (raises (fun () ->
+         Desim.Timeout.validate { p with Desim.Timeout.jitter = -0.1 }));
+  (* jitter = 0 returns the nominal window without touching the
+     generator: an existing stream is never perturbed. *)
+  let rng = Desim.Rng.create 9 in
+  let probe = Desim.Rng.copy rng in
+  let w =
+    Desim.Timeout.jittered_window ~rng { p with Desim.Timeout.jitter = 0.0 } 1
+  in
+  check_float 1e-9 "zero jitter is the nominal window" 4.0 w;
+  check_float 1e-18 "generator untouched" (Desim.Rng.float probe)
+    (Desim.Rng.float rng);
+  (* Jittered windows stay inside [1-j, 1+j] x nominal and replay
+     exactly from an equal seed. *)
+  let draws seed =
+    let rng = Desim.Rng.create seed in
+    List.init 50 (fun i -> Desim.Timeout.jittered_window ~rng p (i mod 2))
+  in
+  check_bool "same seed, same windows" true (draws 11 = draws 11);
+  check_bool "different seed perturbs" true (draws 11 <> draws 12);
+  List.iteri
+    (fun i w ->
+      let nominal = Desim.Timeout.window p (i mod 2) in
+      if w < 0.5 *. nominal -. 1e-9 || w > 1.5 *. nominal +. 1e-9 then
+        Alcotest.failf "window %d out of range: %g vs nominal %g" i w nominal)
+    (draws 11)
 
 (* --- Fault.Plan --- *)
 
@@ -120,6 +158,80 @@ let test_plan_accessors () =
     (Fault.Plan.move_crashes plan = [ (1, `Src); (4, `Dst) ]);
   check_bool "crash rounds sorted" true
     (Fault.Plan.delegate_crash_rounds plan = [ 2; 6 ])
+
+let test_plan_timeline_edge_cases () =
+  (* Same-instant crash and recover of one server: ties keep spec
+     order, so the pair lands crash-then-recover, deterministically. *)
+  let plan =
+    Fault.Plan.make ~seed:1
+      [
+        Fault.Plan.Crash_at { at = 10.0; server = 0 };
+        Fault.Plan.Recover_at { at = 10.0; server = 0 };
+      ]
+  in
+  check_bool "tied events keep spec order" true
+    (Fault.Plan.timeline plan ~duration:100.0
+    = [ (10.0, Fault.Plan.Crash 0); (10.0, Fault.Plan.Recover 0) ]);
+  (* Degenerate hazards are rejected up front, not at timeline time. *)
+  check_bool "zero mttr rejected" true
+    (raises (fun () ->
+         Fault.Plan.make ~seed:1
+           [ Fault.Plan.Crash_hazard { server = 0; mttf = 10.0; mttr = 0.0 } ]));
+  check_bool "zero mttf rejected" true
+    (raises (fun () ->
+         Fault.Plan.make ~seed:1
+           [ Fault.Plan.Crash_hazard { server = 0; mttf = 0.0; mttr = 5.0 } ]))
+
+let test_plan_partition_timeline () =
+  check_bool "non-positive heal_after rejected" true
+    (raises (fun () ->
+         Fault.Plan.make ~seed:1
+           [
+             Fault.Plan.Partition_at
+               { at = 1.0; server = 0; link = `Cluster; heal_after = 0.0 };
+           ]));
+  check_bool "negative torn index rejected" true
+    (raises (fun () ->
+         Fault.Plan.make ~seed:1 [ Fault.Plan.Torn_write { nth_append = -1 } ]));
+  let plan =
+    Fault.Plan.make ~seed:1
+      [
+        Fault.Plan.Partition_at
+          { at = 10.0; server = 1; link = `Cluster; heal_after = 20.0 };
+        Fault.Plan.Partition_at
+          { at = 90.0; server = 2; link = `Disk; heal_after = 50.0 };
+        Fault.Plan.Torn_write { nth_append = 5 };
+        Fault.Plan.Torn_write { nth_append = 3 };
+        Fault.Plan.Torn_write { nth_append = 5 };
+      ]
+  in
+  let tl = Fault.Plan.timeline plan ~duration:100.0 in
+  check_bool "cut and heal paired" true
+    (List.mem (10.0, Fault.Plan.Partition { server = 1; link = `Cluster }) tl
+    && List.mem (30.0, Fault.Plan.Heal { server = 1; link = `Cluster }) tl);
+  check_bool "cut inside horizon scheduled" true
+    (List.mem (90.0, Fault.Plan.Partition { server = 2; link = `Disk }) tl);
+  check_bool "heal past the horizon clipped" true
+    (not
+       (List.exists
+          (fun (_, f) ->
+            match f with
+            | Fault.Plan.Heal { server = 2; _ } -> true
+            | _ -> false)
+          tl));
+  check_bool "torn appends sorted and deduplicated" true
+    (Fault.Plan.torn_appends plan = [ 3; 5 ])
+
+let test_plan_spec_kinds_complete () =
+  let names = List.map fst Fault.Plan.spec_kinds in
+  check_int "eleven spec kinds documented" 11 (List.length names);
+  List.iter
+    (fun n ->
+      check_bool (n ^ " documented") true (List.mem n names))
+    [ "crash-at"; "partition-at"; "torn-write"; "move-crash"; "report-loss" ];
+  List.iter
+    (fun (_, desc) -> check_bool "non-empty description" true (desc <> ""))
+    Fault.Plan.spec_kinds
 
 (* --- Delegate.collect_async --- *)
 
@@ -538,6 +650,98 @@ let test_chaos_survives_and_reproduces () =
   Alcotest.(check string)
     "byte-identical summary" (rendered s1) (rendered s2)
 
+(* --- Partitions, fencing and the ledger --- *)
+
+let test_runner_partition_fences_and_heals () =
+  (* The initially elected delegate (server 0) loses the cluster
+     network while moves are in flight; a long partition guarantees
+     zombie probes land and the old lease expires un-renewed before
+     the heal. *)
+  let plan =
+    Fault.Plan.make ~seed:5
+      [
+        Fault.Plan.Partition_at
+          { at = 130.0; server = 0; link = `Cluster; heal_after = 400.0 };
+      ]
+  in
+  let r = run_chaos ~plan ~spec:anu_spec () in
+  check_int "no invariant violated" 0
+    (List.length r.Experiments.Runner.violations);
+  check_int "no request lost" r.Experiments.Runner.submitted
+    r.Experiments.Runner.completed;
+  check_int "partition forced one re-election" 1
+    (counter r "delegate.reelections");
+  check_bool "epoch bumped at least twice (t=0 election + re-election)" true
+    (counter r "fence.epoch_bump" >= 2);
+  check_bool "zombie writes attempted and rejected" true
+    (counter r "fence.write_rejected" > 0);
+  check_bool "ledger audited along the way" true
+    (counter r "ledger.replays" > 0)
+
+let test_runner_disk_partition_survives () =
+  let plan =
+    Fault.Plan.make ~seed:6
+      [
+        Fault.Plan.Partition_at
+          { at = 250.0; server = 2; link = `Disk; heal_after = 200.0 };
+      ]
+  in
+  let r = run_chaos ~plan ~spec:anu_spec () in
+  check_int "no invariant violated" 0
+    (List.length r.Experiments.Runner.violations);
+  check_int "no request lost" r.Experiments.Runner.submitted
+    r.Experiments.Runner.completed;
+  check_bool "fenced at the disk: zombie writes rejected" true
+    (counter r "fence.write_rejected" > 0)
+
+let test_runner_torn_write_repaired () =
+  (* The trace has 40 file sets, so the initial assignment journals 40
+     commits; index 45 tears a record written mid-run. *)
+  let plan =
+    Fault.Plan.make ~seed:7 [ Fault.Plan.Torn_write { nth_append = 45 } ]
+  in
+  let r = run_chaos ~plan ~spec:anu_spec () in
+  check_int "exactly one torn append" 1 (counter r "ledger.torn_writes");
+  check_bool "the invariant sweep repaired it" true
+    (counter r "ledger.repaired" >= 1);
+  check_int "no invariant violated" 0
+    (List.length r.Experiments.Runner.violations);
+  check_int "no request lost" r.Experiments.Runner.submitted
+    r.Experiments.Runner.completed
+
+let test_chaos_partition_mix_acceptance () =
+  (* The headline scenario: cluster partition of the delegate during
+     in-flight moves, a disk partition, a torn ledger append and
+     report loss — zero violations, every zombie write rejected, fsck
+     clean, byte-reproducible. *)
+  let s1 =
+    Experiments.Chaos.run ~quick:true ~plan_kind:`Partition ~seed:42
+      ~spec:anu_spec ()
+  in
+  check_bool "ANU survives the partition mix" true
+    s1.Experiments.Chaos.survived;
+  check_int "zero violations" 0 (List.length s1.Experiments.Chaos.violations);
+  check_bool "partitions actually happened" true
+    (List.assoc_opt "partition_cut" s1.Experiments.Chaos.faults = Some 2);
+  check_bool "and healed" true
+    (List.assoc_opt "partition_healed" s1.Experiments.Chaos.faults = Some 2);
+  check_int "the armed append tore" 1 s1.Experiments.Chaos.torn_writes;
+  check_bool "and was repaired in-run" true
+    (s1.Experiments.Chaos.torn_repaired >= 1);
+  check_bool "zombie writes were attempted and all rejected" true
+    (s1.Experiments.Chaos.zombie_writes_rejected > 0);
+  check_bool "elections happened under fresh epochs" true
+    (s1.Experiments.Chaos.epoch_bumps >= 2);
+  check_bool "post-run fsck is clean without repair" true
+    s1.Experiments.Chaos.fsck.Cluster.clean;
+  check_int "no torn record left on disk" 0
+    s1.Experiments.Chaos.fsck.Cluster.torn_found;
+  let s2 =
+    Experiments.Chaos.run ~quick:true ~plan_kind:`Partition ~seed:42
+      ~spec:anu_spec ()
+  in
+  check_bool "partition chaos is byte-reproducible" true (s1 = s2)
+
 (* --- qcheck: invariants across arbitrary membership interleavings --- *)
 
 (* Op codes: 0 = fail, 1 = recover, 2 = add, 3 = retune,
@@ -661,7 +865,14 @@ let suite =
   [
     Alcotest.test_case "timeout: schedule arithmetic" `Quick
       test_timeout_schedule;
+    Alcotest.test_case "timeout: seeded jitter" `Quick test_timeout_jitter;
     Alcotest.test_case "plan: validation" `Quick test_plan_validation;
+    Alcotest.test_case "plan: timeline edge cases" `Quick
+      test_plan_timeline_edge_cases;
+    Alcotest.test_case "plan: partition timeline" `Quick
+      test_plan_partition_timeline;
+    Alcotest.test_case "plan: spec kinds complete" `Quick
+      test_plan_spec_kinds_complete;
     Alcotest.test_case "plan: timeline deterministic" `Quick
       test_plan_timeline_deterministic;
     Alcotest.test_case "plan: accessors" `Quick test_plan_accessors;
@@ -706,5 +917,13 @@ let suite =
       test_faultfree_path_unchanged;
     Alcotest.test_case "chaos: survives and reproduces" `Quick
       test_chaos_survives_and_reproduces;
+    Alcotest.test_case "runner: delegate partition fences and heals" `Quick
+      test_runner_partition_fences_and_heals;
+    Alcotest.test_case "runner: disk partition survives" `Quick
+      test_runner_disk_partition_survives;
+    Alcotest.test_case "runner: torn ledger append repaired" `Quick
+      test_runner_torn_write_repaired;
+    Alcotest.test_case "chaos: partition mix acceptance" `Quick
+      test_chaos_partition_mix_acceptance;
     QCheck_alcotest.to_alcotest prop_interleaving_preserves_invariants;
   ]
