@@ -35,18 +35,11 @@ let pp_figure_result figure =
    each Sim.run; summing them isolates the engine from trace generation
    and report rendering (which the figure-level wall clock includes). *)
 let pp_engine_throughput ppf figure =
-  let events, engine_wall =
-    List.fold_left
-      (fun (events, wall) r ->
-        ( events + r.Experiments.Runner.sim_events,
-          wall +. r.Experiments.Runner.sim_wall_seconds ))
-      (0, 0.0) figure.Experiments.Figures.results
-  in
-  if engine_wall > 0.0 then
+  let tp = Experiments.Runner.throughput figure.Experiments.Figures.results in
+  if tp.engine_wall_seconds > 0.0 then
     Format.fprintf ppf "%d events in %.1f s engine time, %.0f events/s"
-      events engine_wall
-      (float_of_int events /. engine_wall)
-  else Format.fprintf ppf "%d events" events
+      tp.events tp.engine_wall_seconds tp.events_per_second
+  else Format.fprintf ppf "%d events" tp.events
 
 let run_figure ~jobs id =
   match Experiments.Figures.by_id id with
@@ -294,6 +287,26 @@ let run_perf args =
   in
   Format.printf "perf: addressing sweep...@.";
   let addressing = Perf_json.addressing_sweep () in
+  (* Observability overhead probe: one streaming ANU run with the span
+     and telemetry instrumentation compiled in but no Obs.Ctx attached
+     — exactly the hot path every production-shaped run takes.  Its
+     events/s rides the blocking perf diff, so instrumentation that
+     stops being free when disabled fails CI. *)
+  let overhead_requests = if quick then 200_000 else 1_000_000 in
+  Format.printf "perf: obs overhead probe (%d requests, tracing off)...@."
+    overhead_requests;
+  let obs_overhead =
+    let t0 = Desim.Clock.now_ns () in
+    let result =
+      Experiments.Runner.run_stream Experiments.Scenario.default
+        (Experiments.Scenario.Anu Placement.Anu.default_config)
+        ~stream:(Experiments.Figures.dfs_stream ~requests:overhead_requests)
+        ()
+    in
+    Perf_json.figure_metrics ~id:"obs_overhead"
+      ~wall_seconds:(Desim.Clock.seconds_since t0)
+      [ result ]
+  in
   let snapshot =
     {
       Perf_json.quick;
@@ -301,6 +314,7 @@ let run_perf args =
       figures;
       micros;
       addressing;
+      obs_overhead = Some obs_overhead;
       peak_rss_kb = Perf_json.probe_peak_rss_kb ();
     }
   in
@@ -371,18 +385,17 @@ let run_stream_bench args =
       figures = [ figure ];
       micros = [];
       addressing = Perf_json.addressing_sweep ();
+      obs_overhead = None;
       peak_rss_kb = Perf_json.probe_peak_rss_kb ();
     }
   in
   Perf_json.save snapshot ~path;
+  let tp = Experiments.Runner.throughput [ result ] in
   Format.printf
     "%d requests (%d completed): %d events in %.1f s engine time (%.0f \
      events/s), peak heap %d events, peak RSS %s@."
-    requests result.Experiments.Runner.completed
-    result.Experiments.Runner.sim_events
-    result.Experiments.Runner.sim_wall_seconds
-    (float_of_int result.Experiments.Runner.sim_events
-    /. result.Experiments.Runner.sim_wall_seconds)
+    requests result.Experiments.Runner.completed tp.events
+    tp.engine_wall_seconds tp.events_per_second
     result.Experiments.Runner.sim_peak_pending
     (match Perf_json.probe_peak_rss_kb () with
     | Some kb -> Printf.sprintf "%d kB" kb

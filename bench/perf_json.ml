@@ -14,10 +14,14 @@
 module Json = Obs.Json
 
 (* /2 adds the memory probes of the streaming driver: per-figure peak
-   event-heap occupancy and a snapshot-wide peak RSS.  /1 files load
-   fine with those fields defaulted, so committed /1 baselines keep
-   comparing. *)
-let schema = "shdisk-perf/2"
+   event-heap occupancy and a snapshot-wide peak RSS.  /3 adds the
+   observability overhead probe: one streaming run with the span and
+   telemetry instrumentation compiled in but disabled, guarding the
+   free-when-off contract.  Older files load fine with the missing
+   fields defaulted, so committed baselines keep comparing. *)
+let schema = "shdisk-perf/3"
+
+let schema_v2 = "shdisk-perf/2"
 
 let schema_v1 = "shdisk-perf/1"
 
@@ -47,6 +51,11 @@ type t = {
   figures : figure_metrics list;
   micros : micro_metrics list;
   addressing : addressing_metrics;
+  obs_overhead : figure_metrics option;
+      (* the disabled-instrumentation probe: one streaming run with a
+         null Obs.Ctx, so its events/s polices the
+         free-when-disabled contract of spans and telemetry; None in
+         pre-/3 snapshots and stream-bench output *)
   peak_rss_kb : int option;
       (* VmHWM at snapshot time — whole-process high-water resident
          set; None off Linux *)
@@ -80,21 +89,19 @@ let probe_peak_rss_kb () =
 
 let figure_metrics ~id ~wall_seconds (results : Experiments.Runner.result list)
     =
-  let events, engine_wall, peak_heap =
+  let tp = Experiments.Runner.throughput results in
+  let peak_heap =
     List.fold_left
-      (fun (events, wall, peak) (r : Experiments.Runner.result) ->
-        ( events + r.sim_events,
-          wall +. r.sim_wall_seconds,
-          Stdlib.max peak r.sim_peak_pending ))
-      (0, 0.0, 0) results
+      (fun peak (r : Experiments.Runner.result) ->
+        Stdlib.max peak r.sim_peak_pending)
+      0 results
   in
   {
     id;
     wall_seconds;
-    engine_wall_seconds = engine_wall;
-    events_fired = events;
-    events_per_second =
-      (if engine_wall > 0.0 then float_of_int events /. engine_wall else 0.0);
+    engine_wall_seconds = tp.engine_wall_seconds;
+    events_fired = tp.events;
+    events_per_second = tp.events_per_second;
     peak_heap_events = peak_heap;
   }
 
@@ -157,6 +164,9 @@ let to_json t =
             ("locate_ns", Json.Num t.addressing.locate_ns);
           ] );
      ]
+    @ (match t.obs_overhead with
+      | None -> []
+      | Some f -> [ ("obs_overhead", json_of_figure f) ])
     @
     match t.peak_rss_kb with
     | None -> []
@@ -182,31 +192,30 @@ let str_field obj name =
   | Some s -> s
   | None -> failwith (Printf.sprintf "missing string field %S" name)
 
+let figure_of_json f =
+  {
+    id = str_field f "id";
+    wall_seconds = num_field f "wall_seconds";
+    engine_wall_seconds = num_field f "engine_wall_seconds";
+    events_fired = int_of_float (num_field f "events_fired");
+    events_per_second = num_field f "events_per_second";
+    peak_heap_events =
+      (* absent from /1 snapshots; 0 keeps the comparison
+         silent (zero baselines are skipped). *)
+      (match Json.to_float (Json.member "peak_heap_events" f) with
+      | Some x -> int_of_float x
+      | None -> 0);
+  }
+
 let of_json j =
   (match Json.to_str (Json.member "schema" j) with
-  | Some s when s = schema || s = schema_v1 -> ()
+  | Some s when s = schema || s = schema_v2 || s = schema_v1 -> ()
   | Some s -> failwith (Printf.sprintf "unsupported schema %S" s)
   | None -> failwith "not a shdisk-perf snapshot (no schema field)");
   let figures =
     match Json.to_list (Json.member "figures" j) with
     | None -> []
-    | Some items ->
-      List.map
-        (fun f ->
-          {
-            id = str_field f "id";
-            wall_seconds = num_field f "wall_seconds";
-            engine_wall_seconds = num_field f "engine_wall_seconds";
-            events_fired = int_of_float (num_field f "events_fired");
-            events_per_second = num_field f "events_per_second";
-            peak_heap_events =
-              (* absent from /1 snapshots; 0 keeps the comparison
-                 silent (zero baselines are skipped). *)
-              (match Json.to_float (Json.member "peak_heap_events" f) with
-              | Some x -> int_of_float x
-              | None -> 0);
-          })
-        items
+    | Some items -> List.map figure_of_json items
   in
   let micros =
     match Json.to_list (Json.member "micro" j) with
@@ -233,6 +242,10 @@ let of_json j =
     figures;
     micros;
     addressing;
+    obs_overhead =
+      (match Json.member "obs_overhead" j with
+      | Json.Null -> None
+      | f -> Some (figure_of_json f));
     peak_rss_kb =
       Option.map int_of_float (Json.to_float (Json.member "peak_rss_kb" j));
   }
@@ -282,6 +295,13 @@ let rows t =
         t.addressing.probes_per_lookup );
       ("addressing.locate_ns", Lower_better, t.addressing.locate_ns);
     ]
+  @ (match t.obs_overhead with
+    | None -> []
+    | Some f ->
+      [
+        ("obs_overhead.events_per_second", Higher_better, f.events_per_second);
+        ("obs_overhead.engine_wall_seconds", Lower_better, f.engine_wall_seconds);
+      ])
   @
   match t.peak_rss_kb with
   | None -> []

@@ -49,6 +49,8 @@ type obs_options = {
   trace_chrome : string option;
   trace_jsonl : string option;
   metrics : bool;
+  metrics_json : string option;
+  telemetry_json : string option;
 }
 
 let obs_options_t =
@@ -74,10 +76,29 @@ let obs_options_t =
       & info [ "metrics" ]
           ~doc:"Collect and print the metrics snapshot of every run.")
   in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Collect metrics and write every run's snapshot to FILE as one \
+             JSON document (implies metric collection).")
+  in
+  let telemetry_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry-json" ] ~docv:"FILE"
+          ~doc:
+            "Collect per-entity telemetry (per-server occupancy, queue \
+             depth and latency series, request rate, heavy-hitter file \
+             sets) and write every run's snapshot to FILE as JSON.")
+  in
   Term.(
-    const (fun trace_chrome trace_jsonl metrics ->
-        { trace_chrome; trace_jsonl; metrics })
-    $ trace_chrome $ trace_jsonl $ metrics)
+    const (fun trace_chrome trace_jsonl metrics metrics_json telemetry_json ->
+        { trace_chrome; trace_jsonl; metrics; metrics_json; telemetry_json })
+    $ trace_chrome $ trace_jsonl $ metrics $ metrics_json $ telemetry_json)
 
 let obs_ctx_of_options opts =
   let sinks =
@@ -88,9 +109,42 @@ let obs_ctx_of_options opts =
         Option.map Obs.Sink.jsonl_file opts.trace_jsonl;
       ]
   in
-  let metrics = if opts.metrics then Some (Obs.Metrics.create ()) else None in
-  if sinks = [] && metrics = None then None
-  else Some (Obs.Ctx.create ~sinks ?metrics ())
+  let metrics =
+    if opts.metrics || opts.metrics_json <> None then
+      Some (Obs.Metrics.create ())
+    else None
+  in
+  let telemetry =
+    Option.map (fun _ -> Obs.Telemetry.create ()) opts.telemetry_json
+  in
+  if sinks = [] && metrics = None && telemetry = None then None
+  else Some (Obs.Ctx.create ~sinks ?metrics ?telemetry ())
+
+(* [--metrics-json] / [--telemetry-json] payload: one entry per run, so
+   multi-policy figures keep their runs distinguishable. *)
+let write_runs_json path figure ~field_name ~snapshot =
+  let runs =
+    List.filter_map
+      (fun r ->
+        Option.map
+          (fun j ->
+            Obs.Json.Obj
+              [
+                ("label", Obs.Json.Str r.Experiments.Runner.label);
+                ("policy", Obs.Json.Str r.Experiments.Runner.policy_name);
+                (field_name, j);
+              ])
+          (snapshot r))
+      figure.Experiments.Figures.results
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Obs.Json.to_string (Obs.Json.Obj [ ("runs", Obs.Json.List runs) ]));
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
 
 let run_cmd =
   let doc = "Run one experiment and print its series and summary." in
@@ -196,6 +250,19 @@ let run_cmd =
                 r.Experiments.Runner.label r.Experiments.Runner.policy_name
                 Obs.Metrics.pp_snapshot snapshot)
           figure.Experiments.Figures.results;
+      Option.iter
+        (fun path ->
+          write_runs_json path figure ~field_name:"metrics" ~snapshot:(fun r ->
+              Option.map Obs.Metrics.snapshot_to_json
+                r.Experiments.Runner.metrics))
+        obs_opts.metrics_json;
+      Option.iter
+        (fun path ->
+          write_runs_json path figure ~field_name:"telemetry"
+            ~snapshot:(fun r ->
+              Option.map Obs.Telemetry.snapshot_to_json
+                r.Experiments.Runner.telemetry))
+        obs_opts.telemetry_json;
       Option.iter
         (fun path -> Printf.printf "wrote Chrome trace %s\n" path)
         obs_opts.trace_chrome;
@@ -366,6 +433,58 @@ let fsck_cmd =
       const run $ verbosity_t $ chaos_seed_t $ chaos_policy_t
       $ chaos_duration_t $ chaos_plan_t)
 
+let trace_report_cmd =
+  let doc =
+    "Analyze a JSONL trace offline: latency attribution (queue vs service \
+     vs move-induced buffering), hot servers and file sets, the \
+     fault/fence timeline, and a causal slice for every invariant \
+     violation."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL trace file (written by `run --trace-jsonl').")
+  in
+  let from_ =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "from" ] ~docv:"T"
+          ~doc:"Window start, virtual seconds (default: trace start).")
+  in
+  let to_ =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "to" ] ~docv:"T"
+          ~doc:"Window end, virtual seconds (default: trace end).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Rank the top K servers and file sets (default 5).")
+  in
+  let run () file from_ to_ top =
+    if top < 0 then begin
+      Logs.err (fun m -> m "--top must be non-negative (got %d)" top);
+      exit 1
+    end;
+    match Experiments.Forensics.load file with
+    | Error msg ->
+      Logs.err (fun m -> m "cannot load trace: %s" msg);
+      exit 1
+    | Ok trace ->
+      let report =
+        Experiments.Forensics.analyze ?from_ ?until:to_ ~top ~path:file trace
+      in
+      Format.printf "%a" Experiments.Forensics.pp_report report
+  in
+  Cmd.v (Cmd.info "trace-report" ~doc)
+    Term.(const run $ verbosity_t $ file $ from_ $ to_ $ top)
+
 let motivation_cmd =
   let doc =
     "Run the Section-2 motivation experiment (metadata imbalance starves the \
@@ -391,6 +510,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; run_cmd; trace_cmd; validate_cmd; chaos_cmd; fsck_cmd;
-            motivation_cmd;
+            list_cmd; run_cmd; trace_cmd; trace_report_cmd; validate_cmd;
+            chaos_cmd; fsck_cmd; motivation_cmd;
           ]))

@@ -1,6 +1,10 @@
 type job = { demand : float; tag : int; enqueued_at : float }
 
-type pending = { job : job; on_complete : latency:float -> unit }
+type pending = {
+  job : job;
+  on_start : (service:float -> unit) option;
+  on_complete : latency:float -> unit;
+}
 
 type t = {
   sim : Sim.t;
@@ -59,7 +63,8 @@ let rec start_next t =
   | Some p ->
     let service = p.job.demand /. t.speed in
     let handle = Sim.schedule t.sim ~delay:service (fun () -> finish t p service) in
-    t.current <- Some (p, handle)
+    t.current <- Some (p, handle);
+    (match p.on_start with Some f -> f ~service | None -> ())
 
 and finish t p service =
   t.completed <- t.completed + 1;
@@ -69,11 +74,11 @@ and finish t p service =
   p.on_complete ~latency;
   if not t.is_failed then start_next t
 
-let submit t ~demand ~tag ~on_complete =
+let submit ?on_start t ~demand ~tag ~on_complete =
   if demand <= 0.0 then invalid_arg "Station.submit: demand must be positive";
   if t.is_failed then failwith (t.name ^ ": submit to failed station");
   let p =
-    { job = { demand; tag; enqueued_at = Sim.now t.sim }; on_complete }
+    { job = { demand; tag; enqueued_at = Sim.now t.sim }; on_start; on_complete }
   in
   Queue.add p t.queue;
   if Option.is_none t.current then start_next t

@@ -27,10 +27,21 @@ val speed : t -> float
     jobs. *)
 val set_speed : t -> float -> unit
 
-(** [submit t ~demand ~tag ~on_complete] enqueues a job.  [on_complete
-    ~latency] fires when the job finishes.  Raises [Invalid_argument] on
-    non-positive demand and [Failure] if the station is failed. *)
-val submit : t -> demand:float -> tag:int -> on_complete:(latency:float -> unit) -> unit
+(** [submit t ?on_start ~demand ~tag ~on_complete] enqueues a job.
+    [on_start ~service] fires when the job reaches the head of the
+    queue and begins its [service]-second slot (immediately, if the
+    station is idle) — instrumentation uses it to split queueing delay
+    from service time.  [on_complete ~latency] fires when the job
+    finishes.  A job interrupted by {!fail} fires neither callback
+    again.  Raises [Invalid_argument] on non-positive demand and
+    [Failure] if the station is failed. *)
+val submit :
+  ?on_start:(service:float -> unit) ->
+  t ->
+  demand:float ->
+  tag:int ->
+  on_complete:(latency:float -> unit) ->
+  unit
 
 (** [queue_length t] counts jobs waiting, excluding any job in
     service. *)

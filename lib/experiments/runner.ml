@@ -34,8 +34,33 @@ type result = {
   sim_wall_seconds : float;
   sim_peak_pending : int;
   metrics : Obs.Metrics.snapshot option;
+  telemetry : Obs.Telemetry.snapshot option;
   violations : (float * string) list;
 }
+
+type throughput = {
+  events : int;
+  engine_wall_seconds : float;
+  events_per_second : float;
+}
+
+(* The one place engine throughput is computed: perf JSON, the bench
+   CLI banner and the stream bench all call this, so the numbers they
+   print can never diverge. *)
+let throughput results =
+  let events, engine_wall_seconds =
+    List.fold_left
+      (fun (events, wall) r -> (events + r.sim_events, wall +. r.sim_wall_seconds))
+      (0, 0.0) results
+  in
+  {
+    events;
+    engine_wall_seconds;
+    events_per_second =
+      (if engine_wall_seconds > 0.0 then
+         float_of_int events /. engine_wall_seconds
+       else 0.0);
+  }
 
 (* Apply the policy's current addressing to the cluster: diff against
    what the cluster believes and issue the moves.  Returns how many
@@ -74,6 +99,11 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
       ~series_interval:scenario.Scenario.series_interval ~servers ~obs ()
   in
   Option.iter (fun f -> f cluster) on_cluster;
+  (* The root span: everything else in the trace nests (directly or
+     causally) under the run.  Deterministic id 1 when tracing. *)
+  let run_span =
+    Obs.Span.begin_ obs ~time:0.0 ~name:"run" ~cat:"run" ()
+  in
   let emit_rehash ~time ~trigger moved =
     if Obs.Ctx.tracing obs then
       Obs.Ctx.emit obs
@@ -372,14 +402,27 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
   (* Delegate rounds at every interval boundary within the trace; each
      round arms the next, so at most one round event is pending. *)
   let rounds = int_of_float (Float.floor (duration /. interval)) in
-  let apply_round ~at ~round reports =
+  let apply_round ?(parent = Obs.Span.none) ~at ~round reports =
+    (* Tune and apply are instantaneous in virtual time (the policy
+       decides and the moves are issued at the decision instant); their
+       spans are zero-width but keep the round's causal structure —
+       the moves they issue open their own spans in the cluster. *)
+    let now = Desim.Sim.now sim in
+    let tspan =
+      Obs.Span.begin_ obs ~time:now ~parent ~name:"tune" ~cat:"round" ()
+    in
     policy.Placement.Policy.rebalance
       {
         Placement.Policy.time = at;
         reports;
         future_demand = future_demand ~lo:at ~hi:(at +. interval);
       };
+    Obs.Span.end_ obs ~time:now ~id:tspan ~name:"tune" ~cat:"round" ();
+    let aspan =
+      Obs.Span.begin_ obs ~time:now ~parent ~name:"apply" ~cat:"round" ()
+    in
     let moved = reconcile cluster policy names in
+    Obs.Span.end_ obs ~time:now ~id:aspan ~name:"apply" ~cat:"round" ();
     if Obs.Ctx.tracing obs then begin
       Obs.Ctx.emit obs
         (Sharedfs.Delegate.round_event cluster ~time:at ~round
@@ -398,11 +441,38 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
             arm_round (k + 1);
             incr reconfig_rounds;
             let round = !reconfig_rounds in
+            (* The round span is epoch-tagged: in fault-free runs the
+               lease is never established and the in-memory epoch stays
+               0; under chaos it carries the lease epoch the round ran
+               under, which is exactly what fencing forensics needs. *)
+            let rspan =
+              Obs.Span.begin_ obs ~time:at ~parent:run_span ~name:"round"
+                ~cat:"round"
+                ~epoch:
+                  (Sharedfs.Ledger.current_epoch
+                     (Sharedfs.Cluster.ledger cluster))
+                ()
+            in
+            let cspan =
+              Obs.Span.begin_ obs ~time:at ~parent:rspan ~name:"collect"
+                ~cat:"round" ()
+            in
+            let end_collect () =
+              Obs.Span.end_ obs ~time:(Desim.Sim.now sim) ~id:cspan
+                ~name:"collect" ~cat:"round" ()
+            in
+            let end_round outcome =
+              Obs.Span.end_ obs ~time:(Desim.Sim.now sim) ~id:rspan
+                ~name:"round" ~cat:"round" ~outcome ()
+            in
             match injector with
             | None ->
               (* Fault-free fast path: synchronous collection, exactly
                  the pre-chaos behaviour (and byte-identical traces). *)
-              apply_round ~at ~round (Sharedfs.Delegate.collect cluster)
+              let reports = Sharedfs.Delegate.collect cluster in
+              end_collect ();
+              apply_round ~parent:rspan ~at ~round reports;
+              end_round "applied"
             | Some inj ->
               let plan = Option.get faults in
               let timeout = Fault.Plan.timeout plan in
@@ -432,6 +502,7 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                 ~fate:(fun ~server ~attempt ->
                   Fault.Injector.fate inj ~round ~server ~attempt)
                 ~k:(fun outcome ->
+                  end_collect ();
                   if List.mem round crash_rounds then begin
                     (* The delegate dies after collecting but before
                        deciding: the reports (and its divergent-tuning
@@ -442,7 +513,8 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                     Fault.Injector.note_delegate_crash inj;
                     let moved = reconcile cluster policy names in
                     emit_rehash ~time:at ~trigger:"delegate-crash" moved;
-                    check_now ()
+                    check_now ();
+                    end_round "delegate-crash"
                   end
                   else if Sharedfs.Cluster.ensure_delegate cluster
                           <> epoch_at_start
@@ -455,12 +527,14 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                     bump "rounds.fenced";
                     let moved = reconcile cluster policy names in
                     emit_rehash ~time:at ~trigger:"round-fenced" moved;
-                    check_now ()
+                    check_now ();
+                    end_round "fenced"
                   end
                   else
                     match outcome with
                     | Sharedfs.Delegate.Round_complete reports ->
-                      apply_round ~at ~round reports
+                      apply_round ~parent:rspan ~at ~round reports;
+                      end_round "applied"
                     | Sharedfs.Delegate.Round_degraded { reports; missing } ->
                       (* A quorum reported: average over the survivors
                          rather than wait for the dead. *)
@@ -468,7 +542,8 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                       emit_degraded ~missing
                         ~survivors:(List.length reports)
                         ~skipped:false;
-                      apply_round ~at ~round reports
+                      apply_round ~parent:rspan ~at ~round reports;
+                      end_round "degraded"
                     | Sharedfs.Delegate.Round_skipped { missing } ->
                       (* Below quorum: tuning on so little data would be
                          tuning on garbage, so the round decides
@@ -478,7 +553,8 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
                       emit_degraded ~missing ~survivors:0 ~skipped:true;
                       let moved = reconcile cluster policy names in
                       emit_rehash ~time:at ~trigger:"round-skipped" moved;
-                      check_now ()))
+                      check_now ();
+                      end_round "skipped"))
       in
       ()
     end
@@ -551,6 +627,7 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
   (* Run to completion: every queued request eventually drains. *)
   let profile = Desim.Sim.run_profiled sim in
   let end_time = Float.max duration (Desim.Sim.now sim) in
+  Obs.Span.end_ obs ~time:end_time ~id:run_span ~name:"run" ~cat:"run" ();
   let all_servers = Sharedfs.Cluster.servers cluster in
   let server_series =
     List.map
@@ -610,6 +687,10 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
     sim_wall_seconds = profile.Desim.Sim.wall_seconds;
     sim_peak_pending = Desim.Sim.peak_pending sim;
     metrics = Obs.Ctx.snapshot obs;
+    telemetry =
+      Option.map
+        (fun tl -> Obs.Telemetry.snapshot tl ~until:end_time)
+        (Obs.Ctx.telemetry obs);
     violations = List.rev !violations;
   }
 

@@ -52,11 +52,27 @@ type result = {
   metrics : Obs.Metrics.snapshot option;
       (** per-run metrics snapshot when the run's {!Obs.Ctx.t} carried
           a registry *)
+  telemetry : Obs.Telemetry.snapshot option;
+      (** per-run telemetry snapshot (per-server series, request-rate
+          series, heavy-hitter file sets) when the run's {!Obs.Ctx.t}
+          carried a telemetry registry *)
   violations : (float * string) list;
       (** every invariant breach the run detected, in detection order;
           always empty unless invariant checking was on (see
           {!run}) *)
 }
+
+type throughput = {
+  events : int;  (** engine events fired, summed over the runs *)
+  engine_wall_seconds : float;
+  events_per_second : float;  (** 0 when no engine time was recorded *)
+}
+
+(** [throughput results] folds engine events and engine wall time over
+    [results] into one events/s figure — the single source of truth
+    used by the perf JSON and the bench CLI output, so the two can
+    never diverge. *)
+val throughput : result list -> throughput
 
 (** [run_stream scenario spec ~stream ?events ()] executes one full
     simulation off a pull-based {!Workload.Stream.t} and returns the

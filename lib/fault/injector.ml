@@ -17,6 +17,11 @@ type t = {
   actions : actions;
   counts : (string, int ref) Hashtbl.t;
   mutable move_seq : int;  (** moves seen so far, for [Move_crash] *)
+  (* Open fault spans: a crash span runs from injected crash to
+     injected recovery, a partition span from cut to heal, so traces
+     show fault {e windows}, not just their edges. *)
+  crash_spans : (Server_id.t, Obs.Span.id) Hashtbl.t;
+  partition_spans : (Server_id.t, Obs.Span.id) Hashtbl.t;
 }
 
 let bump t name =
@@ -41,10 +46,23 @@ let record t ?server ?file_set fault =
 
 let crash t id =
   record t ~server:id Obs.Event.Server_crash;
+  if not (Hashtbl.mem t.crash_spans id) then begin
+    let span =
+      Obs.Span.begin_ t.obs ~time:(Desim.Sim.now t.sim) ~name:"crash"
+        ~cat:"fault" ~server:(Server_id.to_int id) ()
+    in
+    if span <> Obs.Span.none then Hashtbl.replace t.crash_spans id span
+  end;
   t.actions.crash_server id
 
 let recover t id =
   record t ~server:id Obs.Event.Server_recover;
+  (match Hashtbl.find_opt t.crash_spans id with
+  | Some span ->
+    Hashtbl.remove t.crash_spans id;
+    Obs.Span.end_ t.obs ~time:(Desim.Sim.now t.sim) ~id:span ~name:"crash"
+      ~cat:"fault" ~server:(Server_id.to_int id) ~outcome:"recovered" ()
+  | None -> ());
   t.actions.recover_server id
 
 let note_delegate_crash t =
@@ -70,6 +88,14 @@ let rec zombie_probe t id =
 
 let partition t server ~link =
   record t ~server (Obs.Event.Partition_cut { link = link_name link });
+  if not (Hashtbl.mem t.partition_spans server) then begin
+    let span =
+      Obs.Span.begin_ t.obs ~time:(Desim.Sim.now t.sim)
+        ~name:("partition:" ^ link_name link)
+        ~cat:"fault" ~server:(Server_id.to_int server) ()
+    in
+    if span <> Obs.Span.none then Hashtbl.replace t.partition_spans server span
+  end;
   t.actions.partition_server server ~link;
   (* First probe shortly after the cut, then on a steady cadence. *)
   let (_ : Desim.Sim.handle) =
@@ -79,6 +105,13 @@ let partition t server ~link =
 
 let heal t server ~link =
   record t ~server (Obs.Event.Partition_healed { link = link_name link });
+  (match Hashtbl.find_opt t.partition_spans server with
+  | Some span ->
+    Hashtbl.remove t.partition_spans server;
+    Obs.Span.end_ t.obs ~time:(Desim.Sim.now t.sim) ~id:span
+      ~name:("partition:" ^ link_name link)
+      ~cat:"fault" ~server:(Server_id.to_int server) ~outcome:"healed" ()
+  | None -> ());
   t.actions.heal_server server
 
 let schedule_timeline t ~duration =
@@ -94,10 +127,16 @@ let schedule_timeline t ~duration =
               let disk = Cluster.disk t.cluster in
               Sharedfs.Shared_disk.set_stall disk ~factor;
               record t (Obs.Event.Disk_stall_start { factor; duration = d });
+              let span =
+                Obs.Span.begin_ t.obs ~time:(Desim.Sim.now t.sim)
+                  ~name:"disk-stall" ~cat:"fault" ()
+              in
               let (_ : Desim.Sim.handle) =
                 Desim.Sim.schedule t.sim ~delay:d (fun () ->
                     Sharedfs.Shared_disk.clear_stall disk;
-                    record t Obs.Event.Disk_stall_end)
+                    record t Obs.Event.Disk_stall_end;
+                    Obs.Span.end_ t.obs ~time:(Desim.Sim.now t.sim) ~id:span
+                      ~name:"disk-stall" ~cat:"fault" ())
               in
               ()
             | Plan.Partition { server; link } ->
@@ -158,6 +197,8 @@ let arm ~sim ~cluster ~obs ~duration ~actions plan =
       actions;
       counts = Hashtbl.create 8;
       move_seq = 0;
+      crash_spans = Hashtbl.create 4;
+      partition_spans = Hashtbl.create 4;
     }
   in
   schedule_timeline t ~duration;

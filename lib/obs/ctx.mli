@@ -1,31 +1,46 @@
 (** The observability context threaded through a simulation.
 
     A context bundles zero or more trace {!Sink}s with an optional
-    {!Metrics} registry.  Components hold one and guard their
-    instrumentation on {!tracing} / {!metrics}, so that the default
-    {!null} context costs one branch per call site and no allocation —
-    the overhead contract DESIGN.md documents. *)
+    {!Metrics} registry and an optional {!Telemetry} registry.
+    Components hold one and guard their instrumentation on {!tracing} /
+    {!metrics} / {!telemetry}, so that the default {!null} context
+    costs one branch per call site and no allocation — the overhead
+    contract DESIGN.md documents. *)
 
 type t
 
-(** No sinks, no metrics.  [emit] and [close] are no-ops. *)
+(** No sinks, no metrics, no telemetry.  [emit] and [close] are
+    no-ops. *)
 val null : t
 
-val create : ?sinks:Sink.t list -> ?metrics:Metrics.t -> unit -> t
+val create :
+  ?sinks:Sink.t list -> ?metrics:Metrics.t -> ?telemetry:Telemetry.t ->
+  unit -> t
 
 (** [tracing t] is true when at least one sink is attached.  Call
-    sites test it {e before} building an event so that disabled
-    tracing never allocates. *)
+    sites test it {e before} building an event (or opening a span) so
+    that disabled tracing never allocates. *)
 val tracing : t -> bool
 
 val metrics : t -> Metrics.t option
 
-(** [isolated t] is [t] with a {e fresh} metrics registry when [t]
-    carries one (sinks are shared, unchanged).  The runner derives one
-    isolated context per run so that concurrent runs on separate
-    domains never share mutable instruments; each run's snapshot then
-    covers exactly that run. *)
+val telemetry : t -> Telemetry.t option
+
+(** [isolated t] is [t] with fresh per-run instruments: a fresh metrics
+    registry when [t] carries one, a fresh (empty, same-config)
+    telemetry registry when [t] carries one, and always a fresh span-id
+    counter.  Sinks (and the emission lock) are shared, unchanged.  The
+    runner derives one isolated context per run so that concurrent runs
+    on separate domains never share mutable instruments and span ids
+    are deterministic per run; each run's snapshot then covers exactly
+    that run. *)
 val isolated : t -> t
+
+(** [alloc_span t] draws the next span id (ids start at 1; 0 is
+    reserved as {!Span.none}).  Only call under a [tracing] guard and
+    from the run's own domain — the counter is intentionally unlocked
+    because isolated contexts are single-domain. *)
+val alloc_span : t -> int
 
 (** [emit t e] hands [e] to every sink, in attachment order.  Emission
     is serialized under a per-context mutex, so contexts shared by

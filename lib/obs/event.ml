@@ -87,6 +87,24 @@ type t =
       divergent : int;
     }
   | Invariant_violation of { time : float; what : string }
+  | Span_begin of {
+      time : float;
+      id : int;
+      parent : int option;
+      name : string;
+      cat : string;
+      server : int option;
+      file_set : string option;
+      epoch : int option;
+    }
+  | Span_end of {
+      time : float;
+      id : int;
+      name : string;
+      cat : string;
+      server : int option;
+      outcome : string option;
+    }
 
 let fault_name = function
   | Server_crash -> "server_crash"
@@ -114,7 +132,9 @@ let time = function
   | Fence { time; _ }
   | Partition { time; _ }
   | Ledger_replay { time; _ }
-  | Invariant_violation { time; _ } -> time
+  | Invariant_violation { time; _ }
+  | Span_begin { time; _ }
+  | Span_end { time; _ } -> time
 
 let kind = function
   | Request_submit _ -> "request_submit"
@@ -130,6 +150,8 @@ let kind = function
   | Partition _ -> "partition"
   | Ledger_replay _ -> "ledger_replay"
   | Invariant_violation _ -> "invariant_violation"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
 
 (* --- JSON encoding --- *)
 
@@ -256,6 +278,27 @@ let to_json e =
         ("divergent", int divergent);
       ]
     | Invariant_violation { time = _; what } -> [ ("what", Json.Str what) ]
+    | Span_begin { time = _; id; parent; name; cat; server; file_set; epoch }
+      ->
+      [
+        ("id", int id);
+        ("parent", opt_int parent);
+        ("name", Json.Str name);
+        ("cat", Json.Str cat);
+        ("server", opt_int server);
+        ( "file_set",
+          match file_set with None -> Json.Null | Some s -> Json.Str s );
+        ("epoch", opt_int epoch);
+      ]
+    | Span_end { time = _; id; name; cat; server; outcome } ->
+      [
+        ("id", int id);
+        ("name", Json.Str name);
+        ("cat", Json.Str cat);
+        ("server", opt_int server);
+        ( "outcome",
+          match outcome with None -> Json.Null | Some s -> Json.Str s );
+      ]
   in
   Json.Obj (("type", Json.Str (kind e)) :: ("time", num (time e)) :: fields)
 
@@ -457,6 +500,36 @@ let of_json j =
   | "invariant_violation" ->
     let* what = field_str j "what" in
     Ok (Invariant_violation { time; what })
+  | "span_begin" ->
+    let* id = field_int j "id" in
+    let* parent = field_opt_int j "parent" in
+    let* name = field_str j "name" in
+    let* cat = field_str j "cat" in
+    let* server = field_opt_int j "server" in
+    let* file_set =
+      match Json.member "file_set" j with
+      | Json.Null -> Ok None
+      | other -> (
+        match Json.to_str other with
+        | Some s -> Ok (Some s)
+        | None -> Error "invalid optional string field \"file_set\"")
+    in
+    let* epoch = field_opt_int j "epoch" in
+    Ok (Span_begin { time; id; parent; name; cat; server; file_set; epoch })
+  | "span_end" ->
+    let* id = field_int j "id" in
+    let* name = field_str j "name" in
+    let* cat = field_str j "cat" in
+    let* server = field_opt_int j "server" in
+    let* outcome =
+      match Json.member "outcome" j with
+      | Json.Null -> Ok None
+      | other -> (
+        match Json.to_str other with
+        | Some s -> Ok (Some s)
+        | None -> Error "invalid optional string field \"outcome\"")
+    in
+    Ok (Span_end { time; id; name; cat; server; outcome })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let to_jsonl e = Json.to_string (to_json e)

@@ -141,6 +141,27 @@ type t =
       (** a safety-invariant check failed at [time]; chaos harnesses
           emit one event per violation so traces show exactly when a
           run went wrong *)
+  | Span_begin of {
+      time : float;
+      id : int;  (** unique within a run; ids start at 1, 0 is "no span" *)
+      parent : int option;  (** causal parent span, when nested *)
+      name : string;  (** e.g. ["request"], ["queue"], ["move"], ["round"] *)
+      cat : string;  (** lifecycle family: ["request"], ["move"], ["round"],
+                         ["fault"], ["run"] *)
+      server : int option;
+      file_set : string option;
+      epoch : int option;  (** lease epoch for delegate-round spans *)
+    }
+  | Span_end of {
+      time : float;
+      id : int;  (** matches the {!Span_begin} with the same id *)
+      name : string;
+      cat : string;
+      server : int option;
+      outcome : string option;
+          (** how the span closed, e.g. ["commit"], ["orphan"],
+              ["applied"], ["fenced"]; [None] for plain completion *)
+    }
 
 (** [fault_name k] is the snake_case name of the fault kind, e.g.
     ["report_lost"] — the key used by fault counters and the JSON

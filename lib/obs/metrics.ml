@@ -200,6 +200,32 @@ let snapshot (t : t) =
           });
   }
 
+let snapshot_to_json (s : snapshot) =
+  let num x = Json.Num x in
+  let int n = num (float_of_int n) in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (name, v) -> (name, int v)) s.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (name, v) -> (name, num v)) s.gauges) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, h) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("count", int h.count);
+                     ("mean", num h.mean);
+                     ("p50", num h.p50);
+                     ("p95", num h.p95);
+                     ("p99", num h.p99);
+                     ("max", num h.max);
+                   ] ))
+             s.histograms) );
+    ]
+
 let pp_snapshot ppf s =
   let open Format in
   if s.counters <> [] then begin

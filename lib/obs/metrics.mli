@@ -100,4 +100,9 @@ type snapshot = {
 
 val snapshot : t -> snapshot
 
+(** [snapshot_to_json s] is a machine-diffable JSON object with
+    ["counters"], ["gauges"] and ["histograms"] members, each keyed by
+    instrument name (sorted) — the payload behind [--metrics-json]. *)
+val snapshot_to_json : snapshot -> Json.t
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -25,7 +25,19 @@ module Ring = struct
     r.slots.(r.next) <- Some e;
     r.next <- (r.next + 1) mod capacity
 
-  let sink r = { name = "ring"; emit = push r; close = (fun () -> ()) }
+  (* Dropped events are silent data loss for forensics; surface the
+     count once, at close, so a truncated trace never goes unnoticed. *)
+  let sink r =
+    {
+      name = "ring";
+      emit = push r;
+      close =
+        (fun () ->
+          if r.dropped > 0 then
+            Printf.eprintf
+              "obs: ring sink dropped %d event(s) (capacity %d)\n%!" r.dropped
+              (Array.length r.slots));
+    }
 
   let length r = r.stored
 
@@ -46,18 +58,34 @@ module Ring = struct
     r.dropped <- 0
 end
 
+(* Buffer whole lines and hand them to the channel in ~64 KiB batches:
+   per-event [output_string] calls dominate traced-run wall time, which
+   distorts exactly the timings a trace is meant to capture.  The
+   buffer drains on overflow and on close, so a closed sink has always
+   written every event. *)
+let jsonl_buffer_size = 65536
+
 let jsonl_writer oc ~close_channel =
   let closed = ref false in
+  let buf = Buffer.create jsonl_buffer_size in
+  let drain () =
+    if Buffer.length buf > 0 then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
+  in
   {
     name = "jsonl";
     emit =
       (fun e ->
-        output_string oc (Event.to_jsonl e);
-        output_char oc '\n');
+        Buffer.add_string buf (Event.to_jsonl e);
+        Buffer.add_char buf '\n';
+        if Buffer.length buf >= jsonl_buffer_size then drain ());
     close =
       (fun () ->
         if not !closed then begin
           closed := true;
+          drain ();
           if close_channel then close_out oc else flush oc
         end);
   }
@@ -256,6 +284,40 @@ let records_of_event e =
         ~tid:cluster_tid
         ~args:[ ("what", Json.Str what) ]
         ();
+    ]
+  (* Spans become Chrome async duration events: matching ["b"]/["e"]
+     records keyed by the span id, so chrome://tracing nests them into
+     flame charts instead of a wall of instants. *)
+  | Span_begin { time; id; parent; name; cat; server; file_set; epoch } ->
+    let tid =
+      match server with Some s -> server_tid s | None -> cluster_tid
+    in
+    let args =
+      (match parent with
+      | Some p -> [ ("parent", Json.Num (float_of_int p)) ]
+      | None -> [])
+      @ (match file_set with
+        | Some fs -> [ ("file_set", Json.Str fs) ]
+        | None -> [])
+      @
+      match epoch with
+      | Some e -> [ ("epoch", Json.Num (float_of_int e)) ]
+      | None -> []
+    in
+    [
+      chrome_record ~args ~name ~cat ~ph:"b" ~ts:(usec time) ~tid
+        [ ("id", Json.Str (string_of_int id)) ];
+    ]
+  | Span_end { time; id; name; cat; server; outcome } ->
+    let tid =
+      match server with Some s -> server_tid s | None -> cluster_tid
+    in
+    let args =
+      match outcome with Some o -> [ ("outcome", Json.Str o) ] | None -> []
+    in
+    [
+      chrome_record ~args ~name ~cat ~ph:"e" ~ts:(usec time) ~tid
+        [ ("id", Json.Str (string_of_int id)) ];
     ]
 
 let chrome_writer oc ~close_channel =

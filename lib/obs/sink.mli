@@ -34,7 +34,9 @@ module Ring : sig
 
   val length : ring -> int
 
-  (** [dropped r] counts events evicted to make room. *)
+  (** [dropped r] counts events evicted to make room.  [sink]'s [close]
+      reports a non-zero count on stderr so truncated traces are never
+      silent. *)
   val dropped : ring -> int
 
   val clear : ring -> unit
@@ -42,8 +44,11 @@ end
 
 (** {2 File writers} *)
 
-(** [jsonl_channel oc] writes one {!Event.to_jsonl} line per event;
-    [close] flushes but leaves the channel open (the caller owns it). *)
+(** [jsonl_channel oc] writes one {!Event.to_jsonl} line per event.
+    Lines are batched in a ~64 KiB buffer (per-event syscall flushing
+    distorts traced-run timings); [close] drains the buffer and flushes
+    but leaves the channel open (the caller owns it).  An unclosed sink
+    may hold buffered events, so always close. *)
 val jsonl_channel : out_channel -> t
 
 (** [jsonl_file path] opens [path] for writing; [close] closes it. *)
@@ -53,8 +58,10 @@ val jsonl_file : string -> t
     understood by [chrome://tracing] and Perfetto.  Requests become
     complete ("X") slices on the owning server's track, moves become
     slices on the destination's track, delegate rounds become instant
-    events plus "queue-depth" and "region-measure" counter tracks.
-    Virtual seconds map to trace microseconds.  [close] writes the
+    events plus "queue-depth" and "region-measure" counter tracks, and
+    {!Event.Span_begin}/{!Event.Span_end} pairs become async duration
+    ("b"/"e") records keyed by span id, which render as nested flame
+    charts.  Virtual seconds map to trace microseconds.  [close] writes the
     closing bracket and flushes; the caller owns the channel. *)
 val chrome_channel : out_channel -> t
 

@@ -1,0 +1,48 @@
+(** Causal spans: begin/end pairs with parent links.
+
+    A span is two events sharing an id: {!Event.Span_begin} at the
+    start of a lifecycle stage and {!Event.Span_end} when it closes,
+    optionally with an outcome.  Parent links turn a trace into a
+    forest — request → queue → service, round → collect/tune/apply —
+    which the Chrome sink renders as nested flame charts and the
+    forensics engine joins for latency attribution.
+
+    The whole layer is free when tracing is off: {!begin_} returns
+    {!none} without allocating, and {!end_} on {!none} is a no-op, so
+    instrumented components pay one branch per would-be span. *)
+
+type id = int
+
+(** The null span id (0).  Returned by {!begin_} when tracing is
+    disabled; {!end_} ignores it; never allocated to a real span. *)
+val none : id
+
+(** [begin_ ctx ~time ?parent ~name ~cat ?server ?file_set ?epoch ()]
+    opens a span and returns its id, or {!none} when [ctx] has no
+    sinks.  A [parent] of {!none} is treated as no parent, so ids can
+    be threaded through without re-guarding. *)
+val begin_ :
+  Ctx.t ->
+  time:float ->
+  ?parent:id ->
+  name:string ->
+  cat:string ->
+  ?server:int ->
+  ?file_set:string ->
+  ?epoch:int ->
+  unit ->
+  id
+
+(** [end_ ctx ~time ~id ~name ~cat ?server ?outcome ()] closes span
+    [id]; no-op when [id] is {!none}.  [name]/[cat] are repeated so
+    sinks stay stateless. *)
+val end_ :
+  Ctx.t ->
+  time:float ->
+  id:id ->
+  name:string ->
+  cat:string ->
+  ?server:int ->
+  ?outcome:string ->
+  unit ->
+  unit

@@ -1,0 +1,240 @@
+type config = { interval : float; top_k : int }
+
+let default_config = { interval = 60.0; top_k = 10 }
+
+(* --- Space-saving heavy-hitter sketch (Metwally et al.) ---
+
+   Tracks at most [capacity] keys.  A miss at capacity evicts the
+   minimum-count entry and adopts its count as the newcomer's floor,
+   recording that floor as the overestimate error.  Guarantees every
+   key with true frequency > N/capacity is present. *)
+module Sketch = struct
+  type entry = { mutable count : int; mutable error : int }
+
+  type t = { capacity : int; entries : (string, entry) Hashtbl.t }
+
+  let create ~capacity =
+    if capacity <= 0 then
+      invalid_arg "Telemetry.Sketch.create: capacity must be > 0";
+    { capacity; entries = Hashtbl.create capacity }
+
+  let observe t key =
+    match Hashtbl.find_opt t.entries key with
+    | Some e -> e.count <- e.count + 1
+    | None ->
+      if Hashtbl.length t.entries < t.capacity then
+        Hashtbl.add t.entries key { count = 1; error = 0 }
+      else begin
+        (* Evict the minimum-count entry; break count ties on the
+           smallest key so the sketch is deterministic across runs. *)
+        let victim = ref None in
+        Hashtbl.iter
+          (fun k (e : entry) ->
+            match !victim with
+            | None -> victim := Some (k, e)
+            | Some (vk, ve) ->
+              if e.count < ve.count || (e.count = ve.count && k < vk) then
+                victim := Some (k, e))
+          t.entries;
+        match !victim with
+        | None -> assert false
+        | Some (vk, ve) ->
+          Hashtbl.remove t.entries vk;
+          Hashtbl.add t.entries key
+            { count = ve.count + 1; error = ve.count }
+      end
+
+  (* Entries sorted by count desc, then key asc — a stable ranking. *)
+  let ranked t =
+    Hashtbl.fold (fun k e acc -> (k, e.count, e.error) :: acc) t.entries []
+    |> List.sort (fun (ka, ca, _) (kb, cb, _) ->
+           if ca <> cb then compare cb ca else String.compare ka kb)
+end
+
+type server_state = {
+  queue_depth : Desim.Timeseries.t;
+  occupancy : Desim.Timeseries.t;  (* service-seconds started per bucket *)
+  latency : Desim.Timeseries.t;
+  mutable busy_seconds : float;
+  mutable requests : int;
+}
+
+type t = {
+  config : config;
+  servers : (int, server_state) Hashtbl.t;
+  request_rate : Desim.Timeseries.t;
+  sketch : Sketch.t;
+  mutable total_requests : int;
+}
+
+let of_config config =
+  if config.interval <= 0.0 then
+    invalid_arg "Telemetry.create: interval must be positive";
+  {
+    config;
+    servers = Hashtbl.create 16;
+    request_rate = Desim.Timeseries.create ~interval:config.interval;
+    sketch = Sketch.create ~capacity:(max 1 config.top_k);
+    total_requests = 0;
+  }
+
+let create ?(interval = default_config.interval)
+    ?(top_k = default_config.top_k) () =
+  of_config { interval; top_k }
+
+let config t = t.config
+
+let server_state t server =
+  match Hashtbl.find_opt t.servers server with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        queue_depth = Desim.Timeseries.create ~interval:t.config.interval;
+        occupancy = Desim.Timeseries.create ~interval:t.config.interval;
+        latency = Desim.Timeseries.create ~interval:t.config.interval;
+        busy_seconds = 0.0;
+        requests = 0;
+      }
+    in
+    Hashtbl.add t.servers server s;
+    s
+
+let observe_submit t ~time ~file_set =
+  t.total_requests <- t.total_requests + 1;
+  Desim.Timeseries.observe t.request_rate ~time 1.0;
+  Sketch.observe t.sketch file_set
+
+let observe_service t ~time ~server ~service =
+  let s = server_state t server in
+  s.busy_seconds <- s.busy_seconds +. service;
+  Desim.Timeseries.observe s.occupancy ~time service
+
+let observe_complete t ~time ~server ~queue_depth ~latency =
+  let s = server_state t server in
+  s.requests <- s.requests + 1;
+  Desim.Timeseries.observe s.queue_depth ~time (float_of_int queue_depth);
+  Desim.Timeseries.observe s.latency ~time latency
+
+type server_summary = {
+  server : int;
+  requests : int;
+  busy_seconds : float;
+  utilization : float;
+  queue_depth : Desim.Timeseries.point list;
+  occupancy : Desim.Timeseries.point list;
+  latency : Desim.Timeseries.point list;
+}
+
+type heavy_hitter = { file_set : string; count : int; overestimate : int }
+
+type snapshot = {
+  interval : float;
+  until : float;
+  total_requests : int;
+  servers : server_summary list;
+  request_rate : Desim.Timeseries.point list;
+  heavy_hitters : heavy_hitter list;
+}
+
+let snapshot (t : t) ~until =
+  let servers =
+    Hashtbl.fold
+      (fun server (s : server_state) acc ->
+        {
+          server;
+          requests = s.requests;
+          busy_seconds = s.busy_seconds;
+          utilization = (if until > 0.0 then s.busy_seconds /. until else 0.0);
+          queue_depth = Desim.Timeseries.finish s.queue_depth ~until;
+          occupancy = Desim.Timeseries.finish s.occupancy ~until;
+          latency = Desim.Timeseries.finish s.latency ~until;
+        }
+        :: acc)
+      t.servers []
+    |> List.sort (fun a b -> compare a.server b.server)
+  in
+  {
+    interval = t.config.interval;
+    until;
+    total_requests = t.total_requests;
+    servers;
+    request_rate = Desim.Timeseries.finish t.request_rate ~until;
+    heavy_hitters =
+      List.map
+        (fun (file_set, count, overestimate) ->
+          { file_set; count; overestimate })
+        (Sketch.ranked t.sketch);
+  }
+
+(* --- JSON rendering (behind --telemetry-json) --- *)
+
+let num x = Json.Num x
+
+let int n = num (float_of_int n)
+
+let points_to_json points =
+  Json.List
+    (List.map
+       (fun (p : Desim.Timeseries.point) ->
+         Json.Obj
+           [
+             ("bucket_start", num p.bucket_start);
+             ("mean", num p.mean);
+             ("count", int p.count);
+             ("max", num p.max);
+           ])
+       points)
+
+let snapshot_to_json (s : snapshot) =
+  Json.Obj
+    [
+      ("interval", num s.interval);
+      ("until", num s.until);
+      ("total_requests", int s.total_requests);
+      ( "servers",
+        Json.List
+          (List.map
+             (fun sv ->
+               Json.Obj
+                 [
+                   ("server", int sv.server);
+                   ("requests", int sv.requests);
+                   ("busy_seconds", num sv.busy_seconds);
+                   ("utilization", num sv.utilization);
+                   ("queue_depth", points_to_json sv.queue_depth);
+                   ("occupancy", points_to_json sv.occupancy);
+                   ("latency", points_to_json sv.latency);
+                 ])
+             s.servers) );
+      ("request_rate", points_to_json s.request_rate);
+      ( "heavy_hitters",
+        Json.List
+          (List.map
+             (fun h ->
+               Json.Obj
+                 [
+                   ("file_set", Json.Str h.file_set);
+                   ("count", int h.count);
+                   ("overestimate", int h.overestimate);
+                 ])
+             s.heavy_hitters) );
+    ]
+
+let pp_snapshot ppf (s : snapshot) =
+  Fmt.pf ppf "telemetry: interval=%.0fs requests=%d servers=%d@." s.interval
+    s.total_requests (List.length s.servers);
+  List.iter
+    (fun sv ->
+      Fmt.pf ppf "  server %d: requests=%d busy=%.1fs utilization=%.3f@."
+        sv.server sv.requests sv.busy_seconds sv.utilization)
+    s.servers;
+  if s.heavy_hitters <> [] then begin
+    Fmt.pf ppf "  hot file sets (space-saving, top %d):@."
+      (List.length s.heavy_hitters);
+    List.iter
+      (fun h ->
+        Fmt.pf ppf "    %-24s %8d (overestimate <= %d)@." h.file_set h.count
+          h.overestimate)
+      s.heavy_hitters
+  end

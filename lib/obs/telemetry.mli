@@ -1,0 +1,82 @@
+(** Per-entity windowed telemetry: the hotspot-detector foundation.
+
+    Where {!Metrics} keeps global scalars and {!Event} records discrete
+    transitions, this registry keeps {e per-entity time series} built on
+    {!Desim.Timeseries}: per-server queue depth, occupancy
+    (service-seconds started per window) and latency, plus a global
+    request-rate series and a top-k heavy-hitter sketch over file sets.
+    The cluster feeds it inline (three calls per request); everything
+    is skipped with one branch when no registry is attached, preserving
+    the zero-overhead-when-disabled contract.
+
+    The heavy-hitter sketch is the space-saving algorithm: at most
+    [top_k] tracked file sets, evicting the minimum-count entry on
+    overflow and inheriting its count as a floor.  Each reported entry
+    carries the [overestimate] bound it inherited, so a consumer can
+    tell exact counts (overestimate 0) from inherited floors. *)
+
+type config = { interval : float;  (** bucket width, virtual seconds *)
+                top_k : int  (** sketch capacity *) }
+
+val default_config : config
+
+type t
+
+(** [create ?interval ?top_k ()] — defaults: 60 s windows, top 10. *)
+val create : ?interval:float -> ?top_k:int -> unit -> t
+
+(** [of_config c] — used by [Ctx.isolated] to derive a fresh, empty
+    registry with the same shape for each run. *)
+val of_config : config -> t
+
+val config : t -> config
+
+(** [observe_submit t ~time ~file_set] — one request entered the
+    system: bumps the request-rate series and the file-set sketch. *)
+val observe_submit : t -> time:float -> file_set:string -> unit
+
+(** [observe_service t ~time ~server ~service] — [server] started a
+    service of [service] seconds at [time]: feeds its occupancy
+    series and busy-time total. *)
+val observe_service : t -> time:float -> server:int -> service:float -> unit
+
+(** [observe_complete t ~time ~server ~queue_depth ~latency] — a
+    request finished on [server]: feeds its queue-depth and latency
+    series.  Times must be non-decreasing per series (the simulator's
+    event order guarantees this). *)
+val observe_complete :
+  t -> time:float -> server:int -> queue_depth:int -> latency:float -> unit
+
+type server_summary = {
+  server : int;
+  requests : int;
+  busy_seconds : float;
+  utilization : float;  (** busy_seconds / until *)
+  queue_depth : Desim.Timeseries.point list;
+  occupancy : Desim.Timeseries.point list;
+  latency : Desim.Timeseries.point list;
+}
+
+type heavy_hitter = {
+  file_set : string;
+  count : int;  (** estimated frequency (upper bound) *)
+  overestimate : int;  (** count may exceed truth by at most this *)
+}
+
+type snapshot = {
+  interval : float;
+  until : float;
+  total_requests : int;
+  servers : server_summary list;  (** sorted by server id *)
+  request_rate : Desim.Timeseries.point list;
+  heavy_hitters : heavy_hitter list;  (** count desc, then name asc *)
+}
+
+(** [snapshot t ~until] closes every series at [until] and freezes the
+    registry into plain data.  Call once, at end of run. *)
+val snapshot : t -> until:float -> snapshot
+
+(** The machine-readable payload behind [--telemetry-json]. *)
+val snapshot_to_json : snapshot -> Json.t
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

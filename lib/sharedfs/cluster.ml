@@ -32,6 +32,10 @@ type buffered = {
                 never re-hash the name *)
   base_demand : float;
   arrival : float;
+  span : Obs.Span.id;  (* the request's root span; none when not tracing *)
+  mutable bspan : Obs.Span.id;
+      (* open "buffered" child while the request waits out a move or an
+         orphaned set; ends (and is reset) on delivery *)
   on_complete : latency:float -> unit;
 }
 
@@ -48,6 +52,9 @@ type ownership =
       flush_done_at : float;
           (* once the clock passes this, the dirty image is safely on
              the shared disk and a src crash no longer endangers it *)
+      span : Obs.Span.id;
+          (* the move's span: ends with outcome commit/orphan at
+             completion, or interrupted when an endpoint dies *)
     }
   | Orphaned of buffered Queue.t
 
@@ -141,6 +148,7 @@ type t = {
     unit)
     option;
   obs : Obs.Ctx.t;
+  telemetry : Obs.Telemetry.t option;
   instruments : instruments option;
 }
 
@@ -206,6 +214,7 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       completed_n = 0;
       on_move_start = None;
       obs;
+      telemetry = Obs.Ctx.telemetry obs;
       instruments;
     }
   in
@@ -395,25 +404,73 @@ let deliver t id b =
   let tag = t.next_tag in
   t.next_tag <- tag + 1;
   Hashtbl.add t.inflight tag b;
-  let extra_latency = Desim.Sim.now t.sim -. b.arrival in
+  let now = Desim.Sim.now t.sim in
+  let extra_latency = now -. b.arrival in
+  let sid = Server_id.to_int id in
+  (* Close the buffered stage (if the request waited out a move) and
+     open the queue stage; [on_start] flips queue -> service with the
+     station's computed service time, so the trace splits queueing
+     delay from service exactly.  All span work is behind the tracing
+     branch; the [on_start] closure is only built when some observer
+     (sinks or telemetry) wants it. *)
+  if b.bspan <> Obs.Span.none then begin
+    Obs.Span.end_ t.obs ~time:now ~id:b.bspan ~name:"buffered" ~cat:"request"
+      ~server:sid ();
+    b.bspan <- Obs.Span.none
+  end;
+  let qspan =
+    Obs.Span.begin_ t.obs ~time:now ~parent:b.span ~name:"queue" ~cat:"request"
+      ~server:sid ~file_set:b.req.Request.file_set ()
+  in
+  let sspan = ref Obs.Span.none in
+  let on_start =
+    if qspan = Obs.Span.none && t.telemetry = None then None
+    else
+      Some
+        (fun ~service ->
+          let started = Desim.Sim.now t.sim in
+          (match t.telemetry with
+          | Some tl ->
+            Obs.Telemetry.observe_service tl ~time:started ~server:sid ~service
+          | None -> ());
+          if qspan <> Obs.Span.none then begin
+            Obs.Span.end_ t.obs ~time:started ~id:qspan ~name:"queue"
+              ~cat:"request" ~server:sid ();
+            sspan :=
+              Obs.Span.begin_ t.obs ~time:started ~parent:b.span
+                ~name:"service" ~cat:"request" ~server:sid
+                ~file_set:b.req.Request.file_set ()
+          end)
+  in
   Server.submit server ~fs:b.fs ~base_demand:b.base_demand ~tag ~extra_latency
-    b.req ~on_complete:(fun ~latency ->
+    ?on_start b.req ~on_complete:(fun ~latency ->
       Hashtbl.remove t.inflight tag;
       (match t.instruments with
       | None -> ()
       | Some i ->
         Obs.Metrics.Counter.incr i.completed_ctr;
         Obs.Metrics.Histogram.observe i.latency latency);
-      if Obs.Ctx.tracing t.obs then
+      let finished = Desim.Sim.now t.sim in
+      (match t.telemetry with
+      | Some tl ->
+        Obs.Telemetry.observe_complete tl ~time:finished ~server:sid
+          ~queue_depth:(Server.queue_length server) ~latency
+      | None -> ());
+      if Obs.Ctx.tracing t.obs then begin
+        Obs.Span.end_ t.obs ~time:finished ~id:!sspan ~name:"service"
+          ~cat:"request" ~server:sid ();
         Obs.Ctx.emit t.obs
           (Obs.Event.Request_complete
              {
-               time = Desim.Sim.now t.sim;
-               server = Server_id.to_int id;
+               time = finished;
+               server = sid;
                file_set = b.req.Request.file_set;
                op = Request.op_name b.req.Request.op;
                latency;
              });
+        Obs.Span.end_ t.obs ~time:finished ~id:b.span ~name:"request"
+          ~cat:"request" ~server:sid ()
+      end;
       complete_request t b ~latency)
 
 let submit_fs t ~fs ~base_demand req ~on_complete =
@@ -424,8 +481,18 @@ let submit_fs t ~fs ~base_demand req ~on_complete =
     t.completed_n <- t.completed_n + 1;
     on_complete ~latency
   in
+  let arrival = Desim.Sim.now t.sim in
+  (match t.telemetry with
+  | Some tl ->
+    Obs.Telemetry.observe_submit tl ~time:arrival
+      ~file_set:req.Request.file_set
+  | None -> ());
+  let span =
+    Obs.Span.begin_ t.obs ~time:arrival ~name:"request" ~cat:"request"
+      ~file_set:req.Request.file_set ()
+  in
   let b =
-    { req; fs; base_demand; arrival = Desim.Sim.now t.sim; on_complete }
+    { req; fs; base_demand; arrival; span; bspan = Obs.Span.none; on_complete }
   in
   t.submitted_n <- t.submitted_n + 1;
   (match t.instruments with
@@ -440,10 +507,19 @@ let submit_fs t ~fs ~base_demand req ~on_complete =
            op = Request.op_name req.Request.op;
            client = req.Request.client;
          });
+  (* A request held back by a move or an orphaned set gets an explicit
+     "buffered" stage, so forensics can attribute that part of its
+     latency to the move rather than to queueing. *)
+  let buffer_into pending =
+    b.bspan <-
+      Obs.Span.begin_ t.obs ~time:arrival ~parent:span ~name:"buffered"
+        ~cat:"request" ~file_set:req.Request.file_set ();
+    Queue.add b pending
+  in
   match t.ownership.(fs) with
   | Owned id -> deliver t id b
-  | Moving { pending; _ } -> Queue.add b pending
-  | Orphaned pending -> Queue.add b pending
+  | Moving { pending; _ } -> buffer_into pending
+  | Orphaned pending -> buffer_into pending
   | Unassigned ->
     failwith
       ("Cluster.submit: file set never assigned: " ^ req.Request.file_set)
@@ -465,13 +541,22 @@ let init_seconds t fs =
 
 let complete_move t ~fs ~src ~dst pending =
   let dst_server = server t dst in
+  let mspan =
+    match t.ownership.(fs) with Moving { span; _ } -> span | _ -> Obs.Span.none
+  in
+  let end_move outcome =
+    Obs.Span.end_ t.obs ~time:(Desim.Sim.now t.sim) ~id:mspan ~name:"move"
+      ~cat:"move" ~server:(Server_id.to_int dst) ~outcome ()
+  in
   if Server.failed dst_server then begin
     (* Destination died while the set was in transit: the set is
        orphaned again and the failure handler's caller re-places it. *)
+    end_move "orphan";
     t.ownership.(fs) <- Orphaned pending;
     journal t Ledger.Commit (Ledger.Orphan { file_set = fs_name t fs })
   end
   else begin
+    end_move "commit";
     Server.gain_file_set dst_server ~fs ~cold:true;
     t.ownership.(fs) <- Owned dst;
     journal t Ledger.Commit
@@ -574,6 +659,9 @@ let move t ~file_set ~dst =
           pending;
           handle;
           flush_done_at = Desim.Sim.now t.sim +. flush_seconds;
+          span =
+            Obs.Span.begin_ t.obs ~time:(Desim.Sim.now t.sim) ~name:"move"
+              ~cat:"move" ~server:(Server_id.to_int dst) ~file_set ();
         };
     record_move t ~file_set ~src:(Some src) ~dst ~flush_seconds ~init_seconds;
     Option.iter
@@ -600,6 +688,9 @@ let move t ~file_set ~dst =
           pending;
           handle;
           flush_done_at = Desim.Sim.now t.sim;
+          span =
+            Obs.Span.begin_ t.obs ~time:(Desim.Sim.now t.sim) ~name:"move"
+              ~cat:"move" ~server:(Server_id.to_int dst) ~file_set ();
         };
     record_move t ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds;
     Option.iter
@@ -650,26 +741,30 @@ let take_down t id =
     Array.iteri
       (fun fs o ->
         match o with
-        | Moving { src; dst; pending; handle; flush_done_at } ->
+        | Moving { src; dst; pending; handle; flush_done_at; span } ->
           let src_died =
             match src with
             | Some s -> Server_id.equal s id && now < flush_done_at
             | None -> false
           in
           if src_died then
-            dead_moves := (fs_name t fs, fs, pending, handle, "src") :: !dead_moves
+            dead_moves :=
+              (fs_name t fs, fs, pending, handle, span, "src") :: !dead_moves
           else if Server_id.equal dst id then
-            dead_moves := (fs_name t fs, fs, pending, handle, "dst") :: !dead_moves
+            dead_moves :=
+              (fs_name t fs, fs, pending, handle, span, "dst") :: !dead_moves
         | Owned _ | Orphaned _ | Unassigned -> ())
       t.ownership;
     let dead_moves =
       List.sort
-        (fun (a, _, _, _, _) (b, _, _, _, _) -> String.compare a b)
+        (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> String.compare a b)
         !dead_moves
     in
     List.iter
-      (fun (name, fs, pending, handle, role) ->
+      (fun (name, fs, pending, handle, span, role) ->
         Desim.Sim.cancel t.sim handle;
+        Obs.Span.end_ t.obs ~time:now ~id:span ~name:"move" ~cat:"move"
+          ~server:(Server_id.to_int id) ~outcome:"interrupted" ();
         t.ownership.(fs) <- Orphaned pending;
         journal t Ledger.Commit (Ledger.Orphan { file_set = name });
         t.moves_failed <- t.moves_failed + 1;
@@ -699,7 +794,7 @@ let take_down t id =
         | Unassigned -> ())
       interrupted;
     List.sort_uniq String.compare
-      (orphaned @ List.map (fun (name, _, _, _, _) -> name) dead_moves)
+      (orphaned @ List.map (fun (name, _, _, _, _, _) -> name) dead_moves)
   end
 
 let fail_server t id =

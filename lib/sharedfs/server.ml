@@ -65,7 +65,8 @@ let observe t ~latency =
     Obs.Metrics.Gauge.set i.queue_depth
       (float_of_int (Desim.Station.queue_length t.station))
 
-let submit t ~fs ~base_demand ?tag ?(extra_latency = 0.0) req ~on_complete =
+let submit t ~fs ~base_demand ?tag ?(extra_latency = 0.0) ?on_start req
+    ~on_complete =
   let multiplier =
     Cache.access t.cache ~fs ~dirties:(Request.dirties_cache req.Request.op)
   in
@@ -80,7 +81,8 @@ let submit t ~fs ~base_demand ?tag ?(extra_latency = 0.0) req ~on_complete =
       t.next_tag <- tag + 1;
       tag
   in
-  Desim.Station.submit t.station ~demand ~tag ~on_complete:(fun ~latency ->
+  Desim.Station.submit ?on_start t.station ~demand ~tag
+    ~on_complete:(fun ~latency ->
       let latency = latency +. extra_latency in
       observe t ~latency;
       on_complete ~latency);

@@ -48,14 +48,17 @@ val set_speed : t -> float -> unit
     job to {!fail}; defaults to an internal counter.  [extra_latency]
     is delay already suffered before reaching this server (e.g.
     buffering during a file-set move) and is added to the recorded and
-    reported latency.  Latency is recorded in the window and series
-    before [on_complete] runs. *)
+    reported latency.  [on_start ~service] fires when the job begins
+    service (instrumentation splits queueing delay from service time
+    with it).  Latency is recorded in the window and series before
+    [on_complete] runs. *)
 val submit :
   t ->
   fs:int ->
   base_demand:float ->
   ?tag:int ->
   ?extra_latency:float ->
+  ?on_start:(service:float -> unit) ->
   Request.t ->
   on_complete:(latency:float -> unit) ->
   unit

@@ -24,6 +24,8 @@ let () =
       ("stream", Test_stream.suite);
       ("sessions", Test_sessions.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("forensics", Test_forensics.suite);
       ("runner", Test_runner.suite);
       ("experiments", Test_experiments.suite);
       ("validate", Test_validate.suite);

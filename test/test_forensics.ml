@@ -1,0 +1,288 @@
+(* Forensics: span joining and latency attribution on a hand-built
+   trace, windowing, entity extraction from violation prose, and the
+   end-to-end acceptance run — a partition-mix chaos campaign with an
+   injected violation whose report must name the implicated server and
+   the preceding fence/fault events, byte-reproducibly. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let with_temp_file f =
+  let path = Filename.temp_file "forensics_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let write_events path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (Obs.Event.to_jsonl e);
+          output_char oc '\n')
+        events)
+
+let span_begin ?parent ?server ?file_set ~time ~id ~name ~cat () =
+  Obs.Event.Span_begin
+    { time; id; parent; name; cat; server; file_set; epoch = None }
+
+let span_end ?server ?outcome ~time ~id ~name ~cat () =
+  Obs.Event.Span_end { time; id; name; cat; server; outcome }
+
+let complete ~time ~server ~file_set ~latency =
+  Obs.Event.Request_complete { time; server; file_set; op = "open"; latency }
+
+(* One request span tree (queue 0.4 s + service 0.6 s), one buffered
+   wait, one request lost to a crash, plus the operational events a
+   violation's causal slice must pick out. *)
+let synthetic_events =
+  [
+    span_begin ~time:0.0 ~id:1 ~name:"request" ~cat:"request"
+      ~file_set:"fs-a" ();
+    span_begin ~time:0.0 ~id:2 ~parent:1 ~name:"queue" ~cat:"request"
+      ~server:3 ();
+    span_end ~time:0.4 ~id:2 ~name:"queue" ~cat:"request" ~server:3 ();
+    span_begin ~time:0.4 ~id:3 ~parent:1 ~name:"service" ~cat:"request"
+      ~server:3 ();
+    span_end ~time:1.0 ~id:3 ~name:"service" ~cat:"request" ~server:3 ();
+    span_end ~time:1.0 ~id:1 ~name:"request" ~cat:"request" ();
+    complete ~time:1.0 ~server:3 ~file_set:"fs-a" ~latency:1.0;
+    span_begin ~time:2.0 ~id:4 ~name:"buffered" ~cat:"request" ~server:1
+      ~file_set:"fs-b" ();
+    span_end ~time:2.5 ~id:4 ~name:"buffered" ~cat:"request" ~server:1 ();
+    complete ~time:3.0 ~server:1 ~file_set:"fs-b" ~latency:1.0;
+    complete ~time:3.5 ~server:3 ~file_set:"fs-a" ~latency:0.5;
+    (* a request span that never closes: crash-lost work *)
+    span_begin ~time:4.0 ~id:5 ~name:"request" ~cat:"request"
+      ~file_set:"fs-a" ();
+    Obs.Event.Fault
+      {
+        time = 5.0;
+        server = Some 3;
+        file_set = None;
+        fault = Obs.Event.Server_crash;
+      };
+    Obs.Event.Fence { time = 5.1; server = 3; action = "fenced" };
+    (* noise touching a different server: must stay out of the slice *)
+    Obs.Event.Fence { time = 5.2; server = 0; action = "fenced" };
+    Obs.Event.Invariant_violation
+      {
+        time = 6.0;
+        what = "file set fs-a owned by failed server 3";
+      };
+  ]
+
+let load_synthetic f =
+  with_temp_file (fun path ->
+      write_events path synthetic_events;
+      match Experiments.Forensics.load path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok t -> f t)
+
+let test_attribution_and_ranking () =
+  load_synthetic (fun t ->
+      check_int "all events loaded"
+        (List.length synthetic_events)
+        (Experiments.Forensics.length t);
+      let r = Experiments.Forensics.analyze ~top:2 t in
+      let a = r.Experiments.Forensics.attribution in
+      check_int "completed request spans" 1 a.Experiments.Forensics.requests;
+      check_int "crash-lost span counted" 1 a.Experiments.Forensics.unclosed;
+      Alcotest.(check (float 1e-9))
+        "queue seconds" 0.4 a.Experiments.Forensics.queue_seconds;
+      Alcotest.(check (float 1e-9))
+        "service seconds" 0.6 a.Experiments.Forensics.service_seconds;
+      Alcotest.(check (float 1e-9))
+        "buffered seconds" 0.5 a.Experiments.Forensics.buffered_seconds;
+      (match r.Experiments.Forensics.servers with
+      | s1 :: _ ->
+        check_int "hottest server" 3 s1.Experiments.Forensics.server;
+        check_int "its completions" 2 s1.Experiments.Forensics.completions
+      | [] -> Alcotest.fail "no hot servers");
+      match r.Experiments.Forensics.file_sets with
+      | f1 :: _ ->
+        Alcotest.(check string)
+          "hottest file set" "fs-a" f1.Experiments.Forensics.file_set
+      | [] -> Alcotest.fail "no hot file sets")
+
+let test_windowing () =
+  load_synthetic (fun t ->
+      (* A window ending before the crash excludes the unclosed span,
+         the faults and the violation. *)
+      let r = Experiments.Forensics.analyze ~until:3.9 t in
+      let a = r.Experiments.Forensics.attribution in
+      check_int "request span inside window" 1 a.Experiments.Forensics.requests;
+      check_int "unclosed span outside window" 0
+        a.Experiments.Forensics.unclosed;
+      check_int "no faults in window" 0
+        (List.length r.Experiments.Forensics.faults);
+      check_int "no violations in window" 0
+        (List.length r.Experiments.Forensics.violations);
+      (* A window starting after the requests keeps only the tail. *)
+      let r = Experiments.Forensics.analyze ~from_:4.0 t in
+      check_int "no completed spans late" 0
+        r.Experiments.Forensics.attribution.Experiments.Forensics.requests;
+      check_int "late window sees the violation" 1
+        (List.length r.Experiments.Forensics.violations))
+
+let test_explain_violation () =
+  load_synthetic (fun t ->
+      let r = Experiments.Forensics.analyze t in
+      match r.Experiments.Forensics.violations with
+      | [ v ] ->
+        Alcotest.(check (list int))
+          "implicated server parsed" [ 3 ] v.Experiments.Forensics.servers;
+        Alcotest.(check (list string))
+          "implicated file set parsed" [ "fs-a" ]
+          v.Experiments.Forensics.file_sets;
+        let lines =
+          List.map
+            (fun e -> e.Experiments.Forensics.line)
+            v.Experiments.Forensics.slice
+        in
+        check_bool "slice names the crash" true
+          (List.exists
+             (fun l -> l = "fault server_crash server=3")
+             lines);
+        check_bool "slice names the fence" true
+          (List.exists (fun l -> l = "fence server=3 action=fenced") lines);
+        check_bool "unrelated server stays out" true
+          (not
+             (List.exists (fun l -> l = "fence server=0 action=fenced") lines))
+      | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs))
+
+let test_load_reports_bad_line () =
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      output_string oc (Obs.Event.to_jsonl (List.hd synthetic_events));
+      output_string oc "\n{not json\n";
+      close_out oc;
+      match Experiments.Forensics.load path with
+      | Ok _ -> Alcotest.fail "expected a parse error"
+      | Error msg ->
+        check_bool "error names the line" true (contains msg "line 2"))
+
+(* --- the acceptance run --- *)
+
+(* A partition-mix chaos campaign traced to JSONL, with one injected
+   violation implicating server 0 (the delegate that loses its cluster
+   link at 0.22*duration) fired once past 0.7*duration.  The report
+   must parse the server back out and its causal slice must surface
+   the preceding partition/fence history — and the whole pipeline must
+   be byte-reproducible at a fixed seed. *)
+let chaos_trace =
+  Workload.Synthetic.generate
+    {
+      Workload.Synthetic.default_config with
+      Workload.Synthetic.seed = 42;
+      requests = Workload.Synthetic.default_config.Workload.Synthetic.requests / 10;
+      file_sets = Workload.Synthetic.default_config.Workload.Synthetic.file_sets / 5;
+    }
+
+let run_chaos_to ~path =
+  let duration = Workload.Trace.duration chaos_trace in
+  let plan = Fault.Plan.partition_mix ~seed:42 ~duration in
+  let obs = Obs.Ctx.create ~sinks:[ Obs.Sink.jsonl_file path ] () in
+  let sim = ref None in
+  let fired = ref false in
+  let r =
+    Experiments.Runner.run Experiments.Scenario.default
+      (Experiments.Scenario.Anu Placement.Anu.default_config)
+      ~trace:chaos_trace ~obs ~faults:plan
+      ~on_sim_created:(fun s -> sim := Some s)
+      ~invariant_extra:(fun () ->
+        match !sim with
+        | Some s when (not !fired) && Desim.Sim.now s > 0.7 *. duration ->
+          fired := true;
+          [ "partitioned server 0 is not fenced at the disk" ]
+        | _ -> [])
+      ()
+  in
+  Obs.Ctx.close obs;
+  check_bool "the injected violation fired" true !fired;
+  check_bool "runner recorded it" true
+    (List.exists
+       (fun (_, what) -> what = "partitioned server 0 is not fenced at the disk")
+       r.Experiments.Runner.violations)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_chaos_violation_report () =
+  with_temp_file (fun path ->
+      run_chaos_to ~path;
+      match Experiments.Forensics.load path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok t ->
+        let r = Experiments.Forensics.analyze t in
+        check_bool "requests attributed" true
+          (r.Experiments.Forensics.attribution.Experiments.Forensics.requests
+          > 0);
+        (match r.Experiments.Forensics.violations with
+        | [ v ] ->
+          Alcotest.(check (list int))
+            "server 0 implicated" [ 0 ] v.Experiments.Forensics.servers;
+          check_bool "causal slice non-empty" true
+            (v.Experiments.Forensics.slice <> []);
+          let lines =
+            List.map
+              (fun e -> e.Experiments.Forensics.line)
+              v.Experiments.Forensics.slice
+          in
+          check_bool "slice surfaces server 0 fault/fence history" true
+            (List.exists
+               (fun l ->
+                 contains l "server=0"
+                 && (contains l "partition" || contains l "fence"
+                    || contains l "fault"))
+               lines)
+        | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs));
+        (* the fault timeline must carry the plan's partition events *)
+        check_bool "timeline has fault events" true
+          (r.Experiments.Forensics.faults <> []))
+
+let test_chaos_report_byte_reproducible () =
+  with_temp_file (fun path_a ->
+      with_temp_file (fun path_b ->
+          run_chaos_to ~path:path_a;
+          run_chaos_to ~path:path_b;
+          check_bool "trace bytes identical across runs" true
+            (String.equal (read_file path_a) (read_file path_b));
+          let report path =
+            match Experiments.Forensics.load path with
+            | Error msg -> Alcotest.failf "load failed: %s" msg
+            | Ok t ->
+              Format.asprintf "%a" Experiments.Forensics.pp_report
+                (Experiments.Forensics.analyze ~top:3 t)
+          in
+          (* paths differ in the header, so compare with it stripped *)
+          let body s =
+            match String.index_opt s '\n' with
+            | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+            | None -> s
+          in
+          check_bool "rendered reports identical" true
+            (String.equal (body (report path_a)) (body (report path_b)))))
+
+let suite =
+  [
+    Alcotest.test_case "attribution and ranking" `Quick
+      test_attribution_and_ranking;
+    Alcotest.test_case "windowing" `Quick test_windowing;
+    Alcotest.test_case "explain violation" `Quick test_explain_violation;
+    Alcotest.test_case "load reports bad line" `Quick test_load_reports_bad_line;
+    Alcotest.test_case "chaos violation report" `Slow
+      test_chaos_violation_report;
+    Alcotest.test_case "chaos report byte-reproducible" `Slow
+      test_chaos_report_byte_reproducible;
+  ]

@@ -195,6 +195,46 @@ let sample_events =
         survivors = 0;
         skipped = true;
       };
+    Obs.Event.Span_begin
+      {
+        time = 1000.0;
+        id = 17;
+        parent = Some 3;
+        name = "queue";
+        cat = "request";
+        server = Some 2;
+        file_set = Some "fs-005";
+        epoch = None;
+      };
+    Obs.Event.Span_begin
+      {
+        time = 1001.0;
+        id = 18;
+        parent = None;
+        name = "round";
+        cat = "round";
+        server = None;
+        file_set = None;
+        epoch = Some 4;
+      };
+    Obs.Event.Span_end
+      {
+        time = 1002.5;
+        id = 17;
+        name = "queue";
+        cat = "request";
+        server = Some 2;
+        outcome = None;
+      };
+    Obs.Event.Span_end
+      {
+        time = 1003.0;
+        id = 18;
+        name = "round";
+        cat = "round";
+        server = None;
+        outcome = Some "applied";
+      };
   ]
 
 let test_event_jsonl_round_trip () =
@@ -208,8 +248,8 @@ let test_event_jsonl_round_trip () =
 
 let test_event_kinds_distinct () =
   let kinds = List.sort_uniq compare (List.map Obs.Event.kind sample_events) in
-  (* Nine variants in the taxonomy. *)
-  check_int "all nine kinds exercised" 9 (List.length kinds);
+  (* Eleven variants exercised by the samples (the span pair included). *)
+  check_int "all eleven kinds exercised" 11 (List.length kinds);
   List.iter
     (fun e ->
       let json = Obs.Event.to_json e in
@@ -283,6 +323,22 @@ let test_jsonl_file_sink () =
           | Ok e' -> Alcotest.check event_t "line round-trips" e e')
         sample_events lines)
 
+let test_jsonl_sink_buffers_until_close () =
+  with_temp_file (fun path ->
+      let sink = Obs.Sink.jsonl_file path in
+      List.iter sink.Obs.Sink.emit sample_events;
+      (* Below the 64 KiB buffer threshold nothing has hit the file
+         yet — the sink batches writes instead of syscall-per-event. *)
+      check_int "buffered, not yet written" 0
+        (String.length (read_file path));
+      sink.Obs.Sink.close ();
+      let lines =
+        String.split_on_char '\n' (read_file path)
+        |> List.filter (fun l -> l <> "")
+      in
+      check_int "close drains every buffered event"
+        (List.length sample_events) (List.length lines))
+
 (* --- Chrome sink --- *)
 
 let test_chrome_file_valid_json () =
@@ -312,7 +368,20 @@ let test_chrome_file_valid_json () =
             (fun r -> Obs.Json.(to_str (member "ph" r)) = Some "X")
             records
         in
-        check_bool "has X slices" true (List.length slices > 0)
+        check_bool "has X slices" true (List.length slices > 0);
+        (* Spans become async begin/end pairs carrying the span id. *)
+        let phase ph =
+          List.filter
+            (fun r -> Obs.Json.(to_str (member "ph" r)) = Some ph)
+            records
+        in
+        check_int "one b record per span begin" 2 (List.length (phase "b"));
+        check_int "one e record per span end" 2 (List.length (phase "e"));
+        List.iter
+          (fun r ->
+            check_bool "async record carries the span id" true
+              (Obs.Json.(to_str (member "id" r)) <> None))
+          (phase "b" @ phase "e")
       | Ok _ -> Alcotest.fail "chrome trace is not a JSON array")
 
 let test_chrome_empty_trace_valid () =
@@ -578,6 +647,8 @@ let suite =
     Alcotest.test_case "ring capacity and eviction" `Quick
       test_ring_capacity_eviction;
     Alcotest.test_case "jsonl file sink" `Quick test_jsonl_file_sink;
+    Alcotest.test_case "jsonl sink buffers until close" `Quick
+      test_jsonl_sink_buffers_until_close;
     Alcotest.test_case "chrome trace valid json" `Quick
       test_chrome_file_valid_json;
     Alcotest.test_case "chrome empty trace valid" `Quick

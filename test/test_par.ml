@@ -112,6 +112,35 @@ let test_parallel_figure_matches_serial () =
   check_int "same run count" (List.length a) (List.length b);
   check_bool "identical results" true (a = b)
 
+(* Same contract with the full observability pipeline attached: span
+   tracing and telemetry must not perturb the simulations under
+   fan-out (each run gets an isolated registry and span counter; only
+   sink interleaving may differ, and that is not part of the
+   results). *)
+let test_parallel_traced_matches_serial () =
+  let build = Option.get (Experiments.Figures.by_id "fig6") in
+  let run jobs =
+    let ring = Obs.Sink.Ring.create ~capacity:500_000 in
+    let obs =
+      Obs.Ctx.create
+        ~sinks:[ Obs.Sink.Ring.sink ring ]
+        ~telemetry:(Obs.Telemetry.create ()) ()
+    in
+    build ~quick:true ~jobs ~obs ()
+  in
+  let serial = run 1 in
+  let parallel = run 3 in
+  let a = List.map comparable serial.Experiments.Figures.results in
+  let b = List.map comparable parallel.Experiments.Figures.results in
+  check_int "same run count" (List.length a) (List.length b);
+  check_bool "identical results under tracing" true (a = b);
+  List.iter2
+    (fun (r1 : Experiments.Runner.result) (r2 : Experiments.Runner.result) ->
+      check_bool "telemetry snapshot present" true (r1.telemetry <> None);
+      check_bool "identical telemetry snapshots" true
+        (r1.telemetry = r2.telemetry))
+    serial.Experiments.Figures.results parallel.Experiments.Figures.results
+
 let suite =
   [
     Alcotest.test_case "serial fast path" `Quick test_run_serial_fast_path;
@@ -127,4 +156,6 @@ let suite =
       test_await_after_shutdown_resolved;
     Alcotest.test_case "parallel figure == serial" `Slow
       test_parallel_figure_matches_serial;
+    Alcotest.test_case "parallel figure == serial under tracing" `Slow
+      test_parallel_traced_matches_serial;
   ]

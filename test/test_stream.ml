@@ -227,6 +227,36 @@ let test_run_matches_run_stream () =
   Alcotest.(check (float 0.0)) "p95" a.overall_p95 b.overall_p95;
   Alcotest.(check (float 0.0)) "max" a.overall_max b.overall_max
 
+(* Same identity with the span pipeline on: every span begin/end the
+   two drivers emit (request lifecycle, rounds, moves) must serialize
+   to byte-identical JSONL — span ids, parents and timestamps
+   included.  Both drivers get the trace-derived file-set universe
+   (materializing drops declared-but-unused names), so this isolates
+   the driver identity itself. *)
+let test_run_matches_run_stream_traced () =
+  let trace = Synthetic.generate (small_synthetic 21) in
+  let stream = Stream.of_trace trace in
+  let scenario = Experiments.Scenario.default in
+  let spec = Experiments.Scenario.Anu Placement.Anu.default_config in
+  let trace_of run =
+    let ring = Obs.Sink.Ring.create ~capacity:100_000 in
+    let obs = Obs.Ctx.create ~sinks:[ Obs.Sink.Ring.sink ring ] () in
+    let (_ : Experiments.Runner.result) = run obs in
+    check_int "nothing evicted" 0 (Obs.Sink.Ring.dropped ring);
+    String.concat "\n"
+      (List.map Obs.Event.to_jsonl (Obs.Sink.Ring.contents ring))
+  in
+  let a =
+    trace_of (fun obs -> Experiments.Runner.run scenario spec ~trace ~obs ())
+  in
+  let b =
+    trace_of (fun obs ->
+        Experiments.Runner.run_stream scenario spec ~stream ~obs ())
+  in
+  Alcotest.(check bool)
+    "byte-identical traces with spans enabled" true (String.equal a b);
+  Alcotest.(check bool) "trace is non-trivial" true (String.length a > 0)
+
 let suite =
   [
     Alcotest.test_case "generators: streamed == materialized" `Quick
@@ -239,6 +269,8 @@ let suite =
     Alcotest.test_case "driver heap stays O(streams)" `Quick
       test_driver_heap_bound;
     Alcotest.test_case "run == run_stream" `Quick test_run_matches_run_stream;
+    Alcotest.test_case "run == run_stream under tracing" `Quick
+      test_run_matches_run_stream_traced;
     QCheck_alcotest.to_alcotest prop_streamed_equals_materialized;
     QCheck_alcotest.to_alcotest prop_interner_roundtrip;
   ]

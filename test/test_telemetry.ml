@@ -1,0 +1,168 @@
+(* Telemetry: the space-saving sketch's exact/overestimate contract,
+   per-server series bookkeeping, and the runner integration (per-run
+   isolated registries, snapshots that agree with the result's own
+   counts). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let submit tl ~time ~file_set = Obs.Telemetry.observe_submit tl ~time ~file_set
+
+(* Below capacity the sketch is an exact counter: every entry reports
+   its true frequency with overestimate 0, ranked by count then name. *)
+let test_sketch_exact_under_capacity () =
+  let tl = Obs.Telemetry.create ~interval:10.0 ~top_k:4 () in
+  List.iter
+    (fun (time, file_set) -> submit tl ~time ~file_set)
+    [
+      (0.0, "a"); (1.0, "b"); (2.0, "a"); (3.0, "c"); (4.0, "a"); (5.0, "b");
+    ];
+  let s = Obs.Telemetry.snapshot tl ~until:10.0 in
+  check_int "total requests" 6 s.Obs.Telemetry.total_requests;
+  match s.Obs.Telemetry.heavy_hitters with
+  | [ h1; h2; h3 ] ->
+    Alcotest.(check string) "top" "a" h1.Obs.Telemetry.file_set;
+    check_int "top count" 3 h1.Obs.Telemetry.count;
+    check_int "top exact" 0 h1.Obs.Telemetry.overestimate;
+    Alcotest.(check string) "second" "b" h2.Obs.Telemetry.file_set;
+    check_int "second count" 2 h2.Obs.Telemetry.count;
+    Alcotest.(check string) "third" "c" h3.Obs.Telemetry.file_set;
+    check_int "third exact" 0 h3.Obs.Telemetry.overestimate
+  | hs -> Alcotest.failf "expected three heavy hitters, got %d" (List.length hs)
+
+(* Past capacity the newcomer inherits the evicted minimum's count as a
+   floor and carries it as its overestimate bound, so consumers can
+   separate exact counts from inherited ones. *)
+let test_sketch_eviction_overestimate () =
+  let tl = Obs.Telemetry.create ~interval:10.0 ~top_k:2 () in
+  List.iter
+    (fun (time, file_set) -> submit tl ~time ~file_set)
+    [ (0.0, "a"); (1.0, "a"); (2.0, "b"); (3.0, "c") ];
+  let s = Obs.Telemetry.snapshot tl ~until:10.0 in
+  match s.Obs.Telemetry.heavy_hitters with
+  | [ h1; h2 ] ->
+    (* "c" evicted "b" (the minimum, count 1) and inherited its count:
+       reported count 2, of which up to 1 may be inherited. *)
+    Alcotest.(check string) "kept the true heavy hitter" "a"
+      h1.Obs.Telemetry.file_set;
+    check_int "exact count" 2 h1.Obs.Telemetry.count;
+    check_int "no overestimate" 0 h1.Obs.Telemetry.overestimate;
+    Alcotest.(check string) "newcomer replaced the minimum" "c"
+      h2.Obs.Telemetry.file_set;
+    check_int "inherited floor plus one" 2 h2.Obs.Telemetry.count;
+    check_int "overestimate bound" 1 h2.Obs.Telemetry.overestimate
+  | hs -> Alcotest.failf "expected two heavy hitters, got %d" (List.length hs)
+
+(* Per-server bookkeeping: busy seconds accumulate from service
+   observations, utilization is busy/until, request counts come from
+   completions, and every series closes at the snapshot horizon. *)
+let test_server_summaries () =
+  let tl = Obs.Telemetry.create ~interval:10.0 () in
+  Obs.Telemetry.observe_service tl ~time:1.0 ~server:0 ~service:2.0;
+  Obs.Telemetry.observe_complete tl ~time:3.0 ~server:0 ~queue_depth:1
+    ~latency:2.5;
+  Obs.Telemetry.observe_service tl ~time:12.0 ~server:0 ~service:3.0;
+  Obs.Telemetry.observe_complete tl ~time:15.0 ~server:0 ~queue_depth:0
+    ~latency:3.0;
+  Obs.Telemetry.observe_service tl ~time:4.0 ~server:2 ~service:1.0;
+  Obs.Telemetry.observe_complete tl ~time:5.0 ~server:2 ~queue_depth:4
+    ~latency:1.0;
+  let s = Obs.Telemetry.snapshot tl ~until:20.0 in
+  match s.Obs.Telemetry.servers with
+  | [ s0; s2 ] ->
+    check_int "sorted by id: first" 0 s0.Obs.Telemetry.server;
+    check_int "sorted by id: second" 2 s2.Obs.Telemetry.server;
+    check_int "server 0 requests" 2 s0.Obs.Telemetry.requests;
+    Alcotest.(check (float 1e-9))
+      "server 0 busy seconds" 5.0 s0.Obs.Telemetry.busy_seconds;
+    Alcotest.(check (float 1e-9))
+      "server 0 utilization" 0.25 s0.Obs.Telemetry.utilization;
+    (* finish at 20.0 materializes buckets 0, 10 and 20 *)
+    check_int "series span the horizon" 3
+      (List.length s0.Obs.Telemetry.occupancy);
+    check_int "server 2 requests" 1 s2.Obs.Telemetry.requests
+  | ss -> Alcotest.failf "expected two servers, got %d" (List.length ss)
+
+let small_trace =
+  Workload.Synthetic.generate
+    {
+      Workload.Synthetic.default_config with
+      Workload.Synthetic.file_sets = 40;
+      requests = 2_000;
+      duration = 2_000.0;
+    }
+
+let run_with_obs obs =
+  Experiments.Runner.run Experiments.Scenario.default
+    (Experiments.Scenario.Anu Placement.Anu.default_config)
+    ~trace:small_trace ~obs ()
+
+let run_with_telemetry () =
+  run_with_obs (Obs.Ctx.create ~telemetry:(Obs.Telemetry.create ()) ())
+
+(* The runner integration: a telemetry-carrying context yields a
+   per-run snapshot whose totals agree with the result's own
+   bookkeeping. *)
+let test_runner_telemetry_snapshot () =
+  let r = run_with_telemetry () in
+  match r.Experiments.Runner.telemetry with
+  | None -> Alcotest.fail "expected a telemetry snapshot"
+  | Some s ->
+    check_int "total requests = submitted" r.Experiments.Runner.submitted
+      s.Obs.Telemetry.total_requests;
+    let per_server =
+      List.fold_left
+        (fun acc sv -> acc + sv.Obs.Telemetry.requests)
+        0 s.Obs.Telemetry.servers
+    in
+    check_int "per-server requests sum to completed"
+      r.Experiments.Runner.completed per_server;
+    let rate_total =
+      List.fold_left
+        (fun acc (p : Desim.Timeseries.point) -> acc + p.Desim.Timeseries.count)
+        0 s.Obs.Telemetry.request_rate
+    in
+    check_int "request-rate series sums to submitted"
+      r.Experiments.Runner.submitted rate_total;
+    check_bool "heavy hitters found" true
+      (s.Obs.Telemetry.heavy_hitters <> []);
+    List.iter
+      (fun sv ->
+        check_bool "utilization in [0,1]" true
+          (sv.Obs.Telemetry.utilization >= 0.0
+          && sv.Obs.Telemetry.utilization <= 1.0))
+      s.Obs.Telemetry.servers;
+    (* The JSON payload must parse back and expose the same totals. *)
+    let json = Obs.Telemetry.snapshot_to_json s in
+    (match Obs.Json.of_string (Obs.Json.to_string json) with
+    | Error e -> Alcotest.failf "telemetry JSON invalid: %s" e
+    | Ok j ->
+      Alcotest.(check (option int))
+        "JSON total_requests"
+        (Some s.Obs.Telemetry.total_requests)
+        Obs.Json.(to_int (member "total_requests" j)));
+    ignore (Format.asprintf "%a" Obs.Telemetry.pp_snapshot s)
+
+(* Ctx.isolated gives every run a fresh registry derived from the
+   attached one's config: two runs off the SAME context must produce
+   equal snapshots (no cross-run accumulation in a shared registry). *)
+let test_runner_telemetry_isolated_per_run () =
+  let obs = Obs.Ctx.create ~telemetry:(Obs.Telemetry.create ()) () in
+  let a = run_with_obs obs in
+  let b = run_with_obs obs in
+  check_bool "telemetry present" true (a.Experiments.Runner.telemetry <> None);
+  check_bool "equal snapshots across runs off one context" true
+    (a.Experiments.Runner.telemetry = b.Experiments.Runner.telemetry)
+
+let suite =
+  [
+    Alcotest.test_case "sketch exact under capacity" `Quick
+      test_sketch_exact_under_capacity;
+    Alcotest.test_case "sketch eviction overestimate" `Quick
+      test_sketch_eviction_overestimate;
+    Alcotest.test_case "server summaries" `Quick test_server_summaries;
+    Alcotest.test_case "runner telemetry snapshot" `Quick
+      test_runner_telemetry_snapshot;
+    Alcotest.test_case "telemetry isolated per run" `Quick
+      test_runner_telemetry_isolated_per_run;
+  ]

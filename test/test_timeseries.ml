@@ -55,6 +55,53 @@ let test_same_bucket_out_of_order_ok () =
   | [ p ] -> check_float 1e-9 "mean" 2.0 p.Timeseries.mean
   | _ -> Alcotest.fail "one bucket expected"
 
+(* An observation exactly on a bucket boundary belongs to the bucket
+   it starts (floor semantics), and a [finish] landing exactly on a
+   boundary still materializes the bucket that starts there. *)
+let test_boundary_observation () =
+  let ts = Timeseries.create ~interval:10.0 in
+  Timeseries.observe ts ~time:10.0 3.0;
+  let points = Timeseries.finish ts ~until:20.0 in
+  check_int "three buckets up to the boundary" 3 (List.length points);
+  match points with
+  | [ p0; p1; p2 ] ->
+    check_int "bucket before the boundary is empty" 0 p0.Timeseries.count;
+    check_float 1e-9 "boundary observation opens its bucket" 10.0
+      p1.Timeseries.bucket_start;
+    check_int "boundary observation counted there" 1 p1.Timeseries.count;
+    check_float 1e-9 "finish on a boundary materializes that bucket" 20.0
+      p2.Timeseries.bucket_start;
+    check_int "and it is empty" 0 p2.Timeseries.count
+  | _ -> Alcotest.fail "expected three points"
+
+(* A long sparse gap materializes every intermediate bucket as an
+   explicit zero — consumers can difference neighbouring buckets
+   without re-deriving the time axis. *)
+let test_sparse_long_gap () =
+  let ts = Timeseries.create ~interval:1.0 in
+  Timeseries.observe ts ~time:0.5 1.0;
+  Timeseries.observe ts ~time:100.5 2.0;
+  let points = Timeseries.finish ts ~until:100.5 in
+  check_int "101 buckets" 101 (List.length points);
+  let nonzero =
+    List.filter_map
+      (fun p ->
+        if p.Timeseries.count > 0 then Some p.Timeseries.bucket_start
+        else None)
+      points
+  in
+  Alcotest.(check (list (float 1e-9))) "only the endpoints carry data"
+    [ 0.0; 100.0 ] nonzero
+
+(* Once a later bucket opens, anything before it is rejected — even an
+   observation sitting exactly on a closed bucket's boundary. *)
+let test_boundary_out_of_order_rejected () =
+  let ts = Timeseries.create ~interval:10.0 in
+  Timeseries.observe ts ~time:10.0 1.0;
+  Alcotest.check_raises "closed boundary stale"
+    (Invalid_argument "Timeseries.observe: observation before current bucket")
+    (fun () -> Timeseries.observe ts ~time:9.999 1.0)
+
 let test_invalid_interval () =
   Alcotest.check_raises "zero"
     (Invalid_argument "Timeseries.create: interval must be positive") (fun () ->
@@ -76,6 +123,10 @@ let suite =
       test_observation_before_current_bucket_rejected;
     Alcotest.test_case "same bucket out of order" `Quick
       test_same_bucket_out_of_order_ok;
+    Alcotest.test_case "boundary observation" `Quick test_boundary_observation;
+    Alcotest.test_case "sparse long gap" `Quick test_sparse_long_gap;
+    Alcotest.test_case "boundary out of order rejected" `Quick
+      test_boundary_out_of_order_rejected;
     Alcotest.test_case "invalid interval" `Quick test_invalid_interval;
     Alcotest.test_case "bucket starts" `Quick test_bucket_starts_are_multiples;
   ]
