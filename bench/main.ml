@@ -27,6 +27,20 @@
 open Bechamel
 open Toolkit
 
+(* Benchmark GC regime: an 8M-word minor heap keeps the streaming
+   driver's few surviving words from forcing minor collections every
+   few hundred thousand events, and a relaxed space_overhead stops the
+   major GC from competing with the measurement.  Results are
+   unaffected (simulations are deterministic); only wall clocks and
+   the GC-evidence fields see it. *)
+let () =
+  Gc.set
+    {
+      (Gc.get ()) with
+      Gc.minor_heap_size = 8 * 1024 * 1024;
+      space_overhead = 200;
+    }
+
 let pp_figure_result figure =
   Format.printf "%a@." (Experiments.Report.pp_figure ~max_minutes:60.0) figure
 
@@ -272,10 +286,12 @@ let run_perf args =
       (fun id ->
         let build = Option.get (Experiments.Figures.by_id id) in
         Format.printf "perf: running %s (quick=%b, jobs=%d)...@." id quick jobs;
+        let g0 = Gc.quick_stat () in
         let t0 = Desim.Clock.now_ns () in
         let figure = build ~quick ~jobs () in
-        Perf_json.figure_metrics ~id
-          ~wall_seconds:(Desim.Clock.seconds_since t0)
+        let wall = Desim.Clock.seconds_since t0 in
+        let g1 = Gc.quick_stat () in
+        Perf_json.figure_metrics ~gc:(g0, g1) ~id ~wall_seconds:wall
           figure.Experiments.Figures.results)
       ids
   in
@@ -296,6 +312,7 @@ let run_perf args =
   Format.printf "perf: obs overhead probe (%d requests, tracing off)...@."
     overhead_requests;
   let obs_overhead =
+    let g0 = Gc.quick_stat () in
     let t0 = Desim.Clock.now_ns () in
     let result =
       Experiments.Runner.run_stream Experiments.Scenario.default
@@ -303,9 +320,10 @@ let run_perf args =
         ~stream:(Experiments.Figures.dfs_stream ~requests:overhead_requests)
         ()
     in
-    Perf_json.figure_metrics ~id:"obs_overhead"
-      ~wall_seconds:(Desim.Clock.seconds_since t0)
-      [ result ]
+    let wall = Desim.Clock.seconds_since t0 in
+    let g1 = Gc.quick_stat () in
+    Perf_json.figure_metrics ~gc:(g0, g1) ~id:"obs_overhead"
+      ~wall_seconds:wall [ result ]
   in
   let snapshot =
     {
@@ -329,6 +347,7 @@ let run_perf args =
 let run_stream_bench args =
   let requests = ref 10_000_000 in
   let materialized = ref false in
+  let jobs = ref 1 in
   let out = ref None in
   let rec parse = function
     | [] -> ()
@@ -341,16 +360,24 @@ let run_stream_bench args =
     | "--materialized" :: rest ->
       materialized := true;
       parse rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | _ -> fail_usage "stream: --jobs expects a positive integer, got %s" n);
+      parse rest
     | "--out" :: path :: rest ->
       out := Some path;
       parse rest
-    | ("--requests" | "--out") :: [] ->
+    | ("--requests" | "--jobs" | "--out") :: [] ->
       fail_usage "stream: missing value after final option"
     | arg :: _ -> fail_usage "stream: unknown argument %s" arg
   in
   parse args;
   let requests = !requests in
   let materialized = !materialized in
+  let jobs = !jobs in
+  if materialized && jobs > 1 then
+    fail_usage "stream: --jobs applies to the streaming driver only";
   let path =
     match !out with
     | Some p -> p
@@ -358,9 +385,11 @@ let run_stream_bench args =
       Printf.sprintf "BENCH_stream_%s.json"
         (if materialized then "before" else "after")
   in
-  Format.printf "stream: %d requests, %s driver...@." requests
-    (if materialized then "materialized" else "streaming");
+  Format.printf "stream: %d requests, %s driver%s...@." requests
+    (if materialized then "materialized" else "streaming")
+    (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "");
   let anu = Experiments.Scenario.Anu Placement.Anu.default_config in
+  let g0 = Gc.quick_stat () in
   let t0 = Desim.Clock.now_ns () in
   let result =
     if materialized then begin
@@ -372,16 +401,18 @@ let run_stream_bench args =
     else
       Experiments.Runner.run_stream Experiments.Scenario.default anu
         ~stream:(Experiments.Figures.dfs_stream ~requests)
-        ()
+        ~jobs ()
   in
   let wall = Desim.Clock.seconds_since t0 in
-  let figure = Perf_json.figure_metrics ~id:"fig6-stream" ~wall_seconds:wall
-      [ result ]
+  let g1 = Gc.quick_stat () in
+  let figure =
+    Perf_json.figure_metrics ~gc:(g0, g1) ~id:"fig6-stream"
+      ~wall_seconds:wall [ result ]
   in
   let snapshot =
     {
       Perf_json.quick = false;
-      jobs = 1;
+      jobs;
       figures = [ figure ];
       micros = [];
       addressing = Perf_json.addressing_sweep ();
@@ -393,9 +424,12 @@ let run_stream_bench args =
   let tp = Experiments.Runner.throughput [ result ] in
   Format.printf
     "%d requests (%d completed): %d events in %.1f s engine time (%.0f \
-     events/s), peak heap %d events, peak RSS %s@."
+     events/s), %.1f minor words/event, %d major collections, peak heap %d \
+     events, peak RSS %s@."
     requests result.Experiments.Runner.completed tp.events
     tp.engine_wall_seconds tp.events_per_second
+    figure.Perf_json.gc_minor_words_per_event
+    figure.Perf_json.gc_major_collections
     result.Experiments.Runner.sim_peak_pending
     (match Perf_json.probe_peak_rss_kb () with
     | Some kb -> Printf.sprintf "%d kB" kb

@@ -17,9 +17,14 @@ module Json = Obs.Json
    event-heap occupancy and a snapshot-wide peak RSS.  /3 adds the
    observability overhead probe: one streaming run with the span and
    telemetry instrumentation compiled in but disabled, guarding the
-   free-when-off contract.  Older files load fine with the missing
-   fields defaulted, so committed baselines keep comparing. *)
-let schema = "shdisk-perf/3"
+   free-when-off contract.  /4 adds per-figure GC evidence — minor
+   words and total allocated words per engine event, and major
+   collections over the figure — so the allocation-free hot path is
+   policed by numbers, not by review.  Older files load fine with the
+   missing fields defaulted, so committed baselines keep comparing. *)
+let schema = "shdisk-perf/4"
+
+let schema_v3 = "shdisk-perf/3"
 
 let schema_v2 = "shdisk-perf/2"
 
@@ -34,6 +39,14 @@ type figure_metrics = {
   peak_heap_events : int;
       (* max Sim.peak_pending over the figure's runs: heap occupancy,
          the quantity the streaming driver bounds at O(streams) *)
+  gc_minor_words_per_event : float;
+      (* minor-heap words allocated per engine event over the figure:
+         the direct measure of the hot path staying allocation-free;
+         0.0 in pre-/4 snapshots *)
+  gc_allocated_words_per_event : float;
+      (* total words (minor + direct major) per engine event *)
+  gc_major_collections : int;
+      (* major collections over the figure; 0 in pre-/4 snapshots *)
 }
 
 type micro_metrics = { name : string; ns_per_run : float }
@@ -87,14 +100,32 @@ let probe_peak_rss_kb () =
         in
         scan ())
 
-let figure_metrics ~id ~wall_seconds (results : Experiments.Runner.result list)
-    =
+let figure_metrics ?gc ~id ~wall_seconds
+    (results : Experiments.Runner.result list) =
   let tp = Experiments.Runner.throughput results in
   let peak_heap =
     List.fold_left
       (fun peak (r : Experiments.Runner.result) ->
         Stdlib.max peak r.sim_peak_pending)
       0 results
+  in
+  (* GC evidence: the caller brackets the figure with Gc.quick_stat;
+     word deltas normalize per engine event.  Total allocation is
+     minor + direct-major (major_words counts promotions too, so they
+     are subtracted back out). *)
+  let minor_w, alloc_w, majors =
+    match gc with
+    | None -> (0.0, 0.0, 0)
+    | Some ((before : Gc.stat), (after : Gc.stat)) ->
+      let per w = if tp.events = 0 then 0.0 else w /. float_of_int tp.events in
+      let minor = after.Gc.minor_words -. before.Gc.minor_words in
+      let direct_major =
+        after.Gc.major_words -. before.Gc.major_words
+        -. (after.Gc.promoted_words -. before.Gc.promoted_words)
+      in
+      ( per minor,
+        per (minor +. direct_major),
+        after.Gc.major_collections - before.Gc.major_collections )
   in
   {
     id;
@@ -103,6 +134,9 @@ let figure_metrics ~id ~wall_seconds (results : Experiments.Runner.result list)
     events_fired = tp.events;
     events_per_second = tp.events_per_second;
     peak_heap_events = peak_heap;
+    gc_minor_words_per_event = minor_w;
+    gc_allocated_words_per_event = alloc_w;
+    gc_major_collections = majors;
   }
 
 (* One deterministic addressing sweep: the paper cluster's five
@@ -142,6 +176,11 @@ let json_of_figure f =
       ("events_fired", Json.Num (float_of_int f.events_fired));
       ("events_per_second", Json.Num f.events_per_second);
       ("peak_heap_events", Json.Num (float_of_int f.peak_heap_events));
+      ("gc_minor_words_per_event", Json.Num f.gc_minor_words_per_event);
+      ( "gc_allocated_words_per_event",
+        Json.Num f.gc_allocated_words_per_event );
+      ( "gc_major_collections",
+        Json.Num (float_of_int f.gc_major_collections) );
     ]
 
 let json_of_micro m =
@@ -199,17 +238,29 @@ let figure_of_json f =
     engine_wall_seconds = num_field f "engine_wall_seconds";
     events_fired = int_of_float (num_field f "events_fired");
     events_per_second = num_field f "events_per_second";
+    (* pre-upgrade snapshots lack these; 0 keeps the comparison silent
+       (zero baselines are skipped). *)
     peak_heap_events =
-      (* absent from /1 snapshots; 0 keeps the comparison
-         silent (zero baselines are skipped). *)
       (match Json.to_float (Json.member "peak_heap_events" f) with
+      | Some x -> int_of_float x
+      | None -> 0);
+    gc_minor_words_per_event =
+      Option.value ~default:0.0
+        (Json.to_float (Json.member "gc_minor_words_per_event" f));
+    gc_allocated_words_per_event =
+      Option.value ~default:0.0
+        (Json.to_float (Json.member "gc_allocated_words_per_event" f));
+    gc_major_collections =
+      (match Json.to_float (Json.member "gc_major_collections" f) with
       | Some x -> int_of_float x
       | None -> 0);
   }
 
 let of_json j =
   (match Json.to_str (Json.member "schema" j) with
-  | Some s when s = schema || s = schema_v2 || s = schema_v1 -> ()
+  | Some s when s = schema || s = schema_v3 || s = schema_v2 || s = schema_v1
+    ->
+    ()
   | Some s -> failwith (Printf.sprintf "unsupported schema %S" s)
   | None -> failwith "not a shdisk-perf snapshot (no schema field)");
   let figures =
@@ -286,6 +337,15 @@ let rows t =
         ( f.id ^ ".peak_heap_events",
           Lower_better,
           float_of_int f.peak_heap_events );
+        ( f.id ^ ".gc_minor_words_per_event",
+          Lower_better,
+          f.gc_minor_words_per_event );
+        ( f.id ^ ".gc_allocated_words_per_event",
+          Lower_better,
+          f.gc_allocated_words_per_event );
+        ( f.id ^ ".gc_major_collections",
+          Lower_better,
+          float_of_int f.gc_major_collections );
       ])
     t.figures
   @ List.map (fun m -> ("micro." ^ m.name, Lower_better, m.ns_per_run)) t.micros

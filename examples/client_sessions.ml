@@ -104,4 +104,4 @@ let () =
     stats.Sharedfs.Cluster.granted_immediately stats.Sharedfs.Cluster.waited
     stats.Sharedfs.Cluster.cancelled stats.Sharedfs.Cluster.leases_expired;
   Format.printf "lock table drained to %d active keys at end of run@."
-    (Sharedfs.Lock_manager.active_keys (Sharedfs.Cluster.lock_manager cluster))
+    (Sharedfs.Cluster.lock_active_keys cluster)

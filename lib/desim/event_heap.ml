@@ -35,7 +35,11 @@ let clear h =
   h.len <- 0
 
 (* Heap order: earlier time wins, ties broken by insertion sequence so
-   same-time events pop in FIFO order. *)
+   same-time events pop in FIFO order.  Only cold paths (compaction
+   check, invariant audit) call this helper: the sift loops inline the
+   comparison so no float crosses a function boundary per level —
+   without flambda every float argument boxes two words, and the sift
+   comparisons run several times per fired event. *)
 let before h i ~time ~seq =
   h.times.(i) < time || (h.times.(i) = time && h.seqs.(i) < seq)
 
@@ -56,30 +60,50 @@ let grow h value =
     h.values <- nvalues
   end
 
-(* Place (time, seq, value) by walking the hole at [i] toward the
-   root. *)
-let sift_up h i ~time ~seq value =
-  let i = ref i in
+(* Place the entry currently stored at [start] by walking the hole
+   toward the root.  The key is read into locals and every comparison
+   is a float array load in this body, so the compiler keeps the whole
+   walk unboxed.  Unsafe accesses are sound: every index is either
+   [start] (caller guarantees [start < len]) or a parent of a valid
+   index, and parents of valid indices are valid. *)
+let sift_up_from h start =
+  let times = h.times in
+  let seqs = h.seqs in
+  let values = h.values in
+  let time = Array.unsafe_get times start in
+  let seq = Array.unsafe_get seqs start in
+  let value = Array.unsafe_get values start in
+  let i = ref start in
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 4 in
-    if before h parent ~time ~seq then continue := false
+    let pt = Array.unsafe_get times parent in
+    if pt < time || (pt = time && Array.unsafe_get seqs parent < seq) then
+      continue := false
     else begin
-      h.times.(!i) <- h.times.(parent);
-      h.seqs.(!i) <- h.seqs.(parent);
-      h.values.(!i) <- h.values.(parent);
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set values !i (Array.unsafe_get values parent);
       i := parent
     end
   done;
-  h.times.(!i) <- time;
-  h.seqs.(!i) <- seq;
-  h.values.(!i) <- value
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i value
 
-(* Place (time, seq, value) by walking the hole at [i] toward the
-   leaves, pulling the smallest of up to four children up each level. *)
-let sift_down h i ~time ~seq value =
+(* Place the entry currently stored at [start] by walking the hole
+   toward the leaves, pulling the smallest of up to four children up
+   each level.  Same unboxing and bounds story as [sift_up_from]: the
+   children scanned are clamped to [n - 1 < len <= capacity]. *)
+let sift_down_from h start =
+  let times = h.times in
+  let seqs = h.seqs in
+  let values = h.values in
+  let time = Array.unsafe_get times start in
+  let seq = Array.unsafe_get seqs start in
+  let value = Array.unsafe_get values start in
   let n = h.len in
-  let i = ref i in
+  let i = ref start in
   let continue = ref true in
   while !continue do
     let first = (4 * !i) + 1 in
@@ -88,29 +112,87 @@ let sift_down h i ~time ~seq value =
       let last = if first + 3 < n - 1 then first + 3 else n - 1 in
       let m = ref first in
       for c = first + 1 to last do
-        if before h c ~time:h.times.(!m) ~seq:h.seqs.(!m) then m := c
+        let ct = Array.unsafe_get times c in
+        let mt = Array.unsafe_get times !m in
+        if ct < mt || (ct = mt && Array.unsafe_get seqs c < Array.unsafe_get seqs !m)
+        then m := c
       done;
-      if before h !m ~time ~seq then begin
-        h.times.(!i) <- h.times.(!m);
-        h.seqs.(!i) <- h.seqs.(!m);
-        h.values.(!i) <- h.values.(!m);
+      let mt = Array.unsafe_get times !m in
+      if mt < time || (mt = time && Array.unsafe_get seqs !m < seq) then begin
+        Array.unsafe_set times !i mt;
+        Array.unsafe_set seqs !i (Array.unsafe_get seqs !m);
+        Array.unsafe_set values !i (Array.unsafe_get values !m);
         i := !m
       end
       else continue := false
     end
   done;
-  h.times.(!i) <- time;
-  h.seqs.(!i) <- seq;
-  h.values.(!i) <- value
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i value
 
 let add h ~time value =
   if Float.is_nan time then invalid_arg "Event_heap.add: NaN time";
   let seq = h.next_seq in
   h.next_seq <- seq + 1;
   grow h value;
-  h.len <- h.len + 1;
-  sift_up h (h.len - 1) ~time ~seq value;
+  let i = h.len in
+  h.len <- i + 1;
+  h.times.(i) <- time;
+  h.seqs.(i) <- seq;
+  h.values.(i) <- value;
+  sift_up_from h i;
   seq
+
+(* Batch insertion for a sorted run of events.
+
+   Equivalence with one-by-one [add] is exact, not approximate: the
+   entries receive the same consecutive sequence numbers they would get
+   from sequential [add] calls, and the pop order of a heap is a pure
+   function of its [(time, seq)] key multiset — any valid heap shape
+   yields the same fired sequence.  For a nondecreasing [times] run the
+   per-element sift-up terminates after one comparison (each new entry
+   is a maximum), so the batch costs O(count) with no NaN check or
+   capacity test per element. *)
+let add_sorted h ~times ~count values =
+  if count < 0 || count > Array.length times || count > Array.length values
+  then invalid_arg "Event_heap.add_sorted: bad count";
+  for i = 1 to count - 1 do
+    if not (times.(i) >= times.(i - 1)) then
+      invalid_arg "Event_heap.add_sorted: times not sorted"
+  done;
+  if count > 0 then begin
+    if Float.is_nan times.(0) then
+      invalid_arg "Event_heap.add_sorted: NaN time";
+    (* Grow once to the final size. *)
+    let cap = Array.length h.times in
+    if h.len + count > cap then begin
+      let ncap = ref (if cap = 0 then initial_capacity else cap) in
+      while h.len + count > !ncap do
+        ncap := !ncap * 2
+      done;
+      let ncap = !ncap in
+      let ntimes = Array.make ncap 0.0 in
+      let nseqs = Array.make ncap 0 in
+      let nvalues = Array.make ncap values.(0) in
+      Array.blit h.times 0 ntimes 0 h.len;
+      Array.blit h.seqs 0 nseqs 0 h.len;
+      Array.blit h.values 0 nvalues 0 h.len;
+      h.times <- ntimes;
+      h.seqs <- nseqs;
+      h.values <- nvalues
+    end;
+    let first_seq = h.next_seq in
+    h.next_seq <- first_seq + count;
+    for i = 0 to count - 1 do
+      let j = h.len in
+      h.len <- j + 1;
+      h.times.(j) <- times.(i);
+      h.seqs.(j) <- first_seq + i;
+      h.values.(j) <- values.(i);
+      sift_up_from h j
+    done
+  end
 
 let peek_time h = if h.len = 0 then None else Some h.times.(0)
 
@@ -125,11 +207,29 @@ let pop h =
   h.len <- h.len - 1;
   if h.len > 0 then begin
     let n = h.len in
-    sift_down h 0 ~time:h.times.(n) ~seq:h.seqs.(n) h.values.(n)
+    h.times.(0) <- h.times.(n);
+    h.seqs.(0) <- h.seqs.(n);
+    h.values.(0) <- h.values.(n);
+    sift_down_from h 0
   end;
   (time, seq, value)
 
 let pop_opt h = if h.len = 0 then None else Some (pop h)
+
+(* Remove the minimum without materializing the (time, seq, value)
+   tuple.  The scheduler hot path reads the head through the exposed
+   arrays (unboxed float loads) and then drops it with this, so a fired
+   event allocates nothing. *)
+let drop_min h =
+  if h.len = 0 then raise Not_found;
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    let n = h.len in
+    h.times.(0) <- h.times.(n);
+    h.seqs.(0) <- h.seqs.(n);
+    h.values.(0) <- h.values.(n);
+    sift_down_from h 0
+  end
 
 let compact h ~keep =
   (* In-place filter of all three arrays, then bottom-up heapify.  The
@@ -150,7 +250,7 @@ let compact h ~keep =
   h.len <- !j;
   if h.len > 1 then
     for i = (h.len - 2) / 4 downto 0 do
-      sift_down h i ~time:h.times.(i) ~seq:h.seqs.(i) h.values.(i)
+      sift_down_from h i
     done
 
 let check_invariant h =

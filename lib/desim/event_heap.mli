@@ -10,13 +10,37 @@
     which shortens the pop path relative to the original binary heap of
     records. *)
 
-type 'a t
+(** The representation is exposed so the scheduler's per-event loop can
+    read the head entry ([times.(0)], [values.(0)]) as direct unboxed
+    array loads — without flambda, any accessor returning [float] would
+    box its result on every event.  Treat the fields as read-only
+    outside this module and {!Sim}; all structural mutation must go
+    through the functions below. *)
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable len : int;
+  mutable next_seq : int;
+}
 
 val create : unit -> 'a t
 
 (** [add h ~time v] inserts [v] with priority [time] and returns the
     sequence number assigned to the entry. *)
 val add : 'a t -> time:float -> 'a -> int
+
+(** [add_sorted h ~times ~count values] inserts
+    [times.(0..count-1)] / [values.(0..count-1)] as if by [count]
+    successive {!add} calls: identical sequence numbers, identical
+    subsequent pop order (pop order is a function of the [(time, seq)]
+    key multiset alone, so the heap shape cannot matter).  Requires
+    [times] nondecreasing over the first [count] entries; raises
+    [Invalid_argument] otherwise, on NaN, or when [count] exceeds either
+    array.  One capacity check for the whole batch and a one-comparison
+    sift per element make this the cheap path for scheduling sorted
+    arrival runs. *)
+val add_sorted : 'a t -> times:float array -> count:int -> 'a array -> unit
 
 val is_empty : 'a t -> bool
 
@@ -34,6 +58,12 @@ val pop : 'a t -> float * int * 'a
 
 (** [pop_opt h] is [pop] returning [None] on an empty heap. *)
 val pop_opt : 'a t -> (float * int * 'a) option
+
+(** [drop_min h] removes the earliest event without returning it —
+    callers that already read the head through the exposed arrays use
+    this to complete an allocation-free pop.  Raises [Not_found] on an
+    empty heap. *)
+val drop_min : 'a t -> unit
 
 (** [clear h] removes all pending events and drops the backing arrays,
     so a cleared heap retains no references to previously stored

@@ -1,4 +1,17 @@
-type t = { mutable state : int64; gamma : int64 }
+(* SplitMix64 with the 64-bit counter stored as raw float bits.
+
+   OCaml without flambda boxes every [Int64] that crosses a function
+   boundary or lands in a mutable record field, which made each draw
+   allocate ~100 bytes — the single largest allocation source in
+   workload generation.  An all-float record stores its fields flat, so
+   keeping [state] and [gamma] as [Int64.float_of_bits] images makes
+   the store free, and the [@@unboxed] externals behind
+   [Int64.bits_of_float] / [float_of_bits] let the compiler keep the
+   whole mixing chain in registers inside a single function body.  The
+   bit patterns — and therefore every stream ever drawn — are
+   unchanged; only the representation moved. *)
+
+type t = { mutable state : float; gamma : float }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
@@ -27,36 +40,81 @@ let mix_gamma z =
   if popcount n < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
 
 let create seed =
-  { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+  {
+    state = Int64.float_of_bits (mix64 (Int64.of_int seed));
+    gamma = Int64.float_of_bits golden_gamma;
+  }
 
 let copy t = { state = t.state; gamma = t.gamma }
 
 let next_state t =
-  t.state <- Int64.add t.state t.gamma;
-  t.state
+  let s =
+    Int64.add (Int64.bits_of_float t.state) (Int64.bits_of_float t.gamma)
+  in
+  t.state <- Int64.float_of_bits s;
+  s
 
 let bits64 t = mix64 (next_state t)
 
 let split t =
   let s = next_state t in
   let g = next_state t in
-  { state = mix64 s; gamma = mix_gamma g }
+  {
+    state = Int64.float_of_bits (mix64 s);
+    gamma = Int64.float_of_bits (mix_gamma g);
+  }
 
+(* The one genuinely hot draw: every distribution below reduces to
+   [float].  The counter advance and mixer are inlined by hand so the
+   whole body is a single allocation-free chain of unboxed int64
+   locals (non-flambda only unboxes within one function body). *)
 let float t =
+  let s =
+    Int64.add (Int64.bits_of_float t.state) (Int64.bits_of_float t.gamma)
+  in
+  t.state <- Int64.float_of_bits s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   (* 53 high-quality bits into [0,1). *)
-  let x = Int64.shift_right_logical (bits64 t) 11 in
+  let x = Int64.shift_right_logical z 11 in
   Int64.to_float x *. (1.0 /. 9007199254740992.0)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: floating multiply is unbiased
-     enough for bounds far below 2^53. *)
-  let r = int_of_float (float t *. Stdlib.float_of_int bound) in
+     enough for bounds far below 2^53.  The [float] body is repeated
+     inline so the draw never crosses a function boundary — a call to
+     [float t] would box its return on every generated request. *)
+  let s =
+    Int64.add (Int64.bits_of_float t.state) (Int64.bits_of_float t.gamma)
+  in
+  t.state <- Int64.float_of_bits s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let x = Int64.shift_right_logical z 11 in
+  let u = Int64.to_float x *. (1.0 /. 9007199254740992.0) in
+  let r = int_of_float (u *. Stdlib.float_of_int bound) in
   if r >= bound then bound - 1 else r
 
 let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t =
+  let s =
+    Int64.add (Int64.bits_of_float t.state) (Int64.bits_of_float t.gamma)
+  in
+  t.state <- Int64.float_of_bits s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.logand z 1L = 1L
 
 let exponential t ~mean =
   if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
@@ -99,12 +157,30 @@ let rec gamma t ~shape ~scale =
     attempt () *. scale
   end
 
+(* The exponential draws are inlined by hand: the demand of every
+   generated request flows through here, and calling [exponential] in a
+   loop boxed two floats per stage (the draw's return and the
+   accumulator store).  The arithmetic below is term-for-term the same
+   as [total := !total +. exponential t ~mean:scale], so the sequences
+   are bit-identical. *)
 let erlang t ~shape ~mean =
   if shape <= 0 then invalid_arg "Rng.erlang: shape must be positive";
   let scale = mean /. Stdlib.float_of_int shape in
+  if scale <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
   let total = ref 0.0 in
   for _ = 1 to shape do
-    total := !total +. exponential t ~mean:scale
+    let s =
+      Int64.add (Int64.bits_of_float t.state) (Int64.bits_of_float t.gamma)
+    in
+    t.state <- Int64.float_of_bits s;
+    let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    let x = Int64.shift_right_logical z 11 in
+    let u = 1.0 -. (Int64.to_float x *. (1.0 /. 9007199254740992.0)) in
+    total := !total +. (-.scale *. log u)
   done;
   !total
 

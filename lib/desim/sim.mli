@@ -11,6 +11,11 @@ type t
 (** Handle to a scheduled event, usable with {!cancel}. *)
 type handle
 
+(** A handle that no event ever has: {!cancel} on it is a no-op and
+    {!cancelled} reports [true].  Useful as an initial value for
+    mutable handle state. *)
+val null_handle : handle
+
 exception Past_event of { now : float; requested : float }
 
 (** [create ()] makes a simulator with the clock at [0.0]. *)
@@ -36,16 +41,49 @@ val schedule_at : t -> time:float -> (unit -> unit) -> handle
     Negative delays raise {!Past_event}. *)
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 
+(** [schedule_monotone t ~times ~count f] schedules [f] at each of
+    [times.(0 .. count-1)] — equivalent to [count] successive
+    {!schedule_at} calls with the same action, but inserted through the
+    heap's batch path ({!Event_heap.add_sorted}), so a sorted arrival
+    run costs one capacity check and no per-call allocation.  Requires
+    [times] nondecreasing with [times.(0) >= now t]; the batched events
+    cannot be individually cancelled (no handles are returned). *)
+val schedule_monotone :
+  t -> times:float array -> count:int -> (unit -> unit) -> unit
+
+(** [time_cell t] is the one-element array holding the virtual clock —
+    [ (time_cell t).(0) = now t ] at all times.  Hot paths cache it once
+    and read the clock as an unboxed array load instead of paying a
+    boxed float return per {!now} call.  Treat it as read-only. *)
+val time_cell : t -> float array
+
 (** [cancel t h] prevents the event behind [h] from firing.  Cancelling
     an already-fired or already-cancelled event is a no-op. *)
 val cancel : t -> handle -> unit
 
-(** [cancelled t h] reports whether [h] was cancelled (not merely
-    fired). *)
+(** [cancelled t h] reports whether the event behind [h] will never
+    fire in the future: true once cancelled or already fired. *)
 val cancelled : t -> handle -> bool
 
-(** [step t] fires the earliest pending event.  Returns [false] when no
-    events remain. *)
+(** [set_source t ~next ~fire] attaches an external ordered event
+    source — the streaming driver's arrival cursor.  [next] is a
+    one-element cell holding the time of the source's next event
+    ([Float.infinity] when exhausted); the run loop merges the source
+    with the event heap, firing whichever is earlier and letting the
+    source win exact ties.  When the source is due, the clock advances
+    to [next.(0)], the fired-event counter increments, and [fire] runs;
+    [fire] must update [next.(0)] to the following event's time
+    (nondecreasing — a regression raises {!Past_event}) or to
+    [Float.infinity].  Source events never occupy the heap, so
+    {!pending} and {!peak_pending} exclude them.  At most one source;
+    a second call replaces the first. *)
+val set_source : t -> next:float array -> fire:(unit -> unit) -> unit
+
+(** [clear_source t] detaches the external source, if any. *)
+val clear_source : t -> unit
+
+(** [step t] fires the earliest pending event (heap or attached
+    source).  Returns [false] when no events remain. *)
 val step : t -> bool
 
 (** [run t] fires events until the queue drains. *)
@@ -54,6 +92,12 @@ val run : t -> unit
 (** [run_until t ~time] fires events with timestamps [<= time], then
     advances the clock to exactly [time]. *)
 val run_until : t -> time:float -> unit
+
+(** [next_event_time t] is the timestamp of the event {!step} would
+    fire next (heap or attached source), [infinity] when idle.  The
+    parallel engine's lockstep fallback uses it to pick the shard with
+    the globally earliest event. *)
+val next_event_time : t -> float
 
 (** [events_fired t] counts events executed so far; exposed for tests
     and progress reporting. *)

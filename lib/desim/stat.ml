@@ -168,6 +168,32 @@ module Quantile = struct
 
   let max_value t = t.max_seen
 
+  (* Bin counts are plain ints, so merging sketches is exact and
+     order-independent — what lets per-file-set sketches be combined
+     into one global sketch identically in the serial and the
+     domain-parallel engine. *)
+  let merge a b =
+    if
+      a.lo <> b.lo
+      || a.log_ratio <> b.log_ratio
+      || Array.length a.bins <> Array.length b.bins
+    then invalid_arg "Stat.Quantile.merge: mismatched geometry";
+    let bins = Array.make (Array.length a.bins) 0 in
+    for i = 0 to Array.length bins - 1 do
+      bins.(i) <- a.bins.(i) + b.bins.(i)
+    done;
+    {
+      lo = a.lo;
+      log_lo = a.log_lo;
+      log_ratio = a.log_ratio;
+      bins;
+      underflow = a.underflow + b.underflow;
+      overflow = a.overflow + b.overflow;
+      count = a.count + b.count;
+      min_seen = Float.min a.min_seen b.min_seen;
+      max_seen = Float.max a.max_seen b.max_seen;
+    }
+
   let percentile t p =
     if t.count = 0 then invalid_arg "Stat.Quantile.percentile: empty";
     if p < 0.0 || p > 100.0 then

@@ -85,6 +85,12 @@ module Quantile : sig
 
   val max_value : t -> float
 
+  (** [merge a b] combines two sketches of identical geometry into a
+      fresh one.  Bin counts are ints, so the merge is exact and
+      order-independent.  Raises [Invalid_argument] on mismatched
+      geometry. *)
+  val merge : t -> t -> t
+
   (** [percentile t p] for [p] in [\[0, 100\]]: the geometric midpoint
       of the bin holding the rank, clamped to the observed extremes.
       Raises [Invalid_argument] when empty or [p] out of range. *)

@@ -43,6 +43,19 @@ val submit :
   on_complete:(latency:float -> unit) ->
   unit
 
+(** [submit_tagged t ~demand ~tag] enqueues a job whose completion is
+    reported to the station-wide sink installed with {!set_sink}
+    instead of a per-job closure — the allocation-free path used by the
+    streaming engine.  Same validation and FIFO semantics as
+    {!submit}.  Raises [Failure] at completion time if no sink was
+    installed. *)
+val submit_tagged : t -> demand:float -> tag:int -> unit
+
+(** [set_sink t f] installs the shared completion callback for jobs
+    submitted via {!submit_tagged}.  At most one; a second call
+    replaces the first. *)
+val set_sink : t -> (tag:int -> latency:float -> unit) -> unit
+
 (** [queue_length t] counts jobs waiting, excluding any job in
     service. *)
 val queue_length : t -> int

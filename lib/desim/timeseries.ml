@@ -1,36 +1,39 @@
 type point = { bucket_start : float; mean : float; count : int; max : float }
 
+(* The per-observation accumulators (sum, max) live in a small float
+   array: mutable float fields of a mixed record box on every store,
+   which made [observe] allocate on the hottest per-completion path.
+   Array stores are flat. *)
 type t = {
   interval : float;
   mutable current_index : int;
-  mutable sum : float;
   mutable count : int;
-  mutable max : float;
+  acc : float array; (* [| sum; max |] of the open bucket *)
   mutable closed : point list; (* reverse order *)
 }
 
 let create ~interval =
   if interval <= 0.0 then
     invalid_arg "Timeseries.create: interval must be positive";
-  { interval; current_index = 0; sum = 0.0; count = 0; max = 0.0; closed = [] }
+  { interval; current_index = 0; count = 0; acc = [| 0.0; 0.0 |]; closed = [] }
 
 let interval t = t.interval
 
 let close_current t =
-  let mean = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count in
+  let mean = if t.count = 0 then 0.0 else t.acc.(0) /. float_of_int t.count in
   let point =
     {
       bucket_start = float_of_int t.current_index *. t.interval;
       mean;
       count = t.count;
-      max = (if t.count = 0 then 0.0 else t.max);
+      max = (if t.count = 0 then 0.0 else t.acc.(1));
     }
   in
   t.closed <- point :: t.closed;
   t.current_index <- t.current_index + 1;
-  t.sum <- 0.0;
+  t.acc.(0) <- 0.0;
   t.count <- 0;
-  t.max <- 0.0
+  t.acc.(1) <- 0.0
 
 let bucket_of t time = int_of_float (Float.floor (time /. t.interval))
 
@@ -41,9 +44,9 @@ let observe t ~time value =
   while t.current_index < idx do
     close_current t
   done;
-  t.sum <- t.sum +. value;
+  t.acc.(0) <- t.acc.(0) +. value;
   t.count <- t.count + 1;
-  if value > t.max then t.max <- value
+  if value > t.acc.(1) then t.acc.(1) <- value
 
 let finish t ~until =
   let last = bucket_of t until in

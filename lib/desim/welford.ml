@@ -1,5 +1,13 @@
+(* All-float record: the count lives in a float so the record gets the
+   flat (unboxed) float-record layout.  With a mixed int/float record
+   every [add] boxed four floats just to store them back; flat layout
+   makes [add] allocation-free.  Counts are exact in a float up to 2^53
+   — far beyond any run this engine does — and the arithmetic below is
+   bit-identical to the previous int-count version ([float_of_int n]
+   and the incremented float are the same value). *)
+
 type t = {
-  mutable n : int;
+  mutable n : float;
   mutable mean : float;
   mutable m2 : float;
   mutable min_v : float;
@@ -7,21 +15,21 @@ type t = {
 }
 
 let create () =
-  { n = 0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
+  { n = 0.0; mean = 0.0; m2 = 0.0; min_v = infinity; max_v = neg_infinity }
 
 let add t x =
-  t.n <- t.n + 1;
+  t.n <- t.n +. 1.0;
   let delta = x -. t.mean in
-  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.mean <- t.mean +. (delta /. t.n);
   t.m2 <- t.m2 +. (delta *. (x -. t.mean));
   if x < t.min_v then t.min_v <- x;
   if x > t.max_v then t.max_v <- x
 
-let count t = t.n
+let count t = int_of_float t.n
 
-let mean t = if t.n = 0 then 0.0 else t.mean
+let mean t = if t.n = 0.0 then 0.0 else t.mean
 
-let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+let variance t = if t.n < 2.0 then 0.0 else t.m2 /. t.n
 
 let std_dev t = sqrt (variance t)
 
@@ -30,17 +38,13 @@ let min_value t = t.min_v
 let max_value t = t.max_v
 
 let merge a b =
-  if a.n = 0 then { b with n = b.n }
-  else if b.n = 0 then { a with n = a.n }
+  if a.n = 0.0 then { b with n = b.n }
+  else if b.n = 0.0 then { a with n = a.n }
   else begin
-    let n = a.n + b.n in
-    let fn = float_of_int n in
+    let n = a.n +. b.n in
     let delta = b.mean -. a.mean in
-    let mean = a.mean +. (delta *. float_of_int b.n /. fn) in
-    let m2 =
-      a.m2 +. b.m2
-      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. fn)
-    in
+    let mean = a.mean +. (delta *. b.n /. n) in
+    let m2 = a.m2 +. b.m2 +. (delta *. delta *. a.n *. b.n /. n) in
     {
       n;
       mean;
@@ -51,7 +55,7 @@ let merge a b =
   end
 
 let reset t =
-  t.n <- 0;
+  t.n <- 0.0;
   t.mean <- 0.0;
   t.m2 <- 0.0;
   t.min_v <- infinity;

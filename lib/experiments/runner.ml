@@ -62,28 +62,108 @@ let throughput results =
        else 0.0);
   }
 
-(* Apply the policy's current addressing to the cluster: diff against
-   what the cluster believes and issue the moves.  Returns how many
-   file sets changed owner (the size of the re-addressing sweep). *)
-let reconcile cluster policy names =
+(* Apply the policy's current addressing: diff against what the
+   cluster believes and issue the moves.  Returns how many file sets
+   changed owner (the size of the re-addressing sweep).  [owner] and
+   [move] abstract the executor — the serial cluster or the parallel
+   engine — so both reconcile in the identical name order. *)
+let reconcile_with ~locate ~owner ~move names =
   List.fold_left
     (fun moved name ->
-      let want = policy.Placement.Policy.locate name in
-      match Sharedfs.Cluster.owner cluster name with
+      let want = locate name in
+      match owner name with
       | Some have when Id.equal have want -> moved
       | Some _ | None ->
-        Sharedfs.Cluster.move cluster ~file_set:name ~dst:want;
+        move ~file_set:name ~dst:want;
         moved + 1)
     0 names
 
-let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
-    ?faults ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
+let reconcile cluster policy names =
+  reconcile_with ~locate:policy.Placement.Policy.locate
+    ~owner:(Sharedfs.Cluster.owner cluster)
+    ~move:(Sharedfs.Cluster.move cluster)
+    names
+
+(* Prescient oracle: a second, independent cursor over the same
+   stream.  Each forced window sweeps the cursor across [lo, hi),
+   accumulating effective demand per file set in stream order — the
+   same additions in the same order as [Trace.window_demand], so the
+   answers are float-identical.  Rounds force windows in time order
+   (and contiguously), so one pass suffices; nothing is built unless
+   a policy actually forces the lazy (only prescient does). *)
+let make_future_demand stream names =
+  let fs_names = Array.of_list names in
+  let oracle = lazy (Workload.Stream.start stream) in
+  let oracle_pending = ref None in
+  let window_acc = Array.make (Stdlib.max 1 (Array.length fs_names)) 0.0 in
+  let window_seen = Array.make (Stdlib.max 1 (Array.length fs_names)) false in
+  fun ~lo ~hi ->
+    lazy
+      (let cursor = Lazy.force oracle in
+       let touched = ref [] in
+       let next () =
+         match !oracle_pending with
+         | Some _ as it ->
+           oracle_pending := None;
+           it
+         | None -> cursor ()
+       in
+       let rec sweep () =
+         match next () with
+         | None -> ()
+         | Some it ->
+           if it.Workload.Stream.time >= hi then oracle_pending := Some it
+           else begin
+             (if it.Workload.Stream.time >= lo then begin
+                let fs = it.Workload.Stream.fs in
+                if not window_seen.(fs) then begin
+                  window_seen.(fs) <- true;
+                  touched := fs :: !touched
+                end;
+                window_acc.(fs) <-
+                  window_acc.(fs)
+                  +. it.Workload.Stream.demand
+                     *. Sharedfs.Request.demand_factor
+                          it.Workload.Stream.request.Sharedfs.Request.op
+              end);
+             sweep ()
+           end
+       in
+       sweep ();
+       let out =
+         List.map (fun fs -> (fs_names.(fs), window_acc.(fs))) !touched
+       in
+       List.iter
+         (fun fs ->
+           window_acc.(fs) <- 0.0;
+           window_seen.(fs) <- false)
+         !touched;
+       List.sort (fun (a, _) (b, _) -> String.compare a b) out)
+
+(* Fold the per-file-set summaries in file-set {e name} order — an
+   order independent of both the engine (serial vs domain-parallel)
+   and the stream's id numbering ([of_trace] assigns ids by first
+   appearance, generators by declaration), so every driver of the
+   same workload produces bit-identical overall numbers. *)
+let merge_latency ~names ~nfs lat_m lat_q =
+  let merge_order = Array.init nfs (fun i -> i) in
+  let names_arr = Array.of_list names in
+  if Array.length names_arr = nfs then
+    Array.sort
+      (fun a b -> String.compare names_arr.(a) names_arr.(b))
+      merge_order;
+  let lat_moments = ref lat_m.(merge_order.(0)) in
+  let lat_quantile = ref lat_q.(merge_order.(0)) in
+  for i = 1 to nfs - 1 do
+    lat_moments := Desim.Welford.merge !lat_moments lat_m.(merge_order.(i));
+    lat_quantile :=
+      Desim.Stat.Quantile.merge !lat_quantile lat_q.(merge_order.(i))
+  done;
+  (!lat_moments, !lat_quantile)
+
+let run_stream_serial scenario spec ~stream ~events ~obs ?faults
+    ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
     ?on_request_complete () =
-  (* One figure runs several simulations, possibly concurrently (one
-     per domain): derive a per-run context with a fresh metrics
-     registry so the snapshot attached to this result covers exactly
-     this run and no instrument is shared across domains. *)
-  let obs = Obs.Ctx.isolated obs in
   let sim = Desim.Sim.create () in
   Option.iter (fun f -> f sim) on_sim_created;
   let disk = Sharedfs.Shared_disk.create () in
@@ -115,10 +195,20 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
   let interval = scenario.Scenario.reconfig_interval in
   (* Latency summary without retained samples: exact mean/max via
      Welford, log-binned p95 — what keeps a 10M-request run in
-     constant memory. *)
-  let lat_moments = Desim.Welford.create () in
-  let lat_quantile = Desim.Stat.Quantile.create () in
+     constant memory.  Accumulated per file set and merged in id order
+     at the end: a file set is served by one server at a time (and
+     only changes hands at quiescent move boundaries), so the per-set
+     completion order — and hence the merged summary — is identical
+     whether the run executed serially or sharded across domains. *)
+  let nfs = Stdlib.max 1 (List.length names) in
+  let lat_m = Array.init nfs (fun _ -> Desim.Welford.create ()) in
+  let lat_q = Array.init nfs (fun _ -> Desim.Stat.Quantile.create ()) in
   let completed = ref 0 in
+  let record_latency fs latency =
+    incr completed;
+    Desim.Welford.add lat_m.(fs) latency;
+    Desim.Stat.Quantile.add lat_q.(fs) latency
+  in
   let reconfig_rounds = ref 0 in
   (* Chaos plumbing.  Invariants are checked after every round and
      membership event by default exactly when faults are injected;
@@ -295,61 +385,7 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
     | None -> []
     | Some plan -> Fault.Plan.delegate_crash_rounds plan
   in
-  (* Prescient oracle: a second, independent cursor over the same
-     stream.  Each forced window sweeps the cursor across [lo, hi),
-     accumulating effective demand per file set in stream order — the
-     same additions in the same order as [Trace.window_demand], so the
-     answers are float-identical.  Rounds force windows in time order
-     (and contiguously), so one pass suffices; nothing is built unless
-     a policy actually forces the lazy (only prescient does). *)
-  let fs_names = Array.of_list names in
-  let oracle = lazy (Workload.Stream.start stream) in
-  let oracle_pending = ref None in
-  let window_acc = Array.make (Stdlib.max 1 (Array.length fs_names)) 0.0 in
-  let window_seen = Array.make (Stdlib.max 1 (Array.length fs_names)) false in
-  let future_demand ~lo ~hi =
-    lazy
-      (let cursor = Lazy.force oracle in
-       let touched = ref [] in
-       let next () =
-         match !oracle_pending with
-         | Some _ as it ->
-           oracle_pending := None;
-           it
-         | None -> cursor ()
-       in
-       let rec sweep () =
-         match next () with
-         | None -> ()
-         | Some it ->
-           if it.Workload.Stream.time >= hi then oracle_pending := Some it
-           else begin
-             (if it.Workload.Stream.time >= lo then begin
-                let fs = it.Workload.Stream.fs in
-                if not window_seen.(fs) then begin
-                  window_seen.(fs) <- true;
-                  touched := fs :: !touched
-                end;
-                window_acc.(fs) <-
-                  window_acc.(fs)
-                  +. it.Workload.Stream.demand
-                     *. Sharedfs.Request.demand_factor
-                          it.Workload.Stream.request.Sharedfs.Request.op
-              end);
-             sweep ()
-           end
-       in
-       sweep ();
-       let out =
-         List.map (fun fs -> (fs_names.(fs), window_acc.(fs))) !touched
-       in
-       List.iter
-         (fun fs ->
-           window_acc.(fs) <- 0.0;
-           window_seen.(fs) <- false)
-         !touched;
-       List.sort (fun (a, _) (b, _) -> String.compare a b) out)
-  in
+  let future_demand = make_future_demand stream names in
   (* Time-zero delegate round: no latencies yet, but the prescient
      oracle sees the first interval and starts balanced. *)
   policy.Placement.Policy.rebalance
@@ -366,39 +402,90 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
      traces to the pre-lease engine). *)
   if Option.is_some injector then
     ignore (Sharedfs.Cluster.ensure_delegate cluster : int);
-  (* Arrivals: a self-re-arming cursor event.  Only the next
-     not-yet-due request occupies the heap, so heap occupancy is
-     O(streams + inflight) — never O(requests). *)
-  let arrivals = Workload.Stream.start stream in
-  let submit (it : Workload.Stream.item) =
-    Sharedfs.Cluster.submit_fs cluster ~fs:it.Workload.Stream.fs
-      ~base_demand:it.Workload.Stream.demand it.Workload.Stream.request
-      ~on_complete:(fun ~latency ->
-        incr completed;
-        Desim.Welford.add lat_moments latency;
-        Desim.Stat.Quantile.add lat_quantile latency;
-        match on_request_complete with
-        | None -> ()
-        | Some f ->
-          f
-            {
-              Workload.Trace.time = it.Workload.Stream.time;
-              request = it.Workload.Stream.request;
-              demand = it.Workload.Stream.demand;
-            }
-            ~latency)
+  (* The streaming driver has two arrival paths.  The default is a
+     self-re-arming cursor event: only the next not-yet-due request
+     occupies the heap, so heap occupancy is O(streams + inflight) —
+     never O(requests).  When nothing wants per-request hooks (no
+     faults, no scripted events, no tracing/metrics/telemetry, no
+     [on_request_complete], no invariant sweeps) and the stream offers
+     a column cursor, the driver switches to the allocation-free path:
+     requests live as column rows fed to the engine as an external
+     ordered source ({!Desim.Sim.set_source}) — arrivals never occupy
+     the heap at all, so the heap holds only completions and timers —
+     and completions report to a sink instead of a per-request
+     closure.  Same dispatch times, same counted events, no
+     per-request allocation or heap traffic. *)
+  let fast_path =
+    Option.is_none faults && events = []
+    && Option.is_none on_request_complete
+    && (not do_check)
+    && (not (Obs.Ctx.tracing obs))
+    && Option.is_none (Obs.Ctx.metrics obs)
+    && Option.is_none (Obs.Ctx.telemetry obs)
   in
-  let rec arm_arrival (it : Workload.Stream.item) =
-    let (_ : Desim.Sim.handle) =
-      Desim.Sim.schedule_at sim ~time:it.Workload.Stream.time (fun () ->
-          (match arrivals () with
-          | Some next -> arm_arrival next
-          | None -> ());
-          submit it)
+  let batch = if fast_path then Workload.Stream.start_batch stream else None in
+  (match batch with
+  | Some batch ->
+    Sharedfs.Cluster.set_stream_sink cluster (fun ~fs ~latency ->
+        record_latency fs latency);
+    let cols = Workload.Stream.make_cols 64 in
+    let next = [| Float.infinity |] in
+    let idx = ref 0 in
+    let cnt = ref 0 in
+    let refill () =
+      let n = batch cols in
+      cnt := n;
+      idx := 0;
+      next.(0) <-
+        (if n > 0 then cols.Workload.Stream.times.(0) else Float.infinity)
     in
-    ()
-  in
-  (match arrivals () with Some first -> arm_arrival first | None -> ());
+    let fire () =
+      let i = !idx in
+      let fs = cols.Workload.Stream.fs.(i) in
+      let op = cols.Workload.Stream.ops.(i) in
+      let path_hash = cols.Workload.Stream.path.(i) in
+      let client = cols.Workload.Stream.client.(i) in
+      let demand = cols.Workload.Stream.demand.(i) in
+      idx := i + 1;
+      (* Advance the cursor before submitting (mirroring the event
+         path's arm-next-then-submit order); the row was copied out
+         above, so overwriting the columns on refill is safe. *)
+      if !idx = !cnt then refill ()
+      else next.(0) <- cols.Workload.Stream.times.(!idx);
+      Sharedfs.Cluster.submit_stream cluster ~fs ~op ~base_demand:demand
+        ~path_hash ~client
+    in
+    refill ();
+    Desim.Sim.set_source sim ~next ~fire
+  | None ->
+    let arrivals = Workload.Stream.start stream in
+    let submit (it : Workload.Stream.item) =
+      Sharedfs.Cluster.submit_fs cluster ~fs:it.Workload.Stream.fs
+        ~base_demand:it.Workload.Stream.demand it.Workload.Stream.request
+        ~on_complete:(fun ~latency ->
+          record_latency it.Workload.Stream.fs latency;
+          match on_request_complete with
+          | None -> ()
+          | Some f ->
+            f
+              {
+                Workload.Trace.time = it.Workload.Stream.time;
+                request = it.Workload.Stream.request;
+                demand = it.Workload.Stream.demand;
+              }
+              ~latency)
+    in
+    let rec arm_arrival (it : Workload.Stream.item) =
+      let (_ : Desim.Sim.handle) =
+        Desim.Sim.schedule_at sim ~time:it.Workload.Stream.time (fun () ->
+            (match arrivals () with
+            | Some next -> arm_arrival next
+            | None -> ());
+            submit it)
+      in
+      ()
+    in
+    (match arrivals () with Some first -> arm_arrival first | None -> ()));
   (* Delegate rounds at every interval boundary within the trace; each
      round arms the next, so at most one round event is pending. *)
   let rounds = int_of_float (Float.floor (duration /. interval)) in
@@ -664,6 +751,7 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
           Sharedfs.Server.utilization s ~until:end_time ))
       all_servers
   in
+  let lat_moments, lat_quantile = merge_latency ~names ~nfs lat_m lat_q in
   {
     label = scenario.Scenario.label;
     policy_name = policy.Placement.Policy.name;
@@ -694,11 +782,174 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
     violations = List.rev !violations;
   }
 
+(* The domain-parallel driver: same policy machinery, same stream,
+   same accumulators — only the event execution is sharded.  The
+   delegate rounds run here as a plain loop (the engine's barriers)
+   instead of simulator events; [sim_events] adds them back so the
+   count matches the serial run, where each round is one fired
+   event. *)
+let run_stream_par scenario spec ~stream ~batch ~jobs () =
+  let names = Workload.Stream.file_sets stream in
+  let policy = Scenario.make_policy spec ~scenario ~file_sets:names in
+  let duration = Workload.Stream.duration stream in
+  let interval = scenario.Scenario.reconfig_interval in
+  let nfs = Stdlib.max 1 (List.length names) in
+  let lat_m = Array.init nfs (fun _ -> Desim.Welford.create ()) in
+  let lat_q = Array.init nfs (fun _ -> Desim.Stat.Quantile.create ()) in
+  let completed = ref 0 in
+  let emit ~fs ~latency =
+    incr completed;
+    Desim.Welford.add lat_m.(fs) latency;
+    Desim.Stat.Quantile.add lat_q.(fs) latency
+  in
+  let future_demand = make_future_demand stream names in
+  let servers =
+    List.map (fun (id, s) -> (Id.of_int id, s)) scenario.Scenario.servers
+  in
+  let engine =
+    Stream_par.create ~jobs ~servers ~names
+      ~move_config:scenario.Scenario.move_config
+      ?cache_config:scenario.Scenario.cache_config
+      ~series_interval:scenario.Scenario.series_interval ~batch ()
+  in
+  policy.Placement.Policy.rebalance
+    {
+      Placement.Policy.time = 0.0;
+      reports = [];
+      future_demand = future_demand ~lo:0.0 ~hi:interval;
+    };
+  Stream_par.assign_initial engine
+    (Placement.Policy.assignment_of policy names);
+  let rounds = int_of_float (Float.floor (duration /. interval)) in
+  let reconfig_rounds = ref 0 in
+  let wall_start = Desim.Clock.now_ns () in
+  for k = 1 to rounds do
+    let at = float_of_int k *. interval in
+    Stream_par.run_to engine ~time:at ~emit;
+    incr reconfig_rounds;
+    let reports = Stream_par.collect_reports engine in
+    policy.Placement.Policy.rebalance
+      {
+        Placement.Policy.time = at;
+        reports;
+        future_demand = future_demand ~lo:at ~hi:(at +. interval);
+      };
+    ignore
+      (reconcile_with ~locate:policy.Placement.Policy.locate
+         ~owner:(Stream_par.owner engine)
+         ~move:(Stream_par.move engine)
+         names
+        : int)
+  done;
+  Stream_par.drain engine ~emit;
+  let sim_wall_seconds = Desim.Clock.seconds_since wall_start in
+  let fired = Stream_par.events_fired engine in
+  let peak = Stream_par.peak_pending engine in
+  let end_time = Float.max duration (Stream_par.end_time engine) in
+  let all_servers = Stream_par.servers engine in
+  let moves = Stream_par.moves engine in
+  Stream_par.finish engine;
+  let server_series =
+    List.map
+      (fun s ->
+        ( Id.to_int (Sharedfs.Server.id s),
+          Sharedfs.Server.series s ~until:duration ))
+      all_servers
+  in
+  let per_server_mean =
+    List.map
+      (fun (id, points) ->
+        let pairs =
+          List.map
+            (fun p ->
+              (p.Desim.Timeseries.mean, float_of_int p.Desim.Timeseries.count))
+            points
+        in
+        (id, Desim.Stat.weighted_mean pairs))
+      server_series
+  in
+  let per_server_requests =
+    List.map
+      (fun (id, points) ->
+        ( id,
+          List.fold_left
+            (fun acc p -> acc + p.Desim.Timeseries.count)
+            0 points ))
+      server_series
+  in
+  let utilizations =
+    List.map
+      (fun s ->
+        ( Id.to_int (Sharedfs.Server.id s),
+          Sharedfs.Server.utilization s ~until:end_time ))
+      all_servers
+  in
+  let lat_moments, lat_quantile = merge_latency ~names ~nfs lat_m lat_q in
+  {
+    label = scenario.Scenario.label;
+    policy_name = policy.Placement.Policy.name;
+    duration;
+    server_series;
+    per_server_mean;
+    per_server_requests;
+    utilizations;
+    overall_mean = Desim.Welford.mean lat_moments;
+    overall_p95 =
+      (if Desim.Stat.Quantile.count lat_quantile = 0 then 0.0
+       else Desim.Stat.Quantile.percentile lat_quantile 95.0);
+    overall_max =
+      (if Desim.Welford.count lat_moments = 0 then 0.0
+       else Desim.Welford.max_value lat_moments);
+    submitted = Workload.Stream.total stream;
+    completed = !completed;
+    moves;
+    reconfig_rounds = !reconfig_rounds;
+    sim_events = fired + !reconfig_rounds;
+    sim_wall_seconds;
+    sim_peak_pending = peak;
+    metrics = None;
+    telemetry = None;
+    violations = [];
+  }
+
+let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
+    ?faults ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
+    ?on_request_complete ?(jobs = 1) () =
+  (* One figure runs several simulations, possibly concurrently (one
+     per domain): derive a per-run context with a fresh metrics
+     registry so the snapshot attached to this result covers exactly
+     this run and no instrument is shared across domains. *)
+  let obs = Obs.Ctx.isolated obs in
+  (* The parallel engine supports exactly the streaming fast path:
+     no faults, no scripted events, no per-request hooks, no
+     invariant sweeps, no observability, no construction hooks, and a
+     stream that offers a column cursor.  Anything else falls back to
+     the serial driver silently — correctness first. *)
+  let par_ok =
+    jobs > 1
+    && Option.is_none faults
+    && events = []
+    && Option.is_none on_request_complete
+    && (match check_invariants with Some true -> false | Some false | None -> true)
+    && Option.is_none on_sim_created
+    && Option.is_none on_cluster
+    && (not (Obs.Ctx.tracing obs))
+    && Option.is_none (Obs.Ctx.metrics obs)
+    && Option.is_none (Obs.Ctx.telemetry obs)
+  in
+  match (if par_ok then Workload.Stream.start_batch stream else None) with
+  | Some batch -> run_stream_par scenario spec ~stream ~batch ~jobs ()
+  | None ->
+    run_stream_serial scenario spec ~stream ~events ~obs ?faults
+      ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
+      ?on_request_complete ()
+
 let run scenario spec ~trace ?events ?obs ?faults ?check_invariants
-    ?invariant_extra ?on_sim_created ?on_cluster ?on_request_complete () =
+    ?invariant_extra ?on_sim_created ?on_cluster ?on_request_complete ?jobs ()
+    =
   run_stream scenario spec ~stream:(Workload.Stream.of_trace trace) ?events
     ?obs ?faults ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
-    ?on_request_complete ()
+    ?on_request_complete ?jobs ()
 
 let buckets_after result ~from_ =
   List.map

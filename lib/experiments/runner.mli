@@ -128,7 +128,18 @@ val throughput : result list -> throughput
     handle for post-run audits ({!Sharedfs.Cluster.fsck}).
     [on_request_complete] fires for every completed metadata request
     with its originating trace record (synthesized from the stream
-    item) and client-perceived latency. *)
+    item) and client-perceived latency.
+
+    When nothing wants per-request hooks — no faults, no scripted
+    events, no tracing/metrics/telemetry, no [on_request_complete], no
+    invariant sweeps — and the stream provides a column cursor
+    ({!Workload.Stream.start_batch}), arrivals take an allocation-free
+    fast path: identical events at identical times, completions
+    reported through a sink instead of per-request closures.  [jobs]
+    (default 1) additionally shards a fast-path-eligible run across
+    worker domains with a barrier at every reconfiguration interval;
+    results are bit-identical to [jobs = 1] (see DESIGN.md §14).  The
+    option is ignored when the fast path is ineligible. *)
 val run_stream :
   Scenario.t ->
   Scenario.policy_spec ->
@@ -141,6 +152,7 @@ val run_stream :
   ?on_sim_created:(Desim.Sim.t -> unit) ->
   ?on_cluster:(Sharedfs.Cluster.t -> unit) ->
   ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
+  ?jobs:int ->
   unit ->
   result
 
@@ -161,6 +173,7 @@ val run :
   ?on_sim_created:(Desim.Sim.t -> unit) ->
   ?on_cluster:(Sharedfs.Cluster.t -> unit) ->
   ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->
+  ?jobs:int ->
   unit ->
   result
 

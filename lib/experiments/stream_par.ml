@@ -1,0 +1,550 @@
+(* Domain-parallel single-run streaming engine.
+
+   One simulated cluster is sharded across [jobs] domains: each shard
+   holds a full [Cluster.t] (all servers exist in every shard's
+   simulator, but each server receives traffic on exactly one — its
+   home shard, [sorted index mod jobs]), and the run advances in
+   conservative time windows bounded by the delegate-round barriers.
+   Between barriers shards share nothing they both write except the
+   per-file-set lock domains, and a file set's lock domain is only
+   touched by the shard currently serving the set — so each window's
+   events are independent and the shards replay exactly the serial
+   event sequence, just interleaved across domains.
+
+   What crosses shards, and how it stays byte-identical to serial:
+
+   - Arrivals.  The coordinator pulls the stream's global batch cursor
+     and stages each window's rows into per-shard column buffers by
+     the current routing (owner's home shard; destination shard while
+     a set is mid-move, where the request buffers behind the move
+     exactly as in serial).  Each shard consumes its staging buffer as
+     an external event source, so arrival events fire at the same
+     virtual times with the same source-beats-heap tie rule.
+
+   - Completion statistics.  Latency accumulators are order-sensitive
+     (Welford), so shards never touch them: each completion is logged
+     (time, fs, latency) into the firing domain's log — resolved via
+     domain-local state, because a lock grant can complete a request
+     that was submitted on another shard — and the coordinator k-way
+     merges the logs by time at each barrier, replaying them through
+     the runner's accumulators in global chronological order, i.e. the
+     serial completion order.
+
+   - Moves.  Issued at barriers, when every shard's clock equals the
+     round time.  Intra-shard moves are the serial [Cluster.move];
+     cross-shard moves run as [Cluster.move_out] on the source shard
+     and [Cluster.move_in] on the destination (same journal, flush,
+     and init arithmetic), with pending lock-lease timers re-armed on
+     the destination simulator at their original expiries.
+
+   - The handover hazard.  Requests still in flight at the source when
+     a set moves out complete later on the source shard, and if they
+     are lock operations their completions touch the set's (shared)
+     lock domain — concurrently with the new owner.  When that residue
+     exists the engine falls back to lockstep: the coordinator steps
+     whichever shard holds the globally earliest event, single
+     threaded — the serial order by construction — until the residue
+     drains, then re-migrates any lease timers the residue armed and
+     resumes parallel windows.
+
+   Exact float-time ties between events on different shards are the
+   one place the parallel order can differ from serial (serial breaks
+   them by heap insertion order, the engine by shard index); such ties
+   between independently computed times are measure-zero in every
+   workload this engine runs, and the equality oracle in the test
+   suite would catch one. *)
+
+module Id = Sharedfs.Server_id
+
+type shard = {
+  sim : Desim.Sim.t;
+  cluster : Sharedfs.Cluster.t;
+  clockc : float array;
+  (* Staged arrivals for the current window: column rows, consumed in
+     order as the shard's external event source. *)
+  mutable st : float array;
+  mutable sf : int array;
+  mutable so : Sharedfs.Request.op array;
+  mutable sp : int array;
+  mutable sc : int array;
+  mutable sd : float array;
+  mutable slen : int;
+  mutable spos : int;
+  snext : float array;
+  (* Completion log for the current window: (time, fs, latency). *)
+  mutable lt : float array;
+  mutable lf : int array;
+  mutable ll : float array;
+  mutable llen : int;
+}
+
+(* The firing domain's shard: completions log here, whichever shard's
+   cluster created the completing closure. *)
+let dls_key : shard option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let log_append sh ~fs ~latency =
+  let cap = Array.length sh.lt in
+  if sh.llen = cap then begin
+    let ncap = if cap = 0 then 1024 else cap * 2 in
+    let nt = Array.make ncap 0.0 in
+    let nf = Array.make ncap 0 in
+    let nl = Array.make ncap 0.0 in
+    Array.blit sh.lt 0 nt 0 cap;
+    Array.blit sh.lf 0 nf 0 cap;
+    Array.blit sh.ll 0 nl 0 cap;
+    sh.lt <- nt;
+    sh.lf <- nf;
+    sh.ll <- nl
+  end;
+  let i = sh.llen in
+  sh.lt.(i) <- sh.clockc.(0);
+  sh.lf.(i) <- fs;
+  sh.ll.(i) <- latency;
+  sh.llen <- i + 1
+
+let sink ~fs ~latency =
+  match Domain.DLS.get dls_key with
+  | Some sh -> log_append sh ~fs ~latency
+  | None -> assert false
+
+type route =
+  | Route_owned of { owner : Id.t; shard : int }
+  | Route_moving of { dst : Id.t; dst_shard : int }
+
+(* A cross-shard handover with in-flight residue at the source. *)
+type hazard = { hfs : int; hsrc : int; hdst : int }
+
+type t = {
+  jobs : int;
+  shards : shard array;
+  pool : Par.Pool.t option; (* None when the engine runs on one shard *)
+  route : route array;
+  shard_of : int array; (* server int id -> home shard *)
+  by_id : (Id.t * Sharedfs.Server.t) array; (* global id order, home instance *)
+  mutable hazards : hazard list;
+  mutable move_acc : Sharedfs.Cluster.move_record list; (* reverse chrono *)
+  (* Global arrival cursor with one-batch lookahead. *)
+  batch : Workload.Stream.batch_cursor;
+  gcols : Workload.Stream.cols;
+  mutable gpos : int;
+  mutable gcnt : int;
+  mutable exhausted : bool;
+}
+
+let fs_id t name = Sharedfs.Cluster.fs_id t.shards.(0).cluster name
+
+let create ~jobs ~servers ~names ~move_config ?cache_config ~series_interval
+    ~batch () =
+  let nservers = List.length servers in
+  if nservers = 0 then invalid_arg "Stream_par.create: no servers";
+  let jobs = Stdlib.max 1 (Stdlib.min jobs nservers) in
+  let sorted = List.sort (fun (a, _) (b, _) -> Id.compare a b) servers in
+  let max_id =
+    List.fold_left (fun m (id, _) -> Stdlib.max m (Id.to_int id)) 0 sorted
+  in
+  let shard_of = Array.make (max_id + 1) 0 in
+  List.iteri (fun i (id, _) -> shard_of.(Id.to_int id) <- i mod jobs) sorted;
+  let nfs = Stdlib.max 1 (List.length names) in
+  (* One lock service shared by every shard: lock keys are per file
+     set, and a set's lock domain is only ever touched by the shard
+     serving it (the handover hazard above is the one exception, and
+     it forces lockstep). *)
+  let locking = Sharedfs.Cluster.locking_create ~nfs in
+  let shards =
+    Array.init jobs (fun _ ->
+        let sim = Desim.Sim.create () in
+        let disk = Sharedfs.Shared_disk.create () in
+        let catalog = Sharedfs.File_set.Catalog.create names in
+        let cluster =
+          Sharedfs.Cluster.create sim ~disk ~catalog ~move_config
+            ?cache_config ~series_interval ~servers:sorted ~locking ()
+        in
+        {
+          sim;
+          cluster;
+          clockc = Desim.Sim.time_cell sim;
+          st = [||];
+          sf = [||];
+          so = [||];
+          sp = [||];
+          sc = [||];
+          sd = [||];
+          slen = 0;
+          spos = 0;
+          snext = [| Float.infinity |];
+          lt = [||];
+          lf = [||];
+          ll = [||];
+          llen = 0;
+        })
+  in
+  (* Each shard consumes its staging buffer as the simulator's external
+     source, mirroring the serial fast path: advance the cursor, then
+     submit — and arrivals never occupy the heap. *)
+  Array.iter
+    (fun sh ->
+      let fire () =
+        let i = sh.spos in
+        let fs = sh.sf.(i) in
+        let op = sh.so.(i) in
+        let path_hash = sh.sp.(i) in
+        let client = sh.sc.(i) in
+        let demand = sh.sd.(i) in
+        sh.spos <- i + 1;
+        sh.snext.(0) <-
+          (if sh.spos < sh.slen then sh.st.(sh.spos) else Float.infinity);
+        Sharedfs.Cluster.submit_stream sh.cluster ~fs ~op ~base_demand:demand
+          ~path_hash ~client
+      in
+      Desim.Sim.set_source sh.sim ~next:sh.snext ~fire)
+    shards;
+  let by_id =
+    Array.of_list
+      (List.map
+         (fun (id, _) ->
+           let home = shards.(shard_of.(Id.to_int id)) in
+           (id, Sharedfs.Cluster.server home.cluster id))
+         sorted)
+  in
+  let dummy_owner = fst (List.hd sorted) in
+  let t =
+    {
+      jobs;
+      shards;
+      pool =
+        (if jobs > 1 then Some (Par.Pool.create ~domains:jobs) else None);
+      route =
+        Array.make nfs
+          (Route_owned
+             { owner = dummy_owner; shard = shard_of.(Id.to_int dummy_owner) });
+      shard_of;
+      by_id;
+      hazards = [];
+      move_acc = [];
+      batch;
+      gcols = Workload.Stream.make_cols 64;
+      gpos = 0;
+      gcnt = 0;
+      exhausted = false;
+    }
+  in
+  (* Intra-shard moves are issued through the serial [Cluster.move];
+     this hook records them in engine issue order, which at a barrier
+     equals the serial round's issue order. *)
+  Array.iter
+    (fun sh ->
+      Sharedfs.Cluster.set_on_move_start sh.cluster
+        (fun ~file_set ~src ~dst ~flush_seconds ~init_seconds ->
+          t.move_acc <-
+            {
+              Sharedfs.Cluster.started_at = Desim.Sim.now sh.sim;
+              file_set;
+              src;
+              dst;
+              flush_seconds;
+              init_seconds;
+            }
+            :: t.move_acc))
+    shards;
+  t
+
+let assign_initial t pairs =
+  let per = Array.make t.jobs [] in
+  List.iter
+    (fun (name, id) ->
+      let sh = t.shard_of.(Id.to_int id) in
+      per.(sh) <- (name, id) :: per.(sh);
+      t.route.(fs_id t name) <- Route_owned { owner = id; shard = sh })
+    pairs;
+  Array.iteri
+    (fun i l ->
+      Sharedfs.Cluster.assign_initial t.shards.(i).cluster (List.rev l))
+    per;
+  Array.iter
+    (fun sh -> Sharedfs.Cluster.set_stream_sink sh.cluster sink)
+    t.shards
+
+let owner t name =
+  match
+    Sharedfs.File_set.Interner.find
+      (Sharedfs.Cluster.interner t.shards.(0).cluster)
+      name
+  with
+  | None -> None
+  | Some fs -> (
+    match t.route.(fs) with
+    | Route_owned { owner; _ } -> Some owner
+    | Route_moving _ -> None)
+
+let move t ~file_set ~dst =
+  let fs = fs_id t file_set in
+  match t.route.(fs) with
+  | Route_moving _ -> () (* already in flight: serial ignores too *)
+  | Route_owned { owner; shard = src_sh } ->
+    if Id.equal owner dst then ()
+    else begin
+      let dst_sh = t.shard_of.(Id.to_int dst) in
+      if dst_sh = src_sh then
+        Sharedfs.Cluster.move t.shards.(src_sh).cluster ~file_set ~dst
+      else begin
+        let src_c = t.shards.(src_sh).cluster in
+        let dst_c = t.shards.(dst_sh).cluster in
+        let src, flush_seconds = Sharedfs.Cluster.move_out src_c ~fs ~dst in
+        let init_seconds =
+          Sharedfs.Cluster.move_in dst_c ~fs ~src ~flush_seconds ~dst
+        in
+        Sharedfs.Cluster.migrate_lease_timers ~src:src_c ~dst:dst_c ~fs;
+        t.move_acc <-
+          {
+            Sharedfs.Cluster.started_at = Desim.Sim.now t.shards.(src_sh).sim;
+            file_set;
+            src = Some src;
+            dst;
+            flush_seconds;
+            init_seconds;
+          }
+          :: t.move_acc;
+        if Sharedfs.Cluster.inflight_fs src_c ~fs > 0 then
+          t.hazards <- { hfs = fs; hsrc = src_sh; hdst = dst_sh } :: t.hazards
+      end;
+      t.route.(fs) <- Route_moving { dst; dst_shard = dst_sh }
+    end
+
+(* --- arrival staging --- *)
+
+let stage_row sh ~time ~fs ~op ~path ~client ~demand =
+  let cap = Array.length sh.st in
+  if sh.slen = cap then begin
+    let ncap = if cap = 0 then 1024 else cap * 2 in
+    let nt = Array.make ncap 0.0 in
+    let nf = Array.make ncap 0 in
+    let no = Array.make ncap op in
+    let np = Array.make ncap 0 in
+    let nc = Array.make ncap 0 in
+    let nd = Array.make ncap 0.0 in
+    Array.blit sh.st 0 nt 0 cap;
+    Array.blit sh.sf 0 nf 0 cap;
+    Array.blit sh.so 0 no 0 cap;
+    Array.blit sh.sp 0 np 0 cap;
+    Array.blit sh.sc 0 nc 0 cap;
+    Array.blit sh.sd 0 nd 0 cap;
+    sh.st <- nt;
+    sh.sf <- nf;
+    sh.so <- no;
+    sh.sp <- np;
+    sh.sc <- nc;
+    sh.sd <- nd
+  end;
+  let i = sh.slen in
+  sh.st.(i) <- time;
+  sh.sf.(i) <- fs;
+  sh.so.(i) <- op;
+  sh.sp.(i) <- path;
+  sh.sc.(i) <- client;
+  sh.sd.(i) <- demand;
+  sh.slen <- i + 1
+
+let rec gpeek t =
+  if t.gpos < t.gcnt then Some t.gcols.Workload.Stream.times.(t.gpos)
+  else if t.exhausted then None
+  else begin
+    let n = t.batch t.gcols in
+    if n = 0 then begin
+      t.exhausted <- true;
+      None
+    end
+    else begin
+      t.gcnt <- n;
+      t.gpos <- 0;
+      gpeek t
+    end
+  end
+
+(* Stage every arrival with [arrival <= time] — inclusive, because the
+   serial engine's source-beats-heap rule fires an arrival at exactly
+   the round time before the round event. *)
+let stage_until t ~time =
+  Array.iter
+    (fun sh ->
+      sh.slen <- 0;
+      sh.spos <- 0)
+    t.shards;
+  let continue = ref true in
+  while !continue do
+    match gpeek t with
+    | Some at when at <= time ->
+      let i = t.gpos in
+      let c = t.gcols in
+      let fs = c.Workload.Stream.fs.(i) in
+      let sh_idx =
+        match t.route.(fs) with
+        | Route_owned { shard; _ } -> shard
+        | Route_moving { dst_shard; _ } -> dst_shard
+      in
+      stage_row t.shards.(sh_idx) ~time:at ~fs ~op:c.Workload.Stream.ops.(i)
+        ~path:c.Workload.Stream.path.(i) ~client:c.Workload.Stream.client.(i)
+        ~demand:c.Workload.Stream.demand.(i);
+      t.gpos <- i + 1
+    | Some _ | None -> continue := false
+  done;
+  Array.iter
+    (fun sh ->
+      sh.snext.(0) <-
+        (if sh.slen > 0 then sh.st.(0) else Float.infinity))
+    t.shards
+
+(* --- window execution --- *)
+
+(* Drop hazards whose source residue has drained; any lease timer the
+   residue armed on the source simulator migrates now. *)
+let check_hazards t =
+  t.hazards <-
+    List.filter
+      (fun h ->
+        let src_c = t.shards.(h.hsrc).cluster in
+        if Sharedfs.Cluster.inflight_fs src_c ~fs:h.hfs > 0 then true
+        else begin
+          Sharedfs.Cluster.migrate_lease_timers ~src:src_c
+            ~dst:t.shards.(h.hdst).cluster ~fs:h.hfs;
+          false
+        end)
+      t.hazards
+
+(* Single-threaded fallback: step whichever shard holds the globally
+   earliest event — the serial order — until the hazards drain or the
+   window ends. *)
+let lockstep t ~until =
+  let continue = ref true in
+  while !continue && t.hazards <> [] do
+    let best = ref (-1) in
+    let best_t = ref Float.infinity in
+    Array.iteri
+      (fun i sh ->
+        let nt = Desim.Sim.next_event_time sh.sim in
+        if nt < !best_t then begin
+          best := i;
+          best_t := nt
+        end)
+      t.shards;
+    if !best < 0 || !best_t > until then continue := false
+    else begin
+      let sh = t.shards.(!best) in
+      Domain.DLS.set dls_key (Some sh);
+      ignore (Desim.Sim.step sh.sim : bool);
+      check_hazards t
+    end
+  done
+
+let parallel_each t f =
+  match t.pool with
+  | None ->
+    Array.iter
+      (fun sh ->
+        Domain.DLS.set dls_key (Some sh);
+        f sh)
+      t.shards
+  | Some pool ->
+    let futs =
+      Array.map
+        (fun sh ->
+          Par.Pool.submit pool (fun () ->
+              Domain.DLS.set dls_key (Some sh);
+              f sh))
+        t.shards
+    in
+    Array.iter Par.Pool.await futs
+
+(* Replay the window's completions through [emit] in global
+   chronological order: k-way merge of the per-shard logs (each
+   already time-nondecreasing), ties to the lowest shard index. *)
+let drain_logs t ~emit =
+  let n = Array.length t.shards in
+  let pos = Array.make n 0 in
+  let continue = ref true in
+  while !continue do
+    let best = ref (-1) in
+    let best_t = ref Float.infinity in
+    for i = 0 to n - 1 do
+      let sh = t.shards.(i) in
+      let p = pos.(i) in
+      if p < sh.llen && sh.lt.(p) < !best_t then begin
+        best := i;
+        best_t := sh.lt.(p)
+      end
+    done;
+    if !best < 0 then continue := false
+    else begin
+      let sh = t.shards.(!best) in
+      let p = pos.(!best) in
+      emit ~fs:sh.lf.(p) ~latency:sh.ll.(p);
+      pos.(!best) <- p + 1
+    end
+  done;
+  Array.iter (fun sh -> sh.llen <- 0) t.shards
+
+(* Flip routes whose move completed during the window, so the next
+   round's reconcile sees the new owner exactly as serial would. *)
+let poll_moves t =
+  Array.iteri
+    (fun fs r ->
+      match r with
+      | Route_owned _ -> ()
+      | Route_moving { dst; dst_shard } -> (
+        match
+          Sharedfs.Cluster.owner_fs t.shards.(dst_shard).cluster fs
+        with
+        | Some id when Id.equal id dst ->
+          t.route.(fs) <- Route_owned { owner = dst; shard = dst_shard }
+        | Some _ | None -> ()))
+    t.route
+
+let run_to t ~time ~emit =
+  stage_until t ~time;
+  if t.hazards <> [] then lockstep t ~until:time;
+  if t.hazards = [] then
+    parallel_each t (fun sh -> Desim.Sim.run_until sh.sim ~time);
+  (* Align every clock with the barrier (a full-lockstep window leaves
+     clocks at their last event): moves issued at the barrier must
+     read [now = time], as the serial round event does. *)
+  Array.iter (fun sh -> Desim.Sim.run_until sh.sim ~time) t.shards;
+  poll_moves t;
+  drain_logs t ~emit
+
+let drain t ~emit =
+  stage_until t ~time:Float.infinity;
+  if t.hazards <> [] then lockstep t ~until:Float.infinity;
+  if t.hazards = [] then
+    parallel_each t (fun sh -> Desim.Sim.run sh.sim);
+  drain_logs t ~emit
+
+(* --- result accessors --- *)
+
+let collect_reports t =
+  Array.to_list
+    (Array.map
+       (fun (id, srv) ->
+         {
+           Sharedfs.Delegate.server = id;
+           speed_hint = Sharedfs.Server.speed srv;
+           report = Sharedfs.Server.take_report srv;
+         })
+       t.by_id)
+
+let servers t = Array.to_list (Array.map snd t.by_id)
+
+let events_fired t =
+  Array.fold_left (fun acc sh -> acc + Desim.Sim.events_fired sh.sim) 0 t.shards
+
+let peak_pending t =
+  Array.fold_left
+    (fun acc sh -> Stdlib.max acc (Desim.Sim.peak_pending sh.sim))
+    0 t.shards
+
+let end_time t =
+  Array.fold_left
+    (fun acc sh -> Float.max acc (Desim.Sim.now sh.sim))
+    0.0 t.shards
+
+let moves t = List.rev t.move_acc
+
+let finish t = Option.iter Par.Pool.shutdown t.pool

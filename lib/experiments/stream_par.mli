@@ -1,0 +1,78 @@
+(** Domain-parallel single-run streaming engine.
+
+    Shards one simulated cluster's servers across [jobs] domains and
+    advances the run in conservative time windows bounded by the
+    delegate-round barriers, producing results byte-identical to the
+    serial streaming driver (see the implementation header for the
+    synchronization argument).  Only the fault-free, hook-free
+    streaming fast path is supported; {!Runner.run_stream} decides
+    when a run qualifies and otherwise stays serial. *)
+
+type t
+
+(** [create ~jobs ~servers ~names ~move_config ?cache_config
+    ~series_interval ~batch ()] builds the sharded engine over the
+    stream's batch cursor.  [jobs] is clamped to the server count;
+    [names] lists file sets in dense-id order (the stream's order). *)
+val create :
+  jobs:int ->
+  servers:(Sharedfs.Server_id.t * float) list ->
+  names:string list ->
+  move_config:Sharedfs.Cluster.move_config ->
+  ?cache_config:Sharedfs.Cache.config ->
+  series_interval:float ->
+  batch:Workload.Stream.batch_cursor ->
+  unit ->
+  t
+
+(** [assign_initial t pairs] installs the time-zero placement (each
+    file set on its owner's home shard) and arms the completion
+    sinks. *)
+val assign_initial : t -> (string * Sharedfs.Server_id.t) list -> unit
+
+(** [owner t name] mirrors [Cluster.owner]: the owning server, [None]
+    while the set is mid-move. *)
+val owner : t -> string -> Sharedfs.Server_id.t option
+
+(** [move t ~file_set ~dst] issues a move at a barrier: the serial
+    [Cluster.move] when source and destination share a shard, the
+    split [move_out]/[move_in] protocol otherwise.  No-op when the
+    set is already moving or already at [dst]. *)
+val move : t -> file_set:string -> dst:Sharedfs.Server_id.t -> unit
+
+(** [run_to t ~time ~emit] runs every shard to the barrier at [time]
+    (arrivals staged inclusively), then replays the window's
+    completions through [emit] in global chronological order. *)
+val run_to :
+  t -> time:float -> emit:(fs:int -> latency:float -> unit) -> unit
+
+(** [drain t ~emit] stages all remaining arrivals and runs every shard
+    to quiescence. *)
+val drain : t -> emit:(fs:int -> latency:float -> unit) -> unit
+
+(** [collect_reports t] gathers and resets every server's latency
+    window in global id order — exactly [Delegate.collect]. *)
+val collect_reports : t -> Sharedfs.Delegate.server_report list
+
+(** [servers t] lists the traffic-bearing server instances in global
+    id order. *)
+val servers : t -> Sharedfs.Server.t list
+
+(** [events_fired t] sums fired events over all shards (round events
+    excluded: the parallel runner applies rounds outside the
+    simulators). *)
+val events_fired : t -> int
+
+(** [peak_pending t] is the maximum per-shard pending-event peak. *)
+val peak_pending : t -> int
+
+(** [end_time t] is the latest shard clock — the serial run's final
+    [Sim.now]. *)
+val end_time : t -> float
+
+(** [moves t] lists every move in issue order, matching the serial
+    [Cluster.moves]. *)
+val moves : t -> Sharedfs.Cluster.move_record list
+
+(** [finish t] shuts the worker pool down. *)
+val finish : t -> unit

@@ -11,78 +11,140 @@ type config = {
 let default_config =
   { warm_rate = 0.03; cold_penalty = 2.0; dirty_bytes_per_write = 256 }
 
-type entry = { mutable warmth : float; mutable dirty_bytes : int }
+(* Dense arrays indexed by the interned file-set id.  File-set ids are
+   small consecutive ints (the cluster interns names at construction),
+   so direct indexing replaces a hash probe per request, and the warmth
+   update becomes a flat float-array store — the Hashtbl version
+   allocated a [Some] per lookup and boxed every warmth write. *)
+(* fcfg indices: the two per-request config floats live in a flat
+   float array because a float field of a mixed record is a pointer to
+   a box — two dependent loads on the per-request path. *)
+let c_warm_rate = 0
 
-(* Keyed by interned file-set id: one int hash per touch instead of a
-   string hash, and [access] folds the old demand_multiplier +
-   note_request pair into a single lookup. *)
-type t = { cfg : config; entries : (int, entry) Hashtbl.t }
+let c_cold_penalty = 1
+
+type t = {
+  cfg : config;
+  fcfg : float array;
+  mutable warmth_a : float array;
+  mutable dirty_a : int array;
+  mutable present : Bytes.t; (* '\001' when the set has an entry *)
+}
 
 let create ?(config = default_config) () =
   if config.warm_rate < 0.0 || config.warm_rate > 1.0 then
     invalid_arg "Cache.create: warm_rate must lie in [0, 1]";
   if config.cold_penalty < 0.0 then
     invalid_arg "Cache.create: cold_penalty must be non-negative";
-  { cfg = config; entries = Hashtbl.create 64 }
+  {
+    cfg = config;
+    fcfg = [| config.warm_rate; config.cold_penalty |];
+    warmth_a = [||];
+    dirty_a = [||];
+    present = Bytes.empty;
+  }
 
 let config t = t.cfg
 
+let ensure t fs =
+  if fs < 0 then invalid_arg "Cache: negative file-set id";
+  let cap = Array.length t.warmth_a in
+  if fs >= cap then begin
+    let ncap = max (fs + 1) (max 64 (cap * 2)) in
+    let nw = Array.make ncap 0.0 in
+    let nd = Array.make ncap 0 in
+    let np = Bytes.make ncap '\000' in
+    Array.blit t.warmth_a 0 nw 0 cap;
+    Array.blit t.dirty_a 0 nd 0 cap;
+    Bytes.blit t.present 0 np 0 cap;
+    t.warmth_a <- nw;
+    t.dirty_a <- nd;
+    t.present <- np
+  end
+
 let install t ~fs ~warmth =
-  Hashtbl.replace t.entries fs { warmth; dirty_bytes = 0 }
+  ensure t fs;
+  Bytes.set t.present fs '\001';
+  t.warmth_a.(fs) <- warmth;
+  t.dirty_a.(fs) <- 0
 
 let install_cold t ~fs = install t ~fs ~warmth:0.0
 
 let install_warm t ~fs = install t ~fs ~warmth:1.0
 
 let demand_multiplier t ~fs =
-  match Hashtbl.find_opt t.entries fs with
-  | None -> 1.0
-  | Some e -> 1.0 +. (t.cfg.cold_penalty *. (1.0 -. e.warmth))
+  if fs < Array.length t.warmth_a && Bytes.get t.present fs = '\001' then
+    1.0 +. (t.fcfg.(c_cold_penalty) *. (1.0 -. t.warmth_a.(fs)))
+  else 1.0
 
-let touch t e ~dirties =
-  e.warmth <- e.warmth +. (t.cfg.warm_rate *. (1.0 -. e.warmth));
-  if dirties then e.dirty_bytes <- e.dirty_bytes + t.cfg.dirty_bytes_per_write
+let touch t fs ~dirties =
+  t.warmth_a.(fs) <-
+    t.warmth_a.(fs)
+    +. (t.fcfg.(c_warm_rate) *. (1.0 -. t.warmth_a.(fs)));
+  if dirties then t.dirty_a.(fs) <- t.dirty_a.(fs) + t.cfg.dirty_bytes_per_write
 
 let access t ~fs ~dirties =
-  match Hashtbl.find_opt t.entries fs with
-  | Some e ->
-    let multiplier = 1.0 +. (t.cfg.cold_penalty *. (1.0 -. e.warmth)) in
-    touch t e ~dirties;
+  if fs < Array.length t.warmth_a && Bytes.get t.present fs = '\001' then begin
+    let w = t.warmth_a.(fs) in
+    let multiplier = 1.0 +. (t.fcfg.(c_cold_penalty) *. (1.0 -. w)) in
+    (* [touch] inlined: one warmth load feeds both the multiplier and
+       the update, and no label-boxed call sits on the request path. *)
+    t.warmth_a.(fs) <- w +. (t.fcfg.(c_warm_rate) *. (1.0 -. w));
+    if dirties then
+      t.dirty_a.(fs) <- t.dirty_a.(fs) + t.cfg.dirty_bytes_per_write;
     multiplier
-  | None ->
+  end
+  else begin
     (* A request for a set this cache never saw installed: start cold
        but without the cold penalty (matching the historical
        demand_multiplier = 1.0 for unknown sets). *)
-    let e = { warmth = 0.0; dirty_bytes = 0 } in
-    Hashtbl.add t.entries fs e;
-    touch t e ~dirties;
+    ensure t fs;
+    Bytes.set t.present fs '\001';
+    t.warmth_a.(fs) <- 0.0;
+    t.dirty_a.(fs) <- 0;
+    touch t fs ~dirties;
     1.0
+  end
 
 let note_request t ~fs ~dirties =
-  let e =
-    match Hashtbl.find_opt t.entries fs with
-    | Some e -> e
-    | None ->
-      let e = { warmth = 0.0; dirty_bytes = 0 } in
-      Hashtbl.add t.entries fs e;
-      e
-  in
-  touch t e ~dirties
+  if not (fs < Array.length t.warmth_a && Bytes.get t.present fs = '\001')
+  then begin
+    ensure t fs;
+    Bytes.set t.present fs '\001';
+    t.warmth_a.(fs) <- 0.0;
+    t.dirty_a.(fs) <- 0
+  end;
+  touch t fs ~dirties
 
 let warmth t ~fs =
-  match Hashtbl.find_opt t.entries fs with None -> 0.0 | Some e -> e.warmth
+  if fs < Array.length t.warmth_a && Bytes.get t.present fs = '\001' then
+    t.warmth_a.(fs)
+  else 0.0
 
 let dirty_bytes t ~fs =
-  match Hashtbl.find_opt t.entries fs with
-  | None -> 0
-  | Some e -> e.dirty_bytes
+  if fs < Array.length t.dirty_a && Bytes.get t.present fs = '\001' then
+    t.dirty_a.(fs)
+  else 0
 
 let total_dirty_bytes t =
-  Hashtbl.fold (fun _ e acc -> acc + e.dirty_bytes) t.entries 0
+  let acc = ref 0 in
+  for fs = 0 to Array.length t.dirty_a - 1 do
+    if Bytes.get t.present fs = '\001' then acc := !acc + t.dirty_a.(fs)
+  done;
+  !acc
 
 let evict t ~fs =
   let bytes = dirty_bytes t ~fs in
-  Hashtbl.remove t.entries fs;
+  if fs < Array.length t.warmth_a then begin
+    Bytes.set t.present fs '\000';
+    t.warmth_a.(fs) <- 0.0;
+    t.dirty_a.(fs) <- 0
+  end;
   bytes
 
-let resident t = Hashtbl.fold (fun fs _ acc -> fs :: acc) t.entries []
+let resident t =
+  let acc = ref [] in
+  for fs = Array.length t.warmth_a - 1 downto 0 do
+    if Bytes.get t.present fs = '\001' then acc := fs :: !acc
+  done;
+  !acc

@@ -93,6 +93,37 @@ type lock_stats = {
    completion callback is deferred until the grant. *)
 type lock_waiter = { arrival : float; notify : latency:float -> unit }
 
+(* An armed client-lease expiry.  Tracked so the parallel engine can
+   migrate the timers of a moving file set onto the destination
+   shard's simulator (cancel here, rearm there at the same absolute
+   expiry — the event still fires exactly once). *)
+type lease_timer = {
+  lt_key : Lock_manager.key;
+  lt_client : int;
+  lt_expiry : float;
+  mutable lt_sim : Desim.Sim.t;
+  mutable lt_handle : Desim.Sim.handle;
+}
+
+(* Lock state partitioned by file set.  Lock keys are [{fs; ino}], so
+   a single cluster-wide table is already logically partitioned by
+   [fs]; materializing the partition (a) keeps each domain's tables
+   tiny and (b) lets the domain-parallel engine share one [locking]
+   across its per-shard clusters: a file set's lock state is touched
+   only by the shard that currently serves the set, so no two domains
+   ever mutate the same [lock_domain] concurrently (the engine falls
+   back to lockstep execution for the rare handover windows where that
+   could be violated). *)
+type lock_domain = {
+  lm : Lock_manager.t;
+  waits : (Lock_manager.key * int, lock_waiter) Hashtbl.t;
+  mutable lease_timers : lease_timer list;
+}
+
+type locking = { domains : lock_domain option array }
+
+let locking_create ~nfs = { domains = Array.make (max 1 nfs) None }
+
 (* Cluster-wide metric handles, resolved once at creation. *)
 type instruments = {
   registry : Obs.Metrics.t;
@@ -127,10 +158,13 @@ type t = {
   servers : (Server_id.t, Server.t) Hashtbl.t;
   mutable sorted_servers : Server.t list;
       (* cached [servers] result, rebuilt only on membership change *)
+  mutable servers_by_int : Server.t option array;
+      (* dense [Server_id.to_int]-indexed view, built by
+         [set_stream_sink] so the streaming path never hashes an id *)
+  mutable stream_sink : (fs:int -> latency:float -> unit) option;
   ownership : ownership array;  (* indexed by interned file-set id *)
   inflight : (int, buffered) Hashtbl.t;
-  locks : Lock_manager.t;
-  waiting_grants : (Lock_manager.key * int, lock_waiter) Hashtbl.t;
+  locking : locking;  (* per-file-set lock domains; possibly shared *)
   mutable lock_stats : lock_stats;
   mutable next_tag : int;
   mutable move_log : move_record list;
@@ -159,7 +193,7 @@ let rebuild_sorted_servers t =
 
 let create sim ~disk ~catalog ?(move_config = default_move_config)
     ?cache_config ?(lease_duration = 30.0) ?(delegate_lease = 300.0)
-    ~series_interval ~servers ?(obs = Obs.Ctx.null) () =
+    ~series_interval ~servers ?locking ?(obs = Obs.Ctx.null) () =
   if lease_duration <= 0.0 then
     invalid_arg "Cluster.create: lease_duration must be positive";
   if delegate_lease <= 0.0 then
@@ -198,11 +232,15 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       on_torn = None;
       servers = Hashtbl.create 16;
       sorted_servers = [];
+      servers_by_int = [||];
+      stream_sink = None;
       ownership =
         Array.make (max 1 (File_set.Interner.size interner)) Unassigned;
       inflight = Hashtbl.create 1024;
-      locks = Lock_manager.create ();
-      waiting_grants = Hashtbl.create 64;
+      locking =
+        (match locking with
+        | Some l -> l
+        | None -> locking_create ~nfs:(File_set.Interner.size interner));
       lock_stats =
         { granted_immediately = 0; waited = 0; cancelled = 0; leases_expired = 0 };
       next_tag = 0;
@@ -325,33 +363,68 @@ let assign_initial t pairs =
 let lock_key b =
   { Lock_manager.fs = b.fs; ino = abs b.req.Request.path_hash }
 
+(* The lock domain of one file set, created on first lock touch (a
+   workload without lock operations never allocates any). *)
+let domain_of t fs =
+  let ds = t.locking.domains in
+  match ds.(fs) with
+  | Some d -> d
+  | None ->
+    let d =
+      {
+        lm = Lock_manager.create ~size:8 ();
+        waits = Hashtbl.create 8;
+        lease_timers = [];
+      }
+    in
+    ds.(fs) <- Some d;
+    d
+
 (* Fire the deferred completions of clients whose queued acquisitions
    were just granted, and start their leases. *)
-let rec grant_waiters t key granted =
+let rec grant_waiters t d key granted =
   List.iter
     (fun client ->
-      match Hashtbl.find_opt t.waiting_grants (key, client) with
+      match Hashtbl.find_opt d.waits (key, client) with
       | None -> ()
       | Some waiter ->
-        Hashtbl.remove t.waiting_grants (key, client);
-        start_lease t key client;
+        Hashtbl.remove d.waits (key, client);
+        start_lease t d key client;
         waiter.notify ~latency:(Desim.Sim.now t.sim -. waiter.arrival))
     granted
 
 (* Storage Tank's client leases: a hold not released within the lease
    is reclaimed, so no acquisition can block forever behind a client
    that never releases (or has crashed). *)
-and start_lease t key client =
-  let (_ : Desim.Sim.handle) =
-    Desim.Sim.schedule t.sim ~delay:t.lease_duration (fun () ->
-        if List.mem_assoc client (Lock_manager.holders t.locks ~key) then begin
+and start_lease t d key client =
+  let lt =
+    {
+      lt_key = key;
+      lt_client = client;
+      lt_expiry = Desim.Sim.now t.sim +. t.lease_duration;
+      lt_sim = t.sim;
+      lt_handle = Desim.Sim.null_handle;
+    }
+  in
+  d.lease_timers <- lt :: d.lease_timers;
+  arm_lease t d lt
+
+(* [t] is the cluster whose simulator hosts the timer: the original
+   grantor, or — after the parallel engine migrated the file set — the
+   destination shard's cluster (whose clock is the one the expiry
+   latency must be read against). *)
+and arm_lease t d lt =
+  lt.lt_sim <- t.sim;
+  lt.lt_handle <-
+    Desim.Sim.schedule_at t.sim ~time:lt.lt_expiry (fun () ->
+        let key = lt.lt_key and client = lt.lt_client in
+        d.lease_timers <- List.filter (fun x -> x != lt) d.lease_timers;
+        if List.mem_assoc client (Lock_manager.holders d.lm ~key) then begin
           t.lock_stats <-
             { t.lock_stats with leases_expired = t.lock_stats.leases_expired + 1 };
-          let granted = Lock_manager.release t.locks ~key ~client in
-          grant_waiters t key granted
+          let granted = Lock_manager.release d.lm ~key ~client in
+          grant_waiters t d key granted
         end)
-  in
-  ()
 
 (* The server has finished processing the request; apply the lock
    semantics before reporting completion to the client. *)
@@ -359,41 +432,43 @@ let complete_request t b ~latency =
   let req = b.req in
   match req.Request.op with
   | Request.Lock_acquire ->
+    let d = domain_of t b.fs in
     let key = lock_key b in
     let client = req.Request.client in
-    if List.mem_assoc client (Lock_manager.holders t.locks ~key) then
+    if List.mem_assoc client (Lock_manager.holders d.lm ~key) then
       (* Re-acquisition of a held lock: grant immediately. *)
       b.on_complete ~latency
     else begin
-      match Lock_manager.acquire t.locks ~key ~client ~mode:(Request.lock_mode req) with
+      match Lock_manager.acquire d.lm ~key ~client ~mode:(Request.lock_mode req) with
       | `Granted ->
         t.lock_stats <-
           {
             t.lock_stats with
             granted_immediately = t.lock_stats.granted_immediately + 1;
           };
-        start_lease t key client;
+        start_lease t d key client;
         b.on_complete ~latency
       | `Queued ->
         t.lock_stats <- { t.lock_stats with waited = t.lock_stats.waited + 1 };
-        Hashtbl.add t.waiting_grants (key, client)
+        Hashtbl.add d.waits (key, client)
           { arrival = b.arrival; notify = b.on_complete }
     end
   | Request.Lock_release ->
+    let d = domain_of t b.fs in
     let key = lock_key b in
     let client = req.Request.client in
-    let was_waiting = Hashtbl.find_opt t.waiting_grants (key, client) in
-    let granted = Lock_manager.release t.locks ~key ~client in
+    let was_waiting = Hashtbl.find_opt d.waits (key, client) in
+    let granted = Lock_manager.release d.lm ~key ~client in
     (match was_waiting with
     | Some waiter ->
       (* The release cancelled the client's own queued acquisition:
          complete it now so no caller is left hanging. *)
-      Hashtbl.remove t.waiting_grants (key, client);
+      Hashtbl.remove d.waits (key, client);
       t.lock_stats <-
         { t.lock_stats with cancelled = t.lock_stats.cancelled + 1 };
       waiter.notify ~latency:(Desim.Sim.now t.sim -. waiter.arrival)
     | None -> ());
-    grant_waiters t key granted;
+    grant_waiters t d key granted;
     b.on_complete ~latency
   | Request.Open_file | Request.Close_file | Request.Stat | Request.Create
   | Request.Remove | Request.Rename | Request.Readdir | Request.Set_attr ->
@@ -529,6 +604,101 @@ let submit t ~base_demand req ~on_complete =
   match File_set.Interner.find t.interner name with
   | Some fs -> submit_fs t ~fs ~base_demand req ~on_complete
   | None -> failwith ("Cluster.submit: file set never assigned: " ^ name)
+
+(* --- allocation-free streaming submission ---
+
+   Plain operations carry the file-set id itself as the station tag: a
+   completion only needs the set for accounting, so the request costs
+   no closure, no [buffered] record and no [inflight] entry.  Lock
+   operations still need per-request rendezvous state (the waiter
+   tables key on client and path), so they get tags in a disjoint
+   range ([>= lock_base]) that the sink routes through [inflight] and
+   [complete_request] — identical semantics to the closure path.
+   Requests arriving for a set that is mid-move buffer a full
+   [buffered] record, so move replay uses the ordinary [deliver] path
+   unchanged (demand is computed at drain time against the
+   destination's cold cache, exactly as the closure path does). *)
+
+let lock_base = 1 lsl 30
+
+let is_lock_op = function
+  | Request.Lock_acquire | Request.Lock_release -> true
+  | Request.Open_file | Request.Close_file | Request.Stat | Request.Create
+  | Request.Remove | Request.Rename | Request.Readdir | Request.Set_attr ->
+    false
+
+let set_stream_sink t k =
+  t.stream_sink <- Some k;
+  let max_id =
+    List.fold_left
+      (fun m s -> max m (Server_id.to_int (Server.id s)))
+      0 t.sorted_servers
+  in
+  let by_int = Array.make (max_id + 1) None in
+  List.iter
+    (fun s -> by_int.(Server_id.to_int (Server.id s)) <- Some s)
+    t.sorted_servers;
+  t.servers_by_int <- by_int;
+  List.iter
+    (fun s ->
+      Server.set_stream_sink s (fun ~tag ~latency ->
+          if tag < lock_base then begin
+            t.completed_n <- t.completed_n + 1;
+            k ~fs:tag ~latency
+          end
+          else
+            match Hashtbl.find_opt t.inflight tag with
+            | Some b ->
+              Hashtbl.remove t.inflight tag;
+              complete_request t b ~latency
+            | None -> assert false))
+    t.sorted_servers
+
+let stream_server_exn t id =
+  match t.servers_by_int.(Server_id.to_int id) with
+  | Some s -> s
+  | None -> assert false (* set_stream_sink built the table *)
+
+let submit_stream t ~fs ~op ~base_demand ~path_hash ~client =
+  t.submitted_n <- t.submitted_n + 1;
+  match t.ownership.(fs) with
+  | Owned id when not (is_lock_op op) ->
+    Server.submit_stream (stream_server_exn t id) ~fs ~op ~base_demand ~tag:fs
+  | o -> (
+    (* Lock operations and sets caught mid-move take the slow path: a
+       full [buffered] record whose completion feeds the sink. *)
+    let k =
+      match t.stream_sink with
+      | Some k -> k
+      | None -> failwith "Cluster.submit_stream: set_stream_sink first"
+    in
+    let on_complete ~latency =
+      t.completed_n <- t.completed_n + 1;
+      k ~fs ~latency
+    in
+    let req = { Request.op; file_set = fs_name t fs; path_hash; client } in
+    let b =
+      {
+        req;
+        fs;
+        base_demand;
+        arrival = Desim.Sim.now t.sim;
+        span = Obs.Span.none;
+        bspan = Obs.Span.none;
+        on_complete;
+      }
+    in
+    match o with
+    | Owned id ->
+      let tag = lock_base + t.next_tag in
+      t.next_tag <- t.next_tag + 1;
+      Hashtbl.add t.inflight tag b;
+      Server.submit_stream (stream_server_exn t id) ~fs ~op ~base_demand ~tag
+    | Moving { pending; _ } -> Queue.add b pending
+    | Orphaned pending -> Queue.add b pending
+    | Unassigned ->
+      failwith
+        ("Cluster.submit_stream: file set never assigned: " ^ fs_name t fs))
 
 let init_seconds t fs =
   let entry = File_set.Catalog.nth t.catalog fs in
@@ -697,6 +867,91 @@ let move t ~file_set ~dst =
       (fun f ->
         f ~file_set ~src:None ~dst ~flush_seconds:0.0 ~init_seconds)
       t.on_move_start
+
+(* --- cross-shard movement, for the parallel engine ---
+
+   A move whose source and destination servers live on different
+   shards is split into its two halves, each executed on the cluster
+   instance that owns the respective server.  [move_out] is the source
+   half of the serial [move]'s [Owned src] branch (intent journal,
+   shed, flush write, flush time); [move_in] is the destination half
+   (init time, the in-transit buffer, the completion event on the
+   destination shard's simulator).  Both run at a synchronization
+   barrier, when every shard's clock equals the round time, so the
+   recorded times match the serial move exactly. *)
+
+let move_out t ~fs ~dst =
+  match t.ownership.(fs) with
+  | Owned src ->
+    journal t Ledger.Intent
+      (Ledger.Move
+         {
+           file_set = fs_name t fs;
+           src = Some (Server_id.to_int src);
+           dst = Server_id.to_int dst;
+         });
+    let src_server = server t src in
+    let dirty = Server.shed_file_set src_server ~fs in
+    let (_ : float) =
+      Shared_disk.write t.disk ~block:(fs * 1_000_000)
+        (String.make (min (max dirty 1) 4096) 'm')
+    in
+    let flush_seconds =
+      t.move_cfg.flush_fixed +. Shared_disk.transfer_time t.disk ~bytes:dirty
+    in
+    (* The set leaves this shard for good: no further request routes
+       here (the engine flips routing at the same barrier). *)
+    t.ownership.(fs) <- Unassigned;
+    (src, flush_seconds)
+  | Unassigned | Moving _ | Orphaned _ ->
+    invalid_arg ("Cluster.move_out: set not owned here: " ^ fs_name t fs)
+
+let move_in t ~fs ~src ~flush_seconds ~dst =
+  let (_ : Server.t) = server t dst in
+  (match t.ownership.(fs) with
+  | Unassigned -> ()
+  | Owned _ | Moving _ | Orphaned _ ->
+    invalid_arg ("Cluster.move_in: set already present: " ^ fs_name t fs));
+  let init_seconds = init_seconds t fs in
+  let pending = Queue.create () in
+  let handle =
+    Desim.Sim.schedule t.sim ~delay:(flush_seconds +. init_seconds) (fun () ->
+        complete_move t ~fs ~src:(Some src) ~dst pending)
+  in
+  t.ownership.(fs) <-
+    Moving
+      {
+        src = Some src;
+        dst;
+        pending;
+        handle;
+        flush_done_at = Desim.Sim.now t.sim +. flush_seconds;
+        span = Obs.Span.none;
+      };
+  init_seconds
+
+(* Lease timers armed while the source shard owned the set must fire
+   on the destination shard's simulator after the handover — at the
+   same absolute expiry, with the expiry action rebuilt against the
+   destination cluster — so each timer fires exactly once, at the same
+   virtual time, as in the serial run. *)
+let migrate_lease_timers ~src ~dst ~fs =
+  match src.locking.domains.(fs) with
+  | None -> ()
+  | Some d ->
+    List.iter
+      (fun lt ->
+        Desim.Sim.cancel lt.lt_sim lt.lt_handle;
+        arm_lease dst d lt)
+      d.lease_timers
+
+(* In-flight requests for [fs] still at this shard's servers.  After a
+   cross-shard handover their completions touch the (shared) lock
+   domain from this shard, concurrently with the new owner — the
+   engine detects that hazard here and falls back to lockstep until
+   the residue drains. *)
+let inflight_fs t ~fs =
+  Hashtbl.fold (fun _ b acc -> if b.fs = fs then acc + 1 else acc) t.inflight 0
 
 (* The common half of crash and partition handling: the server stops
    serving, its sets are orphaned (journaled), its in-flight moves die,
@@ -1006,7 +1261,13 @@ let ledger t = t.ledger
 
 let set_on_torn t f = t.on_torn <- Some f
 
-let lock_manager t = t.locks
+let lock_active_keys t =
+  Array.fold_left
+    (fun acc d ->
+      match d with None -> acc | Some d -> acc + Lock_manager.active_keys d.lm)
+    0 t.locking.domains
+
+let lock_domain_of t ~fs = (domain_of t fs).lm
 
 let lock_stats t = t.lock_stats
 
@@ -1056,7 +1317,11 @@ let conservation t =
     completed = t.completed_n;
     inflight = Hashtbl.length t.inflight;
     buffered = pending_requests t;
-    lock_waiting = Hashtbl.length t.waiting_grants;
+    lock_waiting =
+      Array.fold_left
+        (fun acc d ->
+          match d with None -> acc | Some d -> acc + Hashtbl.length d.waits)
+        0 t.locking.domains;
   }
 
 (* --- fsck: ledger-vs-memory audit --- *)

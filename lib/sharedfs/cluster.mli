@@ -81,6 +81,17 @@ type fsck_report = {
 
 type t
 
+type locking
+(** The lock service's state, partitioned per file set (lock keys are
+    [{fs; ino}], so file sets never share lock state).  Normally each
+    cluster creates its own; the parallel engine creates one with
+    {!locking_create} and passes it to every shard's {!create} so lock
+    semantics stay cluster-wide while servers are sharded. *)
+
+(** [locking_create ~nfs] makes an empty lock service for [nfs] file
+    sets (interned ids [0 .. nfs-1]). *)
+val locking_create : nfs:int -> locking
+
 (** [lease_duration] bounds every lock hold: a grant not released
     within it is reclaimed (Storage Tank's client leases), which also
     guarantees no request can block forever behind a lost client.
@@ -102,6 +113,7 @@ val create :
   ?delegate_lease:float ->
   series_interval:float ->
   servers:(Server_id.t * float) list ->
+  ?locking:locking ->
   ?obs:Obs.Ctx.t ->
   unit ->
   t
@@ -174,10 +186,39 @@ val submit_fs :
   on_complete:(latency:float -> unit) ->
   unit
 
-(** [lock_manager t] exposes the cluster-wide lock table (one logical
-    service; ownership of a file set's entries travels with the
-    set). *)
-val lock_manager : t -> Lock_manager.t
+(** [set_stream_sink t k] installs the completion sink for
+    {!submit_stream} and builds the dense server lookup the streaming
+    path uses.  Call after {!assign_initial} (membership changes after
+    installation are not supported on the streaming path).  [k] fires
+    once per completed request with the request's interned file-set id
+    and its full latency (including lock waits and move buffering). *)
+val set_stream_sink : t -> (fs:int -> latency:float -> unit) -> unit
+
+(** [submit_stream t ~fs ~op ~base_demand ~path_hash ~client] is the
+    allocation-free counterpart of {!submit_fs}: no request record, no
+    completion closure — completion is reported to the sink installed
+    with {!set_stream_sink}.  Semantics match {!submit_fs} exactly:
+    lock operations pass through the lock service (with deferred
+    grants included in latency), and requests for a set in transit
+    buffer until the move completes.  Requires a fault-free run:
+    streamed requests are not recoverable by {!fail_server}. *)
+val submit_stream :
+  t ->
+  fs:int ->
+  op:Request.op ->
+  base_demand:float ->
+  path_hash:int ->
+  client:int ->
+  unit
+
+(** [lock_active_keys t] counts lock keys with holders or queued
+    requests, summed over every file set's lock domain. *)
+val lock_active_keys : t -> int
+
+(** [lock_domain_of t ~fs] is the lock table of one file set (lock
+    keys are per-[fs], so domains are independent); mostly for
+    tests. *)
+val lock_domain_of : t -> fs:int -> Lock_manager.t
 
 val lock_stats : t -> lock_stats
 
@@ -186,6 +227,44 @@ val lock_stats : t -> lock_stats
     Orphaned sets are adopted with recovery cost instead of flush
     cost. *)
 val move : t -> file_set:string -> dst:Server_id.t -> unit
+
+(** {2 Parallel-engine hooks}
+
+    The domain-parallel streaming engine shards servers across cluster
+    instances (one per domain, each with its own simulator) and moves
+    file sets between shards at synchronization barriers.  These
+    entry points split the serial {!move} into its per-shard halves;
+    ordinary runs never need them. *)
+
+(** [owner_fs t fs] is {!owner} with the file-set id already
+    interned. *)
+val owner_fs : t -> int -> Server_id.t option
+
+(** [move_out t ~fs ~dst] executes the source half of a cross-shard
+    move on the shard owning [fs]: journals the intent, sheds and
+    flushes the set, marks it [Unassigned] here, and returns the
+    source server and the flush time.  Raises [Invalid_argument] when
+    the set is not owned by this shard. *)
+val move_out : t -> fs:int -> dst:Server_id.t -> Server_id.t * float
+
+(** [move_in t ~fs ~src ~flush_seconds ~dst] executes the destination
+    half: starts the in-transit buffer and schedules the move
+    completion on this shard's simulator at
+    [now + flush_seconds + init_seconds]; returns the init time. *)
+val move_in :
+  t -> fs:int -> src:Server_id.t -> flush_seconds:float -> dst:Server_id.t ->
+  float
+
+(** [migrate_lease_timers ~src ~dst ~fs] re-arms every pending lock
+    lease timer of [fs] on the destination shard's simulator at the
+    same absolute expiry (cancelling it at the source), so each timer
+    fires exactly once at the serial run's virtual time. *)
+val migrate_lease_timers : src:t -> dst:t -> fs:int -> unit
+
+(** [inflight_fs t ~fs] counts requests of [fs] delivered to this
+    shard's servers and not yet completed — the engine's handover
+    hazard detector. *)
+val inflight_fs : t -> fs:int -> int
 
 (** [fail_server t id] crashes a server: interrupted and queued
     requests are re-buffered ([requests.rebuffered]), its file sets

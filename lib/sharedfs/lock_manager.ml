@@ -11,7 +11,7 @@ type entry = {
 
 type t = { table : (key, entry) Hashtbl.t }
 
-let create () = { table = Hashtbl.create 256 }
+let create ?(size = 256) () = { table = Hashtbl.create size }
 
 let entry_of t key =
   match Hashtbl.find_opt t.table key with

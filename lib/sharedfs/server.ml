@@ -13,6 +13,7 @@ type t = {
   station : Desim.Station.t;
   cache : Cache.t;
   sim : Desim.Sim.t;
+  clockc : float array; (* Sim.time_cell: unboxed clock reads in observe *)
   window : Desim.Welford.t;
   series : Desim.Timeseries.t;
   mutable next_tag : int;
@@ -41,6 +42,7 @@ let create sim ~id ~speed ?cache_config ~series_interval
         ~name:(Format.asprintf "%a" Server_id.pp id)
         ~speed;
     cache = Cache.create ?config:cache_config ();
+    clockc = Desim.Sim.time_cell sim;
     sim;
     window = Desim.Welford.create ();
     series = Desim.Timeseries.create ~interval:series_interval;
@@ -56,7 +58,7 @@ let set_speed t s = Desim.Station.set_speed t.station s
 
 let observe t ~latency =
   Desim.Welford.add t.window latency;
-  Desim.Timeseries.observe t.series ~time:(Desim.Sim.now t.sim) latency;
+  Desim.Timeseries.observe t.series ~time:t.clockc.(0) latency;
   match t.instruments with
   | None -> ()
   | Some i ->
@@ -64,6 +66,27 @@ let observe t ~latency =
     Obs.Metrics.Histogram.observe i.latency_hist latency;
     Obs.Metrics.Gauge.set i.queue_depth
       (float_of_int (Desim.Station.queue_length t.station))
+
+(* Allocation-free submission: same demand formula as [submit], but no
+   per-request completion closure — the job's completion is reported to
+   the station sink installed by [set_stream_sink], identified by
+   [tag].  The cluster uses the file-set id as the tag for plain
+   requests (a completion only needs the set for accounting) and a
+   disjoint tag range for lock operations that must rendezvous with
+   per-request state. *)
+let submit_stream t ~fs ~op ~base_demand ~tag =
+  let multiplier =
+    Cache.access t.cache ~fs ~dirties:(Request.dirties_cache op)
+  in
+  let demand = base_demand *. Request.demand_factor op *. multiplier in
+  Desim.Station.submit_tagged t.station ~demand ~tag
+
+(* The sink observes first (exactly where the legacy closure observed)
+   and then hands the completion to the cluster's dispatcher. *)
+let set_stream_sink t k =
+  Desim.Station.set_sink t.station (fun ~tag ~latency ->
+      observe t ~latency;
+      k ~tag ~latency)
 
 let submit t ~fs ~base_demand ?tag ?(extra_latency = 0.0) ?on_start req
     ~on_complete =

@@ -63,6 +63,21 @@ val submit :
   on_complete:(latency:float -> unit) ->
   unit
 
+(** [submit_stream t ~fs ~op ~base_demand ~tag] is the allocation-free
+    counterpart of {!submit}: the same demand formula (operation factor
+    times cache multiplier), but no per-request closure — completion is
+    reported to the sink installed with {!set_stream_sink}, identified
+    by [tag].  No [extra_latency], no [on_start], no per-request
+    instruments update: callers gate on those features being off. *)
+val submit_stream :
+  t -> fs:int -> op:Request.op -> base_demand:float -> tag:int -> unit
+
+(** [set_stream_sink t k] installs the completion sink used by
+    {!submit_stream} jobs.  The server records the latency in its
+    window and series (exactly as {!submit} does) before calling
+    [k ~tag ~latency]. *)
+val set_stream_sink : t -> (tag:int -> latency:float -> unit) -> unit
+
 val queue_length : t -> int
 
 val completed : t -> int

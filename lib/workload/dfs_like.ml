@@ -103,16 +103,18 @@ let stream config =
   done;
   let grand = !grand in
   let pick_set s v =
+    (* Iterative binary search: an inner [let rec] closure would
+       allocate per call without flambda, and this runs once per
+       generated request. *)
     let target = v *. slot_total.(s) in
     let col = cond_cum.(s) in
-    let rec go lo hi =
-      if lo >= hi then lo
-      else begin
-        let mid = (lo + hi) / 2 in
-        if col.(mid) < target then go (mid + 1) hi else go lo mid
-      end
-    in
-    go 0 (n - 1)
+    let lo = ref 0 in
+    let hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if col.(mid) < target then lo := mid + 1 else hi := mid
+    done;
+    !lo
   in
   let names = Array.init n name_of in
   let fresh () =
@@ -174,7 +176,66 @@ let stream config =
           }
       end
   in
-  Stream.make ~duration:config.duration ~total:config.requests
-    ~file_sets:(Array.to_list names) ~fresh
+  (* The batch cursor is the item cursor transposed: the same draws in
+     the same order per request, writing column arrays instead of
+     building [item] / [Request.t] records — the identical sequence,
+     without the ~16 heap words per generated arrival.  The sorted
+     arrival walk ([Stream.sorted_uniforms]) is inlined so its state
+     lives in a float cell instead of a boxed ref. *)
+  let fresh_batch () =
+    let rng = Desim.Rng.create config.seed in
+    for _ = 1 to n * slots do
+      ignore (Desim.Rng.float rng)
+    done;
+    let arrivals = Desim.Rng.split rng in
+    let emitted = ref 0 in
+    let slot = ref 0 in
+    let vcell = [| 0.0 |] in
+    fun (c : Stream.cols) ->
+      let cap = Array.length c.times in
+      let count = min cap (config.requests - !emitted) in
+      let base = !emitted in
+      for j = 0 to count - 1 do
+        (* Inlined [sorted_uniforms arrivals ~n:requests ~lo:0.0
+           ~hi:1.0]: conditional law of the next order statistic. *)
+        let remaining = config.requests - (base + j) in
+        let u = Desim.Rng.float arrivals in
+        let v0 = vcell.(0) in
+        let v =
+          v0
+          +. (1.0 -. v0)
+             *. (1.0 -. ((1.0 -. u) ** (1.0 /. float_of_int remaining)))
+        in
+        vcell.(0) <- v;
+        let target = v *. grand in
+        while !slot < slots - 1 && slot_cum.(!slot) < target do
+          incr slot
+        done;
+        let s = !slot in
+        let before = if s = 0 then 0.0 else slot_cum.(s - 1) in
+        let within =
+          Float.min 1.0 (Float.max 0.0 ((target -. before) /. slot_total.(s)))
+        in
+        let slot_lo = float_of_int s *. config.slot_seconds in
+        let slot_hi =
+          Float.min config.duration (slot_lo +. config.slot_seconds)
+        in
+        c.times.(j) <- slot_lo +. (within *. (slot_hi -. slot_lo));
+        let i = pick_set s (Desim.Rng.float arrivals) in
+        c.fs.(j) <- i;
+        c.ops.(j) <- Trace.sample_op arrivals;
+        c.demand.(j) <-
+          Desim.Rng.erlang arrivals ~shape:config.demand_shape
+            ~mean:config.mean_demand;
+        c.client.(j) <-
+          (if Desim.Rng.float arrivals < 0.9 then i
+           else Desim.Rng.int arrivals config.file_sets);
+        c.path.(j) <- Desim.Rng.int arrivals 1_000_000
+      done;
+      emitted := base + count;
+      count
+  in
+  Stream.make ~fresh_batch ~duration:config.duration ~total:config.requests
+    ~file_sets:(Array.to_list names) ~fresh ()
 
 let generate config = Stream.to_trace (stream config)

@@ -289,7 +289,7 @@ let stream config =
       end
   in
   Stream.make ~duration:config.duration ~total ~file_sets:(Array.to_list names)
-    ~fresh
+    ~fresh ()
 
 let generate config = Stream.to_trace (stream config)
 

@@ -96,6 +96,6 @@ let stream config =
       end
   in
   Stream.make ~duration:config.duration ~total:config.requests
-    ~file_sets:(Array.to_list names) ~fresh
+    ~file_sets:(Array.to_list names) ~fresh ()
 
 let generate config = Stream.to_trace (stream config)

@@ -7,18 +7,50 @@ type item = {
 
 type cursor = unit -> item option
 
+(* Column layout for the allocation-free driver path: one parallel
+   array per item field, so a generator can emit a batch of requests
+   without building an [item] (or [Request.t]) record per arrival.
+   [file_set] is represented only by its interned id; consumers that
+   need the name resolve it through their own table. *)
+type cols = {
+  times : float array;
+  fs : int array;
+  ops : Sharedfs.Request.op array;
+  path : int array;
+  client : int array;
+  demand : float array;
+}
+
+(* [fill cols] writes at most [Array.length cols.times] items and
+   returns how many were written; 0 means exhausted.  Successive calls
+   continue the stream, and times are nondecreasing across the whole
+   sequence. *)
+type batch_cursor = cols -> int
+
+let make_cols n =
+  if n <= 0 then invalid_arg "Stream.make_cols: non-positive size";
+  {
+    times = Array.make n 0.0;
+    fs = Array.make n 0;
+    ops = Array.make n Sharedfs.Request.Stat;
+    path = Array.make n 0;
+    client = Array.make n 0;
+    demand = Array.make n 0.0;
+  }
+
 type t = {
   duration : float;
   total : int;
   file_sets : string list;
   fresh : unit -> cursor;
+  fresh_batch : (unit -> batch_cursor) option;
 }
 
-let make ~duration ~total ~file_sets ~fresh =
+let make ?fresh_batch ~duration ~total ~file_sets ~fresh () =
   if duration <= 0.0 then
     invalid_arg "Stream.make: non-positive duration";
   if total < 0 then invalid_arg "Stream.make: negative total";
-  { duration; total; file_sets; fresh }
+  { duration; total; file_sets; fresh; fresh_batch }
 
 let duration t = t.duration
 
@@ -27,6 +59,8 @@ let total t = t.total
 let file_sets t = t.file_sets
 
 let start t = t.fresh ()
+
+let start_batch t = Option.map (fun f -> f ()) t.fresh_batch
 
 let iter f t =
   let c = start t in
@@ -98,4 +132,24 @@ let of_trace trace =
         Some it
       end
   in
-  make ~duration:(Trace.duration trace) ~total:n ~file_sets:names ~fresh
+  let fresh_batch () =
+    let i = ref 0 in
+    fun (c : cols) ->
+      let cap = Array.length c.times in
+      let count = min cap (n - !i) in
+      let base = !i in
+      for j = 0 to count - 1 do
+        let r = records.(base + j) in
+        let req = r.Trace.request in
+        c.times.(j) <- r.Trace.time;
+        c.fs.(j) <- fs_of.(base + j);
+        c.ops.(j) <- req.Sharedfs.Request.op;
+        c.path.(j) <- req.Sharedfs.Request.path_hash;
+        c.client.(j) <- req.Sharedfs.Request.client;
+        c.demand.(j) <- r.Trace.demand
+      done;
+      i := base + count;
+      count
+  in
+  make ~fresh_batch ~duration:(Trace.duration trace) ~total:n ~file_sets:names
+    ~fresh ()

@@ -26,17 +26,45 @@ type item = {
     exhausted.  Times never decrease across successive calls. *)
 type cursor = unit -> item option
 
+(** Column layout for the allocation-free driver path: parallel arrays,
+    one per {!item} field, with the file set as its dense id only.  A
+    batch cursor writes rows instead of building [item] / [Request.t]
+    records, which is what keeps the streaming driver's per-request
+    allocation near zero. *)
+type cols = {
+  times : float array;
+  fs : int array;
+  ops : Sharedfs.Request.op array;
+  path : int array;
+  client : int array;
+  demand : float array;
+}
+
+(** [fill cols] writes at most [Array.length cols.times] rows and
+    returns how many it wrote; [0] means exhausted.  Successive calls
+    continue the sequence, and times never decrease across the whole
+    stream — a batch cursor yields exactly the rows the item cursor
+    yields, field for field. *)
+type batch_cursor = cols -> int
+
+(** [make_cols n] allocates a column buffer of capacity [n]. *)
+val make_cols : int -> cols
+
 type t
 
-(** [make ~duration ~total ~file_sets ~fresh] wraps a generator.
+(** [make ~duration ~total ~file_sets ~fresh ()] wraps a generator.
     [file_sets] lists every name the stream may emit, in id order;
     [total] is the exact number of items a cursor yields; [fresh]
-    builds an independent cursor positioned at the first request. *)
+    builds an independent cursor positioned at the first request.
+    [fresh_batch], when given, builds an independent {e batch} cursor
+    producing the identical sequence in column form. *)
 val make :
+  ?fresh_batch:(unit -> batch_cursor) ->
   duration:float ->
   total:int ->
   file_sets:string list ->
   fresh:(unit -> cursor) ->
+  unit ->
   t
 
 val duration : t -> float
@@ -50,6 +78,10 @@ val file_sets : t -> string list
 
 (** [start t] begins an independent replay of the stream. *)
 val start : t -> cursor
+
+(** [start_batch t] begins an independent column-form replay, when the
+    generator provides one ({!of_trace} and the DFS generator do). *)
+val start_batch : t -> batch_cursor option
 
 val iter : (item -> unit) -> t -> unit
 

@@ -121,15 +121,30 @@ let op_mix =
       (Lock_release, 0.02);
     ]
 
+(* Cumulative thresholds precomputed once (same left-to-right [+.]
+   accumulation as the original list walk, so the cut points are
+   bit-identical); the draw itself is then one uniform and an
+   allocation-free scan over two flat arrays. *)
+let op_mix_ops = Array.of_list (List.map fst op_mix)
+
+let op_mix_cum =
+  let a = Array.make (Array.length op_mix_ops) 0.0 in
+  let acc = ref 0.0 in
+  List.iteri
+    (fun i (_, p) ->
+      acc := !acc +. p;
+      a.(i) <- !acc)
+    op_mix;
+  a
+
 let sample_op rng =
   let u = Desim.Rng.float rng in
-  let rec pick acc = function
-    | [] -> Sharedfs.Request.Stat
-    | (op, p) :: rest ->
-      let acc = acc +. p in
-      if u < acc then op else pick acc rest
-  in
-  pick 0.0 op_mix
+  let n = Array.length op_mix_cum in
+  let i = ref 0 in
+  while !i < n && u >= op_mix_cum.(!i) do
+    incr i
+  done;
+  if !i >= n then Sharedfs.Request.Stat else op_mix_ops.(!i)
 
 let merge a b =
   let duration = Float.max a.duration b.duration in

@@ -223,4 +223,4 @@ let stream ~path =
     in
     next
   in
-  Stream.make ~duration ~total:!count ~file_sets:(Array.to_list names) ~fresh
+  Stream.make ~duration ~total:!count ~file_sets:(Array.to_list names) ~fresh ()

@@ -110,6 +110,72 @@ let test_run_until_with_cancelled_head () =
   check_bool "later event untouched" false !fired;
   check_float "clock" 2.0 (Sim.now sim)
 
+(* Regression: a tombstone sitting at the heap head must be invisible
+   to every consumer of "what fires next".  The hot-path scheduler
+   leaves cancelled events in place until they bubble up, so peeking
+   paths (next_event_time, the step source-vs-heap merge) have to
+   purge first or they would compare against a time that will never
+   fire. *)
+let test_tombstone_at_head_invisible () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let h1 = Sim.schedule_at sim ~time:1.0 (fun () -> log := 1.0 :: !log) in
+  let (_ : Sim.handle) =
+    Sim.schedule_at sim ~time:3.0 (fun () -> log := 3.0 :: !log)
+  in
+  Sim.cancel sim h1;
+  (* The dead head must not masquerade as the next event. *)
+  check_float "next_event_time skips tombstone" 3.0 (Sim.next_event_time sim);
+  (* The step source/heap merge must compare against the live head:
+     a source event at t=2 fires before the t=3 heap event even though
+     the (dead) heap head carried t=1. *)
+  let source_next = [| 2.0 |] in
+  Sim.set_source sim ~next:source_next
+    ~fire:(fun () ->
+      log := 2.0 :: !log;
+      source_next.(0) <- Float.infinity);
+  Sim.run sim;
+  Alcotest.(check (list (float 0.0)))
+    "source beat the live head; tombstone never fired" [ 2.0; 3.0 ]
+    (List.rev !log);
+  check_int "tombstones are not counted as fired" 2 (Sim.events_fired sim)
+
+let test_tombstones_all_dead_reports_idle () =
+  let sim = Sim.create () in
+  let handles =
+    List.init 5 (fun i ->
+        Sim.schedule_at sim ~time:(float_of_int (i + 1)) (fun () -> ()))
+  in
+  List.iter (Sim.cancel sim) handles;
+  check_float "idle" Float.infinity (Sim.next_event_time sim);
+  check_bool "step finds nothing" false (Sim.step sim);
+  check_int "nothing fired" 0 (Sim.events_fired sim)
+
+let test_cancel_storm_with_compaction_keeps_order () =
+  (* Enough cancellations to cross the compaction threshold, with the
+     head repeatedly among the dead: survivors still fire in (time,
+     seq) order and the fired counter sees only them. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let handles =
+    Array.init 256 (fun i ->
+        let t = float_of_int (i mod 16) in
+        Sim.schedule_at sim ~time:t (fun () -> log := (t, i) :: !log))
+  in
+  Array.iteri
+    (fun i h -> if i mod 4 <> 3 then Sim.cancel sim h)
+    handles;
+  Sim.run sim;
+  let fired = List.rev !log in
+  check_int "only survivors fired" 64 (List.length fired);
+  check_int "fired counter matches" 64 (Sim.events_fired sim);
+  let expect =
+    List.filter (fun i -> i mod 4 = 3) (List.init 256 Fun.id)
+    |> List.map (fun i -> (float_of_int (i mod 16), i))
+    |> List.stable_sort (fun (t1, _) (t2, _) -> Float.compare t1 t2)
+  in
+  check_bool "survivor order is (time, insertion) sorted" true (fired = expect)
+
 let test_events_fired_counter () =
   let sim = Sim.create () in
   for i = 1 to 5 do
@@ -163,6 +229,12 @@ let suite =
     Alcotest.test_case "run_until" `Quick test_run_until;
     Alcotest.test_case "run_until skips cancelled head" `Quick
       test_run_until_with_cancelled_head;
+    Alcotest.test_case "tombstone at head is invisible" `Quick
+      test_tombstone_at_head_invisible;
+    Alcotest.test_case "all-dead heap reports idle" `Quick
+      test_tombstones_all_dead_reports_idle;
+    Alcotest.test_case "cancel storm + compaction keeps order" `Quick
+      test_cancel_storm_with_compaction_keeps_order;
     Alcotest.test_case "events_fired counter" `Quick test_events_fired_counter;
     Alcotest.test_case "step" `Quick test_step;
     Alcotest.test_case "on_event hook" `Quick test_on_event_hook;
