@@ -368,15 +368,41 @@ let chaos_duration_t =
         ~doc:"short (CI smoke, ~10x smaller workload) or full.")
 
 let chaos_plan_t =
+  (* Resolved through the library's plan registry rather than a
+     hard-coded enum, so an unknown name reports exactly the plans that
+     exist — and a mix added to the registry is picked up here with no
+     CLI change. *)
+  let plan_conv =
+    let parse s =
+      match Experiments.Chaos.plan_kind_of_name s with
+      | Some kind -> Ok kind
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown fault plan %S; registered plans are: %s" s
+                (String.concat ", " Experiments.Chaos.plan_names)))
+    in
+    let print ppf kind =
+      let name, _ =
+        List.find (fun (_, k) -> k = kind) Experiments.Chaos.plan_kinds
+      in
+      Format.pp_print_string ppf name
+    in
+    Arg.conv (parse, print)
+  in
   Arg.(
     value
-    & opt (enum [ ("default", `Default); ("partition", `Partition) ]) `Default
+    & opt plan_conv `Default
     & info [ "plan" ] ~docv:"PLAN"
         ~doc:
           "Stock fault mix: default (crashes, report loss, mid-move \
-           crashes, a disk stall) or partition (the delegate loses the \
+           crashes, a disk stall), partition (the delegate loses the \
            cluster network mid-move, a second server loses its disk path, \
-           one ledger append tears).")
+           one ledger append tears) or domain (correlated whole-rack \
+           faults over the two-rack paper topology: rack0 is partitioned \
+           and heals, then rack1 crashes whole and recovers, with the \
+           domain-spread and collateral invariants armed).")
 
 (* Every fault spec kind a plan can carry, straight from the library so
    --help can never drift from the implementation. *)

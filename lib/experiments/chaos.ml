@@ -36,6 +36,17 @@ type summary = {
   survived : bool;
 }
 
+let plan_kinds =
+  [
+    ("default", `Default);
+    ("partition", `Partition);
+    ("domain", `Domain);
+  ]
+
+let plan_names = List.map fst plan_kinds
+
+let plan_kind_of_name name = List.assoc_opt name plan_kinds
+
 let run ?(quick = false) ?plan ?(plan_kind = `Default) ~seed ~spec () =
   let trace = trace ~quick ~seed in
   let duration = Workload.Trace.duration trace in
@@ -45,12 +56,22 @@ let run ?(quick = false) ?plan ?(plan_kind = `Default) ~seed ~spec () =
     | None -> (
       match plan_kind with
       | `Default -> Fault.Plan.default ~seed ~duration
-      | `Partition -> Fault.Plan.partition_mix ~seed ~duration)
+      | `Partition -> Fault.Plan.partition_mix ~seed ~duration
+      | `Domain -> Fault.Plan.domain_mix ~seed ~duration)
+  in
+  (* The domain mix is written against the stock two-rack paper
+     topology; the other mixes keep the flat (pre-topology) cluster so
+     their summaries stay byte-identical to earlier releases. *)
+  let scenario =
+    match plan_kind with
+    | `Domain ->
+      { Scenario.default with Scenario.topology = Some Scenario.paper_topology }
+    | `Default | `Partition -> Scenario.default
   in
   let obs = Obs.Ctx.create ~metrics:(Obs.Metrics.create ()) () in
   let cluster = ref None in
   let result =
-    Runner.run Scenario.default spec ~trace ~obs ~faults:plan
+    Runner.run scenario spec ~trace ~obs ~faults:plan
       ~on_cluster:(fun c -> cluster := Some c)
       ()
   in

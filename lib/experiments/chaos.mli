@@ -42,19 +42,34 @@ type summary = {
           {e and} the post-run fsck came back clean *)
 }
 
+(** The registered stock fault mixes, by CLI name, in registration
+    order: ["default"], ["partition"], ["domain"].  The CLI resolves
+    [--plan] through this table and lists these names when the lookup
+    fails. *)
+val plan_kinds : (string * [ `Default | `Partition | `Domain ]) list
+
+(** [List.map fst plan_kinds]. *)
+val plan_names : string list
+
+val plan_kind_of_name : string -> [ `Default | `Partition | `Domain ] option
+
 (** [run ~seed ~spec ()] executes one chaos run.
 
     [quick] (default false) shrinks the workload tenfold — the CI
     smoke setting.  [plan] overrides the fault plan outright;
     otherwise [plan_kind] picks the stock mix:
-    [`Default] ([Fault.Plan.default ~seed ~duration]) or [`Partition]
+    [`Default] ([Fault.Plan.default ~seed ~duration]), [`Partition]
     ([Fault.Plan.partition_mix ~seed ~duration], the fencing/ledger
-    exercise).  The workload generator is seeded from [seed] too, so
-    the whole run replays from one number. *)
+    exercise) or [`Domain] ([Fault.Plan.domain_mix ~seed ~duration],
+    correlated whole-rack faults — this kind alone runs over the
+    two-rack {!Scenario.paper_topology} instead of the flat cluster,
+    arming the domain-spread and collateral invariants).  The workload
+    generator is seeded from [seed] too, so the whole run replays from
+    one number. *)
 val run :
   ?quick:bool ->
   ?plan:Fault.Plan.t ->
-  ?plan_kind:[ `Default | `Partition ] ->
+  ?plan_kind:[ `Default | `Partition | `Domain ] ->
   seed:int ->
   spec:Scenario.policy_spec ->
   unit ->

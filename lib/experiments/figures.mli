@@ -88,6 +88,16 @@ val failure_recovery_chaos :
 val partition_chaos :
   ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
+(** Extension: collateral damage under correlated whole-domain
+    failure.  Spread-constrained ANU over 2-, 3- and 5-rack layouts of
+    the paper's five servers — plus an unconstrained baseline on the
+    two-rack layout — under {!Fault.Plan.domain_mix} (seed 42, so the
+    figure is byte-reproducible).  The constrained runs hold the
+    domain-spread and collateral-bound invariants at every rack count;
+    the baseline violates them when the fast rack dies whole. *)
+val domain_failure_collateral :
+  ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
+
 (** [dfs_stream ~requests] is the figure-6 workload as a pull stream
     at an arbitrary request count: the count scales while the mean
     demand scales inversely, holding offered load at the figure's

@@ -176,7 +176,8 @@ let run_stream_serial scenario spec ~stream ~events ~obs ?faults
     Sharedfs.Cluster.create sim ~disk ~catalog
       ~move_config:scenario.Scenario.move_config
       ?cache_config:scenario.Scenario.cache_config
-      ~series_interval:scenario.Scenario.series_interval ~servers ~obs ()
+      ~series_interval:scenario.Scenario.series_interval ~servers
+      ?topology:scenario.Scenario.topology ~obs ()
   in
   Option.iter (fun f -> f cluster) on_cluster;
   (* The root span: everything else in the trace nests (directly or
@@ -365,6 +366,138 @@ let run_stream_serial scenario spec ~stream ~events ~obs ?faults
       check_now ()
     end
   in
+  (* Atomic domain transitions.  Every member changes state first,
+     then the policy learns of each departure/arrival, and only then
+     does ONE reconcile re-place the orphans — so a file set can never
+     be parked on a member the same correlated fault is about to kill —
+     followed by ONE invariant sweep.  One delegate re-election covers
+     the whole domain even when it held the lease.  Members already in
+     the target state are skipped individually, keeping domain faults
+     idempotent against overlapping per-server faults. *)
+  let do_crash_domain ~domain:_ members =
+    let victims =
+      List.filter
+        (fun id ->
+          Sharedfs.Cluster.mem_server cluster id
+          && not (Sharedfs.Server.failed (Sharedfs.Cluster.server cluster id)))
+        members
+    in
+    match victims with
+    | [] -> ()
+    | _ ->
+      let now = Desim.Sim.now sim in
+      let delegate_dies =
+        match
+          Sharedfs.Delegate.elect ~alive:(Sharedfs.Cluster.alive_ids cluster)
+        with
+        | Some d -> List.exists (Id.equal d) victims
+        | None -> false
+      in
+      List.iter
+        (fun id ->
+          ignore (Sharedfs.Cluster.fail_server cluster id : string list))
+        victims;
+      if delegate_dies then do_delegate_crash ();
+      List.iter (fun id -> policy.Placement.Policy.server_failed id) victims;
+      List.iter
+        (fun id -> emit_membership ~time:now (Id.to_int id) Obs.Event.Failed)
+        victims;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"domain-crash" moved;
+      check_now ()
+  in
+  let do_recover_domain ~domain:_ members =
+    let back =
+      List.filter
+        (fun id ->
+          Sharedfs.Cluster.mem_server cluster id
+          && Sharedfs.Server.failed (Sharedfs.Cluster.server cluster id))
+        members
+    in
+    match back with
+    | [] -> ()
+    | _ ->
+      let now = Desim.Sim.now sim in
+      List.iter (fun id -> Sharedfs.Cluster.recover_server cluster id) back;
+      List.iter (fun id -> policy.Placement.Policy.server_added id) back;
+      List.iter
+        (fun id ->
+          emit_membership ~time:now (Id.to_int id) Obs.Event.Recovered)
+        back;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"domain-recover" moved;
+      check_now ()
+  in
+  let do_partition_domain ~domain:_ members ~link =
+    let victims =
+      List.filter
+        (fun id ->
+          Sharedfs.Cluster.mem_server cluster id
+          && (not (Sharedfs.Server.failed (Sharedfs.Cluster.server cluster id)))
+          && not (Sharedfs.Cluster.is_partitioned cluster id))
+        members
+    in
+    match victims with
+    | [] -> ()
+    | _ ->
+      let now = Desim.Sim.now sim in
+      let delegate_dies =
+        match
+          Sharedfs.Delegate.elect ~alive:(Sharedfs.Cluster.alive_ids cluster)
+        with
+        | Some d -> List.exists (Id.equal d) victims
+        | None -> false
+      in
+      (* Fence every member first (inside [partition_server]), then
+         re-elect once: the isolated domain may still believe it holds
+         the lease, but its writes are already dead on arrival. *)
+      List.iter
+        (fun id ->
+          ignore
+            (Sharedfs.Cluster.partition_server cluster id ~link : string list))
+        victims;
+      if delegate_dies then do_delegate_crash ();
+      List.iter (fun id -> policy.Placement.Policy.server_failed id) victims;
+      List.iter
+        (fun id -> emit_partition ~time:now id ~link ~healed:false)
+        victims;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"domain-partition" moved;
+      check_now ()
+  in
+  let do_heal_domain ~domain:_ members =
+    let back =
+      List.filter
+        (fun id ->
+          Sharedfs.Cluster.mem_server cluster id
+          && Sharedfs.Cluster.is_partitioned cluster id)
+        members
+    in
+    match back with
+    | [] -> ()
+    | _ ->
+      let now = Desim.Sim.now sim in
+      let links =
+        List.map
+          (fun id ->
+            match
+              List.assoc_opt id (Sharedfs.Cluster.partitioned_servers cluster)
+            with
+            | Some l -> (id, l)
+            | None -> (id, `Cluster))
+          back
+      in
+      List.iter (fun id -> Sharedfs.Cluster.recover_server cluster id) back;
+      List.iter (fun id -> policy.Placement.Policy.server_added id) back;
+      List.iter
+        (fun (id, link) ->
+          emit_partition ~time:now id ~link ~healed:true;
+          emit_membership ~time:now (Id.to_int id) Obs.Event.Recovered)
+        links;
+      let moved = reconcile cluster policy names in
+      emit_rehash ~time:now ~trigger:"domain-heal" moved;
+      check_now ()
+  in
   let injector =
     Option.map
       (fun plan ->
@@ -376,6 +509,10 @@ let run_stream_serial scenario spec ~stream ~events ~obs ?faults
               crash_delegate = do_delegate_crash;
               partition_server = do_partition;
               heal_server = do_heal;
+              crash_domain = do_crash_domain;
+              recover_domain = do_recover_domain;
+              partition_domain = do_partition_domain;
+              heal_domain = do_heal_domain;
             }
           plan)
       faults

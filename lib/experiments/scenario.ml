@@ -14,6 +14,7 @@ type t = {
   hash_seed : int;
   move_config : Sharedfs.Cluster.move_config;
   cache_config : Sharedfs.Cache.config option;
+  topology : Sharedfs.Topology.t option;
 }
 
 let paper_servers = [ (0, 1.0); (1, 3.0); (2, 5.0); (3, 7.0); (4, 9.0) ]
@@ -27,7 +28,44 @@ let default =
     hash_seed = 5;
     move_config = Sharedfs.Cluster.default_move_config;
     cache_config = None;
+    topology = None;
   }
+
+(* Contiguous chunking of [servers] into [domains] racks, sized as
+   evenly as possible with the remainder spread over the later racks:
+   5 servers over 2 racks -> 2+3, over 3 racks -> 1+2+2.  Later racks
+   are larger, so under the paper's ascending speeds the fast servers
+   share a rack — the layout that makes flat tuning concentrate the
+   most interval inside one failure domain. *)
+let rack_topology ?(servers = paper_servers) ~domains () =
+  if domains < 1 then invalid_arg "Scenario.rack_topology: domains must be >= 1";
+  let ids = List.map (fun (id, _) -> Sharedfs.Server_id.of_int id) servers in
+  let n = List.length ids in
+  if domains > n then
+    invalid_arg "Scenario.rack_topology: more domains than servers";
+  let base = n / domains and extra = n mod domains in
+  let rec take k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> ([], [])
+    | id :: rest ->
+      let chunk, rest = take (k - 1) rest in
+      (id :: chunk, rest)
+  in
+  let rec chunks i ids =
+    if i >= domains then []
+    else
+      let size = base + if i >= domains - extra then 1 else 0 in
+      let chunk, rest = take size ids in
+      {
+        Sharedfs.Topology.name = Printf.sprintf "rack%d" i;
+        kind = Sharedfs.Topology.Rack;
+        servers = chunk;
+      }
+      :: chunks (i + 1) rest
+  in
+  Sharedfs.Topology.make (chunks 0 ids)
+
+let paper_topology = rack_topology ~domains:2 ()
 
 let policy_name = function
   | Simple_random -> "simple-random"
@@ -61,7 +99,8 @@ let make_policy spec ~scenario ~file_sets =
   | Anu cfg ->
     let family = Hashlib.Hash_family.create ~seed:scenario.hash_seed in
     Placement.Anu.policy
-      (Placement.Anu.create ~config:cfg ~family ~servers:server_ids ())
+      (Placement.Anu.create ~config:cfg ?topology:scenario.topology ~family
+         ~servers:server_ids ())
   | Gossip cfg ->
     let family = Hashlib.Hash_family.create ~seed:scenario.hash_seed in
     Placement.Gossip.policy

@@ -24,6 +24,10 @@ type t = {
   hash_seed : int;
   move_config : Sharedfs.Cluster.move_config;
   cache_config : Sharedfs.Cache.config option;
+  topology : Sharedfs.Topology.t option;
+      (** failure-domain layout handed to the cluster and (for ANU) the
+          placement policy; [None] means flat — the pre-topology
+          behaviour, byte-identical to earlier releases *)
 }
 
 (** The paper's five heterogeneous servers: speeds 1, 3, 5, 7, 9. *)
@@ -31,6 +35,20 @@ val paper_servers : (int * float) list
 
 (** Two-minute reconfiguration over {!paper_servers}. *)
 val default : t
+
+(** [rack_topology ~domains ()] chunks [servers] (default
+    {!paper_servers}) into [domains] contiguous racks named ["rack0"],
+    ["rack1"], …, sized as evenly as possible with any remainder going
+    to the later racks (5 servers over 2 racks is 2+3; over 3 racks,
+    1+2+2).  Raises [Invalid_argument] when [domains] is not in
+    [\[1, #servers\]]. *)
+val rack_topology :
+  ?servers:(int * float) list -> domains:int -> unit -> Sharedfs.Topology.t
+
+(** Two racks over {!paper_servers}: ["rack0"] = servers 0–1 (slow),
+    ["rack1"] = servers 2–4 (fast) — the topology {!Fault.Plan.domain_mix}
+    is written against. *)
+val paper_topology : Sharedfs.Topology.t
 
 val policy_name : policy_spec -> string
 

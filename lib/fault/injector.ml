@@ -7,6 +7,11 @@ type actions = {
   crash_delegate : unit -> unit;
   partition_server : Server_id.t -> link:Cluster.link -> unit;
   heal_server : Server_id.t -> unit;
+  crash_domain : domain:string -> Server_id.t list -> unit;
+  recover_domain : domain:string -> Server_id.t list -> unit;
+  partition_domain :
+    domain:string -> Server_id.t list -> link:Cluster.link -> unit;
+  heal_domain : domain:string -> Server_id.t list -> unit;
 }
 
 type t = {
@@ -19,9 +24,12 @@ type t = {
   mutable move_seq : int;  (** moves seen so far, for [Move_crash] *)
   (* Open fault spans: a crash span runs from injected crash to
      injected recovery, a partition span from cut to heal, so traces
-     show fault {e windows}, not just their edges. *)
+     show fault {e windows}, not just their edges.  A domain fault
+     opens one span for the whole domain, never one per member. *)
   crash_spans : (Server_id.t, Obs.Span.id) Hashtbl.t;
   partition_spans : (Server_id.t, Obs.Span.id) Hashtbl.t;
+  domain_crash_spans : (string, Obs.Span.id) Hashtbl.t;
+  domain_partition_spans : (string, Obs.Span.id) Hashtbl.t;
 }
 
 let bump t name =
@@ -114,6 +122,80 @@ let heal t server ~link =
   | None -> ());
   t.actions.heal_server server
 
+(* --- Correlated domain faults --- *)
+
+let members t domain =
+  match Sharedfs.Topology.servers_of (Cluster.topology t.cluster) domain with
+  | Some ids -> ids
+  | None ->
+    (* Unreachable after [arm]'s validation; kept as a belt for
+       hand-built injectors. *)
+    invalid_arg
+      (Printf.sprintf "Fault.Injector: unknown failure domain %S" domain)
+
+let domain_crash t domain =
+  let ids = members t domain in
+  record t (Obs.Event.Domain_crash { domain; members = List.length ids });
+  if not (Hashtbl.mem t.domain_crash_spans domain) then begin
+    let span =
+      Obs.Span.begin_ t.obs ~time:(Desim.Sim.now t.sim)
+        ~name:("domain-crash:" ^ domain) ~cat:"fault" ()
+    in
+    if span <> Obs.Span.none then
+      Hashtbl.replace t.domain_crash_spans domain span
+  end;
+  t.actions.crash_domain ~domain ids
+
+let domain_recover t domain =
+  let ids = members t domain in
+  record t (Obs.Event.Domain_recover { domain; members = List.length ids });
+  (match Hashtbl.find_opt t.domain_crash_spans domain with
+  | Some span ->
+    Hashtbl.remove t.domain_crash_spans domain;
+    Obs.Span.end_ t.obs ~time:(Desim.Sim.now t.sim) ~id:span
+      ~name:("domain-crash:" ^ domain) ~cat:"fault" ~outcome:"recovered" ()
+  | None -> ());
+  t.actions.recover_domain ~domain ids
+
+let domain_partition t domain ~link =
+  let ids = members t domain in
+  record t
+    (Obs.Event.Domain_partition_cut
+       { domain; link = link_name link; members = List.length ids });
+  if not (Hashtbl.mem t.domain_partition_spans domain) then begin
+    let span =
+      Obs.Span.begin_ t.obs ~time:(Desim.Sim.now t.sim)
+        ~name:("domain-partition:" ^ link_name link ^ ":" ^ domain)
+        ~cat:"fault" ()
+    in
+    if span <> Obs.Span.none then
+      Hashtbl.replace t.domain_partition_spans domain span
+  end;
+  t.actions.partition_domain ~domain ids ~link;
+  (* Every isolated member runs its own zombie-write cadence, exactly
+     as a solo partition would. *)
+  List.iter
+    (fun id ->
+      let (_ : Desim.Sim.handle) =
+        Desim.Sim.schedule t.sim ~delay:1.0 (fun () -> zombie_probe t id)
+      in
+      ())
+    ids
+
+let domain_heal t domain ~link =
+  let ids = members t domain in
+  record t
+    (Obs.Event.Domain_partition_healed
+       { domain; link = link_name link; members = List.length ids });
+  (match Hashtbl.find_opt t.domain_partition_spans domain with
+  | Some span ->
+    Hashtbl.remove t.domain_partition_spans domain;
+    Obs.Span.end_ t.obs ~time:(Desim.Sim.now t.sim) ~id:span
+      ~name:("domain-partition:" ^ link_name link ^ ":" ^ domain)
+      ~cat:"fault" ~outcome:"healed" ()
+  | None -> ());
+  t.actions.heal_domain ~domain ids
+
 let schedule_timeline t ~duration =
   List.iter
     (fun (at, fault) ->
@@ -142,7 +224,12 @@ let schedule_timeline t ~duration =
             | Plan.Partition { server; link } ->
               partition t (Server_id.of_int server) ~link
             | Plan.Heal { server; link } ->
-              heal t (Server_id.of_int server) ~link)
+              heal t (Server_id.of_int server) ~link
+            | Plan.Domain_crash domain -> domain_crash t domain
+            | Plan.Domain_recover domain -> domain_recover t domain
+            | Plan.Domain_partition { domain; link } ->
+              domain_partition t domain ~link
+            | Plan.Domain_heal { domain; link } -> domain_heal t domain ~link)
       in
       ())
     (Plan.timeline t.plan ~duration)
@@ -188,6 +275,22 @@ let arm_torn_writes t =
         record t (Obs.Event.Ledger_torn { seq }))
 
 let arm ~sim ~cluster ~obs ~duration ~actions plan =
+  (* Fail fast: a domain name the topology does not know would
+     otherwise only blow up at its scheduled virtual time, deep in the
+     run. *)
+  (let topo = Cluster.topology cluster in
+   List.iter
+     (fun domain ->
+       if not (Sharedfs.Topology.mem_domain topo domain) then
+         invalid_arg
+           (Printf.sprintf
+              "Fault.Injector.arm: plan references failure domain %S, but \
+               the cluster topology only has: %s"
+              domain
+              (match Sharedfs.Topology.domain_names topo with
+              | [] -> "(none)"
+              | names -> String.concat ", " names)))
+     (Plan.domains plan));
   let t =
     {
       plan;
@@ -199,6 +302,8 @@ let arm ~sim ~cluster ~obs ~duration ~actions plan =
       move_seq = 0;
       crash_spans = Hashtbl.create 4;
       partition_spans = Hashtbl.create 4;
+      domain_crash_spans = Hashtbl.create 4;
+      domain_partition_spans = Hashtbl.create 4;
     }
   in
   schedule_timeline t ~duration;

@@ -152,7 +152,119 @@ let check_ledger cluster =
   let report = Cluster.fsck ~repair:true cluster in
   List.map (fun d -> "ledger divergence: " ^ d) report.Cluster.divergent
 
-let check ?(eps = 1e-9) ?extra ~cluster ~policy () =
+(* Domain spread: no failure domain's share of the mapped half of the
+   unit interval may exceed its share of the map's servers plus
+   [slack] — the geometric form of the collateral bound, checked
+   against whatever the placement policy exposes.  Policies that
+   expose no regions (round-robin) and flat topologies are exempt.
+   Mirrors [Anu.apply_domain_spread]: shares are taken over the
+   servers present in the map, so a domain whose peers all died is
+   entitled to the whole interval. *)
+let domain_spread ?(slack = 0.1) ~cluster ~policy () =
+  let topology = Cluster.topology cluster in
+  if Sharedfs.Topology.is_flat topology then []
+  else
+    match policy.Placement.Policy.regions () with
+    | [] -> []
+    | regions ->
+      let total = List.fold_left (fun acc (_, m) -> acc +. m) 0.0 regions in
+      let n = List.length regions in
+      if total <= 0.0 then []
+      else
+        let in_domain name =
+          List.filter
+            (fun (id, _) ->
+              match Sharedfs.Topology.domain_of topology id with
+              | Some d -> String.equal d name
+              | None -> false)
+            regions
+        in
+        List.filter_map
+          (fun (d : Sharedfs.Topology.domain) ->
+            let members = in_domain d.Sharedfs.Topology.name in
+            let k = List.length members in
+            if k = 0 then None
+            else
+              let measure =
+                List.fold_left (fun acc (_, m) -> acc +. m) 0.0 members
+              in
+              let cap =
+                Float.min 1.0
+                  ((float_of_int k /. float_of_int n) +. slack)
+                *. total
+              in
+              if measure > cap +. 1e-9 then
+                Some
+                  (Printf.sprintf
+                     "domain spread broken: domain %s maps %.12g of %.12g \
+                      (%d of %d servers, cap %.12g)"
+                     d.Sharedfs.Topology.name measure total k n cap)
+              else None)
+          (Sharedfs.Topology.domains topology)
+
+(* Collateral bound: the fraction of placed file sets (owned, or
+   moving toward) inside any one failure domain must not exceed the
+   geometric cap [share + slack] plus a three-sigma binomial
+   allowance, [3 sqrt(cap (1 - cap) / placed)], for hashing noise — a
+   spread-constrained domain sits {e at} its cap, so set counts
+   scatter around it and the allowance must absorb that scatter
+   without also absolving a genuinely over-concentrated domain.  This
+   is the quantity a whole-domain failure puts at stake — the check
+   that separates spread-constrained ANU from the flat baseline. *)
+let collateral_bounded ?(slack = 0.1) ~cluster () =
+  let topology = Cluster.topology cluster in
+  if Sharedfs.Topology.is_flat topology then []
+  else
+    let alive id = not (Server.failed (Cluster.server cluster id)) in
+    let placed =
+      List.filter_map
+        (fun (_, state) ->
+          match state with
+          | Cluster.State_owned id -> Some id
+          | Cluster.State_moving { dst; _ } -> Some dst
+          | Cluster.State_orphaned _ -> None)
+        (Cluster.ownership_states cluster)
+    in
+    let total = List.length placed in
+    let alive_total =
+      List.length
+        (List.filter alive (Sharedfs.Topology.all_servers topology))
+    in
+    if total = 0 || alive_total = 0 then []
+    else
+      List.filter_map
+        (fun (d : Sharedfs.Topology.domain) ->
+          let members = List.filter alive d.Sharedfs.Topology.servers in
+          let share =
+            float_of_int (List.length members) /. float_of_int alive_total
+          in
+          let owned =
+            List.length
+              (List.filter
+                 (fun id ->
+                   match Sharedfs.Topology.domain_of topology id with
+                   | Some name -> String.equal name d.Sharedfs.Topology.name
+                   | None -> false)
+                 placed)
+          in
+          let fraction = float_of_int owned /. float_of_int total in
+          let cap = Float.min 1.0 (share +. slack) in
+          let allowance =
+            3.0 *. Float.sqrt (cap *. (1.0 -. cap) /. float_of_int total)
+          in
+          let bound = cap +. allowance in
+          if fraction > bound +. 1e-9 then
+            Some
+              (Printf.sprintf
+                 "collateral unbounded: domain %s holds %d of %d placed file \
+                  sets (%.3f > bound %.3f = cap %.3f [share %.3f + slack \
+                  %.3f] + 3-sigma allowance %.3f)"
+                 d.Sharedfs.Topology.name owned total fraction bound cap share
+                 slack allowance)
+          else None)
+        (Sharedfs.Topology.domains topology)
+
+let check ?(eps = 1e-9) ?(spread_slack = 0.1) ?extra ~cluster ~policy () =
   let time = Desim.Sim.now (Cluster.sim cluster) in
   let whats =
     check_regions ~eps policy
@@ -162,6 +274,8 @@ let check ?(eps = 1e-9) ?extra ~cluster ~policy () =
     @ check_delegate_lease cluster
     @ check_fencing cluster
     @ check_ledger cluster
+    @ domain_spread ~slack:spread_slack ~cluster ~policy ()
+    @ collateral_bounded ~slack:spread_slack ~cluster ()
     @ (match extra with None -> [] | Some f -> f ())
   in
   List.map (fun what -> { time; what }) whats

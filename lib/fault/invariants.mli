@@ -13,7 +13,15 @@
     the lease on disk; every partitioned server is fenced at the disk
     and no zombie write has ever landed; and the on-disk ownership
     ledger, replayed (with torn records repaired first), agrees with
-    in-memory ownership. *)
+    in-memory ownership.
+
+    When the cluster carries a non-flat {!Sharedfs.Topology}, two
+    further checks bound correlated damage: {!domain_spread} (no
+    domain maps more than its server share plus slack of the unit
+    interval) and {!collateral_bounded} (no domain holds more than
+    share-plus-slack of the placed file sets, with a three-sigma
+    binomial allowance for hashing noise).  Both are vacuous over flat
+    topologies, so pre-topology runs are unaffected. *)
 
 type violation = {
   time : float;  (** virtual time the check ran *)
@@ -30,13 +38,45 @@ val pp_violation : Format.formatter -> violation -> unit
     it to plant a deliberately broken invariant and prove the harness
     catches it; each returned string becomes one violation.
 
+    [spread_slack] (default [0.1], matching
+    [Anu.default_config.domain_spread]) is the slack both domain
+    checks allow over a domain's fair share.
+
     Note the ledger check runs [Cluster.fsck ~repair:true], so a check
     pass repairs any torn records it finds (counted under
     [ledger.repaired]); only unrecoverable divergence is reported. *)
 val check :
   ?eps:float ->
+  ?spread_slack:float ->
   ?extra:(unit -> string list) ->
   cluster:Sharedfs.Cluster.t ->
   policy:Placement.Policy.t ->
   unit ->
   violation list
+
+(** [domain_spread ~cluster ~policy ()] checks the geometric half of
+    the collateral bound: under the cluster's topology, no failure
+    domain's summed region measure may exceed
+    [(members / map servers + slack)] of the mapped total ([slack]
+    defaults to [0.1]).  Empty for flat topologies and for policies
+    exposing no regions.  Each returned string describes one
+    over-concentrated domain. *)
+val domain_spread :
+  ?slack:float ->
+  cluster:Sharedfs.Cluster.t ->
+  policy:Placement.Policy.t ->
+  unit ->
+  string list
+
+(** [collateral_bounded ~cluster ()] checks the material half of the
+    collateral bound: no failure domain may hold (own, or be receiving
+    via a move) more than [cap + 3 sqrt(cap (1 - cap) / placed)] of
+    the placed file sets, where [cap = share + slack] and [share] is
+    the domain's fraction of the {e alive} servers — so after a rival
+    domain dies, the survivor's share grows and absorbing the orphans
+    is not a violation.  The three-sigma term absorbs hashing noise: a
+    spread-constrained domain sits exactly at its geometric cap, so
+    its set count scatters binomially around it.  Empty for flat
+    topologies. *)
+val collateral_bounded :
+  ?slack:float -> cluster:Sharedfs.Cluster.t -> unit -> string list

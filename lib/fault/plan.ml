@@ -19,42 +19,84 @@ type spec =
       heal_after : float;
     }
   | Torn_write of { nth_append : int }
+  | Domain_crash_at of { at : float; domain : string }
+  | Domain_recover_at of { at : float; domain : string }
+  | Domain_partition_at of {
+      at : float;
+      domain : string;
+      link : link;
+      heal_after : float;
+    }
+  | Domain_hazard of { domain : string; mttf : float; mttr : float }
 
 type t = { seed : int; specs : spec list; timeout : Desim.Timeout.policy }
 
-let validate_spec = function
+let spec_constructor = function
+  | Crash_at _ -> "Crash_at"
+  | Recover_at _ -> "Recover_at"
+  | Crash_hazard _ -> "Crash_hazard"
+  | Delegate_crash_at _ -> "Delegate_crash_at"
+  | Delegate_crash_in_round _ -> "Delegate_crash_in_round"
+  | Report_loss _ -> "Report_loss"
+  | Report_delay _ -> "Report_delay"
+  | Move_crash _ -> "Move_crash"
+  | Disk_stall_at _ -> "Disk_stall_at"
+  | Partition_at _ -> "Partition_at"
+  | Torn_write _ -> "Torn_write"
+  | Domain_crash_at _ -> "Domain_crash_at"
+  | Domain_recover_at _ -> "Domain_recover_at"
+  | Domain_partition_at _ -> "Domain_partition_at"
+  | Domain_hazard _ -> "Domain_hazard"
+
+(* Validation errors carry the spec's position and constructor: in a
+   plan of a dozen specs, "spec 7 (Partition_at): ..." pins the
+   offender where "fault time must be >= 0" alone would not. *)
+let validate_spec index spec =
+  let fail msg =
+    invalid_arg
+      (Printf.sprintf "Fault.Plan.make: spec %d (%s): %s" index
+         (spec_constructor spec) msg)
+  in
+  let check_domain domain =
+    if String.equal domain "" then fail "domain name must be non-empty"
+  in
+  match spec with
   | Crash_at { at; _ } | Recover_at { at; _ } | Delegate_crash_at { at } ->
-    if at < 0.0 then invalid_arg "Fault.Plan: fault time must be >= 0"
+    if at < 0.0 then fail "fault time must be >= 0"
   | Crash_hazard { mttf; mttr; _ } ->
-    if mttf <= 0.0 || mttr <= 0.0 then
-      invalid_arg "Fault.Plan: mttf and mttr must be positive"
+    if mttf <= 0.0 || mttr <= 0.0 then fail "mttf and mttr must be positive"
   | Delegate_crash_in_round { round } ->
-    if round < 1 then invalid_arg "Fault.Plan: rounds are 1-based"
+    if round < 1 then fail "rounds are 1-based"
   | Report_loss { probability } ->
     if probability < 0.0 || probability > 1.0 then
-      invalid_arg "Fault.Plan: loss probability must be in [0, 1]"
+      fail "loss probability must be in [0, 1]"
   | Report_delay { base; jitter } ->
-    if base < 0.0 || jitter < 0.0 then
-      invalid_arg "Fault.Plan: report delay must be non-negative"
+    if base < 0.0 || jitter < 0.0 then fail "report delay must be non-negative"
   | Move_crash { nth_move; _ } ->
-    if nth_move < 0 then invalid_arg "Fault.Plan: move index must be >= 0"
+    if nth_move < 0 then fail "move index must be >= 0"
   | Disk_stall_at { at; factor; duration } ->
-    if at < 0.0 then invalid_arg "Fault.Plan: fault time must be >= 0";
-    if factor < 1.0 then
-      invalid_arg "Fault.Plan: stall factor must be at least 1";
-    if duration <= 0.0 then
-      invalid_arg "Fault.Plan: stall duration must be positive"
+    if at < 0.0 then fail "fault time must be >= 0";
+    if factor < 1.0 then fail "stall factor must be at least 1";
+    if duration <= 0.0 then fail "stall duration must be positive"
   | Partition_at { at; heal_after; _ } ->
-    if at < 0.0 then invalid_arg "Fault.Plan: fault time must be >= 0";
-    if heal_after <= 0.0 then
-      invalid_arg "Fault.Plan: partition heal_after must be positive"
+    if at < 0.0 then fail "fault time must be >= 0";
+    if heal_after <= 0.0 then fail "partition heal_after must be positive"
   | Torn_write { nth_append } ->
-    if nth_append < 0 then
-      invalid_arg "Fault.Plan: ledger append index must be >= 0"
+    if nth_append < 0 then fail "ledger append index must be >= 0"
+  | Domain_crash_at { at; domain } | Domain_recover_at { at; domain } ->
+    check_domain domain;
+    if at < 0.0 then fail "fault time must be >= 0"
+  | Domain_partition_at { at; domain; heal_after; _ } ->
+    check_domain domain;
+    if at < 0.0 then fail "fault time must be >= 0";
+    if heal_after <= 0.0 then fail "partition heal_after must be positive"
+  | Domain_hazard { domain; mttf; mttr } ->
+    check_domain domain;
+    if mttf <= 0.0 || mttr <= 0.0 then fail "mttf and mttr must be positive"
 
 let make ?(timeout = Desim.Timeout.default) ~seed specs =
   Desim.Timeout.validate timeout;
-  List.iter validate_spec specs;
+  List.iteri validate_spec specs;
   { seed; specs; timeout }
 
 let default ~seed ~duration =
@@ -106,6 +148,38 @@ let partition_mix ~seed ~duration =
       Move_crash { nth_move = 1; role = `Dst };
     ]
 
+let domain_mix ~seed ~duration =
+  if duration <= 0.0 then
+    invalid_arg "Fault.Plan.domain_mix: duration must be positive";
+  (* The two windows are disjoint by construction: rack0's partition
+     heals at 0.33*duration, rack1 crashes at 0.45*duration.  At no
+     point are both domains down, so some server is always alive to
+     adopt the orphans — the mix probes correlated loss, not total
+     cluster death. *)
+  make ~seed
+    [
+      (* The whole small rack — including server 0, the initially
+         elected delegate — drops off the cluster network at once; the
+         survivors re-elect under a bumped epoch while every rack0
+         member is fenced and its zombie writes bounce. *)
+      Domain_partition_at
+        {
+          at = 0.18 *. duration;
+          domain = "rack0";
+          link = `Cluster;
+          heal_after = 0.15 *. duration;
+        };
+      (* Later the big rack hard-crashes as one event: most of the
+         cluster's capacity vanishes simultaneously and every one of
+         its file sets must land on the small rack — the collateral
+         the domain-spread constraint exists to bound. *)
+      Domain_crash_at { at = 0.45 *. duration; domain = "rack1" };
+      Domain_recover_at { at = 0.62 *. duration; domain = "rack1" };
+      Torn_write { nth_append = 8 };
+      Report_loss { probability = 0.05 };
+      Move_crash { nth_move = 2; role = `Dst };
+    ]
+
 type timed =
   | Crash of int
   | Recover of int
@@ -113,12 +187,38 @@ type timed =
   | Disk_stall of { factor : float; duration : float }
   | Partition of { server : int; link : link }
   | Heal of { server : int; link : link }
+  | Domain_crash of string
+  | Domain_recover of string
+  | Domain_partition of { domain : string; link : link }
+  | Domain_heal of { domain : string; link : link }
 
 let timeline t ~duration =
   let rng = Desim.Rng.create t.seed in
   (* One split per spec, drawn in spec order whether or not the spec
      is a hazard: adding an unrelated spec never perturbs the draws an
      existing hazard sees through reordering alone. *)
+  (* An exponential up/down cycle, shared by the per-server and the
+     whole-domain hazard: both clip at the horizon the same way. *)
+  let hazard_cycle r ~mttf ~mttr ~down ~up =
+    let rec cycle now acc =
+      let down_at = now +. Desim.Rng.exponential r ~mean:mttf in
+      if down_at >= duration then List.rev acc
+      else
+        let up_at = down_at +. Desim.Rng.exponential r ~mean:mttr in
+        let acc = (down_at, down) :: acc in
+        if up_at >= duration then List.rev acc
+        else cycle up_at ((up_at, up) :: acc)
+    in
+    cycle 0.0 []
+  in
+  (* A heal past the horizon is clipped: the run ends with the
+     partition still open, which is itself a scenario worth
+     checking. *)
+  let cut_and_heal ~at ~heal_after cut heal =
+    if at +. heal_after < duration then
+      [ (at, cut); (at +. heal_after, heal) ]
+    else [ (at, cut) ]
+  in
   let events =
     List.concat_map
       (fun spec ->
@@ -133,31 +233,50 @@ let timeline t ~duration =
         | Disk_stall_at { at; factor; duration = d } when at < duration ->
           [ (at, Disk_stall { factor; duration = d }) ]
         | Crash_hazard { server; mttf; mttr } ->
-          let rec cycle now acc =
-            let down_at = now +. Desim.Rng.exponential r ~mean:mttf in
-            if down_at >= duration then List.rev acc
-            else
-              let up_at = down_at +. Desim.Rng.exponential r ~mean:mttr in
-              let acc = (down_at, Crash server) :: acc in
-              if up_at >= duration then List.rev acc
-              else cycle up_at ((up_at, Recover server) :: acc)
-          in
-          cycle 0.0 []
+          hazard_cycle r ~mttf ~mttr ~down:(Crash server)
+            ~up:(Recover server)
         | Partition_at { at; server; link; heal_after } when at < duration ->
-          let cut = (at, Partition { server; link }) in
-          (* A heal past the horizon is clipped: the run ends with the
-             partition still open, which is itself a scenario worth
-             checking. *)
-          if at +. heal_after < duration then
-            [ cut; (at +. heal_after, Heal { server; link }) ]
-          else [ cut ]
+          cut_and_heal ~at ~heal_after
+            (Partition { server; link })
+            (Heal { server; link })
+        | Domain_crash_at { at; domain } when at < duration ->
+          [ (at, Domain_crash domain) ]
+        | Domain_recover_at { at; domain } when at < duration ->
+          [ (at, Domain_recover domain) ]
+        | Domain_partition_at { at; domain; link; heal_after }
+          when at < duration ->
+          cut_and_heal ~at ~heal_after
+            (Domain_partition { domain; link })
+            (Domain_heal { domain; link })
+        | Domain_hazard { domain; mttf; mttr } ->
+          hazard_cycle r ~mttf ~mttr ~down:(Domain_crash domain)
+            ~up:(Domain_recover domain)
         | Crash_at _ | Recover_at _ | Delegate_crash_at _ | Disk_stall_at _
         | Delegate_crash_in_round _ | Report_loss _ | Report_delay _
-        | Move_crash _ | Partition_at _ | Torn_write _ ->
+        | Move_crash _ | Partition_at _ | Torn_write _ | Domain_crash_at _
+        | Domain_recover_at _ | Domain_partition_at _ ->
           [])
       t.specs
   in
   List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) events
+
+let expand ~servers_of events =
+  let members domain = List.sort Int.compare (servers_of domain) in
+  List.concat_map
+    (fun (at, fault) ->
+      match fault with
+      | Domain_crash domain ->
+        List.map (fun s -> (at, Crash s)) (members domain)
+      | Domain_recover domain ->
+        List.map (fun s -> (at, Recover s)) (members domain)
+      | Domain_partition { domain; link } ->
+        List.map (fun s -> (at, Partition { server = s; link })) (members domain)
+      | Domain_heal { domain; link } ->
+        List.map (fun s -> (at, Heal { server = s; link })) (members domain)
+      | Crash _ | Recover _ | Delegate_crash | Disk_stall _ | Partition _
+      | Heal _ ->
+        [ (at, fault) ])
+    events
 
 let report_loss_probability t =
   (* Independent loss layers compose: surviving them all is the
@@ -196,6 +315,21 @@ let torn_appends t =
     t.specs
   |> List.sort_uniq Int.compare
 
+let domains t =
+  List.filter_map
+    (function
+      | Domain_crash_at { domain; _ }
+      | Domain_recover_at { domain; _ }
+      | Domain_partition_at { domain; _ }
+      | Domain_hazard { domain; _ } ->
+        Some domain
+      | Crash_at _ | Recover_at _ | Crash_hazard _ | Delegate_crash_at _
+      | Delegate_crash_in_round _ | Report_loss _ | Report_delay _
+      | Move_crash _ | Disk_stall_at _ | Partition_at _ | Torn_write _ ->
+        None)
+    t.specs
+  |> List.sort_uniq String.compare
+
 let spec_kinds =
   [
     ("crash-at", "hard-crash a server at a virtual time");
@@ -214,6 +348,15 @@ let spec_kinds =
     ( "torn-write",
       "truncate the nth ledger append on disk, modeling a partial sector \
        write" );
+    ( "domain-crash-at",
+      "hard-crash every server of a failure domain at once, as one atomic \
+       correlated fault" );
+    ("domain-recover-at", "bring a crashed domain's servers back together");
+    ( "domain-partition-at",
+      "cut a whole domain off the cluster or the shared disk (every member \
+       fenced), healing after a delay" );
+    ( "domain-hazard",
+      "exponential uptime/downtime cycling for a whole failure domain" );
   ]
 
 let pp_spec ppf = function
@@ -237,6 +380,16 @@ let pp_spec ppf = function
       (match link with `Cluster -> "cluster" | `Disk -> "disk")
       at heal_after
   | Torn_write { nth_append } -> Fmt.pf ppf "torn-write append #%d" nth_append
+  | Domain_crash_at { at; domain } ->
+    Fmt.pf ppf "domain-crash %s @%.3g" domain at
+  | Domain_recover_at { at; domain } ->
+    Fmt.pf ppf "domain-recover %s @%.3g" domain at
+  | Domain_partition_at { at; domain; link; heal_after } ->
+    Fmt.pf ppf "domain-partition %s from %s @%.3g heal +%.3g" domain
+      (match link with `Cluster -> "cluster" | `Disk -> "disk")
+      at heal_after
+  | Domain_hazard { domain; mttf; mttr } ->
+    Fmt.pf ppf "domain-hazard %s mttf=%.3g mttr=%.3g" domain mttf mttr
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>plan seed=%d@,%a@]" t.seed (Fmt.list pp_spec) t.specs

@@ -58,6 +58,28 @@ type spec =
       (** the [nth_append]-th ledger append (0-based) writes only a
           truncated prefix to disk — a partial sector write at power
           loss — to be detected and repaired by ledger replay *)
+  | Domain_crash_at of { at : float; domain : string }
+      (** hard-crash every server of failure domain [domain] at [at],
+          as {e one} atomic correlated fault (see
+          {!Sharedfs.Topology}); the injector resolves the name
+          against the cluster's topology when the plan is armed *)
+  | Domain_recover_at of { at : float; domain : string }
+      (** bring the whole domain back (each member empty, cold) *)
+  | Domain_partition_at of {
+      at : float;
+      domain : string;
+      link : link;
+      heal_after : float;
+    }
+      (** at [at], the whole domain loses its [link]: every member is
+          fenced at the storage at once, its sets orphaned, and each
+          isolated member keeps attempting zombie writes; the
+          partition heals [heal_after] seconds later (clipped at the
+          horizon like {!spec.Partition_at}) *)
+  | Domain_hazard of { domain : string; mttf : float; mttr : float }
+      (** the whole domain alternates exponentially distributed uptime
+          (mean [mttf]) and downtime (mean [mttr]), crashing and
+          recovering all members together — rack-level power cycling *)
 
 type t
 
@@ -65,8 +87,10 @@ type t
     (default {!Desim.Timeout.default}) governs the delegate's
     report-collection retries.  Raises [Invalid_argument] on negative
     times, probabilities outside [\[0, 1\]], non-positive [mttf] /
-    [mttr] / [duration], stall factors below 1, or negative move
-    indices. *)
+    [mttr] / [duration], stall factors below 1, negative move indices,
+    or empty domain names; the message names the offending spec's
+    index and constructor (e.g.
+    ["Fault.Plan.make: spec 2 (Crash_at): fault time must be >= 0"]). *)
 val make : ?timeout:Desim.Timeout.policy -> seed:int -> spec list -> t
 
 (** [default ~seed ~duration] is the stock chaos mix the CLI uses: one
@@ -83,13 +107,30 @@ val default : seed:int -> duration:float -> t
     within [duration]. *)
 val partition_mix : seed:int -> duration:float -> t
 
+(** [domain_mix ~seed ~duration] is the correlated-fault chaos mix
+    behind [shdisk-sim chaos --plan domain], written against the stock
+    two-rack paper topology (["rack0"] = servers 0–1, ["rack1"] =
+    servers 2–4): rack0 — including the initially elected delegate —
+    drops off the cluster network as one event and heals, then rack1
+    hard-crashes whole (every file set it owned must fit on rack0, the
+    collateral the domain-spread constraint bounds) and recovers; one
+    torn ledger append, light report loss and a mid-move dst crash
+    ride along.  The two domain windows are disjoint, so the cluster
+    never loses all its servers at once. *)
+val domain_mix : seed:int -> duration:float -> t
+
 val seed : t -> int
 
 val specs : t -> spec list
 
 val timeout : t -> Desim.Timeout.policy
 
-(** A concrete scheduled fault, produced by {!timeline}. *)
+(** A concrete scheduled fault, produced by {!timeline}.  Domain
+    events stay {e atomic} here — one event per domain fault, named by
+    domain — so the injector can deliver all member crashes as a
+    single multi-server action (and trace a single span); the name is
+    resolved against the cluster's {!Sharedfs.Topology} at injection
+    time. *)
 type timed =
   | Crash of int
   | Recover of int
@@ -97,13 +138,31 @@ type timed =
   | Disk_stall of { factor : float; duration : float }
   | Partition of { server : int; link : link }
   | Heal of { server : int; link : link }
+  | Domain_crash of string
+  | Domain_recover of string
+  | Domain_partition of { domain : string; link : link }
+  | Domain_heal of { domain : string; link : link }
 
 (** [timeline t ~duration] materializes every time-driven spec into
     [(time, fault)] pairs within [\[0, duration)], sorted by time
-    (stable: ties keep spec order).  [Crash_hazard] draws its
-    alternating up/down intervals from a generator split off the plan
-    seed, so the timeline is a pure function of the plan. *)
+    (stable: ties keep spec order).  [Crash_hazard] and
+    [Domain_hazard] draw their alternating up/down intervals from a
+    generator split off the plan seed, so the timeline is a pure
+    function of the plan. *)
 val timeline : t -> duration:float -> (float * timed) list
+
+(** [expand ~servers_of events] rewrites every domain event of a
+    timeline into its per-server events at the same timestamp: a
+    domain fault over members [{3; 1; 2}] becomes three per-server
+    events in ascending server order ([1], [2], [3]), in place, so the
+    expansion of a sorted timeline is still sorted and ties keep the
+    original event order followed by member order.  Pure — the test
+    oracle for correlated-fault determinism; the injector delivers
+    domain events atomically instead of expanding them. *)
+val expand :
+  servers_of:(string -> int list) ->
+  (float * timed) list ->
+  (float * timed) list
 
 (** Combined loss probability across [Report_loss] specs (0 when
     none). *)
@@ -122,6 +181,11 @@ val delegate_crash_rounds : t -> int list
 (** Armed torn ledger appends (0-based append indices, sorted,
     deduplicated). *)
 val torn_appends : t -> int list
+
+(** Every failure-domain name the plan references (sorted,
+    deduplicated) — what the injector validates against the cluster's
+    topology before arming anything. *)
+val domains : t -> string list
 
 (** Every fault spec kind with a one-line description, for [--help]
     text: [(name, description)] in declaration order. *)

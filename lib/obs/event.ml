@@ -17,6 +17,14 @@ type fault_kind =
   | Partition_cut of { link : string }
   | Partition_healed of { link : string }
   | Ledger_torn of { seq : int }
+  | Domain_crash of { domain : string; members : int }
+  | Domain_recover of { domain : string; members : int }
+  | Domain_partition_cut of { domain : string; link : string; members : int }
+  | Domain_partition_healed of {
+      domain : string;
+      link : string;
+      members : int;
+    }
 
 type round_input = {
   server : int;
@@ -118,6 +126,12 @@ let fault_name = function
   | Partition_cut _ -> "partition_cut"
   | Partition_healed _ -> "partition_healed"
   | Ledger_torn _ -> "ledger_torn"
+  (* The dots make the derived counters come out under a shared
+     [fault.domain.] prefix. *)
+  | Domain_crash _ -> "domain.crash"
+  | Domain_recover _ -> "domain.recover"
+  | Domain_partition_cut _ -> "domain.partition_cut"
+  | Domain_partition_healed _ -> "domain.partition_healed"
 
 let time = function
   | Request_submit { time; _ }
@@ -182,6 +196,15 @@ let fault_to_json f =
     | Partition_cut { link } | Partition_healed { link } ->
       [ ("link", Json.Str link) ]
     | Ledger_torn { seq } -> [ ("seq", int seq) ]
+    | Domain_crash { domain; members } | Domain_recover { domain; members } ->
+      [ ("domain", Json.Str domain); ("members", int members) ]
+    | Domain_partition_cut { domain; link; members }
+    | Domain_partition_healed { domain; link; members } ->
+      [
+        ("domain", Json.Str domain);
+        ("link", Json.Str link);
+        ("members", int members);
+      ]
   in
   Json.Obj (("fault", Json.Str (fault_name f)) :: fields)
 
@@ -387,6 +410,24 @@ let fault_of_json j =
   | "ledger_torn" ->
     let* seq = field_int j "seq" in
     Ok (Ledger_torn { seq })
+  | "domain.crash" ->
+    let* domain = field_str j "domain" in
+    let* members = field_int j "members" in
+    Ok (Domain_crash { domain; members })
+  | "domain.recover" ->
+    let* domain = field_str j "domain" in
+    let* members = field_int j "members" in
+    Ok (Domain_recover { domain; members })
+  | "domain.partition_cut" ->
+    let* domain = field_str j "domain" in
+    let* link = field_str j "link" in
+    let* members = field_int j "members" in
+    Ok (Domain_partition_cut { domain; link; members })
+  | "domain.partition_healed" ->
+    let* domain = field_str j "domain" in
+    let* link = field_str j "link" in
+    let* members = field_int j "members" in
+    Ok (Domain_partition_healed { domain; link; members })
   | other -> Error (Printf.sprintf "unknown fault kind %S" other)
 
 let of_json j =

@@ -47,6 +47,18 @@ type fault_kind =
       (** the partition healed; the server rejoins via recovery *)
   | Ledger_torn of { seq : int }
       (** an armed torn write truncated ledger record [seq] on disk *)
+  | Domain_crash of { domain : string; members : int }
+      (** a whole failure domain ([members] servers) hard-crashed at
+          once — one atomic correlated fault, not [members] events *)
+  | Domain_recover of { domain : string; members : int }
+      (** every server of the crashed domain came back together *)
+  | Domain_partition_cut of { domain : string; link : string; members : int }
+      (** the whole domain lost its [link] and was fenced *)
+  | Domain_partition_healed of {
+      domain : string;
+      link : string;
+      members : int;
+    }  (** the domain-wide partition healed *)
 
 (** One server's contribution to a delegate round: the latency window
     it reported plus the queue depth the delegate observed when

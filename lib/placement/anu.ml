@@ -8,6 +8,7 @@ type config = {
   growth_cap : float;
   shrink_floor : float;
   min_region : float;
+  domain_spread : float option;
 }
 
 let default_config =
@@ -25,11 +26,13 @@ let default_config =
     growth_cap = 2.0;
     shrink_floor = 0.25;
     min_region = 0.05;
+    domain_spread = Some 0.1;
   }
 
 type t = {
   cfg : config;
   family : Hashlib.Hash_family.t;
+  topology : Sharedfs.Topology.t;
   map : Region_map.t;
   mutable alive : Id.t array; (* sorted, for the direct fallback hash *)
   previous_latency : (Id.t, float) Hashtbl.t;
@@ -45,17 +48,27 @@ type t = {
   mutable cache_version : int;
 }
 
-let create ?(config = default_config) ~family ~servers () =
+let create ?(config = default_config) ?topology ~family ~servers () =
   if config.hash_rounds < 1 then
     invalid_arg "Anu.create: hash_rounds must be >= 1";
   if config.growth_cap <= 1.0 then
     invalid_arg "Anu.create: growth_cap must exceed 1";
   if config.shrink_floor <= 0.0 || config.shrink_floor >= 1.0 then
     invalid_arg "Anu.create: shrink_floor must lie in (0, 1)";
+  (match config.domain_spread with
+  | Some eps when eps <= 0.0 ->
+    invalid_arg "Anu.create: domain_spread must be positive"
+  | _ -> ());
   let sorted = List.sort_uniq Id.compare servers in
+  let topology =
+    match topology with
+    | Some topo -> topo
+    | None -> Sharedfs.Topology.flat ~servers:sorted
+  in
   {
     cfg = config;
     family;
+    topology;
     map = Region_map.create ~servers:sorted;
     alive = Array.of_list sorted;
     previous_latency = Hashtbl.create 16;
@@ -66,7 +79,121 @@ let create ?(config = default_config) ~family ~servers () =
 
 let config t = t.cfg
 
+let topology t = t.topology
+
 let region_map t = t.map
+
+(* Water-filling enforcement of the domain-spread cap.  [targets] are
+   the relative weights about to be normalized to half occupancy by
+   [Region_map.scale]; the cap bounds each failure domain at
+   [alive share + domain_spread] of the mapped half, where the alive
+   share is the domain's fraction of the servers present in [targets]
+   (so a domain whose peers all died is entitled to everything and a
+   recovery is never blocked).  Over-cap domains are clamped and
+   frozen; the freed weight is spread over the rest proportionally,
+   which can push another domain over its cap, so iterate — the frozen
+   set grows every round and the caps of any proper subset of domains
+   sum to strictly less than the clamped weight they could absorb, so
+   at least one domain can never freeze and the loop ends within
+   [#domains] rounds.  Servers outside every domain are unconstrained
+   and only ever absorb freed weight. *)
+let apply_domain_spread t targets =
+  match t.cfg.domain_spread with
+  | _ when Sharedfs.Topology.is_flat t.topology -> targets
+  | None -> targets
+  | Some eps ->
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 targets in
+    let n = List.length targets in
+    if n = 0 || total <= Hashlib.Unit_interval.eps then targets
+    else begin
+      let weight = Hashtbl.create n in
+      List.iter (fun (id, w) -> Hashtbl.replace weight id w) targets;
+      (* domain name -> members present in [targets] *)
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun (id, _) ->
+          match Sharedfs.Topology.domain_of t.topology id with
+          | None -> ()
+          | Some name ->
+            let members =
+              Option.value ~default:[] (Hashtbl.find_opt groups name)
+            in
+            Hashtbl.replace groups name (id :: members))
+        targets;
+      let names =
+        List.sort String.compare
+          (Hashtbl.fold (fun name _ acc -> name :: acc) groups [])
+      in
+      let cap name =
+        let k = List.length (Hashtbl.find groups name) in
+        Float.min 1.0 ((float_of_int k /. float_of_int n) +. eps) *. total
+      in
+      let group_sum name =
+        List.fold_left
+          (fun acc id -> acc +. Hashtbl.find weight id)
+          0.0 (Hashtbl.find groups name)
+      in
+      let frozen = Hashtbl.create 8 in
+      let continue = ref true in
+      while !continue do
+        let over =
+          List.filter
+            (fun name ->
+              (not (Hashtbl.mem frozen name))
+              && group_sum name > cap name +. (1e-9 *. total))
+            names
+        in
+        match over with
+        | [] -> continue := false
+        | _ ->
+          List.iter
+            (fun name ->
+              let s = group_sum name in
+              let factor = cap name /. s in
+              List.iter
+                (fun id ->
+                  Hashtbl.replace weight id (Hashtbl.find weight id *. factor))
+                (Hashtbl.find groups name);
+              Hashtbl.replace frozen name ())
+            over;
+          let frozen_weight =
+            List.fold_left
+              (fun acc name ->
+                if Hashtbl.mem frozen name then acc +. group_sum name else acc)
+              0.0 names
+          in
+          let free_ids =
+            List.filter_map
+              (fun (id, _) ->
+                match Sharedfs.Topology.domain_of t.topology id with
+                | Some name when Hashtbl.mem frozen name -> None
+                | _ -> Some id)
+              targets
+          in
+          let free_target = total -. frozen_weight in
+          let free_current =
+            List.fold_left
+              (fun acc id -> acc +. Hashtbl.find weight id)
+              0.0 free_ids
+          in
+          if free_current > Hashlib.Unit_interval.eps then
+            let factor = free_target /. free_current in
+            List.iter
+              (fun id ->
+                Hashtbl.replace weight id (Hashtbl.find weight id *. factor))
+              free_ids
+          else begin
+            (* The freed weight has nowhere proportional to go (the
+               survivors all sat at zero): grant it equally. *)
+            match free_ids with
+            | [] -> continue := false
+            | _ ->
+              let share = free_target /. float_of_int (List.length free_ids) in
+              List.iter (fun id -> Hashtbl.replace weight id share) free_ids
+          end
+      done;
+      List.map (fun (id, _) -> (id, Hashtbl.find weight id)) targets
+    end
 
 let reconfigurations t = t.reconfigurations
 
@@ -159,7 +286,7 @@ let rebalance t feedback =
     in
     let targets = targets @ holds in
     if !changed then begin
-      Region_map.scale t.map ~targets;
+      Region_map.scale t.map ~targets:(apply_domain_spread t targets);
       t.reconfigurations <- t.reconfigurations + 1
     end;
     List.iter
@@ -182,7 +309,7 @@ let server_failed t id =
       if total > Hashlib.Unit_interval.eps then survivors
       else List.map (fun (sid, _) -> (sid, 1.0)) survivors
     in
-    Region_map.scale t.map ~targets);
+    Region_map.scale t.map ~targets:(apply_domain_spread t targets));
   t.alive <-
     Array.of_list
       (List.filter (fun sid -> not (Id.equal sid id)) (Array.to_list t.alive));
@@ -192,6 +319,18 @@ let server_failed t id =
 let server_added t id =
   let n_new = List.length (Region_map.servers t.map) + 1 in
   Region_map.add_server t.map id ~target:(1.0 /. (2.0 *. float_of_int n_new));
+  (* The uniform grant changes every domain's fraction of the mapped
+     half, so the spread cap is re-checked; with a flat topology (or
+     the constraint disabled) this is a no-op and the add stays
+     byte-identical to the unconstrained behaviour. *)
+  (let measures = Region_map.measures t.map in
+   let spread = apply_domain_spread t measures in
+   let differs =
+     List.exists2
+       (fun (_, a) (_, b) -> Float.abs (a -. b) > 1e-12)
+       measures spread
+   in
+   if differs then Region_map.scale t.map ~targets:spread);
   t.alive <-
     Array.of_list (List.sort Id.compare (id :: Array.to_list t.alive));
   t.reconfigurations <- t.reconfigurations + 1

@@ -33,20 +33,41 @@ type config = {
   min_region : float;
   (** measure granted when growing a region away from zero, as a
       fraction of the partition width *)
+  domain_spread : float option;
+  (** when the instance is created with a non-flat
+      {!Sharedfs.Topology}, cap every failure domain's fraction of the
+      mapped half at its alive-server share plus this slack (default
+      [Some 0.1]); a whole-domain failure then orphans a bounded
+      fraction of the file sets.  [None] disables the constraint —
+      tuning may then concentrate load arbitrarily inside one domain
+      (the configuration the domain-failure-collateral figure uses as
+      its baseline).  Ignored under a flat topology, so existing
+      single-domain runs are byte-identical. *)
 }
 
 val default_config : config
 
 type t
 
+(** [create ?config ?topology ~family ~servers ()] builds an instance
+    over [servers].  [topology] (default
+    [Sharedfs.Topology.flat ~servers]) names the failure domains the
+    [domain_spread] constraint is enforced against at every
+    reconfiguration — tuning, failure and addition alike; servers the
+    topology does not mention are unconstrained. *)
 val create :
   ?config:config ->
+  ?topology:Sharedfs.Topology.t ->
   family:Hashlib.Hash_family.t ->
   servers:Sharedfs.Server_id.t list ->
   unit ->
   t
 
 val config : t -> config
+
+(** The failure-domain topology the instance enforces [domain_spread]
+    against (flat unless one was supplied to {!create}). *)
+val topology : t -> Sharedfs.Topology.t
 
 (** [locate t name] is the current owner of [name].
 

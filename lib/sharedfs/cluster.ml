@@ -146,6 +146,7 @@ type t = {
   lease_duration : float;
   delegate_lease : float;
   series_interval : float;
+  topology : Topology.t;
   partitioned : (Server_id.t, link) Hashtbl.t;
   believers : (Server_id.t, int) Hashtbl.t;
       (* server -> the delegate epoch it believes it holds; a
@@ -193,11 +194,27 @@ let rebuild_sorted_servers t =
 
 let create sim ~disk ~catalog ?(move_config = default_move_config)
     ?cache_config ?(lease_duration = 30.0) ?(delegate_lease = 300.0)
-    ~series_interval ~servers ?locking ?(obs = Obs.Ctx.null) () =
+    ~series_interval ~servers ?topology ?locking ?(obs = Obs.Ctx.null) () =
   if lease_duration <= 0.0 then
     invalid_arg "Cluster.create: lease_duration must be positive";
   if delegate_lease <= 0.0 then
     invalid_arg "Cluster.create: delegate_lease must be positive";
+  let topology =
+    match topology with
+    | Some topo ->
+      (* Every domain member must be a real server: a typo here would
+         otherwise surface only when a domain fault fires. *)
+      List.iter
+        (fun id ->
+          if not (List.mem_assoc id servers) then
+            invalid_arg
+              (Printf.sprintf
+                 "Cluster.create: topology server %d is not in the cluster"
+                 (Server_id.to_int id)))
+        (Topology.all_servers topo);
+      topo
+    | None -> Topology.flat ~servers:(List.map fst servers)
+  in
   let instruments =
     Option.map
       (fun m ->
@@ -225,6 +242,7 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
       lease_duration;
       delegate_lease;
       series_interval;
+      topology;
       partitioned = Hashtbl.create 8;
       believers = Hashtbl.create 8;
       zombie_attempts = 0;
@@ -278,6 +296,8 @@ let create sim ~disk ~catalog ?(move_config = default_move_config)
   t
 
 let sim t = t.sim
+
+let topology t = t.topology
 
 let obs t = t.obs
 

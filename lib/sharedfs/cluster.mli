@@ -113,12 +113,20 @@ val create :
   ?delegate_lease:float ->
   series_interval:float ->
   servers:(Server_id.t * float) list ->
+  ?topology:Topology.t ->
   ?locking:locking ->
   ?obs:Obs.Ctx.t ->
   unit ->
   t
 
 val sim : t -> Desim.Sim.t
+
+(** [topology t] is the failure-domain topology the cluster was
+    created with — {!Topology.flat} over the initial servers when none
+    was given, so every pre-topology call site sees a single vacuous
+    domain.  Raises [Invalid_argument] at {!create} time if a supplied
+    topology names a server outside the cluster. *)
+val topology : t -> Topology.t
 
 (** [obs t] is the context the cluster was created with. *)
 val obs : t -> Obs.Ctx.t

@@ -1,0 +1,79 @@
+type kind = Rack | Disk_group
+
+type domain = { name : string; kind : kind; servers : Server_id.t list }
+
+type t = {
+  domains : domain list;
+  by_server : (Server_id.t, string) Hashtbl.t;
+}
+
+let kind_name = function Rack -> "rack" | Disk_group -> "disk-group"
+
+let make domains =
+  if domains = [] then
+    invalid_arg "Topology.make: at least one domain is required";
+  let by_server = Hashtbl.create 16 in
+  let seen_names = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      if String.equal d.name "" then
+        invalid_arg "Topology.make: domain names must be non-empty";
+      if Hashtbl.mem seen_names d.name then
+        invalid_arg
+          (Printf.sprintf "Topology.make: duplicate domain name %S" d.name);
+      Hashtbl.replace seen_names d.name ();
+      if d.servers = [] then
+        invalid_arg
+          (Printf.sprintf "Topology.make: domain %S has no servers" d.name);
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt by_server id with
+          | Some owner ->
+            invalid_arg
+              (Printf.sprintf
+                 "Topology.make: server %d is in both %S and %S"
+                 (Server_id.to_int id) owner d.name)
+          | None -> Hashtbl.replace by_server id d.name)
+        d.servers)
+    domains;
+  { domains; by_server }
+
+let flat ~servers =
+  match servers with
+  (* A server-less cluster gets a domain-less topology rather than an
+     error; everything domain-related is vacuous over it anyway. *)
+  | [] -> { domains = []; by_server = Hashtbl.create 1 }
+  | _ -> make [ { name = "flat"; kind = Rack; servers } ]
+
+let is_flat t = match t.domains with [] | [ _ ] -> true | _ -> false
+
+let domains t = t.domains
+
+let domain_count t = List.length t.domains
+
+let domain_names t = List.map (fun d -> d.name) t.domains
+
+let mem_domain t name =
+  List.exists (fun d -> String.equal d.name name) t.domains
+
+let servers_of t name =
+  List.find_map
+    (fun d -> if String.equal d.name name then Some d.servers else None)
+    t.domains
+
+let domain_of t id = Hashtbl.find_opt t.by_server id
+
+let all_servers t =
+  List.concat_map (fun d -> d.servers) t.domains
+  |> List.sort Server_id.compare
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>topology (%d domain(s))@," (domain_count t);
+  Fmt.list ~sep:Fmt.cut
+    (fun ppf d ->
+      Fmt.pf ppf "  %s %s: servers %a" (kind_name d.kind) d.name
+        (Fmt.list ~sep:Fmt.comma (fun ppf id ->
+             Fmt.int ppf (Server_id.to_int id)))
+        d.servers)
+    ppf t.domains;
+  Fmt.pf ppf "@]"

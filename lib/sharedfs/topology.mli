@@ -1,0 +1,73 @@
+(** Failure-domain topology: which servers fail together.
+
+    Real shared-disk deployments group servers into correlated failure
+    domains — a rack losing power, a RAID disk-group losing its
+    controller — where one physical event takes out several servers at
+    once.  A topology names those domains and assigns each server to
+    at most one of them; the fault layer uses it to materialize
+    correlated (whole-domain) faults, the ANU placement layer to
+    spread the unit interval across domains, and the invariant layer
+    to bound collateral damage under a domain loss.
+
+    A topology is immutable data about the {e initial} cluster
+    layout.  Servers commissioned after creation belong to no domain
+    ({!domain_of} returns [None]) and are exempt from domain
+    constraints. *)
+
+(** What kind of physical grouping a domain models.  The distinction
+    is descriptive (it labels traces and reports); the fault and
+    placement semantics are identical. *)
+type kind = Rack | Disk_group
+
+type domain = {
+  name : string;  (** unique, non-empty — e.g. ["rack0"] *)
+  kind : kind;
+  servers : Server_id.t list;  (** non-empty, each in one domain only *)
+}
+
+type t
+
+(** [make domains] validates and packs a topology.  Raises
+    [Invalid_argument] when [domains] is empty, a name is empty or
+    repeated, a domain has no servers, or a server appears in two
+    domains (or twice in one). *)
+val make : domain list -> t
+
+(** [flat ~servers] is the default single-domain topology: every
+    server in one rack named ["flat"].  Domain faults, the spread
+    constraint and the collateral bound are all vacuous over it, so a
+    cluster created without an explicit topology behaves exactly as
+    before the topology layer existed. *)
+val flat : servers:Server_id.t list -> t
+
+(** [is_flat t] holds when [t] has at most one domain — the case in
+    which no domain constraint can bind (one domain's share is the
+    whole cluster).  Placement and invariant layers skip their domain
+    work entirely for flat topologies. *)
+val is_flat : t -> bool
+
+(** Domains in declaration order. *)
+val domains : t -> domain list
+
+val domain_count : t -> int
+
+(** Domain names in declaration order. *)
+val domain_names : t -> string list
+
+val mem_domain : t -> string -> bool
+
+(** [servers_of t name] is the member list of domain [name] (in
+    declaration order), or [None] for an unknown domain. *)
+val servers_of : t -> string -> Server_id.t list option
+
+(** [domain_of t id] is the name of the domain holding [id], or
+    [None] for servers outside the topology (e.g. commissioned after
+    cluster creation). *)
+val domain_of : t -> Server_id.t -> string option
+
+(** All servers across all domains, sorted by id. *)
+val all_servers : t -> Server_id.t list
+
+val kind_name : kind -> string
+
+val pp : Format.formatter -> t -> unit

@@ -32,5 +32,6 @@ let () =
       ("balance", Test_balance.suite);
       ("membership", Test_membership.suite);
       ("ledger", Test_ledger.suite);
+      ("topology", Test_topology.suite);
       ("fault", Test_fault.suite);
     ]

@@ -224,11 +224,15 @@ let test_plan_partition_timeline () =
 
 let test_plan_spec_kinds_complete () =
   let names = List.map fst Fault.Plan.spec_kinds in
-  check_int "eleven spec kinds documented" 11 (List.length names);
+  check_int "fifteen spec kinds documented" 15 (List.length names);
   List.iter
     (fun n ->
       check_bool (n ^ " documented") true (List.mem n names))
-    [ "crash-at"; "partition-at"; "torn-write"; "move-crash"; "report-loss" ];
+    [
+      "crash-at"; "partition-at"; "torn-write"; "move-crash"; "report-loss";
+      "domain-crash-at"; "domain-recover-at"; "domain-partition-at";
+      "domain-hazard";
+    ];
   List.iter
     (fun (_, desc) -> check_bool "non-empty description" true (desc <> ""))
     Fault.Plan.spec_kinds
@@ -742,6 +746,251 @@ let test_chaos_partition_mix_acceptance () =
   in
   check_bool "partition chaos is byte-reproducible" true (s1 = s2)
 
+(* --- Domain faults: validation, timelines, chaos acceptance --- *)
+
+let error_message f =
+  match f () with
+  | exception Invalid_argument m -> m
+  | _ -> "<no exception raised>"
+
+let test_plan_validation_messages () =
+  (* The error pins the offending spec by position and constructor. *)
+  Alcotest.(check string) "index and constructor named"
+    "Fault.Plan.make: spec 1 (Crash_at): fault time must be >= 0"
+    (error_message (fun () ->
+         Fault.Plan.make ~seed:1
+           [
+             Fault.Plan.Report_loss { probability = 0.1 };
+             Fault.Plan.Crash_at { at = -1.0; server = 0 };
+           ]));
+  Alcotest.(check string) "empty domain name"
+    "Fault.Plan.make: spec 0 (Domain_crash_at): domain name must be non-empty"
+    (error_message (fun () ->
+         Fault.Plan.make ~seed:1
+           [ Fault.Plan.Domain_crash_at { at = 1.0; domain = "" } ]));
+  Alcotest.(check string) "degenerate domain hazard"
+    "Fault.Plan.make: spec 2 (Domain_hazard): mttf and mttr must be positive"
+    (error_message (fun () ->
+         Fault.Plan.make ~seed:1
+           [
+             Fault.Plan.Report_loss { probability = 0.1 };
+             Fault.Plan.Crash_at { at = 0.0; server = 0 };
+             Fault.Plan.Domain_hazard { domain = "r"; mttf = 0.0; mttr = 1.0 };
+           ]));
+  Alcotest.(check string) "zero heal_after on a domain partition"
+    "Fault.Plan.make: spec 0 (Domain_partition_at): partition heal_after \
+     must be positive"
+    (error_message (fun () ->
+         Fault.Plan.make ~seed:1
+           [
+             Fault.Plan.Domain_partition_at
+               { at = 1.0; domain = "r"; link = `Cluster; heal_after = 0.0 };
+           ]));
+  Alcotest.(check string) "negative domain recover time"
+    "Fault.Plan.make: spec 0 (Domain_recover_at): fault time must be >= 0"
+    (error_message (fun () ->
+         Fault.Plan.make ~seed:1
+           [ Fault.Plan.Domain_recover_at { at = -0.5; domain = "r" } ]))
+
+let test_plan_domain_timeline () =
+  let plan = Fault.Plan.domain_mix ~seed:9 ~duration:1000.0 in
+  check_bool "referenced domains in first-mention order" true
+    (Fault.Plan.domains plan = [ "rack0"; "rack1" ]);
+  let tl = Fault.Plan.timeline plan ~duration:1000.0 in
+  check_bool "rack0 partition cut at 0.18d" true
+    (List.mem
+       (180.0, Fault.Plan.Domain_partition { domain = "rack0"; link = `Cluster })
+       tl);
+  check_bool "rack0 heals at 0.33d" true
+    (List.mem
+       (330.0, Fault.Plan.Domain_heal { domain = "rack0"; link = `Cluster })
+       tl);
+  check_bool "rack1 crashes whole at 0.45d" true
+    (List.mem (450.0, Fault.Plan.Domain_crash "rack1") tl);
+  check_bool "rack1 recovers at 0.62d" true
+    (List.mem (620.0, Fault.Plan.Domain_recover "rack1") tl);
+  (* Expansion rewrites every domain event to per-server events at the
+     same instant, members in ascending id order, nothing domain-level
+     left behind. *)
+  let servers_of = function
+    | "rack0" -> [ 1; 0 ]
+    | "rack1" -> [ 4; 2; 3 ]
+    | d -> Alcotest.failf "unexpected domain %s" d
+  in
+  let expanded = Fault.Plan.expand ~servers_of tl in
+  let times = List.map fst expanded in
+  check_bool "expansion keeps times non-decreasing" true
+    (List.sort compare times = times);
+  check_bool "rack1 crash expands to ascending members" true
+    (List.filter_map
+       (fun (at, f) ->
+         match f with
+         | Fault.Plan.Crash s when at = 450.0 -> Some s
+         | _ -> None)
+       expanded
+    = [ 2; 3; 4 ]);
+  check_bool "no domain-level event survives expansion" true
+    (List.for_all
+       (fun (_, f) ->
+         match f with
+         | Fault.Plan.Domain_crash _ | Fault.Plan.Domain_recover _
+         | Fault.Plan.Domain_partition _ | Fault.Plan.Domain_heal _ ->
+           false
+         | _ -> true)
+       expanded)
+
+(* Timelines clip at the horizon exactly: events land in [0, duration),
+   a partition cut is scheduled iff it starts inside the horizon, and
+   its heal iff that also lands inside — for per-server and domain
+   variants alike. *)
+let prop_timeline_clips_at_horizon =
+  QCheck.Test.make ~count:200 ~name:"timeline clips at the horizon"
+    QCheck.(pair small_int (triple (int_bound 20) (int_bound 20) (int_bound 20)))
+    (fun (seed, (a, h, d)) ->
+      (* Halves of integers so [at], [at + heal] and [duration] hit
+         exact equality often — the boundary under test. *)
+      let at = float_of_int a /. 2.0 in
+      let heal = float_of_int (h + 1) /. 2.0 in
+      let duration = float_of_int (d + 1) /. 2.0 in
+      let plan =
+        Fault.Plan.make ~seed
+          [
+            Fault.Plan.Crash_hazard { server = 0; mttf = 2.0; mttr = 1.0 };
+            Fault.Plan.Partition_at
+              { at; server = 1; link = `Disk; heal_after = heal };
+            Fault.Plan.Domain_hazard { domain = "r"; mttf = 2.0; mttr = 1.0 };
+            Fault.Plan.Domain_partition_at
+              { at; domain = "r"; link = `Cluster; heal_after = heal };
+          ]
+      in
+      let tl = Fault.Plan.timeline plan ~duration in
+      let inside = List.for_all (fun (t, _) -> t >= 0.0 && t < duration) tl in
+      let has p = List.exists p tl in
+      let cut_ok =
+        has (fun (_, f) -> f = Fault.Plan.Partition { server = 1; link = `Disk })
+        = (at < duration)
+      and heal_ok =
+        has (fun (_, f) -> f = Fault.Plan.Heal { server = 1; link = `Disk })
+        = (at < duration && at +. heal < duration)
+      and dcut_ok =
+        has (fun (_, f) ->
+            f = Fault.Plan.Domain_partition { domain = "r"; link = `Cluster })
+        = (at < duration)
+      and dheal_ok =
+        has (fun (_, f) ->
+            f = Fault.Plan.Domain_heal { domain = "r"; link = `Cluster })
+        = (at < duration && at +. heal < duration)
+      in
+      if not inside then QCheck.Test.fail_report "event outside [0, duration)";
+      if not (cut_ok && dcut_ok) then
+        QCheck.Test.fail_report "cut scheduled iff at < duration broken";
+      if not (heal_ok && dheal_ok) then
+        QCheck.Test.fail_report "heal scheduled iff inside horizon broken";
+      true)
+
+(* Two domain events at the same instant expand in event order, each
+   domain's members in ascending id order — duplicates kept (expand
+   sorts, it does not dedupe), so the runner's per-member no-op
+   contract is what absorbs overlap, not the plan. *)
+let prop_expand_tie_order =
+  QCheck.Test.make ~count:200 ~name:"expand keeps tie order and sorts members"
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 5) (int_bound 9))
+        (list_of_size Gen.(1 -- 5) (int_bound 9)))
+    (fun (ma, mb) ->
+      let servers_of = function
+        | "a" -> ma
+        | "b" -> mb
+        | _ -> []
+      in
+      let expanded =
+        Fault.Plan.expand ~servers_of
+          [
+            (5.0, Fault.Plan.Domain_crash "a");
+            (5.0, Fault.Plan.Domain_crash "b");
+          ]
+      in
+      let expect =
+        List.map
+          (fun s -> (5.0, Fault.Plan.Crash s))
+          (List.sort Int.compare ma @ List.sort Int.compare mb)
+      in
+      expanded = expect)
+
+let test_chaos_domain_mix_acceptance () =
+  (* The headline correlated-fault scenario: the delegate's whole rack
+     partitions off the cluster at once, later the big rack
+     hard-crashes and recovers as single events — zero violations,
+     fsck clean, byte-reproducible. *)
+  let s1 =
+    Experiments.Chaos.run ~quick:true ~plan_kind:`Domain ~seed:42
+      ~spec:anu_spec ()
+  in
+  check_bool "ANU survives the domain mix" true s1.Experiments.Chaos.survived;
+  check_int "zero violations" 0 (List.length s1.Experiments.Chaos.violations);
+  let fault name = List.assoc_opt name s1.Experiments.Chaos.faults in
+  check_bool "one whole-domain crash" true (fault "domain.crash" = Some 1);
+  check_bool "one whole-domain recovery" true
+    (fault "domain.recover" = Some 1);
+  check_bool "one whole-domain partition cut" true
+    (fault "domain.partition_cut" = Some 1);
+  check_bool "which healed" true (fault "domain.partition_healed" = Some 1);
+  check_int "the armed append tore" 1 s1.Experiments.Chaos.torn_writes;
+  check_bool "zombie writes from the fenced rack all bounced" true
+    (s1.Experiments.Chaos.zombie_writes_rejected > 0);
+  check_bool "the survivors re-elected under a fresh epoch" true
+    (s1.Experiments.Chaos.epoch_bumps >= 1);
+  check_bool "post-run fsck is clean without repair" true
+    s1.Experiments.Chaos.fsck.Cluster.clean;
+  let s2 =
+    Experiments.Chaos.run ~quick:true ~plan_kind:`Domain ~seed:42
+      ~spec:anu_spec ()
+  in
+  check_bool "domain chaos is byte-reproducible" true (s1 = s2)
+
+let test_domain_collateral_both_directions () =
+  (* The regression that pins the safety claim in both directions:
+     spread-constrained ANU holds the collateral bound at every rack
+     count, and the unconstrained twin demonstrably breaks both the
+     geometric and the material half of it. *)
+  let prefixed ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  let f = Experiments.Figures.domain_failure_collateral ~quick:true () in
+  (match f.Experiments.Figures.results with
+  | [ r2; r3; r5; un ] ->
+    List.iter
+      (fun (r : Experiments.Runner.result) ->
+        check_int
+          (r.Experiments.Runner.policy_name ^ " holds the bound")
+          0
+          (List.length r.Experiments.Runner.violations))
+      [ r2; r3; r5 ];
+    Alcotest.(check string) "last panel is the unconstrained twin"
+      "anu-unconstrained" un.Experiments.Runner.policy_name;
+    check_bool "spread violations detected" true
+      (List.exists
+         (fun (_, what) -> prefixed ~prefix:"domain spread broken" what)
+         un.Experiments.Runner.violations);
+    check_bool "collateral violations detected" true
+      (List.exists
+         (fun (_, what) -> prefixed ~prefix:"collateral unbounded" what)
+         un.Experiments.Runner.violations)
+  | rs -> Alcotest.failf "expected four panels, got %d" (List.length rs));
+  let g = Experiments.Figures.domain_failure_collateral ~quick:true () in
+  (* Everything the seed determines must replay exactly; only the
+     engine's wall-clock self-measurement is exempt. *)
+  let virtual_content (fig : Experiments.Figures.figure) =
+    List.map
+      (fun (r : Experiments.Runner.result) ->
+        { r with Experiments.Runner.sim_wall_seconds = 0.0 })
+      fig.Experiments.Figures.results
+  in
+  check_bool "figure is byte-reproducible" true
+    (virtual_content f = virtual_content g)
+
 (* --- qcheck: invariants across arbitrary membership interleavings --- *)
 
 (* Op codes: 0 = fail, 1 = recover, 2 = add, 3 = retune,
@@ -925,5 +1174,15 @@ let suite =
       test_runner_torn_write_repaired;
     Alcotest.test_case "chaos: partition mix acceptance" `Quick
       test_chaos_partition_mix_acceptance;
+    Alcotest.test_case "plan: validation messages" `Quick
+      test_plan_validation_messages;
+    Alcotest.test_case "plan: domain timeline and expansion" `Quick
+      test_plan_domain_timeline;
+    Alcotest.test_case "chaos: domain mix acceptance" `Quick
+      test_chaos_domain_mix_acceptance;
+    Alcotest.test_case "figure: domain collateral both directions" `Slow
+      test_domain_collateral_both_directions;
+    QCheck_alcotest.to_alcotest prop_timeline_clips_at_horizon;
+    QCheck_alcotest.to_alcotest prop_expand_tie_order;
     QCheck_alcotest.to_alcotest prop_interleaving_preserves_invariants;
   ]

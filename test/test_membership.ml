@@ -159,6 +159,25 @@ let test_membership_validation () =
         (Experiments.Membership.study ~servers:3 ~file_sets:10 ~failed:3
            ~seed:0 Experiments.Membership.Anu))
 
+let test_collateral_under_chaos_reproducible () =
+  (* The chaos-collateral study is a pure function of its seed: two
+     invocations agree field for field. *)
+  let spec = Experiments.Scenario.Anu Placement.Anu.default_config in
+  let run () =
+    Experiments.Membership.collateral_under_chaos ~quick:true ~seed:23 ~spec ()
+  in
+  let a = run () in
+  let b = run () in
+  check_bool "byte-reproducible at a fixed seed" true (a = b);
+  check_int "seed recorded" 23 a.Experiments.Membership.seed;
+  check_bool "policy recorded" true
+    (a.Experiments.Membership.policy = "anu");
+  check_int "no invariant violated" 0 a.Experiments.Membership.violations;
+  check_bool "chaos perturbs movement" true
+    (a.Experiments.Membership.chaos_moves
+    <> a.Experiments.Membership.clean_moves
+    || a.Experiments.Membership.moves_failed > 0)
+
 let test_consistent_hash_runs_in_simulator () =
   let trace =
     Workload.Synthetic.generate
@@ -194,6 +213,8 @@ let suite =
     Alcotest.test_case "membership: anu bounded" `Quick
       test_membership_anu_collateral_bounded;
     Alcotest.test_case "membership validation" `Quick test_membership_validation;
+    Alcotest.test_case "collateral under chaos reproducible" `Slow
+      test_collateral_under_chaos_reproducible;
     Alcotest.test_case "consistent hash in simulator" `Slow
       test_consistent_hash_runs_in_simulator;
   ]
