@@ -303,6 +303,8 @@ let run_perf args =
   in
   Format.printf "perf: addressing sweep...@.";
   let addressing = Perf_json.addressing_sweep () in
+  Format.printf "perf: reconfiguration sweep (n = 100 / 1k / 10k)...@.";
+  let scale = Perf_json.reconfig_sweep () in
   (* Observability overhead probe: one streaming ANU run with the span
      and telemetry instrumentation compiled in but no Obs.Ctx attached
      — exactly the hot path every production-shaped run takes.  Its
@@ -332,6 +334,7 @@ let run_perf args =
       figures;
       micros;
       addressing;
+      scale;
       obs_overhead = Some obs_overhead;
       peak_rss_kb = Perf_json.probe_peak_rss_kb ();
     }
@@ -416,6 +419,7 @@ let run_stream_bench args =
       figures = [ figure ];
       micros = [];
       addressing = Perf_json.addressing_sweep ();
+      scale = [];
       obs_overhead = None;
       peak_rss_kb = Perf_json.probe_peak_rss_kb ();
     }
@@ -435,6 +439,57 @@ let run_stream_bench args =
     | Some kb -> Printf.sprintf "%d kB" kb
     | None -> "n/a");
   Format.printf "wrote %s@." path
+
+(* The reconfiguration sweep alone, as a snapshot: the evidence file
+   behind the O(changed) round claim.  `--max-tune-n N` skips the
+   timed retune rounds above cluster size N — the pre-optimization
+   code cannot finish a retune at n = 10,000 in bounded time, so the
+   committed BENCH_scale_before.json is produced with
+   `--max-tune-n 1000`; its n=10000 ns_per_reconfig is 0.0 and the
+   comparison skips that one metric. *)
+let run_scale_probe args =
+  let out = ref "BENCH_scale.json" in
+  let max_tune_n = ref max_int in
+  let rec parse = function
+    | [] -> ()
+    | "--out" :: path :: rest ->
+      out := path;
+      parse rest
+    | "--max-tune-n" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some v when v >= 0 -> max_tune_n := v
+      | _ ->
+        fail_usage "scale-probe: --max-tune-n expects an integer, got %s" n);
+      parse rest
+    | ("--out" | "--max-tune-n") :: [] ->
+      fail_usage "scale-probe: missing value after final option"
+    | arg :: _ -> fail_usage "scale-probe: unknown argument %s" arg
+  in
+  parse args;
+  Format.printf "scale-probe: reconfiguration sweep (n = 100 / 1k / 10k)...@.";
+  let scale = Perf_json.reconfig_sweep ~max_tune_n:!max_tune_n () in
+  List.iter
+    (fun (s : Perf_json.scale_metrics) ->
+      Format.printf
+        "n=%-6d %12.0f ns/round (%.1f rounds/s)%s@." s.n s.ns_per_round
+        s.rounds_per_second
+        (if s.tune_rounds = 0 then ""
+         else Printf.sprintf ", %12.0f ns/reconfig" s.ns_per_reconfig))
+    scale;
+  let snapshot =
+    {
+      Perf_json.quick = false;
+      jobs = 1;
+      figures = [];
+      micros = [];
+      addressing = Perf_json.addressing_sweep ();
+      scale;
+      obs_overhead = None;
+      peak_rss_kb = Perf_json.probe_peak_rss_kb ();
+    }
+  in
+  Perf_json.save snapshot ~path:!out;
+  Format.printf "wrote %s@." !out
 
 let run_compare args =
   let threshold = ref 0.10 in
@@ -482,6 +537,7 @@ let () =
   match List.tl (Array.to_list Sys.argv) with
   | "perf" :: rest -> run_perf rest
   | "stream" :: rest -> run_stream_bench rest
+  | "scale-probe" :: rest -> run_scale_probe rest
   | "compare" :: rest -> run_compare rest
   | args ->
     (* Text mode: figure/study ids with an optional --jobs N. *)

@@ -20,9 +20,15 @@ module Json = Obs.Json
    free-when-off contract.  /4 adds per-figure GC evidence — minor
    words and total allocated words per engine event, and major
    collections over the figure — so the allocation-free hot path is
-   policed by numbers, not by review.  Older files load fine with the
-   missing fields defaulted, so committed baselines keep comparing. *)
-let schema = "shdisk-perf/4"
+   policed by numbers, not by review.  /5 adds the big-cluster
+   reconfiguration sweep: ns_per_round / ns_per_reconfig /
+   rounds_per_second at n = 100 / 1,000 / 10,000 servers, guarding the
+   O(changed)-per-round contract of the delegate hot path.  Older
+   files load fine with the missing fields defaulted, so committed
+   baselines keep comparing. *)
+let schema = "shdisk-perf/5"
+
+let schema_v4 = "shdisk-perf/4"
 
 let schema_v3 = "shdisk-perf/3"
 
@@ -58,12 +64,33 @@ type addressing_metrics = {
   locate_ns : float;  (* mean wall ns per locate over the sweep *)
 }
 
+type scale_metrics = {
+  n : int;  (* cluster size of this sweep point *)
+  hold_rounds : int;  (* timed all-hold delegate rounds *)
+  tune_rounds : int;  (* timed full-retune rounds; 0 = not measured *)
+  ns_per_round : float;
+      (* mean wall ns of one steady-state delegate round — every server
+         reports an in-band latency, no region moves: the cost floor
+         every reconfiguration interval pays at cluster size [n] *)
+  ns_per_reconfig : float;
+      (* mean wall ns of one full retune round — 1% of the servers
+         report an out-of-band latency, shrink, and the freed measure
+         is redistributed over the whole map; 0.0 when [tune_rounds]
+         was 0 (the pre-optimization code cannot finish this round at
+         n = 10,000 in bounded time, so before-snapshots omit it
+         there; zero baselines are skipped by the comparison) *)
+  rounds_per_second : float;  (* 1e9 / ns_per_round *)
+}
+
 type t = {
   quick : bool;
   jobs : int;
   figures : figure_metrics list;
   micros : micro_metrics list;
   addressing : addressing_metrics;
+  scale : scale_metrics list;
+      (* the reconfiguration sweep, one entry per cluster size;
+         [] in pre-/5 snapshots and in stream-bench output *)
   obs_overhead : figure_metrics option;
       (* the disabled-instrumentation probe: one streaming run with a
          null Obs.Ctx, so its events/s polices the
@@ -165,6 +192,95 @@ let addressing_sweep ?(lookups = 20_000) () =
     locate_ns = elapsed *. 1e9 /. float_of_int lookups;
   }
 
+(* The big-cluster reconfiguration sweep: for each cluster size [n], a
+   fresh flat-topology ANU instance (family seed 42) is driven through
+   synthetic delegate rounds — no cluster and no simulator, just the
+   delegate-side hot path every reconfiguration interval pays.
+
+   Steady rounds: every server reports the same in-band latency, every
+   heuristic says Hold and no region moves — the per-round floor.
+   Retune rounds: 1% of the servers (a rotating window, so divergent
+   tuning never suppresses the shrink) report 4x the median latency;
+   they shrink to the floor and renormalization regrows every
+   survivor, so one retune exercises the full shrink/grow path over
+   the whole map.  Latencies and the rotation are deterministic, so
+   the tuned region map after the sweep is a pure function of
+   (n, rounds) — the scale oracle tests pin it byte-for-byte. *)
+let scale_reports ~n ~outlier_lo ~outlier_hi =
+  List.init n (fun i ->
+      let latency =
+        if i >= outlier_lo && i < outlier_hi then 400.0 else 100.0
+      in
+      {
+        Sharedfs.Delegate.server = Sharedfs.Server_id.of_int i;
+        speed_hint = 1.0;
+        report =
+          {
+            Sharedfs.Server.mean_latency = latency;
+            max_latency = latency;
+            requests = 100;
+          };
+      })
+
+let scale_feedback reports =
+  { Placement.Policy.time = 0.0; reports; future_demand = lazy [] }
+
+let scale_point ~n ~hold_rounds ~tune_rounds =
+  let family = Hashlib.Hash_family.create ~seed:42 in
+  let servers = List.init n Sharedfs.Server_id.of_int in
+  let anu = Placement.Anu.create ~family ~servers () in
+  let hold = scale_reports ~n ~outlier_lo:0 ~outlier_hi:0 in
+  (* Warm-up round, untimed: fills the divergent-tuning history and
+     grows the policy's internal tables. *)
+  Placement.Anu.rebalance anu (scale_feedback hold);
+  let t0 = Desim.Clock.now_ns () in
+  for _ = 1 to hold_rounds do
+    Placement.Anu.rebalance anu (scale_feedback hold)
+  done;
+  let hold_seconds = Desim.Clock.seconds_since t0 in
+  (* Retunes: window [c*k, c*k + k) of servers reports 4x the median.
+     Report lists are built outside the clock — the probe times the
+     policy, not list construction. *)
+  let k = max 1 (n / 100) in
+  let tune_seconds = ref 0.0 in
+  for c = 0 to tune_rounds - 1 do
+    let lo = c * k mod n in
+    let reports = scale_reports ~n ~outlier_lo:lo ~outlier_hi:(lo + k) in
+    let t0 = Desim.Clock.now_ns () in
+    Placement.Anu.rebalance anu (scale_feedback reports);
+    tune_seconds := !tune_seconds +. Desim.Clock.seconds_since t0
+  done;
+  let ns_per_round = hold_seconds *. 1e9 /. float_of_int hold_rounds in
+  {
+    n;
+    hold_rounds;
+    tune_rounds;
+    ns_per_round;
+    ns_per_reconfig =
+      (if tune_rounds = 0 then 0.0
+       else !tune_seconds *. 1e9 /. float_of_int tune_rounds);
+    rounds_per_second =
+      (if ns_per_round > 0.0 then 1e9 /. ns_per_round else 0.0);
+  }
+
+(* [max_tune_n] bounds the sizes that run timed retune rounds: the
+   pre-optimization implementation pays O(n^2 log n) per regrown
+   server, which does not finish at n = 10,000 in bounded time, so the
+   committed before-snapshot is generated with [~max_tune_n:1000]. *)
+let reconfig_sweep ?(sizes = [ 100; 1_000; 10_000 ]) ?(max_tune_n = max_int) ()
+    =
+  List.map
+    (fun n ->
+      let hold_rounds = if n >= 10_000 then 5 else if n >= 1_000 then 20 else 50
+      in
+      let tune_rounds =
+        if n > max_tune_n then 0
+        else if n >= 1_000 then 2
+        else 10
+      in
+      scale_point ~n ~hold_rounds ~tune_rounds)
+    sizes
+
 (* --- JSON encoding --- *)
 
 let json_of_figure f =
@@ -186,6 +302,17 @@ let json_of_figure f =
 let json_of_micro m =
   Json.Obj [ ("name", Json.Str m.name); ("ns_per_run", Json.Num m.ns_per_run) ]
 
+let json_of_scale s =
+  Json.Obj
+    [
+      ("n", Json.Num (float_of_int s.n));
+      ("hold_rounds", Json.Num (float_of_int s.hold_rounds));
+      ("tune_rounds", Json.Num (float_of_int s.tune_rounds));
+      ("ns_per_round", Json.Num s.ns_per_round);
+      ("ns_per_reconfig", Json.Num s.ns_per_reconfig);
+      ("rounds_per_second", Json.Num s.rounds_per_second);
+    ]
+
 let to_json t =
   Json.Obj
     ([
@@ -194,6 +321,7 @@ let to_json t =
       ("jobs", Json.Num (float_of_int t.jobs));
       ("figures", Json.List (List.map json_of_figure t.figures));
       ("micro", Json.List (List.map json_of_micro t.micros));
+      ("scale", Json.List (List.map json_of_scale t.scale));
       ( "addressing",
         Json.Obj
           [
@@ -258,8 +386,9 @@ let figure_of_json f =
 
 let of_json j =
   (match Json.to_str (Json.member "schema" j) with
-  | Some s when s = schema || s = schema_v3 || s = schema_v2 || s = schema_v1
-    ->
+  | Some s
+    when s = schema || s = schema_v4 || s = schema_v3 || s = schema_v2
+         || s = schema_v1 ->
     ()
   | Some s -> failwith (Printf.sprintf "unsupported schema %S" s)
   | None -> failwith "not a shdisk-perf snapshot (no schema field)");
@@ -286,6 +415,23 @@ let of_json j =
       locate_ns = num_field a "locate_ns";
     }
   in
+  (* pre-/5 snapshots have no reconfiguration sweep *)
+  let scale =
+    match Json.to_list (Json.member "scale" j) with
+    | None -> []
+    | Some items ->
+      List.map
+        (fun s ->
+          {
+            n = int_of_float (num_field s "n");
+            hold_rounds = int_of_float (num_field s "hold_rounds");
+            tune_rounds = int_of_float (num_field s "tune_rounds");
+            ns_per_round = num_field s "ns_per_round";
+            ns_per_reconfig = num_field s "ns_per_reconfig";
+            rounds_per_second = num_field s "rounds_per_second";
+          })
+        items
+  in
   {
     quick = (match Json.member "quick" j with Json.Bool b -> b | _ -> false);
     jobs =
@@ -293,6 +439,7 @@ let of_json j =
     figures;
     micros;
     addressing;
+    scale;
     obs_overhead =
       (match Json.member "obs_overhead" j with
       | Json.Null -> None
@@ -355,6 +502,17 @@ let rows t =
         t.addressing.probes_per_lookup );
       ("addressing.locate_ns", Lower_better, t.addressing.locate_ns);
     ]
+  @ List.concat_map
+      (fun s ->
+        let key suffix = Printf.sprintf "scale.n%d.%s" s.n suffix in
+        [
+          (key "ns_per_round", Lower_better, s.ns_per_round);
+          (* 0.0 when the retune was not measured at this size; zero
+             baselines are skipped by the comparison *)
+          (key "ns_per_reconfig", Lower_better, s.ns_per_reconfig);
+          (key "rounds_per_second", Higher_better, s.rounds_per_second);
+        ])
+      t.scale
   @ (match t.obs_overhead with
     | None -> []
     | Some f ->

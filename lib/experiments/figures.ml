@@ -393,6 +393,53 @@ let domain_failure_collateral ?(quick = false) ?jobs:_ ?obs () =
     results = List.map spread_run [ 2; 3; 5 ] @ [ unconstrained ];
   }
 
+(* The big-cluster reconfiguration family: ANU and round-robin over
+   100, 1,000 and 10,000 servers on the figure-6 workload, with the
+   delta-maintained invariant accumulators standing in for the full
+   per-round sweep (the full check still runs, and resyncs the
+   accumulators, at every membership event — here only the start).
+   The request count is fixed across sizes: the figure measures what a
+   reconfiguration round costs as the cluster grows, not how a bigger
+   cluster absorbs more load, so the per-round work (collect, tune,
+   re-address, invariants) is the only thing that scales. *)
+let scale ?(quick = false) ?jobs ?obs () =
+  let sizes = [ 100; 1_000; 10_000 ] in
+  let requests = if quick then 4_000 else 40_000 in
+  let runs =
+    List.concat_map
+      (fun n ->
+        let scenario = Scenario.scale_cluster ~n in
+        let anu_n =
+          Scenario.Anu
+            {
+              Placement.Anu.default_config with
+              name = Printf.sprintf "anu-n%d" n;
+            }
+        in
+        List.map
+          (fun spec () ->
+            Runner.run_stream scenario spec ~stream:(dfs_stream ~requests)
+              ?obs ~check_invariants:true ~light_invariants:true ())
+          [ anu_n; Scenario.Round_robin ])
+      sizes
+  in
+  let jobs = match jobs with Some j -> j | None -> 1 in
+  {
+    id = "scale";
+    title = "Reconfiguration rounds at 100 / 1,000 / 10,000 servers";
+    description =
+      Printf.sprintf
+        "ANU and round-robin on the figure-6 workload (%d requests, \
+         five speeds cycled, ten racks, seed 42) as the cluster grows \
+         two orders of magnitude: every reconfiguration round still \
+         collects, tunes and re-addresses, and every round is \
+         invariant-checked through the O(changed) accumulators.  Runs \
+         come in size order — ANU then round-robin at n = 100, 1,000, \
+         10,000."
+        requests;
+    results = Par.Pool.run ~jobs runs;
+  }
+
 let registry =
   [
     ("fig6", fig6);
@@ -410,6 +457,7 @@ let registry =
     ("failure-recovery-chaos", failure_recovery_chaos);
     ("partition-chaos", partition_chaos);
     ("domain-failure-collateral", domain_failure_collateral);
+    ("scale", scale);
   ]
 
 let all_ids = List.map fst registry

@@ -98,6 +98,16 @@ val partition_chaos :
 val domain_failure_collateral :
   ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
 
+(** Scale family: ANU and round-robin over 100, 1,000 and 10,000
+    servers (five speeds cycled, ten racks, seed 42) on the figure-6
+    workload at a fixed request count, so only the per-round
+    reconfiguration work grows with the cluster.  Every round is
+    invariant-checked through the delta-maintained
+    {!Fault.Invariants.Acc} (the runner's [light_invariants] mode);
+    [quick] shrinks the request count for the CI smoke.  Deterministic:
+    equal invocations produce byte-identical output. *)
+val scale : ?quick:bool -> ?jobs:int -> ?obs:Obs.Ctx.t -> unit -> figure
+
 (** [dfs_stream ~requests] is the figure-6 workload as a pull stream
     at an arbitrary request count: the count scales while the mean
     demand scales inversely, holding offered load at the figure's

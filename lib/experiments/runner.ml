@@ -162,8 +162,8 @@ let merge_latency ~names ~nfs lat_m lat_q =
   (!lat_moments, !lat_quantile)
 
 let run_stream_serial scenario spec ~stream ~events ~obs ?faults
-    ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
-    ?on_request_complete () =
+    ?check_invariants ?invariant_extra ?(light_invariants = false)
+    ?on_sim_created ?on_cluster ?on_request_complete () =
   let sim = Desim.Sim.create () in
   Option.iter (fun f -> f sim) on_sim_created;
   let disk = Sharedfs.Shared_disk.create () in
@@ -225,18 +225,39 @@ let run_stream_serial scenario spec ~stream ~events ~obs ?faults
     | None -> ()
     | Some m -> Obs.Metrics.Counter.incr (Obs.Metrics.counter m name)
   in
+  let record v =
+    violations :=
+      (v.Fault.Invariants.time, v.Fault.Invariants.what) :: !violations;
+    bump "invariants.violations";
+    if Obs.Ctx.tracing obs then
+      Obs.Ctx.emit obs
+        (Obs.Event.Invariant_violation
+           { time = v.Fault.Invariants.time; what = v.Fault.Invariants.what })
+  in
+  (* Light mode keeps a delta-maintained accumulator for the per-round
+     checks: rounds cost O(changed servers) instead of a full cluster
+     walk, which is what makes checked 10k-server runs affordable.
+     Membership events (rare) still run the full oracle check and
+     resync the accumulator. *)
+  let inv_acc =
+    if do_check && light_invariants then
+      Some (Fault.Invariants.Acc.create ~cluster ~policy ())
+    else None
+  in
   let check_now () =
+    if do_check then begin
+      List.iter record
+        (Fault.Invariants.check ?extra:invariant_extra ~cluster ~policy ());
+      Option.iter Fault.Invariants.Acc.resync inv_acc
+    end
+  in
+  let check_round () =
     if do_check then
-      List.iter
-        (fun v ->
-          violations :=
-            (v.Fault.Invariants.time, v.Fault.Invariants.what) :: !violations;
-          bump "invariants.violations";
-          if Obs.Ctx.tracing obs then
-            Obs.Ctx.emit obs
-              (Obs.Event.Invariant_violation
-                 { time = v.Fault.Invariants.time; what = v.Fault.Invariants.what }))
-        (Fault.Invariants.check ?extra:invariant_extra ~cluster ~policy ())
+      match inv_acc with
+      | Some acc ->
+        Fault.Invariants.Acc.round acc;
+        List.iter record (Fault.Invariants.Acc.check acc ~cluster)
+      | None -> check_now ()
   in
   (match (Obs.Ctx.metrics obs, faults) with
   | Some m, Some _ ->
@@ -655,7 +676,7 @@ let run_stream_serial scenario spec ~stream ~events ~obs ?faults
            reports);
       emit_rehash ~time:at ~trigger:"delegate-round" moved
     end;
-    check_now ()
+    check_round ()
   in
   let rec arm_round k =
     if k <= rounds then begin
@@ -1050,8 +1071,8 @@ let run_stream_par scenario spec ~stream ~batch ~jobs () =
   }
 
 let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
-    ?faults ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
-    ?on_request_complete ?(jobs = 1) () =
+    ?faults ?check_invariants ?invariant_extra ?light_invariants
+    ?on_sim_created ?on_cluster ?on_request_complete ?(jobs = 1) () =
   (* One figure runs several simulations, possibly concurrently (one
      per domain): derive a per-run context with a fresh metrics
      registry so the snapshot attached to this result covers exactly
@@ -1078,8 +1099,8 @@ let run_stream scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
   | Some batch -> run_stream_par scenario spec ~stream ~batch ~jobs ()
   | None ->
     run_stream_serial scenario spec ~stream ~events ~obs ?faults
-      ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
-      ?on_request_complete ()
+      ?check_invariants ?invariant_extra ?light_invariants ?on_sim_created
+      ?on_cluster ?on_request_complete ()
 
 let run scenario spec ~trace ?events ?obs ?faults ?check_invariants
     ?invariant_extra ?on_sim_created ?on_cluster ?on_request_complete ?jobs ()

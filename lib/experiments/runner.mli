@@ -121,6 +121,14 @@ val throughput : result list -> throughput
     check — the test-suite hook for planting a deliberately broken
     invariant.
 
+    [light_invariants] (default [false]) swaps the per-round full
+    check for the delta-maintained {!Fault.Invariants.Acc} — rounds
+    cost O(changed servers) instead of a full cluster walk, which is
+    what keeps a checked 10,000-server run affordable (the [scale]
+    figure's configuration).  Membership events still run the full
+    oracle check (and resync the accumulator), and [invariant_extra]
+    still rides those full checks.  Meaningless unless checks are on.
+
     [on_sim_created] runs right after the simulator is built, letting
     callers attach additional model components (e.g. a {!Sharedfs.San}
     data path) to the same virtual clock.  [on_cluster] runs right
@@ -149,6 +157,7 @@ val run_stream :
   ?faults:Fault.Plan.t ->
   ?check_invariants:bool ->
   ?invariant_extra:(unit -> string list) ->
+  ?light_invariants:bool ->
   ?on_sim_created:(Desim.Sim.t -> unit) ->
   ?on_cluster:(Sharedfs.Cluster.t -> unit) ->
   ?on_request_complete:(Workload.Trace.record -> latency:float -> unit) ->

@@ -67,6 +67,28 @@ let rack_topology ?(servers = paper_servers) ~domains () =
 
 let paper_topology = rack_topology ~domains:2 ()
 
+(* The paper's five speeds, cycled over [n] servers: the scale
+   family's cluster.  Ten racks (fewer when n < 10) keep the
+   domain-spread machinery engaged at every size without changing the
+   workload story; seed 42 matches the chaos experiments'
+   reproducibility convention. *)
+let scale_cluster ~n =
+  if n < 1 then invalid_arg "Scenario.scale_cluster: n must be >= 1";
+  let speeds = [| 1.0; 3.0; 5.0; 7.0; 9.0 |] in
+  let servers =
+    List.init n (fun i -> (i, speeds.(i mod Array.length speeds)))
+  in
+  {
+    label = Printf.sprintf "scale-n%d" n;
+    servers;
+    reconfig_interval = 120.0;
+    series_interval = 120.0;
+    hash_seed = 42;
+    move_config = Sharedfs.Cluster.default_move_config;
+    cache_config = None;
+    topology = Some (rack_topology ~servers ~domains:(Int.min 10 n) ());
+  }
+
 let policy_name = function
   | Simple_random -> "simple-random"
   | Round_robin -> "round-robin"

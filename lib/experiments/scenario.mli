@@ -50,6 +50,14 @@ val rack_topology :
     is written against. *)
 val paper_topology : Sharedfs.Topology.t
 
+(** [scale_cluster ~n] is the big-cluster scenario behind the [scale]
+    figure: [n] servers with the paper's five speeds cycled
+    (1, 3, 5, 7, 9, 1, …), two-minute reconfiguration, hash seed 42,
+    and a ten-rack topology (fewer racks when [n < 10]) so the
+    domain-spread clamp and its invariant stay engaged at every size.
+    Raises [Invalid_argument] when [n < 1]. *)
+val scale_cluster : n:int -> t
+
 val policy_name : policy_spec -> string
 
 (** [make_policy spec ~scenario ~file_sets] instantiates a policy for

@@ -264,6 +264,164 @@ let collateral_bounded ?(slack = 0.1) ~cluster () =
           else None)
         (Sharedfs.Topology.domains topology)
 
+(* Delta-maintained accumulators for the per-round invariants whose
+   full recompute walks the whole cluster: half occupancy, negative
+   regions and domain spread (conservation is already O(1) counters).
+   [round] drains the policy's changed-server journal and applies the
+   measure deltas — O(changed servers); membership events call
+   [resync], a full O(n) rebuild that makes the state exact again.
+   The full recompute above is retained as the oracle: the test suite
+   pins that both report the same verdicts.  (The running float sums
+   can differ from the fold-from-scratch sums in the last bits, ~1e-15
+   per round against thresholds of 1e-9 — the message text of an
+   already-fired violation may therefore differ in final digits, but
+   whether a violation fires agrees far from the threshold, which the
+   qcheck suite exercises.) *)
+module Acc = struct
+  type acc = {
+    policy : Placement.Policy.t;
+    topology : Sharedfs.Topology.t;
+    eps : float;
+    slack : float;
+    measures : (Server_id.t, float) Hashtbl.t;
+    mutable total : float;
+    mutable n : int; (* servers currently in the map *)
+    domain_sum : (string, float) Hashtbl.t;
+    domain_k : (string, int) Hashtbl.t; (* members present in the map *)
+    mutable negatives : Server_id.Set.t;
+  }
+
+  type t = acc
+
+  let resync t =
+    Hashtbl.reset t.measures;
+    Hashtbl.reset t.domain_sum;
+    Hashtbl.reset t.domain_k;
+    t.total <- 0.0;
+    t.negatives <- Server_id.Set.empty;
+    let regions = t.policy.Placement.Policy.regions () in
+    t.n <- List.length regions;
+    List.iter
+      (fun (id, m) ->
+        Hashtbl.replace t.measures id m;
+        t.total <- t.total +. m;
+        if m < -.t.eps then t.negatives <- Server_id.Set.add id t.negatives;
+        match Sharedfs.Topology.domain_of t.topology id with
+        | None -> ()
+        | Some name ->
+          Hashtbl.replace t.domain_sum name
+            (Option.value ~default:0.0 (Hashtbl.find_opt t.domain_sum name)
+            +. m);
+          Hashtbl.replace t.domain_k name
+            (Option.value ~default:0 (Hashtbl.find_opt t.domain_k name) + 1))
+      regions;
+    (* The journal reflects mutations the rebuild just absorbed. *)
+    let (_ : (Server_id.t * float) list) =
+      t.policy.Placement.Policy.changed_servers ()
+    in
+    ()
+
+  let create ?(eps = 1e-9) ?(slack = 0.1) ~cluster ~policy () =
+    let t =
+      {
+        policy;
+        topology = Cluster.topology cluster;
+        eps;
+        slack;
+        measures = Hashtbl.create 64;
+        total = 0.0;
+        n = 0;
+        domain_sum = Hashtbl.create 8;
+        domain_k = Hashtbl.create 8;
+        negatives = Server_id.Set.empty;
+      }
+    in
+    resync t;
+    t
+
+  (* Apply one round's measure deltas.  Membership is deliberately NOT
+     inferred here (a removed server and one tuned to measure zero
+     both report 0.0): the runner resyncs on membership events, so
+     between resyncs [n] and the per-domain member counts are
+     constant and only the sums move. *)
+  let round t =
+    List.iter
+      (fun (id, m) ->
+        let old = Option.value ~default:0.0 (Hashtbl.find_opt t.measures id) in
+        t.total <- t.total +. (m -. old);
+        Hashtbl.replace t.measures id m;
+        t.negatives <-
+          (if m < -.t.eps then Server_id.Set.add id t.negatives
+           else Server_id.Set.remove id t.negatives);
+        match Sharedfs.Topology.domain_of t.topology id with
+        | None -> ()
+        | Some name ->
+          Hashtbl.replace t.domain_sum name
+            (Option.value ~default:0.0 (Hashtbl.find_opt t.domain_sum name)
+            +. (m -. old)))
+      (t.policy.Placement.Policy.changed_servers ())
+
+  (* Same verdicts and message formats as [check_regions],
+     [check_conservation] and [domain_spread], from the running state:
+     O(#negatives + #domains) instead of O(n). *)
+  let check t ~cluster =
+    let time = Desim.Sim.now (Cluster.sim cluster) in
+    let regions_violations =
+      if t.n = 0 then []
+      else begin
+        let negative =
+          List.filter_map
+            (fun id ->
+              let m =
+                Option.value ~default:0.0 (Hashtbl.find_opt t.measures id)
+              in
+              if m < -.t.eps then
+                Some
+                  (Printf.sprintf "server %d region measure is negative: %.12g"
+                     (Server_id.to_int id) m)
+              else None)
+            (Server_id.Set.elements t.negatives)
+        in
+        if Float.abs (t.total -. 0.5) > t.eps then
+          Printf.sprintf
+            "half-occupancy broken: mapped measure %.12g, expected 0.5" t.total
+          :: negative
+        else negative
+      end
+    in
+    let spread_violations =
+      if Sharedfs.Topology.is_flat t.topology || t.n = 0 || t.total <= 0.0
+      then []
+      else
+        List.filter_map
+          (fun (d : Sharedfs.Topology.domain) ->
+            let name = d.Sharedfs.Topology.name in
+            match Hashtbl.find_opt t.domain_k name with
+            | None | Some 0 -> None
+            | Some k ->
+              let measure =
+                Option.value ~default:0.0 (Hashtbl.find_opt t.domain_sum name)
+              in
+              let cap =
+                Float.min 1.0
+                  ((float_of_int k /. float_of_int t.n) +. t.slack)
+                *. t.total
+              in
+              if measure > cap +. 1e-9 then
+                Some
+                  (Printf.sprintf
+                     "domain spread broken: domain %s maps %.12g of %.12g \
+                      (%d of %d servers, cap %.12g)"
+                     name measure t.total k t.n cap)
+              else None)
+          (Sharedfs.Topology.domains t.topology)
+    in
+    let whats =
+      regions_violations @ check_conservation cluster @ spread_violations
+    in
+    List.map (fun what -> { time; what }) whats
+end
+
 let check ?(eps = 1e-9) ?(spread_slack = 0.1) ?extra ~cluster ~policy () =
   let time = Desim.Sim.now (Cluster.sim cluster) in
   let whats =

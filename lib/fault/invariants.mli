@@ -54,6 +54,43 @@ val check :
   unit ->
   violation list
 
+(** Delta-maintained accumulators for the per-round subset of the
+    invariants — half occupancy, negative regions, request
+    conservation and domain spread.  A 10,000-server round checks in
+    O(changed servers + #domains) instead of O(n): {!Acc.round} drains
+    the policy's {!Placement.Policy.t.changed_servers} journal and
+    applies measure deltas to running sums; {!Acc.check} renders
+    verdicts from those sums with the same message formats as the full
+    recompute, which remains the oracle ({!check} is unchanged and the
+    test suite pins that both agree).  Membership events change [n]
+    and the per-domain member counts, which the deltas cannot see —
+    call {!Acc.resync} (full O(n) rebuild) after every failure or
+    addition; the runner's light-invariants mode does exactly this. *)
+module Acc : sig
+  type t
+
+  (** [create ~cluster ~policy ()] snapshots the policy's current
+      regions ([eps], [slack] as in {!check}); the journal is drained
+      so subsequent rounds see only new deltas. *)
+  val create :
+    ?eps:float ->
+    ?slack:float ->
+    cluster:Sharedfs.Cluster.t ->
+    policy:Placement.Policy.t ->
+    unit ->
+    t
+
+  (** Apply one reconfiguration round's deltas — O(changed). *)
+  val round : t -> unit
+
+  (** Full rebuild from [policy.regions ()] — O(n).  Required after
+      membership events; also re-zeroes any accumulated float drift. *)
+  val resync : t -> unit
+
+  (** Verdicts from the running sums — O(#negatives + #domains). *)
+  val check : t -> cluster:Sharedfs.Cluster.t -> violation list
+end
+
 (** [domain_spread ~cluster ~policy ()] checks the geometric half of
     the collateral bound: under the cluster's topology, no failure
     domain's summed region measure may exceed

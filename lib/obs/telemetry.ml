@@ -1,6 +1,10 @@
-type config = { interval : float; top_k : int }
+type config = {
+  interval : float;
+  top_k : int;
+  max_tracked_servers : int option;
+}
 
-let default_config = { interval = 60.0; top_k = 10 }
+let default_config = { interval = 60.0; top_k = 10; max_tracked_servers = None }
 
 (* --- Space-saving heavy-hitter sketch (Metwally et al.) ---
 
@@ -59,9 +63,19 @@ type server_state = {
   mutable requests : int;
 }
 
+(* Scalar totals kept for every server when the series cap is on: at
+   10,000 servers the per-bucket point lists are what blow memory up,
+   while two scalars per server stay trivial, so requests and
+   utilization remain exact for everybody no matter the cap. *)
+type scalar_state = { mutable s_requests : int; mutable s_busy : float }
+
 type t = {
   config : config;
   servers : (int, server_state) Hashtbl.t;
+  scalars : (int, scalar_state) Hashtbl.t;  (* capped mode only *)
+  mutable tracked_min : int;
+      (* lower bound on the smallest tracked request count; promotion
+         scans only when a scalar count crosses it *)
   request_rate : Desim.Timeseries.t;
   sketch : Sketch.t;
   mutable total_requests : int;
@@ -70,35 +84,96 @@ type t = {
 let of_config config =
   if config.interval <= 0.0 then
     invalid_arg "Telemetry.create: interval must be positive";
+  (match config.max_tracked_servers with
+  | Some k when k <= 0 ->
+    invalid_arg "Telemetry.create: max_tracked_servers must be > 0"
+  | Some _ | None -> ());
   {
     config;
     servers = Hashtbl.create 16;
+    scalars = Hashtbl.create 16;
+    tracked_min = 0;
     request_rate = Desim.Timeseries.create ~interval:config.interval;
     sketch = Sketch.create ~capacity:(max 1 config.top_k);
     total_requests = 0;
   }
 
 let create ?(interval = default_config.interval)
-    ?(top_k = default_config.top_k) () =
-  of_config { interval; top_k }
+    ?(top_k = default_config.top_k) ?max_tracked_servers () =
+  of_config { interval; top_k; max_tracked_servers }
 
 let config t = t.config
+
+let fresh_state t =
+  {
+    queue_depth = Desim.Timeseries.create ~interval:t.config.interval;
+    occupancy = Desim.Timeseries.create ~interval:t.config.interval;
+    latency = Desim.Timeseries.create ~interval:t.config.interval;
+    busy_seconds = 0.0;
+    requests = 0;
+  }
 
 let server_state t server =
   match Hashtbl.find_opt t.servers server with
   | Some s -> s
   | None ->
-    let s =
-      {
-        queue_depth = Desim.Timeseries.create ~interval:t.config.interval;
-        occupancy = Desim.Timeseries.create ~interval:t.config.interval;
-        latency = Desim.Timeseries.create ~interval:t.config.interval;
-        busy_seconds = 0.0;
-        requests = 0;
-      }
-    in
+    let s = fresh_state t in
     Hashtbl.add t.servers server s;
     s
+
+let scalar_state t server =
+  match Hashtbl.find_opt t.scalars server with
+  | Some s -> s
+  | None ->
+    let s = { s_requests = 0; s_busy = 0.0 } in
+    Hashtbl.add t.scalars server s;
+    s
+
+(* Capped-mode series lookup: the first [k] servers get series
+   outright; afterwards a server whose completed-request total
+   overtakes the smallest tracked total evicts that entry
+   (space-saving over servers — the same idea as the file-set sketch,
+   with the per-server scalar as the exact count).  Ties evict the
+   smallest id, mirroring the sketch's determinism rule.  A promoted
+   server starts fresh series from its promotion time; its scalar
+   totals are unaffected. *)
+let tracked_state t server ~(scalar : scalar_state) =
+  match Hashtbl.find_opt t.servers server with
+  | Some s -> Some s
+  | None ->
+    let k =
+      match t.config.max_tracked_servers with Some k -> k | None -> assert false
+    in
+    if Hashtbl.length t.servers < k then begin
+      let s = fresh_state t in
+      Hashtbl.add t.servers server s;
+      Some s
+    end
+    else if scalar.s_requests <= t.tracked_min then None
+    else begin
+      let victim = ref None in
+      Hashtbl.iter
+        (fun id (s : server_state) ->
+          match !victim with
+          | None -> victim := Some (id, s)
+          | Some (vid, vs) ->
+            if
+              s.requests < vs.requests
+              || (s.requests = vs.requests && id < vid)
+            then victim := Some (id, s))
+        t.servers;
+      match !victim with
+      | None -> None
+      | Some (vid, vs) ->
+        t.tracked_min <- vs.requests;
+        if scalar.s_requests <= vs.requests then None
+        else begin
+          Hashtbl.remove t.servers vid;
+          let s = fresh_state t in
+          Hashtbl.add t.servers server s;
+          Some s
+        end
+    end
 
 let observe_submit t ~time ~file_set =
   t.total_requests <- t.total_requests + 1;
@@ -106,15 +181,36 @@ let observe_submit t ~time ~file_set =
   Sketch.observe t.sketch file_set
 
 let observe_service t ~time ~server ~service =
-  let s = server_state t server in
-  s.busy_seconds <- s.busy_seconds +. service;
-  Desim.Timeseries.observe s.occupancy ~time service
+  match t.config.max_tracked_servers with
+  | None ->
+    let s = server_state t server in
+    s.busy_seconds <- s.busy_seconds +. service;
+    Desim.Timeseries.observe s.occupancy ~time service
+  | Some _ ->
+    let sc = scalar_state t server in
+    sc.s_busy <- sc.s_busy +. service;
+    (match tracked_state t server ~scalar:sc with
+    | Some s ->
+      s.busy_seconds <- s.busy_seconds +. service;
+      Desim.Timeseries.observe s.occupancy ~time service
+    | None -> ())
 
 let observe_complete t ~time ~server ~queue_depth ~latency =
-  let s = server_state t server in
-  s.requests <- s.requests + 1;
-  Desim.Timeseries.observe s.queue_depth ~time (float_of_int queue_depth);
-  Desim.Timeseries.observe s.latency ~time latency
+  match t.config.max_tracked_servers with
+  | None ->
+    let s = server_state t server in
+    s.requests <- s.requests + 1;
+    Desim.Timeseries.observe s.queue_depth ~time (float_of_int queue_depth);
+    Desim.Timeseries.observe s.latency ~time latency
+  | Some _ ->
+    let sc = scalar_state t server in
+    sc.s_requests <- sc.s_requests + 1;
+    (match tracked_state t server ~scalar:sc with
+    | Some s ->
+      s.requests <- s.requests + 1;
+      Desim.Timeseries.observe s.queue_depth ~time (float_of_int queue_depth);
+      Desim.Timeseries.observe s.latency ~time latency
+    | None -> ())
 
 type server_summary = {
   server : int;
@@ -139,20 +235,51 @@ type snapshot = {
 
 let snapshot (t : t) ~until =
   let servers =
-    Hashtbl.fold
-      (fun server (s : server_state) acc ->
-        {
-          server;
-          requests = s.requests;
-          busy_seconds = s.busy_seconds;
-          utilization = (if until > 0.0 then s.busy_seconds /. until else 0.0);
-          queue_depth = Desim.Timeseries.finish s.queue_depth ~until;
-          occupancy = Desim.Timeseries.finish s.occupancy ~until;
-          latency = Desim.Timeseries.finish s.latency ~until;
-        }
-        :: acc)
-      t.servers []
-    |> List.sort (fun a b -> compare a.server b.server)
+    match t.config.max_tracked_servers with
+    | None ->
+      Hashtbl.fold
+        (fun server (s : server_state) acc ->
+          {
+            server;
+            requests = s.requests;
+            busy_seconds = s.busy_seconds;
+            utilization =
+              (if until > 0.0 then s.busy_seconds /. until else 0.0);
+            queue_depth = Desim.Timeseries.finish s.queue_depth ~until;
+            occupancy = Desim.Timeseries.finish s.occupancy ~until;
+            latency = Desim.Timeseries.finish s.latency ~until;
+          }
+          :: acc)
+        t.servers []
+      |> List.sort (fun a b -> compare a.server b.server)
+    | Some _ ->
+      (* Scalar totals are exact for every server; series exist only
+         for the currently-tracked top-k (a promoted server's series
+         start at its promotion, so they may cover less than its
+         scalar totals). *)
+      Hashtbl.fold
+        (fun server (sc : scalar_state) acc ->
+          let series =
+            match Hashtbl.find_opt t.servers server with
+            | Some s ->
+              ( Desim.Timeseries.finish s.queue_depth ~until,
+                Desim.Timeseries.finish s.occupancy ~until,
+                Desim.Timeseries.finish s.latency ~until )
+            | None -> ([], [], [])
+          in
+          let queue_depth, occupancy, latency = series in
+          {
+            server;
+            requests = sc.s_requests;
+            busy_seconds = sc.s_busy;
+            utilization = (if until > 0.0 then sc.s_busy /. until else 0.0);
+            queue_depth;
+            occupancy;
+            latency;
+          }
+          :: acc)
+        t.scalars []
+      |> List.sort (fun a b -> compare a.server b.server)
   in
   {
     interval = t.config.interval;

@@ -29,6 +29,21 @@ let default_config =
     domain_spread = Some 0.1;
   }
 
+(* Reusable flat-array state for the domain-spread water-filling: all
+   arrays are keyed by dense target index (position in the targets
+   list) or dense group index (position in the sorted domain-name
+   list, fixed at creation), and are resized only when the cluster
+   grows — a retune round allocates no per-round lists or tables. *)
+type spread_scratch = {
+  mutable w : float array; (* weight per target index *)
+  mutable g_of : int array; (* group per target index, -1 = none *)
+  mutable member : int array; (* target indices grouped by CSR *)
+  g_start : int array; (* CSR offsets, length #groups + 1 *)
+  g_count : int array;
+  g_cap : float array;
+  g_frozen : bool array;
+}
+
 type t = {
   cfg : config;
   family : Hashlib.Hash_family.t;
@@ -37,6 +52,14 @@ type t = {
   mutable alive : Id.t array; (* sorted, for the direct fallback hash *)
   previous_latency : (Id.t, float) Hashtbl.t;
   mutable reconfigurations : int;
+  (* Domain names in sorted order and their dense indices — the group
+     iteration order of the spread clamp (immutable after creation,
+     like the topology itself). *)
+  group_index : (string, int) Hashtbl.t;
+  group_count : int;
+  mutable scratch : spread_scratch;
+  (* Reusable membership table for the per-round report pruning. *)
+  reported : (Id.t, unit) Hashtbl.t;
   (* Addressing cache: name -> (owner, probe count), valid only for
      [cache_version] of the region map.  Every reconfiguration (retune,
      failure, addition) bumps the map version, so the whole cache is
@@ -65,6 +88,13 @@ let create ?(config = default_config) ?topology ~family ~servers () =
     | Some topo -> topo
     | None -> Sharedfs.Topology.flat ~servers:sorted
   in
+  let sorted_names =
+    List.sort String.compare (Sharedfs.Topology.domain_names topology)
+  in
+  let group_count = List.length sorted_names in
+  let group_index = Hashtbl.create (2 * group_count) in
+  List.iteri (fun g name -> Hashtbl.replace group_index name g) sorted_names;
+  let n = List.length sorted in
   {
     cfg = config;
     family;
@@ -73,6 +103,19 @@ let create ?(config = default_config) ?topology ~family ~servers () =
     alive = Array.of_list sorted;
     previous_latency = Hashtbl.create 16;
     reconfigurations = 0;
+    group_index;
+    group_count;
+    scratch =
+      {
+        w = Array.make n 0.0;
+        g_of = Array.make n (-1);
+        member = Array.make n 0;
+        g_start = Array.make (group_count + 1) 0;
+        g_count = Array.make (Int.max group_count 1) 0;
+        g_cap = Array.make (Int.max group_count 1) 0.0;
+        g_frozen = Array.make (Int.max group_count 1) false;
+      };
+    reported = Hashtbl.create (2 * n);
     cache = Hashtbl.create 256;
     cache_version = -1;
   }
@@ -96,8 +139,12 @@ let region_map t = t.map
    sum to strictly less than the clamped weight they could absorb, so
    at least one domain can never freeze and the loop ends within
    [#domains] rounds.  Servers outside every domain are unconstrained
-   and only ever absorb freed weight. *)
-let apply_domain_spread t targets =
+   and only ever absorb freed weight.
+
+   [apply_domain_spread_reference] is the original list/Hashtbl
+   implementation, retained as the oracle the flat-array rewrite below
+   is pinned against (same pattern as [Region_map.locate_reference]). *)
+let apply_domain_spread_reference t targets =
   match t.cfg.domain_spread with
   | _ when Sharedfs.Topology.is_flat t.topology -> targets
   | None -> targets
@@ -195,6 +242,131 @@ let apply_domain_spread t targets =
       List.map (fun (id, _) -> (id, Hashtbl.find weight id)) targets
     end
 
+(* The hot-path implementation of the same water-filling, on the
+   reusable scratch arrays.  Byte-identical output to the reference:
+   group iteration follows the sorted-name order the reference sorts
+   into, per-group sums run over members in reverse targets order (the
+   reference prepends members while walking the targets list), and the
+   frozen/free folds keep the reference's exact float summation
+   orders. *)
+let apply_domain_spread t targets =
+  match t.cfg.domain_spread with
+  | _ when Sharedfs.Topology.is_flat t.topology -> targets
+  | None -> targets
+  | Some eps ->
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 targets in
+    let n = List.length targets in
+    if n = 0 || total <= Hashlib.Unit_interval.eps then targets
+    else begin
+      let s = t.scratch in
+      if Array.length s.w < n then begin
+        s.w <- Array.make n 0.0;
+        s.g_of <- Array.make n (-1);
+        s.member <- Array.make n 0
+      end;
+      let ng = t.group_count in
+      List.iteri
+        (fun i (id, w) ->
+          s.w.(i) <- w;
+          s.g_of.(i) <-
+            (match Sharedfs.Topology.domain_of t.topology id with
+            | None -> -1
+            | Some name -> Hashtbl.find t.group_index name))
+        targets;
+      Array.fill s.g_count 0 ng 0;
+      for i = 0 to n - 1 do
+        let g = s.g_of.(i) in
+        if g >= 0 then s.g_count.(g) <- s.g_count.(g) + 1
+      done;
+      (* CSR member table, filled forward (ascending target index). *)
+      let acc = ref 0 in
+      for g = 0 to ng - 1 do
+        s.g_start.(g) <- !acc;
+        acc := !acc + s.g_count.(g)
+      done;
+      s.g_start.(ng) <- !acc;
+      let fill = Array.sub s.g_start 0 (Int.max ng 1) in
+      for i = 0 to n - 1 do
+        let g = s.g_of.(i) in
+        if g >= 0 then begin
+          s.member.(fill.(g)) <- i;
+          fill.(g) <- fill.(g) + 1
+        end
+      done;
+      (* Members were appended in targets order; the reference builds
+         its member lists by prepending, so its group sums run in
+         reverse targets order — iterate the CSR slice backwards. *)
+      let group_sum g =
+        let sum = ref 0.0 in
+        for k = s.g_start.(g + 1) - 1 downto s.g_start.(g) do
+          sum := !sum +. s.w.(s.member.(k))
+        done;
+        !sum
+      in
+      for g = 0 to ng - 1 do
+        s.g_cap.(g) <-
+          Float.min 1.0
+            ((float_of_int s.g_count.(g) /. float_of_int n) +. eps)
+          *. total;
+        s.g_frozen.(g) <- false
+      done;
+      let continue = ref true in
+      while !continue do
+        let any_over = ref false in
+        for g = 0 to ng - 1 do
+          if
+            s.g_count.(g) > 0
+            && (not s.g_frozen.(g))
+            && group_sum g > s.g_cap.(g) +. (1e-9 *. total)
+          then begin
+            any_over := true;
+            let factor = s.g_cap.(g) /. group_sum g in
+            for k = s.g_start.(g) to s.g_start.(g + 1) - 1 do
+              let i = s.member.(k) in
+              s.w.(i) <- s.w.(i) *. factor
+            done;
+            s.g_frozen.(g) <- true
+          end
+        done;
+        if not !any_over then continue := false
+        else begin
+          let frozen_weight = ref 0.0 in
+          for g = 0 to ng - 1 do
+            if s.g_count.(g) > 0 && s.g_frozen.(g) then
+              frozen_weight := !frozen_weight +. group_sum g
+          done;
+          let free_target = total -. !frozen_weight in
+          let free_current = ref 0.0 in
+          let free_count = ref 0 in
+          for i = 0 to n - 1 do
+            let g = s.g_of.(i) in
+            if g < 0 || not s.g_frozen.(g) then begin
+              free_current := !free_current +. s.w.(i);
+              incr free_count
+            end
+          done;
+          if !free_current > Hashlib.Unit_interval.eps then begin
+            let factor = free_target /. !free_current in
+            for i = 0 to n - 1 do
+              let g = s.g_of.(i) in
+              if g < 0 || not s.g_frozen.(g) then s.w.(i) <- s.w.(i) *. factor
+            done
+          end
+          else if !free_count = 0 then continue := false
+          else begin
+            (* The freed weight has nowhere proportional to go (the
+               survivors all sat at zero): grant it equally. *)
+            let share = free_target /. float_of_int !free_count in
+            for i = 0 to n - 1 do
+              let g = s.g_of.(i) in
+              if g < 0 || not s.g_frozen.(g) then s.w.(i) <- share
+            done
+          end
+        end
+      done;
+      List.mapi (fun i (id, _) -> (id, s.w.(i))) targets
+    end
+
 let reconfigurations t = t.reconfigurations
 
 let locate_uncached t name =
@@ -269,19 +441,21 @@ let rebalance t feedback =
        delegate round lost some (fault injection) — a server we heard
        nothing from holds its current region rather than crashing the
        reconfiguration.  Reports from servers not in the map (just
-       removed) are dropped for the same reason. *)
-    let in_map = Region_map.servers t.map in
+       removed) are dropped for the same reason.  Both prunings are
+       hash-set membership tests: the former list scans were O(n²) per
+       round and dominated big-cluster rounds. *)
     let reports =
       List.filter
         (fun (r : Sharedfs.Delegate.server_report) ->
-          List.mem r.Sharedfs.Delegate.server in_map)
+          Region_map.mem t.map r.Sharedfs.Delegate.server)
         reports
     in
     let targets = List.map target_of reports in
-    let reported = List.map fst targets in
+    Hashtbl.reset t.reported;
+    List.iter (fun (id, _) -> Hashtbl.replace t.reported id ()) targets;
     let holds =
       List.filter
-        (fun (id, _) -> not (List.mem id reported))
+        (fun (id, _) -> not (Hashtbl.mem t.reported id))
         (Region_map.measures t.map)
     in
     let targets = targets @ holds in
@@ -351,5 +525,15 @@ let policy t =
     server_added = server_added t;
     delegate_crashed = (fun () -> forget_history t);
     regions = (fun () -> Region_map.measures t.map);
+    changed_servers =
+      (fun () ->
+        List.map
+          (fun id ->
+            let m =
+              if Region_map.mem t.map id then Region_map.measure_of t.map id
+              else 0.0
+            in
+            (id, m))
+          (Region_map.drain_changed t.map));
     check = (fun () -> Region_map.check_invariants t.map);
   }

@@ -74,5 +74,6 @@ let policy t =
     server_added = (fun id -> add_server t id);
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    changed_servers = Policy.no_changes;
     check = Policy.no_check;
   }

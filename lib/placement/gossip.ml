@@ -167,5 +167,15 @@ let policy t =
     (* There is no delegate at all in the gossip variant. *)
     delegate_crashed = (fun () -> ());
     regions = (fun () -> Region_map.measures t.map);
+    changed_servers =
+      (fun () ->
+        List.map
+          (fun id ->
+            let m =
+              if Region_map.mem t.map id then Region_map.measure_of t.map id
+              else 0.0
+            in
+            (id, m))
+          (Region_map.drain_changed t.map));
     check = (fun () -> Region_map.check_invariants t.map);
   }

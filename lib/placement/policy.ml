@@ -12,10 +12,12 @@ type t = {
   server_added : Sharedfs.Server_id.t -> unit;
   delegate_crashed : unit -> unit;
   regions : unit -> (Sharedfs.Server_id.t * float) list;
+  changed_servers : unit -> (Sharedfs.Server_id.t * float) list;
   check : unit -> string list;
 }
 
 let no_regions () = []
+let no_changes () = []
 let no_check () = []
 
 let assignment_of t names = List.map (fun n -> (n, t.locate n)) names

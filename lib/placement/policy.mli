@@ -41,6 +41,14 @@ type t = {
       per-server region measures, in id order, for policies with
       region geometry (ANU, gossip); [\[\]] for the rest.  Must be
       cheap and side-effect free. *)
+  changed_servers : unit -> (Sharedfs.Server_id.t * float) list;
+  (** drains the set of servers whose region changed since the last
+      call, paired with their current measure (0.0 for servers since
+      removed), sorted by id.  Consumers maintaining per-server
+      accumulators (incremental invariants, telemetry) pay O(changed)
+      per round instead of O(n).  [\[\]] for policies without region
+      geometry — their [regions] is empty too, so there is nothing to
+      maintain incrementally. *)
   check : unit -> string list;
   (** self-check: human-readable descriptions of every internal
       invariant the policy currently violates (empty when healthy).
@@ -52,6 +60,10 @@ type t = {
 (** The [regions] implementation for policies without region
     geometry. *)
 val no_regions : unit -> (Sharedfs.Server_id.t * float) list
+
+(** The [changed_servers] implementation for policies without region
+    geometry. *)
+val no_changes : unit -> (Sharedfs.Server_id.t * float) list
 
 (** The [check] implementation for policies with no internal
     invariants to verify. *)

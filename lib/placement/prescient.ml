@@ -250,5 +250,6 @@ let policy t =
        special handling. *)
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    changed_servers = Policy.no_changes;
     check = Policy.no_check;
   }

@@ -12,13 +12,32 @@ type t = {
      ascending [lo] order, every segment overlapping partition [j].
      Because [p] is a power of two, [x *. float p] is an exact scaling
      and [locate] finds its bucket with one multiply instead of a
-     binary search over all segments. *)
+     binary search over all segments.
+
+     The buckets are maintained {e incrementally}: every region
+     mutation goes through [set_region], which patches exactly the
+     buckets the changed segments overlap — O(changed segments), not
+     O(total).  [rebuild_index] recomputes the same table from scratch
+     and remains the oracle the patched table is pinned against
+     (exposed as [index_consistent]). *)
   mutable buckets : (float * float * Id.t) array array;
+  (* Staleness of the flat [index] array (the binary-search oracle used
+     by [locate_reference]) only; the buckets are always current. *)
   mutable index_dirty : bool;
   (* Bumped on every mutation; lets callers (the ANU addressing cache)
      detect that any previously computed locate result may be stale. *)
   mutable version : int;
   mutable fallbacks : int;
+  (* Monotone scan cursor for the first-fully-free-partition search:
+     during a grow phase free measure only shrinks, so a partition
+     proven not fully free stays that way and the scan never revisits
+     it.  Reset to 0 by anything that can return measure to the free
+     set (shrink, removal) or change partition geometry. *)
+  mutable free_cursor : int;
+  (* Journal of servers whose region changed since the last
+     [drain_changed] — what lets per-round invariant accumulators pay
+     O(changed) instead of O(n). *)
+  touched : (Id.t, unit) Hashtbl.t;
 }
 
 let partition_count_for n =
@@ -43,6 +62,8 @@ let region t id =
   | None ->
     invalid_arg (Format.asprintf "Region_map: unknown %a" Id.pp id)
 
+let mem t id = Id.Map.mem id t.regions
+
 let measure_of t id = Set.measure (region t id)
 
 let measures t =
@@ -61,11 +82,26 @@ let mark_dirty t =
 
 let version t =
   (* The version must change whenever the locate function could have:
-     rebuilds are lazy, so the counter already reflects pending
-     mutations and no rebuild is forced here. *)
+     flat-index rebuilds are lazy, so the counter already reflects
+     pending mutations and no rebuild is forced here. *)
   t.version
 
-let rebuild_index t =
+(* The partitions a segment [lo, hi) overlaps with positive measure:
+   [p] is a power of two, so scaling by [float p] is exact and this
+   arithmetic agrees bit-for-bit with the lookup in [locate]. *)
+let seg_bucket_range t lo hi =
+  let p = t.p in
+  let fp = float_of_int p in
+  let clamp j = if j < 0 then 0 else if j >= p then p - 1 else j in
+  let j0 = clamp (int_of_float (lo *. fp)) in
+  let scaled_hi = hi *. fp in
+  let j1 = int_of_float scaled_hi in
+  (* A segment is half-open, so one ending exactly on a partition
+     boundary does not reach into the next bucket. *)
+  let j1 = clamp (if Float.of_int j1 = scaled_hi then j1 - 1 else j1) in
+  (j0, j1)
+
+let sorted_segments t =
   let segs =
     Id.Map.fold
       (fun id r acc ->
@@ -76,36 +112,99 @@ let rebuild_index t =
   in
   let arr = Array.of_list segs in
   Array.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) arr;
-  (* Distribute segments into partition buckets.  [p] is a power of
-     two, so scaling by [float p] is exact and the bucket arithmetic
-     here agrees bit-for-bit with the lookup in [locate]. *)
-  let p = t.p in
-  let fp = float_of_int p in
-  let clamp j = if j < 0 then 0 else if j >= p then p - 1 else j in
-  let lists = Array.make p [] in
+  arr
+
+(* Distribute sorted segments into partition buckets. *)
+let bucketize t arr =
+  let lists = Array.make t.p [] in
   Array.iter
     (fun ((lo, hi, _) as seg) ->
-      let j0 = clamp (int_of_float (lo *. fp)) in
-      let scaled_hi = hi *. fp in
-      let j1 = int_of_float scaled_hi in
-      (* A segment is half-open, so one ending exactly on a partition
-         boundary does not reach into the next bucket. *)
-      let j1 =
-        clamp (if Float.of_int j1 = scaled_hi then j1 - 1 else j1)
-      in
+      let j0, j1 = seg_bucket_range t lo hi in
       for j = j0 to j1 do
         lists.(j) <- seg :: lists.(j)
       done)
     arr;
   (* [arr] is sorted ascending, prepending reversed each bucket. *)
-  t.buckets <- Array.map (fun l -> Array.of_list (List.rev l)) lists;
+  Array.map (fun l -> Array.of_list (List.rev l)) lists
+
+let rebuild_index t =
+  let arr = sorted_segments t in
+  t.buckets <- bucketize t arr;
   t.index <- arr;
   t.index_dirty <- false
 
+let index_consistent t = bucketize t (sorted_segments t) = t.buckets
+
+(* The single mutation point: replace [id]'s region and patch exactly
+   the buckets its old and new segments overlap.  Within one bucket the
+   segments are disjoint with measure > eps, so their [lo]s are
+   distinct and sorting by [lo] reproduces [bucketize]'s order.  The
+   flat index is left stale ([locate_reference] refreshes it lazily);
+   the version counter is NOT bumped here — each public operation bumps
+   it exactly once via [mark_dirty], preserving the historical
+   granularity the addressing cache keys on. *)
+let set_region t id new_r =
+  let old_segs =
+    match Id.Map.find_opt id t.regions with
+    | Some r -> Set.segments r
+    | None -> []
+  in
+  let new_segs = Set.segments new_r in
+  let js = ref [] in
+  let add_range segs =
+    List.iter
+      (fun s ->
+        let j0, j1 = seg_bucket_range t s.UI.lo s.UI.hi in
+        for j = j0 to j1 do
+          js := j :: !js
+        done)
+      segs
+  in
+  add_range old_segs;
+  add_range new_segs;
+  t.regions <- Id.Map.add id new_r t.regions;
+  List.iter
+    (fun j ->
+      let keep =
+        Array.to_list t.buckets.(j)
+        |> List.filter (fun (_, _, i) -> not (Id.equal i id))
+      in
+      let added =
+        List.filter_map
+          (fun s ->
+            let j0, j1 = seg_bucket_range t s.UI.lo s.UI.hi in
+            if j0 <= j && j <= j1 then Some (s.UI.lo, s.UI.hi, id) else None)
+          new_segs
+      in
+      let bucket = Array.of_list (keep @ added) in
+      Array.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) bucket;
+      t.buckets.(j) <- bucket)
+    (List.sort_uniq Int.compare !js);
+  t.index_dirty <- true;
+  Hashtbl.replace t.touched id ()
+
+let drain_changed t =
+  let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.touched [] in
+  Hashtbl.reset t.touched;
+  List.sort Id.compare ids
+
+(* Free space inside partition [j], computed from the bucket alone:
+   the partition minus the segments overlapping it.  Equal to
+   [Set.restrict (free_set t) (partition_seg t j)] — segments in other
+   buckets cannot intersect partition [j] (the bucket arithmetic is
+   exact), so subtracting only the bucket's segments loses nothing —
+   without the O(n log n) union behind [free_set]. *)
+let free_in_partition t j =
+  let mapped =
+    Array.to_list t.buckets.(j) |> List.map (fun (lo, hi, _) -> UI.seg lo hi)
+  in
+  Set.diff (Set.of_seg (partition_seg t j)) (Set.of_list mapped)
+
 (* O(1) point location: one multiply finds the partition bucket, then a
-   scan of the (at most a few) segments overlapping that partition. *)
+   scan of the (at most a few) segments overlapping that partition.
+   The buckets are patched on every mutation, so no rebuild check is
+   needed here. *)
 let locate t x =
-  if t.index_dirty then rebuild_index t;
   if x < 0.0 || x >= 1.0 then None
   else begin
     let bucket = t.buckets.(int_of_float (x *. float_of_int t.p)) in
@@ -124,9 +223,14 @@ let locate t x =
   end
 
 (* The pre-bucket-index implementation, kept as a test oracle: a global
-   binary search for the last segment with lo <= x. *)
+   binary search for the last segment with lo <= x.  Refreshes only the
+   flat index, never the buckets — so oracle queries cannot mask a
+   bucket-patching bug from [index_consistent]. *)
 let locate_reference t x =
-  if t.index_dirty then rebuild_index t;
+  if t.index_dirty then begin
+    t.index <- sorted_segments t;
+    t.index_dirty <- false
+  end;
   let arr = t.index in
   let n = Array.length arr in
   let rec go lo hi best =
@@ -145,15 +249,24 @@ let locate_reference t x =
     if x < seg_hi then Some id else None
 
 (* Per-partition portions of a region: [(j, portion, measure)] for
-   partitions where the server owns anything. *)
+   partitions where the server owns anything.  Only partitions actually
+   overlapped by the region's segments are visited — O(own segments),
+   not O(p). *)
 let portions t r =
-  let result = ref [] in
-  for j = t.p - 1 downto 0 do
-    let portion = Set.restrict r (partition_seg t j) in
-    let m = Set.measure portion in
-    if m > eps then result := (j, portion, m) :: !result
-  done;
-  !result
+  let js = ref [] in
+  List.iter
+    (fun s ->
+      let j0, j1 = seg_bucket_range t s.UI.lo s.UI.hi in
+      for j = j0 to j1 do
+        js := j :: !js
+      done)
+    (Set.segments r);
+  List.filter_map
+    (fun j ->
+      let portion = Set.restrict r (partition_seg t j) in
+      let m = Set.measure portion in
+      if m > eps then Some (j, portion, m) else None)
+    (List.sort_uniq Int.compare !js)
 
 let is_partial t m = m > eps && m < width t -. eps
 
@@ -184,12 +297,30 @@ let shrink t id amount =
       in
       let take = Float.min !need m in
       let taken, _ = Set.take_high portion take in
-      t.regions <- Id.Map.add id (Set.diff r taken) t.regions;
+      set_region t id (Set.diff r taken);
       need := !need -. Set.measure taken;
       if Set.is_empty taken then need := 0.0
     end
   done;
+  (* Freed measure can make earlier partitions fully free again. *)
+  t.free_cursor <- 0;
   mark_dirty t
+
+(* First fully free partition, scanning from the cursor: free measure
+   only decreases between cursor resets, so a partition once proven not
+   fully free stays that way and the scan is amortized O(p) per grow
+   phase instead of O(p) per call. *)
+let find_fully_free t =
+  let w = width t in
+  let rec go j =
+    if j >= t.p then None
+    else if Set.measure (free_in_partition t j) >= w -. eps then Some j
+    else begin
+      t.free_cursor <- j + 1;
+      go (j + 1)
+    end
+  in
+  go t.free_cursor
 
 (* Acquire [amount] of free measure for [id]: top off the server's own
    partial partitions, then claim whole free partitions, then start one
@@ -200,46 +331,40 @@ let grow t id amount =
   while !need > eps && !progress do
     progress := false;
     let r = region t id in
-    let free = free_set t in
     let own_partial_gap =
       portions t r
       |> List.filter (fun (_, _, m) -> is_partial t m)
       |> List.filter_map (fun (j, _, _) ->
-             let gap = Set.restrict free (partition_seg t j) in
+             let gap = free_in_partition t j in
              if Set.is_empty gap then None else Some gap)
     in
     match own_partial_gap with
     | gap :: _ ->
       let take = Float.min !need (Set.measure gap) in
       let taken, _ = Set.take_low gap take in
-      t.regions <- Id.Map.add id (Set.union r taken) t.regions;
+      set_region t id (Set.union r taken);
       need := !need -. Set.measure taken;
       progress := not (Set.is_empty taken)
     | [] -> begin
       let w = width t in
-      let fully_free =
-        List.find_opt
-          (fun j ->
-            Set.measure (Set.restrict free (partition_seg t j)) >= w -. eps)
-          (List.init t.p Fun.id)
-      in
-      match fully_free with
+      match find_fully_free t with
       | Some j when !need >= w -. eps ->
-        t.regions <-
-          Id.Map.add id (Set.union r (Set.of_seg (partition_seg t j))) t.regions;
+        set_region t id (Set.union r (Set.of_seg (partition_seg t j)));
         need := !need -. w;
         progress := true
       | Some j ->
         let taken, _ = Set.take_low (Set.of_seg (partition_seg t j)) !need in
-        t.regions <- Id.Map.add id (Set.union r taken) t.regions;
+        set_region t id (Set.union r taken);
         need := !need -. Set.measure taken;
         progress := not (Set.is_empty taken)
       | None ->
-        (* Fragmentation fallback: grab any free space. *)
-        let taken, _ = Set.take_low free !need in
+        (* Fragmentation fallback: grab any free space.  This is the
+           one remaining global-free computation; it never fires in
+           healthy runs (see [fragmentation_fallbacks]). *)
+        let taken, _ = Set.take_low (free_set t) !need in
         if not (Set.is_empty taken) then begin
           t.fallbacks <- t.fallbacks + 1;
-          t.regions <- Id.Map.add id (Set.union r taken) t.regions;
+          set_region t id (Set.union r taken);
           need := !need -. Set.measure taken;
           progress := true
         end
@@ -265,6 +390,8 @@ let create ~servers =
       index_dirty = true;
       version = 0;
       fallbacks = 0;
+      free_cursor = 0;
+      touched = Hashtbl.create 64;
     }
   in
   let w = width t in
@@ -286,6 +413,8 @@ let create ~servers =
       end;
       t.regions <- Id.Map.add id !acc t.regions)
     sorted;
+  (* Buckets must be valid before the first [set_region] patch. *)
+  rebuild_index t;
   t
 
 let normalize_targets targets =
@@ -312,7 +441,9 @@ let scale t ~targets =
 
 let remove_server t id =
   let (_ : Set.t) = region t id in
+  set_region t id Set.empty;
   t.regions <- Id.Map.remove id t.regions;
+  t.free_cursor <- 0;
   mark_dirty t
 
 let add_server t id ~target =
@@ -320,10 +451,15 @@ let add_server t id ~target =
     invalid_arg "Region_map.add_server: server already present";
   let n_new = Id.Map.cardinal t.regions + 1 in
   let needed = partition_count_for n_new in
-  (* Re-partitioning doubles p without moving any segment. *)
-  while t.p < needed do
-    t.p <- t.p * 2
-  done;
+  (* Re-partitioning doubles p without moving any segment, but the
+     bucket geometry changes, so the table is rebuilt wholesale. *)
+  if t.p < needed then begin
+    while t.p < needed do
+      t.p <- t.p * 2
+    done;
+    rebuild_index t;
+    t.free_cursor <- 0
+  end;
   let target = Float.min (Float.max target 0.0) (0.5 -. eps) in
   (* Make room: shrink everyone proportionally to sum to 1/2 - target. *)
   let current_total = total_measure t in
@@ -336,7 +472,7 @@ let add_server t id ~target =
         if excess > eps then shrink t sid excess)
       t.regions
   end;
-  t.regions <- Id.Map.add id Set.empty t.regions;
+  set_region t id Set.empty;
   grow t id target;
   mark_dirty t
 
@@ -449,8 +585,11 @@ let of_string s =
         index_dirty = true;
         version = 0;
         fallbacks = 0;
+        free_cursor = 0;
+        touched = Hashtbl.create 64;
       }
     in
+    rebuild_index t;
     (match check_invariants t with
     | [] -> t
     | violations -> fail (String.concat "; " violations))

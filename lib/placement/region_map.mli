@@ -38,6 +38,9 @@ val create : servers:Sharedfs.Server_id.t list -> t
 
 val servers : t -> Sharedfs.Server_id.t list
 
+(** [mem t id] tests membership without the list walk of [servers]. *)
+val mem : t -> Sharedfs.Server_id.t -> bool
+
 val partitions : t -> int
 
 (** [width t] is [1 /. float (partitions t)]. *)
@@ -69,8 +72,15 @@ val measure_of : t -> Sharedfs.Server_id.t -> float
 (** [measures t] lists (server, measure) in id order. *)
 val measures : t -> (Sharedfs.Server_id.t * float) list
 
-(** [free_set t] is the unmapped half of the interval. *)
+(** [free_set t] is the unmapped half of the interval.  O(n log n):
+    prefer {!free_in_partition} on hot paths. *)
 val free_set : t -> Hashlib.Unit_interval.Set.t
+
+(** [free_in_partition t j] is the free space inside partition [j],
+    computed from that partition's segment bucket alone — equal to
+    [Set.restrict (free_set t) (partition_seg j)] without the global
+    union.  The test suite pins the equality. *)
+val free_in_partition : t -> int -> Hashlib.Unit_interval.Set.t
 
 (** [total_measure t] is the mapped total (1/2 up to tolerance). *)
 val total_measure : t -> float
@@ -106,6 +116,18 @@ val partial_partitions : t -> Sharedfs.Server_id.t -> int
     healthy): overlap, occupancy drift, out-of-range segments, servers
     with more than one partial partition. *)
 val check_invariants : t -> string list
+
+(** [index_consistent t] rebuilds the partition-bucket table from
+    scratch and compares it structurally with the incrementally patched
+    one — the oracle for the O(changed) index maintenance.  Always true
+    unless bucket patching has a bug. *)
+val index_consistent : t -> bool
+
+(** [drain_changed t] returns (and clears) the sorted list of servers
+    whose region changed since the last drain — including servers that
+    have since been removed.  Lets per-round consumers (invariant
+    accumulators, telemetry) pay O(changed) instead of O(n). *)
+val drain_changed : t -> Sharedfs.Server_id.t list
 
 val pp : Format.formatter -> t -> unit
 

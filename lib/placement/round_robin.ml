@@ -56,5 +56,6 @@ let policy t =
       (fun id -> t.alive <- List.sort Id.compare (id :: t.alive));
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    changed_servers = Policy.no_changes;
     check = Policy.no_check;
   }

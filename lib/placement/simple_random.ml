@@ -32,5 +32,6 @@ let policy t =
           Array.of_list (List.sort Id.compare (id :: Array.to_list t.alive)));
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
+    changed_servers = Policy.no_changes;
     check = Policy.no_check;
   }

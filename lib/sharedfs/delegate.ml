@@ -103,14 +103,23 @@ let collect_async ?rng cluster ~timeout ~fate ~k =
     in
     ()
 
-let mean_latency reports =
+(* Report aggregation runs once per reconfiguration round over every
+   alive server, so at big n the intermediate pair/option lists the
+   original implementations allocated were the round's main garbage.
+   The rewrites below fold the reports directly (mean) and fill one
+   float array (median), preserving the originals' float operation
+   order exactly: the mean accumulates [num]/[den] in report order and
+   the median sorts the same multiset with the same comparator.  The
+   originals are retained as [_reference] oracles for the test
+   suite. *)
+let mean_latency_reference reports =
   Desim.Stat.weighted_mean
     (List.map
        (fun r ->
          (r.report.Server.mean_latency, float_of_int r.report.Server.requests))
        reports)
 
-let median_latency reports =
+let median_latency_reference reports =
   let active =
     List.filter_map
       (fun r ->
@@ -119,6 +128,38 @@ let median_latency reports =
       reports
   in
   match active with [] -> 0.0 | values -> Desim.Stat.median_of values
+
+let mean_latency reports =
+  let num = ref 0.0 and den = ref 0.0 in
+  List.iter
+    (fun r ->
+      let w = float_of_int r.report.Server.requests in
+      num := !num +. (r.report.Server.mean_latency *. w);
+      den := !den +. w)
+    reports;
+  if !den = 0.0 then 0.0 else !num /. !den
+
+let median_latency reports =
+  let active =
+    List.fold_left
+      (fun acc r -> if r.report.Server.requests > 0 then acc + 1 else acc)
+      0 reports
+  in
+  if active = 0 then 0.0
+  else begin
+    let arr = Array.make active 0.0 in
+    let i = ref 0 in
+    List.iter
+      (fun r ->
+        if r.report.Server.requests > 0 then begin
+          arr.(!i) <- r.report.Server.mean_latency;
+          incr i
+        end)
+      reports;
+    Array.sort Float.compare arr;
+    if active mod 2 = 1 then arr.(active / 2)
+    else (arr.((active / 2) - 1) +. arr.(active / 2)) /. 2.0
+  end
 
 let round_event cluster ~time ~round ~average ~regions reports =
   let delegate =

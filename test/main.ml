@@ -33,5 +33,6 @@ let () =
       ("membership", Test_membership.suite);
       ("ledger", Test_ledger.suite);
       ("topology", Test_topology.suite);
+      ("scale_oracles", Test_scale_oracles.suite);
       ("fault", Test_fault.suite);
     ]

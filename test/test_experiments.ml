@@ -16,10 +16,10 @@ let test_registry_complete () =
       check_bool (id ^ " registered") true (Figures.by_id id <> None))
     [
       "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
-      "domain-failure-collateral";
+      "domain-failure-collateral"; "scale";
     ];
   check_bool "unknown" true (Figures.by_id "fig99" = None);
-  check_int "fifteen experiments" 15 (List.length Figures.all_ids)
+  check_int "sixteen experiments" 16 (List.length Figures.all_ids)
 
 let test_fig6_quick_structure () =
   let f = Figures.fig6 ~quick:true () in

@@ -450,6 +450,7 @@ let fake_policy ?(regions = fun () -> []) ?(check = fun () -> []) () =
     server_added = (fun _ -> ());
     delegate_crashed = (fun () -> ());
     regions;
+    changed_servers = Placement.Policy.no_changes;
     check;
   }
 

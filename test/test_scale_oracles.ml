@@ -1,0 +1,377 @@
+(* Big-n oracle pins: every incremental/allocation-free rewrite on the
+   reconfiguration hot path against the full-recompute implementation
+   it replaced.
+
+   - Region_map: random scale/remove/add sequences (n up to 1,000)
+     keep the incrementally-patched bucket index equal to a rebuild
+     ([index_consistent]), [locate] equal to the flat-index oracle,
+     [free_in_partition] equal to restricting the global free set, and
+     the structural invariants intact.
+   - ANU: the flat-array [apply_domain_spread] returns byte-identical
+     weights to the list-based reference, across sizes, rack counts
+     and repeated calls on the same reused scratch.
+   - Delegate: the fold/array aggregations equal the list-based
+     references bit-for-bit.
+   - Invariants.Acc: delta-maintained accumulators render the same
+     verdicts as a fresh full rebuild, and as the full
+     [Invariants.check] oracle, across random mutation rounds. *)
+
+open Placement
+module Id = Sharedfs.Server_id
+module RM = Region_map
+module UI = Hashlib.Unit_interval
+module Set = Hashlib.Unit_interval.Set
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ids n = List.init n Id.of_int
+
+let family = Hashlib.Hash_family.create ~seed:2003
+
+(* Deterministic pseudo-weights so a qcheck case needs only one seed,
+   not a 1,000-element generated list. *)
+let weight_of ~seed i =
+  0.01 +. (float_of_int ((seed + (i * 2654435761)) land 0xffff) /. 65536.0)
+
+(* --- Region_map: incremental index vs rebuild oracle --- *)
+
+let partition_seg t j =
+  let fp = float_of_int (RM.partitions t) in
+  UI.seg (float_of_int j /. fp) (float_of_int (j + 1) /. fp)
+
+let probes = [ 0.0; 0.125; 0.3; 0.5; 0.62; 0.75; 0.9; 0.999 ]
+
+let map_healthy t =
+  let fail fmt = Printf.ksprintf (fun m -> QCheck.Test.fail_report m) fmt in
+  (match RM.check_invariants t with
+  | [] -> ()
+  | v :: _ -> fail "invariant: %s" v);
+  if not (RM.index_consistent t) then fail "index_consistent false";
+  List.iter
+    (fun x ->
+      if RM.locate t x <> RM.locate_reference t x then
+        fail "locate mismatch at %g" x)
+    probes;
+  let p = RM.partitions t in
+  let free = RM.free_set t in
+  List.iter
+    (fun j ->
+      if
+        not
+          (Set.equal (RM.free_in_partition t j)
+             (Set.restrict free (partition_seg t j)))
+      then fail "free_in_partition mismatch at j=%d (p=%d)" j p)
+    [ 0; p / 3; p / 2; p - 1 ];
+  true
+
+let prop_incremental_index_matches_rebuild =
+  let gen =
+    QCheck.Gen.(
+      let* n = 2 -- 1000 in
+      let* ops =
+        list_size (1 -- 10)
+          (frequency
+             [
+               ( 6,
+                 let* seed = 0 -- 10000 in
+                 return (`Scale seed) );
+               ( 2,
+                 let* k = 0 -- 5000 in
+                 return (`Remove k) );
+               (2, return `Add);
+             ])
+      in
+      return (n, ops))
+  in
+  let print (n, ops) =
+    Printf.sprintf "n=%d ops=[%s]" n
+      (String.concat "; "
+         (List.map
+            (function
+              | `Scale s -> Printf.sprintf "Scale %d" s
+              | `Remove k -> Printf.sprintf "Remove %d" k
+              | `Add -> "Add")
+            ops))
+  in
+  QCheck.Test.make ~count:25
+    ~name:"incremental bucket index matches rebuild under random sequences"
+    (QCheck.make ~print gen)
+    (fun (n, ops) ->
+      let t = RM.create ~servers:(ids n) in
+      let alive = ref (ids n) in
+      let next = ref n in
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Scale seed ->
+            let targets =
+              List.mapi (fun i id -> (id, weight_of ~seed i)) !alive
+            in
+            if targets <> [] then RM.scale t ~targets
+          | `Remove k ->
+            if List.length !alive > 1 then begin
+              let victim = List.nth !alive (k mod List.length !alive) in
+              RM.remove_server t victim;
+              alive := List.filter (fun id -> not (Id.equal id victim)) !alive;
+              (* remove_server leaves the map under-occupied by design;
+                 rescale the survivors back to 1/2, as ANU's
+                 server_failed does. *)
+              RM.scale t
+                ~targets:(List.mapi (fun i id -> (id, weight_of ~seed:k i)) !alive)
+            end
+          | `Add ->
+            let id = Id.of_int !next in
+            incr next;
+            RM.add_server t id ~target:(0.5 /. float_of_int n);
+            alive := !alive @ [ id ]);
+          map_healthy t)
+        ops
+      &&
+      (* The journal drains sorted and exactly once. *)
+      let changed = RM.drain_changed t in
+      List.sort Id.compare changed = changed && RM.drain_changed t = [])
+
+(* --- ANU: flat-array domain spread vs list-based reference --- *)
+
+let rack_topology ~n ~domains =
+  Experiments.Scenario.rack_topology
+    ~servers:(List.init n (fun i -> (i, 1.0)))
+    ~domains ()
+
+let prop_domain_spread_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      let* n = 2 -- 1000 in
+      let* domains = 1 -- min 10 n in
+      let* seeds = list_size (1 -- 3) (0 -- 10000) in
+      return (n, domains, seeds))
+  in
+  QCheck.Test.make ~count:40
+    ~name:"flat-array domain spread equals list-based reference"
+    (QCheck.make gen)
+    (fun (n, domains, seeds) ->
+      let topology = rack_topology ~n ~domains in
+      let anu = Anu.create ~family ~topology ~servers:(ids n) () in
+      (* Several calls on one instance: the scratch arrays are reused,
+         so later calls must not see earlier calls' state. *)
+      List.for_all
+        (fun seed ->
+          let targets =
+            List.mapi (fun i id -> (id, weight_of ~seed i)) (ids n)
+          in
+          Anu.apply_domain_spread anu targets
+          = Anu.apply_domain_spread_reference anu targets)
+        seeds)
+
+(* --- Delegate: allocation-free aggregation vs reference --- *)
+
+let prop_aggregation_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      list_size (0 -- 40) (pair (float_range 0.0 100.0) (0 -- 50)))
+  in
+  QCheck.Test.make ~count:200
+    ~name:"delegate mean/median equal list-based references"
+    (QCheck.make gen)
+    (fun raw ->
+      let reports =
+        List.mapi
+          (fun i (latency, requests) ->
+            {
+              Sharedfs.Delegate.server = Id.of_int i;
+              speed_hint = 1.0;
+              report =
+                {
+                  Sharedfs.Server.mean_latency = latency;
+                  max_latency = latency;
+                  requests;
+                };
+            })
+          raw
+      in
+      Float.equal
+        (Sharedfs.Delegate.mean_latency reports)
+        (Sharedfs.Delegate.mean_latency_reference reports)
+      && Float.equal
+           (Sharedfs.Delegate.median_latency reports)
+           (Sharedfs.Delegate.median_latency_reference reports))
+
+(* --- Invariants.Acc: delta rounds vs full recompute --- *)
+
+let make_cluster_n ?topology n =
+  let sim = Desim.Sim.create () in
+  let disk = Sharedfs.Shared_disk.create () in
+  let catalog =
+    Sharedfs.File_set.Catalog.create (List.init 8 (Printf.sprintf "fs-%d"))
+  in
+  let servers = List.init n (fun i -> (Id.of_int i, 1.0)) in
+  ( sim,
+    Sharedfs.Cluster.create sim ~disk ~catalog ~series_interval:10.0 ~servers
+      ?topology () )
+
+(* A policy whose regions the test mutates directly, journalling every
+   write — the minimal producer of the [changed_servers] contract. *)
+let mutable_policy ~n =
+  let measures = Hashtbl.create 16 in
+  List.iter
+    (fun id -> Hashtbl.replace measures id (0.5 /. float_of_int n))
+    (ids n);
+  let journal = ref [] in
+  let set id m =
+    Hashtbl.replace measures id m;
+    journal := (id, m) :: !journal
+  in
+  let policy =
+    {
+      Policy.name = "mutable";
+      locate = (fun _ -> Id.of_int 0);
+      rebalance = (fun _ -> ());
+      server_failed = (fun _ -> ());
+      server_added = (fun _ -> ());
+      delegate_crashed = (fun () -> ());
+      regions =
+        (fun () ->
+          Hashtbl.fold (fun id m acc -> (id, m) :: acc) measures []
+          |> List.sort (fun (a, _) (b, _) -> Id.compare a b));
+      changed_servers =
+        (fun () ->
+          let l = List.rev !journal in
+          journal := [];
+          l);
+      check = (fun () -> []);
+    }
+  in
+  (policy, set)
+
+let sorted_whats vs =
+  List.sort String.compare
+    (List.map (fun v -> v.Fault.Invariants.what) vs)
+
+(* Values coarse enough that no sum lands within float drift of a
+   verdict threshold (0.5 +- 1e-9, domain caps): every disagreement
+   between running sums and a recompute would need ~1e-9 cancellation,
+   and these deltas move totals by >= 5e-4. *)
+let op_value ~n ~pick =
+  match pick mod 5 with
+  | 0 -> 0.0
+  | 1 -> 0.3
+  | 2 -> -0.1
+  | 3 -> 2.0 *. (0.5 /. float_of_int n)
+  | _ -> 0.5 /. float_of_int n
+
+let prop_acc_matches_full_recompute =
+  let gen =
+    QCheck.Gen.(
+      let* n = 2 -- 1000 in
+      let* domains = 1 -- min 10 n in
+      let* rounds = list_size (1 -- 6) (list_size (1 -- 3) (pair (0 -- 5000) (0 -- 5000))) in
+      return (n, domains, rounds))
+  in
+  let print (n, domains, rounds) =
+    Printf.sprintf "n=%d domains=%d rounds=[%s]" n domains
+      (String.concat "; "
+         (List.map
+            (fun round ->
+              String.concat ","
+                (List.map
+                   (fun (who, pick) -> Printf.sprintf "(%d,%d)" who pick)
+                   round))
+            rounds))
+  in
+  QCheck.Test.make ~count:10
+    ~name:"delta-maintained invariant accumulators equal full recompute"
+    (QCheck.make ~print gen)
+    (fun (n, domains, rounds) ->
+      let topology = rack_topology ~n ~domains in
+      let _sim, cluster = make_cluster_n ~topology n in
+      (* Place the catalog evenly across servers so the ownership and
+         collateral invariants are clean — the full check then reports
+         exactly the accumulator subset. *)
+      Sharedfs.Cluster.assign_initial cluster
+        (List.init 8 (fun i ->
+             (Printf.sprintf "fs-%d" i, Id.of_int (i * n / 8))));
+      let policy, set = mutable_policy ~n in
+      let acc = Fault.Invariants.Acc.create ~cluster ~policy () in
+      List.for_all
+        (fun round ->
+          List.iter
+            (fun (who, pick) ->
+              set (Id.of_int (who mod n)) (op_value ~n ~pick))
+            round;
+          Fault.Invariants.Acc.round acc;
+          let delta = sorted_whats (Fault.Invariants.Acc.check acc ~cluster) in
+          (* Fresh accumulator = full O(n) rebuild of the same sums. *)
+          let fresh = Fault.Invariants.Acc.create ~cluster ~policy () in
+          let rebuilt =
+            sorted_whats (Fault.Invariants.Acc.check fresh ~cluster)
+          in
+          (* Full oracle: on this cluster every non-region invariant is
+             clean, so the full check's verdicts are exactly the
+             accumulator subset's. *)
+          let full =
+            sorted_whats (Fault.Invariants.check ~cluster ~policy ())
+          in
+          delta = rebuilt && delta = full)
+        rounds)
+
+(* The real producer end to end: a live ANU policy feeding the journal
+   through rebalance rounds, with the accumulator agreeing with both a
+   fresh rebuild and the full check (all clean) at every round. *)
+let test_acc_on_live_anu () =
+  let n = 50 in
+  let topology = rack_topology ~n ~domains:5 in
+  let _sim, cluster = make_cluster_n ~topology n in
+  let anu = Anu.create ~family ~topology ~servers:(ids n) () in
+  let policy = Anu.policy anu in
+  Sharedfs.Cluster.assign_initial cluster
+    (Policy.assignment_of policy (List.init 8 (Printf.sprintf "fs-%d")));
+  (* Creation drains the initial-build journal entries. *)
+  let acc = Fault.Invariants.Acc.create ~cluster ~policy () in
+  for round = 1 to 5 do
+    let reports =
+      List.map
+        (fun id ->
+          let latency =
+            float_of_int (((Id.to_int id * 7) + round) mod 13) +. 1.0
+          in
+          {
+            Sharedfs.Delegate.server = id;
+            speed_hint = 1.0;
+            report =
+              {
+                Sharedfs.Server.mean_latency = latency;
+                max_latency = latency;
+                requests = 100;
+              };
+          })
+        (ids n)
+    in
+    policy.Policy.rebalance
+      { Policy.time = float_of_int round; reports; future_demand = lazy [] };
+    Fault.Invariants.Acc.round acc;
+    check_int
+      (Printf.sprintf "round %d: accumulator clean" round)
+      0
+      (List.length (Fault.Invariants.Acc.check acc ~cluster));
+    let fresh = Fault.Invariants.Acc.create ~cluster ~policy () in
+    check_int
+      (Printf.sprintf "round %d: fresh rebuild clean" round)
+      0
+      (List.length (Fault.Invariants.Acc.check fresh ~cluster));
+    check_int
+      (Printf.sprintf "round %d: full oracle clean" round)
+      0
+      (List.length (Fault.Invariants.check ~cluster ~policy ()))
+  done;
+  check_bool "journal drained by the accumulator" true
+    (policy.Policy.changed_servers () = [])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_incremental_index_matches_rebuild;
+    QCheck_alcotest.to_alcotest prop_domain_spread_matches_reference;
+    QCheck_alcotest.to_alcotest prop_aggregation_matches_reference;
+    QCheck_alcotest.to_alcotest prop_acc_matches_full_recompute;
+    Alcotest.test_case "accumulator on live ANU" `Quick test_acc_on_live_anu;
+  ]
