@@ -43,6 +43,14 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
+(* The one rendering for every "unknown name" error path — experiment
+   ids, fault plans, anything resolved through a registry — so each
+   resolver lists exactly the names it accepts and the messages cannot
+   drift apart in style. *)
+let unknown_name ~kind ~name ~known =
+  Printf.sprintf "unknown %s %S; registered %ss are: %s" kind name kind
+    (String.concat ", " known)
+
 (* Observability options of `run': where to write traces and whether
    to collect and print metrics. *)
 type obs_options = {
@@ -218,9 +226,9 @@ let run_cmd =
     match build with
     | None ->
       Logs.err (fun m ->
-          m "unknown experiment %s; registered experiments are:@.  %s" id
-            (String.concat "\n  "
-               (Experiments.Figures.all_ids @ [ "fig6-stream" ])));
+          m "%s"
+            (unknown_name ~kind:"experiment" ~name:id
+               ~known:(Experiments.Figures.all_ids @ [ "fig6-stream" ])));
       exit 1
     | Some build ->
       let ctx =
@@ -348,6 +356,8 @@ let chaos_policy_t =
       ("anu", Experiments.Scenario.Anu Placement.Anu.default_config);
       ("simple-random", Experiments.Scenario.Simple_random);
       ("round-robin", Experiments.Scenario.Round_robin);
+      ( "round-robin-rebalance",
+        Experiments.Scenario.Round_robin_rebalance );
       ("prescient", Experiments.Scenario.Prescient);
       ("consistent-hash", Experiments.Scenario.Consistent_hash);
     ]
@@ -358,7 +368,8 @@ let chaos_policy_t =
     & info [ "policy" ] ~docv:"POLICY"
         ~doc:
           "Placement policy under test: anu, simple-random, round-robin, \
-           prescient or consistent-hash.")
+           round-robin-rebalance (round-robin with the opt-in \
+           post-recovery re-deal), prescient or consistent-hash.")
 
 let chaos_duration_t =
   Arg.(
@@ -379,9 +390,8 @@ let chaos_plan_t =
       | None ->
         Error
           (`Msg
-             (Printf.sprintf
-                "unknown fault plan %S; registered plans are: %s" s
-                (String.concat ", " Experiments.Chaos.plan_names)))
+             (unknown_name ~kind:"fault plan" ~name:s
+                ~known:Experiments.Chaos.plan_names))
     in
     let print ppf kind =
       let name, _ =
@@ -429,6 +439,42 @@ let chaos_cmd =
     Term.(
       const run $ verbosity_t $ chaos_seed_t $ chaos_policy_t
       $ chaos_duration_t $ chaos_plan_t)
+
+let explore_cmd =
+  let doc =
+    "Sweep every disk-write crash point of a seeded faulty run: crash (or \
+     tear) the whole cluster at each write, recover solely from the \
+     shared-disk image, resume the surviving workload, and audit.  Exits 1 \
+     on any violation; the report is byte-reproducible at a fixed seed."
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Probe at most N crash points, sampled reproducibly from the \
+             full sweep (default: run every probe).")
+  in
+  let wide =
+    Arg.(
+      value & flag
+      & info [ "wide" ]
+          ~doc:
+            "Use the larger nightly workload shape instead of the small \
+             full-sweep one; pair with --budget.")
+  in
+  let run () seed spec plan_kind budget wide =
+    let report =
+      Experiments.Explore.sweep ?budget ~wide ~spec ~plan_kind ~seed ()
+    in
+    Format.printf "%a" Experiments.Explore.pp report;
+    if not report.Experiments.Explore.survived then exit 1
+  in
+  Cmd.v (Cmd.info "explore" ~doc ~man:fault_kinds_man)
+    Term.(
+      const run $ verbosity_t $ chaos_seed_t $ chaos_policy_t $ chaos_plan_t
+      $ budget $ wide)
 
 let fsck_cmd =
   let doc =
@@ -537,5 +583,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; trace_report_cmd; validate_cmd;
-            chaos_cmd; fsck_cmd; motivation_cmd;
+            chaos_cmd; explore_cmd; fsck_cmd; motivation_cmd;
           ]))

@@ -1,0 +1,213 @@
+(* The crash-point sweep is a torture harness, not a measurement: the
+   workload only has to be big enough to exercise every recovery path
+   (initial assignment, moves, partitions with orphan healing, torn
+   appends, lease churn), and small enough that re-running it once per
+   probe keeps the full sweep affordable.  The wide shape is the
+   budget-sampled nightly setting. *)
+let workload_config ~wide ~seed =
+  let base = Workload.Synthetic.default_config in
+  if wide then
+    {
+      base with
+      Workload.Synthetic.file_sets = 40;
+      requests = 4_000;
+      duration = 2_400.0;
+      seed;
+    }
+  else
+    {
+      base with
+      Workload.Synthetic.file_sets = 8;
+      requests = 240;
+      duration = 480.0;
+      seed;
+    }
+
+type failure = {
+  probe : Fault.Explorer.probe;
+  violations : (float * string) list;
+  fsck_clean : bool;
+  incomplete : bool;  (** the resumed run failed to drain every request *)
+}
+
+type report = {
+  policy : string;
+  seed : int;
+  plan_name : string;
+  wide : bool;
+  write_points : int;  (** every mutation the enumeration run saw *)
+  points_by_class : (string * int) list;
+  probes_total : int;  (** the full sweep *)
+  probes_run : int;  (** after budget sampling *)
+  budget : int option;
+  baseline_violations : (float * string) list;
+  failures : failure list;
+  shrunk : Fault.Plan.spec list option;
+      (** minimized schedule for the first failure *)
+  survived : bool;
+}
+
+let failed f = not (f.violations = [] && f.fsck_clean && not f.incomplete)
+
+let scenario_of plan_kind =
+  match plan_kind with
+  | `Domain ->
+    { Scenario.default with Scenario.topology = Some Scenario.paper_topology }
+  | `Default | `Partition -> Scenario.default
+
+let plan_of plan_kind ~seed ~duration =
+  match plan_kind with
+  | `Default -> Fault.Plan.default ~seed ~duration
+  | `Partition -> Fault.Plan.partition_mix ~seed ~duration
+  | `Domain -> Fault.Plan.domain_mix ~seed ~duration
+
+(* One probe, full cycle: run under [plan] until the probe's write
+   point crashes the cluster, recover from the disk image (through
+   [decision]), resume the surviving workload, audit.  [None] means
+   the probe survived — also the verdict when the reduced plan never
+   reaches the probe's op, which is how schedule shrinking treats
+   "violation gone". *)
+let run_probe scenario spec ~stream ~plan ?decision probe =
+  match
+    Runner.run_kill_restart scenario spec ~stream ~faults:plan
+      ~arm:(fun disk -> Fault.Explorer.arm disk probe)
+      ?decision ()
+  with
+  | Runner.Ran _ -> None
+  | Runner.Recovered rec_ ->
+    let resumed = rec_.Runner.resumed in
+    let f =
+      {
+        probe;
+        violations = resumed.Runner.violations;
+        fsck_clean = rec_.Runner.fsck.Sharedfs.Cluster.clean;
+        incomplete = resumed.Runner.completed <> resumed.Runner.submitted;
+      }
+    in
+    if failed f then Some f else None
+
+let sweep ?budget ?(wide = false)
+    ?(spec = Scenario.Anu Placement.Anu.default_config)
+    ?(plan_kind = `Partition) ?decision ~seed () =
+  let cfg = workload_config ~wide ~seed in
+  let stream = Workload.Synthetic.stream cfg in
+  let duration = cfg.Workload.Synthetic.duration in
+  let scenario = scenario_of plan_kind in
+  let plan = plan_of plan_kind ~seed ~duration in
+  (* Enumeration pass: the recording hook observes every write point
+     without perturbing the run, and doubles as the baseline — a plan
+     that violates invariants without any crash makes every probe
+     verdict meaningless, so the sweep reports it and stops. *)
+  let points_ref = ref (fun () -> []) in
+  let baseline =
+    match
+      Runner.run_kill_restart scenario spec ~stream ~faults:plan
+        ~arm:(fun disk -> points_ref := Fault.Explorer.record disk)
+        ()
+    with
+    | Runner.Ran r -> r
+    | Runner.Recovered _ -> assert false
+  in
+  let points = !points_ref () in
+  let by_class cls =
+    List.length (List.filter (fun p -> p.Fault.Explorer.cls = cls) points)
+  in
+  let points_by_class =
+    List.map
+      (fun cls -> (Fault.Explorer.class_name cls, by_class cls))
+      [
+        Fault.Explorer.Ledger_record; Fault.Explorer.Lease;
+        Fault.Explorer.Control; Fault.Explorer.Data;
+      ]
+  in
+  let all_probes = Fault.Explorer.probes points in
+  let probes =
+    match budget with
+    | None -> all_probes
+    | Some b -> Fault.Explorer.sample ~seed ~budget:b all_probes
+  in
+  let failures =
+    if baseline.Runner.violations <> [] then []
+    else
+      List.filter_map
+        (fun probe -> run_probe scenario spec ~stream ~plan ?decision probe)
+        probes
+  in
+  (* Minimize the first failure's fault schedule: the crash probe is
+     held fixed while ddmin strips plan specs the violation does not
+     need.  A recovery bug that needs no help from the injector
+     shrinks all the way to the empty schedule. *)
+  let shrunk =
+    match failures with
+    | [] -> None
+    | f :: _ ->
+      let timeout = Fault.Plan.timeout plan in
+      let test specs' =
+        let plan' = Fault.Plan.make ~timeout ~seed specs' in
+        Option.is_some
+          (run_probe scenario spec ~stream ~plan:plan' ?decision f.probe)
+      in
+      Some (Fault.Explorer.shrink ~test (Fault.Plan.specs plan))
+  in
+  {
+    policy = Scenario.policy_name spec;
+    seed;
+    plan_name =
+      (match plan_kind with
+      | `Default -> "default"
+      | `Partition -> "partition"
+      | `Domain -> "domain");
+    wide;
+    write_points = List.length points;
+    points_by_class;
+    probes_total = List.length all_probes;
+    probes_run = List.length probes;
+    budget;
+    baseline_violations = baseline.Runner.violations;
+    failures;
+    shrunk;
+    survived = baseline.Runner.violations = [] && failures = [];
+  }
+
+(* Deterministic rendering: every field is a pure function of (seed,
+   policy, plan, budget), so equal invocations are byte-identical —
+   what the CI [cmp] gate checks. *)
+let pp ppf r =
+  Fmt.pf ppf "explore: policy=%s seed=%d plan=%s%s@." r.policy r.seed
+    r.plan_name
+    (if r.wide then " wide" else "");
+  Fmt.pf ppf "  write points: %d (%a)@." r.write_points
+    (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (name, n) ->
+         Fmt.pf ppf "%s=%d" name n))
+    r.points_by_class;
+  Fmt.pf ppf "  probes:       %d run of %d%s@." r.probes_run r.probes_total
+    (match r.budget with
+    | None -> " (full sweep)"
+    | Some b -> Printf.sprintf " (budget %d)" b);
+  (match r.baseline_violations with
+  | [] -> ()
+  | vs ->
+    Fmt.pf ppf "  BASELINE VIOLATES (%d) — probe verdicts skipped:@."
+      (List.length vs);
+    List.iter (fun (t, what) -> Fmt.pf ppf "    [t=%.3f] %s@." t what) vs);
+  (match r.failures with
+  | [] -> Fmt.pf ppf "  recoveries:   all clean@."
+  | fs ->
+    Fmt.pf ppf "  FAILURES: %d@." (List.length fs);
+    List.iter
+      (fun f ->
+        Fmt.pf ppf "    %a:%s%s@." Fault.Explorer.pp_probe f.probe
+          (if f.fsck_clean then "" else " fsck-divergent")
+          (if f.incomplete then " incomplete" else "");
+        List.iter
+          (fun (t, what) -> Fmt.pf ppf "      [t=%.3f] %s@." t what)
+          f.violations)
+      fs);
+  (match r.shrunk with
+  | None -> ()
+  | Some [] ->
+    Fmt.pf ppf "  shrunk schedule: empty — crash alone reproduces@."
+  | Some specs ->
+    Fmt.pf ppf "  shrunk schedule (%d spec(s)):@." (List.length specs);
+    List.iter (fun s -> Fmt.pf ppf "    %a@." Fault.Plan.pp_spec s) specs);
+  Fmt.pf ppf "  %s@." (if r.survived then "SURVIVED" else "DID NOT SURVIVE")

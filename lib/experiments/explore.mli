@@ -1,0 +1,72 @@
+(** The crash-point exploration harness: systematic recovery torture.
+
+    Where {!Chaos} spot-checks recovery at hand-picked fault times,
+    this module proves it at {e every} disk-write point: one
+    enumeration run lists all N mutations of the shared disk (ledger
+    appends, lease CAS, control-block writes), then each point is
+    probed — crash just before, crash just after, and for structured
+    blocks a fuzz of torn-write truncations ({!Fault.Explorer}) — with
+    every probe followed by whole-cluster recovery from the disk image
+    alone ({!Runner.run_kill_restart}), the invariant suite, a
+    read-only fsck, and resumption of the surviving workload to
+    completion.  A violating probe's fault schedule is minimized by
+    {!Fault.Explorer.shrink} into a smallest reproducing
+    counterexample.
+
+    Everything is a pure function of the seed and the options: equal
+    invocations produce byte-identical reports, which is what lets CI
+    gate on [cmp]. *)
+
+type failure = {
+  probe : Fault.Explorer.probe;
+  violations : (float * string) list;
+      (** invariant breaches detected during recovery or resumption *)
+  fsck_clean : bool;
+  incomplete : bool;  (** the resumed run failed to drain every request *)
+}
+
+type report = {
+  policy : string;
+  seed : int;
+  plan_name : string;
+  wide : bool;
+  write_points : int;
+  points_by_class : (string * int) list;
+      (** [(class, count)] for ledger/lease/control/data *)
+  probes_total : int;
+  probes_run : int;
+  budget : int option;
+  baseline_violations : (float * string) list;
+      (** breaches in the no-crash enumeration run; non-empty aborts
+          the sweep (probe verdicts would be meaningless) *)
+  failures : failure list;
+  shrunk : Fault.Plan.spec list option;
+      (** minimized fault schedule reproducing the first failure;
+          [Some \[\]] means the crash alone reproduces it *)
+  survived : bool;
+}
+
+(** [sweep ~seed ()] runs the exploration.
+
+    [budget] caps the probe count via {!Fault.Explorer.sample}
+    (default: the full sweep).  [wide] (default [false]) switches from
+    the small full-sweep workload to the larger nightly shape — pair
+    it with [budget].  [plan_kind] picks the stock fault mix exactly
+    as {!Chaos.run} does (default [`Partition], the fencing/ledger
+    exercise; [`Domain] runs over the two-rack paper topology).
+    [decision] overrides the restart decision function — the
+    test-suite hook for planting a deliberately broken recovery and
+    proving the sweep catches it. *)
+val sweep :
+  ?budget:int ->
+  ?wide:bool ->
+  ?spec:Scenario.policy_spec ->
+  ?plan_kind:[ `Default | `Partition | `Domain ] ->
+  ?decision:(Sharedfs.Ledger.replay -> (string * int) list * string list) ->
+  seed:int ->
+  unit ->
+  report
+
+(** Deterministic multi-line rendering — byte-identical across equal
+    invocations. *)
+val pp : Format.formatter -> report -> unit

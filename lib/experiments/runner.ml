@@ -162,11 +162,13 @@ let merge_latency ~names ~nfs lat_m lat_q =
   (!lat_moments, !lat_quantile)
 
 let run_stream_serial scenario spec ~stream ~events ~obs ?faults
-    ?check_invariants ?invariant_extra ?(light_invariants = false)
-    ?on_sim_created ?on_cluster ?on_request_complete () =
+    ?check_invariants ?invariant_extra ?(light_invariants = false) ?disk
+    ?restore ?on_sim_created ?on_cluster ?on_request_complete () =
   let sim = Desim.Sim.create () in
   Option.iter (fun f -> f sim) on_sim_created;
-  let disk = Sharedfs.Shared_disk.create () in
+  let disk =
+    match disk with Some d -> d | None -> Sharedfs.Shared_disk.create ()
+  in
   let names = Workload.Stream.file_sets stream in
   let catalog = Sharedfs.File_set.Catalog.create names in
   let servers =
@@ -552,14 +554,31 @@ let run_stream_serial scenario spec ~stream ~events ~obs ?faults
       reports = [];
       future_demand = future_demand ~lo:0.0 ~hi:interval;
     };
-  Sharedfs.Cluster.assign_initial cluster
-    (Placement.Policy.assignment_of policy names);
-  (* Chaos runs establish the delegate lease at time zero, so a fault
-     landing before the first round already finds an incumbent to
-     fence.  Fault-free runs never touch the lease (byte-identical
-     traces to the pre-lease engine). *)
-  if Option.is_some injector then
-    ignore (Sharedfs.Cluster.ensure_delegate cluster : int);
+  (match restore with
+  | None ->
+    Sharedfs.Cluster.assign_initial cluster
+      (Placement.Policy.assignment_of policy names);
+    (* Chaos runs establish the delegate lease at time zero, so a fault
+       landing before the first round already finds an incumbent to
+       fence.  Fault-free runs never touch the lease (byte-identical
+       traces to the pre-lease engine). *)
+    if Option.is_some injector then
+      ignore (Sharedfs.Cluster.ensure_delegate cluster : int)
+  | Some (owned, orphaned) ->
+    (* Post-crash resumption: the time-zero placement comes from the
+       surviving ledger, not the policy.  Forced re-election (never
+       renewal) bumps the epoch past everything the dead incarnation
+       journaled — its lease can look unexpired to a clock that
+       restarted at zero — and one reconcile sweep then lets the fresh
+       policy adopt the orphans and re-address the survivors through
+       the ordinary journaled move path. *)
+    let (_ : int * int) =
+      Sharedfs.Cluster.restore_recovered cluster ~owned ~orphaned
+    in
+    ignore (Sharedfs.Cluster.reelect_delegate cluster : int);
+    let moved = reconcile cluster policy names in
+    emit_rehash ~time:0.0 ~trigger:"recovery" moved;
+    check_now ());
   (* The streaming driver has two arrival paths.  The default is a
      self-re-arming cursor event: only the next not-yet-due request
      occupies the heap, so heap occupancy is O(streams + inflight) —
@@ -577,6 +596,7 @@ let run_stream_serial scenario spec ~stream ~events ~obs ?faults
     Option.is_none faults && events = []
     && Option.is_none on_request_complete
     && (not do_check)
+    && Option.is_none restore
     && (not (Obs.Ctx.tracing obs))
     && Option.is_none (Obs.Ctx.metrics obs)
     && Option.is_none (Obs.Ctx.telemetry obs)
@@ -1108,6 +1128,139 @@ let run scenario spec ~trace ?events ?obs ?faults ?check_invariants
   run_stream scenario spec ~stream:(Workload.Stream.of_trace trace) ?events
     ?obs ?faults ?check_invariants ?invariant_extra ?on_sim_created ?on_cluster
     ?on_request_complete ?jobs ()
+
+(* ------------------------------------------------------------------ *)
+(* Whole-cluster kill-and-restart                                      *)
+
+exception Killed
+
+type recovery = {
+  crashed_at : float;
+  crash_op : int option;
+  crash_block : int option;
+  replay_records : int;
+  replay_torn : int;
+  recovered_owned : int;
+  recovered_orphaned : int;
+  recovery_epoch : int;
+  fsck : Sharedfs.Cluster.fsck_report;
+  resumed : result;
+}
+
+type kill_outcome = Ran of result | Recovered of recovery
+
+(* The surviving portion of a stream: an independent stream yielding
+   exactly the items strictly after [after], at their original times.
+   The restarted simulator's clock begins at zero again, so pre-crash
+   arrival times simply never fire; delegate rounds before the crash
+   instant fire with empty reports, which tune nothing. *)
+let resume_stream stream ~after =
+  let surviving cursor =
+    let rec next () =
+      match cursor () with
+      | None -> None
+      | Some it -> if it.Workload.Stream.time > after then Some it else next ()
+    in
+    next
+  in
+  let total =
+    let cursor = surviving (Workload.Stream.start stream) in
+    let n = ref 0 in
+    let rec count () =
+      match cursor () with
+      | None -> ()
+      | Some _ ->
+        incr n;
+        count ()
+    in
+    count ();
+    !n
+  in
+  Workload.Stream.make
+    ~duration:(Workload.Stream.duration stream)
+    ~total
+    ~file_sets:(Workload.Stream.file_sets stream)
+    ~fresh:(fun () -> surviving (Workload.Stream.start stream))
+    ()
+
+let run_kill_restart scenario spec ~stream ?(events = []) ?(obs = Obs.Ctx.null)
+    ?faults ?invariant_extra ?kill_at ?arm ?decision () =
+  let disk = Sharedfs.Shared_disk.create () in
+  Option.iter (fun f -> f disk) arm;
+  let sim_ref = ref None in
+  (* Phase 1: run until the hook (or the scheduled kill) pulls the
+     plug.  A run that finishes without crashing is reported as [Ran] —
+     the sweep's baseline path. *)
+  match
+    run_stream_serial scenario spec ~stream ~events
+      ~obs:(Obs.Ctx.isolated obs) ?faults ~check_invariants:true
+      ?invariant_extra ~disk
+      ~on_sim_created:(fun sim ->
+        sim_ref := Some sim;
+        match kill_at with
+        | None -> ()
+        | Some t ->
+          ignore
+            (Desim.Sim.schedule_at sim ~time:t (fun () -> raise Killed)
+              : Desim.Sim.handle))
+      ()
+  with
+  | result -> Ran result
+  | exception ((Sharedfs.Shared_disk.Crashed _ | Killed) as e) ->
+    (* Power loss: every server's memory is gone.  The only inputs to
+       recovery are the disk image and the (host-side) knowledge of
+       the workload; nothing from the dead cluster object crosses this
+       line. *)
+    Sharedfs.Shared_disk.clear_write_hook disk;
+    let crash_op, crash_block =
+      match e with
+      | Sharedfs.Shared_disk.Crashed { op; block } -> (Some op, Some block)
+      | _ -> (None, None)
+    in
+    let crashed_at =
+      match !sim_ref with None -> 0.0 | Some sim -> Desim.Sim.now sim
+    in
+    let rep = Sharedfs.Ledger.replay disk in
+    let decide =
+      match decision with
+      | Some f -> f
+      | None -> Sharedfs.Ledger.recovered_assignment
+    in
+    let owned, orphaned = decide rep in
+    let cluster2 = ref None in
+    (* Phase 2: a fresh cluster attaches to the surviving disk —
+       [Ledger.attach] inside [Cluster.create] rescans and repairs the
+       log, the recovered placement is installed cold, a forced
+       re-election fences the dead incarnation — then the surviving
+       tail of the workload runs to completion under the invariant
+       suite.  The crash consumed the fault plan; the restarted
+       cluster runs it no further. *)
+    let resumed =
+      run_stream_serial scenario spec
+        ~stream:(resume_stream stream ~after:crashed_at)
+        ~events:[] ~obs:(Obs.Ctx.isolated obs) ~check_invariants:true
+        ?invariant_extra ~disk
+        ~restore:(owned, orphaned)
+        ~on_cluster:(fun c -> cluster2 := Some c)
+        ()
+    in
+    let cluster2 =
+      match !cluster2 with Some c -> c | None -> assert false
+    in
+    Recovered
+      {
+        crashed_at;
+        crash_op;
+        crash_block;
+        replay_records = List.length rep.Sharedfs.Ledger.records;
+        replay_torn = List.length rep.Sharedfs.Ledger.torn_seqs;
+        recovered_owned = List.length owned;
+        recovered_orphaned = List.length orphaned;
+        recovery_epoch =
+          Sharedfs.Ledger.current_epoch (Sharedfs.Cluster.ledger cluster2);
+        fsck = Sharedfs.Cluster.fsck ~repair:false cluster2;
+        resumed;
+      }
 
 let buckets_after result ~from_ =
   List.map

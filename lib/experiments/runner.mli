@@ -186,6 +186,67 @@ val run :
   unit ->
   result
 
+(** {2 Whole-cluster kill-and-restart}
+
+    The crash-point explorer's execution primitive: run the scenario
+    until the disk's write hook (or a scheduled kill) pulls the plug on
+    the {e entire} cluster, then recover solely from the shared-disk
+    image and resume the surviving tail of the workload to
+    completion. *)
+
+(** Raised inside the simulation by the [kill_at] timer: instant
+    whole-cluster power loss not tied to any disk write. *)
+exception Killed
+
+type recovery = {
+  crashed_at : float;  (** virtual time the plug was pulled *)
+  crash_op : int option;  (** write point that crashed, if disk-induced *)
+  crash_block : int option;  (** its target block *)
+  replay_records : int;  (** valid ledger records found at restart *)
+  replay_torn : int;  (** torn records found at restart *)
+  recovered_owned : int;  (** placements rolled forward *)
+  recovered_orphaned : int;  (** sets re-placed as orphans *)
+  recovery_epoch : int;  (** lease epoch after the resumed run *)
+  fsck : Sharedfs.Cluster.fsck_report;
+      (** read-only audit of the resumed cluster against the final
+          ledger *)
+  resumed : result;  (** the resumed run, invariant-checked throughout *)
+}
+
+type kill_outcome =
+  | Ran of result  (** no crash fired; the run completed normally *)
+  | Recovered of recovery
+
+(** [run_kill_restart scenario spec ~stream ()] is the two-phase
+    driver.  Phase 1 runs like {!run_stream} (serial engine, invariant
+    checks forced on) on a caller-visible disk; [arm] runs before the
+    first write — the explorer's slot for
+    {!Sharedfs.Shared_disk.set_write_hook} — and [kill_at] schedules a
+    hook-free power loss at a virtual time.  If the phase completes,
+    the result is [Ran].  On {!Sharedfs.Shared_disk.Crashed} or
+    {!Killed}, every in-memory structure is discarded, the hook is
+    cleared, and phase 2 recovers from the disk alone:
+    {!Sharedfs.Ledger.replay}, the [decision] function (default
+    {!Sharedfs.Ledger.recovered_assignment}; tests substitute a broken
+    one to prove the harness catches it), a fresh cluster restored via
+    {!Sharedfs.Cluster.restore_recovered} with a forced re-election,
+    and the stream's surviving tail run to completion — followed by a
+    read-only {!Sharedfs.Cluster.fsck}.  The crash consumes the fault
+    plan: the resumed phase runs without it. *)
+val run_kill_restart :
+  Scenario.t ->
+  Scenario.policy_spec ->
+  stream:Workload.Stream.t ->
+  ?events:event list ->
+  ?obs:Obs.Ctx.t ->
+  ?faults:Fault.Plan.t ->
+  ?invariant_extra:(unit -> string list) ->
+  ?kill_at:float ->
+  ?arm:(Sharedfs.Shared_disk.t -> unit) ->
+  ?decision:(Sharedfs.Ledger.replay -> (string * int) list * string list) ->
+  unit ->
+  kill_outcome
+
 (** [converged_imbalance result ~from_] is max/mean of per-server mean
     latency computed over buckets starting at time [from_] and
     restricted to servers that served requests there — the "how

@@ -1,6 +1,7 @@
 type policy_spec =
   | Simple_random
   | Round_robin
+  | Round_robin_rebalance
   | Prescient
   | Anu of Placement.Anu.config
   | Gossip of Placement.Gossip.config
@@ -92,6 +93,7 @@ let scale_cluster ~n =
 let policy_name = function
   | Simple_random -> "simple-random"
   | Round_robin -> "round-robin"
+  | Round_robin_rebalance -> "round-robin-rebalance"
   | Prescient -> "prescient"
   | Anu cfg -> cfg.Placement.Anu.name
   | Gossip cfg -> cfg.Placement.Gossip.name
@@ -108,7 +110,11 @@ let make_policy spec ~scenario ~file_sets =
       (Placement.Simple_random.create ~family ~servers:server_ids)
   | Round_robin ->
     Placement.Round_robin.policy
-      (Placement.Round_robin.create ~servers:server_ids ~file_sets)
+      (Placement.Round_robin.create ~servers:server_ids ~file_sets ())
+  | Round_robin_rebalance ->
+    Placement.Round_robin.policy
+      (Placement.Round_robin.create ~rebalance_on_add:true ~servers:server_ids
+         ~file_sets ())
   | Prescient ->
     let speeds =
       List.map

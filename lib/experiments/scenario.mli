@@ -9,6 +9,11 @@
 type policy_spec =
   | Simple_random
   | Round_robin
+  | Round_robin_rebalance
+      (** round-robin with the opt-in post-recovery re-deal
+          ({!Placement.Round_robin.create}[ ~rebalance_on_add:true]):
+          a recovered server gets its even share back, which is what
+          the post-recovery balance invariants demand *)
   | Prescient
   | Anu of Placement.Anu.config
   | Gossip of Placement.Gossip.config

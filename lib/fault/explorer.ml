@@ -1,0 +1,179 @@
+type write_class = Ledger_record | Lease | Control | Data
+
+type torn_class = Empty | Checksum_cut | Header_cut | Half | All_but_one
+
+type mode = Crash_before | Crash_after | Torn of torn_class
+
+type point = { op : int; block : int; bytes : int; cls : write_class }
+
+type probe = { point : point; mode : mode }
+
+(* The block-space convention is Shared_disk's: negative blocks are
+   metadata (ledger records live at [-(seq + 16)], control blocks at
+   -1..-15, the lease at -1), non-negative blocks are data.  A CAS
+   mutation is always a lease transition — it is the only caller of
+   [compare_and_swap] — and is classified as such even though the
+   lease block is also a control block. *)
+let classify ~block ~cas =
+  if block <= -16 then Ledger_record
+  else if cas then Lease
+  else if block < 0 then Control
+  else Data
+
+let class_name = function
+  | Ledger_record -> "ledger"
+  | Lease -> "lease"
+  | Control -> "control"
+  | Data -> "data"
+
+(* Truncation lengths target the ledger codec's boundary structure
+   ["%016Lx|payload"]: inside the 16-hex checksum, exactly at the '|'
+   separator (checksum intact, payload gone), and the generic
+   mid-record and one-byte-short cuts.  All clamp to the record
+   length, so the classes stay meaningful for short control blocks
+   too. *)
+let torn_keep cls ~len =
+  match cls with
+  | Empty -> 0
+  | Checksum_cut -> Stdlib.min 8 len
+  | Header_cut -> Stdlib.min 17 len
+  | Half -> len / 2
+  | All_but_one -> Stdlib.max 0 (len - 1)
+
+let torn_name = function
+  | Empty -> "empty"
+  | Checksum_cut -> "checksum-cut"
+  | Header_cut -> "header-cut"
+  | Half -> "half"
+  | All_but_one -> "all-but-one"
+
+let torn_classes = [ Empty; Checksum_cut; Header_cut; Half; All_but_one ]
+
+(* Ledger records get the full torn-class fuzz — they are the only
+   blocks with checksummed internal structure.  The lease and the
+   other control blocks get one representative tear (the recovery
+   reader treats any malformed control block uniformly), and data
+   blocks carry no recovery-relevant structure at all. *)
+let modes_for = function
+  | Ledger_record ->
+    Crash_before :: Crash_after :: List.map (fun c -> Torn c) torn_classes
+  | Lease | Control -> [ Crash_before; Crash_after; Torn Half ]
+  | Data -> [ Crash_before; Crash_after ]
+
+let mode_name = function
+  | Crash_before -> "before"
+  | Crash_after -> "after"
+  | Torn c -> "torn:" ^ torn_name c
+
+let mode_rank = function
+  | Crash_before -> 0
+  | Crash_after -> 1
+  | Torn Empty -> 2
+  | Torn Checksum_cut -> 3
+  | Torn Header_cut -> 4
+  | Torn Half -> 5
+  | Torn All_but_one -> 6
+
+let verdict_of probe ~len =
+  match probe.mode with
+  | Crash_before -> Sharedfs.Shared_disk.Write_crash_before
+  | Crash_after -> Sharedfs.Shared_disk.Write_crash_after
+  | Torn c -> Sharedfs.Shared_disk.Write_torn (torn_keep c ~len)
+
+(* Enumeration pass: observe every write point of a run without
+   perturbing it.  The returned thunk yields the points seen so far in
+   op order. *)
+let record disk =
+  let acc = ref [] in
+  Sharedfs.Shared_disk.set_write_hook disk (fun ~op ~block ~cas ~data ->
+      acc :=
+        { op; block; bytes = String.length data; cls = classify ~block ~cas }
+        :: !acc;
+      Sharedfs.Shared_disk.Write_ok);
+  fun () -> List.rev !acc
+
+(* Probe pass: the run proceeds untouched up to the probe's write
+   point, which gets the probe's fate.  Recovery clears the hook, so
+   one armed probe fires at most once. *)
+let arm disk probe =
+  Sharedfs.Shared_disk.set_write_hook disk (fun ~op ~block:_ ~cas:_ ~data ->
+      if op = probe.point.op then verdict_of probe ~len:(String.length data)
+      else Sharedfs.Shared_disk.Write_ok)
+
+let probes ?(include_data = false) points =
+  List.concat_map
+    (fun p ->
+      if p.cls = Data && not include_data then []
+      else List.map (fun mode -> { point = p; mode }) (modes_for p.cls))
+    points
+
+let compare_probe a b =
+  match compare a.point.op b.point.op with
+  | 0 -> compare (mode_rank a.mode) (mode_rank b.mode)
+  | c -> c
+
+(* Budgeted sampling for big sweeps: a partial Fisher–Yates shuffle
+   driven by SplitMix64 picks [budget] probes uniformly without
+   replacement, then the choice is re-sorted into (op, mode) order so
+   the report reads like a sweep prefix.  Equal seeds and probe lists
+   give equal samples. *)
+let sample ~seed ~budget probes =
+  let n = List.length probes in
+  if budget < 0 then invalid_arg "Fault.Explorer.sample: negative budget";
+  if budget >= n then probes
+  else begin
+    let arr = Array.of_list probes in
+    let rng = Desim.Rng.create seed in
+    for i = 0 to budget - 1 do
+      let j = i + Desim.Rng.int rng (n - i) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    let chosen = Array.sub arr 0 budget in
+    Array.sort compare_probe chosen;
+    Array.to_list chosen
+  end
+
+let pp_point ppf p =
+  Fmt.pf ppf "op %d block %d (%s, %d bytes)" p.op p.block (class_name p.cls)
+    p.bytes
+
+let pp_probe ppf p = Fmt.pf ppf "%a %s" pp_point p.point (mode_name p.mode)
+
+(* ddmin-lite (Zeller & Hildebrandt): remove complements of an
+   ever-finer chunking while the violation keeps reproducing.
+   [test cand] must be true iff [cand] still reproduces; it must hold
+   for the initial schedule.  Deterministic — the chunk walk is fixed —
+   and 1-minimal: when the granularity reaches the schedule length,
+   every complement tried is the schedule minus one element, so no
+   single element can be removed from the result. *)
+let shrink ~test specs =
+  if not (test specs) then
+    invalid_arg "Fault.Explorer.shrink: initial schedule does not reproduce";
+  if test [] then []
+  else begin
+    let rec go specs n =
+      let len = List.length specs in
+      if len <= 1 then specs
+      else begin
+        let chunk = (len + n - 1) / n in
+        let rec complements i =
+          if i * chunk >= len then None
+          else
+            let comp =
+              List.filteri
+                (fun j _ -> j < i * chunk || j >= (i + 1) * chunk)
+                specs
+            in
+            if comp <> [] && List.length comp < len && test comp then
+              Some comp
+            else complements (i + 1)
+        in
+        match complements 0 with
+        | Some comp -> go comp (Stdlib.max 2 (n - 1))
+        | None -> if n >= len then specs else go specs (Stdlib.min len (2 * n))
+      end
+    in
+    go specs 2
+  end

@@ -1,0 +1,95 @@
+(** Deterministic crash-point exploration over the shared disk.
+
+    The recovery protocol (ledger replay, lease re-election, fsck) is
+    only trustworthy if it survives a crash at {e every} disk write,
+    not just the fault points a {!Plan} happened to schedule.  This
+    module turns {!Sharedfs.Shared_disk}'s write-point hook into a
+    systematic sweep: one {!record} pass enumerates all N write points
+    of a scenario, {!probes} expands them into crash/torn probes, and
+    each probe is replayed via {!arm} — crash exactly at point k, then
+    recover and check.  Big sweeps are cut down reproducibly with
+    {!sample}; violating fault schedules are minimized with {!shrink}.
+
+    Everything here is policy-free and engine-free: the driver that
+    actually runs scenarios lives in [Experiments.Explore]; this
+    module owns the enumeration, classification, fuzz classes,
+    sampling and shrinking so ROADMAP §1's per-shard delegates can
+    reuse them unchanged. *)
+
+(** What a write point mutates, derived from the disk's block-space
+    convention: ledger records at [-(seq+16)] and below, the lease via
+    CAS, other negative control blocks, and non-negative data
+    blocks. *)
+type write_class = Ledger_record | Lease | Control | Data
+
+(** Torn-write truncation classes, aimed at the ledger codec's
+    ["%016Lx|payload"] boundaries: nothing lands, a cut inside the
+    checksum, a cut exactly at the ['|'] separator, a mid-record cut,
+    and a one-byte-short cut. *)
+type torn_class = Empty | Checksum_cut | Header_cut | Half | All_but_one
+
+(** The fate a probe assigns to its write point; all three end in
+    whole-cluster power loss ({!Sharedfs.Shared_disk.Crashed}). *)
+type mode = Crash_before | Crash_after | Torn of torn_class
+
+type point = {
+  op : int;  (** 1-based write-point number *)
+  block : int;
+  bytes : int;  (** length of the data that was (to be) written *)
+  cls : write_class;
+}
+
+type probe = { point : point; mode : mode }
+
+(** [classify ~block ~cas] is the write class of a mutation. *)
+val classify : block:int -> cas:bool -> write_class
+
+(** [torn_keep cls ~len] is how many bytes of a [len]-byte record the
+    torn class leaves on disk (clamped to [\[0, len\]]). *)
+val torn_keep : torn_class -> len:int -> int
+
+(** [modes_for cls] are the probe modes worth running against a write
+    class: ledger records get every torn class, lease/control blocks
+    one representative tear, data blocks crash-only. *)
+val modes_for : write_class -> mode list
+
+(** [record disk] arms a purely observational hook and returns a thunk
+    yielding the points seen so far, in op order.  The run itself is
+    unperturbed ([Write_ok] everywhere). *)
+val record : Sharedfs.Shared_disk.t -> unit -> point list
+
+(** [arm disk probe] arms the crash hook: write points before the
+    probe's proceed untouched; the probe's own point gets its mode's
+    verdict and raises {!Sharedfs.Shared_disk.Crashed}. *)
+val arm : Sharedfs.Shared_disk.t -> probe -> unit
+
+(** [probes points] expands enumerated points into the full probe
+    sweep, in (op, mode) order.  [include_data] (default [false]) also
+    probes data-block writes — they carry no recovery-relevant
+    structure, so the default sweep skips them. *)
+val probes : ?include_data:bool -> point list -> probe list
+
+(** [sample ~seed ~budget probes] keeps [budget] probes chosen
+    uniformly without replacement (partial Fisher–Yates over
+    SplitMix64), re-sorted into (op, mode) order; the identity when
+    [budget >= length].  Equal inputs give equal samples.  Raises
+    [Invalid_argument] on a negative budget. *)
+val sample : seed:int -> budget:int -> probe list -> probe list
+
+(** [shrink ~test specs] minimizes a violating schedule by ddmin-lite
+    complement removal: [test cand] must return [true] iff [cand]
+    still reproduces the violation, and must hold for [specs] itself
+    (raises [Invalid_argument] otherwise).  The result is 1-minimal —
+    removing any single element stops the reproduction — and the
+    search is deterministic.  O(n²) tests worst-case. *)
+val shrink : test:('a list -> bool) -> 'a list -> 'a list
+
+val class_name : write_class -> string
+
+val torn_name : torn_class -> string
+
+val mode_name : mode -> string
+
+val pp_point : Format.formatter -> point -> unit
+
+val pp_probe : Format.formatter -> probe -> unit

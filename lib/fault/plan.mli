@@ -191,4 +191,8 @@ val domains : t -> string list
     text: [(name, description)] in declaration order. *)
 val spec_kinds : (string * string) list
 
+(** [pp_spec] renders one spec on one line — also how the explorer
+    prints a shrunken counterexample schedule. *)
+val pp_spec : Format.formatter -> spec -> unit
+
 val pp : Format.formatter -> t -> unit

@@ -2,11 +2,13 @@ module Id = Sharedfs.Server_id
 
 type t = {
   assignment : (string, Id.t) Hashtbl.t;
+  order : string list;  (* catalog order, for full re-deals *)
   mutable alive : Id.t list;
   mutable counter : int;
+  rebalance_on_add : bool;
 }
 
-let create ~servers ~file_sets =
+let create ?(rebalance_on_add = false) ~servers ~file_sets () =
   let sorted = List.sort_uniq Id.compare servers in
   (match sorted with
   | [] -> invalid_arg "Round_robin.create: no servers"
@@ -17,7 +19,13 @@ let create ~servers ~file_sets =
     (fun i name ->
       Hashtbl.replace assignment name arr.(i mod Array.length arr))
     file_sets;
-  { assignment; alive = sorted; counter = List.length file_sets }
+  {
+    assignment;
+    order = file_sets;
+    alive = sorted;
+    counter = List.length file_sets;
+    rebalance_on_add;
+  }
 
 let locate t name =
   match Hashtbl.find_opt t.assignment name with
@@ -43,9 +51,24 @@ let reassign_from t dead =
       orphans
   end
 
+(* Re-deal every set from scratch over the current membership, in
+   catalog order — with everyone back it reproduces the original deal
+   exactly, which is what makes the post-recovery distribution even
+   again. *)
+let redeal t =
+  let arr = Array.of_list t.alive in
+  let n = Array.length arr in
+  if n > 0 then begin
+    List.iteri
+      (fun i name -> Hashtbl.replace t.assignment name arr.(i mod n))
+      t.order;
+    t.counter <- List.length t.order
+  end
+
 let policy t =
   {
-    Policy.name = "round-robin";
+    Policy.name =
+      (if t.rebalance_on_add then "round-robin-rebalance" else "round-robin");
     locate = locate t;
     rebalance = (fun _ -> ());
     server_failed =
@@ -53,7 +76,9 @@ let policy t =
         t.alive <- List.filter (fun sid -> not (Id.equal sid id)) t.alive;
         reassign_from t id);
     server_added =
-      (fun id -> t.alive <- List.sort Id.compare (id :: t.alive));
+      (fun id ->
+        t.alive <- List.sort Id.compare (id :: t.alive);
+        if t.rebalance_on_add then redeal t);
     delegate_crashed = (fun () -> ());
     regions = Policy.no_regions;
     changed_servers = Policy.no_changes;

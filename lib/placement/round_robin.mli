@@ -8,8 +8,20 @@
 
 type t
 
+(** [create ~servers ~file_sets ()] deals the catalog over the servers
+    in id order.  [rebalance_on_add] (default [false]) opts into a
+    full re-deal whenever a server (re)joins: by default a recovered
+    server gets nothing back until sets are orphaned — the static
+    baseline the paper compares against — while the opt-in variant
+    (policy name ["round-robin-rebalance"]) restores the even
+    distribution after every recovery, which is what the
+    post-recovery balance invariants demand. *)
 val create :
-  servers:Sharedfs.Server_id.t list -> file_sets:string list -> t
+  ?rebalance_on_add:bool ->
+  servers:Sharedfs.Server_id.t list ->
+  file_sets:string list ->
+  unit ->
+  t
 
 val locate : t -> string -> Sharedfs.Server_id.t
 

@@ -380,6 +380,52 @@ let assign_initial t pairs =
         (Ledger.Assign { file_set = name; owner = Server_id.to_int id }))
     pairs
 
+(* Whole-cluster restart: install a recovered placement into a fresh
+   cluster attached to the surviving disk.  [owned] placements roll
+   forward to their committed owners — with cold caches, since every
+   server restarted — and must not be journaled again (the ledger
+   already folds to them).  [orphaned] sets, plus every catalog set
+   neither list mentions (the crash landed before their initial
+   assignment reached the ledger), are parked as orphans for the
+   policy to re-place; each orphan decision IS journaled as
+   [Commit Orphan], because for a rolled-back pending intent the
+   ledger still folds to [Pending] — the rollback is a recovery
+   decision the WAL must record before {!fsck} can agree with
+   memory. *)
+let restore_recovered t ~owned ~orphaned =
+  if Array.exists (fun o -> o <> Unassigned) t.ownership then
+    invalid_arg "Cluster.restore_recovered: cluster already has assignments";
+  List.iter
+    (fun (name, raw) ->
+      let fs = fs_id t name in
+      (match t.ownership.(fs) with
+      | Unassigned -> ()
+      | Owned _ | Moving _ | Orphaned _ ->
+        invalid_arg ("Cluster.restore_recovered: " ^ name ^ " restored twice"));
+      let id = Server_id.of_int raw in
+      let server = server t id in
+      Server.gain_file_set server ~fs ~cold:true;
+      t.ownership.(fs) <- Owned id)
+    owned;
+  (* Validate the explicit orphans name real sets; the sweep below
+     picks them up together with the never-journaled ones. *)
+  List.iter (fun name -> ignore (fs_id t name : int)) orphaned;
+  let orphans = ref [] in
+  Array.iteri
+    (fun fs o ->
+      match o with
+      | Unassigned -> orphans := fs_name t fs :: !orphans
+      | Owned _ | Moving _ | Orphaned _ -> ())
+    t.ownership;
+  let orphans = List.sort String.compare !orphans in
+  List.iter
+    (fun name ->
+      let fs = fs_id t name in
+      t.ownership.(fs) <- Orphaned (Queue.create ());
+      journal t Ledger.Commit (Ledger.Orphan { file_set = name }))
+    orphans;
+  (List.length owned, List.length orphans)
+
 let lock_key b =
   { Lock_manager.fs = b.fs; ino = abs b.req.Request.path_hash }
 

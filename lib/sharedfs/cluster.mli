@@ -169,6 +169,20 @@ val owned_by : t -> Server_id.t -> string list
     exactly once. *)
 val assign_initial : t -> (string * Server_id.t) list -> unit
 
+(** [restore_recovered t ~owned ~orphaned] installs a recovered
+    placement — typically {!Ledger.recovered_assignment} of a replay of
+    the surviving disk — into a fresh cluster after a whole-cluster
+    crash.  [owned] sets roll forward to their committed owners with
+    cold caches and are {e not} re-journaled (the ledger already folds
+    to them); [orphaned] sets, plus every catalog set neither list
+    mentions, are parked as orphans for the policy to re-place, each
+    journaled as a [Commit Orphan] rollback so {!fsck} agrees with
+    memory immediately.  Returns [(owned, orphaned)] counts.  Raises
+    [Invalid_argument] if the cluster already has assignments or a name
+    is unknown. *)
+val restore_recovered :
+  t -> owned:(string * int) list -> orphaned:string list -> int * int
+
 (** [submit t ~base_demand req ~on_complete] routes a request to the
     owner of its file set, buffering it if the set is in transit.
     [Lock_acquire] requests additionally pass through the lock

@@ -1,5 +1,13 @@
 type config = { block_size : int; op_overhead : float; bandwidth : float }
 
+type write_verdict =
+  | Write_ok
+  | Write_crash_before
+  | Write_crash_after
+  | Write_torn of int
+
+exception Crashed of { op : int; block : int }
+
 type t = {
   cfg : config;
   store : (int, string) Hashtbl.t;
@@ -8,6 +16,8 @@ type t = {
   mutable reads : int;
   mutable rejected : int;
   mutable stall : float;
+  mutable hook :
+    (op:int -> block:int -> cas:bool -> data:string -> write_verdict) option;
 }
 
 let default_config =
@@ -19,7 +29,7 @@ let create ?(config = default_config) () =
   if config.bandwidth <= 0.0 then
     invalid_arg "Shared_disk.create: bandwidth must be positive";
   { cfg = config; store = Hashtbl.create 1024; fenced = Hashtbl.create 8;
-    writes = 0; reads = 0; rejected = 0; stall = 1.0 }
+    writes = 0; reads = 0; rejected = 0; stall = 1.0; hook = None }
 
 let config t = t.cfg
 
@@ -36,9 +46,35 @@ let transfer_time t ~bytes =
   if bytes < 0 then invalid_arg "Shared_disk.transfer_time: negative bytes";
   (t.cfg.op_overhead +. (float_of_int bytes /. t.cfg.bandwidth)) *. t.stall
 
-let write t ~block data =
+(* Every store mutation funnels through here: [t.writes] is the
+   monotone write-point counter (1-based: the op number the hook sees
+   is the counter {e after} the increment), and the hook — when armed —
+   decides the fate of write point [op].  [Write_crash_before] drops
+   the data entirely; [Write_crash_after] lands it whole;
+   [Write_torn keep] lands only a prefix (a partial sector write at
+   power loss — [keep = 0] leaves an empty block, distinct from an
+   absent one).  All three crash verdicts then raise {!Crashed},
+   modeling instant whole-cluster power loss: the caller's in-memory
+   state is unrecoverable and only the disk image survives. *)
+let mutate t ~block ~cas data =
   t.writes <- t.writes + 1;
-  Hashtbl.replace t.store block data;
+  match t.hook with
+  | None -> Hashtbl.replace t.store block data
+  | Some hook -> (
+    let op = t.writes in
+    match hook ~op ~block ~cas ~data with
+    | Write_ok -> Hashtbl.replace t.store block data
+    | Write_crash_before -> raise (Crashed { op; block })
+    | Write_crash_after ->
+      Hashtbl.replace t.store block data;
+      raise (Crashed { op; block })
+    | Write_torn keep ->
+      let keep = Stdlib.max 0 (Stdlib.min keep (String.length data)) in
+      Hashtbl.replace t.store block (String.sub data 0 keep);
+      raise (Crashed { op; block }))
+
+let write t ~block data =
+  mutate t ~block ~cas:false data;
   transfer_time t ~bytes:(String.length data)
 
 let read t ~block =
@@ -64,13 +100,18 @@ let compare_and_swap t ~block ~expect data =
   t.reads <- t.reads + 1;
   let current = Hashtbl.find_opt t.store block in
   if current = expect then begin
-    t.writes <- t.writes + 1;
-    Hashtbl.replace t.store block data;
+    mutate t ~block ~cas:true data;
     true
   end
   else false
 
 let blocks_written t = t.writes
+
+let write_points = blocks_written
+
+let set_write_hook t hook = t.hook <- Some hook
+
+let clear_write_hook t = t.hook <- None
 
 let blocks_read t = t.reads
 

@@ -84,6 +84,45 @@ val write_as :
 val compare_and_swap :
   t -> block:int -> expect:string option -> string -> bool
 
+(** {2 Write-point instrumentation}
+
+    Every mutation of the store — a {!write}, a landed {!write_as}, a
+    winning {!compare_and_swap} — is one {e write point}, numbered by a
+    monotone counter.  The crash-point explorer installs a hook that is
+    consulted at each write point with the point's number, target block,
+    whether it came through CAS, and the bytes about to land; the
+    verdict decides the point's fate.  Rejected [write_as] and losing
+    CAS attempts mutate nothing and are not write points. *)
+
+type write_verdict =
+  | Write_ok  (** the write lands whole; the run continues *)
+  | Write_crash_before  (** power loss just before the sector: nothing
+                            lands, {!Crashed} is raised *)
+  | Write_crash_after  (** power loss just after: the write lands
+                           whole, then {!Crashed} is raised *)
+  | Write_torn of int
+      (** partial sector write at power loss: only the first [n] bytes
+          land (clamped to [\[0, length\]]; [0] leaves an empty block,
+          distinct from an absent one), then {!Crashed} is raised *)
+
+(** Raised by the three crash verdicts: whole-cluster power loss at
+    write point [op] targeting [block].  All in-memory state above the
+    disk is dead; recovery must proceed from the disk image alone. *)
+exception Crashed of { op : int; block : int }
+
+(** [set_write_hook t hook] arms the write-point hook (at most one; a
+    second call replaces the first).  [op] is the 1-based write-point
+    number, [cas] distinguishes lease CAS installs from plain writes. *)
+val set_write_hook :
+  t -> (op:int -> block:int -> cas:bool -> data:string -> write_verdict) -> unit
+
+val clear_write_hook : t -> unit
+
+(** [write_points t] is the monotone write-point counter — the number
+    the {e next} mutation will see minus one.  Equal to
+    {!blocks_written}. *)
+val write_points : t -> int
+
 (** [blocks_written t] counts write operations, for tests and reports. *)
 val blocks_written : t -> int
 

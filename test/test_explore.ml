@@ -1,0 +1,230 @@
+(* The crash-point exploration harness: enumeration, probing,
+   kill-and-restart recovery, the full sweep, and the schedule
+   shrinker — including the acceptance gate that a deliberately broken
+   recovery decision is caught and its schedule minimized. *)
+
+module Explorer = Fault.Explorer
+
+let classify () =
+  Alcotest.(check bool)
+    "ledger" true
+    (Explorer.classify ~block:(-16) ~cas:false = Explorer.Ledger_record);
+  Alcotest.(check bool)
+    "deep ledger" true
+    (Explorer.classify ~block:(-400) ~cas:false = Explorer.Ledger_record);
+  Alcotest.(check bool)
+    "lease" true
+    (Explorer.classify ~block:(-1) ~cas:true = Explorer.Lease);
+  Alcotest.(check bool)
+    "control" true
+    (Explorer.classify ~block:(-2) ~cas:false = Explorer.Control);
+  Alcotest.(check bool)
+    "data" true
+    (Explorer.classify ~block:7 ~cas:false = Explorer.Data)
+
+let torn_keep () =
+  Alcotest.(check int) "empty" 0 (Explorer.torn_keep Explorer.Empty ~len:40);
+  Alcotest.(check int) "checksum" 8
+    (Explorer.torn_keep Explorer.Checksum_cut ~len:40);
+  Alcotest.(check int) "header" 17
+    (Explorer.torn_keep Explorer.Header_cut ~len:40);
+  Alcotest.(check int) "half" 20 (Explorer.torn_keep Explorer.Half ~len:40);
+  Alcotest.(check int) "all but one" 39
+    (Explorer.torn_keep Explorer.All_but_one ~len:40);
+  (* Clamped for records shorter than the boundary. *)
+  Alcotest.(check int) "short checksum" 3
+    (Explorer.torn_keep Explorer.Checksum_cut ~len:3);
+  Alcotest.(check int) "short all-but-one" 0
+    (Explorer.torn_keep Explorer.All_but_one ~len:0)
+
+let record_and_arm () =
+  let disk = Sharedfs.Shared_disk.create () in
+  let points = Explorer.record disk in
+  ignore (Sharedfs.Shared_disk.write disk ~block:(-20) "intent|x" : float);
+  ignore
+    (Sharedfs.Shared_disk.compare_and_swap disk ~block:(-1) ~expect:None
+       "1|0|99"
+      : bool);
+  ignore (Sharedfs.Shared_disk.write disk ~block:5 "data" : float);
+  let pts = points () in
+  Alcotest.(check int) "three points" 3 (List.length pts);
+  (match pts with
+  | [ a; b; c ] ->
+    Alcotest.(check bool) "ops 1,2,3" true
+      (a.Explorer.op = 1 && b.Explorer.op = 2 && c.Explorer.op = 3);
+    Alcotest.(check bool) "classes" true
+      (a.Explorer.cls = Explorer.Ledger_record
+      && b.Explorer.cls = Explorer.Lease
+      && c.Explorer.cls = Explorer.Data)
+  | _ -> Alcotest.fail "expected three points");
+  (* Probe the second point with a torn write: the first proceeds,
+     the second lands a prefix and kills the run. *)
+  let probe =
+    { Explorer.point = List.nth pts 1; mode = Explorer.Torn Explorer.Half }
+  in
+  let disk2 = Sharedfs.Shared_disk.create () in
+  Explorer.arm disk2 probe;
+  ignore (Sharedfs.Shared_disk.write disk2 ~block:(-20) "intent|x" : float);
+  (match
+     Sharedfs.Shared_disk.compare_and_swap disk2 ~block:(-1) ~expect:None
+       "1|0|99"
+   with
+  | (_ : bool) -> Alcotest.fail "expected crash at op 2"
+  | exception Sharedfs.Shared_disk.Crashed { op; block } ->
+    Alcotest.(check int) "crash op" 2 op;
+    Alcotest.(check int) "crash block" (-1) block);
+  Sharedfs.Shared_disk.clear_write_hook disk2;
+  (match Sharedfs.Shared_disk.read disk2 ~block:(-1) with
+  | Some torn, _ -> Alcotest.(check string) "torn prefix" "1|0" torn
+  | None, _ -> Alcotest.fail "torn block missing")
+
+let probes_expand () =
+  let mk op cls =
+    { Explorer.op; block = (match cls with
+        | Explorer.Ledger_record -> -20
+        | Explorer.Lease -> -1
+        | Explorer.Control -> -2
+        | Explorer.Data -> 3);
+      bytes = 30; cls }
+  in
+  let points =
+    [
+      mk 1 Explorer.Ledger_record; mk 2 Explorer.Lease;
+      mk 3 Explorer.Control; mk 4 Explorer.Data;
+    ]
+  in
+  (* 7 for the ledger record, 3 each for lease and control, data
+     skipped by default. *)
+  Alcotest.(check int) "default sweep" 13
+    (List.length (Explorer.probes points));
+  Alcotest.(check int) "with data" 15
+    (List.length (Explorer.probes ~include_data:true points))
+
+let sample_deterministic () =
+  let mk op =
+    { Explorer.op; block = -20 - op; bytes = 30;
+      cls = Explorer.Ledger_record }
+  in
+  let probes = Explorer.probes (List.init 30 (fun i -> mk (i + 1))) in
+  let a = Explorer.sample ~seed:42 ~budget:17 probes in
+  let b = Explorer.sample ~seed:42 ~budget:17 probes in
+  Alcotest.(check int) "budget respected" 17 (List.length a);
+  Alcotest.(check bool) "same seed, same sample" true (a = b);
+  Alcotest.(check bool) "subset of the sweep" true
+    (List.for_all (fun p -> List.mem p probes) a);
+  let ops = List.map (fun p -> p.Explorer.point.Explorer.op) a in
+  Alcotest.(check bool) "sorted by op" true (List.sort compare ops = ops);
+  Alcotest.(check bool) "full budget is identity" true
+    (Explorer.sample ~seed:42 ~budget:(List.length probes) probes = probes)
+
+let shrink_minimizes () =
+  (* The "violation" needs 3 and 7 together: ddmin must find exactly
+     that pair from an 8-element schedule. *)
+  let test cand = List.mem 3 cand && List.mem 7 cand in
+  let shrunk = Explorer.shrink ~test [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check (list int)) "minimal pair" [ 3; 7 ] shrunk;
+  (* A violation needing nothing shrinks to nothing. *)
+  Alcotest.(check (list int)) "empty reproduces" []
+    (Explorer.shrink ~test:(fun _ -> true) [ 1; 2; 3 ]);
+  (* Single-element needs. *)
+  Alcotest.(check (list int)) "singleton" [ 5 ]
+    (Explorer.shrink ~test:(List.mem 5) [ 1; 5; 9; 13 ]);
+  (* A non-reproducing initial schedule is a caller bug. *)
+  Alcotest.check_raises "initial must reproduce"
+    (Invalid_argument "Fault.Explorer.shrink: initial schedule does not \
+                       reproduce") (fun () ->
+      ignore (Explorer.shrink ~test:(fun _ -> false) [ 1 ] : int list))
+
+let small_stream seed =
+  Workload.Synthetic.stream
+    {
+      Workload.Synthetic.default_config with
+      Workload.Synthetic.file_sets = 8;
+      requests = 240;
+      duration = 480.0;
+      seed;
+    }
+
+let anu = Experiments.Scenario.Anu Placement.Anu.default_config
+
+let kill_restart_recovers () =
+  let stream = small_stream 11 in
+  match
+    Experiments.Runner.run_kill_restart Experiments.Scenario.default anu
+      ~stream ~kill_at:200.0 ()
+  with
+  | Experiments.Runner.Ran _ -> Alcotest.fail "expected a crash at t=200"
+  | Experiments.Runner.Recovered r ->
+    Alcotest.(check (float 1e-9)) "crashed at the kill time" 200.0
+      r.Experiments.Runner.crashed_at;
+    Alcotest.(check bool) "kill is not a write-point crash" true
+      (r.Experiments.Runner.crash_op = None);
+    Alcotest.(check bool) "ledger had committed state" true
+      (r.Experiments.Runner.replay_records > 0);
+    Alcotest.(check bool) "placements recovered" true
+      (r.Experiments.Runner.recovered_owned > 0);
+    let resumed = r.Experiments.Runner.resumed in
+    Alcotest.(check (list (pair (float 1e-9) string)))
+      "resumed run violates nothing" [] resumed.Experiments.Runner.violations;
+    Alcotest.(check int) "resumed run drains"
+      resumed.Experiments.Runner.submitted
+      resumed.Experiments.Runner.completed;
+    Alcotest.(check bool) "post-recovery fsck clean" true
+      r.Experiments.Runner.fsck.Sharedfs.Cluster.clean
+
+let full_sweep_clean () =
+  let r = Experiments.Explore.sweep ~seed:7 () in
+  Alcotest.(check bool) "found write points" true (r.Experiments.Explore.write_points > 0);
+  Alcotest.(check int) "full sweep ran every probe"
+    r.Experiments.Explore.probes_total r.Experiments.Explore.probes_run;
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "clean baseline" [] r.Experiments.Explore.baseline_violations;
+  Alcotest.(check int) "zero failing probes" 0
+    (List.length r.Experiments.Explore.failures);
+  Alcotest.(check bool) "survived" true r.Experiments.Explore.survived
+
+let sweep_reproducible () =
+  let show r = Fmt.str "%a" Experiments.Explore.pp r in
+  let a = show (Experiments.Explore.sweep ~seed:3 ~budget:25 ()) in
+  let b = show (Experiments.Explore.sweep ~seed:3 ~budget:25 ()) in
+  Alcotest.(check string) "byte-identical reports" a b
+
+(* The acceptance gate: recovery that re-homes every surviving set
+   onto server 0 — ignoring what the ledger committed — must be caught
+   by the sweep, and the shrinker must cut its fault schedule down to
+   at most 3 specs (this bug needs no help from the injector, so it
+   shrinks far below that). *)
+let injected_bug_caught () =
+  let sabotage rep =
+    let owned, orphaned = Sharedfs.Ledger.recovered_assignment rep in
+    (List.map (fun (name, _) -> (name, 0)) owned, orphaned)
+  in
+  let r = Experiments.Explore.sweep ~seed:7 ~budget:40 ~decision:sabotage () in
+  Alcotest.(check bool) "sweep catches the bug" true
+    (r.Experiments.Explore.failures <> []);
+  Alcotest.(check bool) "did not survive" false r.Experiments.Explore.survived;
+  match r.Experiments.Explore.shrunk with
+  | None -> Alcotest.fail "expected a shrunken schedule"
+  | Some specs ->
+    Alcotest.(check bool)
+      (Fmt.str "schedule shrunk to %d specs (<= 3)" (List.length specs))
+      true
+      (List.length specs <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "classify write points" `Quick classify;
+    Alcotest.test_case "torn-write boundary classes" `Quick torn_keep;
+    Alcotest.test_case "record then arm a probe" `Quick record_and_arm;
+    Alcotest.test_case "probe expansion per class" `Quick probes_expand;
+    Alcotest.test_case "budgeted sampling is deterministic" `Quick
+      sample_deterministic;
+    Alcotest.test_case "ddmin shrinker is 1-minimal" `Quick shrink_minimizes;
+    Alcotest.test_case "kill-and-restart recovers and resumes" `Quick
+      kill_restart_recovers;
+    Alcotest.test_case "full crash-point sweep is clean" `Slow full_sweep_clean;
+    Alcotest.test_case "sweep report is byte-reproducible" `Slow
+      sweep_reproducible;
+    Alcotest.test_case "injected recovery bug caught and shrunk" `Slow
+      injected_bug_caught;
+  ]

@@ -248,6 +248,90 @@ let prop_replay_idempotent_and_repair_converges =
         QCheck.Test.fail_report "repaired fold diverges from clean fold";
       true)
 
+(* qcheck: repair is idempotent — once the log scans clean, a second
+   pass rewrites nothing and leaves the image untouched. *)
+let prop_repair_idempotent =
+  QCheck.Test.make ~count:60
+    ~name:"ledger: repair idempotent — second pass rewrites nothing" arb_script
+    (fun (script, torn) ->
+      let disk = Shared_disk.create () in
+      let t = Ledger.attach disk in
+      List.iter (fun nth -> Ledger.arm_torn t ~nth) torn;
+      List.iter
+        (fun (op, phase) ->
+          match Ledger.append t phase op with
+          | `Appended _ -> ()
+          | `Fenced -> QCheck.Test.fail_report "trusted append fenced")
+        script;
+      let (_ : int) = Ledger.repair t in
+      let after_first = Ledger.replay disk in
+      if Ledger.repair t <> 0 then
+        QCheck.Test.fail_report "second repair rewrote blocks";
+      if Ledger.replay disk <> after_first then
+        QCheck.Test.fail_report "second repair changed the log";
+      true)
+
+let arb_double_torn =
+  QCheck.make
+    ~print:(fun ((s1, s2, nth2) :
+                  (Ledger.op * Ledger.phase) list
+                  * (Ledger.op * Ledger.phase) list
+                  * int) ->
+      Printf.sprintf "%d ops (torn tail), restart, %d ops (torn at %d)"
+        (List.length s1) (List.length s2) nth2)
+    QCheck.Gen.(
+      let script =
+        list_size (int_range 1 12)
+          (pair arb_op (oneofl [ Ledger.Intent; Ledger.Commit ]))
+      in
+      triple script script (int_bound 11))
+
+(* qcheck: replay converges under *double* torn writes — a torn tail,
+   a whole-cluster restart whose first repair can only tombstone it
+   (no surviving mirror), then a second torn append through the
+   restarted handle, then repair again.  The final log must scan
+   clean, keep every slot occupied, and be a fixed point of repair. *)
+let prop_double_torn_converges =
+  QCheck.Test.make ~count:60
+    ~name:"ledger: replay converges after torn tail + second torn append"
+    arb_double_torn
+    (fun (script1, script2, nth2) ->
+      let app t script =
+        List.iter
+          (fun (op, phase) ->
+            match Ledger.append t phase op with
+            | `Appended _ -> ()
+            | `Fenced -> QCheck.Test.fail_report "trusted append fenced")
+          script
+      in
+      let disk = Shared_disk.create () in
+      let t1 = Ledger.attach disk in
+      (* First fault: the tail of the pre-crash log is torn. *)
+      Ledger.arm_torn t1 ~nth:(List.length script1 - 1);
+      app t1 script1;
+      (* Whole-cluster restart: the fresh handle never saw the torn
+         record, so this partial repair tombstones the tail rather
+         than restoring it. *)
+      let t2 = Ledger.attach disk in
+      if Ledger.repair t2 <> 1 then
+        QCheck.Test.fail_report "restart repair should tombstone the torn tail";
+      (* Second fault: another append tears mid-flight through the
+         restarted handle, which *does* hold a mirror for it. *)
+      Ledger.arm_torn t2 ~nth:(min nth2 (List.length script2 - 1));
+      app t2 script2;
+      if Ledger.repair t2 <> 1 then
+        QCheck.Test.fail_report "second repair should restore from the mirror";
+      let rep = Ledger.replay disk in
+      if rep.Ledger.torn_seqs <> [] then
+        QCheck.Test.fail_report "double repair left torn records";
+      if rep.Ledger.next_seq <> List.length script1 + List.length script2 then
+        QCheck.Test.fail_report "repair changed the log length";
+      if Ledger.repair t2 <> 0 then
+        QCheck.Test.fail_report "repair did not reach a fixed point";
+      if Ledger.replay disk <> rep then
+        QCheck.Test.fail_report "replay mutated the log";
+      true)
+
 let suite =
   [
     Alcotest.test_case "codec: roundtrip" `Quick test_codec_roundtrip;
@@ -266,4 +350,6 @@ let suite =
     Alcotest.test_case "block ranges disjoint" `Quick
       test_block_ranges_disjoint;
     QCheck_alcotest.to_alcotest prop_replay_idempotent_and_repair_converges;
+    QCheck_alcotest.to_alcotest prop_repair_idempotent;
+    QCheck_alcotest.to_alcotest prop_double_torn_converges;
   ]

@@ -49,7 +49,7 @@ let test_simple_random_failure_redirects () =
 
 let test_round_robin_equal_counts () =
   let fs = names 103 in
-  let t = Round_robin.create ~servers:(ids 5) ~file_sets:fs in
+  let t = Round_robin.create ~servers:(ids 5) ~file_sets:fs () in
   let counts = Array.make 5 0 in
   List.iter
     (fun n ->
@@ -62,14 +62,14 @@ let test_round_robin_equal_counts () =
   check_int "total" 103 (Array.fold_left ( + ) 0 counts)
 
 let test_round_robin_unknown_rejected () =
-  let t = Round_robin.create ~servers:(ids 2) ~file_sets:(names 4) in
+  let t = Round_robin.create ~servers:(ids 2) ~file_sets:(names 4) () in
   Alcotest.check_raises "unknown"
     (Failure "Round_robin.locate: unknown file set nope") (fun () ->
       ignore (Round_robin.locate t "nope"))
 
 let test_round_robin_failure_redeals () =
   let fs = names 20 in
-  let t = Round_robin.create ~servers:(ids 4) ~file_sets:fs in
+  let t = Round_robin.create ~servers:(ids 4) ~file_sets:fs () in
   let p = Round_robin.policy t in
   p.Policy.server_failed (Id.of_int 0);
   let counts = Array.make 4 0 in
